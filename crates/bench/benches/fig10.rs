@@ -1,0 +1,22 @@
+//! Criterion bench regenerating Figure 10 (latency-tolerance sweep) at
+//! test scale for the paper's two benchmarks (Pointer, Neighborhood).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hidisc_bench::fig10;
+use hidisc_workloads::Scale;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("latency_sweep_test_scale", |b| {
+        b.iter(|| {
+            let series = fig10(&["pointer", "neighborhood"], Scale::Test, 3);
+            assert_eq!(series.len(), 2);
+            series
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

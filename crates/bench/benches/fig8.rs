@@ -1,0 +1,26 @@
+//! Criterion bench regenerating Figure 8 (per-benchmark speed-up over the
+//! baseline superscalar) at test scale. The `repro` binary produces the
+//! paper-scale table; this bench tracks the cost of the experiment itself
+//! and sanity-checks its shape on every run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hidisc::MachineConfig;
+use hidisc_bench::{fig8, run_suite};
+use hidisc_workloads::Scale;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("suite_speedups_test_scale", |b| {
+        b.iter(|| {
+            let results = run_suite(Scale::Test, 3, MachineConfig::paper());
+            let rows = fig8(&results);
+            assert_eq!(rows.len(), 7);
+            rows
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

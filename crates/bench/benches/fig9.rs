@@ -1,0 +1,24 @@
+//! Criterion bench regenerating Figure 9 (relative L1 miss rate) at test
+//! scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hidisc::MachineConfig;
+use hidisc_bench::{fig9, run_suite};
+use hidisc_workloads::Scale;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("suite_miss_ratios_test_scale", |b| {
+        b.iter(|| {
+            let results = run_suite(Scale::Test, 3, MachineConfig::paper());
+            let rows = fig9(&results);
+            assert_eq!(rows.len(), 7);
+            rows
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

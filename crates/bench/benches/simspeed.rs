@@ -1,0 +1,59 @@
+//! Simulator-throughput benchmarks: how many simulated cycles per second
+//! each layer of the stack achieves. These measure the *simulator*, not
+//! the simulated machine — useful for tracking performance regressions in
+//! the hot pipeline loops.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hidisc::{Machine, MachineConfig, Model};
+use hidisc_bench::env_of;
+use hidisc_mem::{AccessKind, MemConfig, MemSystem};
+use hidisc_slicer::{compile, CompilerConfig};
+use hidisc_workloads::{by_name, Scale};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simspeed");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("mem_system_accesses_10k", |b| {
+        let mut sys = MemSystem::new(MemConfig::paper());
+        let mut now = 0u64;
+        b.iter(|| {
+            for k in 0..10_000u64 {
+                let addr = (k * 8) % (1 << 20);
+                std::hint::black_box(sys.access(addr, AccessKind::Load, now));
+                now += 1;
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let w = by_name("update", Scale::Test, 3).unwrap();
+    let env = env_of(&w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+
+    let mut g = c.benchmark_group("simspeed");
+    g.sample_size(20);
+    for model in [Model::Superscalar, Model::HiDisc] {
+        g.bench_function(format!("machine_{model}_update_test"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(model, &compiled, &env, MachineConfig::paper());
+                m.run(compiled.profile.dyn_instrs).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let w = by_name("tc", Scale::Test, 3).unwrap();
+    let env = env_of(&w);
+    let mut g = c.benchmark_group("simspeed");
+    g.bench_function("compile_tc_test", |b| {
+        b.iter(|| compile(&w.prog, &env, &CompilerConfig::default()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_machine, bench_compiler);
+criterion_main!(benches);

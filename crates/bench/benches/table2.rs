@@ -1,0 +1,24 @@
+//! Criterion bench regenerating Table 2 (average speed-up of the three
+//! models) at test scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hidisc::MachineConfig;
+use hidisc_bench::{run_suite, table2};
+use hidisc_workloads::Scale;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("average_speedups_test_scale", |b| {
+        b.iter(|| {
+            let results = run_suite(Scale::Test, 3, MachineConfig::paper());
+            let avg = table2(&results);
+            assert!((avg[0] - 1.0).abs() < 1e-12);
+            avg
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! `repro` — regenerates every table and figure of the HiDISC paper.
+//!
+//! ```text
+//! repro [params|fig8|table2|fig9|fig10|ablate|all] [--scale test|paper] [--seed N]
+//! ```
+
+use hidisc::MachineConfig;
+use hidisc_bench as bench;
+use hidisc_workloads::Scale;
+
+struct Args {
+    cmd: String,
+    arg: Option<String>,
+    scale: Scale,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut cmd = "all".to_string();
+    let mut arg: Option<String> = None;
+    let mut scale = Scale::Paper;
+    let mut seed = 2003; // the paper's publication year
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "test" => Scale::Test,
+                    "paper" => Scale::Paper,
+                    "large" => Scale::Large,
+                    other => {
+                        eprintln!("unknown scale `{other}` (use test|paper|large)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [params|fig8|table2|fig9|fig10|ablate|all] \
+                     [report|diag <workload>] \
+                     [--scale test|paper] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                if cmd == "all" {
+                    cmd = other.to_string();
+                } else {
+                    arg = Some(other.to_string());
+                }
+            }
+        }
+    }
+    Args { cmd, arg, scale, seed }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = MachineConfig::paper();
+
+    let need_suite = matches!(args.cmd.as_str(), "fig8" | "table2" | "fig9" | "all" | "csv");
+    let results = if need_suite {
+        eprintln!(
+            "running the 7-benchmark suite on 4 machine models (scale {:?}, seed {})...",
+            args.scale, args.seed
+        );
+        Some(bench::run_suite(args.scale, args.seed, cfg))
+    } else {
+        None
+    };
+
+    match args.cmd.as_str() {
+        "params" => print!("{}", bench::table1(&cfg)),
+        "fig8" => print!("{}", bench::render_fig8(&bench::fig8(results.as_ref().unwrap()))),
+        "table2" => {
+            print!("{}", bench::render_table2(&bench::table2(results.as_ref().unwrap())))
+        }
+        "fig9" => print!("{}", bench::render_fig9(&bench::fig9(results.as_ref().unwrap()))),
+        "csv" => {
+            let results = results.as_ref().unwrap();
+            print!("{}", bench::fig8_csv(&bench::fig8(results)));
+            println!();
+            print!("{}", bench::fig9_csv(&bench::fig9(results)));
+            println!();
+            let series = bench::fig10(&["pointer", "neighborhood"], args.scale, args.seed);
+            print!("{}", bench::fig10_csv(&series));
+        }
+        "fig10" => {
+            eprintln!("running the Figure-10 latency sweep (pointer, neighborhood)...");
+            let series = bench::fig10(&["pointer", "neighborhood"], args.scale, args.seed);
+            print!("{}", bench::render_fig10(&series));
+        }
+        "trace" => {
+            let name = args.arg.as_deref().unwrap_or("update");
+            print!("{}", bench::pipeline_trace(name, Scale::Test, args.seed, 60));
+        }
+        "report" => {
+            let name = args.arg.as_deref().unwrap_or("update");
+            print!("{}", bench::separation_report(name, args.scale, args.seed));
+        }
+        "diag" => {
+            let name = args.arg.as_deref().unwrap_or("update");
+            print!("{}", bench::diagnostics(name, args.scale, args.seed));
+        }
+        "micro" => {
+            eprintln!("running the micro-kernels (lll1, convolution, saxpy, sdot) on 4 models...");
+            for w in hidisc_workloads::micro::micro_suite(args.scale, args.seed) {
+                let r = bench::run_workload(&w, cfg);
+                print!("{:<13}", r.name);
+                for st in &r.per_model {
+                    print!(" {}={:.3}", st.model, st.speedup_over(r.baseline()));
+                }
+                println!();
+            }
+        }
+        "extras" => {
+            eprintln!("running the extra Stressmarks (cornerturn, matrix) on 4 models...");
+            for w in hidisc_workloads::extras(args.scale, args.seed) {
+                let r = bench::run_workload(&w, cfg);
+                print!("{:<13}", r.name);
+                for st in &r.per_model {
+                    print!(" {}={:.3}", st.model, st.speedup_over(r.baseline()));
+                }
+                println!();
+            }
+        }
+        "related" => {
+            eprintln!("running the related-work comparison (all 7 benchmarks)...");
+            let rows = bench::related_work(
+                &["dm", "raytrace", "pointer", "update", "field", "neighborhood", "tc"],
+                args.scale,
+                args.seed,
+            );
+            print!("{}", bench::render_related(&rows));
+        }
+        "ablate" => {
+            eprintln!("running the ablation study (update, tc, neighborhood, dm)...");
+            let rows = bench::ablate(&["update", "tc", "neighborhood", "dm"], args.scale, args.seed);
+            print!("{}", bench::render_ablation(&rows));
+        }
+        "all" => {
+            let results = results.as_ref().unwrap();
+            println!("Table 1: simulation parameters\n{}", bench::table1(&cfg));
+            println!("{}", bench::render_fig8(&bench::fig8(results)));
+            println!("{}", bench::render_table2(&bench::table2(results)));
+            println!("{}", bench::render_fig9(&bench::fig9(results)));
+            eprintln!("running the Figure-10 latency sweep (pointer, neighborhood)...");
+            let series = bench::fig10(&["pointer", "neighborhood"], args.scale, args.seed);
+            println!("{}", bench::render_fig10(&series));
+        }
+        other => {
+            eprintln!("unknown command `{other}` (use params|fig8|table2|fig9|fig10|ablate|all)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,708 @@
+//! # hidisc-bench — the paper-reproduction harness
+//!
+//! Runs the experiments of the HiDISC paper's evaluation section and
+//! regenerates every table and figure:
+//!
+//! * **Figure 8** — speed-up of CP+AP, CP+CMP and HiDISC over the baseline
+//!   superscalar, per benchmark ([`fig8`]);
+//! * **Table 2** — average speed-up of the three models ([`table2`]);
+//! * **Figure 9** — relative L1 demand miss rate per benchmark
+//!   ([`fig9`]);
+//! * **Figure 10** — IPC under the L2/memory latency sweep
+//!   {4/40, 8/80, 12/120, 16/160} for Pointer and Neighborhood
+//!   ([`fig10`]);
+//! * **Table 1** — the simulation parameters ([`table1`]).
+//!
+//! Runs are deterministic for a given seed. The `repro` binary prints the
+//! results as aligned text tables.
+
+use hidisc::{run_model, MachineConfig, MachineStats, Model};
+use hidisc_slicer::{compile, CompilerConfig, ExecEnv};
+use hidisc_workloads::{suite, Scale, Workload};
+use parking_lot::Mutex;
+
+/// All four models of one benchmark under one machine configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Statistics per model, in [`Model::ALL`] order.
+    pub per_model: Vec<MachineStats>,
+}
+
+impl SuiteResult {
+    /// The baseline (superscalar) run.
+    pub fn baseline(&self) -> &MachineStats {
+        &self.per_model[0]
+    }
+
+    /// Statistics of one model.
+    pub fn of(&self, m: Model) -> &MachineStats {
+        self.per_model.iter().find(|s| s.model == m).expect("all models present")
+    }
+}
+
+/// Execution environment of a workload.
+pub fn env_of(w: &Workload) -> ExecEnv {
+    ExecEnv { regs: w.regs.clone(), mem: w.mem.clone(), max_steps: w.max_steps }
+}
+
+/// Compiles and runs one workload on every model.
+pub fn run_workload(w: &Workload, cfg: MachineConfig) -> SuiteResult {
+    let env = env_of(w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default())
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+    let per_model = Model::ALL
+        .into_iter()
+        .map(|m| {
+            let st = run_model(m, &compiled, &env, cfg)
+                .unwrap_or_else(|e| panic!("{} on {m}: {e}", w.name));
+            // Cross-model safety net: every model must compute the same
+            // final memory.
+            st
+        })
+        .collect::<Vec<_>>();
+    for s in &per_model[1..] {
+        assert_eq!(
+            s.mem_checksum, per_model[0].mem_checksum,
+            "{}: {} diverged from baseline memory",
+            w.name, s.model
+        );
+    }
+    SuiteResult { name: w.name, per_model }
+}
+
+/// Runs the full seven-benchmark suite, one worker thread per benchmark.
+pub fn run_suite(scale: Scale, seed: u64, cfg: MachineConfig) -> Vec<SuiteResult> {
+    let workloads = suite(scale, seed);
+    let results: Mutex<Vec<(usize, SuiteResult)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|s| {
+        for (i, w) in workloads.iter().enumerate() {
+            let results = &results;
+            s.spawn(move |_| {
+                let r = run_workload(w, cfg);
+                results.lock().push((i, r));
+            });
+        }
+    })
+    .expect("suite workers do not panic");
+    let mut v = results.into_inner();
+    v.sort_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One Figure-8 row: speed-up over the baseline per model.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    pub name: &'static str,
+    /// Speed-ups in [`Model::ALL`] order (baseline is 1.0 by definition).
+    pub speedup: [f64; 4],
+}
+
+/// Figure 8: per-benchmark speed-up over the baseline superscalar.
+pub fn fig8(results: &[SuiteResult]) -> Vec<Fig8Row> {
+    results
+        .iter()
+        .map(|r| {
+            let base = r.baseline();
+            let mut speedup = [0.0; 4];
+            for (i, s) in r.per_model.iter().enumerate() {
+                speedup[i] = s.speedup_over(base);
+            }
+            Fig8Row { name: r.name, speedup }
+        })
+        .collect()
+}
+
+/// Table 2: average speed-up of the three non-baseline models (arithmetic
+/// mean of per-benchmark speed-ups, as the paper reports).
+pub fn table2(results: &[SuiteResult]) -> [f64; 4] {
+    let rows = fig8(results);
+    let mut avg = [0.0; 4];
+    for row in &rows {
+        for (a, s) in avg.iter_mut().zip(row.speedup) {
+            *a += s;
+        }
+    }
+    for a in &mut avg {
+        *a /= rows.len() as f64;
+    }
+    avg
+}
+
+/// One Figure-9 row: L1 demand miss rate relative to the baseline.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    pub name: &'static str,
+    /// `miss_rate(model) / miss_rate(baseline)` in [`Model::ALL`] order.
+    pub ratio: [f64; 4],
+    /// Absolute baseline miss rate (context for the table).
+    pub base_miss_rate: f64,
+}
+
+/// Figure 9: relative cache miss rate per benchmark.
+pub fn fig9(results: &[SuiteResult]) -> Vec<Fig9Row> {
+    results
+        .iter()
+        .map(|r| {
+            let base = r.baseline();
+            let mut ratio = [0.0; 4];
+            for (i, s) in r.per_model.iter().enumerate() {
+                ratio[i] = s.miss_rate_ratio(base);
+            }
+            Fig9Row { name: r.name, ratio, base_miss_rate: base.l1_miss_rate() }
+        })
+        .collect()
+}
+
+/// The Figure-10 latency sweep points `(l2_latency, memory_latency)`.
+pub const FIG10_LATENCIES: [(u32, u32); 4] = [(4, 40), (8, 80), (12, 120), (16, 160)];
+
+/// One Figure-10 series: IPC of each model across the latency sweep.
+#[derive(Debug, Clone)]
+pub struct Fig10Series {
+    pub name: &'static str,
+    /// `ipc[lat][model]` with latencies in [`FIG10_LATENCIES`] order and
+    /// models in [`Model::ALL`] order.
+    pub ipc: Vec<[f64; 4]>,
+}
+
+/// Figure 10: latency tolerance for the given benchmarks (the paper uses
+/// Pointer and Neighborhood).
+pub fn fig10(names: &[&str], scale: Scale, seed: u64) -> Vec<Fig10Series> {
+    let mut out = Vec::new();
+    for &name in names {
+        let w = hidisc_workloads::by_name(name, scale, seed)
+            .unwrap_or_else(|| panic!("unknown workload {name}"));
+        let rows: Mutex<Vec<(usize, [f64; 4])>> = Mutex::new(Vec::new());
+        crossbeam::scope(|s| {
+            for (li, (l2, mem)) in FIG10_LATENCIES.into_iter().enumerate() {
+                let w = &w;
+                let rows = &rows;
+                s.spawn(move |_| {
+                    let r = run_workload(w, MachineConfig::paper_with_latency(l2, mem));
+                    let mut ipc = [0.0; 4];
+                    for (i, st) in r.per_model.iter().enumerate() {
+                        ipc[i] = st.ipc();
+                    }
+                    rows.lock().push((li, ipc));
+                });
+            }
+        })
+        .expect("sweep workers do not panic");
+        let mut v = rows.into_inner();
+        v.sort_by_key(|(i, _)| *i);
+        out.push(Fig10Series { name: w.name, ipc: v.into_iter().map(|(_, r)| r).collect() });
+    }
+    out
+}
+
+/// Table 1: the simulation parameters, rendered as the paper presents
+/// them.
+pub fn table1(cfg: &MachineConfig) -> String {
+    let s = &cfg.superscalar;
+    format!(
+        "Branch predict mode          Bimodal\n\
+         Branch table size            {}\n\
+         Issue/commit width           {}\n\
+         Instruction window           Superscalar {} / AP {} / CP {}\n\
+         Integer functional units     ALU x{}, MUL/DIV x{}\n\
+         FP functional units          ALU x{}, MUL/DIV x{} (superscalar and CP)\n\
+         Memory ports                 {} per memory-capable processor\n\
+         L1 data cache                {} sets, {}B blocks, {}-way, LRU\n\
+         L1 latency                   {} cycle(s)\n\
+         Unified L2                   {} sets, {}B blocks, {}-way, LRU\n\
+         L2 latency                   {} cycles\n\
+         Memory latency               {} cycles\n\
+         Queues (LDQ/SDQ/CDQ/CQ/SCQ)  {}/{}/{}/{}/{} entries\n",
+        s.predictor_entries,
+        s.issue_width,
+        s.ruu_size,
+        cfg.ap.ruu_size,
+        cfg.cp.ruu_size,
+        s.int_alu,
+        s.int_mul,
+        s.fp_alu,
+        s.fp_mul,
+        s.mem_ports,
+        cfg.mem.l1.sets,
+        cfg.mem.l1.block_bytes,
+        cfg.mem.l1.ways,
+        cfg.mem.l1.latency,
+        cfg.mem.l2.sets,
+        cfg.mem.l2.block_bytes,
+        cfg.mem.l2.ways,
+        cfg.mem.l2.latency,
+        cfg.mem.mem_latency,
+        cfg.queues.ldq,
+        cfg.queues.sdq,
+        cfg.queues.cdq,
+        cfg.queues.cq,
+        cfg.queues.scq,
+    )
+}
+
+/// Renders Figure 8 as an aligned text table.
+pub fn render_fig8(rows: &[Fig8Row]) -> String {
+    let mut out = String::from(
+        "Figure 8: speed-up over the baseline superscalar\n\
+         benchmark     Superscalar   CP+AP    CP+CMP   HiDISC\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<13} {:>10.3} {:>8.3} {:>8.3} {:>8.3}\n",
+            r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
+        ));
+    }
+    out
+}
+
+/// Renders Table 2.
+pub fn render_table2(avg: &[f64; 4]) -> String {
+    format!(
+        "Table 2: average speed-up over the baseline\n\
+         CP+AP   (access/execute decoupling): {:+.1}%\n\
+         CP+CMP  (cache prefetching):         {:+.1}%\n\
+         HiDISC  (decoupling + prefetching):  {:+.1}%\n",
+        (avg[1] - 1.0) * 100.0,
+        (avg[2] - 1.0) * 100.0,
+        (avg[3] - 1.0) * 100.0
+    )
+}
+
+/// Renders Figure 9.
+pub fn render_fig9(rows: &[Fig9Row]) -> String {
+    let mut out = String::from(
+        "Figure 9: L1 demand miss rate relative to the baseline (1.0 = baseline)\n\
+         benchmark     base-rate   CP+AP    CP+CMP   HiDISC\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<13} {:>9.4} {:>8.3} {:>8.3} {:>8.3}\n",
+            r.name, r.base_miss_rate, r.ratio[1], r.ratio[2], r.ratio[3]
+        ));
+    }
+    out
+}
+
+/// Renders Figure 10.
+pub fn render_fig10(series: &[Fig10Series]) -> String {
+    let mut out = String::from("Figure 10: IPC under the L2/memory latency sweep\n");
+    for s in series {
+        out.push_str(&format!(
+            "\n{} — IPC\nL2/mem      Superscalar   CP+AP    CP+CMP   HiDISC\n",
+            s.name
+        ));
+        for (li, (l2, mem)) in FIG10_LATENCIES.into_iter().enumerate() {
+            let r = s.ipc[li];
+            out.push_str(&format!(
+                "{:>2}/{:<6} {:>11.3} {:>8.3} {:>8.3} {:>8.3}\n",
+                l2, mem, r[0], r[1], r[2], r[3]
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_runs_and_tables_render() {
+        let results = run_suite(Scale::Test, 3, MachineConfig::paper());
+        assert_eq!(results.len(), 7);
+        let f8 = fig8(&results);
+        assert!(f8.iter().all(|r| (r.speedup[0] - 1.0).abs() < 1e-12));
+        let t2 = table2(&results);
+        assert!((t2[0] - 1.0).abs() < 1e-12);
+        let f9 = fig9(&results);
+        assert_eq!(f9.len(), 7);
+        assert!(!render_fig8(&f8).is_empty());
+        assert!(!render_table2(&t2).is_empty());
+        assert!(!render_fig9(&f9).is_empty());
+        assert!(table1(&MachineConfig::paper()).contains("Bimodal"));
+    }
+
+    #[test]
+    fn fig10_shapes() {
+        let series = fig10(&["pointer"], Scale::Test, 3);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].ipc.len(), 4);
+        assert!(!render_fig10(&series).is_empty());
+        // IPC should not increase as latency grows, for any model.
+        for m in 0..4 {
+            assert!(
+                series[0].ipc[0][m] >= series[0].ipc[3][m] * 0.98,
+                "model {m}: IPC grew with latency"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------------
+
+/// One ablation variant of the HiDISC machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Ablation {
+    /// The full default HiDISC.
+    Full,
+    /// Compiler does not extract CMAS threads (pure access/execute
+    /// decoupling — should collapse onto CP+AP).
+    NoCmas,
+    /// CMP with the next-line assist on its own load misses (extension).
+    NextLineAssist,
+    /// Slip Control Queue depth override (prefetch run-ahead distance).
+    ScqDepth(usize),
+    /// A single-issue, single-ported CMP (weakest engine).
+    WeakCmp,
+    /// The paper's future-work extensions: adaptive prefetch distance and
+    /// selective triggering.
+    Dynamic,
+}
+
+impl Ablation {
+    /// All variants evaluated by `repro ablate`.
+    pub fn all() -> Vec<Ablation> {
+        vec![
+            Ablation::Full,
+            Ablation::NoCmas,
+            Ablation::NextLineAssist,
+            Ablation::ScqDepth(4),
+            Ablation::ScqDepth(64),
+            Ablation::WeakCmp,
+            Ablation::Dynamic,
+        ]
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            Ablation::Full => "full HiDISC".into(),
+            Ablation::NoCmas => "no CMAS (CP+AP only)".into(),
+            Ablation::NextLineAssist => "next-line assist on".into(),
+            Ablation::ScqDepth(d) => format!("SCQ depth {d}"),
+            Ablation::WeakCmp => "1-wide 1-port CMP".into(),
+            Ablation::Dynamic => "dynamic slip + selective triggers".into(),
+        }
+    }
+}
+
+/// Ablation results for one workload: HiDISC speed-up over the baseline
+/// superscalar under each variant.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    pub name: &'static str,
+    pub speedup: Vec<(Ablation, f64)>,
+}
+
+/// Runs the ablation study over the given workloads.
+pub fn ablate(names: &[&str], scale: Scale, seed: u64) -> Vec<AblationRow> {
+    use hidisc::{DynamicConfig, Model};
+    names
+        .iter()
+        .map(|&name| {
+            let w = hidisc_workloads::by_name(name, scale, seed)
+                .unwrap_or_else(|| panic!("unknown workload {name}"));
+            let env = env_of(&w);
+            let compiled = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+            let no_cmas = compile(
+                &w.prog,
+                &env,
+                &CompilerConfig { enable_cmas: false, ..CompilerConfig::default() },
+            )
+            .unwrap();
+            let base =
+                hidisc::run_model(Model::Superscalar, &compiled, &env, MachineConfig::paper())
+                    .unwrap();
+
+            let speedup = Ablation::all()
+                .into_iter()
+                .map(|a| {
+                    let mut cfg = MachineConfig::paper();
+                    let c = match a {
+                        Ablation::Full => &compiled,
+                        Ablation::NoCmas => &no_cmas,
+                        Ablation::NextLineAssist => {
+                            cfg.cmp.next_line_assist = true;
+                            &compiled
+                        }
+                        Ablation::ScqDepth(d) => {
+                            cfg.queues.scq = d;
+                            &compiled
+                        }
+                        Ablation::WeakCmp => {
+                            cfg.cmp.issue_width = 1;
+                            cfg.cmp.thread_width = 1;
+                            cfg.cmp.mem_ports = 1;
+                            cfg.cmp.next_line_assist = false;
+                            &compiled
+                        }
+                        Ablation::Dynamic => {
+                            cfg.cmp.dynamic = DynamicConfig::all_on();
+                            &compiled
+                        }
+                    };
+                    let st = hidisc::run_model(Model::HiDisc, c, &env, cfg)
+                        .unwrap_or_else(|e| panic!("{name} ablation {}: {e}", a.label()));
+                    assert_eq!(st.mem_checksum, base.mem_checksum, "{name}: ablation diverged");
+                    (a, st.speedup_over(&base))
+                })
+                .collect();
+            AblationRow { name: w.name, speedup }
+        })
+        .collect()
+}
+
+/// Renders the ablation table.
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    let mut out = String::from("Ablation study: HiDISC speed-up over the baseline superscalar\n");
+    if let Some(first) = rows.first() {
+        out.push_str(&format!("{:<34}", "variant"));
+        for _ in &first.speedup {
+            // header filled below per-column
+        }
+        let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+        for n in &names {
+            out.push_str(&format!("{n:>13}"));
+        }
+        out.push('\n');
+        for (i, (a, _)) in first.speedup.iter().enumerate() {
+            out.push_str(&format!("{:<34}", a.label()));
+            for r in rows {
+                out.push_str(&format!("{:>13.3}", r.speedup[i].1));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Inspection helpers behind `repro report` / `repro diag`
+// ---------------------------------------------------------------------------
+
+/// The compiler's separation report (Figures 3/5-7 walkthrough) for one
+/// suite workload.
+pub fn separation_report(name: &str, scale: Scale, seed: u64) -> String {
+    let w = hidisc_workloads::by_name(name, scale, seed)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let env = env_of(&w);
+    let c = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+    hidisc_slicer::report::render(&c)
+}
+
+/// Runs every model on one workload and renders the machine-level
+/// diagnostics (stall breakdowns, queue traffic, CMP behaviour).
+pub fn diagnostics(name: &str, scale: Scale, seed: u64) -> String {
+    use std::fmt::Write;
+    let w = hidisc_workloads::by_name(name, scale, seed)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let r = run_workload(&w, MachineConfig::paper());
+    let mut out = String::new();
+    let base = r.baseline();
+    let _ = writeln!(out, "=== {} (work = {} dynamic instructions) ===", w.name, base.work_instrs);
+    for st in &r.per_model {
+        let _ = writeln!(
+            out,
+            "\n{}: {} cycles, IPC {:.3}, L1 miss {:.2}%, speed-up {:.3}x",
+            st.model,
+            st.cycles,
+            st.ipc(),
+            100.0 * st.l1_miss_rate(),
+            st.speedup_over(base)
+        );
+        for (n, cs) in &st.cores {
+            let _ = writeln!(
+                out,
+                "  core {n:<12} committed {:>9}  lod {:>6}  q-stalls[LDQ,SDQ,CDQ,CQ,SCQ] {:?}  mem-dep {:>6}  mispred {:>6}",
+                cs.committed, cs.lod_events, cs.dispatch_stall_q, cs.mem_dep_stalls, cs.mispredicts
+            );
+        }
+        if let Some(c) = &st.cmp {
+            let _ = writeln!(
+                out,
+                "  cmp  forks {} (dropped {})  instrs {}  prefetches {} (dropped {})  scq-block {}  done {}",
+                c.forks, c.dropped_forks, c.instrs, c.prefetches, c.dropped_prefetches,
+                c.scq_block_cycles, c.completed_threads
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  mem  useful-pref {}  late-pref {}  pref-accesses {}  mshr-rejects {}",
+            st.mem.l1.useful_prefetch_hits,
+            st.mem.l1.late_prefetch_hits,
+            st.mem.l1.prefetch_accesses,
+            st.mem.mshr_rejects
+        );
+        let q = &st.queues;
+        let _ = writeln!(
+            out,
+            "  queues pushes/pops  LDQ {}/{}  SDQ {}/{}  CDQ {}/{}  CQ {}/{}  SCQ {}/{}",
+            q[0].pushes, q[0].pops, q[1].pushes, q[1].pops, q[2].pushes, q[2].pops,
+            q[3].pushes, q[3].pops, q[4].pushes, q[4].pops
+        );
+    }
+    out
+}
+
+/// Renders the first `cycles` cycles of a HiDISC run as a pipeline trace
+/// (one line per cycle per core), behind `repro trace`.
+pub fn pipeline_trace(name: &str, scale: Scale, seed: u64, cycles: u64) -> String {
+    use std::fmt::Write;
+    let w = hidisc_workloads::by_name(name, scale, seed)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let env = env_of(&w);
+    let c = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+    let mut m = hidisc::Machine::new(Model::HiDisc, &c, &env, MachineConfig::paper());
+    let mut out = String::new();
+    let st = m
+        .run_observed(c.profile.dyn_instrs, |mach| {
+            let _ = write!(out, "cycle {:>6}", mach.now());
+            for s in mach.snapshots() {
+                let _ = write!(out, " | {s}");
+            }
+            if let Some(t) = mach.cmp_threads() {
+                let _ = write!(out, " | CMP threads {t}");
+            }
+            let _ = writeln!(out);
+            mach.now() < cycles
+        })
+        .unwrap();
+    let _ = writeln!(
+        out,
+        "... ran to completion in {} cycles (IPC {:.3})",
+        st.cycles,
+        st.ipc()
+    );
+    out
+}
+
+/// Renders Figure 8 as CSV (for plotting).
+pub fn fig8_csv(rows: &[Fig8Row]) -> String {
+    let mut out = String::from("benchmark,superscalar,cp_ap,cp_cmp,hidisc\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{:.6}\n",
+            r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
+        ));
+    }
+    out
+}
+
+/// Renders Figure 9 as CSV.
+pub fn fig9_csv(rows: &[Fig9Row]) -> String {
+    let mut out = String::from("benchmark,base_miss_rate,cp_ap,cp_cmp,hidisc\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{:.6}\n",
+            r.name, r.base_miss_rate, r.ratio[1], r.ratio[2], r.ratio[3]
+        ));
+    }
+    out
+}
+
+/// Renders Figure 10 as CSV.
+pub fn fig10_csv(series: &[Fig10Series]) -> String {
+    let mut out = String::from("benchmark,l2_latency,mem_latency,superscalar,cp_ap,cp_cmp,hidisc\n");
+    for s in series {
+        for (li, (l2, mem)) in FIG10_LATENCIES.into_iter().enumerate() {
+            let r = s.ipc[li];
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.6},{:.6},{:.6}\n",
+                s.name, l2, mem, r[0], r[1], r[2], r[3]
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Related-work comparison (paper §2): hardware and software prefetching
+// ---------------------------------------------------------------------------
+
+/// One row of the related-work comparison: cycles normalised to the plain
+/// superscalar (higher = faster).
+#[derive(Debug, Clone)]
+pub struct RelatedRow {
+    pub name: &'static str,
+    /// Speed-up over the plain superscalar for:
+    /// [RPT hardware prefetch, software prefetch, CP+CMP, HiDISC].
+    pub speedup: [f64; 4],
+}
+
+/// Compares HiDISC against the two prefetching families of the paper's
+/// Section 2: a Chen-Baer stride prefetcher (the paper's reference \[3\])
+/// and Mowry-style compiler-inserted prefetching (reference \[9\]).
+pub fn related_work(names: &[&str], scale: Scale, seed: u64) -> Vec<RelatedRow> {
+    use hidisc_mem::RptConfig;
+    use hidisc_slicer::swpref::insert_software_prefetch;
+
+    names
+        .iter()
+        .map(|&name| {
+            let w = hidisc_workloads::by_name(name, scale, seed)
+                .unwrap_or_else(|| panic!("unknown workload {name}"));
+            let env = env_of(&w);
+            let compiled = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+
+            let base =
+                run_model(Model::Superscalar, &compiled, &env, MachineConfig::paper()).unwrap();
+
+            // 1. superscalar + hardware stride prefetcher
+            let mut hw_cfg = MachineConfig::paper();
+            hw_cfg.superscalar.hw_prefetcher = Some(RptConfig::default());
+            let hw = run_model(Model::Superscalar, &compiled, &env, hw_cfg).unwrap();
+            assert_eq!(hw.mem_checksum, base.mem_checksum, "{name}: RPT diverged");
+
+            // 2. superscalar running the software-prefetched binary
+            let (sw_prog, _) = insert_software_prefetch(&w.prog, 8);
+            let sw_compiled = compile(&sw_prog, &env, &CompilerConfig::default()).unwrap();
+            let sw =
+                run_model(Model::Superscalar, &sw_compiled, &env, MachineConfig::paper()).unwrap();
+            assert_eq!(sw.mem_checksum, base.mem_checksum, "{name}: swpref diverged");
+
+            // 3 & 4. the paper's models
+            let cp_cmp = run_model(Model::CpCmp, &compiled, &env, MachineConfig::paper()).unwrap();
+            let hidisc =
+                run_model(Model::HiDisc, &compiled, &env, MachineConfig::paper()).unwrap();
+
+            let s = |v: &hidisc::MachineStats| base.cycles as f64 / v.cycles as f64;
+            RelatedRow { name: w.name, speedup: [s(&hw), s(&sw), s(&cp_cmp), s(&hidisc)] }
+        })
+        .collect()
+}
+
+/// Renders the related-work table.
+pub fn render_related(rows: &[RelatedRow]) -> String {
+    let mut out = String::from(
+        "Related-work comparison: speed-up over the plain superscalar\n\
+         benchmark     HW-stride  SW-pref   CP+CMP   HiDISC\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<13} {:>9.3} {:>8.3} {:>8.3} {:>8.3}\n",
+            r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod related_tests {
+    use super::*;
+
+    #[test]
+    fn related_work_comparators_run_and_validate() {
+        let rows = related_work(&["update", "dm"], Scale::Test, 5);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            for (i, s) in r.speedup.iter().enumerate() {
+                assert!(*s > 0.5 && *s < 5.0, "{} variant {i} speedup {s}", r.name);
+            }
+        }
+        assert!(!render_related(&rows).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Machine-level configuration: the four models of the paper and the
+//! Table-1 parameter presets.
+
+use crate::cmp::CmpConfig;
+use hidisc_mem::MemConfig;
+use hidisc_ooo::{CoreConfig, QueueConfig};
+
+/// The four architecture models evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// The 8-issue baseline superscalar.
+    Superscalar,
+    /// Conventional access/execute decoupling: CP + AP.
+    CpAp,
+    /// Cache prefetching only: the superscalar core plus the CMP
+    /// (the paper notes this model is "quite close to DDMT and Speculative
+    /// Precomputation").
+    CpCmp,
+    /// The complete HiDISC: CP + AP + CMP.
+    HiDisc,
+}
+
+impl Model {
+    /// All four models, in the paper's presentation order.
+    pub const ALL: [Model; 4] = [Model::Superscalar, Model::CpAp, Model::CpCmp, Model::HiDisc];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Superscalar => "Superscalar",
+            Model::CpAp => "CP+AP",
+            Model::CpCmp => "CP+CMP",
+            Model::HiDisc => "HiDISC",
+        }
+    }
+
+    /// True when the model includes the Cache Management Processor.
+    pub fn has_cmp(self) -> bool {
+        matches!(self, Model::CpCmp | Model::HiDisc)
+    }
+
+    /// True when the model runs the separated CS/AS streams (vs the
+    /// original single stream).
+    pub fn is_decoupled(self) -> bool {
+        matches!(self, Model::CpAp | Model::HiDisc)
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full configuration of one simulated machine.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Baseline / merged-stream core (Superscalar and CP+CMP models).
+    pub superscalar: CoreConfig,
+    /// Computation Processor core.
+    pub cp: CoreConfig,
+    /// Access Processor core.
+    pub ap: CoreConfig,
+    /// Cache Management Processor engine.
+    pub cmp: CmpConfig,
+    /// Memory hierarchy.
+    pub mem: MemConfig,
+    /// Architectural queue capacities.
+    pub queues: QueueConfig,
+    /// Abort if no instruction commits for this many cycles (deadlock or
+    /// livelock in a mis-sliced program).
+    pub deadlock_cycles: u64,
+    /// Hard cycle budget.
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The Table-1 configuration.
+    pub fn paper() -> MachineConfig {
+        MachineConfig {
+            superscalar: CoreConfig::paper_superscalar(),
+            cp: CoreConfig::paper_cp(),
+            ap: CoreConfig::paper_ap(),
+            cmp: CmpConfig::default(),
+            mem: MemConfig::paper(),
+            queues: QueueConfig::paper(),
+            deadlock_cycles: 100_000,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Table-1 configuration with the Figure-10 latency override.
+    pub fn paper_with_latency(l2: u32, mem: u32) -> MachineConfig {
+        let mut c = MachineConfig::paper();
+        c.mem = MemConfig::paper_with_latency(l2, mem);
+        c
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_properties() {
+        assert!(!Model::Superscalar.has_cmp());
+        assert!(!Model::CpAp.has_cmp());
+        assert!(Model::CpCmp.has_cmp());
+        assert!(Model::HiDisc.has_cmp());
+        assert!(Model::CpAp.is_decoupled());
+        assert!(Model::HiDisc.is_decoupled());
+        assert!(!Model::CpCmp.is_decoupled());
+        assert_eq!(Model::ALL.len(), 4);
+    }
+
+    #[test]
+    fn paper_preset_sane() {
+        let c = MachineConfig::paper();
+        assert_eq!(c.mem.mem_latency, 120);
+        assert_eq!(c.cp.ruu_size, 16);
+        assert_eq!(c.ap.ruu_size, 64);
+        let f10 = MachineConfig::paper_with_latency(16, 160);
+        assert_eq!(f10.mem.l2.latency, 16);
+    }
+}

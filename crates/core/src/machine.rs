@@ -1,0 +1,410 @@
+//! The machine driver: builds one of the four models from a compiled
+//! workload and steps every processor cycle by cycle.
+
+use crate::cmp::CmpEngine;
+use crate::config::{MachineConfig, Model};
+use crate::stats::MachineStats;
+use hidisc_isa::mem::Memory;
+use hidisc_isa::{IntReg, IsaError, Program, Queue, Result};
+use hidisc_mem::MemSystem;
+use hidisc_ooo::{CoreCtx, OooCore, QueueFile, TriggerFork};
+use hidisc_slicer::{CompiledWorkload, ExecEnv};
+
+/// Removes CMP integration annotations — used for the baseline
+/// superscalar, which runs the original binary untouched.
+fn strip_cmp_annotations(p: &Program) -> Program {
+    let mut p = p.clone();
+    for pc in 0..p.len() {
+        let a = p.annot_mut(pc);
+        a.trigger = None;
+        a.scq_get = false;
+    }
+    p
+}
+
+/// One simulated machine instance.
+#[derive(Debug)]
+pub struct Machine {
+    model: Model,
+    cores: Vec<OooCore>,
+    cmp: Option<CmpEngine>,
+    queues: QueueFile,
+    mem_sys: MemSystem,
+    /// Architectural data memory (inspect after `run` for results).
+    pub data: Memory,
+    now: u64,
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    /// Builds a machine of the given model around a compiled workload,
+    /// with the workload's initial registers and memory image.
+    pub fn new(
+        model: Model,
+        w: &CompiledWorkload,
+        env: &ExecEnv,
+        cfg: MachineConfig,
+    ) -> Machine {
+        let mut cores = Vec::new();
+        match model {
+            Model::Superscalar => {
+                cores.push(OooCore::new(
+                    "superscalar",
+                    cfg.superscalar,
+                    strip_cmp_annotations(&w.original),
+                ));
+            }
+            Model::CpCmp => {
+                cores.push(OooCore::new("superscalar+", cfg.superscalar, w.original.clone()));
+            }
+            Model::CpAp | Model::HiDisc => {
+                cores.push(OooCore::new("CP", cfg.cp, w.cs.clone()));
+                cores.push(OooCore::new("AP", cfg.ap, w.access.clone()));
+            }
+        }
+        for core in &mut cores {
+            for &(r, v) in &env.regs {
+                core.set_reg(r, v);
+            }
+        }
+        let cmp = model
+            .has_cmp()
+            .then(|| CmpEngine::new(cfg.cmp, w.cmas.iter().map(|t| t.prog.clone()).collect()));
+
+        Machine {
+            model,
+            cores,
+            cmp,
+            queues: QueueFile::new(cfg.queues),
+            mem_sys: MemSystem::new(cfg.mem),
+            data: env.mem.clone(),
+            now: 0,
+            cfg,
+        }
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Runs to completion (every core commits its `halt`).
+    ///
+    /// `work_instrs` is the dynamic instruction count of the original
+    /// sequential program — the IPC denominator shared by all models.
+    pub fn run(&mut self, work_instrs: u64) -> Result<MachineStats> {
+        let mut triggers: Vec<TriggerFork> = Vec::new();
+        let mut last_committed = 0u64;
+        let mut idle = 0u64;
+
+        while self.cores.iter().any(|c| !c.is_done()) {
+            let Machine { cores, cmp, queues, mem_sys, data, now, .. } = self;
+            for core in cores.iter_mut() {
+                let mut ctx =
+                    CoreCtx { mem_sys, queues, data, triggers: &mut triggers };
+                core.step(*now, &mut ctx)?;
+            }
+            if let Some(engine) = cmp.as_mut() {
+                for t in triggers.drain(..) {
+                    engine.fork(t);
+                }
+                let mut unused = Vec::new();
+                let mut ctx =
+                    CoreCtx { mem_sys, queues, data, triggers: &mut unused };
+                engine.step(*now, &mut ctx)?;
+            } else {
+                triggers.clear();
+            }
+            self.now += 1;
+
+            // Progress watchdog.
+            let committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+            if committed == last_committed {
+                idle += 1;
+                if idle > self.cfg.deadlock_cycles {
+                    return Err(IsaError::Exec {
+                        pc: 0,
+                        msg: format!(
+                            "machine {} made no progress for {} cycles (deadlock?) at cycle {}",
+                            self.model, idle, self.now
+                        ),
+                    });
+                }
+            } else {
+                idle = 0;
+                last_committed = committed;
+            }
+            if self.now > self.cfg.max_cycles {
+                return Err(IsaError::Exec {
+                    pc: 0,
+                    msg: format!("cycle budget exceeded ({})", self.cfg.max_cycles),
+                });
+            }
+        }
+
+        Ok(self.stats(work_instrs))
+    }
+
+    /// Builds the statistics snapshot.
+    fn stats(&self, work_instrs: u64) -> MachineStats {
+        let queues = {
+            let mut out: [hidisc_ooo::queues::QueueStats; 5] = Default::default();
+            for (i, q) in Queue::ALL.into_iter().enumerate() {
+                out[i] = *self.queues.stats(q);
+            }
+            out
+        };
+        MachineStats {
+            model: self.model,
+            cycles: self.now,
+            work_instrs,
+            cores: self.cores.iter().map(|c| (c.name, *c.stats())).collect(),
+            mem: self.mem_sys.stats(),
+            cmp: self.cmp.as_ref().map(|c| c.stats()),
+            queues,
+            mem_checksum: self.data.checksum(),
+        }
+    }
+
+    /// Reads an integer register of core `idx` (result inspection in
+    /// tests).
+    pub fn core_reg(&self, idx: usize, r: IntReg) -> i64 {
+        self.cores[idx].regs.get_i(r)
+    }
+}
+
+/// Convenience wrapper: build + run one model.
+pub fn run_model(
+    model: Model,
+    w: &CompiledWorkload,
+    env: &ExecEnv,
+    cfg: MachineConfig,
+) -> Result<MachineStats> {
+    let mut m = Machine::new(model, w, env, cfg);
+    m.run(w.profile.dyn_instrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+    use hidisc_isa::interp::Interp;
+    use hidisc_slicer::{compile, CompilerConfig};
+
+    /// A pointer-free strided kernel: loads, computes, stores.
+    const KERNEL: &str = r"
+            li r1, 0x100000
+            li r2, 256
+        loop:
+            ld r3, 0(r1)
+            add r4, r3, 5
+            sd r4, 0x80000(r1)
+            add r1, r1, 64
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ";
+
+    fn compiled() -> (CompiledWorkload, ExecEnv) {
+        let p = assemble("k", KERNEL).unwrap();
+        let mut mem = Memory::new();
+        for i in 0..4096u64 {
+            mem.write_i64(0x100000 + i * 8, i as i64).unwrap();
+        }
+        let env = ExecEnv { regs: vec![], mem, max_steps: 10_000_000 };
+        let w = compile(&p, &env, &CompilerConfig::default()).unwrap();
+        (w, env)
+    }
+
+    fn golden(env: &ExecEnv) -> u64 {
+        let p = assemble("k", KERNEL).unwrap();
+        let mut i = Interp::new(&p, env.mem.clone());
+        i.run(10_000_000).unwrap();
+        i.mem.checksum()
+    }
+
+    #[test]
+    fn all_models_produce_identical_memory() {
+        let (w, env) = compiled();
+        let want = golden(&env);
+        for model in Model::ALL {
+            let stats = run_model(model, &w, &env, MachineConfig::paper()).unwrap();
+            assert_eq!(stats.mem_checksum, want, "model {model} diverged");
+            assert!(stats.cycles > 0);
+            assert_eq!(stats.work_instrs, w.profile.dyn_instrs);
+        }
+    }
+
+    #[test]
+    fn cmp_models_reduce_misses_on_strided_kernel() {
+        let (w, env) = compiled();
+        let base = run_model(Model::Superscalar, &w, &env, MachineConfig::paper()).unwrap();
+        let hidisc = run_model(Model::HiDisc, &w, &env, MachineConfig::paper()).unwrap();
+        assert!(
+            hidisc.l1_miss_rate() < base.l1_miss_rate(),
+            "HiDISC {:.3} vs base {:.3}",
+            hidisc.l1_miss_rate(),
+            base.l1_miss_rate()
+        );
+        let cmp = hidisc.cmp.unwrap();
+        assert!(cmp.forks >= 1);
+        assert!(cmp.prefetches > 0);
+    }
+
+    #[test]
+    fn hidisc_not_slower_than_baseline_here() {
+        let (w, env) = compiled();
+        let base = run_model(Model::Superscalar, &w, &env, MachineConfig::paper()).unwrap();
+        let hidisc = run_model(Model::HiDisc, &w, &env, MachineConfig::paper()).unwrap();
+        let s = hidisc.speedup_over(&base);
+        assert!(s > 0.9, "speedup {s:.3}");
+    }
+
+    #[test]
+    fn decoupled_queues_carry_traffic() {
+        let (w, env) = compiled();
+        let st = run_model(Model::CpAp, &w, &env, MachineConfig::paper()).unwrap();
+        // LDQ and CQ must both have flowed.
+        assert!(st.queues[0].pushes > 0, "LDQ unused");
+        assert!(st.queues[3].pushes > 0, "CQ unused");
+        // pushes == pops at termination for matched streams
+        assert_eq!(st.queues[0].pushes, st.queues[0].pops);
+        assert_eq!(st.queues[3].pushes, st.queues[3].pops);
+    }
+
+    #[test]
+    fn latency_sweep_hurts_baseline_more() {
+        let (w, env) = compiled();
+        let base_fast =
+            run_model(Model::Superscalar, &w, &env, MachineConfig::paper_with_latency(4, 40))
+                .unwrap();
+        let base_slow =
+            run_model(Model::Superscalar, &w, &env, MachineConfig::paper_with_latency(16, 160))
+                .unwrap();
+        let hd_fast =
+            run_model(Model::HiDisc, &w, &env, MachineConfig::paper_with_latency(4, 40)).unwrap();
+        let hd_slow =
+            run_model(Model::HiDisc, &w, &env, MachineConfig::paper_with_latency(16, 160))
+                .unwrap();
+        let base_loss = base_fast.ipc() / base_slow.ipc();
+        let hd_loss = hd_fast.ipc() / hd_slow.ipc();
+        assert!(
+            hd_loss < base_loss,
+            "HiDISC should tolerate latency better: hd {hd_loss:.3} vs base {base_loss:.3}"
+        );
+    }
+}
+
+impl Machine {
+    /// Captures pipeline snapshots of every core (for traces).
+    pub fn snapshots(&self) -> Vec<hidisc_ooo::core::PipelineSnapshot> {
+        self.cores.iter().map(|c| c.snapshot()).collect()
+    }
+
+    /// Live CMP thread count, if this model has a CMP.
+    pub fn cmp_threads(&self) -> Option<usize> {
+        self.cmp.as_ref().map(|c| c.live_threads())
+    }
+
+    /// Runs like [`Machine::run`] but invokes `observer` after every cycle
+    /// until it returns `false` (observation stops; simulation continues).
+    pub fn run_observed(
+        &mut self,
+        work_instrs: u64,
+        mut observer: impl FnMut(&Machine) -> bool,
+    ) -> Result<MachineStats> {
+        let mut observing = true;
+        let mut triggers: Vec<TriggerFork> = Vec::new();
+        let mut last_committed = 0u64;
+        let mut idle = 0u64;
+        while self.cores.iter().any(|c| !c.is_done()) {
+            {
+                let Machine { cores, cmp, queues, mem_sys, data, now, .. } = self;
+                for core in cores.iter_mut() {
+                    let mut ctx = CoreCtx { mem_sys, queues, data, triggers: &mut triggers };
+                    core.step(*now, &mut ctx)?;
+                }
+                if let Some(engine) = cmp.as_mut() {
+                    for t in triggers.drain(..) {
+                        engine.fork(t);
+                    }
+                    let mut unused = Vec::new();
+                    let mut ctx = CoreCtx { mem_sys, queues, data, triggers: &mut unused };
+                    engine.step(*now, &mut ctx)?;
+                } else {
+                    triggers.clear();
+                }
+            }
+            self.now += 1;
+            if observing {
+                observing = observer(self);
+            }
+            let committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+            if committed == last_committed {
+                idle += 1;
+                if idle > self.cfg.deadlock_cycles {
+                    return Err(IsaError::Exec {
+                        pc: 0,
+                        msg: format!("machine {} deadlocked at cycle {}", self.model, self.now),
+                    });
+                }
+            } else {
+                idle = 0;
+                last_committed = committed;
+            }
+            if self.now > self.cfg.max_cycles {
+                return Err(IsaError::Exec { pc: 0, msg: "cycle budget exceeded".into() });
+            }
+        }
+        Ok(self.stats(work_instrs))
+    }
+}
+
+#[cfg(test)]
+mod observer_tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+    use hidisc_slicer::{compile, CompilerConfig};
+
+    #[test]
+    fn observer_sees_every_cycle_until_it_stops() {
+        let p = assemble(
+            "t",
+            "li r1, 0x1000\nli r2, 32\nloop:\nld r3, 0(r1)\nadd r1, r1, 8\nsub r2, r2, 1\nbne r2, r0, loop\nhalt",
+        )
+        .unwrap();
+        let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 100_000 };
+        let w = compile(&p, &env, &CompilerConfig::default()).unwrap();
+        let mut m = Machine::new(Model::HiDisc, &w, &env, MachineConfig::paper());
+        let mut observed = 0u64;
+        let st = m
+            .run_observed(w.profile.dyn_instrs, |mach| {
+                observed += 1;
+                assert_eq!(mach.now(), observed);
+                assert_eq!(mach.snapshots().len(), 2); // CP + AP
+                observed < 50 // stop observing after 50 cycles
+            })
+            .unwrap();
+        assert_eq!(observed, 50.min(st.cycles));
+        assert!(st.cycles > 0);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        let p = assemble(
+            "t",
+            "li r1, 0x1000\nli r2, 16\nloop:\nld r3, 0(r1)\nsd r3, 0x100(r1)\nadd r1, r1, 8\nsub r2, r2, 1\nbne r2, r0, loop\nhalt",
+        )
+        .unwrap();
+        let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 100_000 };
+        let w = compile(&p, &env, &CompilerConfig::default()).unwrap();
+        let a = Machine::new(Model::HiDisc, &w, &env, MachineConfig::paper())
+            .run(w.profile.dyn_instrs)
+            .unwrap();
+        let b = Machine::new(Model::HiDisc, &w, &env, MachineConfig::paper())
+            .run_observed(w.profile.dyn_instrs, |_| true)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mem_checksum, b.mem_checksum);
+    }
+}

@@ -1,0 +1,131 @@
+//! Machine-level statistics: the measures reported in the paper's
+//! evaluation (IPC, speed-up, cache miss rate, loss-of-decoupling).
+
+use crate::cmp::CmpStats;
+use crate::config::Model;
+use hidisc_mem::MemStats;
+use hidisc_ooo::queues::QueueStats;
+use hidisc_ooo::CoreStats;
+
+/// Statistics of one simulated run.
+#[derive(Debug, Clone)]
+pub struct MachineStats {
+    /// Which model ran.
+    pub model: Model,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Useful work: dynamic instructions of the *original sequential
+    /// program* (identical across models for the same workload).
+    pub work_instrs: u64,
+    /// Per-core statistics `(name, stats)`.
+    pub cores: Vec<(&'static str, CoreStats)>,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+    /// CMP statistics (models with a CMP).
+    pub cmp: Option<CmpStats>,
+    /// Queue statistics in [`hidisc_isa::Queue::ALL`] order.
+    pub queues: [QueueStats; 5],
+    /// Checksum of the final data memory (for cross-model validation).
+    pub mem_checksum: u64,
+}
+
+impl MachineStats {
+    /// Instructions per cycle, in *useful work* terms: decoupled models
+    /// are not credited for duplicated control or communication
+    /// instructions.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.work_instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speed-up of this run relative to a baseline run of the same
+    /// workload.
+    pub fn speedup_over(&self, baseline: &MachineStats) -> f64 {
+        assert_eq!(
+            self.work_instrs, baseline.work_instrs,
+            "speed-up requires identical workloads"
+        );
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// L1 demand miss rate of this run.
+    pub fn l1_miss_rate(&self) -> f64 {
+        self.mem.l1.demand_miss_rate()
+    }
+
+    /// Relative L1 demand miss rate vs a baseline (the quantity plotted in
+    /// Figure 9; < 1.0 means misses were eliminated).
+    pub fn miss_rate_ratio(&self, baseline: &MachineStats) -> f64 {
+        let b = baseline.l1_miss_rate();
+        if b == 0.0 {
+            1.0
+        } else {
+            self.l1_miss_rate() / b
+        }
+    }
+
+    /// Total loss-of-decoupling events across cores.
+    pub fn lod_events(&self) -> u64 {
+        self.cores.iter().map(|(_, s)| s.lod_events).sum()
+    }
+
+    /// Total committed instructions across cores (includes duplicated
+    /// control and queue-communication overhead).
+    pub fn total_committed(&self) -> u64 {
+        self.cores.iter().map(|(_, s)| s.committed).sum()
+    }
+
+    /// Communication/duplication overhead factor: committed instructions
+    /// across all processors divided by useful work.
+    pub fn overhead_factor(&self) -> f64 {
+        if self.work_instrs == 0 {
+            0.0
+        } else {
+            self.total_committed() as f64 / self.work_instrs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(model: Model, cycles: u64, work: u64) -> MachineStats {
+        MachineStats {
+            model,
+            cycles,
+            work_instrs: work,
+            cores: vec![],
+            mem: MemStats::default(),
+            cmp: None,
+            queues: Default::default(),
+            mem_checksum: 0,
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = stats(Model::Superscalar, 1000, 2000);
+        let fast = stats(Model::HiDisc, 800, 2000);
+        assert!((base.ipc() - 2.0).abs() < 1e-12);
+        assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn speedup_rejects_mismatched_work() {
+        let a = stats(Model::Superscalar, 1000, 2000);
+        let b = stats(Model::HiDisc, 800, 2001);
+        let _ = b.speedup_over(&a);
+    }
+
+    #[test]
+    fn miss_ratio_guards_zero_baseline() {
+        let a = stats(Model::Superscalar, 1, 1);
+        let b = stats(Model::HiDisc, 1, 1);
+        assert_eq!(b.miss_rate_ratio(&a), 1.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end tests of the dynamic extensions (the paper's Section-6
+//! future work) on a real workload: correctness is unaffected and the
+//! controllers actually act.
+
+use hidisc::{run_model, DynamicConfig, MachineConfig, Model};
+use hidisc_isa::asm::assemble;
+use hidisc_isa::mem::Memory;
+use hidisc_slicer::{compile, CompilerConfig, ExecEnv};
+
+/// A strided miss-heavy kernel plus a second loop whose data is already
+/// cache-resident (so its slice is "unnecessary" in the selective-trigger
+/// sense).
+fn workload() -> (hidisc_slicer::CompiledWorkload, ExecEnv) {
+    workload_with(&CompilerConfig::default())
+}
+
+fn workload_with(cc: &CompilerConfig) -> (hidisc_slicer::CompiledWorkload, ExecEnv) {
+    let prog = assemble(
+        "dyn",
+        r"
+            li r1, 0x100000
+            li r2, 2048
+        loop1:
+            ld r3, 0(r1)
+            add r4, r3, 1
+            sd r4, 0x100000(r1)
+            add r1, r1, 64
+            sub r2, r2, 1
+            bne r2, r0, loop1
+            ; second phase: re-walk a small, now-hot region repeatedly
+            li r9, 64
+        outer:
+            li r1, 0x100000
+            li r2, 64
+        loop2:
+            ld r3, 0(r1)
+            add r1, r1, 8
+            sub r2, r2, 1
+            bne r2, r0, loop2
+            sub r9, r9, 1
+            bne r9, r0, outer
+            halt
+        ",
+    )
+    .unwrap();
+    let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 10_000_000 };
+    let w = compile(&prog, &env, cc).unwrap();
+    (w, env)
+}
+
+fn cfg_with_dynamic() -> MachineConfig {
+    let mut cfg = MachineConfig::paper();
+    cfg.cmp.dynamic = DynamicConfig::all_on();
+    cfg
+}
+
+#[test]
+fn dynamic_machine_is_architecturally_identical() {
+    let (w, env) = workload();
+    let plain = run_model(Model::HiDisc, &w, &env, MachineConfig::paper()).unwrap();
+    let dynamic = run_model(Model::HiDisc, &w, &env, cfg_with_dynamic()).unwrap();
+    assert_eq!(plain.mem_checksum, dynamic.mem_checksum);
+    // Performance in the same ballpark (the controllers must not wreck the
+    // machine).
+    let ratio = plain.cycles as f64 / dynamic.cycles as f64;
+    assert!((0.7..1.4).contains(&ratio), "dynamic/static cycle ratio {ratio:.3}");
+}
+
+#[test]
+fn adaptive_slip_takes_adaptation_steps() {
+    let (w, env) = workload();
+    let st = run_model(Model::HiDisc, &w, &env, cfg_with_dynamic()).unwrap();
+    let cmp = st.cmp.expect("HiDISC has a CMP");
+    assert!(cmp.prefetches > 0);
+    assert!(
+        cmp.slip_adaptations > 0,
+        "the slip controller should have adapted at least once ({cmp:?})"
+    );
+}
+
+#[test]
+fn selective_trigger_suppresses_hot_region_slices() {
+    // Lower the profiling threshold so the phase-2 loop — whose only
+    // misses are its first pass over the already-touched region — still
+    // gets a CMAS. At run time its prefetches almost always hit (the
+    // region stays hot across the 64 outer iterations), so the filter
+    // must start suppressing its forks.
+    let cc = CompilerConfig { miss_rate_threshold: 0.001, min_misses: 4, ..Default::default() };
+    let (w, env) = workload_with(&cc);
+    assert!(w.cmas.len() >= 2, "both phases must have slices ({})", w.cmas.len());
+    let mut cfg = cfg_with_dynamic();
+    cfg.cmp.dynamic.min_observations = 32;
+    let st = run_model(Model::HiDisc, &w, &env, cfg).unwrap();
+    let cmp = st.cmp.expect("HiDISC has a CMP");
+    assert!(
+        cmp.forks + cmp.suppressed_forks > 10,
+        "the phase-2 trigger fires once per outer iteration ({cmp:?})"
+    );
+    assert!(
+        cmp.suppressed_forks > 0,
+        "forks of the useless slice should be suppressed ({cmp:?})"
+    );
+}
+
+#[test]
+fn dynamic_config_off_is_truly_off() {
+    let (w, env) = workload();
+    let st = run_model(Model::HiDisc, &w, &env, MachineConfig::paper()).unwrap();
+    let cmp = st.cmp.expect("HiDISC has a CMP");
+    assert_eq!(cmp.slip_adaptations, 0);
+    assert_eq!(cmp.suppressed_forks, 0);
+}

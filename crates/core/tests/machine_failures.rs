@@ -1,0 +1,98 @@
+//! Failure-injection tests for the machine driver: a mis-sliced program
+//! must be *diagnosed* (deadlock watchdog, cycle budget), never silently
+//! wedged.
+
+use hidisc::{Machine, MachineConfig, Model};
+use hidisc_isa::asm::assemble;
+use hidisc_isa::mem::Memory;
+use hidisc_slicer::profile::MissProfile;
+use hidisc_slicer::{CompiledWorkload, ExecEnv};
+
+/// Hand-builds a (deliberately broken) compiled workload.
+fn bogus_workload(cs_src: &str, as_src: &str) -> CompiledWorkload {
+    let original = assemble("orig", "nop\nhalt").unwrap();
+    CompiledWorkload {
+        original,
+        cs: assemble("cs", cs_src).unwrap(),
+        access: assemble("as", as_src).unwrap(),
+        cmas: vec![],
+        profile: MissProfile::default(),
+    }
+}
+
+fn env() -> ExecEnv {
+    ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 1000 }
+}
+
+#[test]
+fn unmatched_recv_deadlocks_with_diagnosis() {
+    // CP pops an LDQ value nobody ever pushes.
+    let w = bogus_workload("recv r1, LDQ\nhalt", "nop\nhalt");
+    let mut cfg = MachineConfig::paper();
+    cfg.deadlock_cycles = 2_000;
+    let mut m = Machine::new(Model::CpAp, &w, &env(), cfg);
+    let err = m.run(2).unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("no progress") || msg.contains("deadlock"), "{msg}");
+}
+
+#[test]
+fn unmatched_sdq_store_deadlocks() {
+    // AP stores data from an SDQ that the CS never feeds.
+    let w = bogus_workload("halt", "li r1, 0x4000\ns.d SDQ, 0(r1)\nhalt");
+    let mut cfg = MachineConfig::paper();
+    cfg.deadlock_cycles = 2_000;
+    let mut m = Machine::new(Model::CpAp, &w, &env(), cfg);
+    assert!(m.run(3).is_err());
+}
+
+#[test]
+fn cycle_budget_is_enforced() {
+    // An infinite loop trips max_cycles even though it keeps committing.
+    let spin = "loop:\nadd r1, r1, 1\nj loop\nhalt";
+    let w = bogus_workload("halt", spin);
+    let mut cfg = MachineConfig::paper();
+    cfg.max_cycles = 5_000;
+    let mut m = Machine::new(Model::CpAp, &w, &env(), cfg);
+    let err = m.run(1).unwrap_err();
+    assert!(format!("{err}").contains("budget"), "{err}");
+}
+
+#[test]
+fn fp_on_access_processor_is_rejected() {
+    // The separator guarantees no FP compute in the AS; feeding some in by
+    // hand must produce a clean configuration error, not a wedge.
+    let w = bogus_workload("halt", "add.d f1, f2, f3\nhalt");
+    let mut m = Machine::new(Model::CpAp, &w, &env(), MachineConfig::paper());
+    let err = m.run(1).unwrap_err();
+    assert!(format!("{err}").contains("fp"), "{err}");
+}
+
+#[test]
+fn memory_instruction_on_cp_is_rejected() {
+    let w = bogus_workload("ld r1, 0(r2)\nhalt", "halt");
+    let mut m = Machine::new(Model::CpAp, &w, &env(), MachineConfig::paper());
+    let err = m.run(1).unwrap_err();
+    assert!(format!("{err}").contains("memory"), "{err}");
+}
+
+#[test]
+fn mismatched_cq_direction_is_wrong_but_terminates_or_deadlocks() {
+    // CS consumes two tokens, AS produces one: the second cbranch blocks
+    // forever → watchdog.
+    let mut access = assemble("as", "li r1, 1\nbne r1, r0, over\nnop\nover:\nhalt").unwrap();
+    access.annot_mut(1).push_cq = true;
+    let cs = assemble("cs", "cbr a\na:\ncbr b\nb:\nhalt").unwrap();
+    let original = assemble("orig", "nop\nhalt").unwrap();
+    let w = CompiledWorkload {
+        original,
+        cs,
+        access,
+        cmas: vec![],
+        profile: MissProfile::default(),
+    };
+    let mut cfg = MachineConfig::paper();
+    cfg.deadlock_cycles = 2_000;
+    let mut m = Machine::new(Model::CpAp, &w, &env(), cfg);
+    assert!(m.run(4).is_err());
+}

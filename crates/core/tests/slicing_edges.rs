@@ -1,0 +1,141 @@
+//! Edge cases of the stream separator's communication planning, verified
+//! both structurally and by functional decoupled equivalence:
+//!
+//! * store data with *mixed* reaching definitions (one stream per path)
+//!   must fall back from the SDQ to the def-position CDQ discipline;
+//! * constants used by both streams are rematerialised, not communicated;
+//! * path-dependent LDQ traffic still matches exactly.
+
+use hidisc::funcval;
+use hidisc::{run_model, MachineConfig, Model};
+use hidisc_isa::asm::assemble;
+use hidisc_isa::mem::Memory;
+use hidisc_isa::{Instr, Queue};
+use hidisc_slicer::{compile, CompilerConfig, ExecEnv};
+
+fn compiled(src: &str, cells: &[(u64, i64)]) -> (hidisc_slicer::CompiledWorkload, ExecEnv) {
+    let prog = assemble("edge", src).unwrap();
+    let mut mem = Memory::new();
+    for &(a, v) in cells {
+        mem.write_i64(a, v).unwrap();
+    }
+    let env = ExecEnv { regs: vec![], mem, max_steps: 1_000_000 };
+    let w = compile(&prog, &env, &CompilerConfig::default()).unwrap();
+    funcval::validate(&w, &env).expect("decoupled equivalence");
+    (w, env)
+}
+
+fn count(p: &hidisc_isa::Program, f: impl Fn(&Instr) -> bool) -> usize {
+    p.instrs().iter().filter(|i| f(i)).count()
+}
+
+#[test]
+fn mixed_definition_store_data_uses_cdq_not_sdq() {
+    // r3 is defined by an AS load on one path and by CS arithmetic on the
+    // other; the store must read the register (CDQ shadow), not the SDQ.
+    let (w, env) = compiled(
+        r"
+            li r1, 0x1000
+            ld r9, 0x100(r1)
+            beq r9, r0, else
+            ld r3, 0(r1)
+            j join
+        else:
+            ld r4, 8(r1)
+            mul r5, r4, r4
+            cvt.d.l f1, r5
+            cvt.l.d r3, f1
+        join:
+            sd r3, 16(r1)
+            halt
+        ",
+        &[(0x1100, 1), (0x1000, 42), (0x1008, 6)],
+    );
+    // No SDQ store: the store reads its register.
+    assert_eq!(count(&w.access, |i| matches!(i, Instr::StoreQ { .. })), 0, "{}", w.access);
+    // The CS definition ships through the CDQ at its program point.
+    assert!(count(&w.access, |i| matches!(i, Instr::RecvI { q: Queue::Cdq, .. })) >= 1);
+    // All four models still agree.
+    let golden = run_model(Model::Superscalar, &w, &env, MachineConfig::paper()).unwrap();
+    for m in [Model::CpAp, Model::HiDisc] {
+        let st = run_model(m, &w, &env, MachineConfig::paper()).unwrap();
+        assert_eq!(st.mem_checksum, golden.mem_checksum, "{m}");
+    }
+}
+
+#[test]
+fn pure_cs_store_data_keeps_the_sdq_fast_path() {
+    // Both paths produce the store data in the CS: SDQ applies.
+    let (w, _) = compiled(
+        r"
+            li r1, 0x1000
+            ld r9, 0x100(r1)
+            ld r2, 0(r1)
+            beq r9, r0, else
+            add r3, r2, 1
+            j join
+        else:
+            add r3, r2, 2
+        join:
+            sd r3, 16(r1)
+            halt
+        ",
+        &[(0x1100, 1), (0x1000, 10)],
+    );
+    assert_eq!(count(&w.access, |i| matches!(i, Instr::StoreQ { q: Queue::Sdq, .. })), 1);
+    assert_eq!(count(&w.cs, |i| matches!(i, Instr::SendI { q: Queue::Sdq, .. })), 1);
+    assert_eq!(count(&w.access, |i| matches!(i, Instr::RecvI { q: Queue::Cdq, .. })), 0);
+}
+
+#[test]
+fn path_dependent_ldq_traffic_matches() {
+    // A load under a conditional: its LDQ push and the CS recv sit
+    // at the same program point, so taken/not-taken paths stay balanced.
+    let (w, env) = compiled(
+        r"
+            li r1, 0x1000
+            li r6, 4
+        loop:
+            ld r9, 0x100(r1)
+            beq r9, r0, skip
+            ld r2, 0(r1)
+            cvt.d.l f1, r2
+            add.d f2, f2, f1
+        skip:
+            add r1, r1, 8
+            sub r6, r6, 1
+            bne r6, r0, loop
+            s.d f2, 0x2000(r0)
+            halt
+        ",
+        &[(0x1100, 1), (0x1110, 1), (0x1000, 3), (0x1010, 5)],
+    );
+    let st = run_model(Model::CpAp, &w, &env, MachineConfig::paper()).unwrap();
+    // Queue balance at termination (the decisive invariant).
+    assert_eq!(st.queues[0].pushes, st.queues[0].pops, "LDQ balance");
+    assert_eq!(st.queues[3].pushes, st.queues[3].pops, "CQ balance");
+}
+
+#[test]
+fn constants_used_by_both_streams_are_rematerialised() {
+    let (w, _) = compiled(
+        r"
+            li r1, 0x1000
+            li r7, 3
+            ld r2, 0(r1)
+            add r3, r2, r7
+            cvt.d.l f1, r3
+            mul r8, r7, 8
+            add r9, r1, r8
+            s.d f1, 0(r9)
+            halt
+        ",
+        &[(0x1000, 5)],
+    );
+    // r7 is used by the CS (add feeding fp) and by the AS (address
+    // arithmetic): both streams materialise it; no queue traffic for it.
+    let cs_li = count(&w.cs, |i| matches!(i, Instr::Li { imm: 3, .. }));
+    let as_li = count(&w.access, |i| matches!(i, Instr::Li { imm: 3, .. }));
+    assert!(cs_li >= 1 && as_li >= 1, "cs {cs_li} as {as_li}\nCS:\n{}\nAS:\n{}", w.cs, w.access);
+    assert_eq!(count(&w.access, |i| matches!(i, Instr::RecvI { q: Queue::Cdq, .. })), 0);
+}

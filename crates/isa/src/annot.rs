@@ -1,0 +1,73 @@
+//! Per-instruction annotations.
+//!
+//! The HiDISC compiler communicates its stream-separation decisions to the
+//! hardware through an annotation field attached to every instruction —
+//! exactly as the paper does with the annotation field of the SimpleScalar
+//! binary. The separator in the simulated front-end reads this field to
+//! route instructions to the Computation or Access instruction queue, and
+//! the Access Processor uses the trigger annotation to fork CMAS threads
+//! onto the Cache Management Processor.
+
+/// Which stream an instruction belongs to after separation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Stream {
+    /// Computation Stream: executed by the Computation Processor.
+    #[default]
+    Computation,
+    /// Access Stream: executed by the Access Processor (all memory and
+    /// control instructions plus their backward slices).
+    Access,
+}
+
+/// The annotation field of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Annot {
+    /// Stream this instruction was assigned to by the separator.
+    pub stream: Stream,
+    /// True if this instruction is part of a Cache Miss Access Slice.
+    pub cmas: bool,
+    /// If set, committing this instruction on the Access Processor forks
+    /// CMAS thread `trigger` onto the CMP (with a copy of the AP's
+    /// committed register file).
+    pub trigger: Option<u32>,
+    /// For control instructions in the Access Stream: push a branch-outcome
+    /// token to the Control Queue at commit, to steer the Computation
+    /// Stream's matching consume-branch.
+    pub push_cq: bool,
+    /// Marked by the cache-access profiler: this static load is a probable
+    /// cache-miss instruction (a CMAS seed).
+    pub probable_miss: bool,
+    /// Slip control: committing this instruction decrements the SCQ
+    /// semaphore (never blocking) — the compiler sets this on loop-latch
+    /// branches of loops that have a CMAS thread, playing the role of the
+    /// paper's `GET_SCQ` without perturbing the instruction layout.
+    pub scq_get: bool,
+}
+
+impl Annot {
+    /// Annotation for an instruction in the given stream, everything else
+    /// default.
+    pub fn in_stream(stream: Stream) -> Annot {
+        Annot { stream, ..Annot::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_computation_no_flags() {
+        let a = Annot::default();
+        assert_eq!(a.stream, Stream::Computation);
+        assert!(!a.cmas && !a.push_cq && !a.probable_miss && !a.scq_get);
+        assert_eq!(a.trigger, None);
+    }
+
+    #[test]
+    fn in_stream_sets_only_stream() {
+        let a = Annot::in_stream(Stream::Access);
+        assert_eq!(a.stream, Stream::Access);
+        assert!(!a.cmas);
+    }
+}

@@ -1,0 +1,348 @@
+//! Fluent Rust API for constructing DISA programs.
+//!
+//! The workload crate generates its kernels through this builder rather
+//! than through assembler text when parameterisation (sizes, strides,
+//! unrolling) is easier in Rust. Forward label references are supported and
+//! resolved by [`ProgramBuilder::finish`].
+//!
+//! ```
+//! use hidisc_isa::builder::ProgramBuilder;
+//! use hidisc_isa::{IntReg, BranchCond};
+//!
+//! let r1 = IntReg::new(1);
+//! let r2 = IntReg::new(2);
+//! let mut b = ProgramBuilder::new("count");
+//! b.li(r1, 0).li(r2, 10).label("loop");
+//! b.addi(r1, r1, 1).subi(r2, r2, 1);
+//! b.branch(BranchCond::Ne, r2, IntReg::ZERO, "loop");
+//! b.halt();
+//! let p = b.finish().unwrap();
+//! assert_eq!(p.len(), 6);
+//! ```
+
+use crate::instr::{BranchCond, Instr, Src, Width};
+use crate::op::{FpBinOp, FpCmpOp, FpUnOp, IntOp};
+use crate::program::Program;
+use crate::reg::{FpReg, IntReg, Queue};
+use crate::{IsaError, Result};
+
+/// Builder for [`Program`] with symbolic labels.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    prog: Program,
+    fixups: Vec<(u32, String)>,
+    errors: Vec<IsaError>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for a program with the given name.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder { prog: Program::new(name), fixups: Vec::new(), errors: Vec::new() }
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        if let Err(e) = self.prog.add_label(name, self.prog.len()) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn raw(&mut self, i: Instr) -> &mut Self {
+        self.prog.push(i);
+        self
+    }
+
+    /// Emits a control instruction targeting `label` (resolved at finish).
+    fn control(&mut self, i: Instr, label: impl Into<String>) -> &mut Self {
+        let pc = self.prog.push(i);
+        self.fixups.push((pc, label.into()));
+        self
+    }
+
+    // ---- integer ----
+
+    /// `li dst, imm`.
+    pub fn li(&mut self, dst: IntReg, imm: i64) -> &mut Self {
+        self.raw(Instr::Li { dst, imm })
+    }
+
+    /// Three-register ALU op.
+    pub fn int_op(&mut self, op: IntOp, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
+        self.raw(Instr::IntOp { op, dst, a, b: Src::Reg(b) })
+    }
+
+    /// Register-immediate ALU op.
+    pub fn int_opi(&mut self, op: IntOp, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
+        self.raw(Instr::IntOp { op, dst, a, b: Src::Imm(imm) })
+    }
+
+    /// `add dst, a, b`.
+    pub fn add(&mut self, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
+        self.int_op(IntOp::Add, dst, a, b)
+    }
+
+    /// `add dst, a, imm`.
+    pub fn addi(&mut self, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
+        self.int_opi(IntOp::Add, dst, a, imm)
+    }
+
+    /// `sub dst, a, b`.
+    pub fn sub(&mut self, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
+        self.int_op(IntOp::Sub, dst, a, b)
+    }
+
+    /// `sub dst, a, imm`.
+    pub fn subi(&mut self, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
+        self.int_opi(IntOp::Sub, dst, a, imm)
+    }
+
+    /// `mul dst, a, b`.
+    pub fn mul(&mut self, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
+        self.int_op(IntOp::Mul, dst, a, b)
+    }
+
+    /// `mul dst, a, imm`.
+    pub fn muli(&mut self, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
+        self.int_opi(IntOp::Mul, dst, a, imm)
+    }
+
+    /// `and dst, a, imm`.
+    pub fn andi(&mut self, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
+        self.int_opi(IntOp::And, dst, a, imm)
+    }
+
+    /// `sll dst, a, imm` (shift-left by constant; the idiom for scaling an
+    /// index to a byte offset).
+    pub fn slli(&mut self, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
+        self.int_opi(IntOp::Sll, dst, a, imm)
+    }
+
+    /// `srl dst, a, imm`.
+    pub fn srli(&mut self, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
+        self.int_opi(IntOp::Srl, dst, a, imm)
+    }
+
+    /// `xor dst, a, b`.
+    pub fn xor(&mut self, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
+        self.int_op(IntOp::Xor, dst, a, b)
+    }
+
+    /// Register move (`add dst, src, r0`).
+    pub fn mov(&mut self, dst: IntReg, src: IntReg) -> &mut Self {
+        self.int_op(IntOp::Add, dst, src, IntReg::ZERO)
+    }
+
+    /// `rem dst, a, imm`.
+    pub fn remi(&mut self, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
+        self.int_opi(IntOp::Rem, dst, a, imm)
+    }
+
+    // ---- floating point ----
+
+    /// `op.d dst, a, b`.
+    pub fn fp_bin(&mut self, op: FpBinOp, dst: FpReg, a: FpReg, b: FpReg) -> &mut Self {
+        self.raw(Instr::FpBin { op, dst, a, b })
+    }
+
+    /// `op.d dst, a`.
+    pub fn fp_un(&mut self, op: FpUnOp, dst: FpReg, a: FpReg) -> &mut Self {
+        self.raw(Instr::FpUn { op, dst, a })
+    }
+
+    /// `c.xx.d dst, a, b`.
+    pub fn fp_cmp(&mut self, op: FpCmpOp, dst: IntReg, a: FpReg, b: FpReg) -> &mut Self {
+        self.raw(Instr::FpCmp { op, dst, a, b })
+    }
+
+    /// `cvt.d.l dst, src`.
+    pub fn cvt_if(&mut self, dst: FpReg, src: IntReg) -> &mut Self {
+        self.raw(Instr::CvtIf { dst, src })
+    }
+
+    /// `cvt.l.d dst, src`.
+    pub fn cvt_fi(&mut self, dst: IntReg, src: FpReg) -> &mut Self {
+        self.raw(Instr::CvtFi { dst, src })
+    }
+
+    // ---- memory ----
+
+    /// `ld dst, off(base)` — 8-byte load.
+    pub fn ld(&mut self, dst: IntReg, base: IntReg, off: i32) -> &mut Self {
+        self.raw(Instr::Load { dst, base, off, width: Width::D, signed: true })
+    }
+
+    /// `lbu dst, off(base)` — unsigned byte load.
+    pub fn lbu(&mut self, dst: IntReg, base: IntReg, off: i32) -> &mut Self {
+        self.raw(Instr::Load { dst, base, off, width: Width::B, signed: false })
+    }
+
+    /// `lw dst, off(base)` — signed 4-byte load.
+    pub fn lw(&mut self, dst: IntReg, base: IntReg, off: i32) -> &mut Self {
+        self.raw(Instr::Load { dst, base, off, width: Width::W, signed: true })
+    }
+
+    /// `l.d dst, off(base)` — fp load.
+    pub fn lfd(&mut self, dst: FpReg, base: IntReg, off: i32) -> &mut Self {
+        self.raw(Instr::LoadF { dst, base, off })
+    }
+
+    /// `sd src, off(base)` — 8-byte store.
+    pub fn sd(&mut self, src: IntReg, base: IntReg, off: i32) -> &mut Self {
+        self.raw(Instr::Store { src, base, off, width: Width::D })
+    }
+
+    /// `sb src, off(base)` — byte store.
+    pub fn sb(&mut self, src: IntReg, base: IntReg, off: i32) -> &mut Self {
+        self.raw(Instr::Store { src, base, off, width: Width::B })
+    }
+
+    /// `sw src, off(base)` — 4-byte store.
+    pub fn sw(&mut self, src: IntReg, base: IntReg, off: i32) -> &mut Self {
+        self.raw(Instr::Store { src, base, off, width: Width::W })
+    }
+
+    /// `s.d src, off(base)` — fp store.
+    pub fn sfd(&mut self, src: FpReg, base: IntReg, off: i32) -> &mut Self {
+        self.raw(Instr::StoreF { src, base, off })
+    }
+
+    /// `pref off(base)`.
+    pub fn pref(&mut self, base: IntReg, off: i32) -> &mut Self {
+        self.raw(Instr::Prefetch { base, off })
+    }
+
+    // ---- queues ----
+
+    /// `send Q, src`.
+    pub fn send(&mut self, q: Queue, src: IntReg) -> &mut Self {
+        self.raw(Instr::SendI { q, src })
+    }
+
+    /// `recv dst, Q`.
+    pub fn recv(&mut self, q: Queue, dst: IntReg) -> &mut Self {
+        self.raw(Instr::RecvI { q, dst })
+    }
+
+    // ---- control ----
+
+    /// Conditional branch to `label`.
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        a: IntReg,
+        b: IntReg,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.control(Instr::Branch { cond, a, b, target: u32::MAX }, label)
+    }
+
+    /// `bne a, b, label`.
+    pub fn bne(&mut self, a: IntReg, b: IntReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ne, a, b, label)
+    }
+
+    /// `beq a, b, label`.
+    pub fn beq(&mut self, a: IntReg, b: IntReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Eq, a, b, label)
+    }
+
+    /// `blt a, b, label`.
+    pub fn blt(&mut self, a: IntReg, b: IntReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Lt, a, b, label)
+    }
+
+    /// `bge a, b, label`.
+    pub fn bge(&mut self, a: IntReg, b: IntReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ge, a, b, label)
+    }
+
+    /// `j label`.
+    pub fn jump(&mut self, label: impl Into<String>) -> &mut Self {
+        self.control(Instr::Jump { target: u32::MAX }, label)
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.raw(Instr::Halt)
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.raw(Instr::Nop)
+    }
+
+    /// Current position (index of the next instruction to be emitted).
+    pub fn here(&self) -> u32 {
+        self.prog.len()
+    }
+
+    /// Resolves labels and returns the program. Fails on undefined or
+    /// duplicate labels, or if the program fails [`Program::validate`].
+    pub fn finish(mut self) -> Result<Program> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        for (pc, label) in self.fixups {
+            let at = self.prog.label(&label).ok_or(IsaError::UndefinedLabel(label))?;
+            self.prog.instr_mut(pc).set_target(at);
+        }
+        self.prog.validate()?;
+        Ok(self.prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_loop_with_forward_and_backward_labels() {
+        let r1 = IntReg::new(1);
+        let mut b = ProgramBuilder::new("t");
+        b.li(r1, 3);
+        b.label("top");
+        b.subi(r1, r1, 1);
+        b.beq(r1, IntReg::ZERO, "done");
+        b.jump("top");
+        b.label("done");
+        b.halt();
+        let p = b.finish().unwrap();
+        assert_eq!(p.instr(2).target(), Some(4)); // beq -> done (halt at 4)
+        assert_eq!(p.instr(3).target(), Some(1)); // j -> top
+    }
+
+    #[test]
+    fn undefined_label_fails_at_finish() {
+        let mut b = ProgramBuilder::new("t");
+        b.jump("missing");
+        b.halt();
+        assert!(matches!(b.finish(), Err(IsaError::UndefinedLabel(_))));
+    }
+
+    #[test]
+    fn duplicate_label_fails_at_finish() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("x").nop().label("x").halt();
+        assert!(matches!(b.finish(), Err(IsaError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn validation_runs_at_finish() {
+        let mut b = ProgramBuilder::new("t");
+        b.nop(); // falls off the end
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn mov_is_add_zero() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(IntReg::new(2), IntReg::new(3)).halt();
+        let p = b.finish().unwrap();
+        assert!(matches!(
+            p.instr(0),
+            Instr::IntOp { op: IntOp::Add, b: Src::Reg(z), .. } if z.is_zero()
+        ));
+    }
+}

@@ -1,0 +1,590 @@
+//! Instruction rendering and binary encoding.
+//!
+//! * [`render_instr`] produces the canonical assembler text for an
+//!   instruction (used by `Program`'s `Display` and accepted back by the
+//!   assembler — round-trip tested).
+//! * [`encode_instr`]/[`decode_instr`] pack an instruction into a single
+//!   64-bit word, and [`encode_annot`]/[`decode_annot`] pack the annotation
+//!   field into a 32-bit word — the analogue of the annotation field the
+//!   paper adds to SimpleScalar binaries.
+
+use crate::annot::{Annot, Stream};
+use crate::instr::{BranchCond, Instr, Src, Width};
+use crate::op::{FpBinOp, FpCmpOp, FpUnOp, IntOp};
+use crate::program::Program;
+use crate::reg::{FpReg, IntReg, Queue};
+use crate::{IsaError, Result};
+
+/// Renders the target of a control instruction: a label name if one is
+/// defined at the target index, else `@index`.
+fn render_target(t: u32, p: &Program) -> String {
+    match p.labels_at(t).next() {
+        Some(l) => l.to_string(),
+        None => format!("@{t}"),
+    }
+}
+
+/// Renders one instruction in canonical assembler syntax.
+pub fn render_instr(i: &Instr, p: &Program) -> String {
+    match *i {
+        Instr::IntOp { op, dst, a, b } => format!("{op} {dst}, {a}, {b}"),
+        Instr::Li { dst, imm } => format!("li {dst}, {imm}"),
+        Instr::FpBin { op, dst, a, b } => format!("{op} {dst}, {a}, {b}"),
+        Instr::FpUn { op, dst, a } => format!("{op} {dst}, {a}"),
+        Instr::FpCmp { op, dst, a, b } => format!("{op} {dst}, {a}, {b}"),
+        Instr::CvtIf { dst, src } => format!("cvt.d.l {dst}, {src}"),
+        Instr::CvtFi { dst, src } => format!("cvt.l.d {dst}, {src}"),
+        Instr::Load { dst, base, off, width, signed } => {
+            let u = if !signed && width != Width::D { "u" } else { "" };
+            format!("l{}{} {dst}, {off}({base})", width.suffix(), u)
+        }
+        Instr::LoadF { dst, base, off } => format!("l.d {dst}, {off}({base})"),
+        Instr::Store { src, base, off, width } => {
+            format!("s{} {src}, {off}({base})", width.suffix())
+        }
+        Instr::StoreF { src, base, off } => format!("s.d {src}, {off}({base})"),
+        Instr::Prefetch { base, off } => format!("pref {off}({base})"),
+        Instr::LoadQ { q, base, off, width, signed } => {
+            let u = if !signed && width != Width::D { "u" } else { "" };
+            format!("l{}{}.q {q}, {off}({base})", width.suffix(), u)
+        }
+        Instr::StoreQ { q, base, off, width } => {
+            format!("s{}.q {q}, {off}({base})", width.suffix())
+        }
+        Instr::SendI { q, src } => format!("send {q}, {src}"),
+        Instr::SendF { q, src } => format!("send.d {q}, {src}"),
+        Instr::RecvI { q, dst } => format!("recv {dst}, {q}"),
+        Instr::RecvF { q, dst } => format!("recv.d {dst}, {q}"),
+        Instr::PutScq => "putscq".into(),
+        Instr::GetScq => "getscq".into(),
+        Instr::Branch { cond, a, b, target } => {
+            format!("{} {a}, {b}, {}", cond.mnemonic(), render_target(target, p))
+        }
+        Instr::Jump { target } => format!("j {}", render_target(target, p)),
+        Instr::CBranch { target } => format!("cbr {}", render_target(target, p)),
+        Instr::Halt => "halt".into(),
+        Instr::Nop => "nop".into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding.
+//
+// Layout (64-bit little word):
+//   bits 0..8    primary opcode
+//   bits 8..32   operand fields (registers, queue ids, sub-opcodes, flags)
+//   bits 32..64  32-bit immediate / offset / target
+// ---------------------------------------------------------------------------
+
+mod opc {
+    pub const INT_OP_RR: u8 = 0x01;
+    pub const INT_OP_RI: u8 = 0x02;
+    pub const LI: u8 = 0x03;
+    pub const FP_BIN: u8 = 0x04;
+    pub const FP_UN: u8 = 0x05;
+    pub const FP_CMP: u8 = 0x06;
+    pub const CVT_IF: u8 = 0x07;
+    pub const CVT_FI: u8 = 0x08;
+    pub const LOAD: u8 = 0x10;
+    pub const LOAD_F: u8 = 0x11;
+    pub const STORE: u8 = 0x12;
+    pub const STORE_F: u8 = 0x13;
+    pub const PREFETCH: u8 = 0x14;
+    pub const LOAD_Q: u8 = 0x15;
+    pub const STORE_Q: u8 = 0x16;
+    pub const SEND_I: u8 = 0x20;
+    pub const SEND_F: u8 = 0x21;
+    pub const RECV_I: u8 = 0x22;
+    pub const RECV_F: u8 = 0x23;
+    pub const PUT_SCQ: u8 = 0x24;
+    pub const GET_SCQ: u8 = 0x25;
+    pub const BRANCH: u8 = 0x30;
+    pub const JUMP: u8 = 0x31;
+    pub const CBRANCH: u8 = 0x32;
+    pub const HALT: u8 = 0x3e;
+    pub const NOP: u8 = 0x3f;
+}
+
+fn int_op_code(op: IntOp) -> u8 {
+    match op {
+        IntOp::Add => 0,
+        IntOp::Sub => 1,
+        IntOp::Mul => 2,
+        IntOp::Div => 3,
+        IntOp::Rem => 4,
+        IntOp::And => 5,
+        IntOp::Or => 6,
+        IntOp::Xor => 7,
+        IntOp::Sll => 8,
+        IntOp::Srl => 9,
+        IntOp::Sra => 10,
+        IntOp::Slt => 11,
+        IntOp::Sltu => 12,
+    }
+}
+
+fn int_op_from(code: u8) -> Result<IntOp> {
+    Ok(match code {
+        0 => IntOp::Add,
+        1 => IntOp::Sub,
+        2 => IntOp::Mul,
+        3 => IntOp::Div,
+        4 => IntOp::Rem,
+        5 => IntOp::And,
+        6 => IntOp::Or,
+        7 => IntOp::Xor,
+        8 => IntOp::Sll,
+        9 => IntOp::Srl,
+        10 => IntOp::Sra,
+        11 => IntOp::Slt,
+        12 => IntOp::Sltu,
+        _ => return Err(IsaError::Encode(format!("bad int-op code {code}"))),
+    })
+}
+
+fn queue_code(q: Queue) -> u8 {
+    match q {
+        Queue::Ldq => 0,
+        Queue::Sdq => 1,
+        Queue::Cdq => 2,
+        Queue::Cq => 3,
+        Queue::Scq => 4,
+    }
+}
+
+fn queue_from(code: u8) -> Result<Queue> {
+    Ok(match code {
+        0 => Queue::Ldq,
+        1 => Queue::Sdq,
+        2 => Queue::Cdq,
+        3 => Queue::Cq,
+        4 => Queue::Scq,
+        _ => return Err(IsaError::Encode(format!("bad queue code {code}"))),
+    })
+}
+
+fn width_code(w: Width) -> u8 {
+    match w {
+        Width::B => 0,
+        Width::H => 1,
+        Width::W => 2,
+        Width::D => 3,
+    }
+}
+
+fn width_from(code: u8) -> Width {
+    match code & 3 {
+        0 => Width::B,
+        1 => Width::H,
+        2 => Width::W,
+        _ => Width::D,
+    }
+}
+
+fn cond_code(c: BranchCond) -> u8 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn cond_from(code: u8) -> Result<BranchCond> {
+    Ok(match code {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Ltu,
+        5 => BranchCond::Geu,
+        _ => return Err(IsaError::Encode(format!("bad branch cond {code}"))),
+    })
+}
+
+fn imm32(v: i64, what: &str) -> Result<u64> {
+    i32::try_from(v)
+        .map(|x| (x as u32 as u64) << 32)
+        .map_err(|_| IsaError::Encode(format!("{what} {v} does not fit in 32 bits")))
+}
+
+#[inline]
+fn field(v: u8, shift: u32) -> u64 {
+    (v as u64) << shift
+}
+
+#[inline]
+fn get(w: u64, shift: u32, bits: u32) -> u8 {
+    ((w >> shift) & ((1 << bits) - 1)) as u8
+}
+
+#[inline]
+fn get_imm(w: u64) -> i64 {
+    (w >> 32) as u32 as i32 as i64
+}
+
+/// Encodes one instruction into a 64-bit word. Fails if an immediate or
+/// offset does not fit in the 32-bit field.
+pub fn encode_instr(i: &Instr) -> Result<u64> {
+    use opc::*;
+    Ok(match *i {
+        Instr::IntOp { op, dst, a, b } => {
+            let base = field(int_op_code(op), 8)
+                | field(dst.index() as u8, 14)
+                | field(a.index() as u8, 19);
+            match b {
+                Src::Reg(r) => INT_OP_RR as u64 | base | field(r.index() as u8, 24),
+                Src::Imm(v) => INT_OP_RI as u64 | base | imm32(v, "immediate")?,
+            }
+        }
+        Instr::Li { dst, imm } => LI as u64 | field(dst.index() as u8, 14) | imm32(imm, "immediate")?,
+        Instr::FpBin { op, dst, a, b } => {
+            let code = match op {
+                FpBinOp::Add => 0,
+                FpBinOp::Sub => 1,
+                FpBinOp::Mul => 2,
+                FpBinOp::Div => 3,
+                FpBinOp::Min => 4,
+                FpBinOp::Max => 5,
+            };
+            FP_BIN as u64
+                | field(code, 8)
+                | field(dst.index() as u8, 14)
+                | field(a.index() as u8, 19)
+                | field(b.index() as u8, 24)
+        }
+        Instr::FpUn { op, dst, a } => {
+            let code = match op {
+                FpUnOp::Neg => 0,
+                FpUnOp::Abs => 1,
+                FpUnOp::Sqrt => 2,
+                FpUnOp::Mov => 3,
+            };
+            FP_UN as u64 | field(code, 8) | field(dst.index() as u8, 14) | field(a.index() as u8, 19)
+        }
+        Instr::FpCmp { op, dst, a, b } => {
+            let code = match op {
+                FpCmpOp::Eq => 0,
+                FpCmpOp::Lt => 1,
+                FpCmpOp::Le => 2,
+            };
+            FP_CMP as u64
+                | field(code, 8)
+                | field(dst.index() as u8, 14)
+                | field(a.index() as u8, 19)
+                | field(b.index() as u8, 24)
+        }
+        Instr::CvtIf { dst, src } => {
+            CVT_IF as u64 | field(dst.index() as u8, 14) | field(src.index() as u8, 19)
+        }
+        Instr::CvtFi { dst, src } => {
+            CVT_FI as u64 | field(dst.index() as u8, 14) | field(src.index() as u8, 19)
+        }
+        Instr::Load { dst, base, off, width, signed } => {
+            LOAD as u64
+                | field(dst.index() as u8, 14)
+                | field(base.index() as u8, 19)
+                | field(width_code(width), 24)
+                | field(signed as u8, 26)
+                | imm32(off as i64, "offset")?
+        }
+        Instr::LoadF { dst, base, off } => {
+            LOAD_F as u64
+                | field(dst.index() as u8, 14)
+                | field(base.index() as u8, 19)
+                | imm32(off as i64, "offset")?
+        }
+        Instr::Store { src, base, off, width } => {
+            STORE as u64
+                | field(src.index() as u8, 14)
+                | field(base.index() as u8, 19)
+                | field(width_code(width), 24)
+                | imm32(off as i64, "offset")?
+        }
+        Instr::StoreF { src, base, off } => {
+            STORE_F as u64
+                | field(src.index() as u8, 14)
+                | field(base.index() as u8, 19)
+                | imm32(off as i64, "offset")?
+        }
+        Instr::Prefetch { base, off } => {
+            PREFETCH as u64 | field(base.index() as u8, 19) | imm32(off as i64, "offset")?
+        }
+        Instr::LoadQ { q, base, off, width, signed } => {
+            LOAD_Q as u64
+                | field(queue_code(q), 14)
+                | field(base.index() as u8, 19)
+                | field(width_code(width), 24)
+                | field(signed as u8, 26)
+                | imm32(off as i64, "offset")?
+        }
+        Instr::StoreQ { q, base, off, width } => {
+            STORE_Q as u64
+                | field(queue_code(q), 14)
+                | field(base.index() as u8, 19)
+                | field(width_code(width), 24)
+                | imm32(off as i64, "offset")?
+        }
+        Instr::SendI { q, src } => {
+            SEND_I as u64 | field(queue_code(q), 14) | field(src.index() as u8, 19)
+        }
+        Instr::SendF { q, src } => {
+            SEND_F as u64 | field(queue_code(q), 14) | field(src.index() as u8, 19)
+        }
+        Instr::RecvI { q, dst } => {
+            RECV_I as u64 | field(queue_code(q), 14) | field(dst.index() as u8, 19)
+        }
+        Instr::RecvF { q, dst } => {
+            RECV_F as u64 | field(queue_code(q), 14) | field(dst.index() as u8, 19)
+        }
+        Instr::PutScq => PUT_SCQ as u64,
+        Instr::GetScq => GET_SCQ as u64,
+        Instr::Branch { cond, a, b, target } => {
+            BRANCH as u64
+                | field(cond_code(cond), 8)
+                | field(a.index() as u8, 14)
+                | field(b.index() as u8, 19)
+                | imm32(target as i64, "target")?
+        }
+        Instr::Jump { target } => JUMP as u64 | imm32(target as i64, "target")?,
+        Instr::CBranch { target } => CBRANCH as u64 | imm32(target as i64, "target")?,
+        Instr::Halt => HALT as u64,
+        Instr::Nop => NOP as u64,
+    })
+}
+
+/// Decodes a 64-bit word back into an instruction.
+pub fn decode_instr(w: u64) -> Result<Instr> {
+    use opc::*;
+    let op = (w & 0xff) as u8;
+    let ireg = |s: u32| IntReg::new(get(w, s, 5));
+    let freg = |s: u32| FpReg::new(get(w, s, 5));
+    Ok(match op {
+        INT_OP_RR => Instr::IntOp {
+            op: int_op_from(get(w, 8, 6))?,
+            dst: ireg(14),
+            a: ireg(19),
+            b: Src::Reg(ireg(24)),
+        },
+        INT_OP_RI => Instr::IntOp {
+            op: int_op_from(get(w, 8, 6))?,
+            dst: ireg(14),
+            a: ireg(19),
+            b: Src::Imm(get_imm(w)),
+        },
+        LI => Instr::Li { dst: ireg(14), imm: get_imm(w) },
+        FP_BIN => Instr::FpBin {
+            op: match get(w, 8, 6) {
+                0 => FpBinOp::Add,
+                1 => FpBinOp::Sub,
+                2 => FpBinOp::Mul,
+                3 => FpBinOp::Div,
+                4 => FpBinOp::Min,
+                5 => FpBinOp::Max,
+                c => return Err(IsaError::Encode(format!("bad fp-bin code {c}"))),
+            },
+            dst: freg(14),
+            a: freg(19),
+            b: freg(24),
+        },
+        FP_UN => Instr::FpUn {
+            op: match get(w, 8, 6) {
+                0 => FpUnOp::Neg,
+                1 => FpUnOp::Abs,
+                2 => FpUnOp::Sqrt,
+                3 => FpUnOp::Mov,
+                c => return Err(IsaError::Encode(format!("bad fp-un code {c}"))),
+            },
+            dst: freg(14),
+            a: freg(19),
+        },
+        FP_CMP => Instr::FpCmp {
+            op: match get(w, 8, 6) {
+                0 => FpCmpOp::Eq,
+                1 => FpCmpOp::Lt,
+                2 => FpCmpOp::Le,
+                c => return Err(IsaError::Encode(format!("bad fp-cmp code {c}"))),
+            },
+            dst: ireg(14),
+            a: freg(19),
+            b: freg(24),
+        },
+        CVT_IF => Instr::CvtIf { dst: freg(14), src: ireg(19) },
+        CVT_FI => Instr::CvtFi { dst: ireg(14), src: freg(19) },
+        LOAD => Instr::Load {
+            dst: ireg(14),
+            base: ireg(19),
+            off: get_imm(w) as i32,
+            width: width_from(get(w, 24, 2)),
+            signed: get(w, 26, 1) != 0,
+        },
+        LOAD_F => Instr::LoadF { dst: freg(14), base: ireg(19), off: get_imm(w) as i32 },
+        STORE => Instr::Store {
+            src: ireg(14),
+            base: ireg(19),
+            off: get_imm(w) as i32,
+            width: width_from(get(w, 24, 2)),
+        },
+        STORE_F => Instr::StoreF { src: freg(14), base: ireg(19), off: get_imm(w) as i32 },
+        PREFETCH => Instr::Prefetch { base: ireg(19), off: get_imm(w) as i32 },
+        LOAD_Q => Instr::LoadQ {
+            q: queue_from(get(w, 14, 3))?,
+            base: ireg(19),
+            off: get_imm(w) as i32,
+            width: width_from(get(w, 24, 2)),
+            signed: get(w, 26, 1) != 0,
+        },
+        STORE_Q => Instr::StoreQ {
+            q: queue_from(get(w, 14, 3))?,
+            base: ireg(19),
+            off: get_imm(w) as i32,
+            width: width_from(get(w, 24, 2)),
+        },
+        SEND_I => Instr::SendI { q: queue_from(get(w, 14, 3))?, src: ireg(19) },
+        SEND_F => Instr::SendF { q: queue_from(get(w, 14, 3))?, src: freg(19) },
+        RECV_I => Instr::RecvI { q: queue_from(get(w, 14, 3))?, dst: ireg(19) },
+        RECV_F => Instr::RecvF { q: queue_from(get(w, 14, 3))?, dst: freg(19) },
+        PUT_SCQ => Instr::PutScq,
+        GET_SCQ => Instr::GetScq,
+        BRANCH => Instr::Branch {
+            cond: cond_from(get(w, 8, 6))?,
+            a: ireg(14),
+            b: ireg(19),
+            target: get_imm(w) as u32,
+        },
+        JUMP => Instr::Jump { target: get_imm(w) as u32 },
+        CBRANCH => Instr::CBranch { target: get_imm(w) as u32 },
+        HALT => Instr::Halt,
+        NOP => Instr::Nop,
+        _ => return Err(IsaError::Encode(format!("unknown opcode {op:#x}"))),
+    })
+}
+
+/// Encodes the annotation field into 32 bits:
+/// bit 0 stream (1 = Access), bit 1 cmas, bit 2 push_cq, bit 3
+/// probable_miss, bit 4 trigger-valid, bit 5 scq_get, bits 8..32 trigger
+/// id.
+pub fn encode_annot(a: &Annot) -> Result<u32> {
+    let mut w = 0u32;
+    if a.stream == Stream::Access {
+        w |= 1;
+    }
+    if a.cmas {
+        w |= 2;
+    }
+    if a.push_cq {
+        w |= 4;
+    }
+    if a.probable_miss {
+        w |= 8;
+    }
+    if let Some(t) = a.trigger {
+        if t >= 1 << 24 {
+            return Err(IsaError::Encode(format!("trigger id {t} does not fit in 24 bits")));
+        }
+        w |= 16 | (t << 8);
+    }
+    if a.scq_get {
+        w |= 32;
+    }
+    Ok(w)
+}
+
+/// Decodes an annotation field.
+pub fn decode_annot(w: u32) -> Annot {
+    Annot {
+        stream: if w & 1 != 0 { Stream::Access } else { Stream::Computation },
+        cmas: w & 2 != 0,
+        push_cq: w & 4 != 0,
+        probable_miss: w & 8 != 0,
+        trigger: (w & 16 != 0).then_some(w >> 8),
+        scq_get: w & 32 != 0,
+    }
+}
+
+/// Encodes a whole program as `(instruction, annotation)` word pairs — the
+/// "binary" form of a DISA executable.
+pub fn encode_program(p: &Program) -> Result<Vec<(u64, u32)>> {
+    (0..p.len())
+        .map(|pc| Ok((encode_instr(p.instr(pc))?, encode_annot(p.annot(pc))?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instr) {
+        let w = encode_instr(&i).unwrap();
+        assert_eq!(decode_instr(w).unwrap(), i, "word {w:#x}");
+    }
+
+    #[test]
+    fn encode_round_trips_representatives() {
+        let r = IntReg::new;
+        let f = FpReg::new;
+        roundtrip(Instr::IntOp { op: IntOp::Add, dst: r(1), a: r(2), b: Src::Reg(r(3)) });
+        roundtrip(Instr::IntOp { op: IntOp::Sltu, dst: r(31), a: r(30), b: Src::Imm(-12345) });
+        roundtrip(Instr::Li { dst: r(7), imm: i32::MIN as i64 });
+        roundtrip(Instr::FpBin { op: FpBinOp::Max, dst: f(1), a: f(2), b: f(3) });
+        roundtrip(Instr::FpUn { op: FpUnOp::Sqrt, dst: f(9), a: f(8) });
+        roundtrip(Instr::FpCmp { op: FpCmpOp::Le, dst: r(4), a: f(5), b: f(6) });
+        roundtrip(Instr::CvtIf { dst: f(2), src: r(3) });
+        roundtrip(Instr::CvtFi { dst: r(3), src: f(2) });
+        roundtrip(Instr::Load { dst: r(5), base: r(6), off: -8, width: Width::H, signed: false });
+        roundtrip(Instr::LoadF { dst: f(5), base: r(6), off: 4096 });
+        roundtrip(Instr::Store { src: r(5), base: r(6), off: 16, width: Width::B });
+        roundtrip(Instr::StoreF { src: f(5), base: r(6), off: 0 });
+        roundtrip(Instr::Prefetch { base: r(9), off: 64 });
+        roundtrip(Instr::LoadQ { q: Queue::Ldq, base: r(2), off: 8, width: Width::D, signed: true });
+        roundtrip(Instr::StoreQ { q: Queue::Sdq, base: r(2), off: 8, width: Width::W });
+        roundtrip(Instr::SendI { q: Queue::Cdq, src: r(11) });
+        roundtrip(Instr::SendF { q: Queue::Ldq, src: f(11) });
+        roundtrip(Instr::RecvI { q: Queue::Cdq, dst: r(12) });
+        roundtrip(Instr::RecvF { q: Queue::Ldq, dst: f(12) });
+        roundtrip(Instr::PutScq);
+        roundtrip(Instr::GetScq);
+        roundtrip(Instr::Branch { cond: BranchCond::Geu, a: r(1), b: r(2), target: 777 });
+        roundtrip(Instr::Jump { target: 0 });
+        roundtrip(Instr::CBranch { target: 42 });
+        roundtrip(Instr::Halt);
+        roundtrip(Instr::Nop);
+    }
+
+    #[test]
+    fn large_immediate_rejected() {
+        let i = Instr::Li { dst: IntReg::new(1), imm: 1 << 40 };
+        assert!(encode_instr(&i).is_err());
+    }
+
+    #[test]
+    fn annot_round_trip() {
+        for a in [
+            Annot::default(),
+            Annot {
+                stream: Stream::Access,
+                cmas: true,
+                trigger: Some(3),
+                push_cq: true,
+                probable_miss: true,
+                scq_get: true,
+            },
+            Annot { trigger: Some(0), ..Annot::default() },
+        ] {
+            assert_eq!(decode_annot(encode_annot(&a).unwrap()), a);
+        }
+    }
+
+    #[test]
+    fn annot_trigger_overflow_rejected() {
+        let a = Annot { trigger: Some(1 << 24), ..Annot::default() };
+        assert!(encode_annot(&a).is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(decode_instr(0xee).is_err());
+    }
+}

@@ -1,0 +1,558 @@
+//! The DISA instruction set.
+//!
+//! Instructions are fixed-format and addressed by instruction index. The
+//! set contains:
+//!
+//! * conventional MIPS-like integer/floating-point arithmetic, loads,
+//!   stores and branches, and
+//! * the *queue instructions* of the decoupled machine, which only appear
+//!   in programs produced by the HiDISC stream separator: queue loads and
+//!   stores (`l.q`/`s.q`), sends/receives, consume-branches and the slip
+//!   control pair `putscq`/`getscq`.
+
+use crate::op::{FpBinOp, FpCmpOp, FpUnOp, IntOp};
+use crate::reg::{FpReg, IntReg, Queue};
+use std::fmt;
+
+/// Memory access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    D,
+}
+
+impl Width {
+    /// Size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::B => 1,
+            Width::H => 2,
+            Width::W => 4,
+            Width::D => 8,
+        }
+    }
+
+    /// Assembler suffix character.
+    pub fn suffix(self) -> char {
+        match self {
+            Width::B => 'b',
+            Width::H => 'h',
+            Width::W => 'w',
+            Width::D => 'd',
+        }
+    }
+
+    /// Parses an assembler suffix character.
+    pub fn from_suffix(c: char) -> Option<Width> {
+        Some(match c {
+            'b' => Width::B,
+            'h' => Width::H,
+            'w' => Width::W,
+            'd' => Width::D,
+            _ => return None,
+        })
+    }
+}
+
+/// Conditions for conditional branches, comparing two integer registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl BranchCond {
+    /// Evaluates the condition.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Ge => a >= b,
+            BranchCond::Ltu => (a as u64) < (b as u64),
+            BranchCond::Geu => (a as u64) >= (b as u64),
+        }
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+
+    /// Parses an assembler mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<BranchCond> {
+        Some(match s {
+            "beq" => BranchCond::Eq,
+            "bne" => BranchCond::Ne,
+            "blt" => BranchCond::Lt,
+            "bge" => BranchCond::Ge,
+            "bltu" => BranchCond::Ltu,
+            "bgeu" => BranchCond::Geu,
+            _ => return None,
+        })
+    }
+}
+
+/// Second source operand of an integer ALU instruction: register or
+/// immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src {
+    Reg(IntReg),
+    Imm(i64),
+}
+
+impl Src {
+    /// The register, if this operand is a register.
+    #[inline]
+    pub fn reg(self) -> Option<IntReg> {
+        match self {
+            Src::Reg(r) => Some(r),
+            Src::Imm(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Reg(r) => write!(f, "{r}"),
+            Src::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// A reference to either register file, used by dataflow analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegRef {
+    Int(IntReg),
+    Fp(FpReg),
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegRef::Int(r) => write!(f, "{r}"),
+            RegRef::Fp(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Functional-unit class an instruction executes on, used by the timing
+/// models to pick a unit and a latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Single-cycle integer ALU (also covers queue sends/receives and nops).
+    IntAlu,
+    /// Integer multiply/divide unit.
+    IntMul,
+    /// Floating-point adder (add/sub/compare/convert).
+    FpAlu,
+    /// Floating-point multiply/divide/sqrt unit.
+    FpMul,
+    /// Load/store unit (memory port).
+    Mem,
+    /// Branch unit (resolved on an integer ALU in the models).
+    Branch,
+}
+
+/// A DISA instruction.
+///
+/// Branch and jump targets are *instruction indices* within the owning
+/// [`crate::program::Program`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    // ---- integer arithmetic ----
+    /// `op dst, a, b` — 64-bit integer ALU operation.
+    IntOp { op: IntOp, dst: IntReg, a: IntReg, b: Src },
+    /// `li dst, imm` — load immediate.
+    Li { dst: IntReg, imm: i64 },
+
+    // ---- floating point ----
+    /// `op.d dst, a, b`.
+    FpBin { op: FpBinOp, dst: FpReg, a: FpReg, b: FpReg },
+    /// `op.d dst, a`.
+    FpUn { op: FpUnOp, dst: FpReg, a: FpReg },
+    /// `c.xx.d dst, a, b` — compare, 0/1 result into an integer register.
+    FpCmp { op: FpCmpOp, dst: IntReg, a: FpReg, b: FpReg },
+    /// `cvt.d.l dst, src` — convert integer to double.
+    CvtIf { dst: FpReg, src: IntReg },
+    /// `cvt.l.d dst, src` — convert double to integer (truncating; saturates
+    /// at the i64 range, NaN converts to 0).
+    CvtFi { dst: IntReg, src: FpReg },
+
+    // ---- memory ----
+    /// `l{b|h|w|d}[u] dst, off(base)` — integer load, sign- or zero-extended.
+    Load { dst: IntReg, base: IntReg, off: i32, width: Width, signed: bool },
+    /// `l.d dst, off(base)` — floating-point load (8 bytes).
+    LoadF { dst: FpReg, base: IntReg, off: i32 },
+    /// `s{b|h|w|d} src, off(base)` — integer store.
+    Store { src: IntReg, base: IntReg, off: i32, width: Width },
+    /// `s.d src, off(base)` — floating-point store.
+    StoreF { src: FpReg, base: IntReg, off: i32 },
+    /// `pref off(base)` — prefetch the containing cache block; never faults,
+    /// has no architectural effect.
+    Prefetch { base: IntReg, off: i32 },
+
+    // ---- decoupled queue operations (emitted by the stream separator) ----
+    /// `l{b|h|w|d}[u].q LDQ, off(base)` — load directly into a queue
+    /// (the paper's `l.d $LDQ, 88($9)` form). Push occurs at commit.
+    LoadQ { q: Queue, base: IntReg, off: i32, width: Width, signed: bool },
+    /// `s{b|h|w|d}.q SDQ, off(base)` — store whose data is popped from a
+    /// queue at commit (the paper's `s.d $SDQ, 0($13)` form).
+    StoreQ { q: Queue, base: IntReg, off: i32, width: Width },
+    /// `send Q, src` — push an integer register to a queue at commit.
+    SendI { q: Queue, src: IntReg },
+    /// `send.d Q, src` — push an fp register's bits to a queue at commit.
+    SendF { q: Queue, src: FpReg },
+    /// `recv dst, Q` — pop a queue into an integer register.
+    RecvI { q: Queue, dst: IntReg },
+    /// `recv.d dst, Q` — pop a queue into an fp register.
+    RecvF { q: Queue, dst: FpReg },
+    /// `putscq` — CMP end-of-iteration marker; blocks when the slip-control
+    /// semaphore is full, bounding prefetch run-ahead.
+    PutScq,
+    /// `getscq` — AP end-of-iteration marker; decrements the slip-control
+    /// semaphore (never blocks).
+    GetScq,
+
+    // ---- control ----
+    /// `bxx a, b, target`.
+    Branch { cond: BranchCond, a: IntReg, b: IntReg, target: u32 },
+    /// `j target`.
+    Jump { target: u32 },
+    /// `cbr target` — consume-branch: pops a branch-outcome token from the
+    /// Control Queue; taken ⇒ jump to `target`. Only appears in Computation
+    /// Streams produced by the separator.
+    CBranch { target: u32 },
+    /// `halt` — terminate the program.
+    Halt,
+    /// `nop`.
+    Nop,
+}
+
+impl Instr {
+    /// The register defined by this instruction, if any. No DISA
+    /// instruction defines more than one register.
+    pub fn def(&self) -> Option<RegRef> {
+        match *self {
+            Instr::IntOp { dst, .. }
+            | Instr::Li { dst, .. }
+            | Instr::FpCmp { dst, .. }
+            | Instr::CvtFi { dst, .. }
+            | Instr::Load { dst, .. }
+            | Instr::RecvI { dst, .. } => {
+                (!dst.is_zero()).then_some(RegRef::Int(dst))
+            }
+            Instr::FpBin { dst, .. }
+            | Instr::FpUn { dst, .. }
+            | Instr::CvtIf { dst, .. }
+            | Instr::LoadF { dst, .. }
+            | Instr::RecvF { dst, .. } => Some(RegRef::Fp(dst)),
+            _ => None,
+        }
+    }
+
+    /// The registers used (read) by this instruction, as a fixed array of
+    /// up to three entries (allocation-free for the hot timing paths).
+    pub fn uses(&self) -> [Option<RegRef>; 3] {
+        fn i(r: IntReg) -> Option<RegRef> {
+            (!r.is_zero()).then_some(RegRef::Int(r))
+        }
+        fn f(r: FpReg) -> Option<RegRef> {
+            Some(RegRef::Fp(r))
+        }
+        match *self {
+            Instr::IntOp { a, b, .. } => [i(a), b.reg().and_then(i), None],
+            Instr::Li { .. } => [None; 3],
+            Instr::FpBin { a, b, .. } => [f(a), f(b), None],
+            Instr::FpUn { a, .. } => [f(a), None, None],
+            Instr::FpCmp { a, b, .. } => [f(a), f(b), None],
+            Instr::CvtIf { src, .. } => [i(src), None, None],
+            Instr::CvtFi { src, .. } => [f(src), None, None],
+            Instr::Load { base, .. }
+            | Instr::LoadF { base, .. }
+            | Instr::Prefetch { base, .. }
+            | Instr::LoadQ { base, .. }
+            | Instr::StoreQ { base, .. } => [i(base), None, None],
+            Instr::Store { src, base, .. } => [i(src), i(base), None],
+            Instr::StoreF { src, base, .. } => [f(src), i(base), None],
+            Instr::SendI { src, .. } => [i(src), None, None],
+            Instr::SendF { src, .. } => [f(src), None, None],
+            Instr::RecvI { .. } | Instr::RecvF { .. } => [None; 3],
+            Instr::PutScq | Instr::GetScq => [None; 3],
+            Instr::Branch { a, b, .. } => [i(a), i(b), None],
+            Instr::Jump { .. } | Instr::CBranch { .. } | Instr::Halt | Instr::Nop => [None; 3],
+        }
+    }
+
+    /// True for control-transfer instructions (branches, jumps,
+    /// consume-branches and halt).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::CBranch { .. } | Instr::Halt
+        )
+    }
+
+    /// True for conditional control (can fall through or jump).
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Instr::Branch { .. } | Instr::CBranch { .. })
+    }
+
+    /// The static branch/jump target, if any.
+    pub fn target(&self) -> Option<u32> {
+        match *self {
+            Instr::Branch { target, .. }
+            | Instr::Jump { target }
+            | Instr::CBranch { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the static branch/jump target (used when the stream
+    /// separator re-lays-out a stream).
+    pub fn set_target(&mut self, t: u32) {
+        match self {
+            Instr::Branch { target, .. } | Instr::Jump { target } | Instr::CBranch { target } => {
+                *target = t
+            }
+            _ => panic!("set_target on non-control instruction"),
+        }
+    }
+
+    /// True if this instruction reads or writes data memory (prefetches
+    /// included).
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store() || matches!(self, Instr::Prefetch { .. })
+    }
+
+    /// True for loads that return data (architectural loads; prefetches are
+    /// not loads).
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. } | Instr::LoadF { .. } | Instr::LoadQ { .. }
+        )
+    }
+
+    /// True for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            Instr::Store { .. } | Instr::StoreF { .. } | Instr::StoreQ { .. }
+        )
+    }
+
+    /// The access width for memory instructions (`D` for prefetch).
+    pub fn mem_width(&self) -> Option<Width> {
+        match *self {
+            Instr::Load { width, .. }
+            | Instr::Store { width, .. }
+            | Instr::LoadQ { width, .. }
+            | Instr::StoreQ { width, .. } => Some(width),
+            Instr::LoadF { .. } | Instr::StoreF { .. } => Some(Width::D),
+            Instr::Prefetch { .. } => Some(Width::D),
+            _ => None,
+        }
+    }
+
+    /// Base register and offset for memory instructions.
+    pub fn mem_addr_operands(&self) -> Option<(IntReg, i32)> {
+        match *self {
+            Instr::Load { base, off, .. }
+            | Instr::LoadF { base, off, .. }
+            | Instr::Store { base, off, .. }
+            | Instr::StoreF { base, off, .. }
+            | Instr::Prefetch { base, off }
+            | Instr::LoadQ { base, off, .. }
+            | Instr::StoreQ { base, off, .. } => Some((base, off)),
+            _ => None,
+        }
+    }
+
+    /// The queue this instruction pops from, if any. Pops are destructive
+    /// and must execute non-speculatively and in program order per queue.
+    pub fn queue_pop(&self) -> Option<Queue> {
+        match *self {
+            Instr::RecvI { q, .. } | Instr::RecvF { q, .. } | Instr::StoreQ { q, .. } => Some(q),
+            Instr::CBranch { .. } => Some(Queue::Cq),
+            Instr::GetScq => Some(Queue::Scq),
+            _ => None,
+        }
+    }
+
+    /// The queue this instruction pushes to, if any. Pushes occur at
+    /// in-order commit. (Branch CQ pushes are decided by the annotation,
+    /// not by the instruction itself — see [`crate::annot::Annot::push_cq`].)
+    pub fn queue_push(&self) -> Option<Queue> {
+        match *self {
+            Instr::SendI { q, .. } | Instr::SendF { q, .. } | Instr::LoadQ { q, .. } => Some(q),
+            Instr::PutScq => Some(Queue::Scq),
+            _ => None,
+        }
+    }
+
+    /// True for floating-point instructions (execute on FP units, which the
+    /// Access Processor does not have).
+    pub fn is_fp(&self) -> bool {
+        matches!(
+            self,
+            Instr::FpBin { .. }
+                | Instr::FpUn { .. }
+                | Instr::FpCmp { .. }
+                | Instr::CvtIf { .. }
+                | Instr::CvtFi { .. }
+                | Instr::LoadF { .. }
+                | Instr::StoreF { .. }
+                | Instr::SendF { .. }
+                | Instr::RecvF { .. }
+        )
+    }
+
+    /// True for FP *computation* (excludes FP loads/stores/sends/receives,
+    /// which only move bits). The stream separator keeps exactly these in
+    /// the Computation Stream.
+    pub fn is_fp_compute(&self) -> bool {
+        matches!(
+            self,
+            Instr::FpBin { .. }
+                | Instr::FpUn { .. }
+                | Instr::FpCmp { .. }
+                | Instr::CvtIf { .. }
+                | Instr::CvtFi { .. }
+        )
+    }
+
+    /// The functional-unit class this instruction occupies.
+    pub fn fu_class(&self) -> FuClass {
+        match self {
+            Instr::IntOp { op, .. } if op.is_long_latency() => FuClass::IntMul,
+            Instr::IntOp { .. } | Instr::Li { .. } => FuClass::IntAlu,
+            Instr::FpBin { op, .. } if op.is_long_latency() => FuClass::FpMul,
+            Instr::FpBin { op: FpBinOp::Mul, .. } => FuClass::FpMul,
+            Instr::FpBin { .. } => FuClass::FpAlu,
+            Instr::FpUn { op: FpUnOp::Sqrt, .. } => FuClass::FpMul,
+            Instr::FpUn { .. } | Instr::FpCmp { .. } | Instr::CvtIf { .. } | Instr::CvtFi { .. } => {
+                FuClass::FpAlu
+            }
+            Instr::Load { .. }
+            | Instr::LoadF { .. }
+            | Instr::Store { .. }
+            | Instr::StoreF { .. }
+            | Instr::Prefetch { .. }
+            | Instr::LoadQ { .. }
+            | Instr::StoreQ { .. } => FuClass::Mem,
+            Instr::SendI { .. }
+            | Instr::SendF { .. }
+            | Instr::RecvI { .. }
+            | Instr::RecvF { .. }
+            | Instr::PutScq
+            | Instr::GetScq
+            | Instr::Nop => FuClass::IntAlu,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::CBranch { .. } | Instr::Halt => {
+                FuClass::Branch
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> IntReg {
+        IntReg::new(n)
+    }
+
+    #[test]
+    fn def_and_uses_int_op() {
+        let i = Instr::IntOp { op: IntOp::Add, dst: r(3), a: r(1), b: Src::Reg(r(2)) };
+        assert_eq!(i.def(), Some(RegRef::Int(r(3))));
+        let uses = i.uses();
+        assert_eq!(uses[0], Some(RegRef::Int(r(1))));
+        assert_eq!(uses[1], Some(RegRef::Int(r(2))));
+        assert_eq!(uses[2], None);
+    }
+
+    #[test]
+    fn zero_register_never_def_or_use() {
+        let i = Instr::IntOp { op: IntOp::Add, dst: r(0), a: r(0), b: Src::Reg(r(0)) };
+        assert_eq!(i.def(), None);
+        assert_eq!(i.uses(), [None; 3]);
+    }
+
+    #[test]
+    fn load_classification() {
+        let l = Instr::Load { dst: r(5), base: r(6), off: 8, width: Width::D, signed: true };
+        assert!(l.is_mem() && l.is_load() && !l.is_store());
+        assert_eq!(l.mem_width(), Some(Width::D));
+        assert_eq!(l.mem_addr_operands(), Some((r(6), 8)));
+        assert_eq!(l.fu_class(), FuClass::Mem);
+    }
+
+    #[test]
+    fn queue_pop_push_classification() {
+        assert_eq!(Instr::RecvI { q: Queue::Ldq, dst: r(1) }.queue_pop(), Some(Queue::Ldq));
+        assert_eq!(Instr::SendI { q: Queue::Sdq, src: r(1) }.queue_push(), Some(Queue::Sdq));
+        assert_eq!(Instr::CBranch { target: 0 }.queue_pop(), Some(Queue::Cq));
+        assert_eq!(Instr::PutScq.queue_push(), Some(Queue::Scq));
+        assert_eq!(Instr::GetScq.queue_pop(), Some(Queue::Scq));
+        let lq = Instr::LoadQ { q: Queue::Ldq, base: r(2), off: 0, width: Width::D, signed: true };
+        assert_eq!(lq.queue_push(), Some(Queue::Ldq));
+        assert!(lq.is_load());
+        let sq = Instr::StoreQ { q: Queue::Sdq, base: r(2), off: 0, width: Width::D };
+        assert_eq!(sq.queue_pop(), Some(Queue::Sdq));
+        assert!(sq.is_store());
+    }
+
+    #[test]
+    fn control_classification() {
+        let b = Instr::Branch { cond: BranchCond::Ne, a: r(1), b: r(0), target: 7 };
+        assert!(b.is_control() && b.is_cond_branch());
+        assert_eq!(b.target(), Some(7));
+        assert!(Instr::Halt.is_control());
+        assert!(!Instr::Halt.is_cond_branch());
+        let mut j = Instr::Jump { target: 3 };
+        j.set_target(9);
+        assert_eq!(j.target(), Some(9));
+    }
+
+    #[test]
+    fn fp_classification() {
+        let m = Instr::FpBin { op: FpBinOp::Mul, dst: FpReg::new(1), a: FpReg::new(2), b: FpReg::new(3) };
+        assert!(m.is_fp() && m.is_fp_compute());
+        assert_eq!(m.fu_class(), FuClass::FpMul);
+        let lf = Instr::LoadF { dst: FpReg::new(1), base: r(2), off: 0 };
+        assert!(lf.is_fp() && !lf.is_fp_compute());
+        assert_eq!(lf.fu_class(), FuClass::Mem);
+    }
+
+    #[test]
+    fn branch_cond_eval() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(BranchCond::Ne.eval(3, 4));
+        assert!(BranchCond::Lt.eval(-1, 0));
+        assert!(!BranchCond::Ltu.eval(-1, 0));
+        assert!(BranchCond::Geu.eval(-1, 0));
+        assert!(BranchCond::Ge.eval(0, 0));
+    }
+}

@@ -1,0 +1,356 @@
+//! Arithmetic and comparison opcodes.
+
+use std::fmt;
+
+/// Integer ALU operations (three-address, register/register or
+/// register/immediate form — see [`crate::instr::Instr::IntOp`]).
+///
+/// All arithmetic is 64-bit two's-complement and wraps on overflow, like the
+/// SimpleScalar PISA integer ops with traps disabled. Division by zero and
+/// `i64::MIN / -1` produce 0 rather than faulting so that speculative
+/// execution down a wrong path can never crash the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division; division by zero yields 0.
+    Div,
+    /// Signed remainder; remainder by zero yields 0.
+    Rem,
+    And,
+    Or,
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set-if-less-than, signed: `dst = (a < b) as i64`.
+    Slt,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+}
+
+impl IntOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntOp::Add => "add",
+            IntOp::Sub => "sub",
+            IntOp::Mul => "mul",
+            IntOp::Div => "div",
+            IntOp::Rem => "rem",
+            IntOp::And => "and",
+            IntOp::Or => "or",
+            IntOp::Xor => "xor",
+            IntOp::Sll => "sll",
+            IntOp::Srl => "srl",
+            IntOp::Sra => "sra",
+            IntOp::Slt => "slt",
+            IntOp::Sltu => "sltu",
+        }
+    }
+
+    /// Parses an assembler mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<IntOp> {
+        Some(match s {
+            "add" => IntOp::Add,
+            "sub" => IntOp::Sub,
+            "mul" => IntOp::Mul,
+            "div" => IntOp::Div,
+            "rem" => IntOp::Rem,
+            "and" => IntOp::And,
+            "or" => IntOp::Or,
+            "xor" => IntOp::Xor,
+            "sll" => IntOp::Sll,
+            "srl" => IntOp::Srl,
+            "sra" => IntOp::Sra,
+            "slt" => IntOp::Slt,
+            "sltu" => IntOp::Sltu,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the operation on two 64-bit values.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            IntOp::Add => a.wrapping_add(b),
+            IntOp::Sub => a.wrapping_sub(b),
+            IntOp::Mul => a.wrapping_mul(b),
+            IntOp::Div => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            IntOp::Rem => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a % b
+                }
+            }
+            IntOp::And => a & b,
+            IntOp::Or => a | b,
+            IntOp::Xor => a ^ b,
+            IntOp::Sll => ((a as u64) << (b as u64 & 63)) as i64,
+            IntOp::Srl => ((a as u64) >> (b as u64 & 63)) as i64,
+            IntOp::Sra => a >> (b as u64 & 63),
+            IntOp::Slt => (a < b) as i64,
+            IntOp::Sltu => ((a as u64) < (b as u64)) as i64,
+        }
+    }
+
+    /// True for multiply/divide/remainder: these use the MUL/DIV functional
+    /// unit and have a longer latency in the timing models.
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, IntOp::Mul | IntOp::Div | IntOp::Rem)
+    }
+}
+
+impl fmt::Display for IntOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Binary floating-point operations on `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+impl FpBinOp {
+    /// Assembler mnemonic (MIPS-style `.d` suffix).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpBinOp::Add => "add.d",
+            FpBinOp::Sub => "sub.d",
+            FpBinOp::Mul => "mul.d",
+            FpBinOp::Div => "div.d",
+            FpBinOp::Min => "min.d",
+            FpBinOp::Max => "max.d",
+        }
+    }
+
+    /// Parses an assembler mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<FpBinOp> {
+        Some(match s {
+            "add.d" => FpBinOp::Add,
+            "sub.d" => FpBinOp::Sub,
+            "mul.d" => FpBinOp::Mul,
+            "div.d" => FpBinOp::Div,
+            "min.d" => FpBinOp::Min,
+            "max.d" => FpBinOp::Max,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the operation.
+    #[inline]
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            FpBinOp::Add => a + b,
+            FpBinOp::Sub => a - b,
+            FpBinOp::Mul => a * b,
+            FpBinOp::Div => a / b,
+            FpBinOp::Min => a.min(b),
+            FpBinOp::Max => a.max(b),
+        }
+    }
+
+    /// True for divide (long-latency FU).
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, FpBinOp::Div)
+    }
+}
+
+impl fmt::Display for FpBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Unary floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpUnOp {
+    Neg,
+    Abs,
+    Sqrt,
+    /// Register move `dst = src`.
+    Mov,
+}
+
+impl FpUnOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpUnOp::Neg => "neg.d",
+            FpUnOp::Abs => "abs.d",
+            FpUnOp::Sqrt => "sqrt.d",
+            FpUnOp::Mov => "mov.d",
+        }
+    }
+
+    /// Parses an assembler mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<FpUnOp> {
+        Some(match s {
+            "neg.d" => FpUnOp::Neg,
+            "abs.d" => FpUnOp::Abs,
+            "sqrt.d" => FpUnOp::Sqrt,
+            "mov.d" => FpUnOp::Mov,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the operation.
+    #[inline]
+    pub fn eval(self, a: f64) -> f64 {
+        match self {
+            FpUnOp::Neg => -a,
+            FpUnOp::Abs => a.abs(),
+            FpUnOp::Sqrt => a.sqrt(),
+            FpUnOp::Mov => a,
+        }
+    }
+}
+
+impl fmt::Display for FpUnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Floating-point comparisons producing a 0/1 integer result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCmpOp {
+    Eq,
+    Lt,
+    Le,
+}
+
+impl FpCmpOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpCmpOp::Eq => "c.eq.d",
+            FpCmpOp::Lt => "c.lt.d",
+            FpCmpOp::Le => "c.le.d",
+        }
+    }
+
+    /// Parses an assembler mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<FpCmpOp> {
+        Some(match s {
+            "c.eq.d" => FpCmpOp::Eq,
+            "c.lt.d" => FpCmpOp::Lt,
+            "c.le.d" => FpCmpOp::Le,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the comparison (NaN compares false, as in IEEE 754 ordered
+    /// comparisons).
+    #[inline]
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            FpCmpOp::Eq => a == b,
+            FpCmpOp::Lt => a < b,
+            FpCmpOp::Le => a <= b,
+        }
+    }
+}
+
+impl fmt::Display for FpCmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ops_basic() {
+        assert_eq!(IntOp::Add.eval(2, 3), 5);
+        assert_eq!(IntOp::Sub.eval(2, 3), -1);
+        assert_eq!(IntOp::Mul.eval(-4, 3), -12);
+        assert_eq!(IntOp::Div.eval(7, 2), 3);
+        assert_eq!(IntOp::Rem.eval(7, 2), 1);
+        assert_eq!(IntOp::Slt.eval(-1, 0), 1);
+        assert_eq!(IntOp::Sltu.eval(-1, 0), 0);
+    }
+
+    #[test]
+    fn int_ops_wrap_and_guard() {
+        assert_eq!(IntOp::Add.eval(i64::MAX, 1), i64::MIN);
+        assert_eq!(IntOp::Div.eval(5, 0), 0);
+        assert_eq!(IntOp::Div.eval(i64::MIN, -1), 0);
+        assert_eq!(IntOp::Rem.eval(5, 0), 0);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(IntOp::Sll.eval(1, 65), 2);
+        assert_eq!(IntOp::Srl.eval(-1, 63), 1);
+        assert_eq!(IntOp::Sra.eval(-8, 2), -2);
+    }
+
+    #[test]
+    fn mnemonic_round_trip_int() {
+        for op in [
+            IntOp::Add,
+            IntOp::Sub,
+            IntOp::Mul,
+            IntOp::Div,
+            IntOp::Rem,
+            IntOp::And,
+            IntOp::Or,
+            IntOp::Xor,
+            IntOp::Sll,
+            IntOp::Srl,
+            IntOp::Sra,
+            IntOp::Slt,
+            IntOp::Sltu,
+        ] {
+            assert_eq!(IntOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn mnemonic_round_trip_fp() {
+        for op in [
+            FpBinOp::Add,
+            FpBinOp::Sub,
+            FpBinOp::Mul,
+            FpBinOp::Div,
+            FpBinOp::Min,
+            FpBinOp::Max,
+        ] {
+            assert_eq!(FpBinOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        for op in [FpUnOp::Neg, FpUnOp::Abs, FpUnOp::Sqrt, FpUnOp::Mov] {
+            assert_eq!(FpUnOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        for op in [FpCmpOp::Eq, FpCmpOp::Lt, FpCmpOp::Le] {
+            assert_eq!(FpCmpOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn fp_cmp_nan_is_false() {
+        assert!(!FpCmpOp::Eq.eval(f64::NAN, f64::NAN));
+        assert!(!FpCmpOp::Lt.eval(f64::NAN, 1.0));
+        assert!(!FpCmpOp::Le.eval(1.0, f64::NAN));
+    }
+}

@@ -1,0 +1,141 @@
+//! The DISC abstract syntax tree.
+
+/// Scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+}
+
+/// Binary operators. Comparisons yield `Int` 0/1 regardless of operand
+/// type; arithmetic requires both sides to have the same type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl BinOp {
+    /// True for the six comparison operators.
+    pub fn is_cmp(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// True for operators only defined on integers.
+    pub fn int_only(self) -> bool {
+        matches!(self, BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Scalar variable read.
+    Var(String),
+    /// Array element read `a[idx]` (idx must be Int).
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// `int(e)` — truncating float→int conversion (identity on ints).
+    ToInt(Box<Expr>),
+    /// `float(e)` — int→float conversion (identity on floats).
+    ToFloat(Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x = e;`
+    Assign(String, Expr),
+    /// `a[i] = e;`
+    Store(String, Expr, Expr),
+    /// `if (c) { .. } else { .. }` (condition must be Int; nonzero = true).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { .. }`
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) { .. }`
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>),
+    /// `out(e);` — append a value to the kernel's output cells.
+    Out(Expr),
+    /// `break;` — exit the innermost loop.
+    Break,
+    /// `continue;` — jump to the innermost loop's next iteration (the
+    /// step clause still runs for `for` loops).
+    Continue,
+}
+
+/// Declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `var x;` / `fvar x;`
+    Scalar { name: String, ty: Ty },
+    /// `arr a[n];` / `farr a[n];`
+    Array { name: String, ty: Ty, len: u64 },
+}
+
+/// A parsed kernel.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Kernel {
+    /// Declarations, in source order.
+    pub decls: Vec<Decl>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Looks up a declaration by name.
+    pub fn decl(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| match d {
+            Decl::Scalar { name: n, .. } | Decl::Array { name: n, .. } => n == name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_cmp());
+        assert!(!BinOp::Add.is_cmp());
+        assert!(BinOp::Shl.int_only());
+        assert!(!BinOp::Mul.int_only());
+    }
+
+    #[test]
+    fn kernel_decl_lookup() {
+        let k = Kernel {
+            decls: vec![
+                Decl::Scalar { name: "x".into(), ty: Ty::Int },
+                Decl::Array { name: "a".into(), ty: Ty::Float, len: 4 },
+            ],
+            body: vec![],
+        };
+        assert!(matches!(k.decl("x"), Some(Decl::Scalar { ty: Ty::Int, .. })));
+        assert!(matches!(k.decl("a"), Some(Decl::Array { len: 4, .. })));
+        assert!(k.decl("nope").is_none());
+    }
+}

@@ -1,0 +1,413 @@
+//! The DISC reference evaluator — the semantic oracle the code generator
+//! is differentially tested against.
+//!
+//! Arithmetic semantics are *defined* to be those of the DISA ISA: the
+//! evaluator reuses [`hidisc_isa::IntOp::eval`] (wrapping, division by
+//! zero yields 0), [`hidisc_isa::FpBinOp::eval`], and the saturating
+//! [`hidisc_isa::interp::f64_to_i64`] conversion, so the generated code
+//! and the oracle cannot drift apart.
+
+use crate::ast::{BinOp, Decl, Expr, Kernel, Stmt, Ty};
+use crate::parser::Symbols;
+use crate::{LangError, Result};
+use hidisc_isa::interp::f64_to_i64;
+use hidisc_isa::op::FpCmpOp;
+use hidisc_isa::{FpBinOp, IntOp};
+use std::collections::HashMap;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    I(i64),
+    F(f64),
+}
+
+impl Value {
+    fn as_i(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::F(_) => unreachable!("typechecked"),
+        }
+    }
+    fn as_f(self) -> f64 {
+        match self {
+            Value::F(v) => v,
+            Value::I(_) => unreachable!("typechecked"),
+        }
+    }
+}
+
+/// Array storage.
+#[derive(Debug, Clone)]
+pub enum ArrayData {
+    I(Vec<i64>),
+    F(Vec<f64>),
+}
+
+/// Result of an evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Final scalar values.
+    pub scalars: HashMap<String, Value>,
+    /// Final array contents.
+    pub arrays: HashMap<String, ArrayData>,
+    /// Values emitted by `out(...)`, in order.
+    pub outs: Vec<Value>,
+    /// Statements executed.
+    pub steps: u64,
+}
+
+/// Control-flow signal threaded through statement execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+}
+
+struct Env {
+    sym: Symbols,
+    scalars: HashMap<String, Value>,
+    arrays: HashMap<String, ArrayData>,
+    outs: Vec<Value>,
+    steps: u64,
+    budget: u64,
+}
+
+impl Env {
+    fn tick(&mut self) -> Result<()> {
+        self.steps += 1;
+        if self.steps > self.budget {
+            return Err(LangError::Sema(format!("evaluation exceeded {} steps", self.budget)));
+        }
+        Ok(())
+    }
+
+    fn index(&self, name: &str, idx: i64) -> Result<usize> {
+        let (_, len) = self.sym.arrays[name];
+        if idx < 0 || idx as u64 >= len {
+            return Err(LangError::Sema(format!("index {idx} out of bounds for `{name}[{len}]`")));
+        }
+        Ok(idx as usize)
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Value> {
+        Ok(match e {
+            Expr::Int(v) => Value::I(*v),
+            Expr::Float(v) => Value::F(*v),
+            Expr::Var(n) => self.scalars[n],
+            Expr::Index(n, idx) => {
+                let i = self.eval(idx)?.as_i();
+                let i = self.index(n, i)?;
+                match &self.arrays[n] {
+                    ArrayData::I(v) => Value::I(v[i]),
+                    ArrayData::F(v) => Value::F(v[i]),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                match (va, vb) {
+                    (Value::I(x), Value::I(y)) => Value::I(int_bin(*op, x, y)),
+                    (Value::F(x), Value::F(y)) => {
+                        if op.is_cmp() {
+                            Value::I(float_cmp(*op, x, y) as i64)
+                        } else {
+                            let fop = match op {
+                                BinOp::Add => FpBinOp::Add,
+                                BinOp::Sub => FpBinOp::Sub,
+                                BinOp::Mul => FpBinOp::Mul,
+                                BinOp::Div => FpBinOp::Div,
+                                other => unreachable!("typechecked: {other:?} on floats"),
+                            };
+                            Value::F(fop.eval(x, y))
+                        }
+                    }
+                    _ => unreachable!("typechecked"),
+                }
+            }
+            Expr::Neg(a) => match self.eval(a)? {
+                Value::I(v) => Value::I(IntOp::Sub.eval(0, v)),
+                Value::F(v) => Value::F(-v),
+            },
+            Expr::ToInt(a) => match self.eval(a)? {
+                Value::I(v) => Value::I(v),
+                Value::F(v) => Value::I(f64_to_i64(v)),
+            },
+            Expr::ToFloat(a) => match self.eval(a)? {
+                Value::I(v) => Value::F(v as f64),
+                Value::F(v) => Value::F(v),
+            },
+        })
+    }
+
+    fn run(&mut self, stmts: &[Stmt]) -> Result<Flow> {
+        for s in stmts {
+            self.tick()?;
+            match s {
+                Stmt::Assign(n, e) => {
+                    let v = self.eval(e)?;
+                    self.scalars.insert(n.clone(), v);
+                }
+                Stmt::Store(n, idx, e) => {
+                    let i = self.eval(idx)?.as_i();
+                    let i = self.index(n, i)?;
+                    let v = self.eval(e)?;
+                    match self.arrays.get_mut(n).unwrap() {
+                        ArrayData::I(a) => a[i] = v.as_i(),
+                        ArrayData::F(a) => a[i] = v.as_f(),
+                    }
+                }
+                Stmt::If(c, a, b) => {
+                    let flow = if self.eval(c)?.as_i() != 0 {
+                        self.run(a)?
+                    } else {
+                        self.run(b)?
+                    };
+                    if flow != Flow::Normal {
+                        return Ok(flow); // propagate to the enclosing loop
+                    }
+                }
+                Stmt::While(c, body) => {
+                    while self.eval(c)?.as_i() != 0 {
+                        self.tick()?;
+                        match self.run(body)? {
+                            Flow::Break => break,
+                            Flow::Continue | Flow::Normal => {}
+                        }
+                    }
+                }
+                Stmt::For(init, c, step, body) => {
+                    self.run(std::slice::from_ref(init))?;
+                    while self.eval(c)?.as_i() != 0 {
+                        self.tick()?;
+                        let flow = self.run(body)?;
+                        if flow == Flow::Break {
+                            break;
+                        }
+                        // `continue` still runs the step clause.
+                        self.run(std::slice::from_ref(step))?;
+                    }
+                }
+                Stmt::Out(e) => {
+                    let v = self.eval(e)?;
+                    self.outs.push(v);
+                }
+                Stmt::Break => return Ok(Flow::Break),
+                Stmt::Continue => return Ok(Flow::Continue),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+}
+
+/// Integer binary semantics shared with codegen, expressed in IntOp terms.
+pub fn int_bin(op: BinOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinOp::Add => IntOp::Add.eval(x, y),
+        BinOp::Sub => IntOp::Sub.eval(x, y),
+        BinOp::Mul => IntOp::Mul.eval(x, y),
+        BinOp::Div => IntOp::Div.eval(x, y),
+        BinOp::Rem => IntOp::Rem.eval(x, y),
+        BinOp::And => IntOp::And.eval(x, y),
+        BinOp::Or => IntOp::Or.eval(x, y),
+        BinOp::Xor => IntOp::Xor.eval(x, y),
+        BinOp::Shl => IntOp::Sll.eval(x, y),
+        BinOp::Shr => IntOp::Sra.eval(x, y),
+        BinOp::Lt => IntOp::Slt.eval(x, y),
+        BinOp::Gt => IntOp::Slt.eval(y, x),
+        BinOp::Le => IntOp::Slt.eval(y, x) ^ 1,
+        BinOp::Ge => IntOp::Slt.eval(x, y) ^ 1,
+        BinOp::Eq => IntOp::Sltu.eval(IntOp::Xor.eval(x, y), 1),
+        BinOp::Ne => IntOp::Sltu.eval(0, IntOp::Xor.eval(x, y)),
+    }
+}
+
+/// Float comparison semantics shared with codegen.
+pub fn float_cmp(op: BinOp, x: f64, y: f64) -> bool {
+    match op {
+        BinOp::Lt => FpCmpOp::Lt.eval(x, y),
+        BinOp::Gt => FpCmpOp::Lt.eval(y, x),
+        BinOp::Le => FpCmpOp::Le.eval(x, y),
+        BinOp::Ge => FpCmpOp::Le.eval(y, x),
+        BinOp::Eq => FpCmpOp::Eq.eval(x, y),
+        BinOp::Ne => !FpCmpOp::Eq.eval(x, y),
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Evaluates a kernel with the given initial array contents (missing
+/// arrays start zeroed; scalars start at 0 / 0.0).
+pub fn evaluate(
+    k: &Kernel,
+    init_arrays: &HashMap<String, ArrayData>,
+    budget: u64,
+) -> Result<EvalResult> {
+    let sym = Symbols::build(k)?;
+    let mut scalars = HashMap::new();
+    for (n, ty) in &sym.scalars {
+        scalars.insert(
+            n.clone(),
+            match ty {
+                Ty::Int => Value::I(0),
+                Ty::Float => Value::F(0.0),
+            },
+        );
+    }
+    let mut arrays = HashMap::new();
+    for d in &k.decls {
+        if let Decl::Array { name, ty, len } = d {
+            let data = init_arrays.get(name).cloned().unwrap_or_else(|| match ty {
+                Ty::Int => ArrayData::I(vec![0; *len as usize]),
+                Ty::Float => ArrayData::F(vec![0.0; *len as usize]),
+            });
+            match (&data, ty) {
+                (ArrayData::I(v), Ty::Int) => assert_eq!(v.len() as u64, *len),
+                (ArrayData::F(v), Ty::Float) => assert_eq!(v.len() as u64, *len),
+                _ => return Err(LangError::Sema(format!("initial data type mismatch for {name}"))),
+            }
+            arrays.insert(name.clone(), data);
+        }
+    }
+    let mut env = Env { sym, scalars, arrays, outs: Vec::new(), steps: 0, budget };
+    env.run(&k.body)?;
+    Ok(EvalResult { scalars: env.scalars, arrays: env.arrays, outs: env.outs, steps: env.steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> EvalResult {
+        evaluate(&parse(src).unwrap(), &HashMap::new(), 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_loop() {
+        let r = run("var i; var s;\nfor (i = 1; i <= 10; i = i + 1) { s = s + i; }\nout(s);");
+        assert_eq!(r.outs, vec![Value::I(55)]);
+    }
+
+    #[test]
+    fn arrays_and_conditionals() {
+        let r = run(
+            r"
+            var i; arr a[8];
+            for (i = 0; i < 8; i = i + 1) {
+                if (i % 2 == 0) { a[i] = i * i; } else { a[i] = 0 - i; }
+            }
+            out(a[4]); out(a[5]);
+        ",
+        );
+        assert_eq!(r.outs, vec![Value::I(16), Value::I(-5)]);
+    }
+
+    #[test]
+    fn float_semantics() {
+        let r = run(
+            r"
+            fvar x; var n;
+            x = 1.5 * 4.0;
+            n = int(x / 2.0);
+            out(x); out(n); out(float(n) + 0.25);
+        ",
+        );
+        assert_eq!(r.outs, vec![Value::F(6.0), Value::I(3), Value::F(3.25)]);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let r = run("var a; var b;\na = 7; b = 0;\nout(a / b); out(a % b);");
+        assert_eq!(r.outs, vec![Value::I(0), Value::I(0)]);
+    }
+
+    #[test]
+    fn comparison_chain_semantics() {
+        let r = run("var a;\na = 5;\nout(a == 5); out(a != 5); out(a >= 6); out(3 < a & a < 9);");
+        assert_eq!(r.outs, vec![Value::I(1), Value::I(0), Value::I(0), Value::I(1)]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let k = parse("arr a[4]; var i;\ni = 9;\na[i] = 1;").unwrap();
+        assert!(evaluate(&k, &HashMap::new(), 1000).is_err());
+        let k = parse("arr a[4]; var i;\ni = 0 - 1;\nout(a[i]);").unwrap();
+        assert!(evaluate(&k, &HashMap::new(), 1000).is_err());
+    }
+
+    #[test]
+    fn budget_stops_infinite_loops() {
+        let k = parse("var x;\nwhile (1) { x = x + 1; }").unwrap();
+        assert!(evaluate(&k, &HashMap::new(), 10_000).is_err());
+    }
+
+    #[test]
+    fn while_loop_and_shifts() {
+        let r = run("var x; var n;\nx = 1;\nwhile (x < 100) { x = x << 1; n = n + 1; }\nout(x); out(n); out(x >> 3);");
+        assert_eq!(r.outs, vec![Value::I(128), Value::I(7), Value::I(16)]);
+    }
+}
+
+#[cfg(test)]
+mod flow_tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> EvalResult {
+        evaluate(&parse(src).unwrap(), &HashMap::new(), 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn break_exits_the_innermost_loop() {
+        let r = run(
+            r"
+            var i; var j; var n;
+            for (i = 0; i < 10; i = i + 1) {
+                for (j = 0; j < 10; j = j + 1) {
+                    if (j == 3) { break; }
+                    n = n + 1;
+                }
+            }
+            out(n); out(i); out(j);
+        ",
+        );
+        assert_eq!(r.outs, vec![Value::I(30), Value::I(10), Value::I(3)]);
+    }
+
+    #[test]
+    fn continue_runs_the_step_clause() {
+        let r = run(
+            r"
+            var i; var n;
+            for (i = 0; i < 10; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                n = n + i;
+            }
+            out(n);
+        ",
+        );
+        assert_eq!(r.outs, vec![Value::I(1 + 3 + 5 + 7 + 9)]);
+    }
+
+    #[test]
+    fn break_in_while_and_propagation_through_if() {
+        let r = run(
+            r"
+            var x;
+            while (1) {
+                x = x + 1;
+                if (x >= 7) { if (1) { break; } }
+            }
+            out(x);
+        ",
+        );
+        assert_eq!(r.outs, vec![Value::I(7)]);
+    }
+
+    #[test]
+    fn break_outside_loop_is_rejected() {
+        assert!(parse("var x;\nbreak;").is_err());
+        assert!(parse("var x;\nif (x) { continue; }").is_err());
+    }
+}

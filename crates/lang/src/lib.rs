@@ -1,0 +1,96 @@
+//! # hidisc-lang — the DISC kernel language
+//!
+//! In the paper's toolchain, benchmarks are written in C, compiled by a
+//! gcc retargeted to PISA, and the resulting *binary* is what the HiDISC
+//! compiler slices. This crate plays that front-end role: **DISC**, a
+//! small, typed, imperative kernel language that compiles to sequential
+//! DISA binaries — which the `hidisc-slicer` then separates exactly as it
+//! does hand-written assembly.
+//!
+//! ```text
+//! arr  idx[512];            // i64 array (given a base address at compile time)
+//! farr v[512];              // f64 array
+//! var  i; var j; fvar acc;  // scalars live in registers
+//!
+//! for (i = 0; i < 512; i = i + 1) {
+//!     j = idx[i];
+//!     acc = acc + v[j] * 2.0;
+//!     if (j & 1) { idx[i] = j + 1; }
+//! }
+//! out(acc);                 // writes the result cell(s)
+//! ```
+//!
+//! The language is deliberately small (no functions, no pointers beyond
+//! arrays) but complete enough to express every kernel in the DIS suite.
+//! Compilation is checked two independent ways:
+//!
+//! * a native **AST evaluator** ([`eval`]) serves as the semantic oracle,
+//! * differential tests run the generated DISA on the reference
+//!   interpreter and on the decoupled machines and compare final state.
+//!
+//! ## Grammar (EBNF)
+//!
+//! ```text
+//! program  := decl* stmt*
+//! decl     := ("var" | "fvar") ident ";"
+//!           | ("arr" | "farr") ident "[" integer "]" ";"
+//! stmt     := ident "=" expr ";"
+//!           | ident "[" expr "]" "=" expr ";"
+//!           | "if" "(" expr ")" block ("else" block)?
+//!           | "while" "(" expr ")" block
+//!           | "for" "(" simple ";" expr ";" simple ")" block
+//!           | "break" ";" | "continue" ";"
+//!           | "out" "(" expr ")" ";"
+//! block    := "{" stmt* "}"
+//! simple   := ident "=" expr                      (no trailing ";")
+//! expr     := or-chain of comparisons over + - * / % & | ^ << >>
+//! primary  := integer | float | ident | ident "[" expr "]"
+//!           | "(" expr ")" | "-" primary
+//!           | "int" "(" expr ")" | "float" "(" expr ")"
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{BinOp, Decl, Expr, Kernel, Stmt, Ty};
+pub use codegen::{compile_kernel, CompiledKernel, Layout};
+pub use eval::{evaluate, EvalResult};
+pub use parser::parse;
+
+/// Errors from the DISC front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// Lexical error at a byte offset.
+    Lex { at: usize, msg: String },
+    /// Parse error near a token.
+    Parse { line: usize, msg: String },
+    /// Semantic error (types, undefined names, sizes).
+    Sema(String),
+    /// Code generation resource exhaustion (register pressure etc.).
+    Codegen(String),
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::Lex { at, msg } => write!(f, "lex error at byte {at}: {msg}"),
+            LangError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            LangError::Sema(m) => write!(f, "semantic error: {m}"),
+            LangError::Codegen(m) => write!(f, "codegen error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Front-end result alias.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+/// One-call convenience: parse and compile a DISC source string.
+pub fn compile_str(name: &str, src: &str) -> Result<CompiledKernel> {
+    let kernel = parse(src)?;
+    compile_kernel(name, &kernel, &Layout::default())
+}

@@ -1,0 +1,551 @@
+//! The DISC recursive-descent parser and semantic checker.
+
+use crate::ast::{BinOp, Decl, Expr, Kernel, Stmt, Ty};
+use crate::lexer::{lex, Spanned, Tok};
+use crate::{LangError, Result};
+use std::collections::HashMap;
+
+struct P {
+    toks: Vec<Spanned>,
+    at: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks.get(self.at.min(self.toks.len().saturating_sub(1))).map(|s| s.line).unwrap_or(0)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(LangError::Parse { line: self.line(), msg: msg.into() })
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.at).map(|s| s.tok.clone());
+        self.at += 1;
+        t
+    }
+
+    fn eat(&mut self, want: &Tok, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.at += 1;
+                Ok(())
+            }
+            other => {
+                let msg = format!("expected {what}, found {other:?}");
+                self.err(msg)
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Tok::Ident(n)) => Ok(n),
+            other => {
+                self.at -= 1;
+                let msg = format!("expected identifier, found {other:?}");
+                self.err(msg)
+            }
+        }
+    }
+
+    // ---- declarations ----
+
+    fn decls(&mut self) -> Result<Vec<Decl>> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Var) | Some(Tok::FVar) => {
+                    let ty = if matches!(self.bump(), Some(Tok::Var)) { Ty::Int } else { Ty::Float };
+                    let name = self.ident()?;
+                    self.eat(&Tok::Semi, "`;`")?;
+                    out.push(Decl::Scalar { name, ty });
+                }
+                Some(Tok::Arr) | Some(Tok::FArr) => {
+                    let ty = if matches!(self.bump(), Some(Tok::Arr)) { Ty::Int } else { Ty::Float };
+                    let name = self.ident()?;
+                    self.eat(&Tok::LBracket, "`[`")?;
+                    let len = match self.bump() {
+                        Some(Tok::Int(n)) if n > 0 => n as u64,
+                        other => {
+                            self.at -= 1;
+                            let msg = format!("expected positive array length, found {other:?}");
+                            return self.err(msg);
+                        }
+                    };
+                    self.eat(&Tok::RBracket, "`]`")?;
+                    self.eat(&Tok::Semi, "`;`")?;
+                    out.push(Decl::Array { name, ty, len });
+                }
+                _ => return Ok(out),
+            }
+        }
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.eat(&Tok::LBrace, "`{`")?;
+        let mut out = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return self.err("unterminated block");
+            }
+            out.push(self.stmt()?);
+        }
+        self.eat(&Tok::RBrace, "`}`")?;
+        Ok(out)
+    }
+
+    /// An assignment without its trailing `;` (for-loop init/step).
+    fn simple(&mut self) -> Result<Stmt> {
+        let name = self.ident()?;
+        if self.peek() == Some(&Tok::LBracket) {
+            self.at += 1;
+            let idx = self.expr()?;
+            self.eat(&Tok::RBracket, "`]`")?;
+            self.eat(&Tok::Assign, "`=`")?;
+            let e = self.expr()?;
+            Ok(Stmt::Store(name, idx, e))
+        } else {
+            self.eat(&Tok::Assign, "`=`")?;
+            let e = self.expr()?;
+            Ok(Stmt::Assign(name, e))
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        match self.peek() {
+            Some(Tok::If) => {
+                self.at += 1;
+                self.eat(&Tok::LParen, "`(`")?;
+                let c = self.expr()?;
+                self.eat(&Tok::RParen, "`)`")?;
+                let then = self.block()?;
+                let els = if self.peek() == Some(&Tok::Else) {
+                    self.at += 1;
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(c, then, els))
+            }
+            Some(Tok::While) => {
+                self.at += 1;
+                self.eat(&Tok::LParen, "`(`")?;
+                let c = self.expr()?;
+                self.eat(&Tok::RParen, "`)`")?;
+                Ok(Stmt::While(c, self.block()?))
+            }
+            Some(Tok::For) => {
+                self.at += 1;
+                self.eat(&Tok::LParen, "`(`")?;
+                let init = self.simple()?;
+                self.eat(&Tok::Semi, "`;`")?;
+                let cond = self.expr()?;
+                self.eat(&Tok::Semi, "`;`")?;
+                let step = self.simple()?;
+                self.eat(&Tok::RParen, "`)`")?;
+                Ok(Stmt::For(Box::new(init), cond, Box::new(step), self.block()?))
+            }
+            Some(Tok::Break) => {
+                self.at += 1;
+                self.eat(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Break)
+            }
+            Some(Tok::Continue) => {
+                self.at += 1;
+                self.eat(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Continue)
+            }
+            Some(Tok::Out) => {
+                self.at += 1;
+                self.eat(&Tok::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.eat(&Tok::RParen, "`)`")?;
+                self.eat(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Out(e))
+            }
+            _ => {
+                let s = self.simple()?;
+                self.eat(&Tok::Semi, "`;`")?;
+                Ok(s)
+            }
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.bitor()
+    }
+
+    fn bitor(&mut self) -> Result<Expr> {
+        let mut e = self.bitxor()?;
+        while self.peek() == Some(&Tok::Pipe) {
+            self.at += 1;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(self.bitxor()?));
+        }
+        Ok(e)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr> {
+        let mut e = self.bitand()?;
+        while self.peek() == Some(&Tok::Caret) {
+            self.at += 1;
+            e = Expr::Bin(BinOp::Xor, Box::new(e), Box::new(self.bitand()?));
+        }
+        Ok(e)
+    }
+
+    fn bitand(&mut self) -> Result<Expr> {
+        let mut e = self.cmp()?;
+        while self.peek() == Some(&Tok::Amp) {
+            self.at += 1;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(self.cmp()?));
+        }
+        Ok(e)
+    }
+
+    fn cmp(&mut self) -> Result<Expr> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Lt) => BinOp::Lt,
+                Some(Tok::Le) => BinOp::Le,
+                Some(Tok::Gt) => BinOp::Gt,
+                Some(Tok::Ge) => BinOp::Ge,
+                Some(Tok::EqEq) => BinOp::Eq,
+                Some(Tok::Ne) => BinOp::Ne,
+                _ => return Ok(e),
+            };
+            self.at += 1;
+            e = Expr::Bin(op, Box::new(e), Box::new(self.shift()?));
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr> {
+        let mut e = self.addsub()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Shl) => BinOp::Shl,
+                Some(Tok::Shr) => BinOp::Shr,
+                _ => return Ok(e),
+            };
+            self.at += 1;
+            e = Expr::Bin(op, Box::new(e), Box::new(self.addsub()?));
+        }
+    }
+
+    fn addsub(&mut self) -> Result<Expr> {
+        let mut e = self.muldiv()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => return Ok(e),
+            };
+            self.at += 1;
+            e = Expr::Bin(op, Box::new(e), Box::new(self.muldiv()?));
+        }
+    }
+
+    fn muldiv(&mut self) -> Result<Expr> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Rem,
+                _ => return Ok(e),
+            };
+            self.at += 1;
+            e = Expr::Bin(op, Box::new(e), Box::new(self.unary()?));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.at += 1;
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::Float(v)) => Ok(Expr::Float(v)),
+            Some(Tok::KwInt) => {
+                self.eat(&Tok::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.eat(&Tok::RParen, "`)`")?;
+                Ok(Expr::ToInt(Box::new(e)))
+            }
+            Some(Tok::KwFloat) => {
+                self.eat(&Tok::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.eat(&Tok::RParen, "`)`")?;
+                Ok(Expr::ToFloat(Box::new(e)))
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.eat(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(n)) => {
+                if self.peek() == Some(&Tok::LBracket) {
+                    self.at += 1;
+                    let idx = self.expr()?;
+                    self.eat(&Tok::RBracket, "`]`")?;
+                    Ok(Expr::Index(n, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(n))
+                }
+            }
+            other => {
+                self.at -= 1;
+                let msg = format!("expected expression, found {other:?}");
+                self.err(msg)
+            }
+        }
+    }
+}
+
+/// Symbol table used by the checker, the evaluator and codegen.
+#[derive(Debug, Clone, Default)]
+pub struct Symbols {
+    /// Scalar name → type.
+    pub scalars: HashMap<String, Ty>,
+    /// Array name → (type, length).
+    pub arrays: HashMap<String, (Ty, u64)>,
+}
+
+impl Symbols {
+    /// Builds the table from declarations, rejecting duplicates.
+    pub fn build(k: &Kernel) -> Result<Symbols> {
+        let mut s = Symbols::default();
+        for d in &k.decls {
+            match d {
+                Decl::Scalar { name, ty } => {
+                    if s.scalars.insert(name.clone(), *ty).is_some() || s.arrays.contains_key(name)
+                    {
+                        return Err(LangError::Sema(format!("duplicate declaration of `{name}`")));
+                    }
+                }
+                Decl::Array { name, ty, len } => {
+                    if s.arrays.insert(name.clone(), (*ty, *len)).is_some()
+                        || s.scalars.contains_key(name)
+                    {
+                        return Err(LangError::Sema(format!("duplicate declaration of `{name}`")));
+                    }
+                }
+            }
+        }
+        Ok(s)
+    }
+}
+
+/// Computes the type of an expression, checking it on the way.
+pub fn ty_of(e: &Expr, sym: &Symbols) -> Result<Ty> {
+    match e {
+        Expr::Int(_) => Ok(Ty::Int),
+        Expr::Float(_) => Ok(Ty::Float),
+        Expr::Var(n) => sym
+            .scalars
+            .get(n)
+            .copied()
+            .ok_or_else(|| LangError::Sema(format!("undeclared variable `{n}`"))),
+        Expr::Index(n, idx) => {
+            let (ty, _) = sym
+                .arrays
+                .get(n)
+                .copied()
+                .ok_or_else(|| LangError::Sema(format!("undeclared array `{n}`")))?;
+            if ty_of(idx, sym)? != Ty::Int {
+                return Err(LangError::Sema(format!("index into `{n}` must be int")));
+            }
+            Ok(ty)
+        }
+        Expr::Bin(op, a, b) => {
+            let ta = ty_of(a, sym)?;
+            let tb = ty_of(b, sym)?;
+            if ta != tb {
+                return Err(LangError::Sema(format!("type mismatch in {op:?}: {ta:?} vs {tb:?}")));
+            }
+            if op.int_only() && ta != Ty::Int {
+                return Err(LangError::Sema(format!("{op:?} is integer-only")));
+            }
+            Ok(if op.is_cmp() { Ty::Int } else { ta })
+        }
+        Expr::Neg(a) => ty_of(a, sym),
+        Expr::ToInt(a) => {
+            ty_of(a, sym)?;
+            Ok(Ty::Int)
+        }
+        Expr::ToFloat(a) => {
+            ty_of(a, sym)?;
+            Ok(Ty::Float)
+        }
+    }
+}
+
+fn check_stmts(stmts: &[Stmt], sym: &Symbols) -> Result<()> {
+    check_stmts_at(stmts, sym, 0)
+}
+
+fn check_stmts_at(stmts: &[Stmt], sym: &Symbols, loop_depth: u32) -> Result<()> {
+    for s in stmts {
+        match s {
+            Stmt::Assign(n, e) => {
+                let tv = sym
+                    .scalars
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| LangError::Sema(format!("assignment to undeclared `{n}`")))?;
+                if ty_of(e, sym)? != tv {
+                    return Err(LangError::Sema(format!("type mismatch assigning `{n}`")));
+                }
+            }
+            Stmt::Store(n, idx, e) => {
+                let (ta, _) = sym
+                    .arrays
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| LangError::Sema(format!("store to undeclared array `{n}`")))?;
+                if ty_of(idx, sym)? != Ty::Int {
+                    return Err(LangError::Sema(format!("index into `{n}` must be int")));
+                }
+                if ty_of(e, sym)? != ta {
+                    return Err(LangError::Sema(format!("type mismatch storing to `{n}`")));
+                }
+            }
+            Stmt::If(c, a, b) => {
+                if ty_of(c, sym)? != Ty::Int {
+                    return Err(LangError::Sema("if condition must be int".into()));
+                }
+                check_stmts_at(a, sym, loop_depth)?;
+                check_stmts_at(b, sym, loop_depth)?;
+            }
+            Stmt::While(c, body) => {
+                if ty_of(c, sym)? != Ty::Int {
+                    return Err(LangError::Sema("while condition must be int".into()));
+                }
+                check_stmts_at(body, sym, loop_depth + 1)?;
+            }
+            Stmt::For(init, c, step, body) => {
+                check_stmts_at(std::slice::from_ref(init), sym, loop_depth)?;
+                if ty_of(c, sym)? != Ty::Int {
+                    return Err(LangError::Sema("for condition must be int".into()));
+                }
+                check_stmts_at(std::slice::from_ref(step), sym, loop_depth)?;
+                check_stmts_at(body, sym, loop_depth + 1)?;
+            }
+            Stmt::Out(e) => {
+                ty_of(e, sym)?;
+            }
+            Stmt::Break | Stmt::Continue => {
+                if loop_depth == 0 {
+                    return Err(LangError::Sema(
+                        "`break`/`continue` outside of a loop".into(),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses and semantically checks a DISC kernel.
+pub fn parse(src: &str) -> Result<Kernel> {
+    let toks = lex(src)?;
+    let mut p = P { toks, at: 0 };
+    let decls = p.decls()?;
+    let mut body = Vec::new();
+    while p.peek().is_some() {
+        body.push(p.stmt()?);
+    }
+    let k = Kernel { decls, body };
+    let sym = Symbols::build(&k)?;
+    check_stmts(&k.body, &sym)?;
+    Ok(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_representative_kernel() {
+        let k = parse(
+            r"
+            var i; var j; fvar acc;
+            arr idx[16]; farr v[16];
+            for (i = 0; i < 16; i = i + 1) {
+                j = idx[i];
+                acc = acc + v[j] * 2.0;
+                if (j & 1) { idx[i] = j + 1; } else { idx[i] = 0; }
+            }
+            out(acc);
+        ",
+        )
+        .unwrap();
+        assert_eq!(k.decls.len(), 5);
+        assert_eq!(k.body.len(), 2);
+        assert!(matches!(&k.body[0], Stmt::For(..)));
+        assert!(matches!(&k.body[1], Stmt::Out(_)));
+    }
+
+    #[test]
+    fn precedence() {
+        let k = parse("var x;\nx = 1 + 2 * 3;").unwrap();
+        match &k.body[0] {
+            Stmt::Assign(_, Expr::Bin(BinOp::Add, _, rhs)) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let k = parse("var x;\nx = 1 < 2 & 3 < 4;").unwrap();
+        match &k.body[0] {
+            Stmt::Assign(_, Expr::Bin(BinOp::And, a, b)) => {
+                assert!(matches!(**a, Expr::Bin(BinOp::Lt, _, _)));
+                assert!(matches!(**b, Expr::Bin(BinOp::Lt, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(parse("var x; fvar y;\nx = y;").is_err());
+        assert!(parse("fvar y;\ny = 1 & 2;").is_err()); // assign int to float
+        assert!(parse("fvar a; fvar b; var c;\nc = int(a % b);").is_err()); // % on floats
+        assert!(parse("var x;\nx = nope;").is_err());
+        assert!(parse("arr a[4]; fvar f;\na[f] = 1;").is_err()); // float index
+        assert!(parse("fvar f;\nif (f) { }").is_err()); // float condition
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        assert!(parse("var x; var x;").is_err());
+        assert!(parse("var a; arr a[4];").is_err());
+    }
+
+    #[test]
+    fn conversions_typecheck() {
+        let k = parse("var i; fvar f;\nf = float(i) * 0.5;\ni = int(f) + 1;").unwrap();
+        assert_eq!(k.body.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        match parse("var x;\nx = ;") {
+            Err(LangError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Memory-system configuration.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Block (line) size in bytes (power of two).
+    pub block_bytes: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Access latency in cycles (charged on a hit at this level).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Table 1 L1 data cache: 256 sets, 32-byte blocks, 4-way, 1 cycle.
+    pub fn paper_l1() -> CacheConfig {
+        CacheConfig { sets: 256, block_bytes: 32, ways: 4, latency: 1 }
+    }
+
+    /// Table 1 unified L2: 1024 sets, 64-byte blocks, 4-way, 12 cycles.
+    pub fn paper_l2() -> CacheConfig {
+        CacheConfig { sets: 1024, block_bytes: 64, ways: 4, latency: 12 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.block_bytes as u64
+    }
+
+    /// Panics if geometry is not a power of two or zero-sized.
+    pub fn validate(&self) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(self.block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(self.ways > 0, "associativity must be positive");
+    }
+}
+
+/// Configuration of the whole memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Main-memory access latency in cycles (charged after an L2 miss).
+    pub mem_latency: u32,
+    /// Number of miss-status-holding registers (outstanding L1 misses).
+    pub mshrs: u32,
+}
+
+impl MemConfig {
+    /// The paper's Table 1 configuration (L2 = 12 cycles, memory = 120
+    /// cycles).
+    pub fn paper() -> MemConfig {
+        MemConfig {
+            l1: CacheConfig::paper_l1(),
+            l2: CacheConfig::paper_l2(),
+            mem_latency: 120,
+            mshrs: 8,
+        }
+    }
+
+    /// The paper configuration with the Figure-10 latency override:
+    /// `(l2_latency, mem_latency)` ∈ {(4,40), (8,80), (12,120), (16,160)}.
+    pub fn paper_with_latency(l2_latency: u32, mem_latency: u32) -> MemConfig {
+        let mut c = MemConfig::paper();
+        c.l2.latency = l2_latency;
+        c.mem_latency = mem_latency;
+        c
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities() {
+        // 256 sets * 4 ways * 32 B = 32 KiB L1
+        assert_eq!(CacheConfig::paper_l1().capacity(), 32 * 1024);
+        // 1024 sets * 4 ways * 64 B = 256 KiB L2
+        assert_eq!(CacheConfig::paper_l2().capacity(), 256 * 1024);
+    }
+
+    #[test]
+    fn latency_override() {
+        let c = MemConfig::paper_with_latency(16, 160);
+        assert_eq!(c.l2.latency, 16);
+        assert_eq!(c.mem_latency, 160);
+        assert_eq!(c.l1.latency, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_non_pow2() {
+        CacheConfig { sets: 3, block_bytes: 32, ways: 4, latency: 1 }.validate();
+    }
+}

@@ -1,0 +1,31 @@
+//! # hidisc-mem — the memory-hierarchy timing model
+//!
+//! Tag-only, cycle-approximate model of the memory system used by every
+//! machine configuration in the HiDISC suite: a write-back, write-allocate
+//! L1 data cache, a unified L2, and a fixed-latency DRAM, with MSHRs for
+//! non-blocking misses.
+//!
+//! The model is *tag-only*: actual data lives in the architectural
+//! `hidisc_isa::mem::Memory` shared with the functional simulator; this
+//! crate only decides *when* an access completes and tracks hit/miss
+//! statistics.
+//!
+//! Default parameters reproduce Table 1 of the paper:
+//!
+//! | parameter | value |
+//! |-----------|-------|
+//! | L1 data   | 256 sets, 32 B blocks, 4-way, LRU, 1 cycle |
+//! | L2 unified| 1024 sets, 64 B blocks, 4-way, LRU, 12 cycles |
+//! | memory    | 120 cycles |
+
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod prefetcher;
+pub mod stats;
+
+pub use cache::Cache;
+pub use config::{CacheConfig, MemConfig};
+pub use hierarchy::{AccessKind, AccessResult, MemSystem};
+pub use prefetcher::{RptConfig, StridePrefetcher};
+pub use stats::{CacheStats, MemStats};

@@ -1,0 +1,118 @@
+//! The set-associative cache must agree with a naive reference model
+//! (explicit per-set LRU lists) on arbitrary access traces.
+
+use hidisc_mem::cache::Cache;
+use hidisc_mem::CacheConfig;
+use proptest::prelude::*;
+
+/// Naive oracle: each set is a Vec of tags, most-recent first.
+struct NaiveLru {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    block: u64,
+    nsets: u64,
+}
+
+impl NaiveLru {
+    fn new(cfg: CacheConfig) -> NaiveLru {
+        NaiveLru {
+            sets: vec![Vec::new(); cfg.sets as usize],
+            ways: cfg.ways as usize,
+            block: cfg.block_bytes as u64,
+            nsets: cfg.sets as u64,
+        }
+    }
+
+    /// Returns hit/miss and updates the model.
+    fn access(&mut self, addr: u64) -> bool {
+        let blk = addr / self.block;
+        let set = (blk % self.nsets) as usize;
+        let tag = blk / self.nsets;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&t| t == tag) {
+            s.remove(pos);
+            s.insert(0, tag);
+            true
+        } else {
+            s.insert(0, tag);
+            s.truncate(self.ways);
+            false
+        }
+    }
+}
+
+fn small_cfg() -> CacheConfig {
+    CacheConfig { sets: 8, block_bytes: 32, ways: 2, latency: 1 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_naive_lru(addrs in prop::collection::vec(0u64..(1 << 14), 1..400)) {
+        let cfg = small_cfg();
+        let mut cache = Cache::new(cfg);
+        let mut oracle = NaiveLru::new(cfg);
+        for &a in &addrs {
+            let got = cache.access(a, false, false).hit;
+            let want = oracle.access(a);
+            prop_assert_eq!(got, want, "address {:#x}", a);
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(addrs in prop::collection::vec(0u64..(1 << 13), 1..300)) {
+        let mut cache = Cache::new(small_cfg());
+        let mut misses = 0u64;
+        for &a in &addrs {
+            if !cache.access(a, false, false).hit {
+                misses += 1;
+            }
+        }
+        let st = cache.stats();
+        prop_assert_eq!(st.demand_accesses, addrs.len() as u64);
+        prop_assert_eq!(st.demand_misses, misses);
+        prop_assert!(st.demand_misses <= st.demand_accesses);
+    }
+
+    #[test]
+    fn peek_never_changes_behaviour(
+        addrs in prop::collection::vec(0u64..(1 << 12), 1..200),
+        peeks in prop::collection::vec(0u64..(1 << 12), 1..200),
+    ) {
+        let cfg = small_cfg();
+        let mut a_cache = Cache::new(cfg);
+        let mut b_cache = Cache::new(cfg);
+        let mut a_hits = Vec::new();
+        let mut b_hits = Vec::new();
+        for (i, &addr) in addrs.iter().enumerate() {
+            a_hits.push(a_cache.access(addr, false, false).hit);
+            // b interleaves peeks
+            if let Some(&p) = peeks.get(i) {
+                let _ = b_cache.peek(p);
+            }
+            b_hits.push(b_cache.access(addr, false, false).hit);
+        }
+        prop_assert_eq!(a_hits, b_hits);
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup(
+        // ways * sets distinct blocks fit exactly
+        rounds in 2u32..6,
+    ) {
+        let cfg = small_cfg();
+        let mut cache = Cache::new(cfg);
+        let blocks = (cfg.sets * cfg.ways) as u64;
+        // warm
+        for b in 0..blocks {
+            cache.access(b * cfg.block_bytes as u64, false, false);
+        }
+        // every later round must hit
+        for _ in 0..rounds {
+            for b in 0..blocks {
+                prop_assert!(cache.access(b * cfg.block_bytes as u64, false, false).hit);
+            }
+        }
+    }
+}

@@ -1,0 +1,1090 @@
+//! The out-of-order core pipeline.
+//!
+//! See the crate docs for the model summary. The per-cycle stage order is
+//! commit → store-data pump → mispredict resolution → issue → dispatch →
+//! fetch, so an instruction needs at least one cycle per stage and results
+//! become visible to dependents the cycle after they complete.
+
+use crate::config::CoreConfig;
+use crate::fu::{latency_of, FuPool};
+use crate::lsq::{LoadCheck, Lsq, LsqEntry};
+use crate::predictor::Predictor;
+use crate::queues::QueueFile;
+use crate::ruu::{EntryState, Ruu};
+use crate::stats::CoreStats;
+use hidisc_isa::instr::{FuClass, Src, Width};
+use hidisc_isa::interp::{f64_to_i64, RegFile};
+use hidisc_isa::mem::Memory;
+use hidisc_isa::{Instr, IsaError, Program, Queue, Result};
+use hidisc_mem::{AccessKind, MemSystem, StridePrefetcher};
+use std::collections::VecDeque;
+
+/// A CMAS fork event produced when the Access Processor commits a trigger
+/// instruction: the CMP spawns a thread with this register context.
+#[derive(Debug, Clone)]
+pub struct TriggerFork {
+    /// CMAS id from the trigger annotation.
+    pub cmas: u32,
+    /// Snapshot of the forking core's register file.
+    pub regs: RegFile,
+}
+
+/// Shared machine resources handed to the core each cycle.
+pub struct CoreCtx<'a> {
+    /// The (shared) memory-hierarchy timing model.
+    pub mem_sys: &'a mut MemSystem,
+    /// The architectural queues.
+    pub queues: &'a mut QueueFile,
+    /// Architectural data memory.
+    pub data: &'a mut Memory,
+    /// Sink for CMAS trigger forks fired at commit.
+    pub triggers: &'a mut Vec<TriggerFork>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    pc: u32,
+    instr: Instr,
+    predicted_taken: bool,
+}
+
+/// Sign/zero-extends a raw stored value to the load's width.
+fn extend(v: i64, width: Width, signed: bool) -> i64 {
+    match (width, signed) {
+        (Width::B, true) => v as i8 as i64,
+        (Width::B, false) => v as u8 as i64,
+        (Width::H, true) => v as i16 as i64,
+        (Width::H, false) => v as u16 as i64,
+        (Width::W, true) => v as i32 as i64,
+        (Width::W, false) => v as u32 as i64,
+        (Width::D, _) => v,
+    }
+}
+
+/// Result of the functional part of dispatching one instruction.
+enum DispatchOutcome {
+    /// Dispatched; entry fields were filled in.
+    Ok,
+    /// Blocked popping this queue.
+    QueueEmpty(Queue),
+    /// Blocked on an older store with unavailable data.
+    MemDep,
+}
+
+/// One out-of-order processor.
+#[derive(Debug)]
+pub struct OooCore {
+    /// Human-readable name ("superscalar", "CP", "AP").
+    pub name: &'static str,
+    cfg: CoreConfig,
+    prog: Program,
+    /// Architectural + speculative register file (functional execution is
+    /// in-order at dispatch, so this is always program-order correct).
+    pub regs: RegFile,
+    predictor: Predictor,
+    fu: FuPool,
+    ruu: Ruu,
+    lsq: Lsq,
+    ifq: VecDeque<Fetched>,
+    fetch_pc: u32,
+    fetch_halted: bool,
+    frontend_ready_at: u64,
+    /// Unresolved mispredicted branch: `(seq, correct_next_pc)`.
+    mispredict_pending: Option<(u64, u32)>,
+    /// Set once `halt` commits.
+    pub finished: bool,
+    now: u64,
+    stats: CoreStats,
+    /// Queue that stalled dispatch last cycle (for LoD edge detection).
+    stalled_on: Option<Queue>,
+    /// Optional Chen-Baer stride prefetcher on demand loads.
+    rpt: Option<StridePrefetcher>,
+}
+
+impl OooCore {
+    /// Creates a core running `prog`.
+    pub fn new(name: &'static str, cfg: CoreConfig, prog: Program) -> OooCore {
+        cfg.validate();
+        OooCore {
+            name,
+            predictor: Predictor::new(cfg.predictor_kind, cfg.predictor_entries),
+            fu: FuPool::new(&cfg),
+            ruu: Ruu::new(cfg.ruu_size as usize),
+            lsq: Lsq::new(cfg.lsq_size.max(1) as usize),
+            ifq: VecDeque::with_capacity(cfg.ifq_size as usize),
+            fetch_pc: 0,
+            fetch_halted: false,
+            frontend_ready_at: 0,
+            mispredict_pending: None,
+            finished: false,
+            now: 0,
+            stats: CoreStats::default(),
+            stalled_on: None,
+            rpt: cfg.hw_prefetcher.map(StridePrefetcher::new),
+            regs: RegFile::new(),
+            cfg,
+            prog,
+        }
+    }
+
+    /// Stride-prefetcher statistics, when one is attached.
+    pub fn rpt_stats(&self) -> Option<hidisc_mem::prefetcher::RptStats> {
+        self.rpt.as_ref().map(|p| *p.stats())
+    }
+
+    /// The program this core executes.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Branch-predictor statistics `(predictions, mispredictions)`.
+    pub fn predictor_stats(&self) -> (u64, u64) {
+        self.predictor.stats()
+    }
+
+    /// Sets an integer register before simulation starts (workload
+    /// parameters).
+    pub fn set_reg(&mut self, r: hidisc_isa::IntReg, v: i64) {
+        self.regs.set_i(r, v);
+    }
+
+    /// True when the core has committed its `halt` and drained.
+    pub fn is_done(&self) -> bool {
+        self.finished
+    }
+
+    /// Advances the core by one cycle.
+    pub fn step(&mut self, now: u64, ctx: &mut CoreCtx<'_>) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.now = now;
+        self.stats.cycles += 1;
+        self.fu.begin_cycle();
+        self.ruu.harvest_completions(now);
+        self.resolve_mispredict(now);
+        self.commit(ctx)?;
+        self.pump_store_data(ctx);
+        self.issue(ctx);
+        self.dispatch(ctx)?;
+        self.fetch();
+        Ok(())
+    }
+
+    // --------------------------------------------------------------- fetch
+
+    fn fetch(&mut self) {
+        if self.fetch_halted || self.finished {
+            return;
+        }
+        if self.mispredict_pending.is_some() || self.now < self.frontend_ready_at {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.ifq.len() >= self.cfg.ifq_size as usize {
+                break;
+            }
+            let Some(&instr) = self.prog.get(self.fetch_pc) else {
+                self.fetch_halted = true;
+                break;
+            };
+            let pc = self.fetch_pc;
+            let mut predicted_taken = false;
+            match instr {
+                Instr::Branch { target, .. } | Instr::CBranch { target } => {
+                    predicted_taken = self.predictor.predict(pc);
+                    self.fetch_pc = if predicted_taken { target } else { pc + 1 };
+                }
+                Instr::Jump { target } => {
+                    self.fetch_pc = target;
+                }
+                Instr::Halt => {
+                    self.fetch_halted = true;
+                }
+                _ => {
+                    self.fetch_pc = pc + 1;
+                }
+            }
+            self.ifq.push_back(Fetched { pc, instr, predicted_taken });
+            if matches!(instr, Instr::Halt) {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ dispatch
+
+    fn dispatch(&mut self, ctx: &mut CoreCtx<'_>) -> Result<()> {
+        let mut stalled: Option<Queue> = None;
+        let mut mem_dep = false;
+        for _ in 0..self.cfg.dispatch_width {
+            let Some(&f) = self.ifq.front() else { break };
+            if self.ruu.is_full() {
+                self.stats.ruu_full_cycles += 1;
+                break;
+            }
+            if f.instr.is_mem() && self.lsq.is_full() {
+                self.stats.lsq_full_cycles += 1;
+                break;
+            }
+            if f.instr.is_mem() && !self.fu.exists(FuClass::Mem) {
+                return Err(IsaError::Exec {
+                    pc: f.pc,
+                    msg: format!("memory instruction on core {} with no memory ports", self.name),
+                });
+            }
+            if f.instr.is_fp() && !self.fu.exists(f.instr.fu_class()) {
+                return Err(IsaError::Exec {
+                    pc: f.pc,
+                    msg: format!("fp instruction on core {} with no fp units", self.name),
+                });
+            }
+
+            match self.dispatch_one(f, ctx)? {
+                DispatchOutcome::Ok => {
+                    self.ifq.pop_front();
+                    self.stats.dispatched += 1;
+                    if matches!(f.instr, Instr::Halt) {
+                        break;
+                    }
+                }
+                DispatchOutcome::QueueEmpty(q) => {
+                    self.stats.stall_dispatch(q);
+                    stalled = Some(q);
+                    break;
+                }
+                DispatchOutcome::MemDep => {
+                    self.stats.mem_dep_stalls += 1;
+                    mem_dep = true;
+                    break;
+                }
+            }
+        }
+        // Loss-of-decoupling event = a fresh episode of blocking on a queue
+        // pop (or on cross-stream store data).
+        let blocking = stalled.or(if mem_dep { Some(Queue::Sdq) } else { None });
+        if blocking.is_some() && self.stalled_on.is_none() {
+            self.stats.lod_events += 1;
+        }
+        self.stalled_on = blocking;
+        Ok(())
+    }
+
+    /// Dispatches one instruction: functional execution, RUU/LSQ
+    /// allocation, dependence capture, branch handling.
+    fn dispatch_one(&mut self, f: Fetched, ctx: &mut CoreCtx<'_>) -> Result<DispatchOutcome> {
+        let Fetched { pc, instr, predicted_taken } = f;
+        let mut payload: u64 = 0;
+        let mut lsq_entry: Option<LsqEntry> = None;
+        let mut branch_actual = false;
+        let mut correct_next = pc + 1;
+
+        // ---- functional execution (program order) ----
+        match instr {
+            Instr::IntOp { op, dst, a, b } => {
+                let bv = match b {
+                    Src::Reg(r) => self.regs.get_i(r),
+                    Src::Imm(v) => v,
+                };
+                let v = op.eval(self.regs.get_i(a), bv);
+                self.regs.set_i(dst, v);
+            }
+            Instr::Li { dst, imm } => self.regs.set_i(dst, imm),
+            Instr::FpBin { op, dst, a, b } => {
+                let v = op.eval(self.regs.get_f(a), self.regs.get_f(b));
+                self.regs.set_f(dst, v);
+            }
+            Instr::FpUn { op, dst, a } => {
+                let v = op.eval(self.regs.get_f(a));
+                self.regs.set_f(dst, v);
+            }
+            Instr::FpCmp { op, dst, a, b } => {
+                let v = op.eval(self.regs.get_f(a), self.regs.get_f(b)) as i64;
+                self.regs.set_i(dst, v);
+            }
+            Instr::CvtIf { dst, src } => {
+                let v = self.regs.get_i(src) as f64;
+                self.regs.set_f(dst, v);
+            }
+            Instr::CvtFi { dst, src } => {
+                let v = f64_to_i64(self.regs.get_f(src));
+                self.regs.set_i(dst, v);
+            }
+            _ => {}
+        }
+
+        // Memory & queue instructions need more careful handling; do them
+        // in a second match so the first can stay simple.
+        match instr {
+            Instr::Load { dst, base, off, width, signed } => {
+                let addr = (self.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                let v = match self.lsq.check_load(u64::MAX, addr, width) {
+                    LoadCheck::Clear => ctx.data.load(addr, width, signed)?,
+                    LoadCheck::Forward(raw) => {
+                        self.stats.forwarded_loads += 1;
+                        extend(raw, width, signed)
+                    }
+                    LoadCheck::Blocked(_) => return Ok(DispatchOutcome::MemDep),
+                };
+                self.regs.set_i(dst, v);
+                lsq_entry = Some(LsqEntry {
+                    seq: 0, // patched below
+                    is_store: false,
+                    addr,
+                    width,
+                    value: v,
+                    data_known: true,
+                    data_queue: None,
+                    performed: false,
+                });
+            }
+            Instr::LoadF { dst, base, off } => {
+                let addr = (self.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                let v = match self.lsq.check_load(u64::MAX, addr, Width::D) {
+                    LoadCheck::Clear => ctx.data.read_f64(addr)?,
+                    LoadCheck::Forward(raw) => {
+                        self.stats.forwarded_loads += 1;
+                        f64::from_bits(raw as u64)
+                    }
+                    LoadCheck::Blocked(_) => return Ok(DispatchOutcome::MemDep),
+                };
+                self.regs.set_f(dst, v);
+                lsq_entry = Some(LsqEntry {
+                    seq: 0,
+                    is_store: false,
+                    addr,
+                    width: Width::D,
+                    value: v.to_bits() as i64,
+                    data_known: true,
+                    data_queue: None,
+                    performed: false,
+                });
+            }
+            Instr::LoadQ { q: _, base, off, width, signed } => {
+                let addr = (self.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                let v = match self.lsq.check_load(u64::MAX, addr, width) {
+                    LoadCheck::Clear => ctx.data.load(addr, width, signed)?,
+                    LoadCheck::Forward(raw) => {
+                        self.stats.forwarded_loads += 1;
+                        extend(raw, width, signed)
+                    }
+                    LoadCheck::Blocked(_) => return Ok(DispatchOutcome::MemDep),
+                };
+                payload = v as u64;
+                lsq_entry = Some(LsqEntry {
+                    seq: 0,
+                    is_store: false,
+                    addr,
+                    width,
+                    value: v,
+                    data_known: true,
+                    data_queue: None,
+                    performed: false,
+                });
+            }
+            Instr::Store { src, base, off, width } => {
+                let addr = (self.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                lsq_entry = Some(LsqEntry {
+                    seq: 0,
+                    is_store: true,
+                    addr,
+                    width,
+                    value: self.regs.get_i(src),
+                    data_known: true,
+                    data_queue: None,
+                    performed: false,
+                });
+            }
+            Instr::StoreF { src, base, off } => {
+                let addr = (self.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                lsq_entry = Some(LsqEntry {
+                    seq: 0,
+                    is_store: true,
+                    addr,
+                    width: Width::D,
+                    value: self.regs.get_f(src).to_bits() as i64,
+                    data_known: true,
+                    data_queue: None,
+                    performed: false,
+                });
+            }
+            Instr::StoreQ { q, base, off, width } => {
+                let addr = (self.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                lsq_entry = Some(LsqEntry {
+                    seq: 0,
+                    is_store: true,
+                    addr,
+                    width,
+                    value: 0,
+                    data_known: false,
+                    data_queue: Some(q),
+                    performed: false,
+                });
+            }
+            Instr::Prefetch { base, off } => {
+                let addr = (self.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                lsq_entry = Some(LsqEntry {
+                    seq: 0,
+                    is_store: false,
+                    addr,
+                    width: Width::D,
+                    value: 0,
+                    data_known: true,
+                    data_queue: None,
+                    performed: false,
+                });
+            }
+            Instr::SendI { q: _, src } => payload = self.regs.get_i(src) as u64,
+            Instr::SendF { q: _, src } => payload = self.regs.get_f(src).to_bits(),
+            Instr::RecvI { q, dst } => match ctx.queues.try_pop(q) {
+                Some(v) => self.regs.set_i(dst, v as i64),
+                None => return Ok(DispatchOutcome::QueueEmpty(q)),
+            },
+            Instr::RecvF { q, dst } => match ctx.queues.try_pop(q) {
+                Some(v) => self.regs.set_f(dst, f64::from_bits(v)),
+                None => return Ok(DispatchOutcome::QueueEmpty(q)),
+            },
+            Instr::GetScq => {
+                // Never blocks: an empty SCQ just means the CMP is behind.
+                let _ = ctx.queues.try_pop(Queue::Scq);
+            }
+            Instr::Branch { cond, a, b, target } => {
+                branch_actual = cond.eval(self.regs.get_i(a), self.regs.get_i(b));
+                correct_next = if branch_actual { target } else { pc + 1 };
+                payload = branch_actual as u64;
+            }
+            Instr::CBranch { target } => match ctx.queues.try_pop(Queue::Cq) {
+                Some(v) => {
+                    branch_actual = v != 0;
+                    correct_next = if branch_actual { target } else { pc + 1 };
+                }
+                None => return Ok(DispatchOutcome::QueueEmpty(Queue::Cq)),
+            },
+            Instr::Jump { target } => {
+                correct_next = target;
+                payload = 1;
+            }
+            _ => {}
+        }
+
+        // ---- allocate the RUU entry and capture timing dependences ----
+        let deps = {
+            let mut deps = [None; 3];
+            for (i, u) in instr.uses().into_iter().enumerate() {
+                if let Some(r) = u {
+                    deps[i] = self.last_producer(r);
+                }
+            }
+            deps
+        };
+        let seq = self.ruu.push(pc, instr);
+        {
+            let e = self.ruu.get_mut(seq).expect("just pushed");
+            e.deps = deps;
+            e.payload = payload;
+            e.predicted_taken = predicted_taken;
+            e.actual_taken = branch_actual;
+            e.correct_next = correct_next;
+        }
+        if let Some(mut le) = lsq_entry {
+            le.seq = seq;
+            self.lsq.push(le);
+        }
+        self.set_producer(instr, seq);
+
+        // ---- branch outcome handling ----
+        match instr {
+            Instr::Branch { .. } => {
+                self.predictor.update(pc, branch_actual, predicted_taken);
+                if branch_actual != predicted_taken {
+                    self.stats.mispredicts += 1;
+                    self.ifq.clear();
+                    self.ruu.get_mut(seq).unwrap().mispredicted = true;
+                    self.mispredict_pending = Some((seq, correct_next));
+                }
+            }
+            Instr::CBranch { .. } => {
+                self.predictor.update(pc, branch_actual, predicted_taken);
+                if branch_actual != predicted_taken {
+                    self.stats.cbranch_redirects += 1;
+                    self.ifq.clear();
+                    // The pop *is* the resolution: redirect immediately,
+                    // paying only the front-end refill penalty.
+                    self.fetch_pc = correct_next;
+                    self.fetch_halted = false;
+                    self.frontend_ready_at = self.now + self.cfg.frontend_penalty as u64;
+                }
+            }
+            _ => {}
+        }
+        Ok(DispatchOutcome::Ok)
+    }
+
+    /// Rename table: last in-flight producer of a register. Implemented as
+    /// a scan of the (small) RUU from youngest to oldest.
+    fn last_producer(&self, r: hidisc_isa::instr::RegRef) -> Option<u64> {
+        let mut newest = None;
+        for e in self.ruu.iter() {
+            if e.state != EntryState::Done || e.complete_at > self.now {
+                if e.instr.def() == Some(r) {
+                    newest = Some(e.seq);
+                }
+            } else if e.instr.def() == Some(r) {
+                // Completed but not yet committed: result available.
+                newest = None;
+            }
+        }
+        newest
+    }
+
+    fn set_producer(&mut self, _instr: Instr, _seq: u64) {
+        // Producer tracking is derived from the RUU contents in
+        // `last_producer`; nothing to record here.
+    }
+
+    // --------------------------------------------------------------- issue
+
+    fn issue(&mut self, ctx: &mut CoreCtx<'_>) {
+        let now = self.now;
+        let mut budget = self.cfg.issue_width;
+        let candidates: Vec<u64> = self
+            .ruu
+            .iter()
+            .filter(|e| e.state == EntryState::Waiting)
+            .map(|e| e.seq)
+            .collect();
+        for seq in candidates {
+            if budget == 0 {
+                break;
+            }
+            let (deps, instr, _pc) = {
+                let e = self.ruu.get(seq).unwrap();
+                (e.deps, e.instr, e.pc)
+            };
+            if !deps.iter().flatten().all(|&d| self.ruu.producer_done(d, now)) {
+                continue;
+            }
+
+            let complete_at = if instr.is_load() || matches!(instr, Instr::Prefetch { .. }) {
+                let (addr, width) = {
+                    let le = self.lsq.get(seq).expect("load has LSQ entry");
+                    (le.addr, le.width)
+                };
+                let agen = self.cfg.lat.agen as u64;
+                if matches!(instr, Instr::Prefetch { .. }) {
+                    if !self.fu.try_acquire(FuClass::Mem) {
+                        continue;
+                    }
+                    match ctx.mem_sys.access(addr, AccessKind::Prefetch, now + agen) {
+                        Some(r) => {
+                            // The prefetch instruction itself retires
+                            // quickly; the fill continues in the MSHR.
+                            let _ = r;
+                            now + agen + 1
+                        }
+                        None => {
+                            // Droppable: no MSHR, give up on this prefetch.
+                            self.stats.dropped_prefetches += 1;
+                            now + agen
+                        }
+                    }
+                } else {
+                    match self.lsq.check_load(seq, addr, width) {
+                        LoadCheck::Blocked(_) => continue,
+                        LoadCheck::Forward(_) => {
+                            if !self.fu.try_acquire(FuClass::Mem) {
+                                continue;
+                            }
+                            now + agen + 1
+                        }
+                        LoadCheck::Clear => {
+                            if !self.fu.try_acquire(FuClass::Mem) {
+                                continue;
+                            }
+                            match ctx.mem_sys.access(addr, AccessKind::Load, now + agen) {
+                                Some(r) => {
+                                    // Related-work comparator: a hardware
+                                    // stride prefetcher observing demand
+                                    // loads (droppable fills).
+                                    if let Some(rpt) = self.rpt.as_mut() {
+                                        if let Some(pf) = rpt.observe(_pc, addr) {
+                                            let _ = ctx.mem_sys.access(
+                                                pf,
+                                                AccessKind::Prefetch,
+                                                now + agen,
+                                            );
+                                        }
+                                    }
+                                    r.complete_at
+                                }
+                                None => {
+                                    self.stats.mshr_retries += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+            } else if instr.is_store() {
+                // Address generation only; the cache access happens at
+                // commit through the write buffer.
+                if !self.fu.try_acquire(FuClass::IntAlu) {
+                    continue;
+                }
+                now + self.cfg.lat.agen as u64
+            } else {
+                let class = instr.fu_class();
+                if !self.fu.try_acquire(class) {
+                    continue;
+                }
+                now + latency_of(&instr, &self.cfg.lat) as u64
+            };
+
+            let e = self.ruu.get_mut(seq).unwrap();
+            e.state = EntryState::Issued;
+            e.complete_at = complete_at;
+            budget -= 1;
+        }
+    }
+
+    // ----------------------------------------------------------- mispredict
+
+    fn resolve_mispredict(&mut self, now: u64) {
+        if let Some((seq, next)) = self.mispredict_pending {
+            if self.ruu.producer_done(seq, now) {
+                self.fetch_pc = next;
+                self.fetch_halted = false;
+                self.frontend_ready_at = now + self.cfg.frontend_penalty as u64;
+                self.mispredict_pending = None;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- pump
+
+    fn pump_store_data(&mut self, ctx: &mut CoreCtx<'_>) {
+        let max = self.cfg.mem_ports.max(1) as usize;
+        self.lsq.pump_store_data(max, |q| ctx.queues.try_pop(q));
+    }
+
+    // -------------------------------------------------------------- commit
+
+    fn commit(&mut self, ctx: &mut CoreCtx<'_>) -> Result<()> {
+        for _ in 0..self.cfg.commit_width {
+            let Some(front) = self.ruu.front() else { break };
+            if front.state != EntryState::Done || front.complete_at > self.now {
+                break;
+            }
+            let seq = front.seq;
+            let pc = front.pc;
+            let instr = front.instr;
+            let payload = front.payload;
+            let actual_taken = front.actual_taken;
+            let annot = *self.prog.annot(pc);
+
+            // Stores: need data, then drain through the write buffer.
+            if instr.is_store() {
+                let (addr, width, value, data_known, data_queue) = {
+                    let le = self.lsq.get(seq).expect("store has LSQ entry");
+                    (le.addr, le.width, le.value, le.data_known, le.data_queue)
+                };
+                if !data_known {
+                    self.stats.stall_commit(data_queue.unwrap_or(Queue::Sdq));
+                    break;
+                }
+                match ctx.mem_sys.access(addr, AccessKind::Store, self.now) {
+                    Some(_) => {
+                        ctx.data.store(addr, width, value)?;
+                        self.lsq.get_mut(seq).unwrap().performed = true;
+                    }
+                    None => break, // MSHR full: retry next cycle
+                }
+            }
+
+            // Queue pushes (all-or-nothing per entry).
+            if let Some(q) = instr.queue_push() {
+                if !ctx.queues.try_push(q, payload) {
+                    self.stats.stall_commit(q);
+                    break;
+                }
+            }
+            if annot.push_cq && instr.is_control()
+                && !ctx.queues.try_push(Queue::Cq, actual_taken as u64) {
+                    self.stats.stall_commit(Queue::Cq);
+                    break;
+                }
+
+            // Slip control: the compiler's GET_SCQ (never blocks).
+            if annot.scq_get {
+                let _ = ctx.queues.try_pop(Queue::Scq);
+            }
+
+            // CMAS trigger fork.
+            if let Some(cmas) = annot.trigger {
+                ctx.triggers.push(TriggerFork { cmas, regs: self.regs.clone() });
+                self.stats.triggers_fired += 1;
+            }
+
+            if instr.is_mem() {
+                self.stats.committed_mem += 1;
+                self.lsq.remove(seq);
+            }
+            if matches!(instr, Instr::Halt) {
+                self.finished = true;
+            }
+            self.stats.committed += 1;
+            self.ruu.pop_front();
+            if self.finished {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queues::QueueConfig;
+    use hidisc_isa::asm::assemble;
+    use hidisc_isa::IntReg;
+    use hidisc_mem::MemConfig;
+
+    /// Runs a (sequential) program on a lone core; returns the core and
+    /// cycles used.
+    fn run(src: &str, init: &[(u8, i64)], mem_init: &[(u64, i64)]) -> (OooCore, Memory, u64) {
+        let prog = assemble("t", src).unwrap();
+        let mut core = OooCore::new("test", CoreConfig::paper_superscalar(), prog);
+        for &(r, v) in init {
+            core.set_reg(IntReg::new(r), v);
+        }
+        let mut mem = Memory::new();
+        for &(a, v) in mem_init {
+            mem.write_i64(a, v).unwrap();
+        }
+        let mut mem_sys = MemSystem::new(MemConfig::paper());
+        let mut queues = QueueFile::new(QueueConfig::paper());
+        let mut triggers = Vec::new();
+        let mut now = 0;
+        while !core.is_done() {
+            let mut ctx = CoreCtx {
+                mem_sys: &mut mem_sys,
+                queues: &mut queues,
+                data: &mut mem,
+                triggers: &mut triggers,
+            };
+            core.step(now, &mut ctx).unwrap();
+            now += 1;
+            assert!(now < 1_000_000, "runaway simulation");
+        }
+        (core, mem, now)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let (core, _, cycles) = run(
+            r"
+            li r1, 5
+            li r2, 7
+            add r3, r1, r2
+            mul r4, r3, r3
+            halt
+        ",
+            &[],
+            &[],
+        );
+        assert_eq!(core.regs.get_i(IntReg::new(3)), 12);
+        assert_eq!(core.regs.get_i(IntReg::new(4)), 144);
+        assert!(cycles > 4 && cycles < 40, "cycles = {cycles}");
+        assert_eq!(core.stats().committed, 5);
+    }
+
+    #[test]
+    fn loop_with_branches() {
+        let (core, _, _) = run(
+            r"
+            li r1, 0
+            li r2, 100
+        loop:
+            add r1, r1, r2
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+            &[],
+            &[],
+        );
+        assert_eq!(core.regs.get_i(IntReg::new(1)), 5050);
+        // Exactly one final misprediction is typical for bimodal on a loop
+        // exit; allow a couple for warmup.
+        assert!(core.stats().mispredicts <= 3);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let (core, mem, _) = run(
+            r"
+            li r1, 0x1000
+            ld r2, 0(r1)
+            add r2, r2, 1
+            sd r2, 8(r1)
+            ld r3, 8(r1)
+            halt
+        ",
+            &[],
+            &[(0x1000, 41)],
+        );
+        assert_eq!(core.regs.get_i(IntReg::new(3)), 42);
+        assert_eq!(mem.read_i64(0x1008).unwrap(), 42);
+        assert_eq!(core.stats().forwarded_loads, 1);
+    }
+
+    #[test]
+    fn cache_miss_costs_cycles() {
+        // Two dependent loads from cold memory: latency must include two
+        // memory round trips (~2 * 133).
+        let (_, _, cycles) = run(
+            r"
+            li r1, 0x10000
+            ld r2, 0(r1)
+            add r3, r2, r1
+            ld r4, 0x100(r3)
+            halt
+        ",
+            &[],
+            &[(0x10000, 0x1000)],
+        );
+        assert!(cycles > 2 * 120, "cycles = {cycles}");
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        // Independent misses should overlap in the MSHRs: far less than
+        // 4 sequential memory latencies.
+        let (_, _, cycles) = run(
+            r"
+            li r1, 0x10000
+            ld r2, 0(r1)
+            ld r3, 4096(r1)
+            ld r4, 8192(r1)
+            ld r5, 12288(r1)
+            halt
+        ",
+            &[],
+            &[],
+        );
+        assert!(cycles < 2 * 133, "cycles = {cycles}, expected overlap");
+    }
+
+    #[test]
+    fn dependent_chain_slower_than_independent() {
+        let dep = r"
+            li r1, 1
+            mul r2, r1, r1
+            mul r3, r2, r2
+            mul r4, r3, r3
+            mul r5, r4, r4
+            halt
+        ";
+        let indep = r"
+            li r1, 1
+            mul r2, r1, r1
+            mul r3, r1, r1
+            mul r4, r1, r1
+            mul r5, r1, r1
+            halt
+        ";
+        let (_, _, c_dep) = run(dep, &[], &[]);
+        let (_, _, c_ind) = run(indep, &[], &[]);
+        assert!(c_dep > c_ind, "dep {c_dep} vs indep {c_ind}");
+    }
+
+    #[test]
+    fn store_to_load_memory_dependence_respected() {
+        // Store then partial-width load of same block: value must be
+        // architecturally correct even though forwarding can't cover it.
+        let (core, _, _) = run(
+            r"
+            li r1, 0x2000
+            li r2, 0x1122334455667788
+            sd r2, 0(r1)
+            lw r3, 0(r1)
+            lw r4, 4(r1)
+            halt
+        ",
+            &[],
+            &[],
+        );
+        assert_eq!(core.regs.get_i(IntReg::new(3)), 0x55667788);
+        assert_eq!(core.regs.get_i(IntReg::new(4)), 0x11223344);
+    }
+
+    #[test]
+    fn prefetch_warms_cache() {
+        let with_pref = r"
+            li r1, 0x30000
+            pref 0(r1)
+            li r5, 200
+        spin:
+            sub r5, r5, 1
+            bne r5, r0, spin
+            ld r2, 0(r1)
+            halt
+        ";
+        let without = r"
+            li r1, 0x30000
+            nop
+            li r5, 200
+        spin:
+            sub r5, r5, 1
+            bne r5, r0, spin
+            ld r2, 0(r1)
+            halt
+        ";
+        let (_, _, c_with) = run(with_pref, &[], &[]);
+        let (_, _, c_without) = run(without, &[], &[]);
+        assert!(
+            c_with + 60 < c_without,
+            "prefetch should hide the miss: {c_with} vs {c_without}"
+        );
+    }
+
+    #[test]
+    fn finishes_and_reports_done() {
+        let (core, _, _) = run("halt", &[], &[]);
+        assert!(core.is_done());
+        assert_eq!(core.stats().committed, 1);
+    }
+}
+
+/// A compact view of one in-flight instruction for pipeline traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotView {
+    /// Static instruction index.
+    pub pc: u32,
+    /// 'W' waiting, 'I' issued, 'D' done.
+    pub state: char,
+    /// Completion cycle (issued/done entries).
+    pub complete_at: u64,
+}
+
+/// A per-cycle snapshot of the core's pipeline occupancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineSnapshot {
+    /// Core name.
+    pub name: &'static str,
+    /// Next fetch pc.
+    pub fetch_pc: u32,
+    /// Fetch-queue depth.
+    pub ifq_depth: usize,
+    /// Window occupancy, oldest first.
+    pub window: Vec<SlotView>,
+    /// Load/store queue depth.
+    pub lsq_depth: usize,
+    /// The core committed its halt.
+    pub finished: bool,
+}
+
+impl OooCore {
+    /// Captures the current pipeline state (for traces and debugging).
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            name: self.name,
+            fetch_pc: self.fetch_pc,
+            ifq_depth: self.ifq.len(),
+            window: self
+                .ruu
+                .iter()
+                .map(|e| SlotView {
+                    pc: e.pc,
+                    state: match e.state {
+                        EntryState::Waiting => 'W',
+                        EntryState::Issued => 'I',
+                        EntryState::Done => 'D',
+                    },
+                    complete_at: e.complete_at,
+                })
+                .collect(),
+            lsq_depth: self.lsq.len(),
+            finished: self.finished,
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: pc={} ifq={} lsq={} ruu[{}]=",
+            self.name,
+            self.fetch_pc,
+            self.ifq_depth,
+            self.lsq_depth,
+            self.window.len()
+        )?;
+        for s in &self.window {
+            write!(f, " {}@{}", s.state, s.pc)?;
+        }
+        if self.finished {
+            write!(f, " (done)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use crate::queues::{QueueConfig, QueueFile};
+    use hidisc_isa::asm::assemble;
+    use hidisc_mem::MemConfig;
+
+    #[test]
+    fn snapshot_reflects_progress() {
+        let prog = assemble("t", "li r1, 1\nmul r2, r1, r1\nmul r3, r2, r2\nhalt").unwrap();
+        let mut core = OooCore::new("snap", CoreConfig::paper_superscalar(), prog);
+        let mut mem = Memory::new();
+        let mut mem_sys = MemSystem::new(MemConfig::paper());
+        let mut queues = QueueFile::new(QueueConfig::paper());
+        let mut triggers = Vec::new();
+        let empty = core.snapshot();
+        assert_eq!(empty.window.len(), 0);
+        assert_eq!(empty.fetch_pc, 0);
+        let mut saw_occupied = false;
+        let mut now = 0;
+        while !core.is_done() {
+            let mut ctx = CoreCtx {
+                mem_sys: &mut mem_sys,
+                queues: &mut queues,
+                data: &mut mem,
+                triggers: &mut triggers,
+            };
+            core.step(now, &mut ctx).unwrap();
+            let s = core.snapshot();
+            if !s.window.is_empty() {
+                saw_occupied = true;
+                // oldest-first ordering
+                for w in s.window.windows(2) {
+                    assert!(w[0].pc <= w[1].pc);
+                }
+            }
+            now += 1;
+            assert!(now < 10_000);
+        }
+        assert!(saw_occupied);
+        assert!(core.snapshot().finished);
+        let line = core.snapshot().to_string();
+        assert!(line.contains("snap:") && line.contains("(done)"));
+    }
+}

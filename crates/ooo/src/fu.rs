@@ -1,0 +1,142 @@
+//! Functional-unit pools.
+//!
+//! Units are fully pipelined: a pool of `n` units of a class accepts up to
+//! `n` new operations per cycle. (Divides are long-latency but pipelined,
+//! matching sim-outorder's default FU configuration closely enough for the
+//! experiments.)
+
+use crate::config::{CoreConfig, Latencies};
+use hidisc_isa::instr::{FuClass, Instr};
+use hidisc_isa::IntOp;
+
+/// Per-cycle functional-unit availability tracker.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    int_alu: u32,
+    int_mul: u32,
+    fp_alu: u32,
+    fp_mul: u32,
+    mem_ports: u32,
+    used: [u32; 5],
+}
+
+impl FuPool {
+    /// Creates a pool from the core configuration.
+    pub fn new(cfg: &CoreConfig) -> FuPool {
+        FuPool {
+            int_alu: cfg.int_alu,
+            int_mul: cfg.int_mul,
+            fp_alu: cfg.fp_alu,
+            fp_mul: cfg.fp_mul,
+            mem_ports: cfg.mem_ports,
+            used: [0; 5],
+        }
+    }
+
+    /// Resets per-cycle usage (call at the start of each cycle).
+    pub fn begin_cycle(&mut self) {
+        self.used = [0; 5];
+    }
+
+    fn slot(&self, class: FuClass) -> (usize, u32) {
+        match class {
+            FuClass::IntAlu | FuClass::Branch => (0, self.int_alu),
+            FuClass::IntMul => (1, self.int_mul),
+            FuClass::FpAlu => (2, self.fp_alu),
+            FuClass::FpMul => (3, self.fp_mul),
+            FuClass::Mem => (4, self.mem_ports),
+        }
+    }
+
+    /// Attempts to reserve a unit of `class` for this cycle.
+    pub fn try_acquire(&mut self, class: FuClass) -> bool {
+        let (i, cap) = self.slot(class);
+        if self.used[i] < cap {
+            self.used[i] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the core has any unit of this class at all (configuration
+    /// check: an instruction of a class with zero units can never execute
+    /// on this core).
+    pub fn exists(&self, class: FuClass) -> bool {
+        self.slot(class).1 > 0
+    }
+}
+
+/// The execution latency of an instruction (excluding cache time for
+/// memory operations, which [`crate::core::OooCore`] adds from the memory
+/// system).
+pub fn latency_of(i: &Instr, lat: &Latencies) -> u32 {
+    match i.fu_class() {
+        FuClass::IntAlu => lat.int_alu,
+        FuClass::IntMul => match i {
+            Instr::IntOp { op: IntOp::Mul, .. } => lat.int_mul,
+            _ => lat.int_div,
+        },
+        FuClass::FpAlu => lat.fp_alu,
+        FuClass::FpMul => match i {
+            Instr::FpBin { op, .. } if op.is_long_latency() => lat.fp_div,
+            Instr::FpUn { .. } => lat.fp_div, // sqrt
+            _ => lat.fp_mul,
+        },
+        FuClass::Mem => lat.agen,
+        FuClass::Branch => lat.branch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::{FpBinOp, FpReg, IntReg};
+    use hidisc_isa::instr::Src;
+
+    #[test]
+    fn per_cycle_caps() {
+        let cfg = CoreConfig { int_alu: 2, ..CoreConfig::paper_superscalar() };
+        let mut p = FuPool::new(&cfg);
+        p.begin_cycle();
+        assert!(p.try_acquire(FuClass::IntAlu));
+        assert!(p.try_acquire(FuClass::IntAlu));
+        assert!(!p.try_acquire(FuClass::IntAlu));
+        p.begin_cycle();
+        assert!(p.try_acquire(FuClass::IntAlu));
+    }
+
+    #[test]
+    fn branch_shares_int_alu() {
+        let cfg = CoreConfig { int_alu: 1, ..CoreConfig::paper_superscalar() };
+        let mut p = FuPool::new(&cfg);
+        p.begin_cycle();
+        assert!(p.try_acquire(FuClass::Branch));
+        assert!(!p.try_acquire(FuClass::IntAlu));
+    }
+
+    #[test]
+    fn exists_reflects_config() {
+        let cfg = CoreConfig::paper_ap();
+        let p = FuPool::new(&cfg);
+        assert!(!p.exists(FuClass::FpAlu));
+        assert!(p.exists(FuClass::Mem));
+        let cfg = CoreConfig::paper_cp();
+        let p = FuPool::new(&cfg);
+        assert!(!p.exists(FuClass::Mem));
+        assert!(p.exists(FuClass::FpMul));
+    }
+
+    #[test]
+    fn latency_distinguishes_mul_div() {
+        let lat = Latencies::default();
+        let r = IntReg::new(1);
+        let mul = Instr::IntOp { op: IntOp::Mul, dst: r, a: r, b: Src::Reg(r) };
+        let div = Instr::IntOp { op: IntOp::Div, dst: r, a: r, b: Src::Reg(r) };
+        assert_eq!(latency_of(&mul, &lat), lat.int_mul);
+        assert_eq!(latency_of(&div, &lat), lat.int_div);
+        let f = FpReg::new(1);
+        let fdiv = Instr::FpBin { op: FpBinOp::Div, dst: f, a: f, b: f };
+        assert_eq!(latency_of(&fdiv, &lat), lat.fp_div);
+    }
+}

@@ -1,0 +1,282 @@
+//! The load/store queue.
+//!
+//! Holds in-flight memory operations in program order. Besides the usual
+//! disambiguation and store-to-load forwarding, the LSQ plays the role of
+//! the paper's **Store Address Queue**: a `s.q` store sits here with its
+//! address while its data is popped from the Store Data Queue in FIFO
+//! order, letting the Access Processor run ahead of the Computation
+//! Processor's store data.
+
+use hidisc_isa::instr::Width;
+use hidisc_isa::Queue;
+use std::collections::VecDeque;
+
+/// One in-flight memory operation.
+#[derive(Debug, Clone)]
+pub struct LsqEntry {
+    /// Sequence number of the owning RUU entry.
+    pub seq: u64,
+    /// True for stores (including `s.q`).
+    pub is_store: bool,
+    /// Effective address (known at dispatch — functional execution is
+    /// in-order).
+    pub addr: u64,
+    /// Access width.
+    pub width: Width,
+    /// Store data (raw i64) — valid when `data_known`.
+    pub value: i64,
+    /// Store data availability. Always true for loads and plain stores;
+    /// starts false for `s.q` until the SDQ delivers.
+    pub data_known: bool,
+    /// For `s.q`: the queue the data comes from.
+    pub data_queue: Option<Queue>,
+    /// The store has written memory / the load has received its data.
+    pub performed: bool,
+}
+
+impl LsqEntry {
+    fn range(&self) -> (u64, u64) {
+        (self.addr, self.addr + self.width.bytes())
+    }
+
+    /// Byte-range overlap test.
+    pub fn overlaps(&self, addr: u64, width: Width) -> bool {
+        let (a0, a1) = self.range();
+        let b0 = addr;
+        let b1 = addr + width.bytes();
+        a0 < b1 && b0 < a1
+    }
+
+    /// Exact-cover test used for store-to-load forwarding (same address,
+    /// same width).
+    pub fn covers_exactly(&self, addr: u64, width: Width) -> bool {
+        self.addr == addr && self.width == width
+    }
+}
+
+/// What the LSQ says about a load's interaction with older stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadCheck {
+    /// No older store overlaps: access memory freely.
+    Clear,
+    /// The youngest overlapping older store covers the load exactly and
+    /// its data is known: forward this value.
+    Forward(i64),
+    /// An older overlapping store has unknown data or only partially
+    /// covers the load: the load must wait (seq of the blocking store).
+    Blocked(u64),
+}
+
+/// The load/store queue.
+#[derive(Debug, Clone)]
+pub struct Lsq {
+    entries: VecDeque<LsqEntry>,
+    capacity: usize,
+}
+
+impl Lsq {
+    /// Creates an empty LSQ.
+    pub fn new(capacity: usize) -> Lsq {
+        Lsq { entries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// True when no memory instruction can dispatch.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends an entry (program order). Panics when full (caller checks).
+    pub fn push(&mut self, e: LsqEntry) {
+        assert!(!self.is_full(), "LSQ overflow");
+        self.entries.push_back(e);
+    }
+
+    /// Looks up by owning sequence number.
+    pub fn get(&self, seq: u64) -> Option<&LsqEntry> {
+        self.entries.iter().find(|e| e.seq == seq)
+    }
+
+    /// Mutable lookup by owning sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut LsqEntry> {
+        self.entries.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Removes the entry owned by `seq` (at commit).
+    pub fn remove(&mut self, seq: u64) {
+        if let Some(i) = self.entries.iter().position(|e| e.seq == seq) {
+            self.entries.remove(i);
+        }
+    }
+
+    /// Checks a load at `(addr, width)` with sequence `seq` against older
+    /// stores, youngest-first.
+    pub fn check_load(&self, seq: u64, addr: u64, width: Width) -> LoadCheck {
+        for e in self.entries.iter().rev() {
+            if e.seq >= seq || !e.is_store {
+                continue;
+            }
+            if e.performed || !e.overlaps(addr, width) {
+                continue;
+            }
+            if e.covers_exactly(addr, width) && e.data_known {
+                return LoadCheck::Forward(e.value);
+            }
+            return LoadCheck::Blocked(e.seq);
+        }
+        LoadCheck::Clear
+    }
+
+    /// Delivers queue data to waiting `s.q` stores: for each source queue,
+    /// the *oldest* store still waiting pops next. `pop` is called with the
+    /// queue and returns the popped value when one is available. Returns
+    /// the number of stores satisfied.
+    pub fn pump_store_data(
+        &mut self,
+        max: usize,
+        mut pop: impl FnMut(Queue) -> Option<u64>,
+    ) -> usize {
+        let mut n = 0;
+        for e in self.entries.iter_mut() {
+            if n >= max {
+                break;
+            }
+            if e.is_store && !e.data_known {
+                if let Some(q) = e.data_queue {
+                    match pop(q) {
+                        Some(v) => {
+                            e.value = v as i64;
+                            e.data_known = true;
+                            n += 1;
+                        }
+                        // FIFO: a younger store for the same queue must not
+                        // overtake; stop scanning entirely (queue data
+                        // arrives in order).
+                        None => break,
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Iterates entries oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &LsqEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(seq: u64, addr: u64, width: Width, value: i64, known: bool) -> LsqEntry {
+        LsqEntry {
+            seq,
+            is_store: true,
+            addr,
+            width,
+            value,
+            data_known: known,
+            data_queue: (!known).then_some(Queue::Sdq),
+            performed: false,
+        }
+    }
+
+    #[test]
+    fn forwarding_exact_cover() {
+        let mut l = Lsq::new(8);
+        l.push(store(1, 0x100, Width::D, 42, true));
+        assert_eq!(l.check_load(5, 0x100, Width::D), LoadCheck::Forward(42));
+    }
+
+    #[test]
+    fn partial_overlap_blocks() {
+        let mut l = Lsq::new(8);
+        l.push(store(1, 0x100, Width::D, 42, true));
+        assert_eq!(l.check_load(5, 0x104, Width::W), LoadCheck::Blocked(1));
+    }
+
+    #[test]
+    fn unknown_data_blocks_even_exact() {
+        let mut l = Lsq::new(8);
+        l.push(store(1, 0x100, Width::D, 0, false));
+        assert_eq!(l.check_load(5, 0x100, Width::D), LoadCheck::Blocked(1));
+    }
+
+    #[test]
+    fn younger_stores_ignored() {
+        let mut l = Lsq::new(8);
+        l.push(store(9, 0x100, Width::D, 42, true));
+        assert_eq!(l.check_load(5, 0x100, Width::D), LoadCheck::Clear);
+    }
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut l = Lsq::new(8);
+        l.push(store(1, 0x100, Width::D, 1, true));
+        l.push(store(2, 0x100, Width::D, 2, true));
+        assert_eq!(l.check_load(5, 0x100, Width::D), LoadCheck::Forward(2));
+    }
+
+    #[test]
+    fn performed_stores_do_not_block() {
+        let mut l = Lsq::new(8);
+        let mut s = store(1, 0x100, Width::D, 1, true);
+        s.performed = true;
+        l.push(s);
+        assert_eq!(l.check_load(5, 0x104, Width::W), LoadCheck::Clear);
+    }
+
+    #[test]
+    fn pump_delivers_in_fifo_order() {
+        let mut l = Lsq::new(8);
+        l.push(store(1, 0x100, Width::D, 0, false));
+        l.push(store(2, 0x200, Width::D, 0, false));
+        let mut vals = vec![20u64, 10u64]; // popped back-to-front
+        let n = l.pump_store_data(4, |_| vals.pop());
+        assert_eq!(n, 2);
+        assert_eq!(l.get(1).unwrap().value, 10);
+        assert_eq!(l.get(2).unwrap().value, 20);
+        assert!(l.get(1).unwrap().data_known);
+    }
+
+    #[test]
+    fn pump_stops_at_empty_queue() {
+        let mut l = Lsq::new(8);
+        l.push(store(1, 0x100, Width::D, 0, false));
+        l.push(store(2, 0x200, Width::D, 0, false));
+        let mut served = false;
+        let n = l.pump_store_data(4, |_| {
+            if served {
+                None
+            } else {
+                served = true;
+                Some(7)
+            }
+        });
+        assert_eq!(n, 1);
+        assert!(l.get(1).unwrap().data_known);
+        assert!(!l.get(2).unwrap().data_known);
+    }
+
+    #[test]
+    fn remove_by_seq() {
+        let mut l = Lsq::new(8);
+        l.push(store(1, 0x100, Width::D, 1, true));
+        l.push(store(2, 0x200, Width::D, 2, true));
+        l.remove(1);
+        assert_eq!(l.len(), 1);
+        assert!(l.get(1).is_none());
+        assert!(l.get(2).is_some());
+    }
+}

@@ -1,0 +1,219 @@
+//! The Register Update Unit: the instruction window of the out-of-order
+//! core (SimpleScalar's RUU — a combined ROB/reservation-station array).
+//!
+//! Entries are kept in dispatch order; sequence numbers are contiguous, so
+//! an entry can be located by `seq - front_seq` in O(1).
+
+use hidisc_isa::instr::{FuClass, Instr};
+use std::collections::VecDeque;
+
+/// Timing state of an RUU entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Dispatched, waiting for operands or a functional unit.
+    Waiting,
+    /// Issued to a functional unit; completes at `complete_at`.
+    Issued,
+    /// Result available.
+    Done,
+}
+
+/// One instruction in flight.
+#[derive(Debug, Clone)]
+pub struct RuuEntry {
+    /// Sequence number (dispatch order, contiguous).
+    pub seq: u64,
+    /// Static instruction index.
+    pub pc: u32,
+    /// The instruction.
+    pub instr: Instr,
+    /// Functional-unit class.
+    pub fu: FuClass,
+    /// Timing state.
+    pub state: EntryState,
+    /// Cycle the result becomes available (valid once issued).
+    pub complete_at: u64,
+    /// Producers of the source operands (sequence numbers); `None` = ready
+    /// at dispatch.
+    pub deps: [Option<u64>; 3],
+    /// Value carried to commit (queue pushes: the 64-bit payload to push).
+    pub payload: u64,
+    /// Conditional branch: direction predicted at fetch.
+    pub predicted_taken: bool,
+    /// Conditional branch: actual direction (known at dispatch).
+    pub actual_taken: bool,
+    /// The correct next pc (branches only).
+    pub correct_next: u32,
+    /// This branch was mispredicted; fetch resumes when it completes.
+    pub mispredicted: bool,
+    /// Index is a memory instruction with a matching LSQ entry.
+    pub is_mem: bool,
+}
+
+impl RuuEntry {
+    /// Creates a fresh entry in the `Waiting` state.
+    pub fn new(seq: u64, pc: u32, instr: Instr) -> RuuEntry {
+        RuuEntry {
+            seq,
+            pc,
+            instr,
+            fu: instr.fu_class(),
+            state: EntryState::Waiting,
+            complete_at: 0,
+            deps: [None; 3],
+            payload: 0,
+            predicted_taken: false,
+            actual_taken: false,
+            correct_next: 0,
+            mispredicted: false,
+            is_mem: instr.is_mem(),
+        }
+    }
+}
+
+/// The instruction window.
+#[derive(Debug, Clone)]
+pub struct Ruu {
+    entries: VecDeque<RuuEntry>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl Ruu {
+    /// Creates an empty window of the given capacity.
+    pub fn new(capacity: usize) -> Ruu {
+        Ruu { entries: VecDeque::with_capacity(capacity), capacity, next_seq: 0 }
+    }
+
+    /// True when no more instructions can dispatch.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of instructions in flight.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Allocates an entry; returns its sequence number. Panics when full
+    /// (caller checks `is_full`).
+    pub fn push(&mut self, pc: u32, instr: Instr) -> u64 {
+        assert!(!self.is_full(), "RUU overflow");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push_back(RuuEntry::new(seq, pc, instr));
+        seq
+    }
+
+    /// The oldest entry.
+    pub fn front(&self) -> Option<&RuuEntry> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop_front(&mut self) -> Option<RuuEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Looks up an entry by sequence number.
+    pub fn get(&self, seq: u64) -> Option<&RuuEntry> {
+        let front = self.entries.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        self.entries.get((seq - front) as usize)
+    }
+
+    /// Mutable lookup by sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RuuEntry> {
+        let front = self.entries.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        self.entries.get_mut((seq - front) as usize)
+    }
+
+    /// True if the producer with sequence `seq` has its result available at
+    /// `now` — i.e. it already committed (left the window) or is `Done`.
+    pub fn producer_done(&self, seq: u64, now: u64) -> bool {
+        match self.get(seq) {
+            None => true, // committed
+            Some(e) => e.state == EntryState::Done && e.complete_at <= now,
+        }
+    }
+
+    /// Iterates entries oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RuuEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration oldest → youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RuuEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Promotes `Issued` entries whose completion time has passed to
+    /// `Done`.
+    pub fn harvest_completions(&mut self, now: u64) {
+        for e in self.entries.iter_mut() {
+            if e.state == EntryState::Issued && e.complete_at <= now {
+                e.state = EntryState::Done;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::Instr;
+
+    #[test]
+    fn seq_numbers_are_contiguous_and_lookup_works() {
+        let mut r = Ruu::new(4);
+        let a = r.push(0, Instr::Nop);
+        let b = r.push(1, Instr::Nop);
+        assert_eq!(b, a + 1);
+        assert_eq!(r.get(a).unwrap().pc, 0);
+        assert_eq!(r.get(b).unwrap().pc, 1);
+        r.pop_front();
+        assert!(r.get(a).is_none());
+        assert_eq!(r.get(b).unwrap().pc, 1);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut r = Ruu::new(2);
+        r.push(0, Instr::Nop);
+        assert!(!r.is_full());
+        r.push(1, Instr::Nop);
+        assert!(r.is_full());
+    }
+
+    #[test]
+    fn producer_done_semantics() {
+        let mut r = Ruu::new(4);
+        let a = r.push(0, Instr::Nop);
+        assert!(!r.producer_done(a, 10)); // Waiting
+        r.get_mut(a).unwrap().state = EntryState::Issued;
+        r.get_mut(a).unwrap().complete_at = 5;
+        assert!(!r.producer_done(a, 4));
+        r.harvest_completions(5);
+        assert!(r.producer_done(a, 5));
+        r.pop_front();
+        assert!(r.producer_done(a, 0)); // committed ⇒ done
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_past_capacity_panics() {
+        let mut r = Ruu::new(1);
+        r.push(0, Instr::Nop);
+        r.push(1, Instr::Nop);
+    }
+}

@@ -1,0 +1,221 @@
+//! Direct tests of the decoupled-queue semantics in the out-of-order
+//! core: blocking pops at dispatch, pushes at commit with backpressure,
+//! store-data pairing through the LSQ, CQ tokens and trigger forks.
+
+use hidisc_isa::asm::assemble;
+use hidisc_isa::mem::Memory;
+use hidisc_isa::{IntReg, Queue};
+use hidisc_mem::{MemConfig, MemSystem};
+use hidisc_ooo::{CoreConfig, CoreCtx, OooCore, QueueConfig, QueueFile, TriggerFork};
+
+struct Rig {
+    mem_sys: MemSystem,
+    queues: QueueFile,
+    data: Memory,
+    triggers: Vec<TriggerFork>,
+    now: u64,
+}
+
+impl Rig {
+    fn new(qcfg: QueueConfig) -> Rig {
+        Rig {
+            mem_sys: MemSystem::new(MemConfig::paper()),
+            queues: QueueFile::new(qcfg),
+            data: Memory::new(),
+            triggers: Vec::new(),
+            now: 0,
+        }
+    }
+
+    fn step(&mut self, core: &mut OooCore) {
+        let mut ctx = CoreCtx {
+            mem_sys: &mut self.mem_sys,
+            queues: &mut self.queues,
+            data: &mut self.data,
+            triggers: &mut self.triggers,
+        };
+        core.step(self.now, &mut ctx).unwrap();
+        self.now += 1;
+    }
+
+    fn run_until_done(&mut self, core: &mut OooCore, limit: u64) {
+        while !core.is_done() {
+            self.step(core);
+            assert!(self.now < limit, "exceeded {limit} cycles");
+        }
+    }
+}
+
+#[test]
+fn recv_blocks_until_data_arrives() {
+    let prog = assemble("t", "recv r1, LDQ\nadd r2, r1, 1\nhalt").unwrap();
+    let mut core = OooCore::new("t", CoreConfig::paper_superscalar(), prog);
+    let mut rig = Rig::new(QueueConfig::paper());
+    // 50 cycles with an empty LDQ: no commit possible.
+    for _ in 0..50 {
+        rig.step(&mut core);
+    }
+    assert_eq!(core.stats().committed, 0);
+    assert!(core.stats().dispatch_stall_q[0] > 40, "LDQ stall cycles must accrue");
+    assert_eq!(core.stats().lod_events, 1, "one blocking episode");
+    // Provide the value: execution completes and sees it.
+    rig.queues.try_push(Queue::Ldq, 41);
+    rig.run_until_done(&mut core, 200);
+    assert_eq!(core.regs.get_i(IntReg::new(2)), 42);
+}
+
+#[test]
+fn send_stalls_commit_on_full_queue() {
+    // Push more values than the queue holds; nobody drains it.
+    let prog = assemble(
+        "t",
+        "li r1, 7\nsend LDQ, r1\nsend LDQ, r1\nsend LDQ, r1\nsend LDQ, r1\nhalt",
+    )
+    .unwrap();
+    let qcfg = QueueConfig { ldq: 2, ..QueueConfig::paper() };
+    let mut core = OooCore::new("t", CoreConfig::paper_superscalar(), prog);
+    let mut rig = Rig::new(qcfg);
+    for _ in 0..100 {
+        rig.step(&mut core);
+    }
+    assert!(!core.is_done(), "core must be stuck on the full LDQ");
+    assert_eq!(rig.queues.len(Queue::Ldq), 2);
+    assert!(core.stats().commit_stall_q[0] > 50);
+    // Drain one: exactly one more push goes through.
+    rig.queues.try_pop(Queue::Ldq);
+    for _ in 0..20 {
+        rig.step(&mut core);
+    }
+    assert_eq!(rig.queues.stats(Queue::Ldq).pushes, 3);
+    // Drain the rest: the program finishes.
+    rig.queues.try_pop(Queue::Ldq);
+    rig.queues.try_pop(Queue::Ldq);
+    rig.run_until_done(&mut core, 500);
+    assert_eq!(rig.queues.stats(Queue::Ldq).pushes, 4);
+}
+
+#[test]
+fn storeq_pairs_address_with_queue_data() {
+    // The store address is ready immediately (SAQ role of the LSQ); the
+    // data arrives later through the SDQ.
+    let prog = assemble("t", "li r1, 0x4000\ns.d SDQ, 0(r1)\nli r2, 5\nhalt").unwrap();
+    let mut core = OooCore::new("t", CoreConfig::paper_superscalar(), prog);
+    let mut rig = Rig::new(QueueConfig::paper());
+    for _ in 0..30 {
+        rig.step(&mut core);
+    }
+    // Younger instructions dispatched fine (r2 computed), but the store
+    // cannot commit.
+    assert!(!core.is_done());
+    assert_eq!(core.regs.get_i(IntReg::new(2)), 5);
+    rig.queues.try_push(Queue::Sdq, 0xfeed);
+    rig.run_until_done(&mut core, 200);
+    assert_eq!(rig.data.read_i64(0x4000).unwrap(), 0xfeed);
+}
+
+#[test]
+fn cq_tokens_steer_cbranches() {
+    // cbr taken, then cbr not-taken: lands on the add at the fallthrough.
+    let prog = assemble(
+        "t",
+        r"
+        cbr over
+        li r1, 111     ; skipped (first token: taken)
+    over:
+        cbr end
+        li r2, 222     ; executed (second token: not taken)... wait
+        halt
+    end:
+        halt
+    ",
+    )
+    .unwrap();
+    let mut core = OooCore::new("t", CoreConfig::paper_cp(), prog);
+    let mut rig = Rig::new(QueueConfig::paper());
+    rig.queues.try_push(Queue::Cq, 1); // taken
+    rig.queues.try_push(Queue::Cq, 0); // not taken
+    rig.run_until_done(&mut core, 500);
+    assert_eq!(core.regs.get_i(IntReg::new(1)), 0, "taken branch skips li r1");
+    assert_eq!(core.regs.get_i(IntReg::new(2)), 222, "not-taken falls through");
+}
+
+#[test]
+fn push_cq_annotation_emits_tokens_at_commit() {
+    let mut prog = assemble(
+        "t",
+        r"
+        li r1, 3
+    loop:
+        sub r1, r1, 1
+        bne r1, r0, loop
+        halt
+    ",
+    )
+    .unwrap();
+    // Annotate the branch to push CQ tokens.
+    let branch_pc = 2;
+    prog.annot_mut(branch_pc).push_cq = true;
+    let mut core = OooCore::new("t", CoreConfig::paper_ap(), prog);
+    let mut rig = Rig::new(QueueConfig::paper());
+    rig.run_until_done(&mut core, 500);
+    // 3 executions: taken, taken, not-taken.
+    assert_eq!(rig.queues.stats(Queue::Cq).pushes, 3);
+    assert_eq!(rig.queues.try_pop(Queue::Cq), Some(1));
+    assert_eq!(rig.queues.try_pop(Queue::Cq), Some(1));
+    assert_eq!(rig.queues.try_pop(Queue::Cq), Some(0));
+}
+
+#[test]
+fn trigger_annotation_forks_with_register_snapshot() {
+    let mut prog = assemble("t", "li r5, 99\nli r6, 7\nnop\nhalt").unwrap();
+    prog.annot_mut(2).trigger = Some(4);
+    let mut core = OooCore::new("t", CoreConfig::paper_superscalar(), prog);
+    let mut rig = Rig::new(QueueConfig::paper());
+    rig.run_until_done(&mut core, 200);
+    assert_eq!(rig.triggers.len(), 1);
+    let t = &rig.triggers[0];
+    assert_eq!(t.cmas, 4);
+    assert_eq!(t.regs.get_i(IntReg::new(5)), 99);
+    assert_eq!(t.regs.get_i(IntReg::new(6)), 7);
+    assert_eq!(core.stats().triggers_fired, 1);
+}
+
+#[test]
+fn getscq_never_blocks_and_drains() {
+    let prog = assemble("t", "getscq\ngetscq\nli r1, 1\nhalt").unwrap();
+    let mut core = OooCore::new("t", CoreConfig::paper_superscalar(), prog);
+    let mut rig = Rig::new(QueueConfig::paper());
+    rig.queues.try_push(Queue::Scq, 1);
+    rig.run_until_done(&mut core, 200);
+    // One token drained; the second getscq found it empty and proceeded.
+    assert_eq!(rig.queues.len(Queue::Scq), 0);
+    assert_eq!(core.regs.get_i(IntReg::new(1)), 1);
+}
+
+#[test]
+fn loadq_pushes_loaded_value_at_commit() {
+    let prog = assemble("t", "li r1, 0x8000\nl.d LDQ, 0(r1)\nhalt").unwrap();
+    let mut core = OooCore::new("t", CoreConfig::paper_superscalar(), prog);
+    let mut rig = Rig::new(QueueConfig::paper());
+    rig.data.write_f64(0x8000, 2.75).unwrap();
+    rig.run_until_done(&mut core, 500);
+    let bits = rig.queues.try_pop(Queue::Ldq).expect("value pushed");
+    assert_eq!(f64::from_bits(bits), 2.75);
+}
+
+#[test]
+fn cdq_recv_blocks_the_access_stream() {
+    // An AP that needs a CS-produced address: dispatch blocks on the CDQ.
+    let prog = assemble("t", "recv r4, CDQ\nld r5, 0(r4)\nhalt").unwrap();
+    let mut core = OooCore::new("t", CoreConfig::paper_ap(), prog);
+    let mut rig = Rig::new(QueueConfig::paper());
+    rig.data.write_i64(0x9000, 123).unwrap();
+    for _ in 0..40 {
+        rig.step(&mut core);
+    }
+    assert!(!core.is_done());
+    assert!(core.stats().dispatch_stall_q[2] > 30, "CDQ stalls accrue");
+    rig.queues.try_push(Queue::Cdq, 0x9000);
+    rig.run_until_done(&mut core, 500);
+    assert_eq!(core.regs.get_i(IntReg::new(5)), 123);
+}

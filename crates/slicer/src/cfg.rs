@@ -1,0 +1,218 @@
+//! Control-flow graph over DISA programs (the paper's Program Flow Graph,
+//! step 1 of the HiDISC compiler).
+
+use hidisc_isa::{Instr, Program};
+
+/// A basic block: a maximal straight-line instruction range.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+impl Block {
+    /// Instruction indices of this block.
+    pub fn range(&self) -> std::ops::Range<u32> {
+        self.start..self.end
+    }
+
+    /// Index of the block's last instruction.
+    pub fn last(&self) -> u32 {
+        self.end - 1
+    }
+}
+
+/// The control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in program order (block 0 is the entry).
+    pub blocks: Vec<Block>,
+    /// Block id containing each instruction.
+    pub block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `prog`.
+    pub fn build(prog: &Program) -> Cfg {
+        let n = prog.len();
+        assert!(n > 0, "empty program");
+
+        // Leaders: entry, branch targets, fall-throughs of control.
+        let mut leader = vec![false; n as usize];
+        leader[0] = true;
+        for pc in 0..n {
+            let i = prog.instr(pc);
+            if let Some(t) = i.target() {
+                leader[t as usize] = true;
+            }
+            if i.is_control() && pc + 1 < n {
+                leader[(pc + 1) as usize] = true;
+            }
+        }
+
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of = vec![0usize; n as usize];
+        let mut start = 0u32;
+        for pc in 0..n {
+            if pc > start && leader[pc as usize] {
+                blocks.push(Block { start, end: pc, succs: vec![], preds: vec![] });
+                start = pc;
+            }
+            block_of[pc as usize] = blocks.len();
+        }
+        blocks.push(Block { start, end: n, succs: vec![], preds: vec![] });
+
+        // Edges.
+        let nb = blocks.len();
+        let mut succs: Vec<Vec<usize>> = vec![vec![]; nb];
+        for (b, blk) in blocks.iter().enumerate() {
+            let last = *prog.instr(blk.last());
+            match last {
+                Instr::Jump { target } => succs[b].push(block_of[target as usize]),
+                Instr::Branch { target, .. } | Instr::CBranch { target } => {
+                    succs[b].push(block_of[target as usize]);
+                    if blk.end < n {
+                        succs[b].push(block_of[blk.end as usize]);
+                    }
+                }
+                Instr::Halt => {}
+                _ => {
+                    if blk.end < n {
+                        succs[b].push(block_of[blk.end as usize]);
+                    }
+                }
+            }
+        }
+        let mut preds: Vec<Vec<usize>> = vec![vec![]; nb];
+        for (b, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(b);
+            }
+        }
+        for (b, blk) in blocks.iter_mut().enumerate() {
+            blk.succs = std::mem::take(&mut succs[b]);
+            blk.preds = std::mem::take(&mut preds[b]);
+        }
+
+        Cfg { blocks, block_of }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the graph has no blocks (never, for valid programs).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block containing instruction `pc`.
+    pub fn block_containing(&self, pc: u32) -> usize {
+        self.block_of[pc as usize]
+    }
+
+    /// Blocks reachable from the entry (block ids).
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut work = vec![0usize];
+        while let Some(b) = work.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            work.extend(self.blocks[b].succs.iter().copied());
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+
+    fn cfg_of(src: &str) -> (Program, Cfg) {
+        let p = assemble("t", src).unwrap();
+        let c = Cfg::build(&p);
+        (p, c)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, c) = cfg_of("li r1, 1\nadd r2, r1, r1\nhalt");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.blocks[0].range(), 0..3);
+        assert!(c.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn loop_structure() {
+        let (_, c) = cfg_of(
+            r"
+            li r1, 10
+        loop:
+            sub r1, r1, 1
+            bne r1, r0, loop
+            halt
+        ",
+        );
+        // blocks: [li], [sub; bne], [halt]
+        assert_eq!(c.len(), 3);
+        let body = 1;
+        assert!(c.blocks[body].succs.contains(&body), "back edge");
+        assert!(c.blocks[body].succs.contains(&2));
+        assert!(c.blocks[body].preds.contains(&0));
+        assert!(c.blocks[body].preds.contains(&body));
+    }
+
+    #[test]
+    fn diamond() {
+        let (_, c) = cfg_of(
+            r"
+            beq r1, r0, else
+            li r2, 1
+            j join
+        else:
+            li r2, 2
+        join:
+            halt
+        ",
+        );
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.blocks[0].succs.len(), 2);
+        assert_eq!(c.blocks[3].preds.len(), 2);
+    }
+
+    #[test]
+    fn block_of_maps_every_instruction() {
+        let (p, c) = cfg_of(
+            r"
+            li r1, 3
+        l:
+            sub r1, r1, 1
+            bne r1, r0, l
+            halt
+        ",
+        );
+        for pc in 0..p.len() {
+            let b = c.block_containing(pc);
+            assert!(c.blocks[b].range().contains(&pc));
+        }
+    }
+
+    #[test]
+    fn halt_has_no_successors_and_all_reachable() {
+        let (_, c) = cfg_of("beq r0, r0, end\nnop\nend:\nhalt");
+        let last = c.len() - 1;
+        assert!(c.blocks[last].succs.is_empty());
+        // the nop block is reachable only via fall-through which the beq
+        // skips — still structurally reachable (beq has 2 successors).
+        assert!(c.reachable().iter().all(|&r| r));
+    }
+}

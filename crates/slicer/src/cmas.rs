@@ -1,0 +1,516 @@
+//! Cache Miss Access Slice extraction (Section 4.2 / Figure 7 of the
+//! paper).
+//!
+//! For each natural loop containing probable cache-miss loads we build a
+//! *sliced copy of the loop* containing only the loop control, the address
+//! chains of the probable-miss loads, and the loads themselves — converted
+//! to prefetches when their value is not needed inside the slice (terminal
+//! misses) and kept as real CMP loads when it is (pointer chases).
+//!
+//! Run-ahead is throttled by the Slip Control Queue exactly as in Figure 3
+//! of the paper: the slice executes `putscq` at each loop latch (blocking
+//! when the semaphore is full) and the Access Stream's latch branch carries
+//! the `scq_get` annotation. The trigger is the last Access-Stream
+//! instruction before the loop: when the AP commits it, the CMP forks a
+//! thread with a snapshot of the AP register file.
+
+use crate::cfg::Cfg;
+use crate::dataflow::DefUse;
+use crate::dom::Loops;
+use crate::separate::store_data_reg;
+use crate::CmasThread;
+use hidisc_isa::annot::Annot;
+use hidisc_isa::{Instr, Program, Result};
+use std::collections::{BTreeSet, HashMap};
+
+/// Where one CMAS integrates with a stream program (original-program
+/// coordinates; [`instrument`] translates through a layout map).
+#[derive(Debug, Clone)]
+pub struct CmasSite {
+    /// Thread id.
+    pub id: u32,
+    /// Original index of the loop header's first instruction.
+    pub header_start: u32,
+    /// Candidate trigger point: the last original position before the
+    /// header ([`instrument`] walks further back if that position emitted
+    /// nothing into the target stream).
+    pub trigger_before: u32,
+    /// Original indices of the loop's back-edge branches (receive the
+    /// `scq_get` annotation).
+    pub latch_branches: Vec<u32>,
+    /// Original indices of every instruction in the slice (for annotation
+    /// and reporting).
+    pub slice: Vec<u32>,
+}
+
+/// The result of CMAS extraction.
+#[derive(Debug, Clone, Default)]
+pub struct Extraction {
+    /// The CMP thread programs.
+    pub threads: Vec<CmasThread>,
+    /// Integration points.
+    pub sites: Vec<CmasSite>,
+}
+
+/// Extracts CMAS threads from an annotated original program (stream and
+/// `probable_miss` annotations must already be set).
+pub fn extract(
+    prog: &Program,
+    graph: &Cfg,
+    loops: &Loops,
+    du: &DefUse,
+) -> Result<Extraction> {
+    // Group probable-miss loads by their innermost loop header.
+    let mut by_header: HashMap<usize, Vec<u32>> = HashMap::new();
+    for pc in 0..prog.len() {
+        if !prog.annot(pc).probable_miss || !prog.instr(pc).is_load() {
+            continue;
+        }
+        let b = graph.block_containing(pc);
+        if let Some(l) = loops.innermost_containing(b) {
+            by_header.entry(l.header).or_default().push(pc);
+        }
+    }
+
+    let mut out = Extraction::default();
+    let mut headers: Vec<usize> = by_header.keys().copied().collect();
+    headers.sort_unstable();
+
+    'next_loop: for header in headers {
+        let miss_loads = &by_header[&header];
+        let l = loops
+            .loops
+            .iter()
+            .find(|l| l.header == header)
+            .expect("header key comes from this loop set");
+
+        // Body positions, sorted.
+        let mut body: BTreeSet<u32> = BTreeSet::new();
+        for &b in &l.body {
+            body.extend(graph.blocks[b].range());
+        }
+        let header_start = graph.blocks[header].start;
+        if *body.iter().next().unwrap() != header_start || header_start == 0 {
+            continue; // irregular layout or loop at entry: skip
+        }
+        let trigger_before = header_start - 1;
+        if l.contains(graph.block_containing(trigger_before)) {
+            continue; // no fall-through pre-header
+        }
+
+        // Backward slice within the loop body. Seeds are the miss loads
+        // plus the loop's control skeleton — but only the control that
+        // matters to the slice: back edges, loop exits, and forward
+        // branches that *guard* slice instructions. A forward branch whose
+        // skipped region contains no slice member is pruned (the CMP
+        // simply falls through), which turns loads that only fed such
+        // branches into terminal prefetches — crucial for run-ahead on
+        // gather loops whose per-element work is guarded by a test.
+        let chase = |seeds: &BTreeSet<u32>| -> Option<BTreeSet<u32>> {
+            let mut slice = seeds.clone();
+            let mut work: Vec<u32> = slice.iter().copied().collect();
+            while let Some(pc) = work.pop() {
+                let i = prog.instr(pc);
+                let data_reg = store_data_reg(i);
+                for (reg, defs) in du.parents(pc) {
+                    if Some(*reg) == data_reg {
+                        continue;
+                    }
+                    for &d in defs {
+                        if !body.contains(&d) {
+                            continue; // live-in: provided by the fork snapshot
+                        }
+                        let di = prog.instr(d);
+                        if di.is_fp_compute() || di.is_fp() {
+                            // The CMP has no FP units: infeasible slice.
+                            return None;
+                        }
+                        if di.is_store() {
+                            // Value flows through loop-written memory; the
+                            // CMP must not store, so the chase stops (the
+                            // prefetch address may be stale — sound, since
+                            // prefetching is speculative).
+                            continue;
+                        }
+                        if slice.insert(d) {
+                            work.push(d);
+                        }
+                    }
+                }
+            }
+            Some(slice)
+        };
+
+        let mut seeds: BTreeSet<u32> = miss_loads.iter().copied().collect();
+        for &pc in &body {
+            if prog.instr(pc).is_control() {
+                seeds.insert(pc);
+            }
+        }
+        let mut slice = match chase(&seeds) {
+            Some(s) => s,
+            None => continue 'next_loop,
+        };
+        // Prune irrelevant forward branches to fixpoint.
+        loop {
+            let prunable = seeds.iter().copied().find(|&pc| {
+                let i = prog.instr(pc);
+                if !i.is_cond_branch() {
+                    return false;
+                }
+                let Some(target) = i.target() else { return false };
+                if target <= pc || !body.contains(&target) {
+                    return false; // back edge or loop exit: keep
+                }
+                // Forward in-loop branch: prunable when the skipped region
+                // holds no other slice member.
+                !slice
+                    .iter()
+                    .any(|&s| s != pc && s > pc && s < target)
+            });
+            match prunable {
+                Some(pc) => {
+                    seeds.remove(&pc);
+                    slice = match chase(&seeds) {
+                        Some(s) => s,
+                        None => continue 'next_loop,
+                    };
+                }
+                None => break,
+            }
+        }
+
+        // Which miss loads feed other slice instructions (pointer chases)?
+        let value_used = |pc: u32| du.children(pc).iter().any(|u| slice.contains(u));
+
+        // Emit the thread program.
+        let id = out.threads.len() as u32;
+        let mut t = Program::new(format!("{}:cmas{}", prog.name, id));
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        let mut fixups: Vec<(u32, u32)> = Vec::new();
+        let mut latch_branches: Vec<u32> = Vec::new();
+
+        for &pc in &body {
+            map.insert(pc, t.len());
+            if !slice.contains(&pc) {
+                continue;
+            }
+            let i = *prog.instr(pc);
+            let is_latch_last = l
+                .latches
+                .iter()
+                .any(|&lb| graph.blocks[lb].last() == pc);
+            if is_latch_last {
+                // Slip control before the back edge.
+                t.push_annotated(Instr::PutScq, Annot { cmas: true, ..Annot::default() });
+                latch_branches.push(pc);
+            }
+            match i {
+                Instr::Halt => continue 'next_loop, // halt inside a loop: skip
+                Instr::Load { base, off, .. } | Instr::LoadF { base, off, .. }
+                    if prog.annot(pc).probable_miss && !value_used(pc) =>
+                {
+                    t.push_annotated(
+                        Instr::Prefetch { base, off },
+                        Annot { cmas: true, ..Annot::default() },
+                    );
+                }
+                _ => {
+                    let at = t.push_annotated(i, Annot { cmas: true, ..Annot::default() });
+                    if let Some(target) = i.target() {
+                        fixups.push((at, target));
+                    }
+                }
+            }
+        }
+        let halt_pos = t.push(Instr::Halt);
+
+        for (at, orig) in fixups {
+            let nt = map.get(&orig).copied().unwrap_or(halt_pos);
+            t.instr_mut(at).set_target(nt);
+        }
+        t.validate()?;
+
+        out.sites.push(CmasSite {
+            id,
+            header_start,
+            trigger_before,
+            latch_branches,
+            slice: slice.into_iter().collect(),
+        });
+        out.threads.push(CmasThread { id, prog: t, loop_header: header_start });
+    }
+
+    Ok(out)
+}
+
+/// Applies trigger and slip-control annotations to a stream program.
+///
+/// `map[orig_pc]` is the stream index corresponding to each original
+/// position (the identity map instruments the original binary itself, for
+/// the CP+CMP model).
+pub fn instrument(prog: &mut Program, map: &[u32], sites: &[CmasSite]) {
+    let prog_len = prog.len();
+    let emitted = |p: u32| -> bool {
+        let here = map[p as usize];
+        let next = if (p as usize + 1) < map.len() { map[p as usize + 1] } else { prog_len };
+        here < next
+    };
+
+    for site in sites {
+        // Trigger: walk back from the pre-header until a position that
+        // emitted an instruction (without an existing trigger) is found.
+        let mut p = site.trigger_before as i64;
+        while p >= 0 {
+            let pu = p as u32;
+            if emitted(pu) && prog.annot(map[pu as usize]).trigger.is_none() {
+                prog.annot_mut(map[pu as usize]).trigger = Some(site.id);
+                break;
+            }
+            p -= 1;
+        }
+
+        // Slip control on the back-edge branches.
+        for &lb in &site.latch_branches {
+            if emitted(lb) {
+                prog.annot_mut(map[lb as usize]).scq_get = true;
+            }
+        }
+
+        // Mark slice membership for reporting.
+        for &pc in &site.slice {
+            if emitted(pc) {
+                prog.annot_mut(map[pc as usize]).cmas = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::DefUse;
+    use crate::dom::Loops;
+    use crate::separate;
+    use hidisc_isa::asm::assemble;
+    use hidisc_isa::Queue;
+
+    /// Marks annotations the way `compile` would, then extracts.
+    fn extract_from(src: &str, miss_pcs: &[u32]) -> (Program, Extraction) {
+        let mut p = assemble("t", src).unwrap();
+        let g = Cfg::build(&p);
+        let du = DefUse::compute(&p, &g);
+        let s = separate::separate(&p, &du);
+        for pc in 0..p.len() {
+            p.annot_mut(pc).stream = s.stream_of(pc);
+        }
+        for &pc in miss_pcs {
+            p.annot_mut(pc).probable_miss = true;
+        }
+        let loops = Loops::find(&g);
+        let e = extract(&p, &g, &loops, &du).unwrap();
+        (p, e)
+    }
+
+    const STRIDE_LOOP: &str = r"
+            li r1, 0x100000
+            li r2, 1024
+        loop:
+            ld r3, 0(r1)       ; probable miss, value unused in slice
+            add r4, r3, 1
+            sd r4, 0x80000(r1)
+            add r1, r1, 64
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ";
+
+    #[test]
+    fn stride_loop_slices_to_prefetch() {
+        let (_, e) = extract_from(STRIDE_LOOP, &[2]);
+        assert_eq!(e.threads.len(), 1);
+        let t = &e.threads[0].prog;
+        // The miss load's value is not used by the slice → prefetch.
+        assert!(t.instrs().iter().any(|i| matches!(i, Instr::Prefetch { .. })));
+        // Loop control survives: putscq + branch + induction update.
+        assert!(t.instrs().iter().any(|i| matches!(i, Instr::PutScq)));
+        assert!(t.instrs().iter().any(|i| matches!(i, Instr::Branch { .. })));
+        // Stores never appear in a CMAS.
+        assert!(!t.instrs().iter().any(|i| i.is_store()));
+        // The slice is smaller than the loop body.
+        assert!(t.len() < 7);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn pointer_chase_keeps_load() {
+        let (_, e) = extract_from(
+            r"
+            li r1, 0x100000
+            li r2, 1000
+        loop:
+            ld r1, 0(r1)       ; pointer chase: value IS the next address
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+            &[2],
+        );
+        assert_eq!(e.threads.len(), 1);
+        let t = &e.threads[0].prog;
+        // The chased load must stay a real load on the CMP.
+        assert!(t.instrs().iter().any(|i| i.is_load()));
+        assert!(!t.instrs().iter().any(|i| matches!(i, Instr::Prefetch { .. })));
+    }
+
+    #[test]
+    fn trigger_and_scq_instrumentation_identity_map() {
+        let (mut p, e) = extract_from(STRIDE_LOOP, &[2]);
+        let identity: Vec<u32> = (0..p.len()).collect();
+        instrument(&mut p, &identity, &e.sites);
+        // Trigger on the pre-header (pc 1, the li before the loop).
+        assert_eq!(p.annot(1).trigger, Some(0));
+        // scq_get on the back-edge branch (pc 7).
+        assert!(p.annot(7).scq_get);
+        // Slice members are flagged.
+        assert!(p.annot(2).cmas);
+    }
+
+    #[test]
+    fn fp_dependent_slice_is_skipped() {
+        let (_, e) = extract_from(
+            r"
+            li r1, 0x100000
+            li r2, 100
+            cvt.d.l f1, r2
+        loop:
+            cvt.l.d r3, f1      ; fp-derived address inside the loop
+            add r4, r1, r3
+            ld r5, 0(r4)
+            mul.d f1, f1, f1
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+            &[5],
+        );
+        assert!(e.threads.is_empty(), "fp-dependent slice must be skipped");
+    }
+
+    #[test]
+    fn irrelevant_guard_branch_is_pruned() {
+        // A gather loop whose per-element work is guarded by a test on the
+        // gathered value: the guard (and therefore the gathered load's
+        // *value*) is irrelevant to the slice, so the load must become a
+        // fire-and-forget prefetch and the guard must vanish.
+        let (_, e) = extract_from(
+            r"
+            li r1, 0x100000
+            li r2, 512
+        loop:
+            ld r3, 0(r1)        ; gathered value (probable miss)
+            beq r3, r0, skip    ; guard: irrelevant to the address chain
+            add r4, r3, 1
+            sd r4, 0x80000(r1)
+        skip:
+            add r1, r1, 64
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+            &[2],
+        );
+        assert_eq!(e.threads.len(), 1);
+        let t = &e.threads[0].prog;
+        assert!(
+            t.instrs().iter().any(|i| matches!(i, Instr::Prefetch { .. })),
+            "guarded gather should become a prefetch:\n{t}"
+        );
+        assert!(!t.instrs().iter().any(|i| i.is_load()), "no blocking loads:\n{t}");
+        // Only the latch branch survives.
+        let branches =
+            t.instrs().iter().filter(|i| matches!(i, Instr::Branch { .. })).count();
+        assert_eq!(branches, 1, "guard branch must be pruned:\n{t}");
+    }
+
+    #[test]
+    fn guard_protecting_slice_members_is_kept() {
+        // Here the guard skips a load that itself feeds the address chain:
+        // pruning it would change which addresses the slice computes, so
+        // it must be kept.
+        let (_, e) = extract_from(
+            r"
+            li r1, 0x100000
+            li r2, 512
+        loop:
+            ld r3, 0(r1)        ; probable miss, feeds the guard
+            beq r3, r0, skip
+            ld r1, 8(r1)        ; alternate pointer step (in slice)
+        skip:
+            add r1, r1, 64
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+            &[2],
+        );
+        assert_eq!(e.threads.len(), 1);
+        let t = &e.threads[0].prog;
+        let branches =
+            t.instrs().iter().filter(|i| matches!(i, Instr::Branch { .. })).count();
+        assert_eq!(branches, 2, "guard must survive:\n{t}");
+        // The guarded load feeds addresses: kept as a real CMP load.
+        assert!(t.instrs().iter().any(|i| i.is_load()));
+    }
+
+    #[test]
+    fn loads_outside_loops_are_ignored() {
+        let (_, e) = extract_from("li r1, 0x1000\nld r2, 0(r1)\nhalt", &[1]);
+        assert!(e.threads.is_empty());
+    }
+
+    #[test]
+    fn back_edge_targets_remap_into_thread() {
+        let (_, e) = extract_from(STRIDE_LOOP, &[2]);
+        let t = &e.threads[0].prog;
+        let br = t
+            .instrs()
+            .iter()
+            .position(|i| matches!(i, Instr::Branch { .. }))
+            .unwrap() as u32;
+        let target = t.instr(br).target().unwrap();
+        assert!(target < br, "back edge must point into the thread body");
+        // Exit path: falls through to the final halt.
+        assert!(matches!(t.instr(t.len() - 1), Instr::Halt));
+    }
+
+    #[test]
+    fn nested_loop_slices_innermost() {
+        let (_, e) = extract_from(
+            r"
+            li r9, 4
+        outer:
+            li r1, 0x100000
+            li r2, 256
+        inner:
+            ld r3, 0(r1)
+            add r1, r1, 64
+            sub r2, r2, 1
+            bne r2, r0, inner
+            sub r9, r9, 1
+            bne r9, r0, outer
+            halt
+        ",
+            &[3],
+        );
+        assert_eq!(e.threads.len(), 1);
+        // The thread covers only the inner loop: no outer induction (r9).
+        let t = &e.threads[0].prog;
+        assert!(t.len() <= 6);
+        assert_eq!(e.sites[0].header_start, 3);
+        // Trigger just before the inner header — fires once per outer
+        // iteration.
+        assert_eq!(e.sites[0].trigger_before, 2);
+        let _ = Queue::Scq;
+    }
+}

@@ -1,0 +1,288 @@
+//! Reaching definitions and def-use chains (instruction granularity).
+//!
+//! This is the register-dependence information the backward-chasing slicer
+//! walks: for every instruction operand, which instructions may have
+//! produced it, and for every definition, which instructions may consume
+//! it.
+
+use crate::cfg::Cfg;
+use hidisc_isa::instr::RegRef;
+use hidisc_isa::Program;
+
+/// Dense id for a register reference (int 0..32, fp 32..64).
+fn reg_id(r: RegRef) -> usize {
+    match r {
+        RegRef::Int(r) => r.index(),
+        RegRef::Fp(r) => 32 + r.index(),
+    }
+}
+
+const NUM_REGS: usize = 64;
+
+/// A set of instruction indices as a bit vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InstrSet {
+    words: Vec<u64>,
+}
+
+impl InstrSet {
+    fn new(n: usize) -> InstrSet {
+        InstrSet { words: vec![0; n.div_ceil(64)] }
+    }
+    fn insert(&mut self, i: u32) {
+        self.words[i as usize / 64] |= 1 << (i % 64);
+    }
+    fn remove(&mut self, i: u32) {
+        self.words[i as usize / 64] &= !(1 << (i % 64));
+    }
+    fn union_with(&mut self, o: &InstrSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&o.words) {
+            let n = *a | b;
+            if n != *a {
+                *a = n;
+                changed = true;
+            }
+        }
+        changed
+    }
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64).filter(move |b| bits & (1 << b) != 0).map(move |b| (w * 64 + b) as u32)
+        })
+    }
+}
+
+/// Def-use information over a program.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    /// `parents[pc]` — for each source-operand slot of instruction `pc`,
+    /// the set of instructions whose definition may reach that use.
+    parents: Vec<Vec<(RegRef, Vec<u32>)>>,
+    /// `children[pc]` — the instructions that may use the value defined by
+    /// `pc`.
+    children: Vec<Vec<u32>>,
+}
+
+impl DefUse {
+    /// Computes reaching definitions over `cfg` and derives instruction
+    /// def-use chains.
+    pub fn compute(prog: &Program, cfg: &Cfg) -> DefUse {
+        let n = prog.len() as usize;
+
+        // Per-register definition sites.
+        let mut defs_of_reg: Vec<Vec<u32>> = vec![vec![]; NUM_REGS];
+        for pc in 0..prog.len() {
+            if let Some(d) = prog.instr(pc).def() {
+                defs_of_reg[reg_id(d)].push(pc);
+            }
+        }
+
+        // Block-level GEN/KILL.
+        let nb = cfg.len();
+        let mut gen = vec![InstrSet::new(n); nb];
+        let mut kill = vec![InstrSet::new(n); nb];
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            for pc in blk.range() {
+                if let Some(d) = prog.instr(pc).def() {
+                    for &other in &defs_of_reg[reg_id(d)] {
+                        gen[b].remove(other);
+                        kill[b].insert(other);
+                    }
+                    gen[b].insert(pc);
+                    kill[b].remove(pc);
+                }
+            }
+        }
+
+        // Iterate IN/OUT to fixpoint.
+        let mut r#in = vec![InstrSet::new(n); nb];
+        let mut out = vec![InstrSet::new(n); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..nb {
+                let mut newin = InstrSet::new(n);
+                for &p in &cfg.blocks[b].preds {
+                    newin.union_with(&out[p]);
+                }
+                r#in[b] = newin;
+                let mut newout = r#in[b].clone();
+                for k in kill[b].iter() {
+                    newout.remove(k);
+                }
+                newout.union_with(&gen[b]);
+                if newout != out[b] {
+                    out[b] = newout;
+                    changed = true;
+                }
+            }
+        }
+
+        // Walk blocks to resolve each use against the current reaching set.
+        let mut parents: Vec<Vec<(RegRef, Vec<u32>)>> = vec![vec![]; n];
+        let mut children: Vec<Vec<u32>> = vec![vec![]; n];
+        // current[reg] = defs reaching this point, maintained per block.
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            let mut current: Vec<Vec<u32>> = vec![vec![]; NUM_REGS];
+            for (r, defs) in current.iter_mut().enumerate() {
+                for d in r#in[b].iter() {
+                    if prog.instr(d).def().map(reg_id) == Some(r) {
+                        defs.push(d);
+                    }
+                }
+            }
+            for pc in blk.range() {
+                let instr = prog.instr(pc);
+                for u in instr.uses().into_iter().flatten() {
+                    let ds = current[reg_id(u)].clone();
+                    for &d in &ds {
+                        children[d as usize].push(pc);
+                    }
+                    parents[pc as usize].push((u, ds));
+                }
+                if let Some(d) = instr.def() {
+                    current[reg_id(d)] = vec![pc];
+                }
+            }
+        }
+        for c in &mut children {
+            c.sort_unstable();
+            c.dedup();
+        }
+
+        DefUse { parents, children }
+    }
+
+    /// The reaching definitions of each source operand of `pc`:
+    /// `(register, defining instructions)`.
+    pub fn parents(&self, pc: u32) -> &[(RegRef, Vec<u32>)] {
+        &self.parents[pc as usize]
+    }
+
+    /// All definitions (instructions) feeding any operand of `pc`.
+    pub fn all_parents(&self, pc: u32) -> impl Iterator<Item = u32> + '_ {
+        self.parents[pc as usize].iter().flat_map(|(_, ds)| ds.iter().copied())
+    }
+
+    /// The instructions that may consume the value defined by `pc`.
+    pub fn children(&self, pc: u32) -> &[u32] {
+        &self.children[pc as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+
+    fn du(src: &str) -> (Program, DefUse) {
+        let p = assemble("t", src).unwrap();
+        let c = Cfg::build(&p);
+        let d = DefUse::compute(&p, &c);
+        (p, d)
+    }
+
+    #[test]
+    fn straight_line_chains() {
+        let (_, d) = du(
+            r"
+            li r1, 1
+            li r2, 2
+            add r3, r1, r2
+            add r4, r3, r3
+            halt
+        ",
+        );
+        assert_eq!(d.children(0), &[2]);
+        assert_eq!(d.children(1), &[2]);
+        assert_eq!(d.children(2), &[3]);
+        let parents: Vec<u32> = d.all_parents(2).collect();
+        assert_eq!(parents, vec![0, 1]);
+        // Both operand slots of pc 3 resolve to pc 2.
+        assert_eq!(d.parents(3).len(), 2);
+        assert!(d.parents(3).iter().all(|(_, ds)| ds == &vec![2]));
+    }
+
+    #[test]
+    fn redefinition_kills() {
+        let (_, d) = du(
+            r"
+            li r1, 1
+            li r1, 2
+            add r2, r1, r1
+            halt
+        ",
+        );
+        assert_eq!(d.children(0), &[] as &[u32]);
+        assert_eq!(d.children(1), &[2]);
+    }
+
+    #[test]
+    fn loop_carried_dependence() {
+        let (_, d) = du(
+            r"
+            li r1, 10
+        loop:
+            sub r1, r1, 1
+            bne r1, r0, loop
+            halt
+        ",
+        );
+        // The sub at pc 1 uses r1 defined by pc 0 (first iteration) and by
+        // itself (subsequent iterations).
+        let (_, ds) = &d.parents(1)[0];
+        let mut ds = ds.clone();
+        ds.sort_unstable();
+        assert_eq!(ds, vec![0, 1]);
+        // The branch uses r1 from the sub only (the sub kills pc 0's def
+        // within the block).
+        let (_, bds) = &d.parents(2)[0];
+        assert_eq!(bds, &vec![1]);
+    }
+
+    #[test]
+    fn merge_point_sees_both_defs() {
+        let (_, d) = du(
+            r"
+            beq r9, r0, else
+            li r1, 1
+            j join
+        else:
+            li r1, 2
+        join:
+            add r2, r1, r1
+            halt
+        ",
+        );
+        let (_, ds) = &d.parents(4)[0];
+        let mut ds = ds.clone();
+        ds.sort_unstable();
+        assert_eq!(ds, vec![1, 3]);
+    }
+
+    #[test]
+    fn fp_and_int_registers_are_distinct() {
+        let (_, d) = du(
+            r"
+            li r1, 1
+            cvt.d.l f1, r1
+            add.d f2, f1, f1
+            halt
+        ",
+        );
+        assert_eq!(d.children(0), &[1]);
+        assert_eq!(d.children(1), &[2]);
+        // f1's use at pc 2 resolves to pc 1, not pc 0.
+        assert!(d.parents(2).iter().all(|(_, ds)| ds == &vec![1]));
+    }
+
+    #[test]
+    fn zero_register_has_no_deps() {
+        let (_, d) = du("add r1, r0, r0\nsd r1, 0(r0)\nhalt");
+        assert!(d.parents(0).is_empty());
+        // the store's base r0 contributes nothing; src r1 ← pc 0
+        let ps: Vec<u32> = d.all_parents(1).collect();
+        assert_eq!(ps, vec![0]);
+    }
+}

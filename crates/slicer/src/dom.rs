@@ -1,0 +1,259 @@
+//! Dominators and natural loops.
+//!
+//! Loop structure drives CMAS extraction: each natural loop containing
+//! probable cache-miss loads yields one CMAS prefetch thread, triggered at
+//! the loop pre-header.
+
+use crate::cfg::Cfg;
+
+/// Dominator sets computed by the classic iterative algorithm (programs
+/// here are small; bit-set simplicity beats Lengauer-Tarjan cleverness).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `dom[b]` = set of blocks dominating `b` (as a bit vector).
+    dom: Vec<Vec<u64>>,
+    words: usize,
+}
+
+impl Dominators {
+    /// Computes dominators over the CFG.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.len();
+        let words = n.div_ceil(64);
+        let full = vec![u64::MAX; words];
+        let mut dom = vec![full.clone(); n];
+        // entry dominates only itself
+        dom[0] = vec![0; words];
+        dom[0][0] = 1;
+        let reachable = cfg.reachable();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..n {
+                if !reachable[b] {
+                    continue;
+                }
+                let mut new = full.clone();
+                let mut any_pred = false;
+                for &p in &cfg.blocks[b].preds {
+                    if !reachable[p] {
+                        continue;
+                    }
+                    any_pred = true;
+                    for (w, d) in new.iter_mut().zip(&dom[p]) {
+                        *w &= d;
+                    }
+                }
+                if !any_pred {
+                    new = vec![0; words];
+                }
+                new[b / 64] |= 1 << (b % 64);
+                if new != dom[b] {
+                    dom[b] = new;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { dom, words }
+    }
+
+    /// True when block `a` dominates block `b`.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        debug_assert!(a / 64 < self.words);
+        self.dom[b][a / 64] & (1 << (a % 64)) != 0
+    }
+}
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Header block id.
+    pub header: usize,
+    /// Blocks in the loop body (including the header), sorted.
+    pub body: Vec<usize>,
+    /// Latch blocks (sources of back edges).
+    pub latches: Vec<usize>,
+}
+
+impl NaturalLoop {
+    /// True when block `b` belongs to this loop.
+    pub fn contains(&self, b: usize) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+}
+
+/// All natural loops of a CFG.
+#[derive(Debug, Clone)]
+pub struct Loops {
+    /// Loops, one per header (multiple back edges to one header merge).
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl Loops {
+    /// Finds natural loops via back edges `latch → header` where the
+    /// header dominates the latch.
+    pub fn find(cfg: &Cfg) -> Loops {
+        let doms = Dominators::compute(cfg);
+        let reachable = cfg.reachable();
+        let mut by_header: std::collections::BTreeMap<usize, (Vec<usize>, Vec<usize>)> =
+            std::collections::BTreeMap::new();
+
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            if !reachable[b] {
+                continue;
+            }
+            for &s in &blk.succs {
+                if doms.dominates(s, b) {
+                    // back edge b → s
+                    let body = Self::loop_body(cfg, s, b);
+                    let e = by_header.entry(s).or_default();
+                    e.0.extend(body);
+                    e.1.push(b);
+                }
+            }
+        }
+
+        let loops = by_header
+            .into_iter()
+            .map(|(header, (mut body, latches))| {
+                body.sort_unstable();
+                body.dedup();
+                NaturalLoop { header, body, latches }
+            })
+            .collect();
+        Loops { loops }
+    }
+
+    /// Blocks of the natural loop of back edge `latch → header`: header
+    /// plus everything that reaches the latch without passing the header.
+    fn loop_body(cfg: &Cfg, header: usize, latch: usize) -> Vec<usize> {
+        let mut body = vec![header];
+        let mut work = vec![latch];
+        let mut seen = vec![false; cfg.len()];
+        seen[header] = true;
+        while let Some(b) = work.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            body.push(b);
+            work.extend(cfg.blocks[b].preds.iter().copied());
+        }
+        body
+    }
+
+    /// The innermost loop containing block `b` (smallest body).
+    pub fn innermost_containing(&self, b: usize) -> Option<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .min_by_key(|l| l.body.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+
+    fn analyze(src: &str) -> (Cfg, Loops) {
+        let p = assemble("t", src).unwrap();
+        let c = Cfg::build(&p);
+        let l = Loops::find(&c);
+        (c, l)
+    }
+
+    #[test]
+    fn single_loop_detected() {
+        let (c, l) = analyze(
+            r"
+            li r1, 10
+        loop:
+            sub r1, r1, 1
+            bne r1, r0, loop
+            halt
+        ",
+        );
+        assert_eq!(l.loops.len(), 1);
+        let lp = &l.loops[0];
+        assert_eq!(lp.header, c.block_containing(1));
+        assert_eq!(lp.body, vec![lp.header]);
+        assert_eq!(lp.latches, vec![lp.header]);
+    }
+
+    #[test]
+    fn nested_loops() {
+        let (c, l) = analyze(
+            r"
+            li r1, 4
+        outer:
+            li r2, 4
+        inner:
+            sub r2, r2, 1
+            bne r2, r0, inner
+            sub r1, r1, 1
+            bne r1, r0, outer
+            halt
+        ",
+        );
+        assert_eq!(l.loops.len(), 2);
+        let inner_block = c.block_containing(3);
+        let inner = l.innermost_containing(inner_block).unwrap();
+        let outer = l.loops.iter().max_by_key(|x| x.body.len()).unwrap();
+        assert!(inner.body.len() < outer.body.len());
+        assert!(outer.body.iter().all(|b| outer.contains(*b)));
+        // Inner loop body is a subset of outer's.
+        assert!(inner.body.iter().all(|b| outer.contains(*b)));
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let (_, l) = analyze("li r1, 1\nhalt");
+        assert!(l.loops.is_empty());
+    }
+
+    #[test]
+    fn dominators_basics() {
+        let (c, _) = analyze(
+            r"
+            beq r1, r0, else
+            li r2, 1
+            j join
+        else:
+            li r2, 2
+        join:
+            halt
+        ",
+        );
+        let d = Dominators::compute(&c);
+        // entry dominates everything
+        for b in 0..c.len() {
+            assert!(d.dominates(0, b));
+        }
+        // neither branch arm dominates the join
+        let join = c.len() - 1;
+        assert!(!d.dominates(1, join));
+        assert!(!d.dominates(2, join));
+        assert!(d.dominates(join, join));
+    }
+
+    #[test]
+    fn multi_latch_loop_merges() {
+        // Loop with two back edges (continue-style).
+        let (_, l) = analyze(
+            r"
+            li r1, 8
+        head:
+            sub r1, r1, 1
+            beq r1, r0, done
+            rem r2, r1, 2
+            bne r2, r0, head
+            j head
+        done:
+            halt
+        ",
+        );
+        assert_eq!(l.loops.len(), 1);
+        assert_eq!(l.loops[0].latches.len(), 2);
+    }
+}

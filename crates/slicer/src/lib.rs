@@ -1,0 +1,140 @@
+//! # hidisc-slicer — the HiDISC compiler
+//!
+//! Implements the stream-separation compiler of the paper (its Section 4):
+//! given a conventional sequential DISA binary it
+//!
+//! 1. derives the **Program Flow Graph** (the `cfg`, [`dom`] and [`dataflow`] modules),
+//! 2. defines load/store and control instructions as the **Access Stream**
+//!    and chases their **backward slices** through the register dependences
+//!    ([`separate`]),
+//! 3. classifies the remainder as the **Computation Stream** and inserts
+//!    the **communication instructions** (LDQ / SDQ / CDQ sends and
+//!    receives, Control-Queue consume-branches) ([`build`]),
+//! 4. runs a **cache-access profile** to find probable cache-miss loads
+//!    ([`profile`]), and
+//! 5. extracts the **Cache Miss Access Slice** for each loop containing
+//!    probable misses, placing trigger annotations and slip-control
+//!    instructions ([`cmas`]).
+//!
+//! The output is a [`CompiledWorkload`]: the annotated original binary (run
+//! by the superscalar and CP+CMP models), the two stream binaries (run by
+//! the CP and AP), and the CMAS thread binaries (run by the CMP).
+
+pub mod build;
+pub mod cfg;
+pub mod cmas;
+pub mod dataflow;
+pub mod dom;
+pub mod profile;
+pub mod report;
+pub mod separate;
+pub mod swpref;
+
+use hidisc_isa::{IntReg, Program};
+
+/// A Cache Miss Access Slice: a sliced loop executed by the CMP as a
+/// prefetch thread.
+#[derive(Debug, Clone)]
+pub struct CmasThread {
+    /// Thread id (referenced by trigger annotations).
+    pub id: u32,
+    /// The sliced loop as a standalone program (ends in `halt`).
+    pub prog: Program,
+    /// Original-program index of the loop header this slice covers.
+    pub loop_header: u32,
+}
+
+/// Everything the HiDISC compiler produces for one workload.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    /// The original binary with stream/miss/trigger annotations — executed
+    /// by the baseline superscalar and (with its triggers) the CP+CMP
+    /// model.
+    pub original: Program,
+    /// The Computation Stream binary (CP).
+    pub cs: Program,
+    /// The Access Stream binary (AP), with triggers and `getscq`.
+    pub access: Program,
+    /// CMAS prefetch threads (CMP).
+    pub cmas: Vec<CmasThread>,
+    /// The cache-access profile used for CMAS selection.
+    pub profile: profile::MissProfile,
+}
+
+/// Initial machine state a workload runs with: register values and the
+/// data image. The profiling pass executes under the same state the timing
+/// runs will use.
+#[derive(Debug, Clone, Default)]
+pub struct ExecEnv {
+    /// Initial integer-register values (workload parameters / base
+    /// addresses).
+    pub regs: Vec<(IntReg, i64)>,
+    /// Initial memory image.
+    pub mem: hidisc_isa::mem::Memory,
+    /// Step budget for functional/profiling runs.
+    pub max_steps: u64,
+}
+
+/// Compiler tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CompilerConfig {
+    /// A static load is a probable cache miss when its demand miss rate
+    /// meets this threshold...
+    pub miss_rate_threshold: f64,
+    /// ... and at least this many misses were observed.
+    pub min_misses: u64,
+    /// Skip CMAS extraction entirely (ablation).
+    pub enable_cmas: bool,
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        CompilerConfig { miss_rate_threshold: 0.05, min_misses: 16, enable_cmas: true }
+    }
+}
+
+/// Runs the full compiler pipeline on a sequential program.
+pub fn compile(
+    prog: &Program,
+    env: &ExecEnv,
+    cfg: &CompilerConfig,
+) -> hidisc_isa::Result<CompiledWorkload> {
+    prog.validate()?;
+    let graph = cfg::Cfg::build(prog);
+    let du = dataflow::DefUse::compute(prog, &graph);
+    let streams = separate::separate(prog, &du);
+    let prof = profile::profile(prog, env)?;
+
+    let mut original = prog.clone();
+    for pc in 0..original.len() {
+        original.annot_mut(pc).stream = streams.stream_of(pc);
+        original.annot_mut(pc).probable_miss =
+            prof.is_probable_miss(pc, cfg.miss_rate_threshold, cfg.min_misses);
+    }
+
+    let built = build::build_streams(&original, &du, &streams)?;
+    let mut cs = built.cs;
+    let mut access = built.access;
+
+    let mut cmas_threads = Vec::new();
+    if cfg.enable_cmas {
+        let loops = dom::Loops::find(&graph);
+        let extraction = cmas::extract(&original, &graph, &loops, &du)?;
+        cmas_threads = extraction.threads;
+        // Instrument the access stream (HiDISC) and the original binary
+        // (CP+CMP) with triggers and slip control.
+        cmas::instrument(&mut access, &built.access_map, &extraction.sites);
+        let identity: Vec<u32> = (0..original.len()).collect();
+        cmas::instrument(&mut original, &identity, &extraction.sites);
+        // The CS keeps its layout; no CMAS instrumentation is needed there.
+        let _ = &mut cs;
+    }
+
+    cs.validate()?;
+    access.validate()?;
+    for t in &cmas_threads {
+        t.prog.validate()?;
+    }
+
+    Ok(CompiledWorkload { original, cs, access, cmas: cmas_threads, profile: prof })
+}

@@ -1,0 +1,199 @@
+//! Cache-access profiling: finds probable cache-miss instructions.
+//!
+//! The paper uses a cache access profile of the binary to decide which
+//! loads seed the Cache Miss Access Slice. We do the same: a functional
+//! run of the workload (same data image the timing runs will use) against
+//! the Table-1 L1 geometry, recording per-static-instruction demand
+//! accesses and misses.
+
+use crate::ExecEnv;
+use hidisc_isa::interp::{Interp, MemKind};
+use hidisc_isa::{Program, Result};
+use hidisc_mem::cache::Cache;
+use hidisc_mem::CacheConfig;
+use std::collections::HashMap;
+
+/// Per-static-instruction access counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcProfile {
+    /// Demand accesses executed by this instruction.
+    pub accesses: u64,
+    /// ... that missed in the profiled L1.
+    pub misses: u64,
+}
+
+impl PcProfile {
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The cache-access profile of one workload.
+#[derive(Debug, Clone, Default)]
+pub struct MissProfile {
+    per_pc: HashMap<u32, PcProfile>,
+    /// Total demand accesses.
+    pub total_accesses: u64,
+    /// Total L1 misses in the profiling run.
+    pub total_misses: u64,
+    /// Dynamic instructions executed by the profiling run (the workload's
+    /// useful-work measure).
+    pub dyn_instrs: u64,
+}
+
+impl MissProfile {
+    /// The counters for instruction `pc`.
+    pub fn at(&self, pc: u32) -> PcProfile {
+        self.per_pc.get(&pc).copied().unwrap_or_default()
+    }
+
+    /// The probable-cache-miss predicate used for CMAS seeding.
+    pub fn is_probable_miss(&self, pc: u32, rate_threshold: f64, min_misses: u64) -> bool {
+        let p = self.at(pc);
+        p.misses >= min_misses && p.miss_rate() >= rate_threshold
+    }
+
+    /// Instructions sorted by miss count, descending (for reports).
+    pub fn hottest(&self) -> Vec<(u32, PcProfile)> {
+        let mut v: Vec<(u32, PcProfile)> = self.per_pc.iter().map(|(k, v)| (*k, *v)).collect();
+        v.sort_by_key(|(pc, p)| (std::cmp::Reverse(p.misses), *pc));
+        v
+    }
+}
+
+/// Runs the profiling pass over `prog` under `env`.
+pub fn profile(prog: &Program, env: &ExecEnv) -> Result<MissProfile> {
+    let mut interp = Interp::new(prog, env.mem.clone());
+    for &(r, v) in &env.regs {
+        interp.set_reg(r, v);
+    }
+    let mut l1 = Cache::new(CacheConfig::paper_l1());
+    let mut per_pc: HashMap<u32, PcProfile> = HashMap::new();
+    let max = if env.max_steps == 0 { u64::MAX } else { env.max_steps };
+
+    let stats = interp.run_with_hook(max, &mut |e| {
+        if e.kind == MemKind::Prefetch {
+            return;
+        }
+        let probe = l1.access(e.addr, e.kind == MemKind::Store, false);
+        let p = per_pc.entry(e.pc).or_default();
+        p.accesses += 1;
+        if !probe.hit {
+            p.misses += 1;
+        }
+    })?;
+
+    let cs = l1.stats();
+    Ok(MissProfile {
+        per_pc,
+        total_accesses: cs.demand_accesses,
+        total_misses: cs.demand_misses,
+        dyn_instrs: stats.instrs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+    use hidisc_isa::mem::Memory;
+    use hidisc_isa::IntReg;
+
+    #[test]
+    fn strided_scan_over_large_array_misses() {
+        // Walk 64 KiB with a 64-byte stride: every other access maps to a
+        // new 32-byte L1 block → high miss rate on the load.
+        let prog = assemble(
+            "t",
+            r"
+            li r1, 0x100000
+            li r2, 1024
+        loop:
+            ld r3, 0(r1)
+            add r1, r1, 64
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 1_000_000 };
+        let p = profile(&prog, &env).unwrap();
+        let load_pc = 2;
+        let lp = p.at(load_pc);
+        assert_eq!(lp.accesses, 1024);
+        assert!(lp.miss_rate() > 0.9, "rate = {}", lp.miss_rate());
+        assert!(p.is_probable_miss(load_pc, 0.05, 16));
+        assert_eq!(p.dyn_instrs, 2 + 4 * 1024 + 1);
+    }
+
+    #[test]
+    fn hot_small_array_hits() {
+        // Repeatedly scan 256 bytes: after the cold pass everything hits.
+        let prog = assemble(
+            "t",
+            r"
+            li r4, 64
+        outer:
+            li r1, 0x100000
+            li r2, 32
+        loop:
+            ld r3, 0(r1)
+            add r1, r1, 8
+            sub r2, r2, 1
+            bne r2, r0, loop
+            sub r4, r4, 1
+            bne r4, r0, outer
+            halt
+        ",
+        )
+        .unwrap();
+        let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 1_000_000 };
+        let p = profile(&prog, &env).unwrap();
+        let lp = p.at(3);
+        assert_eq!(lp.accesses, 64 * 32);
+        assert!(lp.miss_rate() < 0.01, "rate = {}", lp.miss_rate());
+        assert!(!p.is_probable_miss(3, 0.05, 16));
+    }
+
+    #[test]
+    fn initial_registers_respected() {
+        let prog = assemble("t", "ld r2, 0(r1)\nhalt").unwrap();
+        let mut mem = Memory::new();
+        mem.write_i64(0x4000, 7).unwrap();
+        let env =
+            ExecEnv { regs: vec![(IntReg::new(1), 0x4000)], mem, max_steps: 100 };
+        let p = profile(&prog, &env).unwrap();
+        assert_eq!(p.at(0).accesses, 1);
+        assert_eq!(p.total_accesses, 1);
+    }
+
+    #[test]
+    fn hottest_sorted_by_misses() {
+        let prog = assemble(
+            "t",
+            r"
+            li r1, 0x100000
+            li r2, 128
+        loop:
+            ld r3, 0(r1)      ; always new block (stride 64): misses
+            ld r4, 0x40000(r0); same block every time: one miss
+            add r1, r1, 64
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 1_000_000 };
+        let p = profile(&prog, &env).unwrap();
+        let hot = p.hottest();
+        assert_eq!(hot[0].0, 2);
+        assert!(hot[0].1.misses > hot[1].1.misses);
+    }
+}

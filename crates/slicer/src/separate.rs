@@ -1,0 +1,219 @@
+//! Stream separation: backward chasing of load/store and control
+//! instructions (Figure 4, steps 2-3 of the paper).
+//!
+//! * Every memory and control-transfer instruction is seeded into the
+//!   **Access Stream**.
+//! * Their backward slices (address computation, index generation, loop
+//!   control) are chased through the register def-use chains and pulled
+//!   into the Access Stream too.
+//! * Chasing stops at floating-point computation: FP stays in the
+//!   **Computation Stream** (the Access Processor has no FP units) and
+//!   feeds the Access Stream through the CDQ when needed.
+//! * A store's *data* operand is deliberately not chased — that is the
+//!   paper's SDQ communication.
+
+use crate::dataflow::DefUse;
+use hidisc_isa::annot::Stream;
+use hidisc_isa::instr::RegRef;
+use hidisc_isa::{Instr, Program};
+
+/// Per-instruction stream assignment.
+#[derive(Debug, Clone)]
+pub struct Streams {
+    v: Vec<Stream>,
+}
+
+impl Streams {
+    /// The stream of instruction `pc`.
+    pub fn stream_of(&self, pc: u32) -> Stream {
+        self.v[pc as usize]
+    }
+
+    /// Number of instructions per stream `(computation, access)`.
+    pub fn counts(&self) -> (usize, usize) {
+        let a = self.v.iter().filter(|s| **s == Stream::Access).count();
+        (self.v.len() - a, a)
+    }
+}
+
+/// The data register of a store, when it has one distinct from its base
+/// (a register that serves as both data and address is treated as
+/// address — it must be chased).
+pub fn store_data_reg(i: &Instr) -> Option<RegRef> {
+    match *i {
+        Instr::Store { src, base, .. } => {
+            (!src.is_zero() && src != base).then_some(RegRef::Int(src))
+        }
+        Instr::StoreF { src, .. } => Some(RegRef::Fp(src)),
+        _ => None,
+    }
+}
+
+/// Computes the stream assignment.
+pub fn separate(prog: &Program, du: &DefUse) -> Streams {
+    let n = prog.len() as usize;
+    let mut v = vec![Stream::Computation; n];
+    let mut work: Vec<u32> = Vec::new();
+
+    for pc in 0..prog.len() {
+        let i = prog.instr(pc);
+        if i.is_mem() || i.is_control() {
+            v[pc as usize] = Stream::Access;
+            work.push(pc);
+        }
+    }
+
+    while let Some(pc) = work.pop() {
+        let i = prog.instr(pc);
+        let data_reg = store_data_reg(i);
+        for (reg, defs) in du.parents(pc) {
+            if Some(*reg) == data_reg {
+                continue; // store data is communicated, not chased
+            }
+            for &d in defs {
+                if prog.instr(d).is_fp_compute() {
+                    continue; // FP stays in the Computation Stream
+                }
+                if v[d as usize] == Stream::Computation {
+                    v[d as usize] = Stream::Access;
+                    work.push(d);
+                }
+            }
+        }
+    }
+
+    Streams { v }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use hidisc_isa::asm::assemble;
+
+    fn streams(src: &str) -> (Program, Streams) {
+        let p = assemble("t", src).unwrap();
+        let c = Cfg::build(&p);
+        let du = DefUse::compute(&p, &c);
+        let s = separate(&p, &du);
+        (p, s)
+    }
+
+    #[test]
+    fn memory_and_control_are_access() {
+        let (p, s) = streams(
+            r"
+            li r1, 0x1000
+            ld r2, 0(r1)
+            add r3, r2, 1
+            sd r3, 8(r1)
+            halt
+        ",
+        );
+        assert_eq!(s.stream_of(0), Stream::Access); // li feeds the load address
+        assert_eq!(s.stream_of(1), Stream::Access); // load
+        assert_eq!(s.stream_of(3), Stream::Access); // store
+        assert_eq!(s.stream_of(4), Stream::Access); // halt
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn store_data_chain_stays_in_cs() {
+        let (_, s) = streams(
+            r"
+            li r1, 0x1000
+            ld r2, 0(r1)
+            add r3, r2, 1
+            sd r3, 8(r1)
+            halt
+        ",
+        );
+        // The add produces store *data* — not chased, stays CS.
+        assert_eq!(s.stream_of(2), Stream::Computation);
+    }
+
+    #[test]
+    fn address_chain_is_chased_transitively() {
+        let (_, s) = streams(
+            r"
+            li r1, 8
+            mul r2, r1, 8
+            add r3, r2, r1
+            ld r4, 0(r3)
+            halt
+        ",
+        );
+        for pc in 0..4 {
+            assert_eq!(s.stream_of(pc), Stream::Access, "pc {pc}");
+        }
+    }
+
+    #[test]
+    fn fp_compute_is_a_chase_barrier() {
+        let (_, s) = streams(
+            r"
+            li r1, 4
+            cvt.d.l f1, r1
+            mul.d f2, f1, f1
+            cvt.l.d r2, f2
+            ld r3, 0(r2)
+            halt
+        ",
+        );
+        // Chasing: load(4) ← r2 ← cvt.l.d(3) which is FP compute: barrier.
+        // Nothing upstream of the barrier is chased, so the li stays CS.
+        assert_eq!(s.stream_of(0), Stream::Computation);
+        assert_eq!(s.stream_of(3), Stream::Computation);
+        assert_eq!(s.stream_of(2), Stream::Computation);
+        assert_eq!(s.stream_of(1), Stream::Computation);
+        assert_eq!(s.stream_of(4), Stream::Access);
+    }
+
+    #[test]
+    fn loop_control_is_access() {
+        let (_, s) = streams(
+            r"
+            li r1, 10
+            li r5, 0
+        loop:
+            add r5, r5, r1
+            sub r1, r1, 1
+            bne r1, r0, loop
+            halt
+        ",
+        );
+        assert_eq!(s.stream_of(3), Stream::Access); // induction update
+        assert_eq!(s.stream_of(4), Stream::Access); // branch
+        assert_eq!(s.stream_of(0), Stream::Access); // bound init
+        // r5 accumulation is pure computation
+        assert_eq!(s.stream_of(2), Stream::Computation);
+        assert_eq!(s.stream_of(1), Stream::Computation);
+    }
+
+    #[test]
+    fn store_data_reg_identifies_operand() {
+        let p = assemble("t", "sd r3, 0(r1)\ns.d f2, 0(r1)\nsd r1, 0(r1)\nhalt").unwrap();
+        assert_eq!(
+            store_data_reg(p.instr(0)),
+            Some(RegRef::Int(hidisc_isa::IntReg::new(3)))
+        );
+        assert!(matches!(store_data_reg(p.instr(1)), Some(RegRef::Fp(_))));
+        // data == base: treated as address, not data
+        assert_eq!(store_data_reg(p.instr(2)), None);
+    }
+
+    #[test]
+    fn counts_partition_everything() {
+        let (p, s) = streams(
+            r"
+            li r1, 0x1000
+            ld r2, 0(r1)
+            add r3, r2, 1
+            sd r3, 8(r1)
+            halt
+        ",
+        );
+        let (c, a) = s.counts();
+        assert_eq!(c + a, p.len() as usize);
+    }
+}

@@ -1,0 +1,368 @@
+//! Software prefetching — the paper's related-work comparator \[9\]
+//! (Mowry-style compiler-inserted prefetching; Luk & Mowry for recursive
+//! structures).
+//!
+//! For every load inside a natural loop whose address is *affine in the
+//! loop induction* — its base register is advanced by a compile-time
+//! constant each iteration, or computed from an induction variable that
+//! is — the pass inserts a `pref` instruction `distance` iterations ahead
+//! of the load. Irregular loads (pointer chases, data-dependent gathers)
+//! get nothing, which is exactly the weakness of software prefetching the
+//! paper's Section 2 describes.
+
+use crate::cfg::Cfg;
+use crate::dom::Loops;
+use hidisc_isa::instr::Src;
+use hidisc_isa::{Instr, IntOp, Program};
+
+/// Result summary of the insertion pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwPrefReport {
+    /// Loads examined inside loops.
+    pub loads_in_loops: usize,
+    /// Loads recognised as affine and covered by a `pref`.
+    pub prefetched: usize,
+}
+
+/// Computes the per-iteration stride of `reg` within the loop body — a
+/// linear-induction analysis over the address chain:
+///
+/// * no in-loop definition ⇒ loop-invariant (stride 0);
+/// * `add r, r, #K` / `sub r, r, #K` (self-update) ⇒ stride ±K;
+/// * `add/sub/sll/mul` over registers with known strides compose
+///   linearly;
+/// * anything else (loads, multiple definitions, non-linear ops) ⇒
+///   unknown.
+///
+/// A wrong stride only costs a useless prefetch — prefetching is
+/// architecturally side-effect free — so the analysis can be aggressive
+/// about conditionally-executed definitions.
+fn induction_stride(
+    prog: &Program,
+    body: &[u32],
+    reg: hidisc_isa::IntReg,
+) -> Option<i64> {
+    stride_of(prog, body, reg, 0)
+}
+
+fn stride_of(
+    prog: &Program,
+    body: &[u32],
+    reg: hidisc_isa::IntReg,
+    depth: u32,
+) -> Option<i64> {
+    if reg.is_zero() {
+        return Some(0);
+    }
+    if depth > 6 {
+        return None;
+    }
+    let defs: Vec<u32> = body
+        .iter()
+        .copied()
+        .filter(|&pc| prog.instr(pc).def() == Some(hidisc_isa::instr::RegRef::Int(reg)))
+        .collect();
+    match defs.as_slice() {
+        [] => Some(0), // loop-invariant
+        [pc] => match *prog.instr(*pc) {
+            // self-updating induction variable
+            Instr::IntOp { op: IntOp::Add, dst, a, b: Src::Imm(k) } if dst == a && a == reg => {
+                Some(k)
+            }
+            Instr::IntOp { op: IntOp::Sub, dst, a, b: Src::Imm(k) } if dst == a && a == reg => {
+                Some(-k)
+            }
+            // recomputed-per-iteration linear combinations
+            Instr::IntOp { op, a, b, .. } if a != reg && b.reg() != Some(reg) => {
+                let sa = stride_of(prog, body, a, depth + 1)?;
+                match (op, b) {
+                    (IntOp::Add, Src::Imm(_)) => Some(sa),
+                    (IntOp::Sub, Src::Imm(_)) => Some(sa),
+                    (IntOp::Add, Src::Reg(rb)) => {
+                        Some(sa.checked_add(stride_of(prog, body, rb, depth + 1)?)?)
+                    }
+                    (IntOp::Sub, Src::Reg(rb)) => {
+                        Some(sa.checked_sub(stride_of(prog, body, rb, depth + 1)?)?)
+                    }
+                    (IntOp::Sll, Src::Imm(k)) if (0..32).contains(&k) => sa.checked_shl(k as u32),
+                    (IntOp::Mul, Src::Imm(c)) => sa.checked_mul(c),
+                    _ => None,
+                }
+            }
+            Instr::Li { .. } => Some(0), // same constant every iteration
+            _ => None,
+        },
+        _ => None, // multiple definitions
+    }
+}
+
+/// Inserts `pref` instructions for affine loads, `distance` iterations
+/// ahead. Returns the transformed program and a report.
+pub fn insert_software_prefetch(prog: &Program, distance: i64) -> (Program, SwPrefReport) {
+    let graph = Cfg::build(prog);
+    let loops = Loops::find(&graph);
+    let mut report = SwPrefReport::default();
+
+    // For each load in a loop, decide the prefetch offset now; emit while
+    // re-laying-out the program.
+    let mut pref_after: Vec<Option<(hidisc_isa::IntReg, i32)>> = vec![None; prog.len() as usize];
+    for l in &loops.loops {
+        let body: Vec<u32> = l
+            .body
+            .iter()
+            .flat_map(|&b| graph.blocks[b].range())
+            .collect();
+        for &pc in &body {
+            let i = prog.instr(pc);
+            if !i.is_load() {
+                continue;
+            }
+            report.loads_in_loops += 1;
+            let Some((base, off)) = i.mem_addr_operands() else { continue };
+            let Some(stride) = induction_stride(prog, &body, base) else { continue };
+            let ahead = stride.saturating_mul(distance);
+            let Ok(new_off) = i32::try_from(off as i64 + ahead) else { continue };
+            pref_after[pc as usize] = Some((base, new_off));
+            report.prefetched += 1;
+        }
+    }
+
+    // Re-emit with prefetches inserted, remapping branch targets.
+    let mut out = Program::new(format!("{}+swpref", prog.name));
+    let mut map = vec![0u32; prog.len() as usize];
+    let mut fixups: Vec<(u32, u32)> = Vec::new();
+    for pc in 0..prog.len() {
+        map[pc as usize] = out.len();
+        if let Some((base, off)) = pref_after[pc as usize] {
+            out.push_annotated(Instr::Prefetch { base, off }, *prog.annot(pc));
+        }
+        let at = out.push_annotated(*prog.instr(pc), *prog.annot(pc));
+        if let Some(t) = prog.instr(pc).target() {
+            fixups.push((at, t));
+        }
+    }
+    for (at, orig) in fixups {
+        out.instr_mut(at).set_target(map[orig as usize]);
+    }
+    for l in prog.labels() {
+        let _ = out.add_label(l.name.clone(), map[l.at as usize]);
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+    use hidisc_isa::interp::Interp;
+    use hidisc_isa::mem::Memory;
+
+    #[test]
+    fn strided_loop_gets_prefetches() {
+        let p = assemble(
+            "t",
+            r"
+            li r1, 0x100000
+            li r2, 128
+        loop:
+            ld r3, 0(r1)
+            add r4, r3, 1
+            add r1, r1, 64
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let (q, rep) = insert_software_prefetch(&p, 8);
+        assert_eq!(rep.loads_in_loops, 1);
+        assert_eq!(rep.prefetched, 1);
+        q.validate().unwrap();
+        // the prefetch sits right before the load, 8 iterations ahead
+        let at = q.instrs().iter().position(|i| matches!(i, Instr::Prefetch { .. })).unwrap();
+        assert!(matches!(q.instr(at as u32), Instr::Prefetch { off: 512, .. }));
+        assert!(q.instr(at as u32 + 1).is_load());
+    }
+
+    #[test]
+    fn pointer_chase_gets_nothing() {
+        let p = assemble(
+            "t",
+            r"
+            li r1, 0x100000
+            li r2, 64
+        loop:
+            ld r1, 0(r1)
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let (q, rep) = insert_software_prefetch(&p, 8);
+        assert_eq!(rep.loads_in_loops, 1);
+        assert_eq!(rep.prefetched, 0, "a chase is not affine");
+        assert_eq!(q.len(), p.len());
+    }
+
+    #[test]
+    fn transformed_program_is_equivalent() {
+        let src = r"
+            li r1, 0x100000
+            li r2, 32
+            li r5, 0
+        loop:
+            ld r3, 0(r1)
+            add r5, r5, r3
+            add r1, r1, 8
+            sub r2, r2, 1
+            bne r2, r0, loop
+            sd r5, 0x200000(r0)
+            halt
+        ";
+        let p = assemble("t", src).unwrap();
+        let (q, rep) = insert_software_prefetch(&p, 4);
+        assert_eq!(rep.prefetched, 1);
+        let mut mem = Memory::new();
+        for k in 0..64u64 {
+            mem.write_i64(0x100000 + 8 * k, k as i64).unwrap();
+        }
+        let mut a = Interp::new(&p, mem.clone());
+        a.run(100_000).unwrap();
+        let mut b = Interp::new(&q, mem);
+        b.run(100_000).unwrap();
+        assert_eq!(a.mem.checksum(), b.mem.checksum());
+        assert_eq!(a.mem.read_i64(0x200000).unwrap(), b.mem.read_i64(0x200000).unwrap());
+    }
+
+    #[test]
+    fn negative_stride_prefetches_backwards() {
+        let p = assemble(
+            "t",
+            r"
+            li r1, 0x108000
+            li r2, 64
+        loop:
+            ld r3, 0(r1)
+            sub r1, r1, 32
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let (q, rep) = insert_software_prefetch(&p, 4);
+        assert_eq!(rep.prefetched, 1);
+        let at = q.instrs().iter().position(|i| matches!(i, Instr::Prefetch { .. })).unwrap();
+        assert!(matches!(q.instr(at as u32), Instr::Prefetch { off: -128, .. }));
+    }
+
+    #[test]
+    fn multiple_updates_disqualify() {
+        let p = assemble(
+            "t",
+            r"
+            li r1, 0x100000
+            li r2, 64
+        loop:
+            ld r3, 0(r1)
+            add r1, r1, 8
+            add r1, r1, 8
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let (_, rep) = insert_software_prefetch(&p, 4);
+        assert_eq!(rep.prefetched, 0);
+    }
+}
+
+#[cfg(test)]
+mod affine_tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+
+    #[test]
+    fn index_scaled_addressing_is_recognised() {
+        // The dominant kernel pattern: addr = base + (i << 3), i += 1.
+        let p = assemble(
+            "t",
+            r"
+            li r8, 0x100000
+            li r12, 0
+            li r2, 64
+        loop:
+            sll r3, r12, 3
+            add r4, r8, r3
+            ld r5, 0(r4)
+            add r12, r12, 1
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let (q, rep) = insert_software_prefetch(&p, 8);
+        assert_eq!(rep.prefetched, 1);
+        let at = q.instrs().iter().position(|i| matches!(i, Instr::Prefetch { .. })).unwrap();
+        // stride = 1 << 3 = 8 bytes per iteration; 8 iterations ahead = 64.
+        assert!(matches!(q.instr(at as u32), Instr::Prefetch { off: 64, .. }), "{q}");
+    }
+
+    #[test]
+    fn multiplied_induction_is_recognised() {
+        // addr = base + i*24 (record stride): mul by constant.
+        let p = assemble(
+            "t",
+            r"
+            li r8, 0x100000
+            li r12, 0
+            li r2, 64
+        loop:
+            mul r3, r12, 24
+            add r4, r8, r3
+            ld r5, 0(r4)
+            add r12, r12, 1
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let (q, rep) = insert_software_prefetch(&p, 4);
+        assert_eq!(rep.prefetched, 1);
+        let at = q.instrs().iter().position(|i| matches!(i, Instr::Prefetch { .. })).unwrap();
+        assert!(matches!(q.instr(at as u32), Instr::Prefetch { off: 96, .. }), "{q}");
+    }
+
+    #[test]
+    fn gather_through_loaded_index_stays_unknown() {
+        // addr depends on a loaded value: not affine.
+        let p = assemble(
+            "t",
+            r"
+            li r8, 0x100000
+            li r9, 0x200000
+            li r12, 0
+            li r2, 64
+        loop:
+            sll r3, r12, 3
+            add r4, r8, r3
+            ld r5, 0(r4)        ; idx[i] — affine
+            sll r5, r5, 3
+            add r6, r9, r5
+            ld r7, 0(r6)        ; table[idx[i]] — not affine
+            add r12, r12, 1
+            sub r2, r2, 1
+            bne r2, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let (_, rep) = insert_software_prefetch(&p, 4);
+        assert_eq!(rep.loads_in_loops, 2);
+        assert_eq!(rep.prefetched, 1, "only the index stream is affine");
+    }
+}

@@ -1,0 +1,112 @@
+//! Static invariants of the stream separator, property-tested over random
+//! structured programs:
+//!
+//! * every memory and control instruction lands in the Access Stream, and
+//!   the Access Stream holds no FP computation;
+//! * the emitted streams contain matching queue endpoints (every CS
+//!   receive has an AS producer for that queue and vice versa, in equal
+//!   static counts along the linear layout of paired program points);
+//! * CMAS threads never contain stores or FP and always terminate.
+
+use hidisc_isa::annot::Stream;
+use hidisc_isa::testgen::{random_program, GenConfig};
+use hidisc_isa::{Instr, Queue};
+use hidisc_slicer::{compile, CompilerConfig, ExecEnv};
+use proptest::prelude::*;
+
+fn compiled(seed: u64, gen: GenConfig) -> hidisc_slicer::CompiledWorkload {
+    let (prog, mem, regs) = random_program(seed, gen);
+    let env = ExecEnv { regs, mem, max_steps: 4_000_000 };
+    compile(&prog, &env, &CompilerConfig::default()).unwrap()
+}
+
+fn count(p: &hidisc_isa::Program, f: impl Fn(&Instr) -> bool) -> usize {
+    p.instrs().iter().filter(|i| f(i)).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn memory_and_control_always_in_access_stream(seed in any::<u64>()) {
+        let w = compiled(seed, GenConfig::default());
+        for pc in 0..w.original.len() {
+            let i = w.original.instr(pc);
+            if i.is_mem() || i.is_control() {
+                prop_assert_eq!(
+                    w.original.annot(pc).stream,
+                    Stream::Access,
+                    "pc {}", pc
+                );
+            }
+            if i.is_fp_compute() {
+                prop_assert_eq!(
+                    w.original.annot(pc).stream,
+                    Stream::Computation,
+                    "pc {}", pc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn emitted_streams_are_well_formed(seed in any::<u64>()) {
+        let w = compiled(seed, GenConfig::default());
+        w.cs.validate().unwrap();
+        w.access.validate().unwrap();
+        // CS never touches memory; AS never computes FP.
+        prop_assert_eq!(count(&w.cs, |i| i.is_mem()), 0);
+        prop_assert_eq!(count(&w.access, |i| i.is_fp_compute()), 0);
+        // Consume-branches only in the CS; real branches only in the AS.
+        prop_assert_eq!(count(&w.access, |i| matches!(i, Instr::CBranch { .. })), 0);
+        prop_assert_eq!(count(&w.cs, |i| matches!(i, Instr::Branch { .. })), 0);
+    }
+
+    #[test]
+    fn static_queue_endpoints_match(seed in any::<u64>()) {
+        let w = compiled(seed, GenConfig::default());
+        // Static producer/consumer counts per data queue must be equal:
+        // the layouts pair one producer with one consumer per original
+        // program point.
+        let push = |p: &hidisc_isa::Program, q: Queue| {
+            p.instrs().iter().filter(|i| i.queue_push() == Some(q)).count()
+        };
+        let pop = |p: &hidisc_isa::Program, q: Queue| {
+            p.instrs().iter().filter(|i| i.queue_pop() == Some(q)).count()
+        };
+        prop_assert_eq!(push(&w.access, Queue::Ldq), pop(&w.cs, Queue::Ldq));
+        prop_assert_eq!(push(&w.cs, Queue::Sdq), pop(&w.access, Queue::Sdq));
+        prop_assert_eq!(push(&w.cs, Queue::Cdq), pop(&w.access, Queue::Cdq));
+        // Every conditional AS branch pushes a CQ token; CS pops them.
+        let cq_push = (0..w.access.len())
+            .filter(|&pc| w.access.annot(pc).push_cq)
+            .count();
+        prop_assert_eq!(cq_push, pop(&w.cs, Queue::Cq));
+    }
+
+    #[test]
+    fn cmas_threads_are_pure_prefetch_programs(seed in any::<u64>()) {
+        // Use a tiny arena so loads actually miss during profiling and
+        // CMAS extraction has something to chew on (most seeds still
+        // produce none — that is fine).
+        let w = compiled(seed, GenConfig { arena_words: 64, ..GenConfig::default() });
+        for t in &w.cmas {
+            t.prog.validate().unwrap();
+            prop_assert_eq!(count(&t.prog, |i| i.is_store()), 0, "thread {}", t.id);
+            prop_assert_eq!(count(&t.prog, |i| i.is_fp()), 0, "thread {}", t.id);
+            prop_assert!(matches!(t.prog.instr(t.prog.len() - 1), Instr::Halt));
+        }
+    }
+
+    #[test]
+    fn disabling_cmas_removes_all_threads(seed in any::<u64>()) {
+        let (prog, mem, regs) = random_program(seed, GenConfig::default());
+        let env = ExecEnv { regs, mem, max_steps: 4_000_000 };
+        let cfg = CompilerConfig { enable_cmas: false, ..CompilerConfig::default() };
+        let w = compile(&prog, &env, &cfg).unwrap();
+        prop_assert!(w.cmas.is_empty());
+        for pc in 0..w.access.len() {
+            prop_assert_eq!(w.access.annot(pc).trigger, None);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The **Corner-Turn** stressmark (DIS Stressmark suite member not
+//! plotted in the paper; provided for suite completeness): an
+//! out-of-place matrix transpose.
+//!
+//! Reading row-major and writing column-major gives one side of the
+//! transfer a cache-hostile large stride — the canonical corner-turn
+//! pattern of sensor processing.
+
+use crate::gen;
+use crate::layout::{REGION_A, REGION_B, RESULT};
+use crate::Workload;
+use hidisc_isa::asm::assemble;
+use hidisc_isa::mem::Memory;
+use hidisc_isa::IntReg;
+
+/// Corner-turn parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Rows of the source matrix.
+    pub rows: usize,
+    /// Columns of the source matrix.
+    pub cols: usize,
+}
+
+impl Params {
+    /// Sizes per scale.
+    pub fn at(scale: crate::Scale) -> Params {
+        match scale {
+            crate::Scale::Test => Params { rows: 24, cols: 16 },
+            crate::Scale::Paper => Params { rows: 160, cols: 96 },
+            crate::Scale::Large => Params { rows: 320, cols: 192 },
+        }
+    }
+}
+
+/// Builds the workload.
+pub fn build(p: &Params, seed: u64) -> Workload {
+    let mut rng = gen::rng(0x1008, seed);
+    let a = gen::values(p.rows * p.cols, 1 << 30, &mut rng);
+
+    let mut mem = Memory::new();
+    for (i, &v) in a.iter().enumerate() {
+        mem.write_i64(REGION_A + 8 * i as u64, v).unwrap();
+    }
+
+    // Native reference: transpose + weighted checksum of B.
+    let (m, n) = (p.rows, p.cols);
+    let mut b = vec![0i64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            b[j * m + i] = a[i * n + j];
+        }
+    }
+    let mut check: i64 = 0;
+    for (k, &v) in b.iter().enumerate() {
+        check = check.wrapping_add(v.wrapping_mul((k % 127 + 1) as i64));
+    }
+
+    let src = r"
+            li r20, 0           ; i
+        iloop:
+            li r21, 0           ; j
+            mul r2, r20, r17    ; i*N
+            sll r2, r2, 3
+            add r24, r8, r2     ; &A[i*N]
+        jloop:
+            sll r3, r21, 3
+            add r4, r24, r3
+            ld r5, 0(r4)        ; A[i][j] (row-major: friendly)
+            mul r6, r21, r16    ; j*M
+            add r6, r6, r20     ;   + i
+            sll r6, r6, 3
+            add r6, r9, r6
+            sd r5, 0(r6)        ; B[j][i] (column-major: hostile)
+            add r21, r21, 1
+            bne r21, r17, jloop
+            add r20, r20, 1
+            bne r20, r16, iloop
+            ; checksum pass over B
+            li r5, 0
+            li r12, 0
+        check:
+            sll r2, r12, 3
+            add r3, r9, r2
+            ld r4, 0(r3)
+            rem r14, r12, 127
+            add r14, r14, 1
+            mul r4, r4, r14
+            add r5, r5, r4
+            add r12, r12, 1
+            bne r12, r18, check
+            sd r5, 0(r11)
+            halt
+        ";
+    let prog = assemble("cornerturn", src).expect("cornerturn kernel assembles");
+
+    Workload {
+        name: "cornerturn",
+        prog,
+        regs: vec![
+            (IntReg::new(8), REGION_A as i64),
+            (IntReg::new(9), REGION_B as i64),
+            (IntReg::new(16), m as i64),
+            (IntReg::new(17), n as i64),
+            (IntReg::new(18), (m * n) as i64),
+            (IntReg::new(11), RESULT as i64),
+        ],
+        mem,
+        max_steps: 40 * (m * n) as u64 + 10_000,
+        expected: Some((RESULT, check)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::interp::Interp;
+
+    #[test]
+    fn matches_reference_and_transposes() {
+        let p = Params { rows: 6, cols: 4 };
+        let w = build(&p, 3);
+        let mut i = Interp::new(&w.prog, w.mem.clone());
+        for &(r, v) in &w.regs {
+            i.set_reg(r, v);
+        }
+        i.run(w.max_steps).unwrap();
+        let (addr, want) = w.expected.unwrap();
+        assert_eq!(i.mem.read_i64(addr).unwrap(), want);
+        // Spot-check the transpose itself: B[j*M+i] == A[i*N+j].
+        for row in 0..p.rows {
+            for col in 0..p.cols {
+                let a = i.mem.read_i64(REGION_A + 8 * (row * p.cols + col) as u64).unwrap();
+                let b = i.mem.read_i64(REGION_B + 8 * (col * p.rows + row) as u64).unwrap();
+                assert_eq!(a, b, "A[{row}][{col}]");
+            }
+        }
+    }
+}

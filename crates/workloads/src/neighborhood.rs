@@ -1,0 +1,166 @@
+//! The **Neighborhood** stressmark: image pair sampling into a
+//! co-occurrence histogram (the GLCM computation of the DIS suite).
+//!
+//! For a stream of random pixel positions, the kernel loads a pixel and
+//! its neighbor at distance `d`, computes the histogram bin from the two
+//! values, and increments the bin. The histogram is small (always
+//! cache-resident) but its *update* creates memory-carried dependences
+//! between iterations whenever bins collide — the frequent
+//! synchronisations the paper blames for the CP+AP model *losing* to the
+//! superscalar on this benchmark.
+
+use crate::gen;
+use crate::layout::{REGION_A, REGION_B, REGION_C, RESULT};
+use crate::Workload;
+use hidisc_isa::asm::assemble;
+use hidisc_isa::mem::Memory;
+use hidisc_isa::IntReg;
+
+/// Neighborhood parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Image size in pixels (one i64 per pixel).
+    pub pixels: usize,
+    /// Grey levels (histogram is `levels²` bins).
+    pub levels: usize,
+    /// Neighbor distance in pixels.
+    pub distance: usize,
+    /// Number of sampled pairs.
+    pub pairs: usize,
+}
+
+impl Params {
+    /// Sizes per scale.
+    pub fn at(scale: crate::Scale) -> Params {
+        match scale {
+            crate::Scale::Test => Params { pixels: 2048, levels: 8, distance: 17, pairs: 400 },
+            crate::Scale::Paper => {
+                Params { pixels: 16_384, levels: 5, distance: 331, pairs: 12_000 }
+            }
+            crate::Scale::Large => {
+                Params { pixels: 65_536, levels: 6, distance: 331, pairs: 48_000 }
+            }
+        }
+    }
+}
+
+/// Builds the workload.
+pub fn build(p: &Params, seed: u64) -> Workload {
+    let mut rng = gen::rng(0x1004, seed);
+    let img = gen::values(p.pixels, p.levels as i64, &mut rng);
+    let pos = gen::indices(p.pairs, p.pixels - p.distance, &mut rng);
+
+    let mut mem = Memory::new();
+    for (i, &v) in img.iter().enumerate() {
+        mem.write_i64(REGION_A + 8 * i as u64, v).unwrap();
+    }
+    for (i, &v) in pos.iter().enumerate() {
+        mem.write_i64(REGION_B + 8 * i as u64, v as i64).unwrap();
+    }
+    // Histogram region starts zeroed (REGION_C).
+
+    // Native reference: histogram then weighted checksum.
+    let bins = p.levels * p.levels;
+    let mut hist = vec![0i64; bins];
+    for &at in &pos {
+        let a = img[at as usize];
+        let b = img[at as usize + p.distance];
+        hist[(a * p.levels as i64 + b) as usize] += 1;
+    }
+    let mut check: i64 = 0;
+    for (k, &h) in hist.iter().enumerate() {
+        check = check.wrapping_add(h.wrapping_mul(k as i64 + 1));
+    }
+
+    let src = format!(
+        r"
+            li r12, 0           ; pair index
+        pairs:
+            sll r2, r12, 3
+            add r3, r8, r2
+            ld r4, 0(r3)        ; at = pos[i]
+            sll r4, r4, 3
+            add r5, r9, r4
+            ld r6, 0(r5)        ; a = img[at]
+            ld r7, {doff}(r5)   ; b = img[at + d]
+            mul r6, r6, {levels}
+            add r6, r6, r7      ; bin = a*L + b
+            sll r6, r6, 3
+            add r6, r13, r6
+            ld r14, 0(r6)       ; hist[bin]
+            add r15, r14, 1     ;   + 1
+            sd r15, 0(r6)       ; store back
+            add r12, r12, 1
+            sub r10, r10, 1
+            bne r10, r0, pairs
+            ; checksum pass over the histogram
+            li r5, 0
+            li r12, 0
+            li r16, 1
+        check:
+            sll r2, r12, 3
+            add r3, r13, r2
+            ld r4, 0(r3)
+            mul r4, r4, r16
+            add r5, r5, r4
+            add r16, r16, 1
+            add r12, r12, 1
+            bne r12, r17, check
+            sd r5, 0(r11)
+            halt
+        ",
+        doff = 8 * p.distance,
+        levels = p.levels,
+    );
+    let prog = assemble("neighborhood", &src).expect("neighborhood kernel assembles");
+
+    Workload {
+        name: "neighborhood",
+        prog,
+        regs: vec![
+            (IntReg::new(8), REGION_B as i64),  // positions
+            (IntReg::new(9), REGION_A as i64),  // image
+            (IntReg::new(13), REGION_C as i64), // histogram
+            (IntReg::new(10), p.pairs as i64),
+            (IntReg::new(11), RESULT as i64),
+            (IntReg::new(17), bins as i64),
+        ],
+        mem,
+        max_steps: 60 * (p.pairs + bins) as u64 + 10_000,
+        expected: Some((RESULT, check)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::interp::Interp;
+
+    #[test]
+    fn matches_reference() {
+        let w = build(&Params { pixels: 256, levels: 4, distance: 9, pairs: 200 }, 13);
+        let mut i = Interp::new(&w.prog, w.mem.clone());
+        for &(r, v) in &w.regs {
+            i.set_reg(r, v);
+        }
+        i.run(w.max_steps).unwrap();
+        let (addr, want) = w.expected.unwrap();
+        assert_eq!(i.mem.read_i64(addr).unwrap(), want);
+    }
+
+    #[test]
+    fn histogram_totals_pairs() {
+        let p = Params { pixels: 128, levels: 4, distance: 3, pairs: 64 };
+        let w = build(&p, 2);
+        let mut i = Interp::new(&w.prog, w.mem.clone());
+        for &(r, v) in &w.regs {
+            i.set_reg(r, v);
+        }
+        i.run(w.max_steps).unwrap();
+        let mut total = 0i64;
+        for k in 0..(p.levels * p.levels) as u64 {
+            total += i.mem.read_i64(REGION_C + 8 * k).unwrap();
+        }
+        assert_eq!(total, p.pairs as i64);
+    }
+}

@@ -1,0 +1,143 @@
+//! The **Pointer** stressmark: serial pointer chasing with window scans.
+//!
+//! A field of `n` words holds a single-cycle random permutation: cell `i`
+//! contains the index of the next cell. Each hop follows the chain and
+//! scans a small window of adjacent words, accumulating their values —
+//! the DIS Pointer kernel's "window" work. The chain itself is strictly
+//! serial (each load's address depends on the previous load's value), the
+//! archetypal access pattern the paper's introduction motivates.
+
+use crate::gen;
+use crate::layout::{REGION_A, RESULT};
+use crate::Workload;
+use hidisc_isa::asm::assemble;
+use hidisc_isa::mem::Memory;
+use hidisc_isa::IntReg;
+
+/// Pointer parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Field size in words.
+    pub n: usize,
+    /// Number of hops.
+    pub hops: u64,
+    /// Window words scanned per hop.
+    pub window: usize,
+}
+
+impl Params {
+    /// Sizes per scale.
+    pub fn at(scale: crate::Scale) -> Params {
+        match scale {
+            crate::Scale::Test => Params { n: 512, hops: 400, window: 3 },
+            crate::Scale::Paper => Params { n: 8_192, hops: 12_000, window: 3 },
+            crate::Scale::Large => Params { n: 32_768, hops: 48_000, window: 3 },
+        }
+    }
+}
+
+/// Builds the workload.
+pub fn build(p: &Params, seed: u64) -> Workload {
+    let mut rng = gen::rng(0x1001, seed);
+    let perm = gen::single_cycle_permutation(p.n, &mut rng);
+
+    let mut mem = Memory::new();
+    for (i, &nxt) in perm.iter().enumerate() {
+        mem.write_i64(REGION_A + 8 * i as u64, nxt as i64).unwrap();
+    }
+    // Guard words past the field so window reads never alias other data.
+    for g in 0..p.window {
+        mem.write_i64(REGION_A + 8 * (p.n + g) as u64, 0).unwrap();
+    }
+
+    // Native reference.
+    let mut sum: i64 = 0;
+    let mut at: usize = 0;
+    let read = |i: usize| -> i64 {
+        if i < p.n {
+            perm[i] as i64
+        } else {
+            0
+        }
+    };
+    for _ in 0..p.hops {
+        let next = perm[at] as usize;
+        for w in 1..=p.window {
+            sum = sum.wrapping_add(read(at + w));
+        }
+        at = next;
+    }
+
+    let window_scan: String = (1..=p.window)
+        .map(|w| format!("            ld r4, {}(r3)\n            add r5, r5, r4\n", 8 * w))
+        .collect();
+    let src = format!(
+        r"
+            li r5, 0            ; window sum
+        hop:
+            sll r2, r11, 3
+            add r3, r8, r2
+{window_scan}            ld r11, 0(r3)       ; follow the chain
+            sub r9, r9, 1
+            bne r9, r0, hop
+            sd r5, 0(r10)
+            halt
+        "
+    );
+    let prog = assemble("pointer", &src).expect("pointer kernel assembles");
+
+    Workload {
+        name: "pointer",
+        prog,
+        regs: vec![
+            (IntReg::new(8), REGION_A as i64),
+            (IntReg::new(9), p.hops as i64),
+            (IntReg::new(10), RESULT as i64),
+            (IntReg::new(11), 0),
+        ],
+        mem,
+        max_steps: 40 * p.hops + 10_000,
+        expected: Some((RESULT, sum)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::interp::Interp;
+
+    fn run(p: &Params, seed: u64) -> (i64, u64) {
+        let w = build(p, seed);
+        let mut i = Interp::new(&w.prog, w.mem.clone());
+        for &(r, v) in &w.regs {
+            i.set_reg(r, v);
+        }
+        let st = i.run(w.max_steps).unwrap();
+        let (addr, want) = w.expected.unwrap();
+        assert_eq!(i.mem.read_i64(addr).unwrap(), want);
+        (want, st.instrs)
+    }
+
+    #[test]
+    fn matches_reference() {
+        run(&Params { n: 64, hops: 200, window: 3 }, 5);
+    }
+
+    #[test]
+    fn hop_count_controls_length() {
+        let (_, short) = run(&Params { n: 64, hops: 50, window: 2 }, 5);
+        let (_, long) = run(&Params { n: 64, hops: 100, window: 2 }, 5);
+        assert!(long > short + 200);
+    }
+
+    #[test]
+    fn window_zero_is_pure_chase() {
+        let w = build(&Params { n: 32, hops: 40, window: 0 }, 9);
+        let mut i = Interp::new(&w.prog, w.mem.clone());
+        for &(r, v) in &w.regs {
+            i.set_reg(r, v);
+        }
+        i.run(w.max_steps).unwrap();
+        assert_eq!(i.mem.read_i64(RESULT).unwrap(), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the HiDISC simulation suite.
+//!
+//! Re-exports the public API of every workspace crate so that examples and
+//! integration tests can use a single dependency. Downstream users should
+//! normally depend on the individual crates (`hidisc`, `hidisc-isa`, ...)
+//! directly.
+
+pub use hidisc;
+pub use hidisc_isa as isa;
+pub use hidisc_lang as lang;
+pub use hidisc_mem as mem;
+pub use hidisc_ooo as ooo;
+pub use hidisc_slicer as slicer;
+pub use hidisc_workloads as workloads;
+
+use hidisc_slicer::ExecEnv;
+use hidisc_workloads::Workload;
+
+/// Builds the compiler/simulator execution environment of a workload.
+pub fn exec_env_of(w: &Workload) -> ExecEnv {
+    ExecEnv { regs: w.regs.clone(), mem: w.mem.clone(), max_steps: w.max_steps }
+}
