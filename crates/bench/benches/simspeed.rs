@@ -45,6 +45,39 @@ fn bench_machine(c: &mut Criterion) {
     g.finish();
 }
 
+/// The fast-forward payoff case: a memory-bound serial pointer chase,
+/// both at the Table-1 latencies and at the paper's Figure-10 high-memory
+/// point (l2 16 / mem 160), where stall windows are longest. The
+/// event-driven jump must cut simulation time while producing bit-identical
+/// statistics (asserted here before timing starts).
+fn bench_fast_forward(c: &mut Criterion) {
+    let w = by_name("pointer", Scale::Test, 3).unwrap();
+    let env = env_of(&w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+
+    let run = |base: MachineConfig, ff: bool| {
+        let mut cfg = base;
+        cfg.fast_forward = ff;
+        let mut m = Machine::new(Model::Superscalar, &compiled, &env, cfg);
+        m.run(compiled.profile.dyn_instrs).unwrap()
+    };
+
+    let mut g = c.benchmark_group("simspeed");
+    g.sample_size(20);
+    for (tag, base) in
+        [("", MachineConfig::paper()), ("_f10", MachineConfig::paper_with_latency(16, 160))]
+    {
+        let reference = run(base, false);
+        assert!(reference.sim_eq(&run(base, true)), "fast-forward diverged on pointer{tag}");
+        for (state, ff) in [("off", false), ("on", true)] {
+            g.bench_function(format!("machine_pointer{tag}_ff_{state}"), |b| {
+                b.iter(|| run(base, ff))
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_compiler(c: &mut Criterion) {
     let w = by_name("tc", Scale::Test, 3).unwrap();
     let env = env_of(&w);
@@ -55,5 +88,5 @@ fn bench_compiler(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_machine, bench_compiler);
+criterion_group!(benches, bench_cache, bench_machine, bench_fast_forward, bench_compiler);
 criterion_main!(benches);

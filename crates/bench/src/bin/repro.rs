@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the HiDISC paper.
 //!
 //! ```text
-//! repro [params|fig8|table2|fig9|fig10|ablate|all] [--scale test|paper] [--seed N]
+//! repro [params|fig8|table2|fig9|fig10|ablate|all]
+//!       [--scale test|paper|large] [--seed N] [--threads N]
 //! ```
 
 use hidisc::MachineConfig;
@@ -41,25 +42,56 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--threads" => {
+                // 0 = one worker per host core (the default).
+                let n: usize =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--threads needs a number (0 = all host cores)");
+                        std::process::exit(2);
+                    });
+                bench::pool::set_threads(n);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [params|fig8|table2|fig9|fig10|ablate|all] \
-                     [report|diag <workload>] \
-                     [--scale test|paper] [--seed N]"
+                    "usage: repro [{}] \
+                     [report|diag|trace <workload>] \
+                     [--scale test|paper|large] [--seed N] [--threads N]",
+                    COMMANDS.join("|")
                 );
                 std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}` (see --help)");
+                std::process::exit(2);
             }
             other => {
                 if cmd == "all" {
                     cmd = other.to_string();
-                } else {
+                } else if arg.is_none() {
                     arg = Some(other.to_string());
+                } else {
+                    eprintln!("unexpected argument `{other}` (see --help)");
+                    std::process::exit(2);
                 }
             }
         }
     }
+    if !COMMANDS.contains(&cmd.as_str()) {
+        eprintln!("unknown command `{}` (use {})", cmd, COMMANDS.join("|"));
+        std::process::exit(2);
+    }
+    if arg.is_some() && !matches!(cmd.as_str(), "trace" | "report" | "diag") {
+        eprintln!("command `{cmd}` takes no argument (see --help)");
+        std::process::exit(2);
+    }
     Args { cmd, arg, scale, seed }
 }
+
+/// Every subcommand, in help order.
+const COMMANDS: [&str; 14] = [
+    "params", "fig8", "table2", "fig9", "fig10", "csv", "trace", "report", "diag", "micro",
+    "extras", "related", "ablate", "all",
+];
 
 fn main() {
     let args = parse_args();
@@ -71,7 +103,9 @@ fn main() {
             "running the 7-benchmark suite on 4 machine models (scale {:?}, seed {})...",
             args.scale, args.seed
         );
-        Some(bench::run_suite(args.scale, args.seed, cfg))
+        let results = bench::run_suite(args.scale, args.seed, cfg);
+        eprintln!("{}", bench::msips_line(&results));
+        Some(results)
     } else {
         None
     };
@@ -155,9 +189,6 @@ fn main() {
             let series = bench::fig10(&["pointer", "neighborhood"], args.scale, args.seed);
             println!("{}", bench::render_fig10(&series));
         }
-        other => {
-            eprintln!("unknown command `{other}` (use params|fig8|table2|fig9|fig10|ablate|all)");
-            std::process::exit(2);
-        }
+        other => unreachable!("command `{other}` was validated in parse_args"),
     }
 }

@@ -17,9 +17,11 @@
 //! results as aligned text tables.
 
 use hidisc::{run_model, MachineConfig, MachineStats, Model};
-use hidisc_slicer::{compile, CompilerConfig, ExecEnv};
+use hidisc_slicer::{compile, CompiledWorkload, CompilerConfig, ExecEnv};
 use hidisc_workloads::{suite, Scale, Workload};
-use parking_lot::Mutex;
+use std::sync::Arc;
+
+pub mod pool;
 
 /// All four models of one benchmark under one machine configuration.
 #[derive(Debug, Clone)]
@@ -47,48 +49,96 @@ pub fn env_of(w: &Workload) -> ExecEnv {
     ExecEnv { regs: w.regs.clone(), mem: w.mem.clone(), max_steps: w.max_steps }
 }
 
-/// Compiles and runs one workload on every model.
-pub fn run_workload(w: &Workload, cfg: MachineConfig) -> SuiteResult {
+/// A workload compiled once and shared (read-only) by every grid cell
+/// that simulates it, so latency sweeps and model grids never recompile.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Execution environment (initial registers/memory).
+    pub env: ExecEnv,
+    /// The compiled program, shared across worker threads.
+    pub compiled: Arc<CompiledWorkload>,
+}
+
+/// Compiles one workload for grid running.
+pub fn prepare(w: &Workload) -> Prepared {
     let env = env_of(w);
     let compiled = compile(&w.prog, &env, &CompilerConfig::default())
         .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
-    let per_model = Model::ALL
+    Prepared { name: w.name, env, compiled: Arc::new(compiled) }
+}
+
+/// Runs every model of one prepared workload under `cfg`, cross-checking
+/// that all models compute the same final memory.
+fn run_prepared(p: &Prepared, cfg: MachineConfig) -> SuiteResult {
+    let per_model: Vec<MachineStats> = Model::ALL
         .into_iter()
         .map(|m| {
-            let st = run_model(m, &compiled, &env, cfg)
-                .unwrap_or_else(|e| panic!("{} on {m}: {e}", w.name));
-            // Cross-model safety net: every model must compute the same
-            // final memory.
-            st
+            run_model(m, &p.compiled, &p.env, cfg)
+                .unwrap_or_else(|e| panic!("{} on {m}: {e}", p.name))
         })
-        .collect::<Vec<_>>();
+        .collect();
+    check_models_agree(p.name, &per_model);
+    SuiteResult { name: p.name, per_model }
+}
+
+/// Cross-model safety net: every model must compute the same final memory.
+fn check_models_agree(name: &str, per_model: &[MachineStats]) {
     for s in &per_model[1..] {
         assert_eq!(
             s.mem_checksum, per_model[0].mem_checksum,
             "{}: {} diverged from baseline memory",
-            w.name, s.model
+            name, s.model
         );
     }
-    SuiteResult { name: w.name, per_model }
 }
 
-/// Runs the full seven-benchmark suite, one worker thread per benchmark.
+/// Compiles and runs one workload on every model.
+pub fn run_workload(w: &Workload, cfg: MachineConfig) -> SuiteResult {
+    run_prepared(&prepare(w), cfg)
+}
+
+/// Runs the full seven-benchmark suite on the worker pool: compilation is
+/// parallel over benchmarks, then the flattened (benchmark × model) grid
+/// is parallel over all cells.
 pub fn run_suite(scale: Scale, seed: u64, cfg: MachineConfig) -> Vec<SuiteResult> {
     let workloads = suite(scale, seed);
-    let results: Mutex<Vec<(usize, SuiteResult)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
-        for (i, w) in workloads.iter().enumerate() {
-            let results = &results;
-            s.spawn(move |_| {
-                let r = run_workload(w, cfg);
-                results.lock().push((i, r));
-            });
-        }
-    })
-    .expect("suite workers do not panic");
-    let mut v = results.into_inner();
-    v.sort_by_key(|(i, _)| *i);
-    v.into_iter().map(|(_, r)| r).collect()
+    let prepared = pool::run_indexed(workloads.len(), |i| prepare(&workloads[i]));
+    let nm = Model::ALL.len();
+    let stats = pool::run_indexed(prepared.len() * nm, |k| {
+        let p = &prepared[k / nm];
+        let m = Model::ALL[k % nm];
+        run_model(m, &p.compiled, &p.env, cfg).unwrap_or_else(|e| panic!("{} on {m}: {e}", p.name))
+    });
+    prepared
+        .iter()
+        .zip(stats.chunks(nm))
+        .map(|(p, per_model)| {
+            check_models_agree(p.name, per_model);
+            SuiteResult { name: p.name, per_model: per_model.to_vec() }
+        })
+        .collect()
+}
+
+/// Simulator-performance summary of a set of runs: committed instructions,
+/// host wall time (summed across runs — with a worker pool the wall clock
+/// of the whole sweep is shorter), aggregate MSIPS, and how much of the
+/// simulated time the idle-cycle fast-forward skipped.
+pub fn msips_line(results: &[SuiteResult]) -> String {
+    let all = || results.iter().flat_map(|r| r.per_model.iter());
+    let committed: u64 = all().map(|s| s.total_committed()).sum();
+    let wall_ns: u64 = all().map(|s| s.host_wall_ns).sum();
+    let cycles: u64 = all().map(|s| s.cycles).sum();
+    let skipped: u64 = all().map(|s| s.ff_skipped_cycles).sum();
+    let jumps: u64 = all().map(|s| s.ff_jumps).sum();
+    let msips = if wall_ns == 0 { 0.0 } else { committed as f64 * 1e3 / wall_ns as f64 };
+    let pct = if cycles == 0 { 0.0 } else { 100.0 * skipped as f64 / cycles as f64 };
+    format!(
+        "sim speed: {committed} instrs in {:.3} s CPU = {msips:.2} MSIPS \
+         (fast-forward skipped {pct:.1}% of {cycles} cycles in {jumps} jumps)",
+        wall_ns as f64 / 1e9
+    )
 }
 
 /// One Figure-8 row: speed-up over the baseline per model.
@@ -170,31 +220,40 @@ pub struct Fig10Series {
 /// Figure 10: latency tolerance for the given benchmarks (the paper uses
 /// Pointer and Neighborhood).
 pub fn fig10(names: &[&str], scale: Scale, seed: u64) -> Vec<Fig10Series> {
-    let mut out = Vec::new();
-    for &name in names {
-        let w = hidisc_workloads::by_name(name, scale, seed)
-            .unwrap_or_else(|| panic!("unknown workload {name}"));
-        let rows: Mutex<Vec<(usize, [f64; 4])>> = Mutex::new(Vec::new());
-        crossbeam::scope(|s| {
-            for (li, (l2, mem)) in FIG10_LATENCIES.into_iter().enumerate() {
-                let w = &w;
-                let rows = &rows;
-                s.spawn(move |_| {
-                    let r = run_workload(w, MachineConfig::paper_with_latency(l2, mem));
-                    let mut ipc = [0.0; 4];
-                    for (i, st) in r.per_model.iter().enumerate() {
-                        ipc[i] = st.ipc();
+    let prepared = pool::run_indexed(names.len(), |i| {
+        let w = hidisc_workloads::by_name(names[i], scale, seed)
+            .unwrap_or_else(|| panic!("unknown workload {}", names[i]));
+        prepare(&w)
+    });
+    // One flat grid over (benchmark × latency point × model): each cell is
+    // an independent simulation sharing the Arc'd compiled program.
+    let nl = FIG10_LATENCIES.len();
+    let nm = Model::ALL.len();
+    let stats = pool::run_indexed(prepared.len() * nl * nm, |k| {
+        let p = &prepared[k / (nl * nm)];
+        let (l2, mem) = FIG10_LATENCIES[(k / nm) % nl];
+        let m = Model::ALL[k % nm];
+        run_model(m, &p.compiled, &p.env, MachineConfig::paper_with_latency(l2, mem))
+            .unwrap_or_else(|e| panic!("{} on {m} at {l2}/{mem}: {e}", p.name))
+    });
+    prepared
+        .iter()
+        .zip(stats.chunks(nl * nm))
+        .map(|(p, per_point)| {
+            let ipc = per_point
+                .chunks(nm)
+                .map(|per_model| {
+                    check_models_agree(p.name, per_model);
+                    let mut row = [0.0; 4];
+                    for (i, st) in per_model.iter().enumerate() {
+                        row[i] = st.ipc();
                     }
-                    rows.lock().push((li, ipc));
-                });
-            }
+                    row
+                })
+                .collect();
+            Fig10Series { name: p.name, ipc }
         })
-        .expect("sweep workers do not panic");
-        let mut v = rows.into_inner();
-        v.sort_by_key(|(i, _)| *i);
-        out.push(Fig10Series { name: w.name, ipc: v.into_iter().map(|(_, r)| r).collect() });
-    }
-    out
+        .collect()
 }
 
 /// Table 1: the simulation parameters, rendered as the paper presents
@@ -398,61 +457,81 @@ pub struct AblationRow {
     pub speedup: Vec<(Ablation, f64)>,
 }
 
-/// Runs the ablation study over the given workloads.
+/// Runs the ablation study over the given workloads: per-workload
+/// compilation and baselines in one pooled pass, then the flattened
+/// (workload × variant) grid in a second.
 pub fn ablate(names: &[&str], scale: Scale, seed: u64) -> Vec<AblationRow> {
     use hidisc::{DynamicConfig, Model};
-    names
-        .iter()
-        .map(|&name| {
-            let w = hidisc_workloads::by_name(name, scale, seed)
-                .unwrap_or_else(|| panic!("unknown workload {name}"));
-            let env = env_of(&w);
-            let compiled = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
-            let no_cmas = compile(
-                &w.prog,
-                &env,
-                &CompilerConfig { enable_cmas: false, ..CompilerConfig::default() },
-            )
-            .unwrap();
-            let base =
-                hidisc::run_model(Model::Superscalar, &compiled, &env, MachineConfig::paper())
-                    .unwrap();
 
-            let speedup = Ablation::all()
-                .into_iter()
-                .map(|a| {
-                    let mut cfg = MachineConfig::paper();
-                    let c = match a {
-                        Ablation::Full => &compiled,
-                        Ablation::NoCmas => &no_cmas,
-                        Ablation::NextLineAssist => {
-                            cfg.cmp.next_line_assist = true;
-                            &compiled
-                        }
-                        Ablation::ScqDepth(d) => {
-                            cfg.queues.scq = d;
-                            &compiled
-                        }
-                        Ablation::WeakCmp => {
-                            cfg.cmp.issue_width = 1;
-                            cfg.cmp.thread_width = 1;
-                            cfg.cmp.mem_ports = 1;
-                            cfg.cmp.next_line_assist = false;
-                            &compiled
-                        }
-                        Ablation::Dynamic => {
-                            cfg.cmp.dynamic = DynamicConfig::all_on();
-                            &compiled
-                        }
-                    };
-                    let st = hidisc::run_model(Model::HiDisc, c, &env, cfg)
-                        .unwrap_or_else(|e| panic!("{name} ablation {}: {e}", a.label()));
-                    assert_eq!(st.mem_checksum, base.mem_checksum, "{name}: ablation diverged");
-                    (a, st.speedup_over(&base))
-                })
-                .collect();
-            AblationRow { name: w.name, speedup }
-        })
+    struct AblatePrep {
+        name: &'static str,
+        env: ExecEnv,
+        compiled: Arc<CompiledWorkload>,
+        no_cmas: Arc<CompiledWorkload>,
+        base: MachineStats,
+    }
+
+    let prepared = pool::run_indexed(names.len(), |i| {
+        let w = hidisc_workloads::by_name(names[i], scale, seed)
+            .unwrap_or_else(|| panic!("unknown workload {}", names[i]));
+        let env = env_of(&w);
+        let compiled = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+        let no_cmas = compile(
+            &w.prog,
+            &env,
+            &CompilerConfig { enable_cmas: false, ..CompilerConfig::default() },
+        )
+        .unwrap();
+        let base =
+            hidisc::run_model(Model::Superscalar, &compiled, &env, MachineConfig::paper()).unwrap();
+        AblatePrep {
+            name: w.name,
+            env,
+            compiled: Arc::new(compiled),
+            no_cmas: Arc::new(no_cmas),
+            base,
+        }
+    });
+
+    let variants = Ablation::all();
+    let nv = variants.len();
+    let cells = pool::run_indexed(prepared.len() * nv, |k| {
+        let p = &prepared[k / nv];
+        let a = variants[k % nv];
+        let mut cfg = MachineConfig::paper();
+        let c = match a {
+            Ablation::Full => &p.compiled,
+            Ablation::NoCmas => &p.no_cmas,
+            Ablation::NextLineAssist => {
+                cfg.cmp.next_line_assist = true;
+                &p.compiled
+            }
+            Ablation::ScqDepth(d) => {
+                cfg.queues.scq = d;
+                &p.compiled
+            }
+            Ablation::WeakCmp => {
+                cfg.cmp.issue_width = 1;
+                cfg.cmp.thread_width = 1;
+                cfg.cmp.mem_ports = 1;
+                cfg.cmp.next_line_assist = false;
+                &p.compiled
+            }
+            Ablation::Dynamic => {
+                cfg.cmp.dynamic = DynamicConfig::all_on();
+                &p.compiled
+            }
+        };
+        let st = hidisc::run_model(Model::HiDisc, c, &p.env, cfg)
+            .unwrap_or_else(|e| panic!("{} ablation {}: {e}", p.name, a.label()));
+        assert_eq!(st.mem_checksum, p.base.mem_checksum, "{}: ablation diverged", p.name);
+        (a, st.speedup_over(&p.base))
+    });
+
+    prepared
+        .iter()
+        .zip(cells.chunks(nv))
+        .map(|(p, speedup)| AblationRow { name: p.name, speedup: speedup.to_vec() })
         .collect()
 }
 

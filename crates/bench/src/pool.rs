@@ -1,0 +1,94 @@
+//! A small self-scheduling work pool for the experiment grids.
+//!
+//! The paper-reproduction sweeps (fig8/fig9/fig10/ablate) are
+//! embarrassingly parallel: a flat grid of (benchmark × model ×
+//! config-point) cells, each a completely independent simulation. This
+//! module runs such grids on scoped worker threads that pull cell indices
+//! from a shared atomic counter, so long-running cells never leave idle
+//! cores behind a static partition.
+//!
+//! The pool size is a process-wide setting (see [`set_threads`]) so the
+//! `repro --threads N` flag caps every sweep in the invocation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// 0 = "use all host cores" (the default until [`set_threads`] is called).
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of worker threads used by every subsequent grid run.
+/// `0` restores the default of one worker per host core.
+pub fn set_threads(n: usize) {
+    THREAD_CAP.store(n, Ordering::Relaxed);
+}
+
+/// The number of workers a grid run will use right now.
+pub fn threads() -> usize {
+    match THREAD_CAP.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Runs `job(i)` for every `i in 0..n` across the worker pool and returns
+/// the results in index order. Panics in jobs propagate to the caller
+/// (after the remaining workers drain). With one worker (or one cell) the
+/// jobs run inline on the calling thread.
+pub fn run_indexed<T, F>(n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = job(i);
+                done.lock().expect("pool results lock").push((i, r));
+            });
+        }
+    });
+    let mut v = done.into_inner().expect("pool results lock");
+    debug_assert_eq!(v.len(), n);
+    v.sort_unstable_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test (not several) because the cap is process-global and the
+    /// test harness runs tests concurrently.
+    #[test]
+    fn pool_schedules_and_orders_correctly() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+
+        set_threads(4);
+        let out = run_indexed(64, |i| {
+            // Stagger so completion order differs from index order.
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+
+        set_threads(1);
+        assert_eq!(run_indexed(10, |i| i + 1), (1..=10).collect::<Vec<_>>());
+        assert!(run_indexed(0, |i| i).is_empty());
+
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}

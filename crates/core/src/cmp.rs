@@ -84,6 +84,35 @@ pub struct CmpStats {
     pub slip_adaptations: u64,
 }
 
+impl CmpStats {
+    /// Field-wise difference `self - before` of two snapshots of the same
+    /// growing counters (exhaustive so new fields must be classified).
+    pub fn delta_since(&self, before: &CmpStats) -> CmpStats {
+        let CmpStats {
+            forks,
+            dropped_forks,
+            instrs,
+            prefetches,
+            dropped_prefetches,
+            scq_block_cycles,
+            completed_threads,
+            suppressed_forks,
+            slip_adaptations,
+        } = *before;
+        CmpStats {
+            forks: self.forks - forks,
+            dropped_forks: self.dropped_forks - dropped_forks,
+            instrs: self.instrs - instrs,
+            prefetches: self.prefetches - prefetches,
+            dropped_prefetches: self.dropped_prefetches - dropped_prefetches,
+            scq_block_cycles: self.scq_block_cycles - scq_block_cycles,
+            completed_threads: self.completed_threads - completed_threads,
+            suppressed_forks: self.suppressed_forks - suppressed_forks,
+            slip_adaptations: self.slip_adaptations - slip_adaptations,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct CmpThread {
     prog: usize,
@@ -93,7 +122,7 @@ struct CmpThread {
 }
 
 /// The CMP engine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CmpEngine {
     cfg: CmpConfig,
     /// CMAS thread programs, indexed by trigger id.
@@ -130,6 +159,68 @@ impl CmpEngine {
     /// Number of live threads.
     pub fn live_threads(&self) -> usize {
         self.threads.len()
+    }
+
+    /// The earliest cycle strictly after `now` at which a thread blocked on
+    /// a long-latency operation becomes ready again. `None` when no thread
+    /// holds a pending wake-up time — threads are then either ready (and
+    /// stuck on a shared resource: SCQ, MSHRs, memory ports) or absent.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        self.threads.iter().map(|t| t.busy_until).filter(|&t| t > now).min()
+    }
+
+    /// Structural-progress fingerprint (see `hidisc::Machine`). Thread pcs
+    /// and registers can only change when an instruction executes
+    /// (`instrs`), and the thread set only changes through forks,
+    /// evictions and completions — all counted. `scq_block_cycles` and the
+    /// round-robin pointer are excluded: both move on cycles where every
+    /// thread is blocked.
+    pub fn progress_token(&self) -> u64 {
+        use hidisc_ooo::queues::token_mix as mix;
+        let mut h = mix(0, self.stats.instrs);
+        h = mix(h, self.stats.forks);
+        h = mix(h, self.stats.dropped_forks);
+        h = mix(h, self.stats.completed_threads);
+        h = mix(h, self.threads.len() as u64);
+        h
+    }
+
+    /// Applies `k` skipped idle cycles: replays the per-cycle statistics
+    /// delta and rotates the round-robin pointer exactly as `k` blocked
+    /// `step` calls would have.
+    pub fn add_idle_cycles(&mut self, delta: &CmpStats, k: u64) {
+        let CmpStats {
+            forks,
+            dropped_forks,
+            instrs,
+            prefetches,
+            dropped_prefetches,
+            scq_block_cycles,
+            completed_threads,
+            suppressed_forks,
+            slip_adaptations,
+        } = *delta;
+        debug_assert_eq!(
+            (
+                forks,
+                dropped_forks,
+                instrs,
+                prefetches,
+                dropped_prefetches,
+                completed_threads,
+                suppressed_forks,
+                slip_adaptations
+            ),
+            (0, 0, 0, 0, 0, 0, 0, 0),
+            "fast-forward applied a non-idle CmpStats delta"
+        );
+        self.stats.scq_block_cycles += scq_block_cycles * k;
+        // `step` rotates the round-robin start once per cycle whenever any
+        // thread is live, even if nothing issues.
+        let n = self.threads.len() as u64;
+        if n > 0 {
+            self.rr = ((self.rr as u64 + k) % n) as usize;
+        }
     }
 
     /// Forks a CMAS thread from a trigger commit on the AP.

@@ -72,6 +72,16 @@ pub struct MachineConfig {
     pub deadlock_cycles: u64,
     /// Hard cycle budget.
     pub max_cycles: u64,
+    /// Event-driven idle-cycle fast-forward: when a full machine cycle
+    /// makes zero architectural progress twice in a row, jump the clock to
+    /// the next pending event instead of re-simulating identical stall
+    /// cycles. Statistics and cycle counts are exactly those of the
+    /// per-cycle loop (see DESIGN.md, "Idle-cycle fast-forward").
+    pub fast_forward: bool,
+    /// Differential checking: every fast-forward jump also steps a cloned
+    /// machine cycle by cycle and asserts that the two end up bit-identical
+    /// (state, statistics, clock). Slow — for tests and debugging only.
+    pub ff_check: bool,
 }
 
 impl MachineConfig {
@@ -86,6 +96,8 @@ impl MachineConfig {
             queues: QueueConfig::paper(),
             deadlock_cycles: 100_000,
             max_cycles: 2_000_000_000,
+            fast_forward: true,
+            ff_check: false,
         }
     }
 

@@ -1,14 +1,16 @@
 //! The machine driver: builds one of the four models from a compiled
 //! workload and steps every processor cycle by cycle.
 
-use crate::cmp::CmpEngine;
+use crate::cmp::{CmpEngine, CmpStats};
 use crate::config::{MachineConfig, Model};
 use crate::stats::MachineStats;
 use hidisc_isa::mem::Memory;
 use hidisc_isa::{IntReg, IsaError, Program, Queue, Result};
-use hidisc_mem::MemSystem;
-use hidisc_ooo::{CoreCtx, OooCore, QueueFile, TriggerFork};
+use hidisc_mem::{MemStats, MemSystem};
+use hidisc_ooo::queues::QueueStats;
+use hidisc_ooo::{CoreCtx, CoreStats, OooCore, QueueFile, TriggerFork};
 use hidisc_slicer::{CompiledWorkload, ExecEnv};
+use std::time::Instant;
 
 /// Removes CMP integration annotations — used for the baseline
 /// superscalar, which runs the original binary untouched.
@@ -23,7 +25,7 @@ fn strip_cmp_annotations(p: &Program) -> Program {
 }
 
 /// One simulated machine instance.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     model: Model,
     cores: Vec<OooCore>,
@@ -34,6 +36,66 @@ pub struct Machine {
     pub data: Memory,
     now: u64,
     cfg: MachineConfig,
+    /// Fast-forward jumps taken so far.
+    ff_jumps: u64,
+    /// Simulated cycles skipped (but fully accounted) by fast-forward.
+    ff_skipped: u64,
+    /// Host wall-clock nanoseconds accumulated across `run`/`run_observed`.
+    host_wall_ns: u64,
+}
+
+/// Statistics snapshot used by fast-forward both to measure what one idle
+/// cycle adds and (under `ff_check`) to compare a jumped machine against a
+/// cycle-stepped shadow.
+#[derive(Debug, Clone, PartialEq)]
+struct FfSnapshot {
+    cores: Vec<CoreStats>,
+    queues: [QueueStats; 5],
+    mem: MemStats,
+    cmp: Option<CmpStats>,
+}
+
+/// Fast-forward detector state threaded through the run loop.
+#[derive(Debug, Default)]
+struct FfState {
+    /// Token after the previously stepped cycle.
+    last_token: Option<u64>,
+    /// Statistics snapshot and the cycle it was taken after; a token match
+    /// exactly one cycle later yields the per-cycle idle delta.
+    armed: Option<(u64, FfSnapshot)>,
+    /// Consecutive detection attempts whose token mismatched (the machine
+    /// kept making progress without committing).
+    miss_streak: u32,
+    /// Cycles left to skip detection entirely. Phases that progress every
+    /// cycle (e.g. draining a full window of independent ALU work) would
+    /// otherwise pay a token hash per cycle for nothing, so mismatch
+    /// streaks back detection off exponentially (capped). A real stall
+    /// window is hundreds of cycles, so re-engaging a few cycles late
+    /// costs almost nothing.
+    cooldown: u32,
+}
+
+/// Longest detection pause under mismatch backoff.
+const FF_MAX_COOLDOWN: u32 = 8;
+
+impl FfState {
+    /// Cheap reset for cycles that visibly progressed (commits): the token
+    /// necessarily changed, so skip hashing it at all. Commit cycles do
+    /// not touch the backoff — they cost nothing to detect.
+    fn reset(&mut self) {
+        self.last_token = None;
+        self.armed = None;
+    }
+
+    /// Records a failed detection attempt and grows the cooldown: the
+    /// first two misses are free (a jump needs two consecutive idle cycles
+    /// anyway), then 1, 2, 4, ... up to [`FF_MAX_COOLDOWN`].
+    fn note_miss(&mut self) {
+        self.miss_streak = self.miss_streak.saturating_add(1);
+        if self.miss_streak > 2 {
+            self.cooldown = (1u32 << (self.miss_streak - 3).min(3)).min(FF_MAX_COOLDOWN);
+        }
+    }
 }
 
 impl Machine {
@@ -80,6 +142,9 @@ impl Machine {
             data: env.mem.clone(),
             now: 0,
             cfg,
+            ff_jumps: 0,
+            ff_skipped: 0,
+            host_wall_ns: 0,
         }
     }
 
@@ -88,33 +153,244 @@ impl Machine {
         self.now
     }
 
+    /// Steps every processor of the machine through one cycle at time
+    /// `self.now` (the caller advances the clock).
+    fn step_cycle(&mut self, triggers: &mut Vec<TriggerFork>) -> Result<()> {
+        let Machine { cores, cmp, queues, mem_sys, data, now, .. } = self;
+        for core in cores.iter_mut() {
+            let mut ctx = CoreCtx { mem_sys, queues, data, triggers };
+            core.step(*now, &mut ctx)?;
+        }
+        if let Some(engine) = cmp.as_mut() {
+            for t in triggers.drain(..) {
+                engine.fork(t);
+            }
+            let mut unused = Vec::new();
+            let mut ctx = CoreCtx { mem_sys, queues, data, triggers: &mut unused };
+            engine.step(*now, &mut ctx)?;
+        } else {
+            triggers.clear();
+        }
+        Ok(())
+    }
+
+    /// Fingerprint of every piece of machine state that an idle cycle must
+    /// not change: two equal tokens on consecutive cycles prove the second
+    /// cycle only repeated stalls (reject/stall counters move, nothing
+    /// else). See DESIGN.md, "Idle-cycle fast-forward".
+    fn progress_token(&self) -> u64 {
+        use hidisc_ooo::queues::token_mix as mix;
+        let mut h = 0u64;
+        for c in &self.cores {
+            h = mix(h, c.progress_token());
+        }
+        h = mix(h, self.queues.progress_token());
+        h = mix(h, self.mem_sys.progress_token());
+        if let Some(e) = &self.cmp {
+            h = mix(h, e.progress_token());
+        }
+        h
+    }
+
+    /// The earliest cycle strictly after `now` at which any component's
+    /// behaviour can change by the clock alone: an issued instruction
+    /// completes, an MSHR fill lands, a front-end refill finishes, or a
+    /// CMP thread wakes. `None` means the machine is permanently stuck
+    /// (only the deadlock watchdog can end it).
+    fn next_event_after(&self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut fold = |t: Option<u64>| {
+            if let Some(t) = t {
+                if next.is_none_or(|n| t < n) {
+                    next = Some(t);
+                }
+            }
+        };
+        for c in &self.cores {
+            fold(c.next_event(now));
+        }
+        // Core issue stages timestamp accesses at `now + agen`, so a full
+        // MSHR file stops rejecting them up to `agen` cycles before the
+        // fill's `ready_at`; wake early by the largest such lead (clamped
+        // to stay strictly after `now`).
+        if let Some(r) = self.mem_sys.next_event(now) {
+            let lead = self.cores.iter().map(|c| c.access_lead()).max().unwrap_or(0);
+            fold(Some(r.saturating_sub(lead).max(now + 1)));
+        }
+        if let Some(e) = &self.cmp {
+            fold(e.next_event(now));
+        }
+        next
+    }
+
+    fn ff_snapshot(&self) -> FfSnapshot {
+        FfSnapshot {
+            cores: self.cores.iter().map(|c| *c.stats()).collect(),
+            queues: self.queues.all_stats(),
+            mem: self.mem_sys.stats(),
+            cmp: self.cmp.as_ref().map(|c| c.stats()),
+        }
+    }
+
+    /// Fast-forward detection and jump, called after each stepped cycle
+    /// (with the watchdog bookkeeping already done for it).
+    ///
+    /// Every hashed cycle arms a statistics snapshot; the first cycle whose
+    /// progress token matches its predecessor's diffs against that snapshot
+    /// for the exact per-cycle stall delta, and since no pending timestamp
+    /// lies between here and the next event, every cycle up to that event
+    /// would repeat it bit-for-bit. The jump multiplies the delta in,
+    /// advances the clock, and keeps the watchdog/budget error cycles (and
+    /// messages) identical to the per-cycle loop — capping the jump so
+    /// those errors still fire exactly on time. `plain_errors` selects
+    /// between `run`'s and `run_observed`'s historical messages.
+    fn ff_after_cycle(
+        &mut self,
+        ff: &mut FfState,
+        idle: &mut u64,
+        plain_errors: bool,
+    ) -> Result<()> {
+        if ff.cooldown > 0 {
+            ff.cooldown -= 1;
+            return Ok(());
+        }
+        let tok = self.progress_token();
+        if ff.last_token != Some(tok) {
+            // Progress. Arm a snapshot anyway (it is cheap): if the very
+            // next cycle turns out idle, its statistics delta against this
+            // snapshot is already the per-cycle delta and the jump can
+            // happen without stepping a second idle cycle.
+            ff.last_token = Some(tok);
+            ff.armed = Some((self.now, self.ff_snapshot()));
+            ff.note_miss();
+            return Ok(());
+        }
+        // The token matched. If detection just resumed after a cooldown the
+        // match spans a gap of unhashed cycles — still conclusive (every
+        // token component is monotone or forward-only, so equal endpoints
+        // mean none of the intervening cycles changed anything).
+        ff.miss_streak = 0;
+        let snap = self.ff_snapshot();
+        let Some((armed_at, prev)) = ff.armed.replace((self.now, snap.clone())) else {
+            return Ok(());
+        };
+        // A delta is a true *per-cycle* delta only if the armed snapshot is
+        // exactly one cycle old — a post-cooldown gap match re-arms instead.
+        if armed_at + 1 != self.now {
+            return Ok(());
+        }
+
+        // How far can we jump? `self.now` cycles are complete; the cycle
+        // just stepped ran at `self.now - 1`. Any threshold in
+        // (self.now - 1, e) would itself be an event, so cycles
+        // self.now .. e-1 replay the measured idle cycle exactly.
+        let next_cycle = self.now;
+        let j_event = self.next_event_after(next_cycle - 1).map(|e| e - next_cycle);
+        // The watchdog would fire after `j_dead` more commit-free cycles,
+        // the budget after `j_budget` more cycles (both ≥ 1 here, or the
+        // caller's own checks would already have erred).
+        let j_dead = self.cfg.deadlock_cycles + 1 - *idle;
+        let j_budget = self.cfg.max_cycles + 1 - next_cycle;
+        let mut j = j_dead.min(j_budget);
+        if let Some(je) = j_event {
+            j = j.min(je);
+        }
+        if j == 0 {
+            return Ok(());
+        }
+
+        let shadow = self.cfg.ff_check.then(|| self.clone());
+
+        // Replay j idle cycles in one step.
+        for (core, (now_s, prev_s)) in
+            self.cores.iter_mut().zip(snap.cores.iter().zip(&prev.cores))
+        {
+            core.add_idle_stats(&now_s.delta_since(prev_s), j);
+        }
+        let mut dq: [QueueStats; 5] = Default::default();
+        for (d, (now_q, prev_q)) in dq.iter_mut().zip(snap.queues.iter().zip(&prev.queues)) {
+            *d = now_q.delta_since(prev_q);
+        }
+        self.queues.add_idle_scaled(&dq, j);
+        debug_assert_eq!(
+            snap.mem,
+            MemStats { mshr_rejects: snap.mem.mshr_rejects, ..prev.mem },
+            "fast-forward measured a non-idle memory delta"
+        );
+        self.mem_sys
+            .add_idle_rejects(snap.mem.mshr_rejects - prev.mem.mshr_rejects, j);
+        if let (Some(engine), Some(cn), Some(cp)) =
+            (self.cmp.as_mut(), snap.cmp.as_ref(), prev.cmp.as_ref())
+        {
+            engine.add_idle_cycles(&cn.delta_since(cp), j);
+        }
+        self.now += j;
+        *idle += j;
+        self.ff_jumps += 1;
+        self.ff_skipped += j;
+        ff.armed = Some((self.now, self.ff_snapshot()));
+
+        // Differential mode: the cycle-stepped shadow must land on the
+        // same clock, statistics, structural state and memory.
+        if let Some(mut sh) = shadow {
+            let mut trig = Vec::new();
+            for _ in 0..j {
+                sh.step_cycle(&mut trig).expect("differential shadow step failed");
+                sh.now += 1;
+            }
+            assert_eq!(self.now, sh.now, "fast-forward clock diverged");
+            assert_eq!(self.ff_snapshot(), sh.ff_snapshot(), "fast-forward statistics diverged");
+            assert_eq!(
+                self.progress_token(),
+                sh.progress_token(),
+                "fast-forward structural state diverged"
+            );
+            assert_eq!(self.data.checksum(), sh.data.checksum(), "fast-forward memory diverged");
+        }
+
+        // If the jump landed on a watchdog/budget bound, raise the same
+        // error the per-cycle loop would have (deadlock is checked first
+        // there, so it wins ties).
+        if j == j_dead && j_dead <= j_budget {
+            return Err(IsaError::Exec {
+                pc: 0,
+                msg: if plain_errors {
+                    format!(
+                        "machine {} made no progress for {} cycles (deadlock?) at cycle {}",
+                        self.model, idle, self.now
+                    )
+                } else {
+                    format!("machine {} deadlocked at cycle {}", self.model, self.now)
+                },
+            });
+        }
+        if j == j_budget {
+            return Err(IsaError::Exec {
+                pc: 0,
+                msg: if plain_errors {
+                    format!("cycle budget exceeded ({})", self.cfg.max_cycles)
+                } else {
+                    "cycle budget exceeded".into()
+                },
+            });
+        }
+        Ok(())
+    }
+
     /// Runs to completion (every core commits its `halt`).
     ///
     /// `work_instrs` is the dynamic instruction count of the original
     /// sequential program — the IPC denominator shared by all models.
     pub fn run(&mut self, work_instrs: u64) -> Result<MachineStats> {
+        let t0 = Instant::now();
         let mut triggers: Vec<TriggerFork> = Vec::new();
         let mut last_committed = 0u64;
         let mut idle = 0u64;
+        let mut ff = FfState::default();
+        let ff_on = self.cfg.fast_forward;
 
         while self.cores.iter().any(|c| !c.is_done()) {
-            let Machine { cores, cmp, queues, mem_sys, data, now, .. } = self;
-            for core in cores.iter_mut() {
-                let mut ctx =
-                    CoreCtx { mem_sys, queues, data, triggers: &mut triggers };
-                core.step(*now, &mut ctx)?;
-            }
-            if let Some(engine) = cmp.as_mut() {
-                for t in triggers.drain(..) {
-                    engine.fork(t);
-                }
-                let mut unused = Vec::new();
-                let mut ctx =
-                    CoreCtx { mem_sys, queues, data, triggers: &mut unused };
-                engine.step(*now, &mut ctx)?;
-            } else {
-                triggers.clear();
-            }
+            self.step_cycle(&mut triggers)?;
             self.now += 1;
 
             // Progress watchdog.
@@ -140,8 +416,16 @@ impl Machine {
                     msg: format!("cycle budget exceeded ({})", self.cfg.max_cycles),
                 });
             }
+            if ff_on {
+                if idle == 0 {
+                    ff.reset();
+                } else {
+                    self.ff_after_cycle(&mut ff, &mut idle, true)?;
+                }
+            }
         }
 
+        self.host_wall_ns += t0.elapsed().as_nanos() as u64;
         Ok(self.stats(work_instrs))
     }
 
@@ -163,6 +447,9 @@ impl Machine {
             cmp: self.cmp.as_ref().map(|c| c.stats()),
             queues,
             mem_checksum: self.data.checksum(),
+            host_wall_ns: self.host_wall_ns,
+            ff_jumps: self.ff_jumps,
+            ff_skipped_cycles: self.ff_skipped,
         }
     }
 
@@ -313,28 +600,15 @@ impl Machine {
         work_instrs: u64,
         mut observer: impl FnMut(&Machine) -> bool,
     ) -> Result<MachineStats> {
+        let t0 = Instant::now();
         let mut observing = true;
         let mut triggers: Vec<TriggerFork> = Vec::new();
         let mut last_committed = 0u64;
         let mut idle = 0u64;
+        let mut ff = FfState::default();
+        let ff_on = self.cfg.fast_forward;
         while self.cores.iter().any(|c| !c.is_done()) {
-            {
-                let Machine { cores, cmp, queues, mem_sys, data, now, .. } = self;
-                for core in cores.iter_mut() {
-                    let mut ctx = CoreCtx { mem_sys, queues, data, triggers: &mut triggers };
-                    core.step(*now, &mut ctx)?;
-                }
-                if let Some(engine) = cmp.as_mut() {
-                    for t in triggers.drain(..) {
-                        engine.fork(t);
-                    }
-                    let mut unused = Vec::new();
-                    let mut ctx = CoreCtx { mem_sys, queues, data, triggers: &mut unused };
-                    engine.step(*now, &mut ctx)?;
-                } else {
-                    triggers.clear();
-                }
-            }
+            self.step_cycle(&mut triggers)?;
             self.now += 1;
             if observing {
                 observing = observer(self);
@@ -355,7 +629,17 @@ impl Machine {
             if self.now > self.cfg.max_cycles {
                 return Err(IsaError::Exec { pc: 0, msg: "cycle budget exceeded".into() });
             }
+            // Fast-forwarding would hide cycles from an active observer, so
+            // it only engages once observation has stopped.
+            if ff_on && !observing {
+                if idle == 0 {
+                    ff.reset();
+                } else {
+                    self.ff_after_cycle(&mut ff, &mut idle, false)?;
+                }
+            }
         }
+        self.host_wall_ns += t0.elapsed().as_nanos() as u64;
         Ok(self.stats(work_instrs))
     }
 }

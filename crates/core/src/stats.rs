@@ -27,6 +27,15 @@ pub struct MachineStats {
     pub queues: [QueueStats; 5],
     /// Checksum of the final data memory (for cross-model validation).
     pub mem_checksum: u64,
+    /// Host wall-clock time spent inside `run`/`run_observed`, in
+    /// nanoseconds (simulator performance, not a simulated quantity).
+    pub host_wall_ns: u64,
+    /// Fast-forward jumps taken (0 when fast-forward is disabled).
+    pub ff_jumps: u64,
+    /// Simulated cycles skipped by fast-forward jumps (these cycles are
+    /// fully accounted in `cycles` and every statistic; they were just not
+    /// individually stepped).
+    pub ff_skipped_cycles: u64,
 }
 
 impl MachineStats {
@@ -87,6 +96,56 @@ impl MachineStats {
             self.total_committed() as f64 / self.work_instrs as f64
         }
     }
+
+    /// Simulator throughput in millions of simulated instructions
+    /// (committed, across all cores) per host wall-clock second.
+    pub fn msips(&self) -> f64 {
+        if self.host_wall_ns == 0 {
+            0.0
+        } else {
+            self.total_committed() as f64 * 1e3 / self.host_wall_ns as f64
+        }
+    }
+
+    /// Host nanoseconds spent per simulated cycle (simulation speed; with
+    /// fast-forward on, skipped cycles make this drop on stall-heavy runs).
+    pub fn host_ns_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.host_wall_ns as f64 / self.cycles as f64
+        }
+    }
+
+    /// True when two runs produced identical *simulated* results: every
+    /// architectural statistic, cycle count and memory checksum. Host-side
+    /// measurements (`host_wall_ns`, `ff_jumps`, `ff_skipped_cycles`) are
+    /// excluded — they describe how the simulation was executed, not what
+    /// it computed. This is the equivalence the fast-forward path
+    /// guarantees against the per-cycle loop.
+    pub fn sim_eq(&self, other: &MachineStats) -> bool {
+        let MachineStats {
+            model,
+            cycles,
+            work_instrs,
+            cores,
+            mem,
+            cmp,
+            queues,
+            mem_checksum,
+            host_wall_ns: _,
+            ff_jumps: _,
+            ff_skipped_cycles: _,
+        } = self;
+        *model == other.model
+            && *cycles == other.cycles
+            && *work_instrs == other.work_instrs
+            && *cores == other.cores
+            && *mem == other.mem
+            && *cmp == other.cmp
+            && *queues == other.queues
+            && *mem_checksum == other.mem_checksum
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +162,9 @@ mod tests {
             cmp: None,
             queues: Default::default(),
             mem_checksum: 0,
+            host_wall_ns: 0,
+            ff_jumps: 0,
+            ff_skipped_cycles: 0,
         }
     }
 

@@ -169,6 +169,43 @@ impl MemSystem {
         self.mshrs.len()
     }
 
+    /// The earliest cycle strictly after `now` at which an in-flight fill
+    /// completes. A full MSHR file rejects requesters until then, so this
+    /// is the wake-up time for every core retrying a rejected access.
+    /// `None` when nothing is in flight beyond `now`.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        self.mshrs.iter().map(|m| m.ready_at).filter(|&t| t > now).min()
+    }
+
+    /// Structural-progress fingerprint (see `hidisc::Machine`). Every
+    /// counter here moves only inside an *accepted* access; `mshr_rejects`
+    /// — the one counter a rejected access bumps — is excluded, because
+    /// rejected retries are precisely what idle cycles repeat.
+    pub fn progress_token(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            (h.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95)
+        }
+        let cache = |mut h: u64, s: &crate::stats::CacheStats| {
+            h = mix(h, s.demand_accesses);
+            h = mix(h, s.prefetch_accesses);
+            h = mix(h, s.writebacks);
+            h
+        };
+        let mut h = mix(0, self.mem_accesses);
+        h = mix(h, self.mshr_merges);
+        h = mix(h, self.late_prefetch_hits);
+        h = cache(h, self.l1.stats());
+        h = cache(h, self.l2.stats());
+        h
+    }
+
+    /// Replays the MSHR rejects of `k` identical idle cycles
+    /// (`rejects_per_cycle` rejected retries happened on the measured idle
+    /// cycle and would repeat every skipped cycle).
+    pub fn add_idle_rejects(&mut self, rejects_per_cycle: u64, k: u64) {
+        self.mshr_rejects += rejects_per_cycle * k;
+    }
+
     /// Snapshot of the accumulated statistics.
     pub fn stats(&self) -> MemStats {
         let mut l1 = *self.l1.stats();

@@ -72,7 +72,7 @@ enum DispatchOutcome {
 }
 
 /// One out-of-order processor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OooCore {
     /// Human-readable name ("superscalar", "CP", "AP").
     pub name: &'static str,
@@ -161,6 +161,96 @@ impl OooCore {
     /// True when the core has committed its `halt` and drained.
     pub fn is_done(&self) -> bool {
         self.finished
+    }
+
+    /// The earliest future cycle (strictly after `now`) at which this
+    /// core's behaviour can change *on its own* — i.e. without any shared
+    /// resource (queue, MSHR) changing underneath it. These are the
+    /// timestamps the pipeline compares against the clock:
+    ///
+    /// - completion times of issued instructions (which also gate
+    ///   mispredict resolution and commit), and
+    /// - the front-end refill time after a redirect.
+    ///
+    /// Returns `None` when the core is finished or holds no pending
+    /// timestamp — it is then purely queue- or memory-blocked and can only
+    /// be woken by another component's event.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.finished {
+            return None;
+        }
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if t > now && next.is_none_or(|n| t < n) {
+                next = Some(t);
+            }
+        };
+        for e in self.ruu.iter() {
+            if e.state == EntryState::Issued {
+                consider(e.complete_at);
+            }
+        }
+        consider(self.frontend_ready_at);
+        next
+    }
+
+    /// How far ahead of the machine clock this core's issue stage
+    /// timestamps its memory accesses (the address-generation latency):
+    /// `access(addr, kind, now + agen)`. A retried access therefore stops
+    /// being rejected `agen` cycles *before* the blocking MSHR's
+    /// `ready_at`, and the fast-forward wake-up must lead the memory event
+    /// by this amount.
+    pub fn access_lead(&self) -> u64 {
+        self.cfg.lat.agen as u64
+    }
+
+    /// Structural-progress fingerprint: two equal tokens on consecutive
+    /// cycles mean the second cycle changed nothing but pure-stall
+    /// statistics, so the machine may fast-forward identical cycles (see
+    /// `hidisc::Machine`). Counters that move on no-progress cycles
+    /// (`cycles`, stall/retry counters) are deliberately excluded.
+    pub fn progress_token(&self) -> u64 {
+        use crate::queues::token_mix as mix;
+        let mut h = mix(0, self.stats.committed);
+        h = mix(h, self.stats.dispatched);
+        h = mix(h, self.finished as u64);
+        h = mix(h, self.fetch_halted as u64);
+        h = mix(h, self.fetch_pc as u64);
+        h = mix(h, self.ifq.len() as u64);
+        h = mix(h, self.frontend_ready_at);
+        h = mix(h, self.mispredict_pending.map_or(0, |(seq, _)| seq + 1));
+        h = mix(h, self.stalled_on.map_or(0, |q| q as u64 + 1));
+        // Aggregate counts instead of per-entry hashes: this runs on the
+        // per-cycle hot path. Counts are exact here because entry flags
+        // only move forward (Waiting → Issued → Done; data_known and
+        // performed are only ever set), so on a cycle with no dispatch or
+        // commit (caught by the counters above) any transition strictly
+        // changes at least one count.
+        let mut waiting = 0u64;
+        let mut done = 0u64;
+        for e in self.ruu.iter() {
+            waiting += (e.state == EntryState::Waiting) as u64;
+            done += (e.state == EntryState::Done) as u64;
+        }
+        h = mix(h, self.ruu.len() as u64);
+        h = mix(h, waiting);
+        h = mix(h, done);
+        let mut data_known = 0u64;
+        let mut performed = 0u64;
+        for e in self.lsq.iter() {
+            data_known += e.data_known as u64;
+            performed += e.performed as u64;
+        }
+        h = mix(h, self.lsq.len() as u64);
+        h = mix(h, data_known);
+        h = mix(h, performed);
+        h
+    }
+
+    /// Applies the statistics of `k` skipped idle cycles, `delta` being
+    /// the per-cycle delta measured on the last stepped (idle) cycle.
+    pub fn add_idle_stats(&mut self, delta: &CoreStats, k: u64) {
+        self.stats.add_idle_scaled(delta, k);
     }
 
     /// Advances the core by one cycle.

@@ -156,6 +156,63 @@ impl QueueFile {
     pub fn all_empty(&self) -> bool {
         self.queues.iter().all(|q| q.is_empty())
     }
+
+    /// Statistics of all five queues, in [`hidisc_isa::Queue::ALL`] order.
+    pub fn all_stats(&self) -> [QueueStats; 5] {
+        self.stats
+    }
+
+    /// Structural-progress fingerprint: changes whenever any queue's
+    /// contents change. Reject counters and the occupancy high-water mark
+    /// are deliberately excluded — they also move on cycles where nothing
+    /// happens architecturally (an empty pop / full push retried every
+    /// cycle), which is exactly what the machine's fast-forward skips.
+    pub fn progress_token(&self) -> u64 {
+        let mut h = 0u64;
+        for s in &self.stats {
+            h = token_mix(h, s.pushes);
+            h = token_mix(h, s.pops);
+        }
+        h
+    }
+
+    /// Replays the reject statistics of `k` identical idle cycles, where
+    /// `delta` is the per-cycle reject delta (current stats minus a
+    /// snapshot taken one idle cycle earlier). Contents-affecting counters
+    /// must not have moved.
+    pub fn add_idle_scaled(&mut self, delta: &[QueueStats; 5], k: u64) {
+        for (s, d) in self.stats.iter_mut().zip(delta) {
+            let QueueStats { pushes, pops, full_rejects, empty_rejects, max_occupancy } = *d;
+            debug_assert_eq!(
+                (pushes, pops, max_occupancy),
+                (0, 0, 0),
+                "fast-forward applied a non-idle QueueStats delta"
+            );
+            s.full_rejects += full_rejects * k;
+            s.empty_rejects += empty_rejects * k;
+        }
+    }
+}
+
+impl QueueStats {
+    /// Field-wise difference `self - before` of two snapshots of the same
+    /// growing counters (`max_occupancy` included: 0 means unchanged).
+    pub fn delta_since(&self, before: &QueueStats) -> QueueStats {
+        let QueueStats { pushes, pops, full_rejects, empty_rejects, max_occupancy } = *before;
+        QueueStats {
+            pushes: self.pushes - pushes,
+            pops: self.pops - pops,
+            full_rejects: self.full_rejects - full_rejects,
+            empty_rejects: self.empty_rejects - empty_rejects,
+            max_occupancy: self.max_occupancy - max_occupancy,
+        }
+    }
+}
+
+/// One step of the order-sensitive mixing hash used by the
+/// progress-token fingerprints (FxHash-style multiply/rotate).
+pub fn token_mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95)
 }
 
 #[cfg(test)]

@@ -67,7 +67,7 @@ pub fn build(p: &Params, seed: u64) -> Workload {
             if rng.gen_range(0..10) < 9 {
                 key_of(rng.gen_range(0..p.records))
             } else {
-                0x4000_0000 + rng.gen_range(0..1_000_000)
+                0x4000_0000 + rng.gen_range(0..1_000_000i64)
             }
         })
         .collect();

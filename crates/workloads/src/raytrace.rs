@@ -57,7 +57,7 @@ pub fn build(p: &Params, seed: u64) -> Workload {
     // Grid of object ids (0 = empty).
     let grid: Vec<i64> = (0..g * g)
         .map(|_| {
-            if rng.gen_range(0..100) < p.occupancy_pct {
+            if rng.gen_range(0..100u32) < p.occupancy_pct {
                 rng.gen_range(1..=p.objects as i64)
             } else {
                 0

@@ -44,7 +44,7 @@ pub fn build(p: &Params, seed: u64) -> Workload {
     for i in 0..n {
         d[i * n + i] = 0;
         for j in 0..n {
-            if i != j && rng.gen_range(0..100) < p.density_pct {
+            if i != j && rng.gen_range(0..100u32) < p.density_pct {
                 d[i * n + j] = rng.gen_range(1..100);
             }
         }
@@ -174,7 +174,7 @@ mod tests {
         for a in 0..n {
             d[a * n + a] = 0;
             for b in 0..n {
-                if a != b && rng.gen_range(0..100) < p.density_pct {
+                if a != b && rng.gen_range(0..100u32) < p.density_pct {
                     d[a * n + b] = rng.gen_range(1..100);
                 }
             }

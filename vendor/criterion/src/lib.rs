@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the harness surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, throughput
+//! annotation, `Bencher::iter`). Statistics are deliberately simple:
+//! each benchmark warms up briefly, then times batches until it has
+//! `sample_size` samples or the time budget runs out, and reports the
+//! median ns/iter plus derived throughput. Good enough for before/after
+//! comparisons on one machine; not a substitute for real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Work per `Bencher::iter` call, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 24 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        run_bench(&id.into(), self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named group sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the number of timing samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (report already printed per bench).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    samples_wanted: usize,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `body`, storing the median ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up: run until 50 ms or 3 iterations, whichever is later.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(body());
+            warm_iters += 1;
+            if warm_iters >= 10_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Batch so one sample takes ~10 ms, then collect samples within a
+        // ~2 s budget.
+        let batch = ((0.010 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let budget = Duration::from_secs(2);
+        let run_start = Instant::now();
+        let mut samples: Vec<f64> = Vec::with_capacity(self.samples_wanted);
+        while samples.len() < self.samples_wanted && (samples.len() < 2 || run_start.elapsed() < budget) {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(body());
+            }
+            samples.push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { samples_wanted: samples, median_ns: f64::NAN };
+    f(&mut b);
+    let ns = b.median_ns;
+    let time = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {:.3} Melem/s", n as f64 / ns * 1e3),
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {:.3} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0)),
+        None => String::new(),
+    };
+    println!("{name:<40} time: {time}/iter{thrpt}");
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_sane_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("selftest");
+        g.sample_size(4);
+        g.throughput(Throughput::Elements(100));
+        let mut ran = false;
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+            assert!(b.median_ns.is_finite() && b.median_ns > 0.0);
+        });
+        g.finish();
+        assert!(ran);
+    }
+}
