@@ -4,7 +4,7 @@
 //! the hot pipeline loops.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hidisc::{Machine, MachineConfig, Model};
+use hidisc::{Machine, MachineConfig, Model, Scheduler};
 use hidisc_bench::env_of;
 use hidisc_mem::{AccessKind, MemConfig, MemSystem};
 use hidisc_slicer::{compile, CompilerConfig};
@@ -35,13 +35,30 @@ fn bench_machine(c: &mut Criterion) {
     let mut g = c.benchmark_group("simspeed");
     g.sample_size(20);
     for model in [Model::Superscalar, Model::HiDisc] {
-        g.bench_function(format!("machine_{model}_update_test"), |b| {
+        g.bench_function(format!("machine_{model}_update"), |b| {
             b.iter(|| {
                 let mut m = Machine::new(model, &compiled, &env, MachineConfig::paper());
                 m.run(compiled.profile.dyn_instrs).unwrap()
             })
         });
     }
+    // The seed scan scheduler on the commit-heavy case, as the reference
+    // point for the ready-list speed-up (asserted bit-identical first).
+    let scan_cfg = MachineConfig::builder()
+        .scheduler(Scheduler::Scan)
+        .build()
+        .expect("paper preset with scan scheduler is valid");
+    let run = |cfg: MachineConfig| {
+        let mut m = Machine::new(Model::Superscalar, &compiled, &env, cfg);
+        m.run(compiled.profile.dyn_instrs).unwrap()
+    };
+    assert!(
+        run(scan_cfg).sim_eq(&run(MachineConfig::paper())),
+        "scan and ready-list schedulers diverged on update"
+    );
+    g.bench_function("machine_Superscalar_update_scan", |b| {
+        b.iter(|| run(scan_cfg))
+    });
     g.finish();
 }
 
@@ -64,11 +81,15 @@ fn bench_fast_forward(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("simspeed");
     g.sample_size(20);
-    for (tag, base) in
-        [("", MachineConfig::paper()), ("_f10", MachineConfig::paper_with_latency(16, 160))]
-    {
+    for (tag, base) in [
+        ("", MachineConfig::paper()),
+        ("_f10", MachineConfig::paper_with_latency(16, 160)),
+    ] {
         let reference = run(base, false);
-        assert!(reference.sim_eq(&run(base, true)), "fast-forward diverged on pointer{tag}");
+        assert!(
+            reference.sim_eq(&run(base, true)),
+            "fast-forward diverged on pointer{tag}"
+        );
         for (state, ff) in [("off", false), ("on", true)] {
             g.bench_function(format!("machine_pointer{tag}_ff_{state}"), |b| {
                 b.iter(|| run(base, ff))
@@ -88,5 +109,11 @@ fn bench_compiler(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_machine, bench_fast_forward, bench_compiler);
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_machine,
+    bench_fast_forward,
+    bench_compiler
+);
 criterion_main!(benches);

@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! repro [params|fig8|table2|fig9|fig10|ablate|all]
-//!       [--scale test|paper|large] [--seed N] [--threads N]
+//!       [--format text|csv] [--scale test|paper|large] [--seed N]
+//!       [--threads N] [--l2-lat N] [--mem-lat N] [--scq-depth N]
+//!       [--scheduler ready|scan]
 //! ```
+//!
+//! Every artifact goes through the [`bench::Report`] trait, so `--format
+//! csv` works for each of them. The machine configuration is assembled
+//! with [`MachineConfig::builder`]; an invalid sweep (`--scq-depth 0`)
+//! exits 2 with the typed [`ConfigError`] message.
 
-use hidisc::MachineConfig;
-use hidisc_bench as bench;
+use hidisc::{MachineConfig, Scheduler};
+use hidisc_bench::{self as bench, Report};
 use hidisc_workloads::Scale;
 
 struct Args {
@@ -14,6 +21,12 @@ struct Args {
     arg: Option<String>,
     scale: Scale,
     seed: u64,
+    /// `--format csv` (default is the aligned text tables).
+    csv: bool,
+    l2_lat: Option<u32>,
+    mem_lat: Option<u32>,
+    scq_depth: Option<usize>,
+    scheduler: Option<Scheduler>,
 }
 
 fn parse_args() -> Args {
@@ -21,7 +34,20 @@ fn parse_args() -> Args {
     let mut arg: Option<String> = None;
     let mut scale = Scale::Paper;
     let mut seed = 2003; // the paper's publication year
+    let mut csv = false;
+    let mut l2_lat = None;
+    let mut mem_lat = None;
+    let mut scq_depth = None;
+    let mut scheduler = None;
     let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a number");
+                std::process::exit(2);
+            })
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
@@ -36,26 +62,42 @@ fn parse_args() -> Args {
                     }
                 };
             }
-            "--seed" => {
-                seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seed needs a number");
-                    std::process::exit(2);
-                });
+            "--format" => {
+                let v = it.next().unwrap_or_default();
+                csv = match v.as_str() {
+                    "text" => false,
+                    "csv" => true,
+                    other => {
+                        eprintln!("unknown format `{other}` (use text|csv)");
+                        std::process::exit(2);
+                    }
+                };
             }
+            "--scheduler" => {
+                let v = it.next().unwrap_or_default();
+                scheduler = match v.as_str() {
+                    "ready" => Some(Scheduler::ReadyList),
+                    "scan" => Some(Scheduler::Scan),
+                    other => {
+                        eprintln!("unknown scheduler `{other}` (use ready|scan)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => seed = num(&mut it, "--seed"),
+            "--l2-lat" => l2_lat = Some(num(&mut it, "--l2-lat") as u32),
+            "--mem-lat" => mem_lat = Some(num(&mut it, "--mem-lat") as u32),
+            "--scq-depth" => scq_depth = Some(num(&mut it, "--scq-depth") as usize),
             "--threads" => {
                 // 0 = one worker per host core (the default).
-                let n: usize =
-                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                        eprintln!("--threads needs a number (0 = all host cores)");
-                        std::process::exit(2);
-                    });
-                bench::pool::set_threads(n);
+                bench::pool::set_threads(num(&mut it, "--threads") as usize);
             }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [{}] \
                      [report|diag|trace <workload>] \
-                     [--scale test|paper|large] [--seed N] [--threads N]",
+                     [--format text|csv] [--scale test|paper|large] [--seed N] [--threads N] \
+                     [--l2-lat N] [--mem-lat N] [--scq-depth N] [--scheduler ready|scan]",
                     COMMANDS.join("|")
                 );
                 std::process::exit(0);
@@ -84,7 +126,17 @@ fn parse_args() -> Args {
         eprintln!("command `{cmd}` takes no argument (see --help)");
         std::process::exit(2);
     }
-    Args { cmd, arg, scale, seed }
+    Args {
+        cmd,
+        arg,
+        scale,
+        seed,
+        csv,
+        l2_lat,
+        mem_lat,
+        scq_depth,
+        scheduler,
+    }
 }
 
 /// Every subcommand, in help order.
@@ -93,11 +145,38 @@ const COMMANDS: [&str; 14] = [
     "extras", "related", "ablate", "all",
 ];
 
+/// Assembles the machine configuration from the CLI overrides through the
+/// validating builder; a rejected sweep exits 2 with the typed
+/// `ConfigError` message.
+fn build_config(args: &Args) -> MachineConfig {
+    let paper = MachineConfig::paper();
+    let mut b = MachineConfig::builder().latency(
+        args.l2_lat.unwrap_or(paper.mem.l2.latency),
+        args.mem_lat.unwrap_or(paper.mem.mem_latency),
+    );
+    if let Some(depth) = args.scq_depth {
+        let mut q = paper.queues;
+        q.scq = depth;
+        b = b.queues(q);
+    }
+    if let Some(s) = args.scheduler {
+        b = b.scheduler(s);
+    }
+    b.build().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args = parse_args();
-    let cfg = MachineConfig::paper();
+    let cfg = build_config(&args);
+    let csv = args.csv;
 
-    let need_suite = matches!(args.cmd.as_str(), "fig8" | "table2" | "fig9" | "all" | "csv");
+    let need_suite = matches!(
+        args.cmd.as_str(),
+        "fig8" | "table2" | "fig9" | "all" | "csv"
+    );
     let results = if need_suite {
         eprintln!(
             "running the 7-benchmark suite on 4 machine models (scale {:?}, seed {})...",
@@ -110,30 +189,56 @@ fn main() {
         None
     };
 
+    if csv && matches!(args.cmd.as_str(), "trace" | "report" | "diag") {
+        eprintln!(
+            "command `{}` is an inspection dump with no CSV form",
+            args.cmd
+        );
+        std::process::exit(2);
+    }
+
     match args.cmd.as_str() {
-        "params" => print!("{}", bench::table1(&cfg)),
-        "fig8" => print!("{}", bench::render_fig8(&bench::fig8(results.as_ref().unwrap()))),
-        "table2" => {
-            print!("{}", bench::render_table2(&bench::table2(results.as_ref().unwrap())))
+        "params" => print!("{}", bench::Table1Report(cfg).render(csv)),
+        "fig8" => {
+            print!(
+                "{}",
+                bench::Fig8Report(bench::fig8(results.as_ref().unwrap())).render(csv)
+            )
         }
-        "fig9" => print!("{}", bench::render_fig9(&bench::fig9(results.as_ref().unwrap()))),
+        "table2" => {
+            print!(
+                "{}",
+                bench::Table2Report(bench::table2(results.as_ref().unwrap())).render(csv)
+            )
+        }
+        "fig9" => {
+            print!(
+                "{}",
+                bench::Fig9Report(bench::fig9(results.as_ref().unwrap())).render(csv)
+            )
+        }
         "csv" => {
+            // Historical shortcut: the three figures as CSV in one stream
+            // (equivalent to `--format csv` on each).
             let results = results.as_ref().unwrap();
-            print!("{}", bench::fig8_csv(&bench::fig8(results)));
+            print!("{}", bench::Fig8Report(bench::fig8(results)).render_csv());
             println!();
-            print!("{}", bench::fig9_csv(&bench::fig9(results)));
+            print!("{}", bench::Fig9Report(bench::fig9(results)).render_csv());
             println!();
             let series = bench::fig10(&["pointer", "neighborhood"], args.scale, args.seed);
-            print!("{}", bench::fig10_csv(&series));
+            print!("{}", bench::Fig10Report(series).render_csv());
         }
         "fig10" => {
             eprintln!("running the Figure-10 latency sweep (pointer, neighborhood)...");
             let series = bench::fig10(&["pointer", "neighborhood"], args.scale, args.seed);
-            print!("{}", bench::render_fig10(&series));
+            print!("{}", bench::Fig10Report(series).render(csv));
         }
         "trace" => {
             let name = args.arg.as_deref().unwrap_or("update");
-            print!("{}", bench::pipeline_trace(name, Scale::Test, args.seed, 60));
+            print!(
+                "{}",
+                bench::pipeline_trace(name, Scale::Test, args.seed, 60)
+            );
         }
         "report" => {
             let name = args.arg.as_deref().unwrap_or("update");
@@ -145,49 +250,81 @@ fn main() {
         }
         "micro" => {
             eprintln!("running the micro-kernels (lll1, convolution, saxpy, sdot) on 4 models...");
-            for w in hidisc_workloads::micro::micro_suite(args.scale, args.seed) {
-                let r = bench::run_workload(&w, cfg);
-                print!("{:<13}", r.name);
-                for st in &r.per_model {
-                    print!(" {}={:.3}", st.model, st.speedup_over(r.baseline()));
-                }
-                println!();
-            }
+            let ws = hidisc_workloads::micro::micro_suite(args.scale, args.seed);
+            let report = bench::SpeedupReport::from_workloads(
+                "Micro-kernels: speed-up over the baseline superscalar",
+                &ws,
+                cfg,
+            );
+            print!("{}", report.render(csv));
         }
         "extras" => {
             eprintln!("running the extra Stressmarks (cornerturn, matrix) on 4 models...");
-            for w in hidisc_workloads::extras(args.scale, args.seed) {
-                let r = bench::run_workload(&w, cfg);
-                print!("{:<13}", r.name);
-                for st in &r.per_model {
-                    print!(" {}={:.3}", st.model, st.speedup_over(r.baseline()));
-                }
-                println!();
-            }
+            let ws = hidisc_workloads::extras(args.scale, args.seed);
+            let report = bench::SpeedupReport::from_workloads(
+                "Extra Stressmarks: speed-up over the baseline superscalar",
+                &ws,
+                cfg,
+            );
+            print!("{}", report.render(csv));
         }
         "related" => {
             eprintln!("running the related-work comparison (all 7 benchmarks)...");
             let rows = bench::related_work(
-                &["dm", "raytrace", "pointer", "update", "field", "neighborhood", "tc"],
+                &[
+                    "dm",
+                    "raytrace",
+                    "pointer",
+                    "update",
+                    "field",
+                    "neighborhood",
+                    "tc",
+                ],
                 args.scale,
                 args.seed,
             );
-            print!("{}", bench::render_related(&rows));
+            print!("{}", bench::RelatedReport(rows).render(csv));
         }
         "ablate" => {
             eprintln!("running the ablation study (update, tc, neighborhood, dm)...");
-            let rows = bench::ablate(&["update", "tc", "neighborhood", "dm"], args.scale, args.seed);
-            print!("{}", bench::render_ablation(&rows));
+            let rows = bench::ablate(
+                &["update", "tc", "neighborhood", "dm"],
+                args.scale,
+                args.seed,
+            );
+            print!("{}", bench::AblationReport(rows).render(csv));
         }
         "all" => {
             let results = results.as_ref().unwrap();
-            println!("Table 1: simulation parameters\n{}", bench::table1(&cfg));
-            println!("{}", bench::render_fig8(&bench::fig8(results)));
-            println!("{}", bench::render_table2(&bench::table2(results)));
-            println!("{}", bench::render_fig9(&bench::fig9(results)));
+            if csv {
+                print!("{}", bench::Table1Report(cfg).render_csv());
+                println!();
+                print!("{}", bench::Fig8Report(bench::fig8(results)).render_csv());
+                println!();
+                print!(
+                    "{}",
+                    bench::Table2Report(bench::table2(results)).render_csv()
+                );
+                println!();
+                print!("{}", bench::Fig9Report(bench::fig9(results)).render_csv());
+            } else {
+                println!(
+                    "Table 1: simulation parameters\n{}",
+                    bench::Table1Report(cfg).render_text()
+                );
+                println!("{}", bench::Fig8Report(bench::fig8(results)).render_text());
+                println!(
+                    "{}",
+                    bench::Table2Report(bench::table2(results)).render_text()
+                );
+                println!("{}", bench::Fig9Report(bench::fig9(results)).render_text());
+            }
             eprintln!("running the Figure-10 latency sweep (pointer, neighborhood)...");
             let series = bench::fig10(&["pointer", "neighborhood"], args.scale, args.seed);
-            println!("{}", bench::render_fig10(&series));
+            if csv {
+                println!();
+            }
+            print!("{}", bench::Fig10Report(series).render(csv));
         }
         other => unreachable!("command `{other}` was validated in parse_args"),
     }

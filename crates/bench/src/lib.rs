@@ -11,14 +11,16 @@
 //! * **Figure 10** — IPC under the L2/memory latency sweep
 //!   {4/40, 8/80, 12/120, 16/160} for Pointer and Neighborhood
 //!   ([`fig10`]);
-//! * **Table 1** — the simulation parameters ([`table1`]).
+//! * **Table 1** — the simulation parameters ([`Table1Report`]).
 //!
-//! Runs are deterministic for a given seed. The `repro` binary prints the
-//! results as aligned text tables.
+//! Runs are deterministic for a given seed. Every artifact renders through
+//! the [`Report`] trait — an aligned text table or CSV — so the `repro`
+//! binary's `--format {text,csv}` flag works uniformly.
 
-use hidisc::{run_model, MachineConfig, MachineStats, Model};
+use hidisc::{run_model, Machine, MachineConfig, MachineStats, Model};
 use hidisc_slicer::{compile, CompiledWorkload, CompilerConfig, ExecEnv};
 use hidisc_workloads::{suite, Scale, Workload};
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
 pub mod pool;
@@ -40,13 +42,20 @@ impl SuiteResult {
 
     /// Statistics of one model.
     pub fn of(&self, m: Model) -> &MachineStats {
-        self.per_model.iter().find(|s| s.model == m).expect("all models present")
+        self.per_model
+            .iter()
+            .find(|s| s.model == m)
+            .expect("all models present")
     }
 }
 
 /// Execution environment of a workload.
 pub fn env_of(w: &Workload) -> ExecEnv {
-    ExecEnv { regs: w.regs.clone(), mem: w.mem.clone(), max_steps: w.max_steps }
+    ExecEnv {
+        regs: w.regs.clone(),
+        mem: w.mem.clone(),
+        max_steps: w.max_steps,
+    }
 }
 
 /// A workload compiled once and shared (read-only) by every grid cell
@@ -66,7 +75,11 @@ pub fn prepare(w: &Workload) -> Prepared {
     let env = env_of(w);
     let compiled = compile(&w.prog, &env, &CompilerConfig::default())
         .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
-    Prepared { name: w.name, env, compiled: Arc::new(compiled) }
+    Prepared {
+        name: w.name,
+        env,
+        compiled: Arc::new(compiled),
+    }
 }
 
 /// Runs every model of one prepared workload under `cfg`, cross-checking
@@ -80,7 +93,10 @@ fn run_prepared(p: &Prepared, cfg: MachineConfig) -> SuiteResult {
         })
         .collect();
     check_models_agree(p.name, &per_model);
-    SuiteResult { name: p.name, per_model }
+    SuiteResult {
+        name: p.name,
+        per_model,
+    }
 }
 
 /// Cross-model safety net: every model must compute the same final memory.
@@ -116,7 +132,10 @@ pub fn run_suite(scale: Scale, seed: u64, cfg: MachineConfig) -> Vec<SuiteResult
         .zip(stats.chunks(nm))
         .map(|(p, per_model)| {
             check_models_agree(p.name, per_model);
-            SuiteResult { name: p.name, per_model: per_model.to_vec() }
+            SuiteResult {
+                name: p.name,
+                per_model: per_model.to_vec(),
+            }
         })
         .collect()
 }
@@ -132,13 +151,44 @@ pub fn msips_line(results: &[SuiteResult]) -> String {
     let cycles: u64 = all().map(|s| s.cycles).sum();
     let skipped: u64 = all().map(|s| s.ff_skipped_cycles).sum();
     let jumps: u64 = all().map(|s| s.ff_jumps).sum();
-    let msips = if wall_ns == 0 { 0.0 } else { committed as f64 * 1e3 / wall_ns as f64 };
-    let pct = if cycles == 0 { 0.0 } else { 100.0 * skipped as f64 / cycles as f64 };
+    let msips = if wall_ns == 0 {
+        0.0
+    } else {
+        committed as f64 * 1e3 / wall_ns as f64
+    };
+    let pct = if cycles == 0 {
+        0.0
+    } else {
+        100.0 * skipped as f64 / cycles as f64
+    };
     format!(
         "sim speed: {committed} instrs in {:.3} s CPU = {msips:.2} MSIPS \
          (fast-forward skipped {pct:.1}% of {cycles} cycles in {jumps} jumps)",
         wall_ns as f64 / 1e9
     )
+}
+
+// ---------------------------------------------------------------------------
+// Reports: every figure/table artifact renders through one trait
+// ---------------------------------------------------------------------------
+
+/// A paper artifact — a figure or table — that renders both as the aligned
+/// text table `repro` prints by default and as CSV for plotting. Every
+/// artifact-producing `repro` subcommand goes through this trait, which is
+/// what makes `--format {text,csv}` work uniformly.
+pub trait Report {
+    /// Aligned, human-readable text table.
+    fn render_text(&self) -> String;
+    /// Machine-readable CSV: a header line plus one row per data point.
+    fn render_csv(&self) -> String;
+    /// Renders in the format selected by `repro --format`.
+    fn render(&self, csv: bool) -> String {
+        if csv {
+            self.render_csv()
+        } else {
+            self.render_text()
+        }
+    }
 }
 
 /// One Figure-8 row: speed-up over the baseline per model.
@@ -159,9 +209,43 @@ pub fn fig8(results: &[SuiteResult]) -> Vec<Fig8Row> {
             for (i, s) in r.per_model.iter().enumerate() {
                 speedup[i] = s.speedup_over(base);
             }
-            Fig8Row { name: r.name, speedup }
+            Fig8Row {
+                name: r.name,
+                speedup,
+            }
         })
         .collect()
+}
+
+/// [`Report`] for Figure 8 (see [`fig8`]).
+#[derive(Debug, Clone)]
+pub struct Fig8Report(pub Vec<Fig8Row>);
+
+impl Report for Fig8Report {
+    fn render_text(&self) -> String {
+        let mut out = String::from(
+            "Figure 8: speed-up over the baseline superscalar\n\
+             benchmark     Superscalar   CP+AP    CP+CMP   HiDISC\n",
+        );
+        for r in &self.0 {
+            out.push_str(&format!(
+                "{:<13} {:>10.3} {:>8.3} {:>8.3} {:>8.3}\n",
+                r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
+            ));
+        }
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        let mut out = String::from("benchmark,superscalar,cp_ap,cp_cmp,hidisc\n");
+        for r in &self.0 {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6}\n",
+                r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
+            ));
+        }
+        out
+    }
 }
 
 /// Table 2: average speed-up of the three non-baseline models (arithmetic
@@ -178,6 +262,36 @@ pub fn table2(results: &[SuiteResult]) -> [f64; 4] {
         *a /= rows.len() as f64;
     }
     avg
+}
+
+/// [`Report`] for Table 2 (see [`table2`]).
+#[derive(Debug, Clone)]
+pub struct Table2Report(pub [f64; 4]);
+
+impl Report for Table2Report {
+    fn render_text(&self) -> String {
+        let avg = &self.0;
+        format!(
+            "Table 2: average speed-up over the baseline\n\
+             CP+AP   (access/execute decoupling): {:+.1}%\n\
+             CP+CMP  (cache prefetching):         {:+.1}%\n\
+             HiDISC  (decoupling + prefetching):  {:+.1}%\n",
+            (avg[1] - 1.0) * 100.0,
+            (avg[2] - 1.0) * 100.0,
+            (avg[3] - 1.0) * 100.0
+        )
+    }
+
+    fn render_csv(&self) -> String {
+        let mut out = String::from("model,avg_speedup\n");
+        for (label, v) in ["superscalar", "cp_ap", "cp_cmp", "hidisc"]
+            .into_iter()
+            .zip(self.0)
+        {
+            out.push_str(&format!("{label},{v:.6}\n"));
+        }
+        out
+    }
 }
 
 /// One Figure-9 row: L1 demand miss rate relative to the baseline.
@@ -200,9 +314,44 @@ pub fn fig9(results: &[SuiteResult]) -> Vec<Fig9Row> {
             for (i, s) in r.per_model.iter().enumerate() {
                 ratio[i] = s.miss_rate_ratio(base);
             }
-            Fig9Row { name: r.name, ratio, base_miss_rate: base.l1_miss_rate() }
+            Fig9Row {
+                name: r.name,
+                ratio,
+                base_miss_rate: base.l1_miss_rate(),
+            }
         })
         .collect()
+}
+
+/// [`Report`] for Figure 9 (see [`fig9`]).
+#[derive(Debug, Clone)]
+pub struct Fig9Report(pub Vec<Fig9Row>);
+
+impl Report for Fig9Report {
+    fn render_text(&self) -> String {
+        let mut out = String::from(
+            "Figure 9: L1 demand miss rate relative to the baseline (1.0 = baseline)\n\
+             benchmark     base-rate   CP+AP    CP+CMP   HiDISC\n",
+        );
+        for r in &self.0 {
+            out.push_str(&format!(
+                "{:<13} {:>9.4} {:>8.3} {:>8.3} {:>8.3}\n",
+                r.name, r.base_miss_rate, r.ratio[1], r.ratio[2], r.ratio[3]
+            ));
+        }
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        let mut out = String::from("benchmark,base_miss_rate,cp_ap,cp_cmp,hidisc\n");
+        for r in &self.0 {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6}\n",
+                r.name, r.base_miss_rate, r.ratio[1], r.ratio[2], r.ratio[3]
+            ));
+        }
+        out
+    }
 }
 
 /// The Figure-10 latency sweep points `(l2_latency, memory_latency)`.
@@ -233,8 +382,13 @@ pub fn fig10(names: &[&str], scale: Scale, seed: u64) -> Vec<Fig10Series> {
         let p = &prepared[k / (nl * nm)];
         let (l2, mem) = FIG10_LATENCIES[(k / nm) % nl];
         let m = Model::ALL[k % nm];
-        run_model(m, &p.compiled, &p.env, MachineConfig::paper_with_latency(l2, mem))
-            .unwrap_or_else(|e| panic!("{} on {m} at {l2}/{mem}: {e}", p.name))
+        run_model(
+            m,
+            &p.compiled,
+            &p.env,
+            MachineConfig::paper_with_latency(l2, mem),
+        )
+        .unwrap_or_else(|e| panic!("{} on {m} at {l2}/{mem}: {e}", p.name))
     });
     prepared
         .iter()
@@ -256,111 +410,184 @@ pub fn fig10(names: &[&str], scale: Scale, seed: u64) -> Vec<Fig10Series> {
         .collect()
 }
 
-/// Table 1: the simulation parameters, rendered as the paper presents
-/// them.
-pub fn table1(cfg: &MachineConfig) -> String {
-    let s = &cfg.superscalar;
-    format!(
-        "Branch predict mode          Bimodal\n\
-         Branch table size            {}\n\
-         Issue/commit width           {}\n\
-         Instruction window           Superscalar {} / AP {} / CP {}\n\
-         Integer functional units     ALU x{}, MUL/DIV x{}\n\
-         FP functional units          ALU x{}, MUL/DIV x{} (superscalar and CP)\n\
-         Memory ports                 {} per memory-capable processor\n\
-         L1 data cache                {} sets, {}B blocks, {}-way, LRU\n\
-         L1 latency                   {} cycle(s)\n\
-         Unified L2                   {} sets, {}B blocks, {}-way, LRU\n\
-         L2 latency                   {} cycles\n\
-         Memory latency               {} cycles\n\
-         Queues (LDQ/SDQ/CDQ/CQ/SCQ)  {}/{}/{}/{}/{} entries\n",
-        s.predictor_entries,
-        s.issue_width,
-        s.ruu_size,
-        cfg.ap.ruu_size,
-        cfg.cp.ruu_size,
-        s.int_alu,
-        s.int_mul,
-        s.fp_alu,
-        s.fp_mul,
-        s.mem_ports,
-        cfg.mem.l1.sets,
-        cfg.mem.l1.block_bytes,
-        cfg.mem.l1.ways,
-        cfg.mem.l1.latency,
-        cfg.mem.l2.sets,
-        cfg.mem.l2.block_bytes,
-        cfg.mem.l2.ways,
-        cfg.mem.l2.latency,
-        cfg.mem.mem_latency,
-        cfg.queues.ldq,
-        cfg.queues.sdq,
-        cfg.queues.cdq,
-        cfg.queues.cq,
-        cfg.queues.scq,
-    )
-}
+/// [`Report`] for Figure 10 (see [`fig10`]).
+#[derive(Debug, Clone)]
+pub struct Fig10Report(pub Vec<Fig10Series>);
 
-/// Renders Figure 8 as an aligned text table.
-pub fn render_fig8(rows: &[Fig8Row]) -> String {
-    let mut out = String::from(
-        "Figure 8: speed-up over the baseline superscalar\n\
-         benchmark     Superscalar   CP+AP    CP+CMP   HiDISC\n",
-    );
-    for r in rows {
-        out.push_str(&format!(
-            "{:<13} {:>10.3} {:>8.3} {:>8.3} {:>8.3}\n",
-            r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
-        ));
-    }
-    out
-}
-
-/// Renders Table 2.
-pub fn render_table2(avg: &[f64; 4]) -> String {
-    format!(
-        "Table 2: average speed-up over the baseline\n\
-         CP+AP   (access/execute decoupling): {:+.1}%\n\
-         CP+CMP  (cache prefetching):         {:+.1}%\n\
-         HiDISC  (decoupling + prefetching):  {:+.1}%\n",
-        (avg[1] - 1.0) * 100.0,
-        (avg[2] - 1.0) * 100.0,
-        (avg[3] - 1.0) * 100.0
-    )
-}
-
-/// Renders Figure 9.
-pub fn render_fig9(rows: &[Fig9Row]) -> String {
-    let mut out = String::from(
-        "Figure 9: L1 demand miss rate relative to the baseline (1.0 = baseline)\n\
-         benchmark     base-rate   CP+AP    CP+CMP   HiDISC\n",
-    );
-    for r in rows {
-        out.push_str(&format!(
-            "{:<13} {:>9.4} {:>8.3} {:>8.3} {:>8.3}\n",
-            r.name, r.base_miss_rate, r.ratio[1], r.ratio[2], r.ratio[3]
-        ));
-    }
-    out
-}
-
-/// Renders Figure 10.
-pub fn render_fig10(series: &[Fig10Series]) -> String {
-    let mut out = String::from("Figure 10: IPC under the L2/memory latency sweep\n");
-    for s in series {
-        out.push_str(&format!(
-            "\n{} — IPC\nL2/mem      Superscalar   CP+AP    CP+CMP   HiDISC\n",
-            s.name
-        ));
-        for (li, (l2, mem)) in FIG10_LATENCIES.into_iter().enumerate() {
-            let r = s.ipc[li];
+impl Report for Fig10Report {
+    fn render_text(&self) -> String {
+        let mut out = String::from("Figure 10: IPC under the L2/memory latency sweep\n");
+        for s in &self.0 {
             out.push_str(&format!(
-                "{:>2}/{:<6} {:>11.3} {:>8.3} {:>8.3} {:>8.3}\n",
-                l2, mem, r[0], r[1], r[2], r[3]
+                "\n{} — IPC\nL2/mem      Superscalar   CP+AP    CP+CMP   HiDISC\n",
+                s.name
+            ));
+            for (li, (l2, mem)) in FIG10_LATENCIES.into_iter().enumerate() {
+                let r = s.ipc[li];
+                out.push_str(&format!(
+                    "{:>2}/{:<6} {:>11.3} {:>8.3} {:>8.3} {:>8.3}\n",
+                    l2, mem, r[0], r[1], r[2], r[3]
+                ));
+            }
+        }
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        let mut out =
+            String::from("benchmark,l2_latency,mem_latency,superscalar,cp_ap,cp_cmp,hidisc\n");
+        for s in &self.0 {
+            for (li, (l2, mem)) in FIG10_LATENCIES.into_iter().enumerate() {
+                let r = s.ipc[li];
+                out.push_str(&format!(
+                    "{},{},{},{:.6},{:.6},{:.6},{:.6}\n",
+                    s.name, l2, mem, r[0], r[1], r[2], r[3]
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// [`Report`] for Table 1, the simulation parameters, rendered as the
+/// paper presents them.
+#[derive(Debug, Clone)]
+pub struct Table1Report(pub MachineConfig);
+
+impl Table1Report {
+    /// The parameter table as (name, value) rows, shared by both formats.
+    fn rows(&self) -> Vec<(&'static str, String)> {
+        let cfg = &self.0;
+        let s = &cfg.superscalar;
+        vec![
+            ("Branch predict mode", "Bimodal".into()),
+            ("Branch table size", s.predictor_entries.to_string()),
+            ("Issue/commit width", s.issue_width.to_string()),
+            (
+                "Instruction window",
+                format!(
+                    "Superscalar {} / AP {} / CP {}",
+                    s.ruu_size, cfg.ap.ruu_size, cfg.cp.ruu_size
+                ),
+            ),
+            (
+                "Integer functional units",
+                format!("ALU x{}, MUL/DIV x{}", s.int_alu, s.int_mul),
+            ),
+            (
+                "FP functional units",
+                format!(
+                    "ALU x{}, MUL/DIV x{} (superscalar and CP)",
+                    s.fp_alu, s.fp_mul
+                ),
+            ),
+            (
+                "Memory ports",
+                format!("{} per memory-capable processor", s.mem_ports),
+            ),
+            (
+                "L1 data cache",
+                format!(
+                    "{} sets, {}B blocks, {}-way, LRU",
+                    cfg.mem.l1.sets, cfg.mem.l1.block_bytes, cfg.mem.l1.ways
+                ),
+            ),
+            ("L1 latency", format!("{} cycle(s)", cfg.mem.l1.latency)),
+            (
+                "Unified L2",
+                format!(
+                    "{} sets, {}B blocks, {}-way, LRU",
+                    cfg.mem.l2.sets, cfg.mem.l2.block_bytes, cfg.mem.l2.ways
+                ),
+            ),
+            ("L2 latency", format!("{} cycles", cfg.mem.l2.latency)),
+            ("Memory latency", format!("{} cycles", cfg.mem.mem_latency)),
+            (
+                "Queues (LDQ/SDQ/CDQ/CQ/SCQ)",
+                format!(
+                    "{}/{}/{}/{}/{} entries",
+                    cfg.queues.ldq, cfg.queues.sdq, cfg.queues.cdq, cfg.queues.cq, cfg.queues.scq
+                ),
+            ),
+        ]
+    }
+}
+
+impl Report for Table1Report {
+    fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.rows() {
+            out.push_str(&format!("{k:<29}{v}\n"));
+        }
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        let mut out = String::from("parameter,value\n");
+        for (k, v) in self.rows() {
+            let v = if v.contains(',') {
+                format!("\"{v}\"")
+            } else {
+                v
+            };
+            out.push_str(&format!("{k},{v}\n"));
+        }
+        out
+    }
+}
+
+/// Per-benchmark speed-up table for the auxiliary suites (`repro micro`
+/// and `repro extras`): one row per workload, models in [`Model::ALL`]
+/// order.
+#[derive(Debug, Clone)]
+pub struct SpeedupReport {
+    /// Table heading.
+    pub title: &'static str,
+    /// `(benchmark, speed-up per model)` rows.
+    pub rows: Vec<(&'static str, [f64; 4])>,
+}
+
+impl SpeedupReport {
+    /// Builds the table by running every workload on all four models.
+    pub fn from_workloads(title: &'static str, workloads: &[Workload], cfg: MachineConfig) -> Self {
+        let rows = workloads
+            .iter()
+            .map(|w| {
+                let r = run_workload(w, cfg);
+                let mut s = [0.0; 4];
+                for (i, st) in r.per_model.iter().enumerate() {
+                    s[i] = st.speedup_over(r.baseline());
+                }
+                (r.name, s)
+            })
+            .collect();
+        SpeedupReport { title, rows }
+    }
+}
+
+impl Report for SpeedupReport {
+    fn render_text(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        for (name, s) in &self.rows {
+            out.push_str(&format!("{name:<13}"));
+            for (m, v) in Model::ALL.into_iter().zip(s) {
+                out.push_str(&format!(" {m}={v:.3}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        let mut out = String::from("benchmark,superscalar,cp_ap,cp_cmp,hidisc\n");
+        for (name, s) in &self.rows {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6}\n",
+                name, s[0], s[1], s[2], s[3]
             ));
         }
+        out
     }
-    out
 }
 
 #[cfg(test)]
@@ -377,10 +604,27 @@ mod tests {
         assert!((t2[0] - 1.0).abs() < 1e-12);
         let f9 = fig9(&results);
         assert_eq!(f9.len(), 7);
-        assert!(!render_fig8(&f8).is_empty());
-        assert!(!render_table2(&t2).is_empty());
-        assert!(!render_fig9(&f9).is_empty());
-        assert!(table1(&MachineConfig::paper()).contains("Bimodal"));
+        assert!(!Fig8Report(f8).render_text().is_empty());
+        assert!(!Table2Report(t2).render_text().is_empty());
+        assert!(!Fig9Report(f9).render_text().is_empty());
+        let t1 = Table1Report(MachineConfig::paper());
+        assert!(t1.render_text().contains("Bimodal"));
+        assert!(t1.render_csv().starts_with("parameter,value\n"));
+    }
+
+    #[test]
+    fn reports_render_both_formats() {
+        let r = Fig8Report(vec![Fig8Row {
+            name: "update",
+            speedup: [1.0, 1.1, 1.2, 1.3],
+        }]);
+        // CSV: header + one line per row; text: title + header + rows.
+        assert_eq!(r.render_csv().lines().count(), 1 + r.0.len());
+        assert_eq!(r.render_text().lines().count(), 2 + r.0.len());
+        assert_eq!(r.render(true), r.render_csv());
+        assert_eq!(r.render(false), r.render_text());
+        let t2 = Table2Report([1.0, 1.2, 1.1, 1.4]);
+        assert!(t2.render_csv().contains("hidisc,1.400000"));
     }
 
     #[test]
@@ -388,11 +632,16 @@ mod tests {
         let series = fig10(&["pointer"], Scale::Test, 3);
         assert_eq!(series.len(), 1);
         assert_eq!(series[0].ipc.len(), 4);
-        assert!(!render_fig10(&series).is_empty());
+        let report = Fig10Report(series);
+        assert!(!report.render_text().is_empty());
+        assert_eq!(
+            report.render_csv().lines().count(),
+            1 + FIG10_LATENCIES.len()
+        );
         // IPC should not increase as latency grows, for any model.
         for m in 0..4 {
             assert!(
-                series[0].ipc[0][m] >= series[0].ipc[3][m] * 0.98,
+                report.0[0].ipc[0][m] >= report.0[0].ipc[3][m] * 0.98,
                 "model {m}: IPC grew with latency"
             );
         }
@@ -479,7 +728,10 @@ pub fn ablate(names: &[&str], scale: Scale, seed: u64) -> Vec<AblationRow> {
         let no_cmas = compile(
             &w.prog,
             &env,
-            &CompilerConfig { enable_cmas: false, ..CompilerConfig::default() },
+            &CompilerConfig {
+                enable_cmas: false,
+                ..CompilerConfig::default()
+            },
         )
         .unwrap();
         let base =
@@ -524,43 +776,63 @@ pub fn ablate(names: &[&str], scale: Scale, seed: u64) -> Vec<AblationRow> {
         };
         let st = hidisc::run_model(Model::HiDisc, c, &p.env, cfg)
             .unwrap_or_else(|e| panic!("{} ablation {}: {e}", p.name, a.label()));
-        assert_eq!(st.mem_checksum, p.base.mem_checksum, "{}: ablation diverged", p.name);
+        assert_eq!(
+            st.mem_checksum, p.base.mem_checksum,
+            "{}: ablation diverged",
+            p.name
+        );
         (a, st.speedup_over(&p.base))
     });
 
     prepared
         .iter()
         .zip(cells.chunks(nv))
-        .map(|(p, speedup)| AblationRow { name: p.name, speedup: speedup.to_vec() })
+        .map(|(p, speedup)| AblationRow {
+            name: p.name,
+            speedup: speedup.to_vec(),
+        })
         .collect()
 }
 
-/// Renders the ablation table.
-pub fn render_ablation(rows: &[AblationRow]) -> String {
-    let mut out = String::from("Ablation study: HiDISC speed-up over the baseline superscalar\n");
-    if let Some(first) = rows.first() {
-        out.push_str(&format!("{:<34}", "variant"));
-        for _ in &first.speedup {
-            // header filled below per-column
-        }
-        let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
-        for n in &names {
-            out.push_str(&format!("{n:>13}"));
-        }
-        out.push('\n');
-        for (i, (a, _)) in first.speedup.iter().enumerate() {
-            out.push_str(&format!("{:<34}", a.label()));
-            for r in rows {
-                out.push_str(&format!("{:>13.3}", r.speedup[i].1));
+/// [`Report`] for the ablation study (see [`ablate`]).
+#[derive(Debug, Clone)]
+pub struct AblationReport(pub Vec<AblationRow>);
+
+impl Report for AblationReport {
+    fn render_text(&self) -> String {
+        let rows = &self.0;
+        let mut out =
+            String::from("Ablation study: HiDISC speed-up over the baseline superscalar\n");
+        if let Some(first) = rows.first() {
+            out.push_str(&format!("{:<34}", "variant"));
+            for r in rows.iter() {
+                out.push_str(&format!("{:>13}", r.name));
             }
             out.push('\n');
+            for (i, (a, _)) in first.speedup.iter().enumerate() {
+                out.push_str(&format!("{:<34}", a.label()));
+                for r in rows.iter() {
+                    out.push_str(&format!("{:>13.3}", r.speedup[i].1));
+                }
+                out.push('\n');
+            }
         }
+        out
     }
-    out
+
+    fn render_csv(&self) -> String {
+        let mut out = String::from("benchmark,variant,speedup\n");
+        for r in &self.0 {
+            for (a, s) in &r.speedup {
+                out.push_str(&format!("{},{},{s:.6}\n", r.name, a.label()));
+            }
+        }
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
-// Inspection helpers behind `repro report` / `repro diag`
+// Inspection helpers behind `repro report` / `repro diag` / `repro trace`
 // ---------------------------------------------------------------------------
 
 /// The compiler's separation report (Figures 3/5-7 walkthrough) for one
@@ -573,17 +845,68 @@ pub fn separation_report(name: &str, scale: Scale, seed: u64) -> String {
     hidisc_slicer::report::render(&c)
 }
 
+/// Per-cycle observer behind [`diagnostics`]: records live-machine peaks
+/// that the end-of-run statistics cannot reconstruct — the high-water
+/// mark of speculative CMP threads and the cycle it was first reached.
+///
+/// Bridged into [`Machine::run_observed`] through the closure blanket
+/// impl of [`hidisc::Observer`] (which is exclusive — a concrete
+/// `impl Observer for CmpPeakObserver` would overlap it), as
+/// `|m: &Machine| obs.on_cycle(m).is_continue()`.
+#[derive(Debug, Default)]
+pub struct CmpPeakObserver {
+    /// Highest live CMP thread count seen so far.
+    pub peak_threads: usize,
+    /// Cycle at which the peak was first reached.
+    pub peak_cycle: u64,
+}
+
+impl CmpPeakObserver {
+    /// The per-cycle hook, mirroring [`hidisc::Observer::on_cycle`].
+    pub fn on_cycle(&mut self, m: &Machine) -> ControlFlow<()> {
+        if let Some(t) = m.cmp_threads() {
+            if t > self.peak_threads {
+                self.peak_threads = t;
+                self.peak_cycle = m.now();
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
 /// Runs every model on one workload and renders the machine-level
-/// diagnostics (stall breakdowns, queue traffic, CMP behaviour).
+/// diagnostics (stall breakdowns, queue traffic, CMP behaviour). Each run
+/// is observed cycle-by-cycle with a [`CmpPeakObserver`] so the report
+/// includes live-occupancy peaks alongside the end-of-run counters.
 pub fn diagnostics(name: &str, scale: Scale, seed: u64) -> String {
     use std::fmt::Write;
     let w = hidisc_workloads::by_name(name, scale, seed)
         .unwrap_or_else(|| panic!("unknown workload {name}"));
-    let r = run_workload(&w, MachineConfig::paper());
+    let env = env_of(&w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default())
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+    let mut per_model = Vec::new();
+    let mut peaks = Vec::new();
+    for m in Model::ALL {
+        let mut obs = CmpPeakObserver::default();
+        let mut machine = Machine::new(m, &compiled, &env, MachineConfig::paper());
+        let st = machine
+            .run_observed(compiled.profile.dyn_instrs, |mach: &Machine| {
+                obs.on_cycle(mach).is_continue()
+            })
+            .unwrap_or_else(|e| panic!("{} on {m}: {e}", w.name));
+        per_model.push(st);
+        peaks.push(obs);
+    }
+    check_models_agree(w.name, &per_model);
     let mut out = String::new();
-    let base = r.baseline();
-    let _ = writeln!(out, "=== {} (work = {} dynamic instructions) ===", w.name, base.work_instrs);
-    for st in &r.per_model {
+    let base = &per_model[0];
+    let _ = writeln!(
+        out,
+        "=== {} (work = {} dynamic instructions) ===",
+        w.name, base.work_instrs
+    );
+    for (st, peak) in per_model.iter().zip(&peaks) {
         let _ = writeln!(
             out,
             "\n{}: {} cycles, IPC {:.3}, L1 miss {:.2}%, speed-up {:.3}x",
@@ -607,6 +930,11 @@ pub fn diagnostics(name: &str, scale: Scale, seed: u64) -> String {
                 c.forks, c.dropped_forks, c.instrs, c.prefetches, c.dropped_prefetches,
                 c.scq_block_cycles, c.completed_threads
             );
+            let _ = writeln!(
+                out,
+                "  cmp  peak live threads {} (cycle {})",
+                peak.peak_threads, peak.peak_cycle
+            );
         }
         let _ = writeln!(
             out,
@@ -620,82 +948,89 @@ pub fn diagnostics(name: &str, scale: Scale, seed: u64) -> String {
         let _ = writeln!(
             out,
             "  queues pushes/pops  LDQ {}/{}  SDQ {}/{}  CDQ {}/{}  CQ {}/{}  SCQ {}/{}",
-            q[0].pushes, q[0].pops, q[1].pushes, q[1].pops, q[2].pushes, q[2].pops,
-            q[3].pushes, q[3].pops, q[4].pushes, q[4].pops
+            q[0].pushes,
+            q[0].pops,
+            q[1].pushes,
+            q[1].pops,
+            q[2].pushes,
+            q[2].pops,
+            q[3].pushes,
+            q[3].pops,
+            q[4].pushes,
+            q[4].pops
         );
     }
     out
 }
 
+/// Per-cycle observer behind [`pipeline_trace`]: renders one line per
+/// cycle (the pipeline snapshot of every core plus the live CMP thread
+/// count) and breaks — ending observation, not the simulation — after
+/// `limit` cycles.
+///
+/// Bridged into [`Machine::run_observed`] through the closure blanket
+/// impl of [`hidisc::Observer`], like [`CmpPeakObserver`].
+#[derive(Debug)]
+pub struct TraceObserver {
+    out: String,
+    limit: u64,
+}
+
+impl TraceObserver {
+    /// A tracer that observes the first `limit` cycles.
+    pub fn new(limit: u64) -> Self {
+        TraceObserver {
+            out: String::new(),
+            limit,
+        }
+    }
+
+    /// The per-cycle hook, mirroring [`hidisc::Observer::on_cycle`].
+    pub fn on_cycle(&mut self, m: &Machine) -> ControlFlow<()> {
+        use std::fmt::Write;
+        let _ = write!(self.out, "cycle {:>6}", m.now());
+        for s in m.snapshots() {
+            let _ = write!(self.out, " | {s}");
+        }
+        if let Some(t) = m.cmp_threads() {
+            let _ = write!(self.out, " | CMP threads {t}");
+        }
+        let _ = writeln!(self.out);
+        if m.now() < self.limit {
+            ControlFlow::Continue(())
+        } else {
+            ControlFlow::Break(())
+        }
+    }
+
+    /// Closes the trace with the end-of-run summary line.
+    pub fn finish(mut self, st: &MachineStats) -> String {
+        use std::fmt::Write;
+        let _ = writeln!(
+            self.out,
+            "... ran to completion in {} cycles (IPC {:.3})",
+            st.cycles,
+            st.ipc()
+        );
+        self.out
+    }
+}
+
 /// Renders the first `cycles` cycles of a HiDISC run as a pipeline trace
 /// (one line per cycle per core), behind `repro trace`.
 pub fn pipeline_trace(name: &str, scale: Scale, seed: u64, cycles: u64) -> String {
-    use std::fmt::Write;
     let w = hidisc_workloads::by_name(name, scale, seed)
         .unwrap_or_else(|| panic!("unknown workload {name}"));
     let env = env_of(&w);
     let c = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
-    let mut m = hidisc::Machine::new(Model::HiDisc, &c, &env, MachineConfig::paper());
-    let mut out = String::new();
+    let mut m = Machine::new(Model::HiDisc, &c, &env, MachineConfig::paper());
+    let mut tracer = TraceObserver::new(cycles);
     let st = m
-        .run_observed(c.profile.dyn_instrs, |mach| {
-            let _ = write!(out, "cycle {:>6}", mach.now());
-            for s in mach.snapshots() {
-                let _ = write!(out, " | {s}");
-            }
-            if let Some(t) = mach.cmp_threads() {
-                let _ = write!(out, " | CMP threads {t}");
-            }
-            let _ = writeln!(out);
-            mach.now() < cycles
+        .run_observed(c.profile.dyn_instrs, |mach: &Machine| {
+            tracer.on_cycle(mach).is_continue()
         })
         .unwrap();
-    let _ = writeln!(
-        out,
-        "... ran to completion in {} cycles (IPC {:.3})",
-        st.cycles,
-        st.ipc()
-    );
-    out
-}
-
-/// Renders Figure 8 as CSV (for plotting).
-pub fn fig8_csv(rows: &[Fig8Row]) -> String {
-    let mut out = String::from("benchmark,superscalar,cp_ap,cp_cmp,hidisc\n");
-    for r in rows {
-        out.push_str(&format!(
-            "{},{:.6},{:.6},{:.6},{:.6}\n",
-            r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
-        ));
-    }
-    out
-}
-
-/// Renders Figure 9 as CSV.
-pub fn fig9_csv(rows: &[Fig9Row]) -> String {
-    let mut out = String::from("benchmark,base_miss_rate,cp_ap,cp_cmp,hidisc\n");
-    for r in rows {
-        out.push_str(&format!(
-            "{},{:.6},{:.6},{:.6},{:.6}\n",
-            r.name, r.base_miss_rate, r.ratio[1], r.ratio[2], r.ratio[3]
-        ));
-    }
-    out
-}
-
-/// Renders Figure 10 as CSV.
-pub fn fig10_csv(series: &[Fig10Series]) -> String {
-    let mut out = String::from("benchmark,l2_latency,mem_latency,superscalar,cp_ap,cp_cmp,hidisc\n");
-    for s in series {
-        for (li, (l2, mem)) in FIG10_LATENCIES.into_iter().enumerate() {
-            let r = s.ipc[li];
-            out.push_str(&format!(
-                "{},{},{},{:.6},{:.6},{:.6},{:.6}\n",
-                s.name, l2, mem, r[0], r[1], r[2], r[3]
-            ));
-        }
-    }
-    out
+    tracer.finish(&st)
 }
 
 // ---------------------------------------------------------------------------
@@ -739,34 +1074,60 @@ pub fn related_work(names: &[&str], scale: Scale, seed: u64) -> Vec<RelatedRow> 
             // 2. superscalar running the software-prefetched binary
             let (sw_prog, _) = insert_software_prefetch(&w.prog, 8);
             let sw_compiled = compile(&sw_prog, &env, &CompilerConfig::default()).unwrap();
-            let sw =
-                run_model(Model::Superscalar, &sw_compiled, &env, MachineConfig::paper()).unwrap();
-            assert_eq!(sw.mem_checksum, base.mem_checksum, "{name}: swpref diverged");
+            let sw = run_model(
+                Model::Superscalar,
+                &sw_compiled,
+                &env,
+                MachineConfig::paper(),
+            )
+            .unwrap();
+            assert_eq!(
+                sw.mem_checksum, base.mem_checksum,
+                "{name}: swpref diverged"
+            );
 
             // 3 & 4. the paper's models
             let cp_cmp = run_model(Model::CpCmp, &compiled, &env, MachineConfig::paper()).unwrap();
-            let hidisc =
-                run_model(Model::HiDisc, &compiled, &env, MachineConfig::paper()).unwrap();
+            let hidisc = run_model(Model::HiDisc, &compiled, &env, MachineConfig::paper()).unwrap();
 
             let s = |v: &hidisc::MachineStats| base.cycles as f64 / v.cycles as f64;
-            RelatedRow { name: w.name, speedup: [s(&hw), s(&sw), s(&cp_cmp), s(&hidisc)] }
+            RelatedRow {
+                name: w.name,
+                speedup: [s(&hw), s(&sw), s(&cp_cmp), s(&hidisc)],
+            }
         })
         .collect()
 }
 
-/// Renders the related-work table.
-pub fn render_related(rows: &[RelatedRow]) -> String {
-    let mut out = String::from(
-        "Related-work comparison: speed-up over the plain superscalar\n\
-         benchmark     HW-stride  SW-pref   CP+CMP   HiDISC\n",
-    );
-    for r in rows {
-        out.push_str(&format!(
-            "{:<13} {:>9.3} {:>8.3} {:>8.3} {:>8.3}\n",
-            r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
-        ));
+/// [`Report`] for the related-work comparison (see [`related_work`]).
+#[derive(Debug, Clone)]
+pub struct RelatedReport(pub Vec<RelatedRow>);
+
+impl Report for RelatedReport {
+    fn render_text(&self) -> String {
+        let mut out = String::from(
+            "Related-work comparison: speed-up over the plain superscalar\n\
+             benchmark     HW-stride  SW-pref   CP+CMP   HiDISC\n",
+        );
+        for r in &self.0 {
+            out.push_str(&format!(
+                "{:<13} {:>9.3} {:>8.3} {:>8.3} {:>8.3}\n",
+                r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
+            ));
+        }
+        out
     }
-    out
+
+    fn render_csv(&self) -> String {
+        let mut out = String::from("benchmark,hw_stride,sw_pref,cp_cmp,hidisc\n");
+        for r in &self.0 {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6}\n",
+                r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -782,6 +1143,29 @@ mod related_tests {
                 assert!(*s > 0.5 && *s < 5.0, "{} variant {i} speedup {s}", r.name);
             }
         }
-        assert!(!render_related(&rows).is_empty());
+        let report = RelatedReport(rows);
+        assert!(!report.render_text().is_empty());
+        assert_eq!(report.render_csv().lines().count(), 1 + report.0.len());
+    }
+}
+
+#[cfg(test)]
+mod observer_tests {
+    use super::*;
+
+    #[test]
+    fn trace_observer_renders_and_stops() {
+        let out = pipeline_trace("update", Scale::Test, 3, 10);
+        assert!(out.starts_with("cycle"));
+        assert!(out.contains("ran to completion"));
+        // One line per observed cycle (10) plus the summary line.
+        assert_eq!(out.lines().count(), 11);
+    }
+
+    #[test]
+    fn diagnostics_reports_live_peaks() {
+        let out = diagnostics("update", Scale::Test, 3);
+        assert!(out.contains("=== update"));
+        assert!(out.contains("peak live threads"));
     }
 }

@@ -25,7 +25,9 @@ pub fn set_threads(n: usize) {
 /// The number of workers a grid run will use right now.
 pub fn threads() -> usize {
     match THREAD_CAP.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         n => n,
     }
 }

@@ -139,7 +139,15 @@ impl CmpEngine {
     pub fn new(cfg: CmpConfig, programs: Vec<Program>) -> CmpEngine {
         let slip = SlipController::new(cfg.dynamic);
         let filter = SliceFilter::new(cfg.dynamic, programs.len());
-        CmpEngine { cfg, programs, threads: Vec::new(), rr: 0, stats: CmpStats::default(), slip, filter }
+        CmpEngine {
+            cfg,
+            programs,
+            threads: Vec::new(),
+            rr: 0,
+            stats: CmpStats::default(),
+            slip,
+            filter,
+        }
     }
 
     /// Accumulated statistics.
@@ -166,7 +174,11 @@ impl CmpEngine {
     /// holds a pending wake-up time — threads are then either ready (and
     /// stuck on a shared resource: SCQ, MSHRs, memory ports) or absent.
     pub fn next_event(&self, now: u64) -> Option<u64> {
-        self.threads.iter().map(|t| t.busy_until).filter(|&t| t > now).min()
+        self.threads
+            .iter()
+            .map(|t| t.busy_until)
+            .filter(|&t| t > now)
+            .min()
     }
 
     /// Structural-progress fingerprint (see `hidisc::Machine`). Thread pcs
@@ -234,7 +246,11 @@ impl CmpEngine {
         if self.threads.len() >= self.cfg.max_threads {
             // Prefer the fresher context: evict the oldest thread running
             // the same slice, else drop the fork.
-            match self.threads.iter().position(|th| th.prog == t.cmas as usize) {
+            match self
+                .threads
+                .iter()
+                .position(|th| th.prog == t.cmas as usize)
+            {
                 Some(old) => {
                     self.threads.remove(old);
                     self.stats.dropped_forks += 1;
@@ -246,7 +262,12 @@ impl CmpEngine {
             }
         }
         self.stats.forks += 1;
-        self.threads.push(CmpThread { prog: t.cmas as usize, pc: 0, regs: t.regs, busy_until: 0 });
+        self.threads.push(CmpThread {
+            prog: t.cmas as usize,
+            pc: 0,
+            regs: t.regs,
+            busy_until: 0,
+        });
     }
 
     /// Advances the engine one cycle.
@@ -299,12 +320,17 @@ impl CmpEngine {
                         th.regs.set_i(dst, imm);
                         th.pc += 1;
                     }
-                    Instr::Load { dst, base, off, width, signed } => {
+                    Instr::Load {
+                        dst,
+                        base,
+                        off,
+                        width,
+                        signed,
+                    } => {
                         if mem_issued >= self.cfg.mem_ports {
                             break;
                         }
-                        let addr =
-                            (th.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                        let addr = (th.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
                         match ctx.mem_sys.access(addr, AccessKind::Prefetch, now) {
                             Some(r) => {
                                 mem_issued += 1;
@@ -323,8 +349,7 @@ impl CmpEngine {
                                     // slice inputs (index streams) would
                                     // otherwise serialise the engine on
                                     // their own cold misses.
-                                    let blk =
-                                        ctx.mem_sys.config().l1.block_bytes as u64;
+                                    let blk = ctx.mem_sys.config().l1.block_bytes as u64;
                                     if ctx
                                         .mem_sys
                                         .access(addr + blk, AccessKind::Prefetch, now)
@@ -341,8 +366,7 @@ impl CmpEngine {
                         if mem_issued >= self.cfg.mem_ports {
                             break;
                         }
-                        let addr =
-                            (th.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                        let addr = (th.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
                         match ctx.mem_sys.access(addr, AccessKind::Prefetch, now) {
                             Some(r) => {
                                 mem_issued += 1;
@@ -358,8 +382,7 @@ impl CmpEngine {
                         th.pc += 1;
                     }
                     Instr::PutScq => {
-                        let within_dynamic_bound =
-                            ctx.queues.len(Queue::Scq) < self.slip.limit();
+                        let within_dynamic_bound = ctx.queues.len(Queue::Scq) < self.slip.limit();
                         if within_dynamic_bound && ctx.queues.try_push(Queue::Scq, 1) {
                             th.pc += 1;
                         } else {
@@ -422,7 +445,10 @@ mod tests {
     fn ctx_parts() -> (MemSystem, QueueFile, Memory, Vec<TriggerFork>) {
         (
             MemSystem::new(MemConfig::paper()),
-            QueueFile::new(QueueConfig { scq: 4, ..QueueConfig::paper() }),
+            QueueFile::new(QueueConfig {
+                scq: 4,
+                ..QueueConfig::paper()
+            }),
             Memory::new(),
             Vec::new(),
         )
@@ -527,7 +553,13 @@ mod tests {
     #[test]
     fn fork_capacity_evicts_same_slice() {
         let prog = assemble("cmas", "halt").unwrap();
-        let mut e = CmpEngine::new(CmpConfig { max_threads: 2, ..CmpConfig::default() }, vec![prog]);
+        let mut e = CmpEngine::new(
+            CmpConfig {
+                max_threads: 2,
+                ..CmpConfig::default()
+            },
+            vec![prog],
+        );
         for _ in 0..5 {
             fork_with(&mut e, &[]);
         }
@@ -542,12 +574,21 @@ mod tests {
     fn fork_capacity_drops_unrelated_forks() {
         let prog = assemble("cmas", "halt").unwrap();
         let mut e = CmpEngine::new(
-            CmpConfig { max_threads: 1, ..CmpConfig::default() },
+            CmpConfig {
+                max_threads: 1,
+                ..CmpConfig::default()
+            },
             vec![prog.clone(), prog],
         );
-        e.fork(TriggerFork { cmas: 0, regs: RegFile::new() });
+        e.fork(TriggerFork {
+            cmas: 0,
+            regs: RegFile::new(),
+        });
         // A fork for a *different* slice cannot evict: dropped.
-        e.fork(TriggerFork { cmas: 1, regs: RegFile::new() });
+        e.fork(TriggerFork {
+            cmas: 1,
+            regs: RegFile::new(),
+        });
         assert_eq!(e.stats().forks, 1);
         assert_eq!(e.stats().dropped_forks, 1);
     }
@@ -558,15 +599,22 @@ mod tests {
         let mut e = CmpEngine::new(CmpConfig::default(), vec![prog]);
         fork_with(&mut e, &[]);
         let (mut ms, mut qf, mut mem, mut tr) = ctx_parts();
-        let mut ctx =
-            CoreCtx { mem_sys: &mut ms, queues: &mut qf, data: &mut mem, triggers: &mut tr };
+        let mut ctx = CoreCtx {
+            mem_sys: &mut ms,
+            queues: &mut qf,
+            data: &mut mem,
+            triggers: &mut tr,
+        };
         assert!(e.step(0, &mut ctx).is_err());
     }
 
     #[test]
     fn stale_trigger_id_ignored() {
         let mut e = CmpEngine::new(CmpConfig::default(), vec![]);
-        e.fork(TriggerFork { cmas: 7, regs: RegFile::new() });
+        e.fork(TriggerFork {
+            cmas: 7,
+            regs: RegFile::new(),
+        });
         assert_eq!(e.live_threads(), 0);
         assert_eq!(e.stats().forks, 0);
     }

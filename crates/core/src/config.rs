@@ -2,8 +2,8 @@
 //! Table-1 parameter presets.
 
 use crate::cmp::CmpConfig;
-use hidisc_mem::MemConfig;
-use hidisc_ooo::{CoreConfig, QueueConfig};
+use hidisc_mem::{CacheConfig, MemConfig};
+use hidisc_ooo::{CoreConfig, QueueConfig, Scheduler};
 
 /// The four architecture models evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,9 +84,250 @@ pub struct MachineConfig {
     pub ff_check: bool,
 }
 
+/// A machine configuration rejected by [`MachineConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A structural parameter that must be at least 1 is zero (cache sets
+    /// or ways, pipeline widths, window sizes, queue capacities, ...).
+    Zero {
+        /// Dotted path of the offending field, e.g. `"queues.cq"`.
+        what: &'static str,
+    },
+    /// A geometry parameter that the address math requires to be a power
+    /// of two (cache sets, block sizes, predictor entries) is not.
+    NotPowerOfTwo {
+        /// Dotted path of the offending field, e.g. `"mem.l1.block_bytes"`.
+        what: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Zero { what } => {
+                write!(f, "invalid machine config: {what} must be at least 1")
+            }
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(
+                    f,
+                    "invalid machine config: {what} must be a power of two (got {value})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`MachineConfig`], obtained from
+/// [`MachineConfig::builder`]. Starts from the Table-1 paper preset; every
+/// setter overrides one piece, and [`build`](MachineConfigBuilder::build)
+/// checks the result instead of panicking deep inside a construction.
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineConfigBuilder {
+    /// Baseline / merged-stream core configuration.
+    pub fn superscalar(mut self, c: CoreConfig) -> Self {
+        self.cfg.superscalar = c;
+        self
+    }
+
+    /// Computation Processor core configuration.
+    pub fn cp(mut self, c: CoreConfig) -> Self {
+        self.cfg.cp = c;
+        self
+    }
+
+    /// Access Processor core configuration.
+    pub fn ap(mut self, c: CoreConfig) -> Self {
+        self.cfg.ap = c;
+        self
+    }
+
+    /// Cache Management Processor configuration.
+    pub fn cmp(mut self, c: CmpConfig) -> Self {
+        self.cfg.cmp = c;
+        self
+    }
+
+    /// Memory-hierarchy configuration.
+    pub fn mem(mut self, m: MemConfig) -> Self {
+        self.cfg.mem = m;
+        self
+    }
+
+    /// The Figure-10 latency override: `(l2_latency, mem_latency)`.
+    pub fn latency(mut self, l2: u32, mem: u32) -> Self {
+        self.cfg.mem = MemConfig::paper_with_latency(l2, mem);
+        self
+    }
+
+    /// Architectural queue capacities.
+    pub fn queues(mut self, q: QueueConfig) -> Self {
+        self.cfg.queues = q;
+        self
+    }
+
+    /// Issue-stage scheduler for every core of the machine.
+    pub fn scheduler(mut self, s: Scheduler) -> Self {
+        self.cfg.superscalar.scheduler = s;
+        self.cfg.cp.scheduler = s;
+        self.cfg.ap.scheduler = s;
+        self
+    }
+
+    /// Progress-watchdog threshold in commit-free cycles.
+    pub fn deadlock_cycles(mut self, n: u64) -> Self {
+        self.cfg.deadlock_cycles = n;
+        self
+    }
+
+    /// Hard cycle budget.
+    pub fn max_cycles(mut self, n: u64) -> Self {
+        self.cfg.max_cycles = n;
+        self
+    }
+
+    /// Enables or disables idle-cycle fast-forward.
+    pub fn fast_forward(mut self, on: bool) -> Self {
+        self.cfg.fast_forward = on;
+        self
+    }
+
+    /// Enables the differential fast-forward check (slow; tests only).
+    pub fn ff_check(mut self, on: bool) -> Self {
+        self.cfg.ff_check = on;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<MachineConfig, ConfigError> {
+        fn nonzero(v: u64, what: &'static str) -> Result<(), ConfigError> {
+            if v == 0 {
+                return Err(ConfigError::Zero { what });
+            }
+            Ok(())
+        }
+        fn pow2(v: u64, what: &'static str) -> Result<(), ConfigError> {
+            nonzero(v, what)?;
+            if !v.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo { what, value: v });
+            }
+            Ok(())
+        }
+        fn cache(
+            c: &CacheConfig,
+            sets: &'static str,
+            ways: &'static str,
+            block: &'static str,
+        ) -> Result<(), ConfigError> {
+            pow2(c.sets as u64, sets)?;
+            nonzero(c.ways as u64, ways)?;
+            pow2(c.block_bytes as u64, block)
+        }
+        fn core(
+            c: &CoreConfig,
+            widths: [&'static str; 4],
+            ruu: &'static str,
+            pred: &'static str,
+        ) -> Result<(), ConfigError> {
+            nonzero(c.fetch_width as u64, widths[0])?;
+            nonzero(c.dispatch_width as u64, widths[1])?;
+            nonzero(c.issue_width as u64, widths[2])?;
+            nonzero(c.commit_width as u64, widths[3])?;
+            nonzero(c.ruu_size as u64, ruu)?;
+            pow2(c.predictor_entries as u64, pred)
+        }
+
+        let c = &self.cfg;
+        cache(
+            &c.mem.l1,
+            "mem.l1.sets",
+            "mem.l1.ways",
+            "mem.l1.block_bytes",
+        )?;
+        cache(
+            &c.mem.l2,
+            "mem.l2.sets",
+            "mem.l2.ways",
+            "mem.l2.block_bytes",
+        )?;
+        nonzero(c.mem.mshrs as u64, "mem.mshrs")?;
+        core(
+            &c.superscalar,
+            [
+                "superscalar.fetch_width",
+                "superscalar.dispatch_width",
+                "superscalar.issue_width",
+                "superscalar.commit_width",
+            ],
+            "superscalar.ruu_size",
+            "superscalar.predictor_entries",
+        )?;
+        core(
+            &c.cp,
+            [
+                "cp.fetch_width",
+                "cp.dispatch_width",
+                "cp.issue_width",
+                "cp.commit_width",
+            ],
+            "cp.ruu_size",
+            "cp.predictor_entries",
+        )?;
+        core(
+            &c.ap,
+            [
+                "ap.fetch_width",
+                "ap.dispatch_width",
+                "ap.issue_width",
+                "ap.commit_width",
+            ],
+            "ap.ruu_size",
+            "ap.predictor_entries",
+        )?;
+        nonzero(c.queues.ldq as u64, "queues.ldq")?;
+        nonzero(c.queues.sdq as u64, "queues.sdq")?;
+        nonzero(c.queues.cdq as u64, "queues.cdq")?;
+        nonzero(c.queues.cq as u64, "queues.cq")?;
+        nonzero(c.queues.scq as u64, "queues.scq")?;
+        nonzero(c.cmp.max_threads as u64, "cmp.max_threads")?;
+        nonzero(c.cmp.issue_width as u64, "cmp.issue_width")?;
+        nonzero(c.cmp.thread_width as u64, "cmp.thread_width")?;
+        Ok(self.cfg)
+    }
+}
+
 impl MachineConfig {
+    /// A validating builder seeded with the Table-1 paper preset.
+    pub fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder {
+            cfg: MachineConfig::paper_unchecked(),
+        }
+    }
+
     /// The Table-1 configuration.
     pub fn paper() -> MachineConfig {
+        MachineConfig::builder()
+            .build()
+            .expect("the paper preset is valid")
+    }
+
+    /// Table-1 configuration with the Figure-10 latency override.
+    pub fn paper_with_latency(l2: u32, mem: u32) -> MachineConfig {
+        MachineConfig::builder()
+            .latency(l2, mem)
+            .build()
+            .expect("the paper preset is valid at any latency")
+    }
+
+    /// The raw Table-1 literal the builder starts from.
+    fn paper_unchecked() -> MachineConfig {
         MachineConfig {
             superscalar: CoreConfig::paper_superscalar(),
             cp: CoreConfig::paper_cp(),
@@ -99,13 +340,6 @@ impl MachineConfig {
             fast_forward: true,
             ff_check: false,
         }
-    }
-
-    /// Table-1 configuration with the Figure-10 latency override.
-    pub fn paper_with_latency(l2: u32, mem: u32) -> MachineConfig {
-        let mut c = MachineConfig::paper();
-        c.mem = MemConfig::paper_with_latency(l2, mem);
-        c
     }
 }
 
@@ -139,5 +373,97 @@ mod tests {
         assert_eq!(c.ap.ruu_size, 64);
         let f10 = MachineConfig::paper_with_latency(16, 160);
         assert_eq!(f10.mem.l2.latency, 16);
+    }
+
+    #[test]
+    fn builder_accepts_paper_overrides() {
+        let c = MachineConfig::builder()
+            .latency(16, 160)
+            .scheduler(Scheduler::Scan)
+            .deadlock_cycles(5_000)
+            .fast_forward(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.mem.l2.latency, 16);
+        assert_eq!(c.mem.mem_latency, 160);
+        assert_eq!(c.superscalar.scheduler, Scheduler::Scan);
+        assert_eq!(c.cp.scheduler, Scheduler::Scan);
+        assert_eq!(c.ap.scheduler, Scheduler::Scan);
+        assert_eq!(c.deadlock_cycles, 5_000);
+        assert!(!c.fast_forward);
+    }
+
+    #[test]
+    fn builder_rejects_zero_cache_geometry() {
+        let mut mem = MemConfig::paper();
+        mem.l1.sets = 0;
+        let err = MachineConfig::builder().mem(mem).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Zero {
+                what: "mem.l1.sets"
+            }
+        );
+
+        let mut mem = MemConfig::paper();
+        mem.l2.ways = 0;
+        let err = MachineConfig::builder().mem(mem).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Zero {
+                what: "mem.l2.ways"
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_non_power_of_two_blocks() {
+        let mut mem = MemConfig::paper();
+        mem.l1.block_bytes = 48;
+        let err = MachineConfig::builder().mem(mem).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::NotPowerOfTwo {
+                what: "mem.l1.block_bytes",
+                value: 48
+            }
+        );
+        assert!(err.to_string().contains("power of two"));
+        assert!(err.to_string().contains("48"));
+    }
+
+    #[test]
+    fn builder_rejects_zero_widths_and_windows() {
+        let mut core = CoreConfig::paper_superscalar();
+        core.issue_width = 0;
+        let err = MachineConfig::builder()
+            .superscalar(core)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Zero {
+                what: "superscalar.issue_width"
+            }
+        );
+
+        let mut cp = CoreConfig::paper_cp();
+        cp.ruu_size = 0;
+        let err = MachineConfig::builder().cp(cp).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Zero {
+                what: "cp.ruu_size"
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_queue_capacities() {
+        let mut q = QueueConfig::paper();
+        q.cq = 0;
+        let err = MachineConfig::builder().queues(q).build().unwrap_err();
+        assert_eq!(err, ConfigError::Zero { what: "queues.cq" });
+        assert!(err.to_string().contains("queues.cq"));
     }
 }

@@ -64,7 +64,11 @@ impl Default for DynamicConfig {
 impl DynamicConfig {
     /// Both extensions on, with default tuning.
     pub fn all_on() -> DynamicConfig {
-        DynamicConfig { adaptive_slip: true, selective_trigger: true, ..DynamicConfig::default() }
+        DynamicConfig {
+            adaptive_slip: true,
+            selective_trigger: true,
+            ..DynamicConfig::default()
+        }
     }
 }
 
@@ -165,7 +169,11 @@ pub struct SliceFilter {
 impl SliceFilter {
     /// Creates a filter for `n` slices.
     pub fn new(cfg: DynamicConfig, n: usize) -> SliceFilter {
-        SliceFilter { cfg, slices: vec![SliceHistory::default(); n], suppressed_forks: 0 }
+        SliceFilter {
+            cfg,
+            slices: vec![SliceHistory::default(); n],
+            suppressed_forks: 0,
+        }
     }
 
     /// Records the outcome of one prefetch issued by slice `id`
@@ -230,7 +238,11 @@ mod tests {
     }
 
     fn cfg() -> DynamicConfig {
-        DynamicConfig { adaptive_slip: true, sample_period: 4, ..DynamicConfig::default() }
+        DynamicConfig {
+            adaptive_slip: true,
+            sample_period: 4,
+            ..DynamicConfig::default()
+        }
     }
 
     #[test]
@@ -308,8 +320,14 @@ mod tests {
         }
         assert!(f.is_suppressed(0));
         let outcomes: Vec<bool> = (0..6).map(|_| f.allow(0)).collect();
-        assert!(outcomes.iter().any(|&a| a), "probation must admit some forks");
-        assert!(outcomes.iter().any(|&a| !a), "suppression must reject some forks");
+        assert!(
+            outcomes.iter().any(|&a| a),
+            "probation must admit some forks"
+        );
+        assert!(
+            outcomes.iter().any(|&a| !a),
+            "suppression must reject some forks"
+        );
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Typed errors from the machine run API.
+
+use crate::config::Model;
+use hidisc_isa::IsaError;
+
+/// Why a [`Machine::run`](crate::Machine::run) did not reach completion.
+///
+/// The `Display` output of the watchdog and budget variants reproduces the
+/// historical string messages exactly, so log scrapers and substring
+/// assertions written against the old `String` errors keep working.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The progress watchdog fired: no instruction committed for
+    /// `deadlock_cycles` consecutive cycles — a deadlock (e.g. a mis-sliced
+    /// program starving a queue pop) or a livelock.
+    Watchdog {
+        /// The model that hung.
+        model: Model,
+        /// Commit-free cycles observed when the watchdog fired.
+        idle: u64,
+        /// Machine clock at the time of the error.
+        cycle: u64,
+        /// Fetch pc of the first unfinished core — where the front end was
+        /// stuck (0 when no core was identifiable).
+        pc: u32,
+    },
+    /// The hard cycle budget (`max_cycles`) was exhausted.
+    CycleBudget {
+        /// The configured budget.
+        limit: u64,
+    },
+    /// Functional execution failed (bad memory access, fp misuse, ...).
+    Exec(IsaError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Watchdog {
+                model, idle, cycle, ..
+            } => write!(
+                f,
+                "machine {model} made no progress for {idle} cycles (deadlock?) at cycle {cycle}"
+            ),
+            RunError::CycleBudget { limit } => write!(f, "cycle budget exceeded ({limit})"),
+            RunError::Exec(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for RunError {
+    fn from(e: IsaError) -> RunError {
+        RunError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The typed errors must render the exact historical messages: tooling
+    /// and tests match on these substrings.
+    #[test]
+    fn display_is_backward_compatible() {
+        let w = RunError::Watchdog {
+            model: Model::HiDisc,
+            idle: 100_001,
+            cycle: 123_456,
+            pc: 7,
+        };
+        assert_eq!(
+            w.to_string(),
+            "machine HiDISC made no progress for 100001 cycles (deadlock?) at cycle 123456"
+        );
+        let b = RunError::CycleBudget { limit: 2_000 };
+        assert_eq!(b.to_string(), "cycle budget exceeded (2000)");
+        let e = RunError::Exec(IsaError::Exec {
+            pc: 9,
+            msg: "fp instruction on core CP".into(),
+        });
+        assert_eq!(
+            e.to_string(),
+            "execution error at pc 9: fp instruction on core CP"
+        );
+    }
+}

@@ -87,7 +87,13 @@ impl<'a> StreamCtx<'a> {
         for &(r, v) in init {
             regs.set_i(r, v);
         }
-        StreamCtx { prog, pc: 0, regs, halted: false, steps: 0 }
+        StreamCtx {
+            prog,
+            pc: 0,
+            regs,
+            halted: false,
+            steps: 0,
+        }
     }
 }
 
@@ -115,7 +121,12 @@ pub fn run_decoupled(
             let mut burst = 0;
             while !s.halted && burst < 50_000 {
                 match hidisc_isa::interp::step_at(
-                    s.prog, s.pc, &mut s.regs, &mut mem, &mut env, &mut hook,
+                    s.prog,
+                    s.pc,
+                    &mut s.regs,
+                    &mut mem,
+                    &mut env,
+                    &mut hook,
                 )? {
                     Step::Next(n) => {
                         s.pc = n;
@@ -172,20 +183,27 @@ pub fn run_decoupled(
 
 /// Compiles nothing — validates an already-compiled workload: the
 /// decoupled functional run must reproduce the sequential memory image.
-pub fn validate(
-    w: &hidisc_slicer::CompiledWorkload,
-    env: &hidisc_slicer::ExecEnv,
-) -> Result<()> {
+pub fn validate(w: &hidisc_slicer::CompiledWorkload, env: &hidisc_slicer::ExecEnv) -> Result<()> {
     // Sequential golden run.
     let mut seq = hidisc_isa::interp::Interp::new(&w.original, env.mem.clone());
     for &(r, v) in &env.regs {
         seq.set_reg(r, v);
     }
-    let max = if env.max_steps == 0 { u64::MAX } else { env.max_steps };
+    let max = if env.max_steps == 0 {
+        u64::MAX
+    } else {
+        env.max_steps
+    };
     seq.run(max)?;
 
     // Decoupled run.
-    let d = run_decoupled(&w.cs, &w.access, &env.regs, env.mem.clone(), max.saturating_mul(4))?;
+    let d = run_decoupled(
+        &w.cs,
+        &w.access,
+        &env.regs,
+        env.mem.clone(),
+        max.saturating_mul(4),
+    )?;
 
     if d.mem.checksum() != seq.mem.checksum() {
         return Err(IsaError::Exec {
@@ -217,7 +235,11 @@ mod tests {
         for &(a, v) in mem_init {
             mem.write_i64(a, v).unwrap();
         }
-        let env = ExecEnv { regs: vec![], mem, max_steps: 10_000_000 };
+        let env = ExecEnv {
+            regs: vec![],
+            mem,
+            max_steps: 10_000_000,
+        };
         let w = compile(&p, &env, &CompilerConfig::default()).unwrap();
         validate(&w, &env).unwrap();
     }

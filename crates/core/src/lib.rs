@@ -30,12 +30,15 @@
 pub mod cmp;
 pub mod config;
 pub mod dynamic;
+pub mod error;
 pub mod funcval;
 pub mod machine;
 pub mod stats;
 
 pub use cmp::{CmpConfig, CmpEngine, CmpStats};
+pub use config::{ConfigError, MachineConfig, MachineConfigBuilder, Model};
 pub use dynamic::DynamicConfig;
-pub use config::{MachineConfig, Model};
-pub use machine::{run_model, Machine};
+pub use error::RunError;
+pub use hidisc_ooo::Scheduler;
+pub use machine::{run_model, Machine, Observer};
 pub use stats::MachineStats;

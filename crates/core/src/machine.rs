@@ -3,14 +3,38 @@
 
 use crate::cmp::{CmpEngine, CmpStats};
 use crate::config::{MachineConfig, Model};
+use crate::error::RunError;
 use crate::stats::MachineStats;
 use hidisc_isa::mem::Memory;
-use hidisc_isa::{IntReg, IsaError, Program, Queue, Result};
+use hidisc_isa::{IntReg, Program, Queue};
 use hidisc_mem::{MemStats, MemSystem};
 use hidisc_ooo::queues::QueueStats;
 use hidisc_ooo::{CoreCtx, CoreStats, OooCore, QueueFile, TriggerFork};
 use hidisc_slicer::{CompiledWorkload, ExecEnv};
+use std::ops::ControlFlow;
 use std::time::Instant;
+
+/// A per-cycle observer hooked into [`Machine::run_observed`]: called after
+/// every stepped cycle until it returns [`ControlFlow::Break`], after which
+/// observation stops (and fast-forward may engage) while the simulation
+/// runs on.
+///
+/// Closures observe directly — any `FnMut(&Machine) -> bool` is an
+/// `Observer` through the blanket impl below (`true` = keep observing).
+pub trait Observer {
+    /// Inspects the machine after a cycle; `Break` ends observation.
+    fn on_cycle(&mut self, m: &Machine) -> ControlFlow<()>;
+}
+
+impl<F: FnMut(&Machine) -> bool> Observer for F {
+    fn on_cycle(&mut self, m: &Machine) -> ControlFlow<()> {
+        if self(m) {
+            ControlFlow::Continue(())
+        } else {
+            ControlFlow::Break(())
+        }
+    }
+}
 
 /// Removes CMP integration annotations — used for the baseline
 /// superscalar, which runs the original binary untouched.
@@ -101,12 +125,7 @@ impl FfState {
 impl Machine {
     /// Builds a machine of the given model around a compiled workload,
     /// with the workload's initial registers and memory image.
-    pub fn new(
-        model: Model,
-        w: &CompiledWorkload,
-        env: &ExecEnv,
-        cfg: MachineConfig,
-    ) -> Machine {
+    pub fn new(model: Model, w: &CompiledWorkload, env: &ExecEnv, cfg: MachineConfig) -> Machine {
         let mut cores = Vec::new();
         match model {
             Model::Superscalar => {
@@ -117,7 +136,11 @@ impl Machine {
                 ));
             }
             Model::CpCmp => {
-                cores.push(OooCore::new("superscalar+", cfg.superscalar, w.original.clone()));
+                cores.push(OooCore::new(
+                    "superscalar+",
+                    cfg.superscalar,
+                    w.original.clone(),
+                ));
             }
             Model::CpAp | Model::HiDisc => {
                 cores.push(OooCore::new("CP", cfg.cp, w.cs.clone()));
@@ -153,12 +176,34 @@ impl Machine {
         self.now
     }
 
+    /// Fetch pc of the first unfinished core — where the front end is
+    /// stuck when the watchdog fires.
+    fn stuck_pc(&self) -> u32 {
+        self.cores
+            .iter()
+            .find(|c| !c.is_done())
+            .map_or(0, |c| c.fetch_pc())
+    }
+
     /// Steps every processor of the machine through one cycle at time
     /// `self.now` (the caller advances the clock).
-    fn step_cycle(&mut self, triggers: &mut Vec<TriggerFork>) -> Result<()> {
-        let Machine { cores, cmp, queues, mem_sys, data, now, .. } = self;
+    fn step_cycle(&mut self, triggers: &mut Vec<TriggerFork>) -> hidisc_isa::Result<()> {
+        let Machine {
+            cores,
+            cmp,
+            queues,
+            mem_sys,
+            data,
+            now,
+            ..
+        } = self;
         for core in cores.iter_mut() {
-            let mut ctx = CoreCtx { mem_sys, queues, data, triggers };
+            let mut ctx = CoreCtx {
+                mem_sys,
+                queues,
+                data,
+                triggers,
+            };
             core.step(*now, &mut ctx)?;
         }
         if let Some(engine) = cmp.as_mut() {
@@ -166,7 +211,12 @@ impl Machine {
                 engine.fork(t);
             }
             let mut unused = Vec::new();
-            let mut ctx = CoreCtx { mem_sys, queues, data, triggers: &mut unused };
+            let mut ctx = CoreCtx {
+                mem_sys,
+                queues,
+                data,
+                triggers: &mut unused,
+            };
             engine.step(*now, &mut ctx)?;
         } else {
             triggers.clear();
@@ -214,7 +264,12 @@ impl Machine {
         // fill's `ready_at`; wake early by the largest such lead (clamped
         // to stay strictly after `now`).
         if let Some(r) = self.mem_sys.next_event(now) {
-            let lead = self.cores.iter().map(|c| c.access_lead()).max().unwrap_or(0);
+            let lead = self
+                .cores
+                .iter()
+                .map(|c| c.access_lead())
+                .max()
+                .unwrap_or(0);
             fold(Some(r.saturating_sub(lead).max(now + 1)));
         }
         if let Some(e) = &self.cmp {
@@ -242,14 +297,8 @@ impl Machine {
     /// would repeat it bit-for-bit. The jump multiplies the delta in,
     /// advances the clock, and keeps the watchdog/budget error cycles (and
     /// messages) identical to the per-cycle loop — capping the jump so
-    /// those errors still fire exactly on time. `plain_errors` selects
-    /// between `run`'s and `run_observed`'s historical messages.
-    fn ff_after_cycle(
-        &mut self,
-        ff: &mut FfState,
-        idle: &mut u64,
-        plain_errors: bool,
-    ) -> Result<()> {
+    /// those errors still fire exactly on time.
+    fn ff_after_cycle(&mut self, ff: &mut FfState, idle: &mut u64) -> Result<(), RunError> {
         if ff.cooldown > 0 {
             ff.cooldown -= 1;
             return Ok(());
@@ -285,7 +334,9 @@ impl Machine {
         // (self.now - 1, e) would itself be an event, so cycles
         // self.now .. e-1 replay the measured idle cycle exactly.
         let next_cycle = self.now;
-        let j_event = self.next_event_after(next_cycle - 1).map(|e| e - next_cycle);
+        let j_event = self
+            .next_event_after(next_cycle - 1)
+            .map(|e| e - next_cycle);
         // The watchdog would fire after `j_dead` more commit-free cycles,
         // the budget after `j_budget` more cycles (both ≥ 1 here, or the
         // caller's own checks would already have erred).
@@ -302,8 +353,10 @@ impl Machine {
         let shadow = self.cfg.ff_check.then(|| self.clone());
 
         // Replay j idle cycles in one step.
-        for (core, (now_s, prev_s)) in
-            self.cores.iter_mut().zip(snap.cores.iter().zip(&prev.cores))
+        for (core, (now_s, prev_s)) in self
+            .cores
+            .iter_mut()
+            .zip(snap.cores.iter().zip(&prev.cores))
         {
             core.add_idle_stats(&now_s.delta_since(prev_s), j);
         }
@@ -314,7 +367,10 @@ impl Machine {
         self.queues.add_idle_scaled(&dq, j);
         debug_assert_eq!(
             snap.mem,
-            MemStats { mshr_rejects: snap.mem.mshr_rejects, ..prev.mem },
+            MemStats {
+                mshr_rejects: snap.mem.mshr_rejects,
+                ..prev.mem
+            },
             "fast-forward measured a non-idle memory delta"
         );
         self.mem_sys
@@ -335,43 +391,42 @@ impl Machine {
         if let Some(mut sh) = shadow {
             let mut trig = Vec::new();
             for _ in 0..j {
-                sh.step_cycle(&mut trig).expect("differential shadow step failed");
+                sh.step_cycle(&mut trig)
+                    .expect("differential shadow step failed");
                 sh.now += 1;
             }
             assert_eq!(self.now, sh.now, "fast-forward clock diverged");
-            assert_eq!(self.ff_snapshot(), sh.ff_snapshot(), "fast-forward statistics diverged");
+            assert_eq!(
+                self.ff_snapshot(),
+                sh.ff_snapshot(),
+                "fast-forward statistics diverged"
+            );
             assert_eq!(
                 self.progress_token(),
                 sh.progress_token(),
                 "fast-forward structural state diverged"
             );
-            assert_eq!(self.data.checksum(), sh.data.checksum(), "fast-forward memory diverged");
+            assert_eq!(
+                self.data.checksum(),
+                sh.data.checksum(),
+                "fast-forward memory diverged"
+            );
         }
 
         // If the jump landed on a watchdog/budget bound, raise the same
         // error the per-cycle loop would have (deadlock is checked first
         // there, so it wins ties).
         if j == j_dead && j_dead <= j_budget {
-            return Err(IsaError::Exec {
-                pc: 0,
-                msg: if plain_errors {
-                    format!(
-                        "machine {} made no progress for {} cycles (deadlock?) at cycle {}",
-                        self.model, idle, self.now
-                    )
-                } else {
-                    format!("machine {} deadlocked at cycle {}", self.model, self.now)
-                },
+            return Err(RunError::Watchdog {
+                model: self.model,
+                idle: *idle,
+                cycle: self.now,
+                pc: self.stuck_pc(),
             });
         }
         if j == j_budget {
-            return Err(IsaError::Exec {
-                pc: 0,
-                msg: if plain_errors {
-                    format!("cycle budget exceeded ({})", self.cfg.max_cycles)
-                } else {
-                    "cycle budget exceeded".into()
-                },
+            return Err(RunError::CycleBudget {
+                limit: self.cfg.max_cycles,
             });
         }
         Ok(())
@@ -381,7 +436,7 @@ impl Machine {
     ///
     /// `work_instrs` is the dynamic instruction count of the original
     /// sequential program — the IPC denominator shared by all models.
-    pub fn run(&mut self, work_instrs: u64) -> Result<MachineStats> {
+    pub fn run(&mut self, work_instrs: u64) -> Result<MachineStats, RunError> {
         let t0 = Instant::now();
         let mut triggers: Vec<TriggerFork> = Vec::new();
         let mut last_committed = 0u64;
@@ -398,12 +453,11 @@ impl Machine {
             if committed == last_committed {
                 idle += 1;
                 if idle > self.cfg.deadlock_cycles {
-                    return Err(IsaError::Exec {
-                        pc: 0,
-                        msg: format!(
-                            "machine {} made no progress for {} cycles (deadlock?) at cycle {}",
-                            self.model, idle, self.now
-                        ),
+                    return Err(RunError::Watchdog {
+                        model: self.model,
+                        idle,
+                        cycle: self.now,
+                        pc: self.stuck_pc(),
                     });
                 }
             } else {
@@ -411,16 +465,15 @@ impl Machine {
                 last_committed = committed;
             }
             if self.now > self.cfg.max_cycles {
-                return Err(IsaError::Exec {
-                    pc: 0,
-                    msg: format!("cycle budget exceeded ({})", self.cfg.max_cycles),
+                return Err(RunError::CycleBudget {
+                    limit: self.cfg.max_cycles,
                 });
             }
             if ff_on {
                 if idle == 0 {
                     ff.reset();
                 } else {
-                    self.ff_after_cycle(&mut ff, &mut idle, true)?;
+                    self.ff_after_cycle(&mut ff, &mut idle)?;
                 }
             }
         }
@@ -466,7 +519,7 @@ pub fn run_model(
     w: &CompiledWorkload,
     env: &ExecEnv,
     cfg: MachineConfig,
-) -> Result<MachineStats> {
+) -> Result<MachineStats, RunError> {
     let mut m = Machine::new(model, w, env, cfg);
     m.run(w.profile.dyn_instrs)
 }
@@ -498,7 +551,11 @@ mod tests {
         for i in 0..4096u64 {
             mem.write_i64(0x100000 + i * 8, i as i64).unwrap();
         }
-        let env = ExecEnv { regs: vec![], mem, max_steps: 10_000_000 };
+        let env = ExecEnv {
+            regs: vec![],
+            mem,
+            max_steps: 10_000_000,
+        };
         let w = compile(&p, &env, &CompilerConfig::default()).unwrap();
         (w, env)
     }
@@ -562,17 +619,34 @@ mod tests {
     #[test]
     fn latency_sweep_hurts_baseline_more() {
         let (w, env) = compiled();
-        let base_fast =
-            run_model(Model::Superscalar, &w, &env, MachineConfig::paper_with_latency(4, 40))
-                .unwrap();
-        let base_slow =
-            run_model(Model::Superscalar, &w, &env, MachineConfig::paper_with_latency(16, 160))
-                .unwrap();
-        let hd_fast =
-            run_model(Model::HiDisc, &w, &env, MachineConfig::paper_with_latency(4, 40)).unwrap();
-        let hd_slow =
-            run_model(Model::HiDisc, &w, &env, MachineConfig::paper_with_latency(16, 160))
-                .unwrap();
+        let base_fast = run_model(
+            Model::Superscalar,
+            &w,
+            &env,
+            MachineConfig::paper_with_latency(4, 40),
+        )
+        .unwrap();
+        let base_slow = run_model(
+            Model::Superscalar,
+            &w,
+            &env,
+            MachineConfig::paper_with_latency(16, 160),
+        )
+        .unwrap();
+        let hd_fast = run_model(
+            Model::HiDisc,
+            &w,
+            &env,
+            MachineConfig::paper_with_latency(4, 40),
+        )
+        .unwrap();
+        let hd_slow = run_model(
+            Model::HiDisc,
+            &w,
+            &env,
+            MachineConfig::paper_with_latency(16, 160),
+        )
+        .unwrap();
         let base_loss = base_fast.ipc() / base_slow.ipc();
         let hd_loss = hd_fast.ipc() / hd_slow.ipc();
         assert!(
@@ -593,13 +667,13 @@ impl Machine {
         self.cmp.as_ref().map(|c| c.live_threads())
     }
 
-    /// Runs like [`Machine::run`] but invokes `observer` after every cycle
-    /// until it returns `false` (observation stops; simulation continues).
+    /// Runs like [`Machine::run`] but invokes the [`Observer`] after every
+    /// cycle until it breaks (observation stops; simulation continues).
     pub fn run_observed(
         &mut self,
         work_instrs: u64,
-        mut observer: impl FnMut(&Machine) -> bool,
-    ) -> Result<MachineStats> {
+        mut observer: impl Observer,
+    ) -> Result<MachineStats, RunError> {
         let t0 = Instant::now();
         let mut observing = true;
         let mut triggers: Vec<TriggerFork> = Vec::new();
@@ -611,15 +685,17 @@ impl Machine {
             self.step_cycle(&mut triggers)?;
             self.now += 1;
             if observing {
-                observing = observer(self);
+                observing = observer.on_cycle(self).is_continue();
             }
             let committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
             if committed == last_committed {
                 idle += 1;
                 if idle > self.cfg.deadlock_cycles {
-                    return Err(IsaError::Exec {
-                        pc: 0,
-                        msg: format!("machine {} deadlocked at cycle {}", self.model, self.now),
+                    return Err(RunError::Watchdog {
+                        model: self.model,
+                        idle,
+                        cycle: self.now,
+                        pc: self.stuck_pc(),
                     });
                 }
             } else {
@@ -627,7 +703,9 @@ impl Machine {
                 last_committed = committed;
             }
             if self.now > self.cfg.max_cycles {
-                return Err(IsaError::Exec { pc: 0, msg: "cycle budget exceeded".into() });
+                return Err(RunError::CycleBudget {
+                    limit: self.cfg.max_cycles,
+                });
             }
             // Fast-forwarding would hide cycles from an active observer, so
             // it only engages once observation has stopped.
@@ -635,7 +713,7 @@ impl Machine {
                 if idle == 0 {
                     ff.reset();
                 } else {
-                    self.ff_after_cycle(&mut ff, &mut idle, false)?;
+                    self.ff_after_cycle(&mut ff, &mut idle)?;
                 }
             }
         }
@@ -657,12 +735,16 @@ mod observer_tests {
             "li r1, 0x1000\nli r2, 32\nloop:\nld r3, 0(r1)\nadd r1, r1, 8\nsub r2, r2, 1\nbne r2, r0, loop\nhalt",
         )
         .unwrap();
-        let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 100_000 };
+        let env = ExecEnv {
+            regs: vec![],
+            mem: Memory::new(),
+            max_steps: 100_000,
+        };
         let w = compile(&p, &env, &CompilerConfig::default()).unwrap();
         let mut m = Machine::new(Model::HiDisc, &w, &env, MachineConfig::paper());
         let mut observed = 0u64;
         let st = m
-            .run_observed(w.profile.dyn_instrs, |mach| {
+            .run_observed(w.profile.dyn_instrs, |mach: &Machine| {
                 observed += 1;
                 assert_eq!(mach.now(), observed);
                 assert_eq!(mach.snapshots().len(), 2); // CP + AP
@@ -680,13 +762,17 @@ mod observer_tests {
             "li r1, 0x1000\nli r2, 16\nloop:\nld r3, 0(r1)\nsd r3, 0x100(r1)\nadd r1, r1, 8\nsub r2, r2, 1\nbne r2, r0, loop\nhalt",
         )
         .unwrap();
-        let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 100_000 };
+        let env = ExecEnv {
+            regs: vec![],
+            mem: Memory::new(),
+            max_steps: 100_000,
+        };
         let w = compile(&p, &env, &CompilerConfig::default()).unwrap();
         let a = Machine::new(Model::HiDisc, &w, &env, MachineConfig::paper())
             .run(w.profile.dyn_instrs)
             .unwrap();
         let b = Machine::new(Model::HiDisc, &w, &env, MachineConfig::paper())
-            .run_observed(w.profile.dyn_instrs, |_| true)
+            .run_observed(w.profile.dyn_instrs, |_: &Machine| true)
             .unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.mem_checksum, b.mem_checksum);

@@ -43,7 +43,11 @@ fn workload_with(cc: &CompilerConfig) -> (hidisc_slicer::CompiledWorkload, ExecE
         ",
     )
     .unwrap();
-    let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 10_000_000 };
+    let env = ExecEnv {
+        regs: vec![],
+        mem: Memory::new(),
+        max_steps: 10_000_000,
+    };
     let w = compile(&prog, &env, cc).unwrap();
     (w, env)
 }
@@ -63,7 +67,10 @@ fn dynamic_machine_is_architecturally_identical() {
     // Performance in the same ballpark (the controllers must not wreck the
     // machine).
     let ratio = plain.cycles as f64 / dynamic.cycles as f64;
-    assert!((0.7..1.4).contains(&ratio), "dynamic/static cycle ratio {ratio:.3}");
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "dynamic/static cycle ratio {ratio:.3}"
+    );
 }
 
 #[test]
@@ -85,9 +92,17 @@ fn selective_trigger_suppresses_hot_region_slices() {
     // gets a CMAS. At run time its prefetches almost always hit (the
     // region stays hot across the 64 outer iterations), so the filter
     // must start suppressing its forks.
-    let cc = CompilerConfig { miss_rate_threshold: 0.001, min_misses: 4, ..Default::default() };
+    let cc = CompilerConfig {
+        miss_rate_threshold: 0.001,
+        min_misses: 4,
+        ..Default::default()
+    };
     let (w, env) = workload_with(&cc);
-    assert!(w.cmas.len() >= 2, "both phases must have slices ({})", w.cmas.len());
+    assert!(
+        w.cmas.len() >= 2,
+        "both phases must have slices ({})",
+        w.cmas.len()
+    );
     let mut cfg = cfg_with_dynamic();
     cfg.cmp.dynamic.min_observations = 32;
     let st = run_model(Model::HiDisc, &w, &env, cfg).unwrap();

@@ -12,7 +12,11 @@ use hidisc_slicer::{compile, CompilerConfig, ExecEnv};
 use hidisc_workloads::{suite, Scale, Workload};
 
 fn env_of(w: &Workload) -> ExecEnv {
-    ExecEnv { regs: w.regs.clone(), mem: w.mem.clone(), max_steps: w.max_steps }
+    ExecEnv {
+        regs: w.regs.clone(),
+        mem: w.mem.clone(),
+        max_steps: w.max_steps,
+    }
 }
 
 /// Every `Scale::Test` workload × every model: fast-forward on (with the
@@ -41,7 +45,11 @@ fn fast_forward_is_stat_identical_across_suite_and_models() {
                 .run(compiled.profile.dyn_instrs)
                 .unwrap_or_else(|e| panic!("{}/{model}: ff run failed: {e}", w.name));
 
-            assert_eq!(plain.ff_jumps, 0, "{}/{model}: plain run took jumps", w.name);
+            assert_eq!(
+                plain.ff_jumps, 0,
+                "{}/{model}: plain run took jumps",
+                w.name
+            );
             assert_eq!(
                 plain.cycles, ff.cycles,
                 "{}/{model}: cycle count diverged under fast-forward",

@@ -21,7 +21,11 @@ fn bogus_workload(cs_src: &str, as_src: &str) -> CompiledWorkload {
 }
 
 fn env() -> ExecEnv {
-    ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 1000 }
+    ExecEnv {
+        regs: vec![],
+        mem: Memory::new(),
+        max_steps: 1000,
+    }
 }
 
 #[test]
@@ -33,7 +37,10 @@ fn unmatched_recv_deadlocks_with_diagnosis() {
     let mut m = Machine::new(Model::CpAp, &w, &env(), cfg);
     let err = m.run(2).unwrap_err();
     let msg = format!("{err}");
-    assert!(msg.contains("no progress") || msg.contains("deadlock"), "{msg}");
+    assert!(
+        msg.contains("no progress") || msg.contains("deadlock"),
+        "{msg}"
+    );
 }
 
 #[test]

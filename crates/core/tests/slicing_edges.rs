@@ -19,7 +19,11 @@ fn compiled(src: &str, cells: &[(u64, i64)]) -> (hidisc_slicer::CompiledWorkload
     for &(a, v) in cells {
         mem.write_i64(a, v).unwrap();
     }
-    let env = ExecEnv { regs: vec![], mem, max_steps: 1_000_000 };
+    let env = ExecEnv {
+        regs: vec![],
+        mem,
+        max_steps: 1_000_000,
+    };
     let w = compile(&prog, &env, &CompilerConfig::default()).unwrap();
     funcval::validate(&w, &env).expect("decoupled equivalence");
     (w, env)
@@ -52,9 +56,19 @@ fn mixed_definition_store_data_uses_cdq_not_sdq() {
         &[(0x1100, 1), (0x1000, 42), (0x1008, 6)],
     );
     // No SDQ store: the store reads its register.
-    assert_eq!(count(&w.access, |i| matches!(i, Instr::StoreQ { .. })), 0, "{}", w.access);
+    assert_eq!(
+        count(&w.access, |i| matches!(i, Instr::StoreQ { .. })),
+        0,
+        "{}",
+        w.access
+    );
     // The CS definition ships through the CDQ at its program point.
-    assert!(count(&w.access, |i| matches!(i, Instr::RecvI { q: Queue::Cdq, .. })) >= 1);
+    assert!(
+        count(&w.access, |i| matches!(
+            i,
+            Instr::RecvI { q: Queue::Cdq, .. }
+        )) >= 1
+    );
     // All four models still agree.
     let golden = run_model(Model::Superscalar, &w, &env, MachineConfig::paper()).unwrap();
     for m in [Model::CpAp, Model::HiDisc] {
@@ -82,9 +96,24 @@ fn pure_cs_store_data_keeps_the_sdq_fast_path() {
         ",
         &[(0x1100, 1), (0x1000, 10)],
     );
-    assert_eq!(count(&w.access, |i| matches!(i, Instr::StoreQ { q: Queue::Sdq, .. })), 1);
-    assert_eq!(count(&w.cs, |i| matches!(i, Instr::SendI { q: Queue::Sdq, .. })), 1);
-    assert_eq!(count(&w.access, |i| matches!(i, Instr::RecvI { q: Queue::Cdq, .. })), 0);
+    assert_eq!(
+        count(&w.access, |i| matches!(
+            i,
+            Instr::StoreQ { q: Queue::Sdq, .. }
+        )),
+        1
+    );
+    assert_eq!(
+        count(&w.cs, |i| matches!(i, Instr::SendI { q: Queue::Sdq, .. })),
+        1
+    );
+    assert_eq!(
+        count(&w.access, |i| matches!(
+            i,
+            Instr::RecvI { q: Queue::Cdq, .. }
+        )),
+        0
+    );
 }
 
 #[test]
@@ -136,6 +165,17 @@ fn constants_used_by_both_streams_are_rematerialised() {
     // arithmetic): both streams materialise it; no queue traffic for it.
     let cs_li = count(&w.cs, |i| matches!(i, Instr::Li { imm: 3, .. }));
     let as_li = count(&w.access, |i| matches!(i, Instr::Li { imm: 3, .. }));
-    assert!(cs_li >= 1 && as_li >= 1, "cs {cs_li} as {as_li}\nCS:\n{}\nAS:\n{}", w.cs, w.access);
-    assert_eq!(count(&w.access, |i| matches!(i, Instr::RecvI { q: Queue::Cdq, .. })), 0);
+    assert!(
+        cs_li >= 1 && as_li >= 1,
+        "cs {cs_li} as {as_li}\nCS:\n{}\nAS:\n{}",
+        w.cs,
+        w.access
+    );
+    assert_eq!(
+        count(&w.access, |i| matches!(
+            i,
+            Instr::RecvI { q: Queue::Cdq, .. }
+        )),
+        0
+    );
 }

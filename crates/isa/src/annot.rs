@@ -48,7 +48,10 @@ impl Annot {
     /// Annotation for an instruction in the given stream, everything else
     /// default.
     pub fn in_stream(stream: Stream) -> Annot {
-        Annot { stream, ..Annot::default() }
+        Annot {
+            stream,
+            ..Annot::default()
+        }
     }
 }
 

@@ -85,21 +85,28 @@ fn parse_operand(s: &str, line: usize) -> Result<Tok> {
     let s = s.trim();
     if let Some(open) = s.find('(') {
         // memory operand: off(base)
-        let close = s
-            .rfind(')')
-            .ok_or_else(|| IsaError::Parse { line, msg: format!("missing ')' in `{s}`") })?;
+        let close = s.rfind(')').ok_or_else(|| IsaError::Parse {
+            line,
+            msg: format!("missing ')' in `{s}`"),
+        })?;
         let off_s = &s[..open];
         let base_s = &s[open + 1..close];
-        let off = if off_s.is_empty() { 0 } else {
+        let off = if off_s.is_empty() {
+            0
+        } else {
             parse_imm(off_s).ok_or_else(|| IsaError::Parse {
                 line,
                 msg: format!("bad offset `{off_s}`"),
             })?
         };
-        let off = i32::try_from(off)
-            .map_err(|_| IsaError::Parse { line, msg: format!("offset {off} out of range") })?;
-        let base = parse_int_reg(base_s)
-            .ok_or_else(|| IsaError::Parse { line, msg: format!("bad base register `{base_s}`") })?;
+        let off = i32::try_from(off).map_err(|_| IsaError::Parse {
+            line,
+            msg: format!("offset {off} out of range"),
+        })?;
+        let base = parse_int_reg(base_s).ok_or_else(|| IsaError::Parse {
+            line,
+            msg: format!("bad base register `{base_s}`"),
+        })?;
         return Ok(Tok::Mem { off, base });
     }
     if let Some(r) = parse_int_reg(s) {
@@ -114,11 +121,16 @@ fn parse_operand(s: &str, line: usize) -> Result<Tok> {
     if let Some(v) = parse_imm(s) {
         return Ok(Tok::Imm(v));
     }
-    if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '@' || c == '.') && !s.is_empty()
+    if s.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '@' || c == '.')
+        && !s.is_empty()
     {
         return Ok(Tok::Label(s.to_string()));
     }
-    Err(IsaError::Parse { line, msg: format!("unrecognised operand `{s}`") })
+    Err(IsaError::Parse {
+        line,
+        msg: format!("unrecognised operand `{s}`"),
+    })
 }
 
 struct PendingTarget {
@@ -190,9 +202,15 @@ pub fn assemble(name: impl Into<String>, src: &str) -> Result<Program> {
         while let Some(colon) = text.find(':') {
             let (l, rest) = text.split_at(colon);
             let l = l.trim();
-            if l.is_empty() || !l.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            if l.is_empty()
+                || !l
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
             {
-                return Err(IsaError::Parse { line, msg: format!("bad label `{l}`") });
+                return Err(IsaError::Parse {
+                    line,
+                    msg: format!("bad label `{l}`"),
+                });
             }
             p.add_label(l, p.len())?;
             text = rest[1..].trim();
@@ -223,12 +241,18 @@ pub fn assemble(name: impl Into<String>, src: &str) -> Result<Program> {
                             msg: format!("bad absolute target `{l}`"),
                         })
                     } else {
-                        pending.push(PendingTarget { pc, label: l.clone() });
+                        pending.push(PendingTarget {
+                            pc,
+                            label: l.clone(),
+                        });
                         Ok(u32::MAX)
                     }
                 }
                 Tok::Imm(v) => Ok(*v as u32),
-                other => Err(IsaError::Parse { line, msg: format!("bad branch target {other:?}") }),
+                other => Err(IsaError::Parse {
+                    line,
+                    msg: format!("bad branch target {other:?}"),
+                }),
             }
         };
 
@@ -270,7 +294,12 @@ pub fn assemble(name: impl Into<String>, src: &str) -> Result<Program> {
             let a = op_match!(line, mnem, ops[0], Tok::Int(r) => r, "int register");
             let b = op_match!(line, mnem, ops[1], Tok::Int(r) => r, "int register");
             let t = target(&ops[2], pc, &mut pending)?;
-            Instr::Branch { cond, a, b, target: t }
+            Instr::Branch {
+                cond,
+                a,
+                b,
+                target: t,
+            }
         } else {
             match mnem {
                 "li" => {
@@ -294,9 +323,11 @@ pub fn assemble(name: impl Into<String>, src: &str) -> Result<Program> {
                 "l.d" => {
                     expect_n(&ops, 2, line, mnem)?;
                     match (&ops[0], &ops[1]) {
-                        (Tok::Fp(dst), Tok::Mem { off, base }) => {
-                            Instr::LoadF { dst: *dst, base: *base, off: *off }
-                        }
+                        (Tok::Fp(dst), Tok::Mem { off, base }) => Instr::LoadF {
+                            dst: *dst,
+                            base: *base,
+                            off: *off,
+                        },
                         (Tok::Q(q), Tok::Mem { off, base }) => Instr::LoadQ {
                             q: *q,
                             base: *base,
@@ -315,12 +346,17 @@ pub fn assemble(name: impl Into<String>, src: &str) -> Result<Program> {
                 "s.d" => {
                     expect_n(&ops, 2, line, mnem)?;
                     match (&ops[0], &ops[1]) {
-                        (Tok::Fp(src), Tok::Mem { off, base }) => {
-                            Instr::StoreF { src: *src, base: *base, off: *off }
-                        }
-                        (Tok::Q(q), Tok::Mem { off, base }) => {
-                            Instr::StoreQ { q: *q, base: *base, off: *off, width: Width::D }
-                        }
+                        (Tok::Fp(src), Tok::Mem { off, base }) => Instr::StoreF {
+                            src: *src,
+                            base: *base,
+                            off: *off,
+                        },
+                        (Tok::Q(q), Tok::Mem { off, base }) => Instr::StoreQ {
+                            q: *q,
+                            base: *base,
+                            off: *off,
+                            width: Width::D,
+                        },
                         _ => {
                             return Err(IsaError::Parse {
                                 line,
@@ -331,8 +367,7 @@ pub fn assemble(name: impl Into<String>, src: &str) -> Result<Program> {
                 }
                 "pref" => {
                     expect_n(&ops, 1, line, mnem)?;
-                    let (off, base) =
-                        op_match!(line, mnem, ops[0], Tok::Mem { off, base } => (off, base), "mem operand");
+                    let (off, base) = op_match!(line, mnem, ops[0], Tok::Mem { off, base } => (off, base), "mem operand");
                     Instr::Prefetch { base, off }
                 }
                 "send" => {
@@ -436,9 +471,7 @@ pub fn assemble(name: impl Into<String>, src: &str) -> Result<Program> {
 
     // Resolve pending label targets.
     for t in pending {
-        let at = p
-            .label(&t.label)
-            .ok_or(IsaError::UndefinedLabel(t.label))?;
+        let at = p.label(&t.label).ok_or(IsaError::UndefinedLabel(t.label))?;
         p.instr_mut(t.pc).set_target(at);
     }
     Ok(p)
@@ -477,7 +510,10 @@ mod tests {
 
     #[test]
     fn undefined_label_is_error() {
-        assert!(matches!(assemble("t", "j nowhere\nhalt"), Err(IsaError::UndefinedLabel(_))));
+        assert!(matches!(
+            assemble("t", "j nowhere\nhalt"),
+            Err(IsaError::UndefinedLabel(_))
+        ));
     }
 
     #[test]
@@ -500,11 +536,39 @@ mod tests {
         ",
         )
         .unwrap();
-        assert!(matches!(p.instr(0), Instr::Load { width: Width::D, signed: true, .. }));
-        assert!(matches!(p.instr(1), Instr::Load { width: Width::B, signed: false, .. }));
+        assert!(matches!(
+            p.instr(0),
+            Instr::Load {
+                width: Width::D,
+                signed: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.instr(1),
+            Instr::Load {
+                width: Width::B,
+                signed: false,
+                ..
+            }
+        ));
         assert!(matches!(p.instr(2), Instr::Load { off: -4, .. }));
-        assert!(matches!(p.instr(4), Instr::Store { off: 0, width: Width::B, .. }));
-        assert!(matches!(p.instr(7), Instr::LoadQ { q: Queue::Ldq, width: Width::D, .. }));
+        assert!(matches!(
+            p.instr(4),
+            Instr::Store {
+                off: 0,
+                width: Width::B,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.instr(7),
+            Instr::LoadQ {
+                q: Queue::Ldq,
+                width: Width::D,
+                ..
+            }
+        ));
         assert!(matches!(p.instr(8), Instr::StoreQ { q: Queue::Sdq, .. }));
         assert!(matches!(p.instr(9), Instr::LoadQ { q: Queue::Ldq, .. }));
         assert!(matches!(p.instr(10), Instr::Prefetch { off: 64, .. }));
@@ -536,7 +600,13 @@ mod tests {
         let p = assemble("t", "li r1, 0x10\nli r2, -5\nadd r3, r1, -1\nhalt").unwrap();
         assert!(matches!(p.instr(0), Instr::Li { imm: 16, .. }));
         assert!(matches!(p.instr(1), Instr::Li { imm: -5, .. }));
-        assert!(matches!(p.instr(2), Instr::IntOp { b: Src::Imm(-1), .. }));
+        assert!(matches!(
+            p.instr(2),
+            Instr::IntOp {
+                b: Src::Imm(-1),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -576,9 +646,27 @@ mod tests {
             "add.d f1, f2, f3\nsqrt.d f4, f5\nc.eq.d r1, f1, f2\ncvt.d.l f1, r2\ncvt.l.d r2, f1\nhalt",
         )
         .unwrap();
-        assert!(matches!(p.instr(0), Instr::FpBin { op: FpBinOp::Add, .. }));
-        assert!(matches!(p.instr(1), Instr::FpUn { op: FpUnOp::Sqrt, .. }));
-        assert!(matches!(p.instr(2), Instr::FpCmp { op: FpCmpOp::Eq, .. }));
+        assert!(matches!(
+            p.instr(0),
+            Instr::FpBin {
+                op: FpBinOp::Add,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.instr(1),
+            Instr::FpUn {
+                op: FpUnOp::Sqrt,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.instr(2),
+            Instr::FpCmp {
+                op: FpCmpOp::Eq,
+                ..
+            }
+        ));
         assert!(matches!(p.instr(3), Instr::CvtIf { .. }));
         assert!(matches!(p.instr(4), Instr::CvtFi { .. }));
     }

@@ -37,7 +37,11 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Creates a builder for a program with the given name.
     pub fn new(name: impl Into<String>) -> ProgramBuilder {
-        ProgramBuilder { prog: Program::new(name), fixups: Vec::new(), errors: Vec::new() }
+        ProgramBuilder {
+            prog: Program::new(name),
+            fixups: Vec::new(),
+            errors: Vec::new(),
+        }
     }
 
     /// Defines a label at the current position.
@@ -70,12 +74,22 @@ impl ProgramBuilder {
 
     /// Three-register ALU op.
     pub fn int_op(&mut self, op: IntOp, dst: IntReg, a: IntReg, b: IntReg) -> &mut Self {
-        self.raw(Instr::IntOp { op, dst, a, b: Src::Reg(b) })
+        self.raw(Instr::IntOp {
+            op,
+            dst,
+            a,
+            b: Src::Reg(b),
+        })
     }
 
     /// Register-immediate ALU op.
     pub fn int_opi(&mut self, op: IntOp, dst: IntReg, a: IntReg, imm: i64) -> &mut Self {
-        self.raw(Instr::IntOp { op, dst, a, b: Src::Imm(imm) })
+        self.raw(Instr::IntOp {
+            op,
+            dst,
+            a,
+            b: Src::Imm(imm),
+        })
     }
 
     /// `add dst, a, b`.
@@ -170,17 +184,35 @@ impl ProgramBuilder {
 
     /// `ld dst, off(base)` — 8-byte load.
     pub fn ld(&mut self, dst: IntReg, base: IntReg, off: i32) -> &mut Self {
-        self.raw(Instr::Load { dst, base, off, width: Width::D, signed: true })
+        self.raw(Instr::Load {
+            dst,
+            base,
+            off,
+            width: Width::D,
+            signed: true,
+        })
     }
 
     /// `lbu dst, off(base)` — unsigned byte load.
     pub fn lbu(&mut self, dst: IntReg, base: IntReg, off: i32) -> &mut Self {
-        self.raw(Instr::Load { dst, base, off, width: Width::B, signed: false })
+        self.raw(Instr::Load {
+            dst,
+            base,
+            off,
+            width: Width::B,
+            signed: false,
+        })
     }
 
     /// `lw dst, off(base)` — signed 4-byte load.
     pub fn lw(&mut self, dst: IntReg, base: IntReg, off: i32) -> &mut Self {
-        self.raw(Instr::Load { dst, base, off, width: Width::W, signed: true })
+        self.raw(Instr::Load {
+            dst,
+            base,
+            off,
+            width: Width::W,
+            signed: true,
+        })
     }
 
     /// `l.d dst, off(base)` — fp load.
@@ -190,17 +222,32 @@ impl ProgramBuilder {
 
     /// `sd src, off(base)` — 8-byte store.
     pub fn sd(&mut self, src: IntReg, base: IntReg, off: i32) -> &mut Self {
-        self.raw(Instr::Store { src, base, off, width: Width::D })
+        self.raw(Instr::Store {
+            src,
+            base,
+            off,
+            width: Width::D,
+        })
     }
 
     /// `sb src, off(base)` — byte store.
     pub fn sb(&mut self, src: IntReg, base: IntReg, off: i32) -> &mut Self {
-        self.raw(Instr::Store { src, base, off, width: Width::B })
+        self.raw(Instr::Store {
+            src,
+            base,
+            off,
+            width: Width::B,
+        })
     }
 
     /// `sw src, off(base)` — 4-byte store.
     pub fn sw(&mut self, src: IntReg, base: IntReg, off: i32) -> &mut Self {
-        self.raw(Instr::Store { src, base, off, width: Width::W })
+        self.raw(Instr::Store {
+            src,
+            base,
+            off,
+            width: Width::W,
+        })
     }
 
     /// `s.d src, off(base)` — fp store.
@@ -235,7 +282,15 @@ impl ProgramBuilder {
         b: IntReg,
         label: impl Into<String>,
     ) -> &mut Self {
-        self.control(Instr::Branch { cond, a, b, target: u32::MAX }, label)
+        self.control(
+            Instr::Branch {
+                cond,
+                a,
+                b,
+                target: u32::MAX,
+            },
+            label,
+        )
     }
 
     /// `bne a, b, label`.
@@ -285,7 +340,10 @@ impl ProgramBuilder {
             return Err(e);
         }
         for (pc, label) in self.fixups {
-            let at = self.prog.label(&label).ok_or(IsaError::UndefinedLabel(label))?;
+            let at = self
+                .prog
+                .label(&label)
+                .ok_or(IsaError::UndefinedLabel(label))?;
             self.prog.instr_mut(pc).set_target(at);
         }
         self.prog.validate()?;

@@ -34,21 +34,51 @@ pub fn render_instr(i: &Instr, p: &Program) -> String {
         Instr::FpCmp { op, dst, a, b } => format!("{op} {dst}, {a}, {b}"),
         Instr::CvtIf { dst, src } => format!("cvt.d.l {dst}, {src}"),
         Instr::CvtFi { dst, src } => format!("cvt.l.d {dst}, {src}"),
-        Instr::Load { dst, base, off, width, signed } => {
-            let u = if !signed && width != Width::D { "u" } else { "" };
+        Instr::Load {
+            dst,
+            base,
+            off,
+            width,
+            signed,
+        } => {
+            let u = if !signed && width != Width::D {
+                "u"
+            } else {
+                ""
+            };
             format!("l{}{} {dst}, {off}({base})", width.suffix(), u)
         }
         Instr::LoadF { dst, base, off } => format!("l.d {dst}, {off}({base})"),
-        Instr::Store { src, base, off, width } => {
+        Instr::Store {
+            src,
+            base,
+            off,
+            width,
+        } => {
             format!("s{} {src}, {off}({base})", width.suffix())
         }
         Instr::StoreF { src, base, off } => format!("s.d {src}, {off}({base})"),
         Instr::Prefetch { base, off } => format!("pref {off}({base})"),
-        Instr::LoadQ { q, base, off, width, signed } => {
-            let u = if !signed && width != Width::D { "u" } else { "" };
+        Instr::LoadQ {
+            q,
+            base,
+            off,
+            width,
+            signed,
+        } => {
+            let u = if !signed && width != Width::D {
+                "u"
+            } else {
+                ""
+            };
             format!("l{}{}.q {q}, {off}({base})", width.suffix(), u)
         }
-        Instr::StoreQ { q, base, off, width } => {
+        Instr::StoreQ {
+            q,
+            base,
+            off,
+            width,
+        } => {
             format!("s{}.q {q}, {off}({base})", width.suffix())
         }
         Instr::SendI { q, src } => format!("send {q}, {src}"),
@@ -239,7 +269,9 @@ pub fn encode_instr(i: &Instr) -> Result<u64> {
                 Src::Imm(v) => INT_OP_RI as u64 | base | imm32(v, "immediate")?,
             }
         }
-        Instr::Li { dst, imm } => LI as u64 | field(dst.index() as u8, 14) | imm32(imm, "immediate")?,
+        Instr::Li { dst, imm } => {
+            LI as u64 | field(dst.index() as u8, 14) | imm32(imm, "immediate")?
+        }
         Instr::FpBin { op, dst, a, b } => {
             let code = match op {
                 FpBinOp::Add => 0,
@@ -262,7 +294,10 @@ pub fn encode_instr(i: &Instr) -> Result<u64> {
                 FpUnOp::Sqrt => 2,
                 FpUnOp::Mov => 3,
             };
-            FP_UN as u64 | field(code, 8) | field(dst.index() as u8, 14) | field(a.index() as u8, 19)
+            FP_UN as u64
+                | field(code, 8)
+                | field(dst.index() as u8, 14)
+                | field(a.index() as u8, 19)
         }
         Instr::FpCmp { op, dst, a, b } => {
             let code = match op {
@@ -282,7 +317,13 @@ pub fn encode_instr(i: &Instr) -> Result<u64> {
         Instr::CvtFi { dst, src } => {
             CVT_FI as u64 | field(dst.index() as u8, 14) | field(src.index() as u8, 19)
         }
-        Instr::Load { dst, base, off, width, signed } => {
+        Instr::Load {
+            dst,
+            base,
+            off,
+            width,
+            signed,
+        } => {
             LOAD as u64
                 | field(dst.index() as u8, 14)
                 | field(base.index() as u8, 19)
@@ -296,7 +337,12 @@ pub fn encode_instr(i: &Instr) -> Result<u64> {
                 | field(base.index() as u8, 19)
                 | imm32(off as i64, "offset")?
         }
-        Instr::Store { src, base, off, width } => {
+        Instr::Store {
+            src,
+            base,
+            off,
+            width,
+        } => {
             STORE as u64
                 | field(src.index() as u8, 14)
                 | field(base.index() as u8, 19)
@@ -312,7 +358,13 @@ pub fn encode_instr(i: &Instr) -> Result<u64> {
         Instr::Prefetch { base, off } => {
             PREFETCH as u64 | field(base.index() as u8, 19) | imm32(off as i64, "offset")?
         }
-        Instr::LoadQ { q, base, off, width, signed } => {
+        Instr::LoadQ {
+            q,
+            base,
+            off,
+            width,
+            signed,
+        } => {
             LOAD_Q as u64
                 | field(queue_code(q), 14)
                 | field(base.index() as u8, 19)
@@ -320,7 +372,12 @@ pub fn encode_instr(i: &Instr) -> Result<u64> {
                 | field(signed as u8, 26)
                 | imm32(off as i64, "offset")?
         }
-        Instr::StoreQ { q, base, off, width } => {
+        Instr::StoreQ {
+            q,
+            base,
+            off,
+            width,
+        } => {
             STORE_Q as u64
                 | field(queue_code(q), 14)
                 | field(base.index() as u8, 19)
@@ -374,7 +431,10 @@ pub fn decode_instr(w: u64) -> Result<Instr> {
             a: ireg(19),
             b: Src::Imm(get_imm(w)),
         },
-        LI => Instr::Li { dst: ireg(14), imm: get_imm(w) },
+        LI => Instr::Li {
+            dst: ireg(14),
+            imm: get_imm(w),
+        },
         FP_BIN => Instr::FpBin {
             op: match get(w, 8, 6) {
                 0 => FpBinOp::Add,
@@ -411,8 +471,14 @@ pub fn decode_instr(w: u64) -> Result<Instr> {
             a: freg(19),
             b: freg(24),
         },
-        CVT_IF => Instr::CvtIf { dst: freg(14), src: ireg(19) },
-        CVT_FI => Instr::CvtFi { dst: ireg(14), src: freg(19) },
+        CVT_IF => Instr::CvtIf {
+            dst: freg(14),
+            src: ireg(19),
+        },
+        CVT_FI => Instr::CvtFi {
+            dst: ireg(14),
+            src: freg(19),
+        },
         LOAD => Instr::Load {
             dst: ireg(14),
             base: ireg(19),
@@ -420,15 +486,26 @@ pub fn decode_instr(w: u64) -> Result<Instr> {
             width: width_from(get(w, 24, 2)),
             signed: get(w, 26, 1) != 0,
         },
-        LOAD_F => Instr::LoadF { dst: freg(14), base: ireg(19), off: get_imm(w) as i32 },
+        LOAD_F => Instr::LoadF {
+            dst: freg(14),
+            base: ireg(19),
+            off: get_imm(w) as i32,
+        },
         STORE => Instr::Store {
             src: ireg(14),
             base: ireg(19),
             off: get_imm(w) as i32,
             width: width_from(get(w, 24, 2)),
         },
-        STORE_F => Instr::StoreF { src: freg(14), base: ireg(19), off: get_imm(w) as i32 },
-        PREFETCH => Instr::Prefetch { base: ireg(19), off: get_imm(w) as i32 },
+        STORE_F => Instr::StoreF {
+            src: freg(14),
+            base: ireg(19),
+            off: get_imm(w) as i32,
+        },
+        PREFETCH => Instr::Prefetch {
+            base: ireg(19),
+            off: get_imm(w) as i32,
+        },
         LOAD_Q => Instr::LoadQ {
             q: queue_from(get(w, 14, 3))?,
             base: ireg(19),
@@ -442,10 +519,22 @@ pub fn decode_instr(w: u64) -> Result<Instr> {
             off: get_imm(w) as i32,
             width: width_from(get(w, 24, 2)),
         },
-        SEND_I => Instr::SendI { q: queue_from(get(w, 14, 3))?, src: ireg(19) },
-        SEND_F => Instr::SendF { q: queue_from(get(w, 14, 3))?, src: freg(19) },
-        RECV_I => Instr::RecvI { q: queue_from(get(w, 14, 3))?, dst: ireg(19) },
-        RECV_F => Instr::RecvF { q: queue_from(get(w, 14, 3))?, dst: freg(19) },
+        SEND_I => Instr::SendI {
+            q: queue_from(get(w, 14, 3))?,
+            src: ireg(19),
+        },
+        SEND_F => Instr::SendF {
+            q: queue_from(get(w, 14, 3))?,
+            src: freg(19),
+        },
+        RECV_I => Instr::RecvI {
+            q: queue_from(get(w, 14, 3))?,
+            dst: ireg(19),
+        },
+        RECV_F => Instr::RecvF {
+            q: queue_from(get(w, 14, 3))?,
+            dst: freg(19),
+        },
         PUT_SCQ => Instr::PutScq,
         GET_SCQ => Instr::GetScq,
         BRANCH => Instr::Branch {
@@ -454,8 +543,12 @@ pub fn decode_instr(w: u64) -> Result<Instr> {
             b: ireg(19),
             target: get_imm(w) as u32,
         },
-        JUMP => Instr::Jump { target: get_imm(w) as u32 },
-        CBRANCH => Instr::CBranch { target: get_imm(w) as u32 },
+        JUMP => Instr::Jump {
+            target: get_imm(w) as u32,
+        },
+        CBRANCH => Instr::CBranch {
+            target: get_imm(w) as u32,
+        },
         HALT => Instr::Halt,
         NOP => Instr::Nop,
         _ => return Err(IsaError::Encode(format!("unknown opcode {op:#x}"))),
@@ -482,7 +575,9 @@ pub fn encode_annot(a: &Annot) -> Result<u32> {
     }
     if let Some(t) = a.trigger {
         if t >= 1 << 24 {
-            return Err(IsaError::Encode(format!("trigger id {t} does not fit in 24 bits")));
+            return Err(IsaError::Encode(format!(
+                "trigger id {t} does not fit in 24 bits"
+            )));
         }
         w |= 16 | (t << 8);
     }
@@ -495,7 +590,11 @@ pub fn encode_annot(a: &Annot) -> Result<u32> {
 /// Decodes an annotation field.
 pub fn decode_annot(w: u32) -> Annot {
     Annot {
-        stream: if w & 1 != 0 { Stream::Access } else { Stream::Computation },
+        stream: if w & 1 != 0 {
+            Stream::Access
+        } else {
+            Stream::Computation
+        },
         cmas: w & 2 != 0,
         push_cq: w & 4 != 0,
         probable_miss: w & 8 != 0,
@@ -525,28 +624,111 @@ mod tests {
     fn encode_round_trips_representatives() {
         let r = IntReg::new;
         let f = FpReg::new;
-        roundtrip(Instr::IntOp { op: IntOp::Add, dst: r(1), a: r(2), b: Src::Reg(r(3)) });
-        roundtrip(Instr::IntOp { op: IntOp::Sltu, dst: r(31), a: r(30), b: Src::Imm(-12345) });
-        roundtrip(Instr::Li { dst: r(7), imm: i32::MIN as i64 });
-        roundtrip(Instr::FpBin { op: FpBinOp::Max, dst: f(1), a: f(2), b: f(3) });
-        roundtrip(Instr::FpUn { op: FpUnOp::Sqrt, dst: f(9), a: f(8) });
-        roundtrip(Instr::FpCmp { op: FpCmpOp::Le, dst: r(4), a: f(5), b: f(6) });
-        roundtrip(Instr::CvtIf { dst: f(2), src: r(3) });
-        roundtrip(Instr::CvtFi { dst: r(3), src: f(2) });
-        roundtrip(Instr::Load { dst: r(5), base: r(6), off: -8, width: Width::H, signed: false });
-        roundtrip(Instr::LoadF { dst: f(5), base: r(6), off: 4096 });
-        roundtrip(Instr::Store { src: r(5), base: r(6), off: 16, width: Width::B });
-        roundtrip(Instr::StoreF { src: f(5), base: r(6), off: 0 });
-        roundtrip(Instr::Prefetch { base: r(9), off: 64 });
-        roundtrip(Instr::LoadQ { q: Queue::Ldq, base: r(2), off: 8, width: Width::D, signed: true });
-        roundtrip(Instr::StoreQ { q: Queue::Sdq, base: r(2), off: 8, width: Width::W });
-        roundtrip(Instr::SendI { q: Queue::Cdq, src: r(11) });
-        roundtrip(Instr::SendF { q: Queue::Ldq, src: f(11) });
-        roundtrip(Instr::RecvI { q: Queue::Cdq, dst: r(12) });
-        roundtrip(Instr::RecvF { q: Queue::Ldq, dst: f(12) });
+        roundtrip(Instr::IntOp {
+            op: IntOp::Add,
+            dst: r(1),
+            a: r(2),
+            b: Src::Reg(r(3)),
+        });
+        roundtrip(Instr::IntOp {
+            op: IntOp::Sltu,
+            dst: r(31),
+            a: r(30),
+            b: Src::Imm(-12345),
+        });
+        roundtrip(Instr::Li {
+            dst: r(7),
+            imm: i32::MIN as i64,
+        });
+        roundtrip(Instr::FpBin {
+            op: FpBinOp::Max,
+            dst: f(1),
+            a: f(2),
+            b: f(3),
+        });
+        roundtrip(Instr::FpUn {
+            op: FpUnOp::Sqrt,
+            dst: f(9),
+            a: f(8),
+        });
+        roundtrip(Instr::FpCmp {
+            op: FpCmpOp::Le,
+            dst: r(4),
+            a: f(5),
+            b: f(6),
+        });
+        roundtrip(Instr::CvtIf {
+            dst: f(2),
+            src: r(3),
+        });
+        roundtrip(Instr::CvtFi {
+            dst: r(3),
+            src: f(2),
+        });
+        roundtrip(Instr::Load {
+            dst: r(5),
+            base: r(6),
+            off: -8,
+            width: Width::H,
+            signed: false,
+        });
+        roundtrip(Instr::LoadF {
+            dst: f(5),
+            base: r(6),
+            off: 4096,
+        });
+        roundtrip(Instr::Store {
+            src: r(5),
+            base: r(6),
+            off: 16,
+            width: Width::B,
+        });
+        roundtrip(Instr::StoreF {
+            src: f(5),
+            base: r(6),
+            off: 0,
+        });
+        roundtrip(Instr::Prefetch {
+            base: r(9),
+            off: 64,
+        });
+        roundtrip(Instr::LoadQ {
+            q: Queue::Ldq,
+            base: r(2),
+            off: 8,
+            width: Width::D,
+            signed: true,
+        });
+        roundtrip(Instr::StoreQ {
+            q: Queue::Sdq,
+            base: r(2),
+            off: 8,
+            width: Width::W,
+        });
+        roundtrip(Instr::SendI {
+            q: Queue::Cdq,
+            src: r(11),
+        });
+        roundtrip(Instr::SendF {
+            q: Queue::Ldq,
+            src: f(11),
+        });
+        roundtrip(Instr::RecvI {
+            q: Queue::Cdq,
+            dst: r(12),
+        });
+        roundtrip(Instr::RecvF {
+            q: Queue::Ldq,
+            dst: f(12),
+        });
         roundtrip(Instr::PutScq);
         roundtrip(Instr::GetScq);
-        roundtrip(Instr::Branch { cond: BranchCond::Geu, a: r(1), b: r(2), target: 777 });
+        roundtrip(Instr::Branch {
+            cond: BranchCond::Geu,
+            a: r(1),
+            b: r(2),
+            target: 777,
+        });
         roundtrip(Instr::Jump { target: 0 });
         roundtrip(Instr::CBranch { target: 42 });
         roundtrip(Instr::Halt);
@@ -555,7 +737,10 @@ mod tests {
 
     #[test]
     fn large_immediate_rejected() {
-        let i = Instr::Li { dst: IntReg::new(1), imm: 1 << 40 };
+        let i = Instr::Li {
+            dst: IntReg::new(1),
+            imm: 1 << 40,
+        };
         assert!(encode_instr(&i).is_err());
     }
 
@@ -571,7 +756,10 @@ mod tests {
                 probable_miss: true,
                 scq_get: true,
             },
-            Annot { trigger: Some(0), ..Annot::default() },
+            Annot {
+                trigger: Some(0),
+                ..Annot::default()
+            },
         ] {
             assert_eq!(decode_annot(encode_annot(&a).unwrap()), a);
         }
@@ -579,7 +767,10 @@ mod tests {
 
     #[test]
     fn annot_trigger_overflow_rejected() {
-        let a = Annot { trigger: Some(1 << 24), ..Annot::default() };
+        let a = Annot {
+            trigger: Some(1 << 24),
+            ..Annot::default()
+        };
         assert!(encode_annot(&a).is_err());
     }
 

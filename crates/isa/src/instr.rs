@@ -182,17 +182,32 @@ pub enum FuClass {
 pub enum Instr {
     // ---- integer arithmetic ----
     /// `op dst, a, b` — 64-bit integer ALU operation.
-    IntOp { op: IntOp, dst: IntReg, a: IntReg, b: Src },
+    IntOp {
+        op: IntOp,
+        dst: IntReg,
+        a: IntReg,
+        b: Src,
+    },
     /// `li dst, imm` — load immediate.
     Li { dst: IntReg, imm: i64 },
 
     // ---- floating point ----
     /// `op.d dst, a, b`.
-    FpBin { op: FpBinOp, dst: FpReg, a: FpReg, b: FpReg },
+    FpBin {
+        op: FpBinOp,
+        dst: FpReg,
+        a: FpReg,
+        b: FpReg,
+    },
     /// `op.d dst, a`.
     FpUn { op: FpUnOp, dst: FpReg, a: FpReg },
     /// `c.xx.d dst, a, b` — compare, 0/1 result into an integer register.
-    FpCmp { op: FpCmpOp, dst: IntReg, a: FpReg, b: FpReg },
+    FpCmp {
+        op: FpCmpOp,
+        dst: IntReg,
+        a: FpReg,
+        b: FpReg,
+    },
     /// `cvt.d.l dst, src` — convert integer to double.
     CvtIf { dst: FpReg, src: IntReg },
     /// `cvt.l.d dst, src` — convert double to integer (truncating; saturates
@@ -201,11 +216,22 @@ pub enum Instr {
 
     // ---- memory ----
     /// `l{b|h|w|d}[u] dst, off(base)` — integer load, sign- or zero-extended.
-    Load { dst: IntReg, base: IntReg, off: i32, width: Width, signed: bool },
+    Load {
+        dst: IntReg,
+        base: IntReg,
+        off: i32,
+        width: Width,
+        signed: bool,
+    },
     /// `l.d dst, off(base)` — floating-point load (8 bytes).
     LoadF { dst: FpReg, base: IntReg, off: i32 },
     /// `s{b|h|w|d} src, off(base)` — integer store.
-    Store { src: IntReg, base: IntReg, off: i32, width: Width },
+    Store {
+        src: IntReg,
+        base: IntReg,
+        off: i32,
+        width: Width,
+    },
     /// `s.d src, off(base)` — floating-point store.
     StoreF { src: FpReg, base: IntReg, off: i32 },
     /// `pref off(base)` — prefetch the containing cache block; never faults,
@@ -215,10 +241,21 @@ pub enum Instr {
     // ---- decoupled queue operations (emitted by the stream separator) ----
     /// `l{b|h|w|d}[u].q LDQ, off(base)` — load directly into a queue
     /// (the paper's `l.d $LDQ, 88($9)` form). Push occurs at commit.
-    LoadQ { q: Queue, base: IntReg, off: i32, width: Width, signed: bool },
+    LoadQ {
+        q: Queue,
+        base: IntReg,
+        off: i32,
+        width: Width,
+        signed: bool,
+    },
     /// `s{b|h|w|d}.q SDQ, off(base)` — store whose data is popped from a
     /// queue at commit (the paper's `s.d $SDQ, 0($13)` form).
-    StoreQ { q: Queue, base: IntReg, off: i32, width: Width },
+    StoreQ {
+        q: Queue,
+        base: IntReg,
+        off: i32,
+        width: Width,
+    },
     /// `send Q, src` — push an integer register to a queue at commit.
     SendI { q: Queue, src: IntReg },
     /// `send.d Q, src` — push an fp register's bits to a queue at commit.
@@ -236,7 +273,12 @@ pub enum Instr {
 
     // ---- control ----
     /// `bxx a, b, target`.
-    Branch { cond: BranchCond, a: IntReg, b: IntReg, target: u32 },
+    Branch {
+        cond: BranchCond,
+        a: IntReg,
+        b: IntReg,
+        target: u32,
+    },
     /// `j target`.
     Jump { target: u32 },
     /// `cbr target` — consume-branch: pops a branch-outcome token from the
@@ -259,9 +301,7 @@ impl Instr {
             | Instr::FpCmp { dst, .. }
             | Instr::CvtFi { dst, .. }
             | Instr::Load { dst, .. }
-            | Instr::RecvI { dst, .. } => {
-                (!dst.is_zero()).then_some(RegRef::Int(dst))
-            }
+            | Instr::RecvI { dst, .. } => (!dst.is_zero()).then_some(RegRef::Int(dst)),
             Instr::FpBin { dst, .. }
             | Instr::FpUn { dst, .. }
             | Instr::CvtIf { dst, .. }
@@ -321,9 +361,9 @@ impl Instr {
     /// The static branch/jump target, if any.
     pub fn target(&self) -> Option<u32> {
         match *self {
-            Instr::Branch { target, .. }
-            | Instr::Jump { target }
-            | Instr::CBranch { target } => Some(target),
+            Instr::Branch { target, .. } | Instr::Jump { target } | Instr::CBranch { target } => {
+                Some(target)
+            }
             _ => None,
         }
     }
@@ -448,12 +488,17 @@ impl Instr {
             Instr::IntOp { op, .. } if op.is_long_latency() => FuClass::IntMul,
             Instr::IntOp { .. } | Instr::Li { .. } => FuClass::IntAlu,
             Instr::FpBin { op, .. } if op.is_long_latency() => FuClass::FpMul,
-            Instr::FpBin { op: FpBinOp::Mul, .. } => FuClass::FpMul,
+            Instr::FpBin {
+                op: FpBinOp::Mul, ..
+            } => FuClass::FpMul,
             Instr::FpBin { .. } => FuClass::FpAlu,
-            Instr::FpUn { op: FpUnOp::Sqrt, .. } => FuClass::FpMul,
-            Instr::FpUn { .. } | Instr::FpCmp { .. } | Instr::CvtIf { .. } | Instr::CvtFi { .. } => {
-                FuClass::FpAlu
-            }
+            Instr::FpUn {
+                op: FpUnOp::Sqrt, ..
+            } => FuClass::FpMul,
+            Instr::FpUn { .. }
+            | Instr::FpCmp { .. }
+            | Instr::CvtIf { .. }
+            | Instr::CvtFi { .. } => FuClass::FpAlu,
             Instr::Load { .. }
             | Instr::LoadF { .. }
             | Instr::Store { .. }
@@ -485,7 +530,12 @@ mod tests {
 
     #[test]
     fn def_and_uses_int_op() {
-        let i = Instr::IntOp { op: IntOp::Add, dst: r(3), a: r(1), b: Src::Reg(r(2)) };
+        let i = Instr::IntOp {
+            op: IntOp::Add,
+            dst: r(3),
+            a: r(1),
+            b: Src::Reg(r(2)),
+        };
         assert_eq!(i.def(), Some(RegRef::Int(r(3))));
         let uses = i.uses();
         assert_eq!(uses[0], Some(RegRef::Int(r(1))));
@@ -495,14 +545,25 @@ mod tests {
 
     #[test]
     fn zero_register_never_def_or_use() {
-        let i = Instr::IntOp { op: IntOp::Add, dst: r(0), a: r(0), b: Src::Reg(r(0)) };
+        let i = Instr::IntOp {
+            op: IntOp::Add,
+            dst: r(0),
+            a: r(0),
+            b: Src::Reg(r(0)),
+        };
         assert_eq!(i.def(), None);
         assert_eq!(i.uses(), [None; 3]);
     }
 
     #[test]
     fn load_classification() {
-        let l = Instr::Load { dst: r(5), base: r(6), off: 8, width: Width::D, signed: true };
+        let l = Instr::Load {
+            dst: r(5),
+            base: r(6),
+            off: 8,
+            width: Width::D,
+            signed: true,
+        };
         assert!(l.is_mem() && l.is_load() && !l.is_store());
         assert_eq!(l.mem_width(), Some(Width::D));
         assert_eq!(l.mem_addr_operands(), Some((r(6), 8)));
@@ -511,22 +572,52 @@ mod tests {
 
     #[test]
     fn queue_pop_push_classification() {
-        assert_eq!(Instr::RecvI { q: Queue::Ldq, dst: r(1) }.queue_pop(), Some(Queue::Ldq));
-        assert_eq!(Instr::SendI { q: Queue::Sdq, src: r(1) }.queue_push(), Some(Queue::Sdq));
+        assert_eq!(
+            Instr::RecvI {
+                q: Queue::Ldq,
+                dst: r(1)
+            }
+            .queue_pop(),
+            Some(Queue::Ldq)
+        );
+        assert_eq!(
+            Instr::SendI {
+                q: Queue::Sdq,
+                src: r(1)
+            }
+            .queue_push(),
+            Some(Queue::Sdq)
+        );
         assert_eq!(Instr::CBranch { target: 0 }.queue_pop(), Some(Queue::Cq));
         assert_eq!(Instr::PutScq.queue_push(), Some(Queue::Scq));
         assert_eq!(Instr::GetScq.queue_pop(), Some(Queue::Scq));
-        let lq = Instr::LoadQ { q: Queue::Ldq, base: r(2), off: 0, width: Width::D, signed: true };
+        let lq = Instr::LoadQ {
+            q: Queue::Ldq,
+            base: r(2),
+            off: 0,
+            width: Width::D,
+            signed: true,
+        };
         assert_eq!(lq.queue_push(), Some(Queue::Ldq));
         assert!(lq.is_load());
-        let sq = Instr::StoreQ { q: Queue::Sdq, base: r(2), off: 0, width: Width::D };
+        let sq = Instr::StoreQ {
+            q: Queue::Sdq,
+            base: r(2),
+            off: 0,
+            width: Width::D,
+        };
         assert_eq!(sq.queue_pop(), Some(Queue::Sdq));
         assert!(sq.is_store());
     }
 
     #[test]
     fn control_classification() {
-        let b = Instr::Branch { cond: BranchCond::Ne, a: r(1), b: r(0), target: 7 };
+        let b = Instr::Branch {
+            cond: BranchCond::Ne,
+            a: r(1),
+            b: r(0),
+            target: 7,
+        };
         assert!(b.is_control() && b.is_cond_branch());
         assert_eq!(b.target(), Some(7));
         assert!(Instr::Halt.is_control());
@@ -538,10 +629,19 @@ mod tests {
 
     #[test]
     fn fp_classification() {
-        let m = Instr::FpBin { op: FpBinOp::Mul, dst: FpReg::new(1), a: FpReg::new(2), b: FpReg::new(3) };
+        let m = Instr::FpBin {
+            op: FpBinOp::Mul,
+            dst: FpReg::new(1),
+            a: FpReg::new(2),
+            b: FpReg::new(3),
+        };
         assert!(m.is_fp() && m.is_fp_compute());
         assert_eq!(m.fu_class(), FuClass::FpMul);
-        let lf = Instr::LoadF { dst: FpReg::new(1), base: r(2), off: 0 };
+        let lf = Instr::LoadF {
+            dst: FpReg::new(1),
+            base: r(2),
+            off: 0,
+        };
         assert!(lf.is_fp() && !lf.is_fp_compute());
         assert_eq!(lf.fu_class(), FuClass::Mem);
     }

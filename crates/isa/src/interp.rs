@@ -27,7 +27,10 @@ pub struct RegFile {
 
 impl Default for RegFile {
     fn default() -> Self {
-        RegFile { int: [0; NUM_INT_REGS], fp: [0.0; NUM_FP_REGS] }
+        RegFile {
+            int: [0; NUM_INT_REGS],
+            fp: [0.0; NUM_FP_REGS],
+        }
     }
 }
 
@@ -118,10 +121,16 @@ pub struct NoQueues;
 
 impl QueueEnv for NoQueues {
     fn pop(&mut self, q: Queue) -> Result<PopResult> {
-        Err(IsaError::Exec { pc: 0, msg: format!("queue pop ({q}) in sequential program") })
+        Err(IsaError::Exec {
+            pc: 0,
+            msg: format!("queue pop ({q}) in sequential program"),
+        })
     }
     fn push(&mut self, q: Queue, _v: u64) -> Result<PushResult> {
-        Err(IsaError::Exec { pc: 0, msg: format!("queue push ({q}) in sequential program") })
+        Err(IsaError::Exec {
+            pc: 0,
+            msg: format!("queue push ({q}) in sequential program"),
+        })
     }
 }
 
@@ -166,7 +175,10 @@ pub fn step_at(
     env: &mut impl QueueEnv,
     hook: &mut impl FnMut(MemEvent),
 ) -> Result<Step> {
-    let i = *prog.get(pc).ok_or(IsaError::Exec { pc, msg: "pc out of range".into() })?;
+    let i = *prog.get(pc).ok_or(IsaError::Exec {
+        pc,
+        msg: "pc out of range".into(),
+    })?;
     let annot: Annot = *prog.annot(pc);
     let exec_err = |msg: String| IsaError::Exec { pc, msg };
     let next = Step::Next(pc + 1);
@@ -208,58 +220,113 @@ pub fn step_at(
             regs.set_i(dst, f64_to_i64(regs.get_f(src)));
             Ok(next)
         }
-        Instr::Load { dst, base, off, width, signed } => {
+        Instr::Load {
+            dst,
+            base,
+            off,
+            width,
+            signed,
+        } => {
             let addr = (regs.get_i(base) as u64).wrapping_add_signed(off as i64);
-            hook(MemEvent { pc, addr, width, kind: MemKind::Load });
+            hook(MemEvent {
+                pc,
+                addr,
+                width,
+                kind: MemKind::Load,
+            });
             let v = mem.load(addr, width, signed)?;
             regs.set_i(dst, v);
             Ok(next)
         }
         Instr::LoadF { dst, base, off } => {
             let addr = (regs.get_i(base) as u64).wrapping_add_signed(off as i64);
-            hook(MemEvent { pc, addr, width: Width::D, kind: MemKind::Load });
+            hook(MemEvent {
+                pc,
+                addr,
+                width: Width::D,
+                kind: MemKind::Load,
+            });
             regs.set_f(dst, mem.read_f64(addr)?);
             Ok(next)
         }
-        Instr::Store { src, base, off, width } => {
+        Instr::Store {
+            src,
+            base,
+            off,
+            width,
+        } => {
             let addr = (regs.get_i(base) as u64).wrapping_add_signed(off as i64);
-            hook(MemEvent { pc, addr, width, kind: MemKind::Store });
+            hook(MemEvent {
+                pc,
+                addr,
+                width,
+                kind: MemKind::Store,
+            });
             mem.store(addr, width, regs.get_i(src))?;
             Ok(next)
         }
         Instr::StoreF { src, base, off } => {
             let addr = (regs.get_i(base) as u64).wrapping_add_signed(off as i64);
-            hook(MemEvent { pc, addr, width: Width::D, kind: MemKind::Store });
+            hook(MemEvent {
+                pc,
+                addr,
+                width: Width::D,
+                kind: MemKind::Store,
+            });
             mem.write_f64(addr, regs.get_f(src))?;
             Ok(next)
         }
         Instr::Prefetch { base, off } => {
             let addr = (regs.get_i(base) as u64).wrapping_add_signed(off as i64);
-            hook(MemEvent { pc, addr, width: Width::D, kind: MemKind::Prefetch });
+            hook(MemEvent {
+                pc,
+                addr,
+                width: Width::D,
+                kind: MemKind::Prefetch,
+            });
             Ok(next)
         }
-        Instr::LoadQ { q, base, off, width, signed } => {
+        Instr::LoadQ {
+            q,
+            base,
+            off,
+            width,
+            signed,
+        } => {
             let addr = (regs.get_i(base) as u64).wrapping_add_signed(off as i64);
             let v = mem.load(addr, width, signed)?;
             match env.push(q, v as u64)? {
                 PushResult::Done => {
-                    hook(MemEvent { pc, addr, width, kind: MemKind::Load });
+                    hook(MemEvent {
+                        pc,
+                        addr,
+                        width,
+                        kind: MemKind::Load,
+                    });
                     Ok(next)
                 }
                 PushResult::Blocked => Ok(Step::Blocked),
             }
         }
-        Instr::StoreQ { q, base, off, width } => {
-            match env.pop(q)? {
-                PopResult::Value(v) => {
-                    let addr = (regs.get_i(base) as u64).wrapping_add_signed(off as i64);
-                    hook(MemEvent { pc, addr, width, kind: MemKind::Store });
-                    mem.store(addr, width, v as i64)?;
-                    Ok(next)
-                }
-                PopResult::Blocked => Ok(Step::Blocked),
+        Instr::StoreQ {
+            q,
+            base,
+            off,
+            width,
+        } => match env.pop(q)? {
+            PopResult::Value(v) => {
+                let addr = (regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                hook(MemEvent {
+                    pc,
+                    addr,
+                    width,
+                    kind: MemKind::Store,
+                });
+                mem.store(addr, width, v as i64)?;
+                Ok(next)
             }
-        }
+            PopResult::Blocked => Ok(Step::Blocked),
+        },
         Instr::SendI { q, src } => match env.push(q, regs.get_i(src) as u64)? {
             PushResult::Done => Ok(next),
             PushResult::Blocked => Ok(Step::Blocked),
@@ -368,7 +435,14 @@ pub struct Interp<'a> {
 impl<'a> Interp<'a> {
     /// Creates an interpreter over `prog` with the given initial memory.
     pub fn new(prog: &'a Program, mem: Memory) -> Interp<'a> {
-        Interp { prog, regs: RegFile::new(), mem, pc: 0, halted: false, stats: RunStats::default() }
+        Interp {
+            prog,
+            regs: RegFile::new(),
+            mem,
+            pc: 0,
+            halted: false,
+            stats: RunStats::default(),
+        }
     }
 
     /// Sets an integer register (for passing workload parameters).
@@ -398,7 +472,14 @@ impl<'a> Interp<'a> {
                 });
             }
             let instr = self.prog.get(self.pc).copied();
-            match step_at(self.prog, self.pc, &mut self.regs, &mut self.mem, &mut env, hook)? {
+            match step_at(
+                self.prog,
+                self.pc,
+                &mut self.regs,
+                &mut self.mem,
+                &mut env,
+                hook,
+            )? {
                 Step::Next(n) => {
                     self.stats.instrs += 1;
                     if let Some(i) = instr {

@@ -43,7 +43,10 @@ impl Memory {
     #[inline]
     fn check_align(addr: u64, size: u64) -> Result<()> {
         if !addr.is_multiple_of(size) {
-            return Err(IsaError::Mem { addr, msg: format!("unaligned {size}-byte access") });
+            return Err(IsaError::Mem {
+                addr,
+                msg: format!("unaligned {size}-byte access"),
+            });
         }
         Ok(())
     }

@@ -30,7 +30,10 @@ pub struct Program {
 impl Program {
     /// Creates an empty program.
     pub fn new(name: impl Into<String>) -> Program {
-        Program { name: name.into(), ..Program::default() }
+        Program {
+            name: name.into(),
+            ..Program::default()
+        }
     }
 
     /// Number of instructions.
@@ -124,7 +127,10 @@ impl Program {
 
     /// The labels defined at a given instruction index.
     pub fn labels_at(&self, pc: u32) -> impl Iterator<Item = &str> {
-        self.labels.iter().filter(move |l| l.at == pc).map(|l| l.name.as_str())
+        self.labels
+            .iter()
+            .filter(move |l| l.at == pc)
+            .map(|l| l.name.as_str())
     }
 
     /// Checks structural invariants: every branch target is in range, the
@@ -157,7 +163,10 @@ impl Program {
                 pc: self.len().saturating_sub(1),
                 msg: "program can fall off the end (must end in halt or jump)".into(),
             }),
-            None => Err(IsaError::Exec { pc: 0, msg: "empty program".into() }),
+            None => Err(IsaError::Exec {
+                pc: 0,
+                msg: "empty program".into(),
+            }),
         }
     }
 
@@ -261,7 +270,12 @@ mod tests {
     #[test]
     fn validate_rejects_out_of_range_target() {
         let p = prog_with(vec![
-            Instr::Branch { cond: BranchCond::Eq, a: IntReg::ZERO, b: IntReg::ZERO, target: 9 },
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                a: IntReg::ZERO,
+                b: IntReg::ZERO,
+                target: 9,
+            },
             Instr::Halt,
         ]);
         assert!(p.validate().is_err());
@@ -271,7 +285,9 @@ mod tests {
     fn validate_requires_halt_or_jump_at_end() {
         assert!(prog_with(vec![Instr::Nop]).validate().is_err());
         assert!(prog_with(vec![Instr::Halt]).validate().is_ok());
-        assert!(prog_with(vec![Instr::Jump { target: 0 }]).validate().is_ok());
+        assert!(prog_with(vec![Instr::Jump { target: 0 }])
+            .validate()
+            .is_ok());
         assert!(prog_with(vec![]).validate().is_err());
     }
 

@@ -26,7 +26,10 @@ impl IntReg {
     /// Creates a register id. Panics if `n >= 32`.
     #[inline]
     pub fn new(n: u8) -> IntReg {
-        assert!((n as usize) < NUM_INT_REGS, "integer register out of range: r{n}");
+        assert!(
+            (n as usize) < NUM_INT_REGS,
+            "integer register out of range: r{n}"
+        );
         IntReg(n)
     }
 

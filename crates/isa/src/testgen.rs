@@ -116,7 +116,15 @@ impl Gen<'_> {
         match choice {
             0..=3 => {
                 // integer op
-                let ops = [IntOp::Add, IntOp::Sub, IntOp::Mul, IntOp::And, IntOp::Or, IntOp::Xor, IntOp::Slt];
+                let ops = [
+                    IntOp::Add,
+                    IntOp::Sub,
+                    IntOp::Mul,
+                    IntOp::And,
+                    IntOp::Or,
+                    IntOp::Xor,
+                    IntOp::Slt,
+                ];
                 let op = *self.rng.pick(&ops);
                 let (d, a, b2) = (self.scratch(), self.scratch(), self.scratch());
                 if self.rng.chance(40) {
@@ -154,7 +162,13 @@ impl Gen<'_> {
                 let g = self.fp_scratch();
                 let s = self.scratch();
                 self.b.cvt_if(f, s);
-                let ops = [FpBinOp::Add, FpBinOp::Sub, FpBinOp::Mul, FpBinOp::Min, FpBinOp::Max];
+                let ops = [
+                    FpBinOp::Add,
+                    FpBinOp::Sub,
+                    FpBinOp::Mul,
+                    FpBinOp::Min,
+                    FpBinOp::Max,
+                ];
                 let op = *self.rng.pick(&ops);
                 self.b.fp_bin(op, g, g, f);
                 if self.rng.chance(30) {
@@ -173,7 +187,8 @@ impl Gen<'_> {
                 let a = self.scratch();
                 let else_l = self.fresh_label("else");
                 let join_l = self.fresh_label("join");
-                self.b.branch(BranchCond::Lt, a, IntReg::ZERO, else_l.clone());
+                self.b
+                    .branch(BranchCond::Lt, a, IntReg::ZERO, else_l.clone());
                 let d = self.scratch();
                 self.b.addi(d, d, 1);
                 self.b.jump(join_l.clone());
@@ -216,7 +231,12 @@ impl Gen<'_> {
 /// outside `[ARENA_BASE, ARENA_BASE + 8 * arena_words)`.
 pub fn random_program(seed: u64, cfg: GenConfig) -> (Program, Memory, Vec<(IntReg, i64)>) {
     let mut b = ProgramBuilder::new(format!("gen{seed}"));
-    let mut g = Gen { rng: XorShift::new(seed), cfg, b: &mut b, label_n: 0 };
+    let mut g = Gen {
+        rng: XorShift::new(seed),
+        cfg,
+        b: &mut b,
+        label_n: 0,
+    };
 
     // Seed scratch registers with data-dependent values.
     for (i, &r) in SCRATCH.iter().enumerate() {
@@ -234,7 +254,8 @@ pub fn random_program(seed: u64, cfg: GenConfig) -> (Program, Memory, Vec<(IntRe
     let mut mem = Memory::new();
     let mut rng = XorShift::new(seed ^ 0xdead_beef);
     for w in 0..cfg.arena_words {
-        mem.write_i64(ARENA_BASE + 8 * w, rng.below(1 << 20) as i64 - (1 << 19)).unwrap();
+        mem.write_i64(ARENA_BASE + 8 * w, rng.below(1 << 20) as i64 - (1 << 19))
+            .unwrap();
     }
     let regs = vec![(IntReg::new(8), ARENA_BASE as i64)];
     (prog, mem, regs)
@@ -301,7 +322,10 @@ mod tests {
 
     #[test]
     fn int_only_config_has_no_fp() {
-        let cfg = GenConfig { with_fp: false, ..GenConfig::default() };
+        let cfg = GenConfig {
+            with_fp: false,
+            ..GenConfig::default()
+        };
         for seed in 0..20 {
             let (p, _, _) = random_program(seed, cfg);
             assert!(!p.instrs().iter().any(|i| i.is_fp()), "seed {seed}");

@@ -45,7 +45,12 @@ fn int_op() -> impl Strategy<Value = IntOp> {
 }
 
 fn width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::B), Just(Width::H), Just(Width::W), Just(Width::D)]
+    prop_oneof![
+        Just(Width::B),
+        Just(Width::H),
+        Just(Width::W),
+        Just(Width::D)
+    ]
 }
 
 fn cond() -> impl Strategy<Value = BranchCond> {
@@ -63,10 +68,18 @@ fn cond() -> impl Strategy<Value = BranchCond> {
 /// context, handled separately).
 fn any_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
-        (int_op(), int_reg(), int_reg(), int_reg())
-            .prop_map(|(op, dst, a, b)| Instr::IntOp { op, dst, a, b: Src::Reg(b) }),
-        (int_op(), int_reg(), int_reg(), any::<i32>())
-            .prop_map(|(op, dst, a, i)| Instr::IntOp { op, dst, a, b: Src::Imm(i as i64) }),
+        (int_op(), int_reg(), int_reg(), int_reg()).prop_map(|(op, dst, a, b)| Instr::IntOp {
+            op,
+            dst,
+            a,
+            b: Src::Reg(b)
+        }),
+        (int_op(), int_reg(), int_reg(), any::<i32>()).prop_map(|(op, dst, a, i)| Instr::IntOp {
+            op,
+            dst,
+            a,
+            b: Src::Imm(i as i64)
+        }),
         (int_reg(), any::<i32>()).prop_map(|(dst, i)| Instr::Li { dst, imm: i as i64 }),
         (fp_reg(), fp_reg(), fp_reg()).prop_map(|(d, a, b)| Instr::FpBin {
             op: FpBinOp::Mul,
@@ -74,9 +87,17 @@ fn any_instr() -> impl Strategy<Value = Instr> {
             a,
             b
         }),
-        (fp_reg(), fp_reg()).prop_map(|(d, a)| Instr::FpUn { op: FpUnOp::Sqrt, dst: d, a }),
-        (int_reg(), fp_reg(), fp_reg())
-            .prop_map(|(d, a, b)| Instr::FpCmp { op: FpCmpOp::Le, dst: d, a, b }),
+        (fp_reg(), fp_reg()).prop_map(|(d, a)| Instr::FpUn {
+            op: FpUnOp::Sqrt,
+            dst: d,
+            a
+        }),
+        (int_reg(), fp_reg(), fp_reg()).prop_map(|(d, a, b)| Instr::FpCmp {
+            op: FpCmpOp::Le,
+            dst: d,
+            a,
+            b
+        }),
         (fp_reg(), int_reg()).prop_map(|(d, s)| Instr::CvtIf { dst: d, src: s }),
         (int_reg(), fp_reg()).prop_map(|(d, s)| Instr::CvtFi { dst: d, src: s }),
         (int_reg(), int_reg(), any::<i16>(), width(), any::<bool>()).prop_map(
@@ -89,15 +110,28 @@ fn any_instr() -> impl Strategy<Value = Instr> {
                 signed: signed || width == Width::D,
             }
         ),
-        (fp_reg(), int_reg(), any::<i16>())
-            .prop_map(|(dst, base, off)| Instr::LoadF { dst, base, off: off as i32 }),
-        (int_reg(), int_reg(), any::<i16>(), width()).prop_map(|(src, base, off, width)| {
-            Instr::Store { src, base, off: off as i32, width }
+        (fp_reg(), int_reg(), any::<i16>()).prop_map(|(dst, base, off)| Instr::LoadF {
+            dst,
+            base,
+            off: off as i32
         }),
-        (fp_reg(), int_reg(), any::<i16>())
-            .prop_map(|(src, base, off)| Instr::StoreF { src, base, off: off as i32 }),
-        (int_reg(), any::<i16>())
-            .prop_map(|(base, off)| Instr::Prefetch { base, off: off as i32 }),
+        (int_reg(), int_reg(), any::<i16>(), width()).prop_map(|(src, base, off, width)| {
+            Instr::Store {
+                src,
+                base,
+                off: off as i32,
+                width,
+            }
+        }),
+        (fp_reg(), int_reg(), any::<i16>()).prop_map(|(src, base, off)| Instr::StoreF {
+            src,
+            base,
+            off: off as i32
+        }),
+        (int_reg(), any::<i16>()).prop_map(|(base, off)| Instr::Prefetch {
+            base,
+            off: off as i32
+        }),
         (queue(), int_reg(), any::<i16>(), width(), any::<bool>()).prop_map(
             |(q, base, off, width, signed)| Instr::LoadQ {
                 q,
@@ -107,8 +141,14 @@ fn any_instr() -> impl Strategy<Value = Instr> {
                 signed: signed || width == Width::D,
             }
         ),
-        (queue(), int_reg(), any::<i16>(), width())
-            .prop_map(|(q, base, off, width)| Instr::StoreQ { q, base, off: off as i32, width }),
+        (queue(), int_reg(), any::<i16>(), width()).prop_map(|(q, base, off, width)| {
+            Instr::StoreQ {
+                q,
+                base,
+                off: off as i32,
+                width,
+            }
+        }),
         (queue(), int_reg()).prop_map(|(q, src)| Instr::SendI { q, src }),
         (queue(), fp_reg()).prop_map(|(q, src)| Instr::SendF { q, src }),
         (queue(), int_reg()).prop_map(|(q, dst)| Instr::RecvI { q, dst }),

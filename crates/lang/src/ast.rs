@@ -34,12 +34,18 @@ pub enum BinOp {
 impl BinOp {
     /// True for the six comparison operators.
     pub fn is_cmp(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// True for operators only defined on integers.
     pub fn int_only(self) -> bool {
-        matches!(self, BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+        matches!(
+            self,
+            BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        )
     }
 }
 
@@ -129,12 +135,22 @@ mod tests {
     fn kernel_decl_lookup() {
         let k = Kernel {
             decls: vec![
-                Decl::Scalar { name: "x".into(), ty: Ty::Int },
-                Decl::Array { name: "a".into(), ty: Ty::Float, len: 4 },
+                Decl::Scalar {
+                    name: "x".into(),
+                    ty: Ty::Int,
+                },
+                Decl::Array {
+                    name: "a".into(),
+                    ty: Ty::Float,
+                    len: 4,
+                },
             ],
             body: vec![],
         };
-        assert!(matches!(k.decl("x"), Some(Decl::Scalar { ty: Ty::Int, .. })));
+        assert!(matches!(
+            k.decl("x"),
+            Some(Decl::Scalar { ty: Ty::Int, .. })
+        ));
         assert!(matches!(k.decl("a"), Some(Decl::Array { len: 4, .. })));
         assert!(k.decl("nope").is_none());
     }

@@ -38,7 +38,11 @@ pub struct Layout {
 
 impl Default for Layout {
     fn default() -> Self {
-        Layout { arrays_base: 0x0100_0000, out_base: 0x0300_0000, pool_base: 0x0310_0000 }
+        Layout {
+            arrays_base: 0x0100_0000,
+            out_base: 0x0300_0000,
+            pool_base: 0x0310_0000,
+        }
     }
 }
 
@@ -87,7 +91,9 @@ impl CompiledKernel {
 
     /// Reads back a float array.
     pub fn get_array_f64(&self, mem: &Memory, name: &str, len: usize) -> Vec<f64> {
-        (0..len).map(|k| mem.read_f64(self.array_base[name] + 8 * k as u64).unwrap()).collect()
+        (0..len)
+            .map(|k| mem.read_f64(self.array_base[name] + 8 * k as u64).unwrap())
+            .collect()
     }
 
     /// Reads the `k`-th `out(...)` cell as raw bits.
@@ -184,7 +190,9 @@ impl Cg<'_> {
     /// scratch register. The index value register is released.
     fn gen_addr(&mut self, name: &str, idx: &Expr) -> Result<IntReg> {
         let iv = self.gen_expr(idx)?;
-        let Val::I(ir) = iv else { unreachable!("typechecked index") };
+        let Val::I(ir) = iv else {
+            unreachable!("typechecked index")
+        };
         let addr = IntReg::new(ADDR_SCRATCH);
         self.b.slli(addr, ir, 3);
         self.pop(iv);
@@ -388,8 +396,11 @@ impl Cg<'_> {
                     let else_l = self.fresh("else");
                     let join_l = self.fresh("join");
                     let v = self.gen_expr(c)?;
-                    let Val::I(cr) = v else { unreachable!("typechecked") };
-                    self.b.branch(BranchCond::Eq, cr, IntReg::ZERO, else_l.clone());
+                    let Val::I(cr) = v else {
+                        unreachable!("typechecked")
+                    };
+                    self.b
+                        .branch(BranchCond::Eq, cr, IntReg::ZERO, else_l.clone());
                     self.pop(v);
                     self.gen_stmts(then)?;
                     self.b.jump(join_l.clone());
@@ -402,8 +413,11 @@ impl Cg<'_> {
                     let exit = self.fresh("done");
                     self.b.label(head.clone());
                     let v = self.gen_expr(c)?;
-                    let Val::I(cr) = v else { unreachable!("typechecked") };
-                    self.b.branch(BranchCond::Eq, cr, IntReg::ZERO, exit.clone());
+                    let Val::I(cr) = v else {
+                        unreachable!("typechecked")
+                    };
+                    self.b
+                        .branch(BranchCond::Eq, cr, IntReg::ZERO, exit.clone());
                     self.pop(v);
                     self.loop_stack.push((head.clone(), exit.clone()));
                     self.gen_stmts(body)?;
@@ -418,8 +432,11 @@ impl Cg<'_> {
                     let exit = self.fresh("done");
                     self.b.label(head.clone());
                     let v = self.gen_expr(c)?;
-                    let Val::I(cr) = v else { unreachable!("typechecked") };
-                    self.b.branch(BranchCond::Eq, cr, IntReg::ZERO, exit.clone());
+                    let Val::I(cr) = v else {
+                        unreachable!("typechecked")
+                    };
+                    self.b
+                        .branch(BranchCond::Eq, cr, IntReg::ZERO, exit.clone());
                     self.pop(v);
                     // `continue` jumps to the step clause, as in C.
                     self.loop_stack.push((cont.clone(), exit.clone()));
@@ -501,7 +518,9 @@ pub fn compile_kernel(name: &str, k: &Kernel, layout: &Layout) -> Result<Compile
             array_base.insert(name.clone(), next);
             next += (len * 8).div_ceil(4096) * 4096;
             if next > i32::MAX as u64 {
-                return Err(LangError::Codegen("arrays exceed the 31-bit address range".into()));
+                return Err(LangError::Codegen(
+                    "arrays exceed the 31-bit address range".into(),
+                ));
             }
         }
     }
@@ -537,7 +556,13 @@ pub fn compile_kernel(name: &str, k: &Kernel, layout: &Layout) -> Result<Compile
     let prog = b
         .finish()
         .map_err(|e| LangError::Codegen(format!("internal label error: {e}")))?;
-    Ok(CompiledKernel { prog, symbols: sym, array_base, out_base: layout.out_base, pool })
+    Ok(CompiledKernel {
+        prog,
+        symbols: sym,
+        array_base,
+        out_base: layout.out_base,
+        pool,
+    })
 }
 
 #[cfg(test)]
@@ -558,7 +583,8 @@ mod tests {
 
     #[test]
     fn sum_loop_matches() {
-        let (c, mem) = run_disa("var i; var s;\nfor (i = 1; i <= 10; i = i + 1) { s = s + i; }\nout(s);");
+        let (c, mem) =
+            run_disa("var i; var s;\nfor (i = 1; i <= 10; i = i + 1) { s = s + i; }\nout(s);");
         assert_eq!(c.out_bits(&mem, 0) as i64, 55);
     }
 
@@ -575,7 +601,10 @@ mod tests {
         let c = compile_kernel("t", &k, &Layout::default()).unwrap();
         let mut i = Interp::new(&c.prog, c.initial_memory());
         i.run(100_000).unwrap();
-        assert_eq!(c.get_array_i64(&i.mem, "a", 8), vec![0, 3, 6, 9, 12, 15, 18, 21]);
+        assert_eq!(
+            c.get_array_i64(&i.mem, "a", 8),
+            vec![0, 3, 6, 9, 12, 15, 18, 21]
+        );
     }
 
     #[test]
@@ -593,7 +622,10 @@ mod tests {
     fn too_many_variables_rejected() {
         let decls: String = (0..20).map(|i| format!("var v{i}; ")).collect();
         let k = parse(&decls).unwrap();
-        assert!(matches!(compile_kernel("t", &k, &Layout::default()), Err(LangError::Codegen(_))));
+        assert!(matches!(
+            compile_kernel("t", &k, &Layout::default()),
+            Err(LangError::Codegen(_))
+        ));
     }
 
     #[test]
@@ -619,7 +651,9 @@ mod flow_codegen_tests {
         i.run(1_000_000).unwrap();
         // count outs by running the oracle
         let o = crate::eval::evaluate(&k, &std::collections::HashMap::new(), 1_000_000).unwrap();
-        (0..o.outs.len()).map(|n| c.out_bits(&i.mem, n) as i64).collect()
+        (0..o.outs.len())
+            .map(|n| c.out_bits(&i.mem, n) as i64)
+            .collect()
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl Env {
     fn tick(&mut self) -> Result<()> {
         self.steps += 1;
         if self.steps > self.budget {
-            return Err(LangError::Sema(format!("evaluation exceeded {} steps", self.budget)));
+            return Err(LangError::Sema(format!(
+                "evaluation exceeded {} steps",
+                self.budget
+            )));
         }
         Ok(())
     }
@@ -86,7 +89,9 @@ impl Env {
     fn index(&self, name: &str, idx: i64) -> Result<usize> {
         let (_, len) = self.sym.arrays[name];
         if idx < 0 || idx as u64 >= len {
-            return Err(LangError::Sema(format!("index {idx} out of bounds for `{name}[{len}]`")));
+            return Err(LangError::Sema(format!(
+                "index {idx} out of bounds for `{name}[{len}]`"
+            )));
         }
         Ok(idx as usize)
     }
@@ -264,14 +269,30 @@ pub fn evaluate(
             match (&data, ty) {
                 (ArrayData::I(v), Ty::Int) => assert_eq!(v.len() as u64, *len),
                 (ArrayData::F(v), Ty::Float) => assert_eq!(v.len() as u64, *len),
-                _ => return Err(LangError::Sema(format!("initial data type mismatch for {name}"))),
+                _ => {
+                    return Err(LangError::Sema(format!(
+                        "initial data type mismatch for {name}"
+                    )))
+                }
             }
             arrays.insert(name.clone(), data);
         }
     }
-    let mut env = Env { sym, scalars, arrays, outs: Vec::new(), steps: 0, budget };
+    let mut env = Env {
+        sym,
+        scalars,
+        arrays,
+        outs: Vec::new(),
+        steps: 0,
+        budget,
+    };
     env.run(&k.body)?;
-    Ok(EvalResult { scalars: env.scalars, arrays: env.arrays, outs: env.outs, steps: env.steps })
+    Ok(EvalResult {
+        scalars: env.scalars,
+        arrays: env.arrays,
+        outs: env.outs,
+        steps: env.steps,
+    })
 }
 
 #[cfg(test)]
@@ -291,28 +312,24 @@ mod tests {
 
     #[test]
     fn arrays_and_conditionals() {
-        let r = run(
-            r"
+        let r = run(r"
             var i; arr a[8];
             for (i = 0; i < 8; i = i + 1) {
                 if (i % 2 == 0) { a[i] = i * i; } else { a[i] = 0 - i; }
             }
             out(a[4]); out(a[5]);
-        ",
-        );
+        ");
         assert_eq!(r.outs, vec![Value::I(16), Value::I(-5)]);
     }
 
     #[test]
     fn float_semantics() {
-        let r = run(
-            r"
+        let r = run(r"
             fvar x; var n;
             x = 1.5 * 4.0;
             n = int(x / 2.0);
             out(x); out(n); out(float(n) + 0.25);
-        ",
-        );
+        ");
         assert_eq!(r.outs, vec![Value::F(6.0), Value::I(3), Value::F(3.25)]);
     }
 
@@ -325,7 +342,10 @@ mod tests {
     #[test]
     fn comparison_chain_semantics() {
         let r = run("var a;\na = 5;\nout(a == 5); out(a != 5); out(a >= 6); out(3 < a & a < 9);");
-        assert_eq!(r.outs, vec![Value::I(1), Value::I(0), Value::I(0), Value::I(1)]);
+        assert_eq!(
+            r.outs,
+            vec![Value::I(1), Value::I(0), Value::I(0), Value::I(1)]
+        );
     }
 
     #[test]
@@ -360,8 +380,7 @@ mod flow_tests {
 
     #[test]
     fn break_exits_the_innermost_loop() {
-        let r = run(
-            r"
+        let r = run(r"
             var i; var j; var n;
             for (i = 0; i < 10; i = i + 1) {
                 for (j = 0; j < 10; j = j + 1) {
@@ -370,38 +389,33 @@ mod flow_tests {
                 }
             }
             out(n); out(i); out(j);
-        ",
-        );
+        ");
         assert_eq!(r.outs, vec![Value::I(30), Value::I(10), Value::I(3)]);
     }
 
     #[test]
     fn continue_runs_the_step_clause() {
-        let r = run(
-            r"
+        let r = run(r"
             var i; var n;
             for (i = 0; i < 10; i = i + 1) {
                 if (i % 2 == 0) { continue; }
                 n = n + i;
             }
             out(n);
-        ",
-        );
+        ");
         assert_eq!(r.outs, vec![Value::I(1 + 3 + 5 + 7 + 9)]);
     }
 
     #[test]
     fn break_in_while_and_propagation_through_if() {
-        let r = run(
-            r"
+        let r = run(r"
             var x;
             while (1) {
                 x = x + 1;
                 if (x >= 7) { if (1) { break; } }
             }
             out(x);
-        ",
-        );
+        ");
         assert_eq!(r.outs, vec![Value::I(7)]);
     }
 

@@ -78,68 +78,116 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 }
             }
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, line });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, line });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    line,
+                });
                 i += 1;
             }
             '{' => {
-                out.push(Spanned { tok: Tok::LBrace, line });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Spanned { tok: Tok::RBrace, line });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { tok: Tok::LBracket, line });
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { tok: Tok::RBracket, line });
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { tok: Tok::Semi, line });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    line,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Spanned { tok: Tok::Plus, line });
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Spanned { tok: Tok::Minus, line });
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { tok: Tok::Star, line });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Spanned { tok: Tok::Slash, line });
+                out.push(Spanned {
+                    tok: Tok::Slash,
+                    line,
+                });
                 i += 1;
             }
             '%' => {
-                out.push(Spanned { tok: Tok::Percent, line });
+                out.push(Spanned {
+                    tok: Tok::Percent,
+                    line,
+                });
                 i += 1;
             }
             '&' => {
-                out.push(Spanned { tok: Tok::Amp, line });
+                out.push(Spanned {
+                    tok: Tok::Amp,
+                    line,
+                });
                 i += 1;
             }
             '|' => {
-                out.push(Spanned { tok: Tok::Pipe, line });
+                out.push(Spanned {
+                    tok: Tok::Pipe,
+                    line,
+                });
                 i += 1;
             }
             '^' => {
-                out.push(Spanned { tok: Tok::Caret, line });
+                out.push(Spanned {
+                    tok: Tok::Caret,
+                    line,
+                });
                 i += 1;
             }
             '<' => {
                 if i + 1 < b.len() && b[i + 1] == b'<' {
-                    out.push(Spanned { tok: Tok::Shl, line });
+                    out.push(Spanned {
+                        tok: Tok::Shl,
+                        line,
+                    });
                     i += 2;
                 } else if i + 1 < b.len() && b[i + 1] == b'=' {
                     out.push(Spanned { tok: Tok::Le, line });
@@ -151,7 +199,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
             }
             '>' => {
                 if i + 1 < b.len() && b[i + 1] == b'>' {
-                    out.push(Spanned { tok: Tok::Shr, line });
+                    out.push(Spanned {
+                        tok: Tok::Shr,
+                        line,
+                    });
                     i += 2;
                 } else if i + 1 < b.len() && b[i + 1] == b'=' {
                     out.push(Spanned { tok: Tok::Ge, line });
@@ -163,10 +214,16 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
             }
             '=' => {
                 if i + 1 < b.len() && b[i + 1] == b'=' {
-                    out.push(Spanned { tok: Tok::EqEq, line });
+                    out.push(Spanned {
+                        tok: Tok::EqEq,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { tok: Tok::Assign, line });
+                    out.push(Spanned {
+                        tok: Tok::Assign,
+                        line,
+                    });
                     i += 1;
                 }
             }
@@ -175,7 +232,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                     out.push(Spanned { tok: Tok::Ne, line });
                     i += 2;
                 } else {
-                    return Err(LangError::Lex { at: i, msg: "lone `!`".into() });
+                    return Err(LangError::Lex {
+                        at: i,
+                        msg: "lone `!`".into(),
+                    });
                 }
             }
             '0'..='9' => {
@@ -184,7 +244,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
                     if b[i] == b'.' {
                         if is_float {
-                            return Err(LangError::Lex { at: i, msg: "second `.` in number".into() });
+                            return Err(LangError::Lex {
+                                at: i,
+                                msg: "second `.` in number".into(),
+                            });
                         }
                         is_float = true;
                     }
@@ -192,23 +255,36 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 }
                 let text = &src[start..i];
                 if is_float {
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|_| LangError::Lex { at: start, msg: format!("bad float `{text}`") })?;
-                    out.push(Spanned { tok: Tok::Float(v), line });
+                    let v: f64 = text.parse().map_err(|_| LangError::Lex {
+                        at: start,
+                        msg: format!("bad float `{text}`"),
+                    })?;
+                    out.push(Spanned {
+                        tok: Tok::Float(v),
+                        line,
+                    });
                 } else if let Some(hex) = text.strip_prefix("0x") {
-                    let v = i64::from_str_radix(hex, 16)
-                        .map_err(|_| LangError::Lex { at: start, msg: format!("bad hex `{text}`") })?;
-                    out.push(Spanned { tok: Tok::Int(v), line });
+                    let v = i64::from_str_radix(hex, 16).map_err(|_| LangError::Lex {
+                        at: start,
+                        msg: format!("bad hex `{text}`"),
+                    })?;
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        line,
+                    });
                 } else if text.starts_with("0x") {
                     unreachable!()
                 } else {
                     // hex is handled via identifier-ish scan below for 0x..;
                     // plain decimal here:
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|_| LangError::Lex { at: start, msg: format!("bad int `{text}`") })?;
-                    out.push(Spanned { tok: Tok::Int(v), line });
+                    let v: i64 = text.parse().map_err(|_| LangError::Lex {
+                        at: start,
+                        msg: format!("bad int `{text}`"),
+                    })?;
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        line,
+                    });
                 }
                 // hex literals `0x...` — the digit scan stops at 'x';
                 // patch up here.
@@ -218,12 +294,17 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                     while i < b.len() && b[i].is_ascii_hexdigit() {
                         i += 1;
                     }
-                    let v = i64::from_str_radix(&src[hstart..i], 16).map_err(|_| {
-                        LangError::Lex { at: hstart, msg: "bad hex literal".into() }
-                    })?;
+                    let v =
+                        i64::from_str_radix(&src[hstart..i], 16).map_err(|_| LangError::Lex {
+                            at: hstart,
+                            msg: "bad hex literal".into(),
+                        })?;
                     // replace the `0` we just pushed
                     out.pop();
-                    out.push(Spanned { tok: Tok::Int(v), line });
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        line,
+                    });
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -251,7 +332,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 out.push(Spanned { tok, line });
             }
             other => {
-                return Err(LangError::Lex { at: i, msg: format!("unexpected character `{other}`") })
+                return Err(LangError::Lex {
+                    at: i,
+                    msg: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
@@ -283,7 +367,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 3.5 0x10"), vec![Tok::Int(42), Tok::Float(3.5), Tok::Int(16)]);
+        assert_eq!(
+            toks("42 3.5 0x10"),
+            vec![Tok::Int(42), Tok::Float(3.5), Tok::Int(16)]
+        );
     }
 
     #[test]

@@ -16,11 +16,17 @@ impl P {
     }
 
     fn line(&self) -> usize {
-        self.toks.get(self.at.min(self.toks.len().saturating_sub(1))).map(|s| s.line).unwrap_or(0)
+        self.toks
+            .get(self.at.min(self.toks.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
-        Err(LangError::Parse { line: self.line(), msg: msg.into() })
+        Err(LangError::Parse {
+            line: self.line(),
+            msg: msg.into(),
+        })
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -60,13 +66,21 @@ impl P {
         loop {
             match self.peek() {
                 Some(Tok::Var) | Some(Tok::FVar) => {
-                    let ty = if matches!(self.bump(), Some(Tok::Var)) { Ty::Int } else { Ty::Float };
+                    let ty = if matches!(self.bump(), Some(Tok::Var)) {
+                        Ty::Int
+                    } else {
+                        Ty::Float
+                    };
                     let name = self.ident()?;
                     self.eat(&Tok::Semi, "`;`")?;
                     out.push(Decl::Scalar { name, ty });
                 }
                 Some(Tok::Arr) | Some(Tok::FArr) => {
-                    let ty = if matches!(self.bump(), Some(Tok::Arr)) { Ty::Int } else { Ty::Float };
+                    let ty = if matches!(self.bump(), Some(Tok::Arr)) {
+                        Ty::Int
+                    } else {
+                        Ty::Float
+                    };
                     let name = self.ident()?;
                     self.eat(&Tok::LBracket, "`[`")?;
                     let len = match self.bump() {
@@ -150,7 +164,12 @@ impl P {
                 self.eat(&Tok::Semi, "`;`")?;
                 let step = self.simple()?;
                 self.eat(&Tok::RParen, "`)`")?;
-                Ok(Stmt::For(Box::new(init), cond, Box::new(step), self.block()?))
+                Ok(Stmt::For(
+                    Box::new(init),
+                    cond,
+                    Box::new(step),
+                    self.block()?,
+                ))
             }
             Some(Tok::Break) => {
                 self.at += 1;
@@ -334,14 +353,18 @@ impl Symbols {
                 Decl::Scalar { name, ty } => {
                     if s.scalars.insert(name.clone(), *ty).is_some() || s.arrays.contains_key(name)
                     {
-                        return Err(LangError::Sema(format!("duplicate declaration of `{name}`")));
+                        return Err(LangError::Sema(format!(
+                            "duplicate declaration of `{name}`"
+                        )));
                     }
                 }
                 Decl::Array { name, ty, len } => {
                     if s.arrays.insert(name.clone(), (*ty, *len)).is_some()
                         || s.scalars.contains_key(name)
                     {
-                        return Err(LangError::Sema(format!("duplicate declaration of `{name}`")));
+                        return Err(LangError::Sema(format!(
+                            "duplicate declaration of `{name}`"
+                        )));
                     }
                 }
             }
@@ -375,7 +398,9 @@ pub fn ty_of(e: &Expr, sym: &Symbols) -> Result<Ty> {
             let ta = ty_of(a, sym)?;
             let tb = ty_of(b, sym)?;
             if ta != tb {
-                return Err(LangError::Sema(format!("type mismatch in {op:?}: {ta:?} vs {tb:?}")));
+                return Err(LangError::Sema(format!(
+                    "type mismatch in {op:?}: {ta:?} vs {tb:?}"
+                )));
             }
             if op.int_only() && ta != Ty::Int {
                 return Err(LangError::Sema(format!("{op:?} is integer-only")));
@@ -402,21 +427,19 @@ fn check_stmts_at(stmts: &[Stmt], sym: &Symbols, loop_depth: u32) -> Result<()> 
     for s in stmts {
         match s {
             Stmt::Assign(n, e) => {
-                let tv = sym
-                    .scalars
-                    .get(n)
-                    .copied()
-                    .ok_or_else(|| LangError::Sema(format!("assignment to undeclared `{n}`")))?;
+                let tv =
+                    sym.scalars.get(n).copied().ok_or_else(|| {
+                        LangError::Sema(format!("assignment to undeclared `{n}`"))
+                    })?;
                 if ty_of(e, sym)? != tv {
                     return Err(LangError::Sema(format!("type mismatch assigning `{n}`")));
                 }
             }
             Stmt::Store(n, idx, e) => {
-                let (ta, _) = sym
-                    .arrays
-                    .get(n)
-                    .copied()
-                    .ok_or_else(|| LangError::Sema(format!("store to undeclared array `{n}`")))?;
+                let (ta, _) =
+                    sym.arrays.get(n).copied().ok_or_else(|| {
+                        LangError::Sema(format!("store to undeclared array `{n}`"))
+                    })?;
                 if ty_of(idx, sym)? != Ty::Int {
                     return Err(LangError::Sema(format!("index into `{n}` must be int")));
                 }

@@ -5,10 +5,10 @@
 //! 2. the generated DISA binary on the reference interpreter,
 //! 3. the HiDISC-compiled decoupled machine.
 
+use hidisc_isa::interp::Interp;
 use hidisc_lang::ast::{BinOp, Decl, Expr, Kernel, Stmt, Ty};
 use hidisc_lang::eval::{evaluate, ArrayData, Value};
 use hidisc_lang::{compile_kernel, Layout};
-use hidisc_isa::interp::Interp;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -16,15 +16,44 @@ const ARR_LEN: u64 = 16; // power of two so `& 15` indexes are in bounds
 
 fn decls() -> Vec<Decl> {
     vec![
-        Decl::Scalar { name: "a".into(), ty: Ty::Int },
-        Decl::Scalar { name: "b".into(), ty: Ty::Int },
-        Decl::Scalar { name: "c".into(), ty: Ty::Int },
-        Decl::Scalar { name: "i".into(), ty: Ty::Int },
-        Decl::Scalar { name: "j".into(), ty: Ty::Int },
-        Decl::Scalar { name: "x".into(), ty: Ty::Float },
-        Decl::Scalar { name: "y".into(), ty: Ty::Float },
-        Decl::Array { name: "A".into(), ty: Ty::Int, len: ARR_LEN },
-        Decl::Array { name: "F".into(), ty: Ty::Float, len: ARR_LEN },
+        Decl::Scalar {
+            name: "a".into(),
+            ty: Ty::Int,
+        },
+        Decl::Scalar {
+            name: "b".into(),
+            ty: Ty::Int,
+        },
+        Decl::Scalar {
+            name: "c".into(),
+            ty: Ty::Int,
+        },
+        Decl::Scalar {
+            name: "i".into(),
+            ty: Ty::Int,
+        },
+        Decl::Scalar {
+            name: "j".into(),
+            ty: Ty::Int,
+        },
+        Decl::Scalar {
+            name: "x".into(),
+            ty: Ty::Float,
+        },
+        Decl::Scalar {
+            name: "y".into(),
+            ty: Ty::Float,
+        },
+        Decl::Array {
+            name: "A".into(),
+            ty: Ty::Int,
+            len: ARR_LEN,
+        },
+        Decl::Array {
+            name: "F".into(),
+            ty: Ty::Float,
+            len: ARR_LEN,
+        },
     ]
 }
 
@@ -42,15 +71,16 @@ fn int_var() -> impl Strategy<Value = Expr> {
 /// both the oracle and the generated code within the array.
 fn index_expr(inner: impl Strategy<Value = Expr> + 'static) -> impl Strategy<Value = Expr> {
     inner.prop_map(|e| {
-        Expr::Bin(BinOp::And, Box::new(e), Box::new(Expr::Int(ARR_LEN as i64 - 1)))
+        Expr::Bin(
+            BinOp::And,
+            Box::new(e),
+            Box::new(Expr::Int(ARR_LEN as i64 - 1)),
+        )
     })
 }
 
 fn int_expr() -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        (-64i64..64).prop_map(Expr::Int),
-        int_var(),
-    ];
+    let leaf = prop_oneof![(-64i64..64).prop_map(Expr::Int), int_var(),];
     leaf.prop_recursive(3, 24, 4, |inner| {
         let op = prop_oneof![
             Just(BinOp::Add),
@@ -69,8 +99,11 @@ fn int_expr() -> BoxedStrategy<Expr> {
             Just(BinOp::Ne),
         ];
         prop_oneof![
-            (op, inner.clone(), inner.clone())
-                .prop_map(|(o, a, b)| Expr::Bin(o, Box::new(a), Box::new(b))),
+            (op, inner.clone(), inner.clone()).prop_map(|(o, a, b)| Expr::Bin(
+                o,
+                Box::new(a),
+                Box::new(b)
+            )),
             inner.clone().prop_map(|a| Expr::Neg(Box::new(a))),
             index_expr(inner.clone()).prop_map(|i| Expr::Index("A".into(), Box::new(i))),
         ]
@@ -87,10 +120,15 @@ fn float_expr() -> BoxedStrategy<Expr> {
     leaf.prop_recursive(2, 12, 3, |inner| {
         let op = prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)];
         prop_oneof![
-            (op, inner.clone(), inner.clone())
-                .prop_map(|(o, a, b)| Expr::Bin(o, Box::new(a), Box::new(b))),
+            (op, inner.clone(), inner.clone()).prop_map(|(o, a, b)| Expr::Bin(
+                o,
+                Box::new(a),
+                Box::new(b)
+            )),
             index_expr(int_expr()).prop_map(|i| Expr::Index("F".into(), Box::new(i))),
-            inner.clone().prop_map(|a| Expr::ToFloat(Box::new(Expr::ToInt(Box::new(a))))),
+            inner
+                .clone()
+                .prop_map(|a| Expr::ToFloat(Box::new(Expr::ToInt(Box::new(a))))),
         ]
     })
     .boxed()
@@ -103,10 +141,8 @@ fn body_stmt(in_loop: bool) -> impl Strategy<Value = Stmt> {
     let assign_target = prop_oneof![Just("a"), Just("b"), Just("c")];
     prop_oneof![
         (assign_target, int_expr()).prop_map(|(n, e)| Stmt::Assign(n.into(), e)),
-        (index_expr(int_expr()), int_expr())
-            .prop_map(|(i, e)| Stmt::Store("A".into(), i, e)),
-        (index_expr(int_expr()), float_expr())
-            .prop_map(|(i, e)| Stmt::Store("F".into(), i, e)),
+        (index_expr(int_expr()), int_expr()).prop_map(|(i, e)| Stmt::Store("A".into(), i, e)),
+        (index_expr(int_expr()), float_expr()).prop_map(|(i, e)| Stmt::Store("F".into(), i, e)),
         (prop_oneof![Just("x"), Just("y")], float_expr())
             .prop_map(|(n, e): (&str, _)| Stmt::Assign(n.into(), e)),
         (
@@ -149,7 +185,11 @@ fn counted_loop(counter: &'static str) -> impl Strategy<Value = Stmt> {
             ),
             Box::new(Stmt::Assign(
                 counter.into(),
-                Expr::Bin(BinOp::Add, Box::new(Expr::Var(counter.into())), Box::new(Expr::Int(1))),
+                Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Var(counter.into())),
+                    Box::new(Expr::Int(1)),
+                ),
             )),
             body,
         )
@@ -164,12 +204,20 @@ fn kernel() -> impl Strategy<Value = Kernel> {
             (1i64..4, prop::collection::vec(body_stmt(true), 1..3)).prop_map(|(n, mut inner)| {
                 inner.push(Stmt::Store(
                     "A".into(),
-                    Expr::Bin(BinOp::And, Box::new(Expr::Var("j".into())), Box::new(Expr::Int(15))),
+                    Expr::Bin(
+                        BinOp::And,
+                        Box::new(Expr::Var("j".into())),
+                        Box::new(Expr::Int(15)),
+                    ),
                     Expr::Var("a".into()),
                 ));
                 Stmt::For(
                     Box::new(Stmt::Assign("j".into(), Expr::Int(0))),
-                    Expr::Bin(BinOp::Lt, Box::new(Expr::Var("j".into())), Box::new(Expr::Int(n))),
+                    Expr::Bin(
+                        BinOp::Lt,
+                        Box::new(Expr::Var("j".into())),
+                        Box::new(Expr::Int(n)),
+                    ),
                     Box::new(Stmt::Assign(
                         "j".into(),
                         Expr::Bin(
@@ -195,13 +243,20 @@ fn kernel() -> impl Strategy<Value = Kernel> {
             for v in ["x", "y"] {
                 body.push(Stmt::Out(Expr::Var(v.into())));
             }
-            Kernel { decls: decls(), body }
+            Kernel {
+                decls: decls(),
+                body,
+            }
         })
 }
 
 fn init_arrays(seed: i64) -> HashMap<String, ArrayData> {
-    let ints: Vec<i64> = (0..ARR_LEN as i64).map(|k| (k * 37 + seed) % 101 - 50).collect();
-    let floats: Vec<f64> = (0..ARR_LEN as i64).map(|k| (k + seed % 7) as f64 * 0.5).collect();
+    let ints: Vec<i64> = (0..ARR_LEN as i64)
+        .map(|k| (k * 37 + seed) % 101 - 50)
+        .collect();
+    let floats: Vec<f64> = (0..ARR_LEN as i64)
+        .map(|k| (k + seed % 7) as f64 * 0.5)
+        .collect();
     let mut m = HashMap::new();
     m.insert("A".to_string(), ArrayData::I(ints));
     m.insert("F".to_string(), ArrayData::F(floats));
@@ -234,14 +289,26 @@ fn check_kernel(k: &Kernel, seed: i64) {
         match o {
             Value::I(v) => assert_eq!(bits as i64, *v, "out[{i}]"),
             Value::F(v) => {
-                assert_eq!(f64::from_bits(bits).to_bits(), v.to_bits(), "out[{i}] (float)")
+                assert_eq!(
+                    f64::from_bits(bits).to_bits(),
+                    v.to_bits(),
+                    "out[{i}] (float)"
+                )
             }
         }
     }
     // arrays
-    let ArrayData::I(want_a) = &oracle.arrays["A"] else { unreachable!() };
-    assert_eq!(&c.get_array_i64(&interp.mem, "A", ARR_LEN as usize), want_a, "array A");
-    let ArrayData::F(want_f) = &oracle.arrays["F"] else { unreachable!() };
+    let ArrayData::I(want_a) = &oracle.arrays["A"] else {
+        unreachable!()
+    };
+    assert_eq!(
+        &c.get_array_i64(&interp.mem, "A", ARR_LEN as usize),
+        want_a,
+        "array A"
+    );
+    let ArrayData::F(want_f) = &oracle.arrays["F"] else {
+        unreachable!()
+    };
     let got_f = c.get_array_f64(&interp.mem, "F", ARR_LEN as usize);
     for (g, w) in got_f.iter().zip(want_f) {
         assert_eq!(g.to_bits(), w.to_bits(), "array F");

@@ -113,7 +113,11 @@ impl Cache {
                 l.prefetched = false;
                 stats.useful_prefetch_hits += 1;
             }
-            return Probe { hit: true, first_touch_of_prefetch: first_touch, evicted_dirty: false };
+            return Probe {
+                hit: true,
+                first_touch_of_prefetch: first_touch,
+                evicted_dirty: false,
+            };
         }
 
         // Miss: allocate over LRU (or an invalid way).
@@ -130,8 +134,18 @@ impl Cache {
         if evicted_dirty {
             stats.writebacks += 1;
         }
-        *victim = Line { valid: true, dirty: is_store, prefetched: is_prefetch, tag, lru: tick };
-        Probe { hit: false, first_touch_of_prefetch: false, evicted_dirty }
+        *victim = Line {
+            valid: true,
+            dirty: is_store,
+            prefetched: is_prefetch,
+            tag,
+            lru: tick,
+        };
+        Probe {
+            hit: false,
+            first_touch_of_prefetch: false,
+            evicted_dirty,
+        }
     }
 
     /// Probes without modifying state (no LRU update, no allocation, no
@@ -159,7 +173,12 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets, 2 ways, 16-byte blocks → 128 B
-        Cache::new(CacheConfig { sets: 4, block_bytes: 16, ways: 2, latency: 1 })
+        Cache::new(CacheConfig {
+            sets: 4,
+            block_bytes: 16,
+            ways: 2,
+            latency: 1,
+        })
     }
 
     #[test]

@@ -16,12 +16,22 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Table 1 L1 data cache: 256 sets, 32-byte blocks, 4-way, 1 cycle.
     pub fn paper_l1() -> CacheConfig {
-        CacheConfig { sets: 256, block_bytes: 32, ways: 4, latency: 1 }
+        CacheConfig {
+            sets: 256,
+            block_bytes: 32,
+            ways: 4,
+            latency: 1,
+        }
     }
 
     /// Table 1 unified L2: 1024 sets, 64-byte blocks, 4-way, 12 cycles.
     pub fn paper_l2() -> CacheConfig {
-        CacheConfig { sets: 1024, block_bytes: 64, ways: 4, latency: 12 }
+        CacheConfig {
+            sets: 1024,
+            block_bytes: 64,
+            ways: 4,
+            latency: 12,
+        }
     }
 
     /// Total capacity in bytes.
@@ -32,7 +42,10 @@ impl CacheConfig {
     /// Panics if geometry is not a power of two or zero-sized.
     pub fn validate(&self) {
         assert!(self.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(self.block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            self.block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(self.ways > 0, "associativity must be positive");
     }
 }
@@ -101,6 +114,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn validate_rejects_non_pow2() {
-        CacheConfig { sets: 3, block_bytes: 32, ways: 4, latency: 1 }.validate();
+        CacheConfig {
+            sets: 3,
+            block_bytes: 32,
+            ways: 4,
+            latency: 1,
+        }
+        .validate();
     }
 }

@@ -146,7 +146,11 @@ impl MemSystem {
                     l2_hit: false,
                 });
             }
-            return Some(AccessResult { complete_at: now + l1_lat, l1_hit: true, l2_hit: false });
+            return Some(AccessResult {
+                complete_at: now + l1_lat,
+                l1_hit: true,
+                l2_hit: false,
+            });
         }
 
         // L1 miss: consult L2. (Writebacks of dirty victims update the
@@ -159,8 +163,16 @@ impl MemSystem {
             self.mem_accesses += 1;
         }
         let ready_at = now + lat;
-        self.mshrs.push(Mshr { block, ready_at, was_prefetch: kind.is_prefetch() });
-        Some(AccessResult { complete_at: ready_at, l1_hit: false, l2_hit: probe2.hit })
+        self.mshrs.push(Mshr {
+            block,
+            ready_at,
+            was_prefetch: kind.is_prefetch(),
+        });
+        Some(AccessResult {
+            complete_at: ready_at,
+            l1_hit: false,
+            l2_hit: probe2.hit,
+        })
     }
 
     /// Number of MSHRs currently outstanding at cycle `now`.
@@ -174,7 +186,11 @@ impl MemSystem {
     /// is the wake-up time for every core retrying a rejected access.
     /// `None` when nothing is in flight beyond `now`.
     pub fn next_event(&self, now: u64) -> Option<u64> {
-        self.mshrs.iter().map(|m| m.ready_at).filter(|&t| t > now).min()
+        self.mshrs
+            .iter()
+            .map(|m| m.ready_at)
+            .filter(|&t| t > now)
+            .min()
     }
 
     /// Structural-progress fingerprint (see `hidisc::Machine`). Every
@@ -240,8 +256,18 @@ mod tests {
 
     fn sys() -> MemSystem {
         MemSystem::new(MemConfig {
-            l1: CacheConfig { sets: 4, block_bytes: 16, ways: 2, latency: 1 },
-            l2: CacheConfig { sets: 16, block_bytes: 32, ways: 2, latency: 10 },
+            l1: CacheConfig {
+                sets: 4,
+                block_bytes: 16,
+                ways: 2,
+                latency: 1,
+            },
+            l2: CacheConfig {
+                sets: 16,
+                block_bytes: 32,
+                ways: 2,
+                latency: 10,
+            },
             mem_latency: 100,
             mshrs: 2,
         })

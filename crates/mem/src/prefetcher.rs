@@ -28,7 +28,10 @@ pub struct RptConfig {
 
 impl Default for RptConfig {
     fn default() -> Self {
-        RptConfig { entries: 64, distance: 4 }
+        RptConfig {
+            entries: 64,
+            distance: 4,
+        }
     }
 }
 
@@ -51,7 +54,13 @@ struct Entry {
 
 impl Default for Entry {
     fn default() -> Self {
-        Entry { pc: 0, valid: false, last_addr: 0, stride: 0, state: State::Initial }
+        Entry {
+            pc: 0,
+            valid: false,
+            last_addr: 0,
+            stride: 0,
+            state: State::Initial,
+        }
     }
 }
 
@@ -78,7 +87,11 @@ impl StridePrefetcher {
     /// Creates an empty table.
     pub fn new(cfg: RptConfig) -> StridePrefetcher {
         assert!(cfg.entries > 0);
-        StridePrefetcher { cfg, table: vec![Entry::default(); cfg.entries], stats: RptStats::default() }
+        StridePrefetcher {
+            cfg,
+            table: vec![Entry::default(); cfg.entries],
+            stats: RptStats::default(),
+        }
     }
 
     /// Statistics so far.
@@ -97,7 +110,13 @@ impl StridePrefetcher {
             if e.valid {
                 self.stats.replacements += 1;
             }
-            *e = Entry { pc, valid: true, last_addr: addr, stride: 0, state: State::Initial };
+            *e = Entry {
+                pc,
+                valid: true,
+                last_addr: addr,
+                stride: 0,
+                state: State::Initial,
+            };
             return None;
         }
 
@@ -133,11 +152,14 @@ mod tests {
 
     #[test]
     fn learns_a_steady_stride() {
-        let mut p = StridePrefetcher::new(RptConfig { entries: 8, distance: 2 });
+        let mut p = StridePrefetcher::new(RptConfig {
+            entries: 8,
+            distance: 2,
+        });
         assert_eq!(p.observe(5, 1000), None); // allocate
         assert_eq!(p.observe(5, 1064), None); // initial -> transient
         assert_eq!(p.observe(5, 1128), None); // transient -> steady
-        // steady: prefetch 2 strides ahead
+                                              // steady: prefetch 2 strides ahead
         assert_eq!(p.observe(5, 1192), Some(1192 + 128));
         assert_eq!(p.observe(5, 1256), Some(1256 + 128));
     }
@@ -157,7 +179,10 @@ mod tests {
 
     #[test]
     fn stride_change_backs_off_then_relearns() {
-        let mut p = StridePrefetcher::new(RptConfig { entries: 8, distance: 1 });
+        let mut p = StridePrefetcher::new(RptConfig {
+            entries: 8,
+            distance: 1,
+        });
         for k in 0..4 {
             p.observe(3, 1000 + 8 * k);
         }
@@ -171,7 +196,10 @@ mod tests {
 
     #[test]
     fn negative_strides_work() {
-        let mut p = StridePrefetcher::new(RptConfig { entries: 8, distance: 1 });
+        let mut p = StridePrefetcher::new(RptConfig {
+            entries: 8,
+            distance: 1,
+        });
         for k in 0..3i64 {
             p.observe(1, (10_000 - 64 * k) as u64);
         }
@@ -181,7 +209,10 @@ mod tests {
 
     #[test]
     fn pc_conflicts_replace() {
-        let mut p = StridePrefetcher::new(RptConfig { entries: 1, distance: 1 });
+        let mut p = StridePrefetcher::new(RptConfig {
+            entries: 1,
+            distance: 1,
+        });
         p.observe(1, 100);
         p.observe(2, 200); // evicts pc 1
         assert_eq!(p.stats().replacements, 1);
@@ -196,7 +227,10 @@ mod tests {
 
     #[test]
     fn distinct_pcs_track_independently() {
-        let mut p = StridePrefetcher::new(RptConfig { entries: 16, distance: 1 });
+        let mut p = StridePrefetcher::new(RptConfig {
+            entries: 16,
+            distance: 1,
+        });
         for k in 0..4u64 {
             p.observe(1, 1000 + 8 * k);
             p.observe(2, 9000 + 256 * k);

@@ -56,7 +56,11 @@ mod tests {
     #[test]
     fn miss_rate_handles_zero() {
         assert_eq!(CacheStats::default().demand_miss_rate(), 0.0);
-        let s = CacheStats { demand_accesses: 4, demand_misses: 1, ..Default::default() };
+        let s = CacheStats {
+            demand_accesses: 4,
+            demand_misses: 1,
+            ..Default::default()
+        };
         assert!((s.demand_miss_rate() - 0.25).abs() < 1e-12);
     }
 }

@@ -42,7 +42,12 @@ impl NaiveLru {
 }
 
 fn small_cfg() -> CacheConfig {
-    CacheConfig { sets: 8, block_bytes: 32, ways: 2, latency: 1 }
+    CacheConfig {
+        sets: 8,
+        block_bytes: 32,
+        ways: 2,
+        latency: 1,
+    }
 }
 
 proptest! {

@@ -39,6 +39,23 @@ impl Default for Latencies {
     }
 }
 
+/// Instruction-scheduling strategy of the issue stage.
+///
+/// Both produce bit-identical timing (`readylist_equiv.rs` proves it);
+/// `Scan` is retained as the reference implementation for that proof and
+/// for debugging the wakeup bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Wakeup-driven ready list: consumer links registered at dispatch,
+    /// completions drained from a min-heap, issue picks from a sorted
+    /// ready set. O(ready + completions) per cycle.
+    #[default]
+    ReadyList,
+    /// The seed implementation: walk the whole RUU every cycle for issue
+    /// candidates and completion harvest. O(window) per cycle.
+    Scan,
+}
+
 /// Configuration of one out-of-order core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
@@ -77,6 +94,8 @@ pub struct CoreConfig {
     /// Pipeline refill penalty after a front-end redirect, in cycles
     /// (decode depth between fetch and dispatch).
     pub frontend_penalty: u32,
+    /// Issue-stage scheduling strategy.
+    pub scheduler: Scheduler,
     /// Operation latencies.
     pub lat: Latencies,
 }
@@ -103,6 +122,7 @@ impl CoreConfig {
             predictor_kind: PredictorKind::Bimodal,
             hw_prefetcher: None,
             frontend_penalty: 2,
+            scheduler: Scheduler::default(),
             lat: Latencies::default(),
         }
     }

@@ -5,19 +5,32 @@
 //! fetch, so an instruction needs at least one cycle per stage and results
 //! become visible to dependents the cycle after they complete.
 
-use crate::config::CoreConfig;
+use crate::config::{CoreConfig, Scheduler};
 use crate::fu::{latency_of, FuPool};
 use crate::lsq::{LoadCheck, Lsq, LsqEntry};
 use crate::predictor::Predictor;
 use crate::queues::QueueFile;
 use crate::ruu::{EntryState, Ruu};
 use crate::stats::CoreStats;
-use hidisc_isa::instr::{FuClass, Src, Width};
+use hidisc_isa::instr::{FuClass, RegRef, Src, Width};
 use hidisc_isa::interp::{f64_to_i64, RegFile};
 use hidisc_isa::mem::Memory;
+use hidisc_isa::reg::{NUM_FP_REGS, NUM_INT_REGS};
 use hidisc_isa::{Instr, IsaError, Program, Queue, Result};
 use hidisc_mem::{AccessKind, MemSystem, StridePrefetcher};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+/// Rename-table slots: one per architectural register, integer file first.
+const RENAME_SLOTS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// Rename-table slot of a register reference.
+fn rename_slot(r: RegRef) -> usize {
+    match r {
+        RegRef::Int(r) => r.index(),
+        RegRef::Fp(r) => NUM_INT_REGS + r.index(),
+    }
+}
 
 /// A CMAS fork event produced when the Access Processor commits a trigger
 /// instruction: the CMP spawns a thread with this register context.
@@ -99,6 +112,17 @@ pub struct OooCore {
     stalled_on: Option<Queue>,
     /// Optional Chen-Baer stride prefetcher on demand loads.
     rpt: Option<StridePrefetcher>,
+    /// Ready-list scheduling: last in-flight producer of each register
+    /// (O(1) rename lookup; the scan scheduler derives this from the RUU).
+    rename: [Option<u64>; RENAME_SLOTS],
+    /// Ready-list scheduling: `Waiting` entries whose operands are all
+    /// available, in age order (`BTreeSet` iterates ascending = oldest
+    /// first, matching the scan scheduler's issue order).
+    ready: BTreeSet<u64>,
+    /// Ready-list scheduling: issued entries keyed by completion time —
+    /// `(complete_at, seq)` min-heap. Harvest pops while the top is due;
+    /// `next_event` reads the top instead of re-walking the RUU.
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
 }
 
 impl OooCore {
@@ -121,6 +145,9 @@ impl OooCore {
             stats: CoreStats::default(),
             stalled_on: None,
             rpt: cfg.hw_prefetcher.map(StridePrefetcher::new),
+            rename: [None; RENAME_SLOTS],
+            ready: BTreeSet::new(),
+            completions: BinaryHeap::new(),
             regs: RegFile::new(),
             cfg,
             prog,
@@ -163,6 +190,11 @@ impl OooCore {
         self.finished
     }
 
+    /// Current fetch pc (front-end position, for diagnostics).
+    pub fn fetch_pc(&self) -> u32 {
+        self.fetch_pc
+    }
+
     /// The earliest future cycle (strictly after `now`) at which this
     /// core's behaviour can change *on its own* — i.e. without any shared
     /// resource (queue, MSHR) changing underneath it. These are the
@@ -185,9 +217,29 @@ impl OooCore {
                 next = Some(t);
             }
         };
-        for e in self.ruu.iter() {
-            if e.state == EntryState::Issued {
-                consider(e.complete_at);
+        match self.cfg.scheduler {
+            Scheduler::ReadyList => {
+                // The heap top is the earliest completion. After a harvest
+                // at cycle `c` every heap entry has `complete_at > c`, so
+                // for the usual query (`now >= c`, the machine asking after
+                // stepping) the top alone decides; fall back to a full heap
+                // walk when the top is already due.
+                if let Some(&Reverse((t, _))) = self.completions.peek() {
+                    if t > now {
+                        consider(t);
+                    } else {
+                        for &Reverse((t, _)) in self.completions.iter() {
+                            consider(t);
+                        }
+                    }
+                }
+            }
+            Scheduler::Scan => {
+                for e in self.ruu.iter() {
+                    if e.state == EntryState::Issued {
+                        consider(e.complete_at);
+                    }
+                }
             }
         }
         consider(self.frontend_ready_at);
@@ -225,25 +277,16 @@ impl OooCore {
         // only move forward (Waiting → Issued → Done; data_known and
         // performed are only ever set), so on a cycle with no dispatch or
         // commit (caught by the counters above) any transition strictly
-        // changes at least one count.
-        let mut waiting = 0u64;
-        let mut done = 0u64;
-        for e in self.ruu.iter() {
-            waiting += (e.state == EntryState::Waiting) as u64;
-            done += (e.state == EntryState::Done) as u64;
-        }
+        // changes at least one count. The RUU and LSQ maintain them across
+        // state transitions, so no walk is needed.
+        let (waiting, done) = self.ruu.state_counts();
         h = mix(h, self.ruu.len() as u64);
-        h = mix(h, waiting);
-        h = mix(h, done);
-        let mut data_known = 0u64;
-        let mut performed = 0u64;
-        for e in self.lsq.iter() {
-            data_known += e.data_known as u64;
-            performed += e.performed as u64;
-        }
+        h = mix(h, waiting as u64);
+        h = mix(h, done as u64);
+        let (data_known, performed) = self.lsq.flag_counts();
         h = mix(h, self.lsq.len() as u64);
-        h = mix(h, data_known);
-        h = mix(h, performed);
+        h = mix(h, data_known as u64);
+        h = mix(h, performed as u64);
         h
     }
 
@@ -261,7 +304,7 @@ impl OooCore {
         self.now = now;
         self.stats.cycles += 1;
         self.fu.begin_cycle();
-        self.ruu.harvest_completions(now);
+        self.harvest(now);
         self.resolve_mispredict(now);
         self.commit(ctx)?;
         self.pump_store_data(ctx);
@@ -269,6 +312,36 @@ impl OooCore {
         self.dispatch(ctx)?;
         self.fetch();
         Ok(())
+    }
+
+    // ------------------------------------------------------------- harvest
+
+    /// Promotes issued instructions whose results are due to `Done` and, in
+    /// ready-list mode, wakes their consumers.
+    fn harvest(&mut self, now: u64) {
+        match self.cfg.scheduler {
+            Scheduler::Scan => self.ruu.harvest_completions(now),
+            Scheduler::ReadyList => {
+                while let Some(&Reverse((t, seq))) = self.completions.peek() {
+                    if t > now {
+                        break;
+                    }
+                    self.completions.pop();
+                    // Consumers registered a link per unavailable operand
+                    // at dispatch; the last producer to complete tips
+                    // `pending_deps` to zero and the consumer becomes
+                    // ready. A consumer is younger than its producer and
+                    // commit is in-order, so it is still in the window.
+                    for c in self.ruu.mark_done(seq) {
+                        let e = self.ruu.get_mut(c).expect("consumer in window");
+                        e.pending_deps -= 1;
+                        if e.pending_deps == 0 {
+                            self.ready.insert(c);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     // --------------------------------------------------------------- fetch
@@ -305,7 +378,11 @@ impl OooCore {
                     self.fetch_pc = pc + 1;
                 }
             }
-            self.ifq.push_back(Fetched { pc, instr, predicted_taken });
+            self.ifq.push_back(Fetched {
+                pc,
+                instr,
+                predicted_taken,
+            });
             if matches!(instr, Instr::Halt) {
                 break;
             }
@@ -330,7 +407,10 @@ impl OooCore {
             if f.instr.is_mem() && !self.fu.exists(FuClass::Mem) {
                 return Err(IsaError::Exec {
                     pc: f.pc,
-                    msg: format!("memory instruction on core {} with no memory ports", self.name),
+                    msg: format!(
+                        "memory instruction on core {} with no memory ports",
+                        self.name
+                    ),
                 });
             }
             if f.instr.is_fp() && !self.fu.exists(f.instr.fu_class()) {
@@ -373,7 +453,11 @@ impl OooCore {
     /// Dispatches one instruction: functional execution, RUU/LSQ
     /// allocation, dependence capture, branch handling.
     fn dispatch_one(&mut self, f: Fetched, ctx: &mut CoreCtx<'_>) -> Result<DispatchOutcome> {
-        let Fetched { pc, instr, predicted_taken } = f;
+        let Fetched {
+            pc,
+            instr,
+            predicted_taken,
+        } = f;
         let mut payload: u64 = 0;
         let mut lsq_entry: Option<LsqEntry> = None;
         let mut branch_actual = false;
@@ -416,7 +500,13 @@ impl OooCore {
         // Memory & queue instructions need more careful handling; do them
         // in a second match so the first can stay simple.
         match instr {
-            Instr::Load { dst, base, off, width, signed } => {
+            Instr::Load {
+                dst,
+                base,
+                off,
+                width,
+                signed,
+            } => {
                 let addr = (self.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
                 let v = match self.lsq.check_load(u64::MAX, addr, width) {
                     LoadCheck::Clear => ctx.data.load(addr, width, signed)?,
@@ -460,7 +550,13 @@ impl OooCore {
                     performed: false,
                 });
             }
-            Instr::LoadQ { q: _, base, off, width, signed } => {
+            Instr::LoadQ {
+                q: _,
+                base,
+                off,
+                width,
+                signed,
+            } => {
                 let addr = (self.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
                 let v = match self.lsq.check_load(u64::MAX, addr, width) {
                     LoadCheck::Clear => ctx.data.load(addr, width, signed)?,
@@ -482,7 +578,12 @@ impl OooCore {
                     performed: false,
                 });
             }
-            Instr::Store { src, base, off, width } => {
+            Instr::Store {
+                src,
+                base,
+                off,
+                width,
+            } => {
                 let addr = (self.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
                 lsq_entry = Some(LsqEntry {
                     seq: 0,
@@ -508,7 +609,12 @@ impl OooCore {
                     performed: false,
                 });
             }
-            Instr::StoreQ { q, base, off, width } => {
+            Instr::StoreQ {
+                q,
+                base,
+                off,
+                width,
+            } => {
                 let addr = (self.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
                 lsq_entry = Some(LsqEntry {
                     seq: 0,
@@ -592,6 +698,27 @@ impl OooCore {
         }
         self.set_producer(instr, seq);
 
+        // Wakeup bookkeeping: one link per unavailable operand (a producer
+        // in `deps` is unavailable by construction of `last_producer`). A
+        // duplicated operand registers — and later decrements — twice,
+        // which balances.
+        if self.cfg.scheduler == Scheduler::ReadyList {
+            let mut pending = 0u8;
+            for &d in deps.iter().flatten() {
+                self.ruu
+                    .get_mut(d)
+                    .expect("producer in window")
+                    .consumers
+                    .push(seq);
+                pending += 1;
+            }
+            if pending == 0 {
+                self.ready.insert(seq);
+            } else {
+                self.ruu.get_mut(seq).unwrap().pending_deps = pending;
+            }
+        }
+
         // ---- branch outcome handling ----
         match instr {
             Instr::Branch { .. } => {
@@ -620,31 +747,75 @@ impl OooCore {
         Ok(DispatchOutcome::Ok)
     }
 
-    /// Rename table: last in-flight producer of a register. Implemented as
-    /// a scan of the (small) RUU from youngest to oldest.
-    fn last_producer(&self, r: hidisc_isa::instr::RegRef) -> Option<u64> {
-        let mut newest = None;
-        for e in self.ruu.iter() {
-            if e.state != EntryState::Done || e.complete_at > self.now {
-                if e.instr.def() == Some(r) {
-                    newest = Some(e.seq);
+    /// Last in-flight producer of a register whose result is not yet
+    /// available, or `None` when the operand is ready. Ready-list mode
+    /// keeps a rename table (O(1)); scan mode derives it from the RUU,
+    /// oldest to youngest — the youngest def decides. The two agree: the
+    /// table records every def in dispatch order, a recorded producer that
+    /// has committed or completed fails the `producer_done` check the same
+    /// way the scan's availability branch clears `newest`.
+    fn last_producer(&self, r: RegRef) -> Option<u64> {
+        match self.cfg.scheduler {
+            Scheduler::ReadyList => {
+                self.rename[rename_slot(r)].filter(|&seq| !self.ruu.producer_done(seq, self.now))
+            }
+            Scheduler::Scan => {
+                let mut newest = None;
+                for e in self.ruu.iter() {
+                    if e.state != EntryState::Done || e.complete_at > self.now {
+                        if e.instr.def() == Some(r) {
+                            newest = Some(e.seq);
+                        }
+                    } else if e.instr.def() == Some(r) {
+                        // Completed but not yet committed: result available.
+                        newest = None;
+                    }
                 }
-            } else if e.instr.def() == Some(r) {
-                // Completed but not yet committed: result available.
-                newest = None;
+                newest
             }
         }
-        newest
     }
 
-    fn set_producer(&mut self, _instr: Instr, _seq: u64) {
-        // Producer tracking is derived from the RUU contents in
-        // `last_producer`; nothing to record here.
+    /// Records `seq` as the newest producer of its destination register.
+    fn set_producer(&mut self, instr: Instr, seq: u64) {
+        if let Some(r) = instr.def() {
+            self.rename[rename_slot(r)] = Some(seq);
+        }
     }
 
     // --------------------------------------------------------------- issue
 
     fn issue(&mut self, ctx: &mut CoreCtx<'_>) {
+        match self.cfg.scheduler {
+            Scheduler::ReadyList => self.issue_ready(ctx),
+            Scheduler::Scan => self.issue_scan(ctx),
+        }
+    }
+
+    /// Ready-list issue: walk the ready set in age order (the same order
+    /// the scan visits issuable entries). Entries that fail a structural
+    /// check (functional unit, MSHR, blocking store) stay in the set and
+    /// retry; issued entries move to the completion heap.
+    fn issue_ready(&mut self, ctx: &mut CoreCtx<'_>) {
+        let mut budget = self.cfg.issue_width;
+        let mut cursor = 0u64;
+        while budget > 0 {
+            let Some(&seq) = self.ready.range(cursor..).next() else {
+                break;
+            };
+            cursor = seq + 1;
+            if let Some(complete_at) = self.try_issue(seq, ctx) {
+                self.ready.remove(&seq);
+                self.ruu.mark_issued(seq, complete_at);
+                self.completions.push(Reverse((complete_at, seq)));
+                budget -= 1;
+            }
+        }
+    }
+
+    /// Scan issue (the seed implementation): walk the whole window for
+    /// `Waiting` entries and check operand availability per candidate.
+    fn issue_scan(&mut self, ctx: &mut CoreCtx<'_>) {
         let now = self.now;
         let mut budget = self.cfg.issue_width;
         let candidates: Vec<u64> = self
@@ -657,94 +828,110 @@ impl OooCore {
             if budget == 0 {
                 break;
             }
-            let (deps, instr, _pc) = {
-                let e = self.ruu.get(seq).unwrap();
-                (e.deps, e.instr, e.pc)
-            };
-            if !deps.iter().flatten().all(|&d| self.ruu.producer_done(d, now)) {
+            let deps = self.ruu.get(seq).unwrap().deps;
+            if !deps
+                .iter()
+                .flatten()
+                .all(|&d| self.ruu.producer_done(d, now))
+            {
                 continue;
             }
-
-            let complete_at = if instr.is_load() || matches!(instr, Instr::Prefetch { .. }) {
-                let (addr, width) = {
-                    let le = self.lsq.get(seq).expect("load has LSQ entry");
-                    (le.addr, le.width)
-                };
-                let agen = self.cfg.lat.agen as u64;
-                if matches!(instr, Instr::Prefetch { .. }) {
-                    if !self.fu.try_acquire(FuClass::Mem) {
-                        continue;
-                    }
-                    match ctx.mem_sys.access(addr, AccessKind::Prefetch, now + agen) {
-                        Some(r) => {
-                            // The prefetch instruction itself retires
-                            // quickly; the fill continues in the MSHR.
-                            let _ = r;
-                            now + agen + 1
-                        }
-                        None => {
-                            // Droppable: no MSHR, give up on this prefetch.
-                            self.stats.dropped_prefetches += 1;
-                            now + agen
-                        }
-                    }
-                } else {
-                    match self.lsq.check_load(seq, addr, width) {
-                        LoadCheck::Blocked(_) => continue,
-                        LoadCheck::Forward(_) => {
-                            if !self.fu.try_acquire(FuClass::Mem) {
-                                continue;
-                            }
-                            now + agen + 1
-                        }
-                        LoadCheck::Clear => {
-                            if !self.fu.try_acquire(FuClass::Mem) {
-                                continue;
-                            }
-                            match ctx.mem_sys.access(addr, AccessKind::Load, now + agen) {
-                                Some(r) => {
-                                    // Related-work comparator: a hardware
-                                    // stride prefetcher observing demand
-                                    // loads (droppable fills).
-                                    if let Some(rpt) = self.rpt.as_mut() {
-                                        if let Some(pf) = rpt.observe(_pc, addr) {
-                                            let _ = ctx.mem_sys.access(
-                                                pf,
-                                                AccessKind::Prefetch,
-                                                now + agen,
-                                            );
-                                        }
-                                    }
-                                    r.complete_at
-                                }
-                                None => {
-                                    self.stats.mshr_retries += 1;
-                                    continue;
-                                }
-                            }
-                        }
-                    }
-                }
-            } else if instr.is_store() {
-                // Address generation only; the cache access happens at
-                // commit through the write buffer.
-                if !self.fu.try_acquire(FuClass::IntAlu) {
-                    continue;
-                }
-                now + self.cfg.lat.agen as u64
-            } else {
-                let class = instr.fu_class();
-                if !self.fu.try_acquire(class) {
-                    continue;
-                }
-                now + latency_of(&instr, &self.cfg.lat) as u64
-            };
-
-            let e = self.ruu.get_mut(seq).unwrap();
-            e.state = EntryState::Issued;
-            e.complete_at = complete_at;
-            budget -= 1;
+            if let Some(complete_at) = self.try_issue(seq, ctx) {
+                self.ruu.mark_issued(seq, complete_at);
+                budget -= 1;
+            }
         }
+    }
+
+    /// Attempts to issue one operand-ready instruction: acquires a
+    /// functional unit and computes the completion time, with all the
+    /// memory-system side effects of the attempt (MSHR allocation, retry
+    /// and drop counters). Returns `None` — leaving the entry `Waiting` —
+    /// when a structural hazard blocks it this cycle. Shared by both
+    /// schedulers so their issue decisions are identical by construction.
+    fn try_issue(&mut self, seq: u64, ctx: &mut CoreCtx<'_>) -> Option<u64> {
+        let now = self.now;
+        let (instr, _pc) = {
+            let e = self.ruu.get(seq).unwrap();
+            (e.instr, e.pc)
+        };
+
+        let complete_at = if instr.is_load() || matches!(instr, Instr::Prefetch { .. }) {
+            let (addr, width) = {
+                let le = self.lsq.get(seq).expect("load has LSQ entry");
+                (le.addr, le.width)
+            };
+            let agen = self.cfg.lat.agen as u64;
+            if matches!(instr, Instr::Prefetch { .. }) {
+                if !self.fu.try_acquire(FuClass::Mem) {
+                    return None;
+                }
+                match ctx.mem_sys.access(addr, AccessKind::Prefetch, now + agen) {
+                    Some(r) => {
+                        // The prefetch instruction itself retires
+                        // quickly; the fill continues in the MSHR.
+                        let _ = r;
+                        now + agen + 1
+                    }
+                    None => {
+                        // Droppable: no MSHR, give up on this prefetch.
+                        self.stats.dropped_prefetches += 1;
+                        now + agen
+                    }
+                }
+            } else {
+                match self.lsq.check_load(seq, addr, width) {
+                    LoadCheck::Blocked(_) => return None,
+                    LoadCheck::Forward(_) => {
+                        if !self.fu.try_acquire(FuClass::Mem) {
+                            return None;
+                        }
+                        now + agen + 1
+                    }
+                    LoadCheck::Clear => {
+                        if !self.fu.try_acquire(FuClass::Mem) {
+                            return None;
+                        }
+                        match ctx.mem_sys.access(addr, AccessKind::Load, now + agen) {
+                            Some(r) => {
+                                // Related-work comparator: a hardware
+                                // stride prefetcher observing demand
+                                // loads (droppable fills).
+                                if let Some(rpt) = self.rpt.as_mut() {
+                                    if let Some(pf) = rpt.observe(_pc, addr) {
+                                        let _ = ctx.mem_sys.access(
+                                            pf,
+                                            AccessKind::Prefetch,
+                                            now + agen,
+                                        );
+                                    }
+                                }
+                                r.complete_at
+                            }
+                            None => {
+                                self.stats.mshr_retries += 1;
+                                return None;
+                            }
+                        }
+                    }
+                }
+            }
+        } else if instr.is_store() {
+            // Address generation only; the cache access happens at
+            // commit through the write buffer.
+            if !self.fu.try_acquire(FuClass::IntAlu) {
+                return None;
+            }
+            now + self.cfg.lat.agen as u64
+        } else {
+            let class = instr.fu_class();
+            if !self.fu.try_acquire(class) {
+                return None;
+            }
+            now + latency_of(&instr, &self.cfg.lat) as u64
+        };
+
+        Some(complete_at)
     }
 
     // ----------------------------------------------------------- mispredict
@@ -795,7 +982,9 @@ impl OooCore {
                 match ctx.mem_sys.access(addr, AccessKind::Store, self.now) {
                     Some(_) => {
                         ctx.data.store(addr, width, value)?;
-                        self.lsq.get_mut(seq).unwrap().performed = true;
+                        // Routed through the LSQ so its flag counts (used
+                        // by the progress token) stay exact.
+                        self.lsq.mark_performed(seq);
                     }
                     None => break, // MSHR full: retry next cycle
                 }
@@ -808,11 +997,13 @@ impl OooCore {
                     break;
                 }
             }
-            if annot.push_cq && instr.is_control()
-                && !ctx.queues.try_push(Queue::Cq, actual_taken as u64) {
-                    self.stats.stall_commit(Queue::Cq);
-                    break;
-                }
+            if annot.push_cq
+                && instr.is_control()
+                && !ctx.queues.try_push(Queue::Cq, actual_taken as u64)
+            {
+                self.stats.stall_commit(Queue::Cq);
+                break;
+            }
 
             // Slip control: the compiler's GET_SCQ (never blocks).
             if annot.scq_get {
@@ -821,7 +1012,10 @@ impl OooCore {
 
             // CMAS trigger fork.
             if let Some(cmas) = annot.trigger {
-                ctx.triggers.push(TriggerFork { cmas, regs: self.regs.clone() });
+                ctx.triggers.push(TriggerFork {
+                    cmas,
+                    regs: self.regs.clone(),
+                });
                 self.stats.triggers_fired += 1;
             }
 

@@ -91,12 +91,15 @@ pub fn latency_of(i: &Instr, lat: &Latencies) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hidisc_isa::{FpBinOp, FpReg, IntReg};
     use hidisc_isa::instr::Src;
+    use hidisc_isa::{FpBinOp, FpReg, IntReg};
 
     #[test]
     fn per_cycle_caps() {
-        let cfg = CoreConfig { int_alu: 2, ..CoreConfig::paper_superscalar() };
+        let cfg = CoreConfig {
+            int_alu: 2,
+            ..CoreConfig::paper_superscalar()
+        };
         let mut p = FuPool::new(&cfg);
         p.begin_cycle();
         assert!(p.try_acquire(FuClass::IntAlu));
@@ -108,7 +111,10 @@ mod tests {
 
     #[test]
     fn branch_shares_int_alu() {
-        let cfg = CoreConfig { int_alu: 1, ..CoreConfig::paper_superscalar() };
+        let cfg = CoreConfig {
+            int_alu: 1,
+            ..CoreConfig::paper_superscalar()
+        };
         let mut p = FuPool::new(&cfg);
         p.begin_cycle();
         assert!(p.try_acquire(FuClass::Branch));
@@ -131,12 +137,27 @@ mod tests {
     fn latency_distinguishes_mul_div() {
         let lat = Latencies::default();
         let r = IntReg::new(1);
-        let mul = Instr::IntOp { op: IntOp::Mul, dst: r, a: r, b: Src::Reg(r) };
-        let div = Instr::IntOp { op: IntOp::Div, dst: r, a: r, b: Src::Reg(r) };
+        let mul = Instr::IntOp {
+            op: IntOp::Mul,
+            dst: r,
+            a: r,
+            b: Src::Reg(r),
+        };
+        let div = Instr::IntOp {
+            op: IntOp::Div,
+            dst: r,
+            a: r,
+            b: Src::Reg(r),
+        };
         assert_eq!(latency_of(&mul, &lat), lat.int_mul);
         assert_eq!(latency_of(&div, &lat), lat.int_div);
         let f = FpReg::new(1);
-        let fdiv = Instr::FpBin { op: FpBinOp::Div, dst: f, a: f, b: f };
+        let fdiv = Instr::FpBin {
+            op: FpBinOp::Div,
+            dst: f,
+            a: f,
+            b: f,
+        };
         assert_eq!(latency_of(&fdiv, &lat), lat.fp_div);
     }
 }

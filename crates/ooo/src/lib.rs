@@ -39,7 +39,7 @@ pub mod queues;
 pub mod ruu;
 pub mod stats;
 
-pub use config::{CoreConfig, Latencies};
+pub use config::{CoreConfig, Latencies, Scheduler};
 pub use core::{CoreCtx, OooCore, TriggerFork};
 pub use predictor::Bimodal;
 pub use queues::{QueueConfig, QueueFile};

@@ -72,12 +72,21 @@ pub enum LoadCheck {
 pub struct Lsq {
     entries: VecDeque<LsqEntry>,
     capacity: usize,
+    /// Entries with `data_known` set (maintained, not scanned).
+    n_data_known: usize,
+    /// Entries with `performed` set (maintained, not scanned).
+    n_performed: usize,
 }
 
 impl Lsq {
     /// Creates an empty LSQ.
     pub fn new(capacity: usize) -> Lsq {
-        Lsq { entries: VecDeque::with_capacity(capacity), capacity }
+        Lsq {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            n_data_known: 0,
+            n_performed: 0,
+        }
     }
 
     /// True when no memory instruction can dispatch.
@@ -98,6 +107,8 @@ impl Lsq {
     /// Appends an entry (program order). Panics when full (caller checks).
     pub fn push(&mut self, e: LsqEntry) {
         assert!(!self.is_full(), "LSQ overflow");
+        self.n_data_known += e.data_known as usize;
+        self.n_performed += e.performed as usize;
         self.entries.push_back(e);
     }
 
@@ -114,8 +125,26 @@ impl Lsq {
     /// Removes the entry owned by `seq` (at commit).
     pub fn remove(&mut self, seq: u64) {
         if let Some(i) = self.entries.iter().position(|e| e.seq == seq) {
-            self.entries.remove(i);
+            let e = self.entries.remove(i).unwrap();
+            self.n_data_known -= e.data_known as usize;
+            self.n_performed -= e.performed as usize;
         }
+    }
+
+    /// Marks the entry owned by `seq` as performed (store wrote memory /
+    /// load got its data). Keeps the flag counts exact — callers must use
+    /// this instead of flipping the field through `get_mut`.
+    pub fn mark_performed(&mut self, seq: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+            self.n_performed += !e.performed as usize;
+            e.performed = true;
+        }
+    }
+
+    /// `(data_known, performed)` flag counts, maintained across mutations —
+    /// equal by construction to what a full queue scan would count.
+    pub fn flag_counts(&self) -> (usize, usize) {
+        (self.n_data_known, self.n_performed)
     }
 
     /// Checks a load at `(addr, width)` with sequence `seq` against older
@@ -156,6 +185,7 @@ impl Lsq {
                         Some(v) => {
                             e.value = v as i64;
                             e.data_known = true;
+                            self.n_data_known += 1;
                             n += 1;
                         }
                         // FIFO: a younger store for the same queue must not
@@ -267,6 +297,23 @@ mod tests {
         assert_eq!(n, 1);
         assert!(l.get(1).unwrap().data_known);
         assert!(!l.get(2).unwrap().data_known);
+    }
+
+    #[test]
+    fn flag_counts_track_mutations() {
+        let mut l = Lsq::new(8);
+        l.push(store(1, 0x100, Width::D, 0, false));
+        l.push(store(2, 0x200, Width::D, 2, true));
+        assert_eq!(l.flag_counts(), (1, 0));
+        l.pump_store_data(4, |_| Some(7));
+        assert_eq!(l.flag_counts(), (2, 0));
+        l.mark_performed(1);
+        l.mark_performed(1); // idempotent
+        assert_eq!(l.flag_counts(), (2, 1));
+        l.remove(1);
+        assert_eq!(l.flag_counts(), (1, 0));
+        l.remove(2);
+        assert_eq!(l.flag_counts(), (0, 0));
     }
 
     #[test]

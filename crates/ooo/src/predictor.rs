@@ -14,8 +14,16 @@ impl Bimodal {
     /// Creates a predictor with `entries` 2-bit counters (power of two),
     /// initialised to weakly-taken.
     pub fn new(entries: u32) -> Bimodal {
-        assert!(entries.is_power_of_two(), "predictor size must be a power of two");
-        Bimodal { table: vec![2; entries as usize], mask: entries - 1, predictions: 0, mispredictions: 0 }
+        assert!(
+            entries.is_power_of_two(),
+            "predictor size must be a power of two"
+        );
+        Bimodal {
+            table: vec![2; entries as usize],
+            mask: entries - 1,
+            predictions: 0,
+            mispredictions: 0,
+        }
     }
 
     #[inline]
@@ -126,7 +134,10 @@ impl GShare {
     /// Creates a gshare predictor with `entries` counters (power of two)
     /// and `history_bits` of global history.
     pub fn new(entries: u32, history_bits: u32) -> GShare {
-        assert!(entries.is_power_of_two(), "predictor size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "predictor size must be a power of two"
+        );
         assert!(history_bits <= 16);
         GShare {
             table: vec![2; entries as usize],

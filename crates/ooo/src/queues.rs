@@ -35,7 +35,13 @@ impl QueueConfig {
     /// as in Table 1's "32 entries load store queues"; CQ 64; SCQ 64
     /// iterations).
     pub fn paper() -> QueueConfig {
-        QueueConfig { ldq: 32, sdq: 32, cdq: 32, cq: 64, scq: 12 }
+        QueueConfig {
+            ldq: 32,
+            sdq: 32,
+            cdq: 32,
+            cq: 64,
+            scq: 12,
+        }
     }
 
     fn cap(&self, q: Queue) -> usize {
@@ -92,7 +98,11 @@ fn qi(q: Queue) -> usize {
 impl QueueFile {
     /// Creates empty queues with the given capacities.
     pub fn new(cfg: QueueConfig) -> QueueFile {
-        QueueFile { cfg, queues: Default::default(), stats: Default::default() }
+        QueueFile {
+            cfg,
+            queues: Default::default(),
+            stats: Default::default(),
+        }
     }
 
     /// Attempts to push; returns false (and counts a reject) when full.
@@ -182,7 +192,13 @@ impl QueueFile {
     /// must not have moved.
     pub fn add_idle_scaled(&mut self, delta: &[QueueStats; 5], k: u64) {
         for (s, d) in self.stats.iter_mut().zip(delta) {
-            let QueueStats { pushes, pops, full_rejects, empty_rejects, max_occupancy } = *d;
+            let QueueStats {
+                pushes,
+                pops,
+                full_rejects,
+                empty_rejects,
+                max_occupancy,
+            } = *d;
             debug_assert_eq!(
                 (pushes, pops, max_occupancy),
                 (0, 0, 0),
@@ -198,7 +214,13 @@ impl QueueStats {
     /// Field-wise difference `self - before` of two snapshots of the same
     /// growing counters (`max_occupancy` included: 0 means unchanged).
     pub fn delta_since(&self, before: &QueueStats) -> QueueStats {
-        let QueueStats { pushes, pops, full_rejects, empty_rejects, max_occupancy } = *before;
+        let QueueStats {
+            pushes,
+            pops,
+            full_rejects,
+            empty_rejects,
+            max_occupancy,
+        } = *before;
         QueueStats {
             pushes: self.pushes - pushes,
             pops: self.pops - pops,
@@ -220,7 +242,13 @@ mod tests {
     use super::*;
 
     fn qf(cap: usize) -> QueueFile {
-        QueueFile::new(QueueConfig { ldq: cap, sdq: cap, cdq: cap, cq: cap, scq: cap })
+        QueueFile::new(QueueConfig {
+            ldq: cap,
+            sdq: cap,
+            cdq: cap,
+            cq: cap,
+            scq: cap,
+        })
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct RuuEntry {
     pub mispredicted: bool,
     /// Index is a memory instruction with a matching LSQ entry.
     pub is_mem: bool,
+    /// Ready-list scheduling: younger entries waiting on this entry's
+    /// result (sequence numbers registered at their dispatch).
+    pub consumers: Vec<u64>,
+    /// Ready-list scheduling: source operands whose producer has not yet
+    /// completed. The entry enters the ready queue when this reaches 0.
+    pub pending_deps: u8,
 }
 
 impl RuuEntry {
@@ -67,6 +73,8 @@ impl RuuEntry {
             correct_next: 0,
             mispredicted: false,
             is_mem: instr.is_mem(),
+            consumers: Vec::new(),
+            pending_deps: 0,
         }
     }
 }
@@ -77,12 +85,22 @@ pub struct Ruu {
     entries: VecDeque<RuuEntry>,
     capacity: usize,
     next_seq: u64,
+    /// Entries in the `Waiting` state (maintained, not scanned).
+    n_waiting: usize,
+    /// Entries in the `Done` state (maintained, not scanned).
+    n_done: usize,
 }
 
 impl Ruu {
     /// Creates an empty window of the given capacity.
     pub fn new(capacity: usize) -> Ruu {
-        Ruu { entries: VecDeque::with_capacity(capacity), capacity, next_seq: 0 }
+        Ruu {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+            n_waiting: 0,
+            n_done: 0,
+        }
     }
 
     /// True when no more instructions can dispatch.
@@ -107,6 +125,7 @@ impl Ruu {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.entries.push_back(RuuEntry::new(seq, pc, instr));
+        self.n_waiting += 1;
         seq
     }
 
@@ -117,7 +136,13 @@ impl Ruu {
 
     /// Removes and returns the oldest entry.
     pub fn pop_front(&mut self) -> Option<RuuEntry> {
-        self.entries.pop_front()
+        let e = self.entries.pop_front();
+        match e.as_ref().map(|e| e.state) {
+            Some(EntryState::Waiting) => self.n_waiting -= 1,
+            Some(EntryState::Done) => self.n_done -= 1,
+            _ => {}
+        }
+        e
     }
 
     /// Looks up an entry by sequence number.
@@ -157,12 +182,40 @@ impl Ruu {
         self.entries.iter_mut()
     }
 
+    /// Marks `seq` as issued, completing at `complete_at`. The only legal
+    /// transition out of `Waiting`; keeps the state counts exact.
+    pub fn mark_issued(&mut self, seq: u64, complete_at: u64) {
+        let e = self.get_mut(seq).expect("mark_issued: seq not in window");
+        debug_assert_eq!(e.state, EntryState::Waiting);
+        e.state = EntryState::Issued;
+        e.complete_at = complete_at;
+        self.n_waiting -= 1;
+    }
+
+    /// Marks `seq` as done (result available). The only legal transition
+    /// out of `Issued`; keeps the state counts exact. Returns the consumer
+    /// list registered on the entry (emptied), for wakeup.
+    pub fn mark_done(&mut self, seq: u64) -> Vec<u64> {
+        self.n_done += 1;
+        let e = self.get_mut(seq).expect("mark_done: seq not in window");
+        debug_assert_eq!(e.state, EntryState::Issued);
+        e.state = EntryState::Done;
+        std::mem::take(&mut e.consumers)
+    }
+
+    /// `(waiting, done)` counts, maintained across state transitions —
+    /// equal by construction to what a full window scan would count.
+    pub fn state_counts(&self) -> (usize, usize) {
+        (self.n_waiting, self.n_done)
+    }
+
     /// Promotes `Issued` entries whose completion time has passed to
     /// `Done`.
     pub fn harvest_completions(&mut self, now: u64) {
         for e in self.entries.iter_mut() {
             if e.state == EntryState::Issued && e.complete_at <= now {
                 e.state = EntryState::Done;
+                self.n_done += 1;
             }
         }
     }
@@ -200,13 +253,42 @@ mod tests {
         let mut r = Ruu::new(4);
         let a = r.push(0, Instr::Nop);
         assert!(!r.producer_done(a, 10)); // Waiting
-        r.get_mut(a).unwrap().state = EntryState::Issued;
-        r.get_mut(a).unwrap().complete_at = 5;
+        r.mark_issued(a, 5);
         assert!(!r.producer_done(a, 4));
         r.harvest_completions(5);
         assert!(r.producer_done(a, 5));
         r.pop_front();
         assert!(r.producer_done(a, 0)); // committed ⇒ done
+    }
+
+    #[test]
+    fn state_counts_track_transitions() {
+        let mut r = Ruu::new(4);
+        let a = r.push(0, Instr::Nop);
+        let b = r.push(1, Instr::Nop);
+        assert_eq!(r.state_counts(), (2, 0));
+        r.mark_issued(a, 3);
+        assert_eq!(r.state_counts(), (1, 0));
+        let woken = r.mark_done(a);
+        assert!(woken.is_empty());
+        assert_eq!(r.state_counts(), (1, 1));
+        r.pop_front(); // pops a (Done)
+        assert_eq!(r.state_counts(), (1, 0));
+        r.mark_issued(b, 9);
+        r.harvest_completions(9);
+        assert_eq!(r.state_counts(), (0, 1));
+    }
+
+    #[test]
+    fn mark_done_returns_registered_consumers() {
+        let mut r = Ruu::new(4);
+        let a = r.push(0, Instr::Nop);
+        let b = r.push(1, Instr::Nop);
+        r.get_mut(a).unwrap().consumers.push(b);
+        r.get_mut(b).unwrap().pending_deps = 1;
+        r.mark_issued(a, 2);
+        assert_eq!(r.mark_done(a), vec![b]);
+        assert!(r.get(a).unwrap().consumers.is_empty());
     }
 
     #[test]

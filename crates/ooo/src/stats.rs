@@ -108,7 +108,13 @@ impl CoreStats {
             triggers_fired,
         } = *before;
         let sub5 = |a: [u64; 5], b: [u64; 5]| {
-            [a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3], a[4] - b[4]]
+            [
+                a[0] - b[0],
+                a[1] - b[1],
+                a[2] - b[2],
+                a[3] - b[3],
+                a[4] - b[4],
+            ]
         };
         CoreStats {
             cycles: self.cycles - cycles,
@@ -198,7 +204,11 @@ mod tests {
 
     #[test]
     fn stream_ipc() {
-        let s = CoreStats { cycles: 10, committed: 25, ..Default::default() };
+        let s = CoreStats {
+            cycles: 10,
+            committed: 25,
+            ..Default::default()
+        };
         assert!((s.stream_ipc() - 2.5).abs() < 1e-12);
         assert_eq!(CoreStats::default().stream_ipc(), 0.0);
     }

@@ -5,8 +5,8 @@
 use hidisc_isa::interp::Interp;
 use hidisc_isa::mem::Memory;
 use hidisc_isa::testgen::{random_program, GenConfig};
-use hidisc_ooo::{CoreConfig, CoreCtx, OooCore, QueueConfig, QueueFile};
 use hidisc_mem::{MemConfig, MemSystem};
+use hidisc_ooo::{CoreConfig, CoreCtx, OooCore, QueueConfig, QueueFile};
 use proptest::prelude::*;
 
 fn run_core(cfg: CoreConfig, seed: u64, gen: GenConfig) -> (u64, u64, u64) {
@@ -92,7 +92,12 @@ proptest! {
 /// Deep-nesting smoke test outside proptest (heavier programs).
 #[test]
 fn deep_programs_match() {
-    let gen = GenConfig { max_depth: 3, max_block: 8, max_trip: 8, ..GenConfig::default() };
+    let gen = GenConfig {
+        max_depth: 3,
+        max_block: 8,
+        max_trip: 8,
+        ..GenConfig::default()
+    };
     for seed in 0..8 {
         run_core(CoreConfig::paper_superscalar(), seed * 7 + 1, gen);
     }
@@ -118,8 +123,18 @@ fn tiny_memory_system_does_not_change_results() {
         }
         let mut data: Memory = mem;
         let mut mem_sys = MemSystem::new(MemConfig {
-            l1: CacheConfig { sets: 2, block_bytes: 16, ways: 1, latency: 1 },
-            l2: CacheConfig { sets: 4, block_bytes: 32, ways: 1, latency: 10 },
+            l1: CacheConfig {
+                sets: 2,
+                block_bytes: 16,
+                ways: 1,
+                latency: 1,
+            },
+            l2: CacheConfig {
+                sets: 4,
+                block_bytes: 32,
+                ways: 1,
+                latency: 10,
+            },
             mem_latency: 100,
             mshrs: 1,
         });

@@ -56,7 +56,10 @@ fn recv_blocks_until_data_arrives() {
         rig.step(&mut core);
     }
     assert_eq!(core.stats().committed, 0);
-    assert!(core.stats().dispatch_stall_q[0] > 40, "LDQ stall cycles must accrue");
+    assert!(
+        core.stats().dispatch_stall_q[0] > 40,
+        "LDQ stall cycles must accrue"
+    );
     assert_eq!(core.stats().lod_events, 1, "one blocking episode");
     // Provide the value: execution completes and sees it.
     rig.queues.try_push(Queue::Ldq, 41);
@@ -72,7 +75,10 @@ fn send_stalls_commit_on_full_queue() {
         "li r1, 7\nsend LDQ, r1\nsend LDQ, r1\nsend LDQ, r1\nsend LDQ, r1\nhalt",
     )
     .unwrap();
-    let qcfg = QueueConfig { ldq: 2, ..QueueConfig::paper() };
+    let qcfg = QueueConfig {
+        ldq: 2,
+        ..QueueConfig::paper()
+    };
     let mut core = OooCore::new("t", CoreConfig::paper_superscalar(), prog);
     let mut rig = Rig::new(qcfg);
     for _ in 0..100 {
@@ -135,8 +141,16 @@ fn cq_tokens_steer_cbranches() {
     rig.queues.try_push(Queue::Cq, 1); // taken
     rig.queues.try_push(Queue::Cq, 0); // not taken
     rig.run_until_done(&mut core, 500);
-    assert_eq!(core.regs.get_i(IntReg::new(1)), 0, "taken branch skips li r1");
-    assert_eq!(core.regs.get_i(IntReg::new(2)), 222, "not-taken falls through");
+    assert_eq!(
+        core.regs.get_i(IntReg::new(1)),
+        0,
+        "taken branch skips li r1"
+    );
+    assert_eq!(
+        core.regs.get_i(IntReg::new(2)),
+        222,
+        "not-taken falls through"
+    );
 }
 
 #[test]

@@ -93,7 +93,9 @@ fn plan(prog: &Program, du: &DefUse, streams: &Streams) -> CommPlan {
         if !i.is_store() || streams.stream_of(u) != Stream::Access {
             continue;
         }
-        let Some(data) = store_data_reg(i) else { continue };
+        let Some(data) = store_data_reg(i) else {
+            continue;
+        };
         let defs: Vec<u32> = du
             .parents(u)
             .iter()
@@ -105,7 +107,9 @@ fn plan(prog: &Program, du: &DefUse, streams: &Streams) -> CommPlan {
         // in the CS, which is correct regardless of which definition
         // reached it.
         if !defs.is_empty()
-            && defs.iter().all(|&d| streams.stream_of(d) == Stream::Computation)
+            && defs
+                .iter()
+                .all(|&d| streams.stream_of(d) == Stream::Computation)
         {
             sdq_candidates.insert(u);
         }
@@ -209,7 +213,11 @@ pub fn build_streams(prog: &Program, du: &DefUse, streams: &Streams) -> Result<B
                 // AS: the real branch, pushing its outcome token.
                 let at = access.push_annotated(
                     i,
-                    Annot { stream: Stream::Access, push_cq: true, ..Annot::default() },
+                    Annot {
+                        stream: Stream::Access,
+                        push_cq: true,
+                        ..Annot::default()
+                    },
                 );
                 as_fix.push((at, target));
                 // CS: the consume-branch.
@@ -246,30 +254,58 @@ pub fn build_streams(prog: &Program, du: &DefUse, streams: &Streams) -> Result<B
 
                 // AS side.
                 match i {
-                    Instr::Load { dst: _, base, off, width, signed }
-                        if in_ldq && !has_as_use =>
-                    {
+                    Instr::Load {
+                        dst: _,
+                        base,
+                        off,
+                        width,
+                        signed,
+                    } if in_ldq && !has_as_use => {
                         // Fused load-to-queue (the paper's `l.d $LDQ`).
                         access.push_annotated(
-                            Instr::LoadQ { q: Queue::Ldq, base, off, width, signed },
+                            Instr::LoadQ {
+                                q: Queue::Ldq,
+                                base,
+                                off,
+                                width,
+                                signed,
+                            },
                             Annot::in_stream(Stream::Access),
                         );
                     }
                     Instr::LoadF { dst: _, base, off } if in_ldq && !has_as_use => {
                         access.push_annotated(
-                            Instr::LoadQ { q: Queue::Ldq, base, off, width: hidisc_isa::Width::D, signed: true },
+                            Instr::LoadQ {
+                                q: Queue::Ldq,
+                                base,
+                                off,
+                                width: hidisc_isa::Width::D,
+                                signed: true,
+                            },
                             Annot::in_stream(Stream::Access),
                         );
                     }
-                    Instr::Store { base, off, width, .. } if comm.sdq_stores.contains(&pc) => {
+                    Instr::Store {
+                        base, off, width, ..
+                    } if comm.sdq_stores.contains(&pc) => {
                         access.push_annotated(
-                            Instr::StoreQ { q: Queue::Sdq, base, off, width },
+                            Instr::StoreQ {
+                                q: Queue::Sdq,
+                                base,
+                                off,
+                                width,
+                            },
                             Annot::in_stream(Stream::Access),
                         );
                     }
                     Instr::StoreF { base, off, .. } if comm.sdq_stores.contains(&pc) => {
                         access.push_annotated(
-                            Instr::StoreQ { q: Queue::Sdq, base, off, width: hidisc_isa::Width::D },
+                            Instr::StoreQ {
+                                q: Queue::Sdq,
+                                base,
+                                off,
+                                width: hidisc_isa::Width::D,
+                            },
                             Annot::in_stream(Stream::Access),
                         );
                     }
@@ -343,11 +379,20 @@ pub fn build_streams(prog: &Program, du: &DefUse, streams: &Streams) -> Result<B
             access.len()
         };
         let _ = access.add_label(l.name.clone(), at);
-        let ct = if (l.at as usize) < cs_map.len() { cs_map[l.at as usize] } else { cs.len() };
+        let ct = if (l.at as usize) < cs_map.len() {
+            cs_map[l.at as usize]
+        } else {
+            cs.len()
+        };
         let _ = cs.add_label(l.name.clone(), ct);
     }
 
-    Ok(BuiltStreams { cs, access, cs_map, access_map })
+    Ok(BuiltStreams {
+        cs,
+        access,
+        cs_map,
+        access_map,
+    })
 }
 
 #[cfg(test)]
@@ -400,7 +445,10 @@ mod tests {
         assert_eq!(count(&b.cs, |i| matches!(i, Instr::RecvF { .. })), 2);
         // The FP store gets its data from the SDQ.
         assert_eq!(count(&b.access, |i| matches!(i, Instr::StoreQ { .. })), 1);
-        assert_eq!(count(&b.cs, |i| matches!(i, Instr::SendF { q: Queue::Sdq, .. })), 1);
+        assert_eq!(
+            count(&b.cs, |i| matches!(i, Instr::SendF { q: Queue::Sdq, .. })),
+            1
+        );
         // Branch duplicated: real branch in AS (pushing CQ), cbr in CS.
         assert_eq!(count(&b.access, |i| matches!(i, Instr::Branch { .. })), 1);
         assert_eq!(count(&b.cs, |i| matches!(i, Instr::CBranch { .. })), 1);
@@ -429,7 +477,10 @@ mod tests {
         // Target must point at the AS copy of the loop body.
         assert!(t < branch_pos);
         let cbr_pos =
-            b.cs.instrs().iter().position(|i| matches!(i, Instr::CBranch { .. })).unwrap() as u32;
+            b.cs.instrs()
+                .iter()
+                .position(|i| matches!(i, Instr::CBranch { .. }))
+                .unwrap() as u32;
         let ct = b.cs.instr(cbr_pos).target().unwrap();
         assert!(ct <= cbr_pos);
     }
@@ -471,8 +522,17 @@ mod tests {
         // r2 is a constant used by CS only... and r1 feeds AS; the CS use
         // of r2 (add) needs it: li r2 stays CS. The store data r4 is CS →
         // SDQ. No CDQ traffic should exist for constants.
-        assert_eq!(count(&b.cs, |i| matches!(i, Instr::RecvI { q: Queue::Cdq, .. })), 0);
-        assert_eq!(count(&b.access, |i| matches!(i, Instr::RecvI { q: Queue::Cdq, .. })), 0);
+        assert_eq!(
+            count(&b.cs, |i| matches!(i, Instr::RecvI { q: Queue::Cdq, .. })),
+            0
+        );
+        assert_eq!(
+            count(&b.access, |i| matches!(
+                i,
+                Instr::RecvI { q: Queue::Cdq, .. }
+            )),
+            0
+        );
         assert_eq!(count(&b.access, |i| matches!(i, Instr::StoreQ { .. })), 1);
     }
 
@@ -491,8 +551,17 @@ mod tests {
         ",
         );
         // cvt.l.d is CS; its result feeds the AS address chain → CDQ.
-        assert_eq!(count(&b.cs, |i| matches!(i, Instr::SendI { q: Queue::Cdq, .. })), 1);
-        assert_eq!(count(&b.access, |i| matches!(i, Instr::RecvI { q: Queue::Cdq, .. })), 1);
+        assert_eq!(
+            count(&b.cs, |i| matches!(i, Instr::SendI { q: Queue::Cdq, .. })),
+            1
+        );
+        assert_eq!(
+            count(&b.access, |i| matches!(
+                i,
+                Instr::RecvI { q: Queue::Cdq, .. }
+            )),
+            1
+        );
     }
 
     #[test]
@@ -513,11 +582,18 @@ mod tests {
         // load keeps its register form and an explicit send follows. r3 is
         // only used by the CS, so its load fuses to l.q. Every CS receive
         // is fed by exactly one explicit send or fused queue load.
-        let sends = count(&b.access, |i| matches!(i, Instr::SendI { q: Queue::Ldq, .. }));
-        let fused = count(&b.access, |i| matches!(i, Instr::LoadQ { q: Queue::Ldq, .. }));
+        let sends = count(&b.access, |i| {
+            matches!(i, Instr::SendI { q: Queue::Ldq, .. })
+        });
+        let fused = count(&b.access, |i| {
+            matches!(i, Instr::LoadQ { q: Queue::Ldq, .. })
+        });
         assert_eq!(sends, 1);
         assert_eq!(fused, 1);
-        assert_eq!(count(&b.cs, |i| matches!(i, Instr::RecvI { q: Queue::Ldq, .. })), sends + fused);
+        assert_eq!(
+            count(&b.cs, |i| matches!(i, Instr::RecvI { q: Queue::Ldq, .. })),
+            sends + fused
+        );
     }
 
     #[test]

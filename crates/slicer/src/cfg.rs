@@ -61,12 +61,22 @@ impl Cfg {
         let mut start = 0u32;
         for pc in 0..n {
             if pc > start && leader[pc as usize] {
-                blocks.push(Block { start, end: pc, succs: vec![], preds: vec![] });
+                blocks.push(Block {
+                    start,
+                    end: pc,
+                    succs: vec![],
+                    preds: vec![],
+                });
                 start = pc;
             }
             block_of[pc as usize] = blocks.len();
         }
-        blocks.push(Block { start, end: n, succs: vec![], preds: vec![] });
+        blocks.push(Block {
+            start,
+            end: n,
+            succs: vec![],
+            preds: vec![],
+        });
 
         // Edges.
         let nb = blocks.len();

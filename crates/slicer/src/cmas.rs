@@ -54,12 +54,7 @@ pub struct Extraction {
 
 /// Extracts CMAS threads from an annotated original program (stream and
 /// `probable_miss` annotations must already be set).
-pub fn extract(
-    prog: &Program,
-    graph: &Cfg,
-    loops: &Loops,
-    du: &DefUse,
-) -> Result<Extraction> {
+pub fn extract(prog: &Program, graph: &Cfg, loops: &Loops, du: &DefUse) -> Result<Extraction> {
     // Group probable-miss loads by their innermost loop header.
     let mut by_header: HashMap<usize, Vec<u32>> = HashMap::new();
     for pc in 0..prog.len() {
@@ -158,15 +153,15 @@ pub fn extract(
                 if !i.is_cond_branch() {
                     return false;
                 }
-                let Some(target) = i.target() else { return false };
+                let Some(target) = i.target() else {
+                    return false;
+                };
                 if target <= pc || !body.contains(&target) {
                     return false; // back edge or loop exit: keep
                 }
                 // Forward in-loop branch: prunable when the skipped region
                 // holds no other slice member.
-                !slice
-                    .iter()
-                    .any(|&s| s != pc && s > pc && s < target)
+                !slice.iter().any(|&s| s != pc && s > pc && s < target)
             });
             match prunable {
                 Some(pc) => {
@@ -196,13 +191,16 @@ pub fn extract(
                 continue;
             }
             let i = *prog.instr(pc);
-            let is_latch_last = l
-                .latches
-                .iter()
-                .any(|&lb| graph.blocks[lb].last() == pc);
+            let is_latch_last = l.latches.iter().any(|&lb| graph.blocks[lb].last() == pc);
             if is_latch_last {
                 // Slip control before the back edge.
-                t.push_annotated(Instr::PutScq, Annot { cmas: true, ..Annot::default() });
+                t.push_annotated(
+                    Instr::PutScq,
+                    Annot {
+                        cmas: true,
+                        ..Annot::default()
+                    },
+                );
                 latch_branches.push(pc);
             }
             match i {
@@ -212,11 +210,20 @@ pub fn extract(
                 {
                     t.push_annotated(
                         Instr::Prefetch { base, off },
-                        Annot { cmas: true, ..Annot::default() },
+                        Annot {
+                            cmas: true,
+                            ..Annot::default()
+                        },
                     );
                 }
                 _ => {
-                    let at = t.push_annotated(i, Annot { cmas: true, ..Annot::default() });
+                    let at = t.push_annotated(
+                        i,
+                        Annot {
+                            cmas: true,
+                            ..Annot::default()
+                        },
+                    );
                     if let Some(target) = i.target() {
                         fixups.push((at, target));
                     }
@@ -238,7 +245,11 @@ pub fn extract(
             latch_branches,
             slice: slice.into_iter().collect(),
         });
-        out.threads.push(CmasThread { id, prog: t, loop_header: header_start });
+        out.threads.push(CmasThread {
+            id,
+            prog: t,
+            loop_header: header_start,
+        });
     }
 
     Ok(out)
@@ -253,7 +264,11 @@ pub fn instrument(prog: &mut Program, map: &[u32], sites: &[CmasSite]) {
     let prog_len = prog.len();
     let emitted = |p: u32| -> bool {
         let here = map[p as usize];
-        let next = if (p as usize + 1) < map.len() { map[p as usize + 1] } else { prog_len };
+        let next = if (p as usize + 1) < map.len() {
+            map[p as usize + 1]
+        } else {
+            prog_len
+        };
         here < next
     };
 
@@ -331,7 +346,10 @@ mod tests {
         assert_eq!(e.threads.len(), 1);
         let t = &e.threads[0].prog;
         // The miss load's value is not used by the slice → prefetch.
-        assert!(t.instrs().iter().any(|i| matches!(i, Instr::Prefetch { .. })));
+        assert!(t
+            .instrs()
+            .iter()
+            .any(|i| matches!(i, Instr::Prefetch { .. })));
         // Loop control survives: putscq + branch + induction update.
         assert!(t.instrs().iter().any(|i| matches!(i, Instr::PutScq)));
         assert!(t.instrs().iter().any(|i| matches!(i, Instr::Branch { .. })));
@@ -360,7 +378,10 @@ mod tests {
         let t = &e.threads[0].prog;
         // The chased load must stay a real load on the CMP.
         assert!(t.instrs().iter().any(|i| i.is_load()));
-        assert!(!t.instrs().iter().any(|i| matches!(i, Instr::Prefetch { .. })));
+        assert!(!t
+            .instrs()
+            .iter()
+            .any(|i| matches!(i, Instr::Prefetch { .. })));
     }
 
     #[test]
@@ -423,13 +444,21 @@ mod tests {
         assert_eq!(e.threads.len(), 1);
         let t = &e.threads[0].prog;
         assert!(
-            t.instrs().iter().any(|i| matches!(i, Instr::Prefetch { .. })),
+            t.instrs()
+                .iter()
+                .any(|i| matches!(i, Instr::Prefetch { .. })),
             "guarded gather should become a prefetch:\n{t}"
         );
-        assert!(!t.instrs().iter().any(|i| i.is_load()), "no blocking loads:\n{t}");
+        assert!(
+            !t.instrs().iter().any(|i| i.is_load()),
+            "no blocking loads:\n{t}"
+        );
         // Only the latch branch survives.
-        let branches =
-            t.instrs().iter().filter(|i| matches!(i, Instr::Branch { .. })).count();
+        let branches = t
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, Instr::Branch { .. }))
+            .count();
         assert_eq!(branches, 1, "guard branch must be pruned:\n{t}");
     }
 
@@ -456,8 +485,11 @@ mod tests {
         );
         assert_eq!(e.threads.len(), 1);
         let t = &e.threads[0].prog;
-        let branches =
-            t.instrs().iter().filter(|i| matches!(i, Instr::Branch { .. })).count();
+        let branches = t
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, Instr::Branch { .. }))
+            .count();
         assert_eq!(branches, 2, "guard must survive:\n{t}");
         // The guarded load feeds addresses: kept as a real CMP load.
         assert!(t.instrs().iter().any(|i| i.is_load()));

@@ -27,7 +27,9 @@ struct InstrSet {
 
 impl InstrSet {
     fn new(n: usize) -> InstrSet {
-        InstrSet { words: vec![0; n.div_ceil(64)] }
+        InstrSet {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
     fn insert(&mut self, i: u32) {
         self.words[i as usize / 64] |= 1 << (i % 64);
@@ -48,7 +50,9 @@ impl InstrSet {
     }
     fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.words.iter().enumerate().flat_map(|(w, &bits)| {
-            (0..64).filter(move |b| bits & (1 << b) != 0).map(move |b| (w * 64 + b) as u32)
+            (0..64)
+                .filter(move |b| bits & (1 << b) != 0)
+                .map(move |b| (w * 64 + b) as u32)
         })
     }
 }
@@ -162,7 +166,9 @@ impl DefUse {
 
     /// All definitions (instructions) feeding any operand of `pc`.
     pub fn all_parents(&self, pc: u32) -> impl Iterator<Item = u32> + '_ {
-        self.parents[pc as usize].iter().flat_map(|(_, ds)| ds.iter().copied())
+        self.parents[pc as usize]
+            .iter()
+            .flat_map(|(_, ds)| ds.iter().copied())
     }
 
     /// The instructions that may consume the value defined by `pc`.
@@ -185,15 +191,13 @@ mod tests {
 
     #[test]
     fn straight_line_chains() {
-        let (_, d) = du(
-            r"
+        let (_, d) = du(r"
             li r1, 1
             li r2, 2
             add r3, r1, r2
             add r4, r3, r3
             halt
-        ",
-        );
+        ");
         assert_eq!(d.children(0), &[2]);
         assert_eq!(d.children(1), &[2]);
         assert_eq!(d.children(2), &[3]);
@@ -206,29 +210,25 @@ mod tests {
 
     #[test]
     fn redefinition_kills() {
-        let (_, d) = du(
-            r"
+        let (_, d) = du(r"
             li r1, 1
             li r1, 2
             add r2, r1, r1
             halt
-        ",
-        );
+        ");
         assert_eq!(d.children(0), &[] as &[u32]);
         assert_eq!(d.children(1), &[2]);
     }
 
     #[test]
     fn loop_carried_dependence() {
-        let (_, d) = du(
-            r"
+        let (_, d) = du(r"
             li r1, 10
         loop:
             sub r1, r1, 1
             bne r1, r0, loop
             halt
-        ",
-        );
+        ");
         // The sub at pc 1 uses r1 defined by pc 0 (first iteration) and by
         // itself (subsequent iterations).
         let (_, ds) = &d.parents(1)[0];
@@ -243,8 +243,7 @@ mod tests {
 
     #[test]
     fn merge_point_sees_both_defs() {
-        let (_, d) = du(
-            r"
+        let (_, d) = du(r"
             beq r9, r0, else
             li r1, 1
             j join
@@ -253,8 +252,7 @@ mod tests {
         join:
             add r2, r1, r1
             halt
-        ",
-        );
+        ");
         let (_, ds) = &d.parents(4)[0];
         let mut ds = ds.clone();
         ds.sort_unstable();
@@ -263,14 +261,12 @@ mod tests {
 
     #[test]
     fn fp_and_int_registers_are_distinct() {
-        let (_, d) = du(
-            r"
+        let (_, d) = du(r"
             li r1, 1
             cvt.d.l f1, r1
             add.d f2, f1, f1
             halt
-        ",
-        );
+        ");
         assert_eq!(d.children(0), &[1]);
         assert_eq!(d.children(1), &[2]);
         // f1's use at pc 2 resolves to pc 1, not pc 0.

@@ -119,7 +119,11 @@ impl Loops {
             .map(|(header, (mut body, latches))| {
                 body.sort_unstable();
                 body.dedup();
-                NaturalLoop { header, body, latches }
+                NaturalLoop {
+                    header,
+                    body,
+                    latches,
+                }
             })
             .collect();
         Loops { loops }

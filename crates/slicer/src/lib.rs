@@ -89,7 +89,11 @@ pub struct CompilerConfig {
 
 impl Default for CompilerConfig {
     fn default() -> Self {
-        CompilerConfig { miss_rate_threshold: 0.05, min_misses: 16, enable_cmas: true }
+        CompilerConfig {
+            miss_rate_threshold: 0.05,
+            min_misses: 16,
+            enable_cmas: true,
+        }
     }
 }
 
@@ -136,5 +140,11 @@ pub fn compile(
         t.prog.validate()?;
     }
 
-    Ok(CompiledWorkload { original, cs, access, cmas: cmas_threads, profile: prof })
+    Ok(CompiledWorkload {
+        original,
+        cs,
+        access,
+        cmas: cmas_threads,
+        profile: prof,
+    })
 }

@@ -74,7 +74,11 @@ pub fn profile(prog: &Program, env: &ExecEnv) -> Result<MissProfile> {
     }
     let mut l1 = Cache::new(CacheConfig::paper_l1());
     let mut per_pc: HashMap<u32, PcProfile> = HashMap::new();
-    let max = if env.max_steps == 0 { u64::MAX } else { env.max_steps };
+    let max = if env.max_steps == 0 {
+        u64::MAX
+    } else {
+        env.max_steps
+    };
 
     let stats = interp.run_with_hook(max, &mut |e| {
         if e.kind == MemKind::Prefetch {
@@ -122,7 +126,11 @@ mod tests {
         ",
         )
         .unwrap();
-        let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 1_000_000 };
+        let env = ExecEnv {
+            regs: vec![],
+            mem: Memory::new(),
+            max_steps: 1_000_000,
+        };
         let p = profile(&prog, &env).unwrap();
         let load_pc = 2;
         let lp = p.at(load_pc);
@@ -153,7 +161,11 @@ mod tests {
         ",
         )
         .unwrap();
-        let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 1_000_000 };
+        let env = ExecEnv {
+            regs: vec![],
+            mem: Memory::new(),
+            max_steps: 1_000_000,
+        };
         let p = profile(&prog, &env).unwrap();
         let lp = p.at(3);
         assert_eq!(lp.accesses, 64 * 32);
@@ -166,8 +178,11 @@ mod tests {
         let prog = assemble("t", "ld r2, 0(r1)\nhalt").unwrap();
         let mut mem = Memory::new();
         mem.write_i64(0x4000, 7).unwrap();
-        let env =
-            ExecEnv { regs: vec![(IntReg::new(1), 0x4000)], mem, max_steps: 100 };
+        let env = ExecEnv {
+            regs: vec![(IntReg::new(1), 0x4000)],
+            mem,
+            max_steps: 100,
+        };
         let p = profile(&prog, &env).unwrap();
         assert_eq!(p.at(0).accesses, 1);
         assert_eq!(p.total_accesses, 1);
@@ -190,7 +205,11 @@ mod tests {
         ",
         )
         .unwrap();
-        let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 1_000_000 };
+        let env = ExecEnv {
+            regs: vec![],
+            mem: Memory::new(),
+            max_steps: 1_000_000,
+        };
         let p = profile(&prog, &env).unwrap();
         let hot = p.hottest();
         assert_eq!(hot[0].0, 2);

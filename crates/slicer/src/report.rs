@@ -102,7 +102,11 @@ pub fn render(w: &CompiledWorkload) -> String {
     let _ = writeln!(out, "\n--- computation stream ---\n{}", w.cs);
     let _ = writeln!(out, "--- access stream ---\n{}", w.access);
     for t in &w.cmas {
-        let _ = writeln!(out, "--- CMAS thread {} (loop @{}) ---\n{}", t.id, t.loop_header, t.prog);
+        let _ = writeln!(
+            out,
+            "--- CMAS thread {} (loop @{}) ---\n{}",
+            t.id, t.loop_header, t.prog
+        );
     }
     out
 }
@@ -131,7 +135,11 @@ mod tests {
         ",
         )
         .unwrap();
-        let env = ExecEnv { regs: vec![], mem: Memory::new(), max_steps: 1_000_000 };
+        let env = ExecEnv {
+            regs: vec![],
+            mem: Memory::new(),
+            max_steps: 1_000_000,
+        };
         compile(&p, &env, &CompilerConfig::default()).unwrap()
     }
 
@@ -211,7 +219,11 @@ mod lll1_tests {
             mem.write_f64(0x200000 + 8 * k, (k % 9) as f64).unwrap();
             mem.write_f64(0x300000 + 8 * k, (k % 7) as f64).unwrap();
         }
-        let env = ExecEnv { regs: vec![], mem, max_steps: 10_000_000 };
+        let env = ExecEnv {
+            regs: vec![],
+            mem,
+            max_steps: 10_000_000,
+        };
         compile(&prog, &env, &CompilerConfig::default()).unwrap()
     }
 
@@ -240,12 +252,20 @@ mod lll1_tests {
         // The three in-loop FP loads fuse to `l.d $LDQ` (values consumed
         // only by the CS), exactly as in Figure 6.
         assert!(
-            count(&w.access, &|i| matches!(i, Instr::LoadQ { q: Queue::Ldq, .. })) >= 3,
+            count(&w.access, &|i| matches!(
+                i,
+                Instr::LoadQ { q: Queue::Ldq, .. }
+            )) >= 3,
             "loop loads must fuse to l.q:\n{}",
             w.access
         );
         // The x[k] store takes its data from the SDQ (`s.d $SDQ`).
-        assert!(count(&w.access, &|i| matches!(i, Instr::StoreQ { q: Queue::Sdq, .. })) >= 1);
+        assert!(
+            count(&w.access, &|i| matches!(
+                i,
+                Instr::StoreQ { q: Queue::Sdq, .. }
+            )) >= 1
+        );
         // The CS receives and sends correspondingly.
         assert!(count(&w.cs, &|i| matches!(i, Instr::RecvF { q: Queue::Ldq, .. })) >= 3);
         assert!(count(&w.cs, &|i| matches!(i, Instr::SendF { q: Queue::Sdq, .. })) >= 1);
@@ -256,10 +276,18 @@ mod lll1_tests {
     #[test]
     fn figure7_cmas_prefetches_the_z_stream() {
         let w = lll1();
-        assert!(!w.cmas.is_empty(), "lll1's streaming loads must yield a CMAS");
+        assert!(
+            !w.cmas.is_empty(),
+            "lll1's streaming loads must yield a CMAS"
+        );
         let t = &w.cmas[0].prog;
         // Sequential FP loads with CS-only consumers become prefetches.
-        assert!(t.instrs().iter().any(|i| matches!(i, Instr::Prefetch { .. })), "{t}");
+        assert!(
+            t.instrs()
+                .iter()
+                .any(|i| matches!(i, Instr::Prefetch { .. })),
+            "{t}"
+        );
         assert!(!t.instrs().iter().any(|i| i.is_fp()), "{t}");
         // Decoupled execution still matches the sequential semantics.
         let env = ExecEnv {

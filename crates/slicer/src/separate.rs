@@ -185,7 +185,7 @@ mod tests {
         assert_eq!(s.stream_of(3), Stream::Access); // induction update
         assert_eq!(s.stream_of(4), Stream::Access); // branch
         assert_eq!(s.stream_of(0), Stream::Access); // bound init
-        // r5 accumulation is pure computation
+                                                    // r5 accumulation is pure computation
         assert_eq!(s.stream_of(2), Stream::Computation);
         assert_eq!(s.stream_of(1), Stream::Computation);
     }

@@ -37,20 +37,11 @@ pub struct SwPrefReport {
 /// A wrong stride only costs a useless prefetch — prefetching is
 /// architecturally side-effect free — so the analysis can be aggressive
 /// about conditionally-executed definitions.
-fn induction_stride(
-    prog: &Program,
-    body: &[u32],
-    reg: hidisc_isa::IntReg,
-) -> Option<i64> {
+fn induction_stride(prog: &Program, body: &[u32], reg: hidisc_isa::IntReg) -> Option<i64> {
     stride_of(prog, body, reg, 0)
 }
 
-fn stride_of(
-    prog: &Program,
-    body: &[u32],
-    reg: hidisc_isa::IntReg,
-    depth: u32,
-) -> Option<i64> {
+fn stride_of(prog: &Program, body: &[u32], reg: hidisc_isa::IntReg, depth: u32) -> Option<i64> {
     if reg.is_zero() {
         return Some(0);
     }
@@ -66,12 +57,18 @@ fn stride_of(
         [] => Some(0), // loop-invariant
         [pc] => match *prog.instr(*pc) {
             // self-updating induction variable
-            Instr::IntOp { op: IntOp::Add, dst, a, b: Src::Imm(k) } if dst == a && a == reg => {
-                Some(k)
-            }
-            Instr::IntOp { op: IntOp::Sub, dst, a, b: Src::Imm(k) } if dst == a && a == reg => {
-                Some(-k)
-            }
+            Instr::IntOp {
+                op: IntOp::Add,
+                dst,
+                a,
+                b: Src::Imm(k),
+            } if dst == a && a == reg => Some(k),
+            Instr::IntOp {
+                op: IntOp::Sub,
+                dst,
+                a,
+                b: Src::Imm(k),
+            } if dst == a && a == reg => Some(-k),
             // recomputed-per-iteration linear combinations
             Instr::IntOp { op, a, b, .. } if a != reg && b.reg() != Some(reg) => {
                 let sa = stride_of(prog, body, a, depth + 1)?;
@@ -118,10 +115,16 @@ pub fn insert_software_prefetch(prog: &Program, distance: i64) -> (Program, SwPr
                 continue;
             }
             report.loads_in_loops += 1;
-            let Some((base, off)) = i.mem_addr_operands() else { continue };
-            let Some(stride) = induction_stride(prog, &body, base) else { continue };
+            let Some((base, off)) = i.mem_addr_operands() else {
+                continue;
+            };
+            let Some(stride) = induction_stride(prog, &body, base) else {
+                continue;
+            };
             let ahead = stride.saturating_mul(distance);
-            let Ok(new_off) = i32::try_from(off as i64 + ahead) else { continue };
+            let Ok(new_off) = i32::try_from(off as i64 + ahead) else {
+                continue;
+            };
             pref_after[pc as usize] = Some((base, new_off));
             report.prefetched += 1;
         }
@@ -179,8 +182,15 @@ mod tests {
         assert_eq!(rep.prefetched, 1);
         q.validate().unwrap();
         // the prefetch sits right before the load, 8 iterations ahead
-        let at = q.instrs().iter().position(|i| matches!(i, Instr::Prefetch { .. })).unwrap();
-        assert!(matches!(q.instr(at as u32), Instr::Prefetch { off: 512, .. }));
+        let at = q
+            .instrs()
+            .iter()
+            .position(|i| matches!(i, Instr::Prefetch { .. }))
+            .unwrap();
+        assert!(matches!(
+            q.instr(at as u32),
+            Instr::Prefetch { off: 512, .. }
+        ));
         assert!(q.instr(at as u32 + 1).is_load());
     }
 
@@ -232,7 +242,10 @@ mod tests {
         let mut b = Interp::new(&q, mem);
         b.run(100_000).unwrap();
         assert_eq!(a.mem.checksum(), b.mem.checksum());
-        assert_eq!(a.mem.read_i64(0x200000).unwrap(), b.mem.read_i64(0x200000).unwrap());
+        assert_eq!(
+            a.mem.read_i64(0x200000).unwrap(),
+            b.mem.read_i64(0x200000).unwrap()
+        );
     }
 
     #[test]
@@ -253,8 +266,15 @@ mod tests {
         .unwrap();
         let (q, rep) = insert_software_prefetch(&p, 4);
         assert_eq!(rep.prefetched, 1);
-        let at = q.instrs().iter().position(|i| matches!(i, Instr::Prefetch { .. })).unwrap();
-        assert!(matches!(q.instr(at as u32), Instr::Prefetch { off: -128, .. }));
+        let at = q
+            .instrs()
+            .iter()
+            .position(|i| matches!(i, Instr::Prefetch { .. }))
+            .unwrap();
+        assert!(matches!(
+            q.instr(at as u32),
+            Instr::Prefetch { off: -128, .. }
+        ));
     }
 
     #[test]
@@ -306,9 +326,16 @@ mod affine_tests {
         .unwrap();
         let (q, rep) = insert_software_prefetch(&p, 8);
         assert_eq!(rep.prefetched, 1);
-        let at = q.instrs().iter().position(|i| matches!(i, Instr::Prefetch { .. })).unwrap();
+        let at = q
+            .instrs()
+            .iter()
+            .position(|i| matches!(i, Instr::Prefetch { .. }))
+            .unwrap();
         // stride = 1 << 3 = 8 bytes per iteration; 8 iterations ahead = 64.
-        assert!(matches!(q.instr(at as u32), Instr::Prefetch { off: 64, .. }), "{q}");
+        assert!(
+            matches!(q.instr(at as u32), Instr::Prefetch { off: 64, .. }),
+            "{q}"
+        );
     }
 
     #[test]
@@ -333,8 +360,15 @@ mod affine_tests {
         .unwrap();
         let (q, rep) = insert_software_prefetch(&p, 4);
         assert_eq!(rep.prefetched, 1);
-        let at = q.instrs().iter().position(|i| matches!(i, Instr::Prefetch { .. })).unwrap();
-        assert!(matches!(q.instr(at as u32), Instr::Prefetch { off: 96, .. }), "{q}");
+        let at = q
+            .instrs()
+            .iter()
+            .position(|i| matches!(i, Instr::Prefetch { .. }))
+            .unwrap();
+        assert!(
+            matches!(q.instr(at as u32), Instr::Prefetch { off: 96, .. }),
+            "{q}"
+        );
     }
 
     #[test]

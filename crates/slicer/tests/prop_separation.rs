@@ -16,7 +16,11 @@ use proptest::prelude::*;
 
 fn compiled(seed: u64, gen: GenConfig) -> hidisc_slicer::CompiledWorkload {
     let (prog, mem, regs) = random_program(seed, gen);
-    let env = ExecEnv { regs, mem, max_steps: 4_000_000 };
+    let env = ExecEnv {
+        regs,
+        mem,
+        max_steps: 4_000_000,
+    };
     compile(&prog, &env, &CompilerConfig::default()).unwrap()
 }
 

@@ -27,8 +27,14 @@ impl Params {
     pub fn at(scale: crate::Scale) -> Params {
         match scale {
             crate::Scale::Test => Params { rows: 24, cols: 16 },
-            crate::Scale::Paper => Params { rows: 160, cols: 96 },
-            crate::Scale::Large => Params { rows: 320, cols: 192 },
+            crate::Scale::Paper => Params {
+                rows: 160,
+                cols: 96,
+            },
+            crate::Scale::Large => Params {
+                rows: 320,
+                cols: 192,
+            },
         }
     }
 }
@@ -130,8 +136,14 @@ mod tests {
         // Spot-check the transpose itself: B[j*M+i] == A[i*N+j].
         for row in 0..p.rows {
             for col in 0..p.cols {
-                let a = i.mem.read_i64(REGION_A + 8 * (row * p.cols + col) as u64).unwrap();
-                let b = i.mem.read_i64(REGION_B + 8 * (col * p.rows + row) as u64).unwrap();
+                let a = i
+                    .mem
+                    .read_i64(REGION_A + 8 * (row * p.cols + col) as u64)
+                    .unwrap();
+                let b = i
+                    .mem
+                    .read_i64(REGION_B + 8 * (col * p.rows + row) as u64)
+                    .unwrap();
                 assert_eq!(a, b, "A[{row}][{col}]");
             }
         }

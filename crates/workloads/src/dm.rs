@@ -32,9 +32,21 @@ impl Params {
     /// Sizes per scale.
     pub fn at(scale: crate::Scale) -> Params {
         match scale {
-            crate::Scale::Test => Params { records: 256, buckets: 64, queries: 300 },
-            crate::Scale::Paper => Params { records: 8_192, buckets: 2048, queries: 6_000 },
-            crate::Scale::Large => Params { records: 32_768, buckets: 8192, queries: 24_000 },
+            crate::Scale::Test => Params {
+                records: 256,
+                buckets: 64,
+                queries: 300,
+            },
+            crate::Scale::Paper => Params {
+                records: 8_192,
+                buckets: 2048,
+                queries: 6_000,
+            },
+            crate::Scale::Large => Params {
+                records: 32_768,
+                buckets: 8192,
+                queries: 24_000,
+            },
         }
     }
 }
@@ -154,7 +166,14 @@ mod tests {
 
     #[test]
     fn matches_reference() {
-        let w = build(&Params { records: 64, buckets: 16, queries: 120 }, 19);
+        let w = build(
+            &Params {
+                records: 64,
+                buckets: 16,
+                queries: 120,
+            },
+            19,
+        );
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {
             i.set_reg(r, v);
@@ -167,7 +186,14 @@ mod tests {
     #[test]
     fn all_hits_sum_everything_found() {
         // One bucket: longest chains, exercising the walk loop hard.
-        let w = build(&Params { records: 16, buckets: 1, queries: 50 }, 4);
+        let w = build(
+            &Params {
+                records: 16,
+                buckets: 1,
+                queries: 50,
+            },
+            4,
+        );
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {
             i.set_reg(r, v);

@@ -33,7 +33,9 @@ pub fn indices(n: usize, bound: usize, rng: &mut SmallRng) -> Vec<u32> {
 
 /// Random bytes from a small alphabet (for the Field stressmark).
 pub fn alphabet_bytes(n: usize, alphabet: &[u8], rng: &mut SmallRng) -> Vec<u8> {
-    (0..n).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+    (0..n)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
 }
 
 #[cfg(test)]
@@ -71,7 +73,9 @@ mod tests {
     #[test]
     fn bounds_respected() {
         let mut r = rng(3, 3);
-        assert!(values(100, 10, &mut r).iter().all(|&v| (0..10).contains(&v)));
+        assert!(values(100, 10, &mut r)
+            .iter()
+            .all(|&v| (0..10).contains(&v)));
         assert!(indices(100, 7, &mut r).iter().all(|&i| i < 7));
         let bytes = alphabet_bytes(100, b"abc", &mut r);
         assert!(bytes.iter().all(|b| b"abc".contains(b)));

@@ -132,8 +132,15 @@ mod tests {
             for &(r, v) in &w.regs {
                 i.set_reg(r, v);
             }
-            let stats = i.run(w.max_steps).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            assert!(stats.instrs > 100, "{} trivially short: {}", w.name, stats.instrs);
+            let stats = i
+                .run(w.max_steps)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(
+                stats.instrs > 100,
+                "{} trivially short: {}",
+                w.name,
+                stats.instrs
+            );
             if let Some((addr, want)) = w.expected {
                 let got = i.mem.read_i64(addr).unwrap();
                 assert_eq!(got, want, "{} wrong result", w.name);
@@ -144,7 +151,18 @@ mod tests {
     #[test]
     fn suite_has_seven_distinct_names() {
         let names: Vec<&str> = suite(Scale::Test, 1).iter().map(|w| w.name).collect();
-        assert_eq!(names, vec!["dm", "raytrace", "pointer", "update", "field", "neighborhood", "tc"]);
+        assert_eq!(
+            names,
+            vec![
+                "dm",
+                "raytrace",
+                "pointer",
+                "update",
+                "field",
+                "neighborhood",
+                "tc"
+            ]
+        );
     }
 
     #[test]
@@ -162,9 +180,15 @@ mod tests {
             for &(r, v) in &w.regs {
                 i.set_reg(r, v);
             }
-            i.run(w.max_steps).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            i.run(w.max_steps)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             if let Some((addr, want)) = w.expected {
-                assert_eq!(i.mem.read_i64(addr).unwrap(), want, "{} wrong result", w.name);
+                assert_eq!(
+                    i.mem.read_i64(addr).unwrap(),
+                    want,
+                    "{} wrong result",
+                    w.name
+                );
             }
         }
     }
@@ -180,7 +204,9 @@ mod tests {
     #[test]
     fn programs_validate() {
         for w in suite(Scale::Test, 7) {
-            w.prog.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            w.prog
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }
 }

@@ -30,9 +30,21 @@ impl Params {
     /// Sizes per scale.
     pub fn at(scale: crate::Scale) -> Params {
         match scale {
-            crate::Scale::Test => Params { n: 64, nnz_per_row: 4, iterations: 2 },
-            crate::Scale::Paper => Params { n: 4096, nnz_per_row: 8, iterations: 4 },
-            crate::Scale::Large => Params { n: 16_384, nnz_per_row: 8, iterations: 4 },
+            crate::Scale::Test => Params {
+                n: 64,
+                nnz_per_row: 4,
+                iterations: 2,
+            },
+            crate::Scale::Paper => Params {
+                n: 4096,
+                nnz_per_row: 8,
+                iterations: 4,
+            },
+            crate::Scale::Large => Params {
+                n: 16_384,
+                nnz_per_row: 8,
+                iterations: 4,
+            },
         }
     }
 }
@@ -48,8 +60,12 @@ pub fn build(p: &Params, seed: u64) -> Workload {
     let mut rng = gen::rng(0x1009, seed);
     let nnz = p.n * p.nnz_per_row;
     let col: Vec<u32> = gen::indices(nnz, p.n, &mut rng);
-    let val: Vec<f64> = (0..nnz).map(|_| (rng.gen_range(1..32) as f64) * 0.0625).collect();
-    let x0: Vec<f64> = (0..p.n).map(|_| (rng.gen_range(0..16) as f64) * 0.25).collect();
+    let val: Vec<f64> = (0..nnz)
+        .map(|_| (rng.gen_range(1..32) as f64) * 0.0625)
+        .collect();
+    let x0: Vec<f64> = (0..p.n)
+        .map(|_| (rng.gen_range(0..16) as f64) * 0.25)
+        .collect();
     let y_base = REGION_C + ((8 * p.n as u64).div_ceil(4096)) * 4096 + 4096;
 
     let mut mem = Memory::new();
@@ -159,7 +175,14 @@ mod tests {
 
     #[test]
     fn matches_reference_bit_exactly() {
-        let w = build(&Params { n: 16, nnz_per_row: 3, iterations: 3 }, 9);
+        let w = build(
+            &Params {
+                n: 16,
+                nnz_per_row: 3,
+                iterations: 3,
+            },
+            9,
+        );
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {
             i.set_reg(r, v);
@@ -173,7 +196,14 @@ mod tests {
     fn single_iteration_is_one_spmv() {
         // Identity-like check: with all values = known constants the first
         // product is directly computable.
-        let w = build(&Params { n: 8, nnz_per_row: 2, iterations: 1 }, 4);
+        let w = build(
+            &Params {
+                n: 8,
+                nnz_per_row: 2,
+                iterations: 1,
+            },
+            4,
+        );
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {
             i.set_reg(r, v);

@@ -44,8 +44,12 @@ fn fill(mem: &mut Memory, base: u64, n: usize, f: impl Fn(usize) -> f64) -> Vec<
 pub fn lll1(p: &Params, seed: u64) -> Workload {
     let n = p.n;
     let mut mem = Memory::new();
-    let y = fill(&mut mem, REGION_B, n, |k| ((k as u64 ^ seed) % 9) as f64 * 0.5);
-    let z = fill(&mut mem, REGION_C, n + 16, |k| ((k as u64 + seed) % 7) as f64 * 0.25);
+    let y = fill(&mut mem, REGION_B, n, |k| {
+        ((k as u64 ^ seed) % 9) as f64 * 0.5
+    });
+    let z = fill(&mut mem, REGION_C, n + 16, |k| {
+        ((k as u64 + seed) % 7) as f64 * 0.25
+    });
     let (q, r, t) = (1.5f64, 0.25f64, 0.125f64);
     mem.write_f64(0x0040_0000, q).unwrap();
     mem.write_f64(0x0040_0008, r).unwrap();
@@ -104,8 +108,12 @@ pub fn lll1(p: &Params, seed: u64) -> Workload {
 pub fn convolution(p: &Params, seed: u64) -> Workload {
     let n = p.n;
     let mut mem = Memory::new();
-    let x = fill(&mut mem, REGION_A, n, |k| ((k as u64 ^ seed) % 11) as f64 * 0.125);
-    let h = fill(&mut mem, REGION_B, n, |k| ((k as u64 + seed) % 5) as f64 * 0.5);
+    let x = fill(&mut mem, REGION_A, n, |k| {
+        ((k as u64 ^ seed) % 11) as f64 * 0.125
+    });
+    let h = fill(&mut mem, REGION_B, n, |k| {
+        ((k as u64 + seed) % 5) as f64 * 0.5
+    });
 
     let mut y = 0.0f64;
     for j in 0..n {
@@ -149,8 +157,12 @@ pub fn convolution(p: &Params, seed: u64) -> Workload {
 pub fn saxpy(p: &Params, seed: u64) -> Workload {
     let n = p.n;
     let mut mem = Memory::new();
-    let x = fill(&mut mem, REGION_A, n, |k| ((k as u64 ^ seed) % 13) as f64 * 0.25);
-    let y0 = fill(&mut mem, REGION_B, n, |k| ((k as u64 + seed) % 17) as f64 * 0.5);
+    let x = fill(&mut mem, REGION_A, n, |k| {
+        ((k as u64 ^ seed) % 13) as f64 * 0.25
+    });
+    let y0 = fill(&mut mem, REGION_B, n, |k| {
+        ((k as u64 + seed) % 17) as f64 * 0.5
+    });
     let a = 3.5f64;
     mem.write_f64(0x0040_0000, a).unwrap();
 
@@ -197,8 +209,12 @@ pub fn saxpy(p: &Params, seed: u64) -> Workload {
 pub fn sdot(p: &Params, seed: u64) -> Workload {
     let n = p.n;
     let mut mem = Memory::new();
-    let x = fill(&mut mem, REGION_A, n, |k| ((k as u64 ^ seed) % 7) as f64 * 0.5);
-    let y = fill(&mut mem, REGION_B, n, |k| ((k as u64 + seed) % 3) as f64 * 1.25);
+    let x = fill(&mut mem, REGION_A, n, |k| {
+        ((k as u64 ^ seed) % 7) as f64 * 0.5
+    });
+    let y = fill(&mut mem, REGION_B, n, |k| {
+        ((k as u64 + seed) % 3) as f64 * 1.25
+    });
 
     let mut s = 0.0f64;
     for k in 0..n {
@@ -238,7 +254,12 @@ pub fn sdot(p: &Params, seed: u64) -> Workload {
 /// All four micro-kernels.
 pub fn micro_suite(scale: crate::Scale, seed: u64) -> Vec<Workload> {
     let p = Params::at(scale);
-    vec![lll1(&p, seed), convolution(&p, seed), saxpy(&p, seed), sdot(&p, seed)]
+    vec![
+        lll1(&p, seed),
+        convolution(&p, seed),
+        saxpy(&p, seed),
+        sdot(&p, seed),
+    ]
 }
 
 #[cfg(test)]
@@ -253,7 +274,8 @@ mod tests {
             for &(r, v) in &w.regs {
                 i.set_reg(r, v);
             }
-            i.run(w.max_steps).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            i.run(w.max_steps)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let (addr, want) = w.expected.unwrap();
             assert_eq!(
                 i.mem.read_i64(addr).unwrap(),
@@ -266,8 +288,10 @@ mod tests {
 
     #[test]
     fn micro_kernels_have_distinct_names() {
-        let names: Vec<&str> =
-            micro_suite(crate::Scale::Test, 1).iter().map(|w| w.name).collect();
+        let names: Vec<&str> = micro_suite(crate::Scale::Test, 1)
+            .iter()
+            .map(|w| w.name)
+            .collect();
         assert_eq!(names, vec!["lll1", "convolution", "saxpy", "sdot"]);
     }
 }

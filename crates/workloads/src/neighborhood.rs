@@ -33,13 +33,24 @@ impl Params {
     /// Sizes per scale.
     pub fn at(scale: crate::Scale) -> Params {
         match scale {
-            crate::Scale::Test => Params { pixels: 2048, levels: 8, distance: 17, pairs: 400 },
-            crate::Scale::Paper => {
-                Params { pixels: 16_384, levels: 5, distance: 331, pairs: 12_000 }
-            }
-            crate::Scale::Large => {
-                Params { pixels: 65_536, levels: 6, distance: 331, pairs: 48_000 }
-            }
+            crate::Scale::Test => Params {
+                pixels: 2048,
+                levels: 8,
+                distance: 17,
+                pairs: 400,
+            },
+            crate::Scale::Paper => Params {
+                pixels: 16_384,
+                levels: 5,
+                distance: 331,
+                pairs: 12_000,
+            },
+            crate::Scale::Large => Params {
+                pixels: 65_536,
+                levels: 6,
+                distance: 331,
+                pairs: 48_000,
+            },
         }
     }
 }
@@ -138,7 +149,15 @@ mod tests {
 
     #[test]
     fn matches_reference() {
-        let w = build(&Params { pixels: 256, levels: 4, distance: 9, pairs: 200 }, 13);
+        let w = build(
+            &Params {
+                pixels: 256,
+                levels: 4,
+                distance: 9,
+                pairs: 200,
+            },
+            13,
+        );
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {
             i.set_reg(r, v);
@@ -150,7 +169,12 @@ mod tests {
 
     #[test]
     fn histogram_totals_pairs() {
-        let p = Params { pixels: 128, levels: 4, distance: 3, pairs: 64 };
+        let p = Params {
+            pixels: 128,
+            levels: 4,
+            distance: 3,
+            pairs: 64,
+        };
         let w = build(&p, 2);
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {

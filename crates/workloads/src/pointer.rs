@@ -29,9 +29,21 @@ impl Params {
     /// Sizes per scale.
     pub fn at(scale: crate::Scale) -> Params {
         match scale {
-            crate::Scale::Test => Params { n: 512, hops: 400, window: 3 },
-            crate::Scale::Paper => Params { n: 8_192, hops: 12_000, window: 3 },
-            crate::Scale::Large => Params { n: 32_768, hops: 48_000, window: 3 },
+            crate::Scale::Test => Params {
+                n: 512,
+                hops: 400,
+                window: 3,
+            },
+            crate::Scale::Paper => Params {
+                n: 8_192,
+                hops: 12_000,
+                window: 3,
+            },
+            crate::Scale::Large => Params {
+                n: 32_768,
+                hops: 48_000,
+                window: 3,
+            },
         }
     }
 }
@@ -69,7 +81,12 @@ pub fn build(p: &Params, seed: u64) -> Workload {
     }
 
     let window_scan: String = (1..=p.window)
-        .map(|w| format!("            ld r4, {}(r3)\n            add r5, r5, r4\n", 8 * w))
+        .map(|w| {
+            format!(
+                "            ld r4, {}(r3)\n            add r5, r5, r4\n",
+                8 * w
+            )
+        })
         .collect();
     let src = format!(
         r"
@@ -120,19 +137,47 @@ mod tests {
 
     #[test]
     fn matches_reference() {
-        run(&Params { n: 64, hops: 200, window: 3 }, 5);
+        run(
+            &Params {
+                n: 64,
+                hops: 200,
+                window: 3,
+            },
+            5,
+        );
     }
 
     #[test]
     fn hop_count_controls_length() {
-        let (_, short) = run(&Params { n: 64, hops: 50, window: 2 }, 5);
-        let (_, long) = run(&Params { n: 64, hops: 100, window: 2 }, 5);
+        let (_, short) = run(
+            &Params {
+                n: 64,
+                hops: 50,
+                window: 2,
+            },
+            5,
+        );
+        let (_, long) = run(
+            &Params {
+                n: 64,
+                hops: 100,
+                window: 2,
+            },
+            5,
+        );
         assert!(long > short + 200);
     }
 
     #[test]
     fn window_zero_is_pure_chase() {
-        let w = build(&Params { n: 32, hops: 40, window: 0 }, 9);
+        let w = build(
+            &Params {
+                n: 32,
+                hops: 40,
+                window: 0,
+            },
+            9,
+        );
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {
             i.set_reg(r, v);

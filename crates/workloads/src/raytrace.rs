@@ -35,15 +35,27 @@ impl Params {
     /// Sizes per scale.
     pub fn at(scale: crate::Scale) -> Params {
         match scale {
-            crate::Scale::Test => {
-                Params { grid: 32, objects: 16, occupancy_pct: 30, rays: 8, steps: 50 }
-            }
-            crate::Scale::Paper => {
-                Params { grid: 64, objects: 64, occupancy_pct: 25, rays: 64, steps: 400 }
-            }
-            crate::Scale::Large => {
-                Params { grid: 128, objects: 128, occupancy_pct: 25, rays: 128, steps: 800 }
-            }
+            crate::Scale::Test => Params {
+                grid: 32,
+                objects: 16,
+                occupancy_pct: 30,
+                rays: 8,
+                steps: 50,
+            },
+            crate::Scale::Paper => Params {
+                grid: 64,
+                objects: 64,
+                occupancy_pct: 25,
+                rays: 64,
+                steps: 400,
+            },
+            crate::Scale::Large => Params {
+                grid: 128,
+                objects: 128,
+                occupancy_pct: 25,
+                rays: 128,
+                steps: 800,
+            },
         }
     }
 }
@@ -192,7 +204,16 @@ mod tests {
 
     #[test]
     fn matches_reference_bit_exactly() {
-        let w = build(&Params { grid: 16, objects: 8, occupancy_pct: 40, rays: 4, steps: 30 }, 23);
+        let w = build(
+            &Params {
+                grid: 16,
+                objects: 8,
+                occupancy_pct: 40,
+                rays: 4,
+                steps: 30,
+            },
+            23,
+        );
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {
             i.set_reg(r, v);
@@ -204,8 +225,16 @@ mod tests {
 
     #[test]
     fn empty_grid_accumulates_nothing() {
-        let mut w =
-            build(&Params { grid: 8, objects: 4, occupancy_pct: 0, rays: 2, steps: 20 }, 1);
+        let mut w = build(
+            &Params {
+                grid: 8,
+                objects: 4,
+                occupancy_pct: 0,
+                rays: 2,
+                steps: 20,
+            },
+            1,
+        );
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {
             i.set_reg(r, v);
@@ -217,8 +246,26 @@ mod tests {
 
     #[test]
     fn occupancy_increases_hits() {
-        let lo = build(&Params { grid: 16, objects: 8, occupancy_pct: 5, rays: 4, steps: 50 }, 2);
-        let hi = build(&Params { grid: 16, objects: 8, occupancy_pct: 90, rays: 4, steps: 50 }, 2);
+        let lo = build(
+            &Params {
+                grid: 16,
+                objects: 8,
+                occupancy_pct: 5,
+                rays: 4,
+                steps: 50,
+            },
+            2,
+        );
+        let hi = build(
+            &Params {
+                grid: 16,
+                objects: 8,
+                occupancy_pct: 90,
+                rays: 4,
+                steps: 50,
+            },
+            2,
+        );
         // More occupied cells ⇒ (almost surely) a larger |sum|; just check
         // both run and produce their own references.
         for w in [lo, hi] {

@@ -26,9 +26,18 @@ impl Params {
     /// Sizes per scale.
     pub fn at(scale: crate::Scale) -> Params {
         match scale {
-            crate::Scale::Test => Params { n: 12, density_pct: 20 },
-            crate::Scale::Paper => Params { n: 72, density_pct: 12 },
-            crate::Scale::Large => Params { n: 128, density_pct: 12 },
+            crate::Scale::Test => Params {
+                n: 12,
+                density_pct: 20,
+            },
+            crate::Scale::Paper => Params {
+                n: 72,
+                density_pct: 12,
+            },
+            crate::Scale::Large => Params {
+                n: 128,
+                density_pct: 12,
+            },
         }
     }
 }
@@ -145,7 +154,13 @@ mod tests {
 
     #[test]
     fn matches_reference() {
-        let w = build(&Params { n: 10, density_pct: 25 }, 17);
+        let w = build(
+            &Params {
+                n: 10,
+                density_pct: 25,
+            },
+            17,
+        );
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {
             i.set_reg(r, v);
@@ -160,7 +175,10 @@ mod tests {
         // A 3-cycle with long direct edges: FW must find shorter 2-hop
         // paths, which the checksum is sensitive to; verify a cell
         // directly.
-        let p = Params { n: 8, density_pct: 50 };
+        let p = Params {
+            n: 8,
+            density_pct: 50,
+        };
         let w = build(&p, 3);
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {

@@ -27,9 +27,18 @@ impl Params {
     /// Sizes per scale.
     pub fn at(scale: crate::Scale) -> Params {
         match scale {
-            crate::Scale::Test => Params { table: 1024, updates: 400 },
-            crate::Scale::Paper => Params { table: 32_768, updates: 16_000 },
-            crate::Scale::Large => Params { table: 131_072, updates: 64_000 },
+            crate::Scale::Test => Params {
+                table: 1024,
+                updates: 400,
+            },
+            crate::Scale::Paper => Params {
+                table: 32_768,
+                updates: 16_000,
+            },
+            crate::Scale::Large => Params {
+                table: 131_072,
+                updates: 64_000,
+            },
         }
     }
 }
@@ -100,7 +109,10 @@ mod tests {
 
     #[test]
     fn matches_reference_and_table_updated() {
-        let p = Params { table: 128, updates: 300 };
+        let p = Params {
+            table: 128,
+            updates: 300,
+        };
         let w = build(&p, 11);
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {
@@ -119,7 +131,11 @@ mod tests {
             t[ix as usize] = t[ix as usize].wrapping_add(k as i64);
         }
         for (k, &v) in t.iter().enumerate() {
-            assert_eq!(i.mem.read_i64(REGION_B + 8 * k as u64).unwrap(), v, "cell {k}");
+            assert_eq!(
+                i.mem.read_i64(REGION_B + 8 * k as u64).unwrap(),
+                v,
+                "cell {k}"
+            );
         }
     }
 
@@ -127,7 +143,13 @@ mod tests {
     fn repeated_indices_compound() {
         // Tiny table forces collisions; correctness depends on
         // read-after-write through memory.
-        let w = build(&Params { table: 4, updates: 200 }, 3);
+        let w = build(
+            &Params {
+                table: 4,
+                updates: 200,
+            },
+            3,
+        );
         let mut i = Interp::new(&w.prog, w.mem.clone());
         for &(r, v) in &w.regs {
             i.set_reg(r, v);

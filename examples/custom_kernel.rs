@@ -59,10 +59,12 @@ fn main() {
         let col = x % DENSE;
         cols.push(col);
         mem.write_i64(COL_BASE + 8 * i, col as i64).unwrap();
-        mem.write_f64(VAL_BASE + 8 * i, (i % 7) as f64 + 0.5).unwrap();
+        mem.write_f64(VAL_BASE + 8 * i, (i % 7) as f64 + 0.5)
+            .unwrap();
     }
     for d in 0..DENSE {
-        mem.write_f64(DENSE_BASE + 8 * d, (d % 11) as f64 * 0.125).unwrap();
+        mem.write_f64(DENSE_BASE + 8 * d, (d % 11) as f64 * 0.125)
+            .unwrap();
     }
 
     // Native reference (same operation order for bit-exact FP).
@@ -78,7 +80,11 @@ fn main() {
         (IntReg::new(10), NNZ as i64),
         (IntReg::new(11), RESULT as i64),
     ];
-    let env = ExecEnv { regs: regs.clone(), mem: mem.clone(), max_steps: 10_000_000 };
+    let env = ExecEnv {
+        regs: regs.clone(),
+        mem: mem.clone(),
+        max_steps: 10_000_000,
+    };
 
     // 1. Sequential validation.
     let mut interp = Interp::new(&prog, mem);
@@ -88,7 +94,10 @@ fn main() {
     let stats = interp.run(10_000_000).expect("runs sequentially");
     let got = interp.mem.read_f64(RESULT).unwrap();
     assert_eq!(got, want, "kernel must match the native reference");
-    println!("kernel validated: sum = {got} over {} dynamic instructions", stats.instrs);
+    println!(
+        "kernel validated: sum = {got} over {} dynamic instructions",
+        stats.instrs
+    );
 
     // 2. Compile and functionally validate the separation.
     let compiled = compile(&prog, &env, &CompilerConfig::default()).expect("compiles");
@@ -101,7 +110,10 @@ fn main() {
     );
 
     // 3. Measure.
-    println!("\n{:<14} {:>10} {:>8} {:>9}", "model", "cycles", "IPC", "L1 miss");
+    println!(
+        "\n{:<14} {:>10} {:>8} {:>9}",
+        "model", "cycles", "IPC", "L1 miss"
+    );
     for model in Model::ALL {
         let st = run_model(model, &compiled, &env, MachineConfig::paper()).expect("runs");
         println!(

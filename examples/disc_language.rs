@@ -51,14 +51,20 @@ fn main() {
     init.insert("table".to_string(), ArrayData::I(table.clone()));
     init.insert("hist".to_string(), ArrayData::I(vec![0; 64]));
     let oracle = evaluate(&kernel, &init, 10_000_000).expect("oracle runs");
-    let Value::I(want) = oracle.outs[0] else { unreachable!() };
+    let Value::I(want) = oracle.outs[0] else {
+        unreachable!()
+    };
     println!("oracle says sum = {want}");
 
     // 3. Seed the machine memory and run the full pipeline.
     let mut mem = compiled.initial_memory();
     compiled.set_array_i64(&mut mem, "idx", &idx);
     compiled.set_array_i64(&mut mem, "table", &table);
-    let env = ExecEnv { regs: vec![], mem, max_steps: 10_000_000 };
+    let env = ExecEnv {
+        regs: vec![],
+        mem,
+        max_steps: 10_000_000,
+    };
     let sliced = slice(&compiled.prog, &env, &CompilerConfig::default()).expect("slices");
     println!(
         "separated: CS {} / AS {} instrs, {} CMAS thread(s)\n",
@@ -67,7 +73,10 @@ fn main() {
         sliced.cmas.len()
     );
 
-    println!("{:<14} {:>10} {:>8} {:>9}", "model", "cycles", "IPC", "L1 miss");
+    println!(
+        "{:<14} {:>10} {:>8} {:>9}",
+        "model", "cycles", "IPC", "L1 miss"
+    );
     let mut checked = false;
     for model in Model::ALL {
         let st = run_model(model, &sliced, &env, MachineConfig::paper()).expect("runs");

@@ -8,13 +8,15 @@
 //! cargo run --release --example latency_sweep [workload]
 //! ```
 
+use hidisc_suite::exec_env_of;
 use hidisc_suite::hidisc::{run_model, MachineConfig, Model};
 use hidisc_suite::slicer::{compile, CompilerConfig};
 use hidisc_suite::workloads::{by_name, Scale};
-use hidisc_suite::exec_env_of;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "neighborhood".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "neighborhood".into());
     let w = by_name(&name, Scale::Test, 7).unwrap_or_else(|| {
         eprintln!("unknown workload `{name}` (try dm, raytrace, pointer, update, field, neighborhood, tc)");
         std::process::exit(2);
@@ -23,7 +25,10 @@ fn main() {
     let compiled = compile(&w.prog, &env, &CompilerConfig::default()).expect("compiles");
 
     println!("{}: IPC across the latency sweep\n", w.name);
-    println!("{:<10} {:>12} {:>8} {:>8} {:>8}", "L2/mem", "Superscalar", "CP+AP", "CP+CMP", "HiDISC");
+    println!(
+        "{:<10} {:>12} {:>8} {:>8} {:>8}",
+        "L2/mem", "Superscalar", "CP+AP", "CP+CMP", "HiDISC"
+    );
     let mut first: Option<[f64; 4]> = None;
     let mut last = [0.0f64; 4];
     for (l2, mem) in [(4, 40), (8, 80), (12, 120), (16, 160)] {
@@ -44,6 +49,10 @@ fn main() {
     let first = first.unwrap();
     println!("\nIPC retained from the fastest to the slowest memory:");
     for (i, model) in Model::ALL.into_iter().enumerate() {
-        println!("  {:<12} {:>5.1}%", model.name(), 100.0 * last[i] / first[i]);
+        println!(
+            "  {:<12} {:>5.1}%",
+            model.name(),
+            100.0 * last[i] / first[i]
+        );
     }
 }

@@ -5,16 +5,20 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use hidisc_suite::exec_env_of;
 use hidisc_suite::hidisc::{run_model, MachineConfig, Model};
 use hidisc_suite::slicer::{compile, CompilerConfig};
 use hidisc_suite::workloads::{by_name, Scale};
-use hidisc_suite::exec_env_of;
 
 fn main() {
     // 1. Pick a workload: the Update stressmark (indexed
     //    gather-modify-scatter — the paper's best case).
     let w = by_name("update", Scale::Test, 42).expect("update is in the suite");
-    println!("workload: {} ({} static instructions)", w.name, w.prog.len());
+    println!(
+        "workload: {} ({} static instructions)",
+        w.name,
+        w.prog.len()
+    );
 
     // 2. Compile: stream separation + cache profiling + CMAS extraction.
     let env = exec_env_of(&w);
@@ -30,7 +34,10 @@ fn main() {
     );
 
     // 3. Simulate every model and compare.
-    println!("\n{:<14} {:>10} {:>8} {:>9} {:>10}", "model", "cycles", "IPC", "L1 miss", "speed-up");
+    println!(
+        "\n{:<14} {:>10} {:>8} {:>9} {:>10}",
+        "model", "cycles", "IPC", "L1 miss", "speed-up"
+    );
     let mut baseline_cycles = 0;
     for model in Model::ALL {
         let st = run_model(model, &compiled, &env, MachineConfig::paper()).expect("runs");

@@ -43,11 +43,17 @@ fn main() {
     // Fill x[] and h[] so the profiling pass sees the real access pattern.
     let mut mem = Memory::new();
     for j in 0..4096u64 {
-        mem.write_f64(0x100000 + 8 * j, (j % 17) as f64 * 0.25).unwrap();
-        mem.write_f64(0x200000 + 8 * j, (j % 13) as f64 * 0.5).unwrap();
+        mem.write_f64(0x100000 + 8 * j, (j % 17) as f64 * 0.25)
+            .unwrap();
+        mem.write_f64(0x200000 + 8 * j, (j % 13) as f64 * 0.5)
+            .unwrap();
     }
 
-    let env = ExecEnv { regs: vec![], mem, max_steps: 10_000_000 };
+    let env = ExecEnv {
+        regs: vec![],
+        mem,
+        max_steps: 10_000_000,
+    };
     let compiled = compile(&prog, &env, &CompilerConfig::default()).expect("compiles");
 
     // The full report: annotated original, both streams, CMAS threads.

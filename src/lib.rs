@@ -18,5 +18,9 @@ use hidisc_workloads::Workload;
 
 /// Builds the compiler/simulator execution environment of a workload.
 pub fn exec_env_of(w: &Workload) -> ExecEnv {
-    ExecEnv { regs: w.regs.clone(), mem: w.mem.clone(), max_steps: w.max_steps }
+    ExecEnv {
+        regs: w.regs.clone(),
+        mem: w.mem.clone(),
+        max_steps: w.max_steps,
+    }
 }

@@ -18,9 +18,16 @@ fn golden_checksum(w: &Workload) -> (u64, u64) {
     for &(r, v) in &w.regs {
         i.set_reg(r, v);
     }
-    let stats = i.run(w.max_steps).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let stats = i
+        .run(w.max_steps)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     if let Some((addr, want)) = w.expected {
-        assert_eq!(i.mem.read_i64(addr).unwrap(), want, "{}: reference mismatch", w.name);
+        assert_eq!(
+            i.mem.read_i64(addr).unwrap(),
+            want,
+            "{}: reference mismatch",
+            w.name
+        );
     }
     (i.mem.checksum(), stats.instrs)
 }
@@ -38,16 +45,27 @@ fn every_workload_compiles_and_validates_functionally() {
 
 #[test]
 fn every_workload_matches_golden_on_every_model() {
-    for w in suite(Scale::Test, 7).into_iter().chain(hidisc_workloads::extras(Scale::Test, 7)) {
+    for w in suite(Scale::Test, 7)
+        .into_iter()
+        .chain(hidisc_workloads::extras(Scale::Test, 7))
+    {
         let env = exec_env_of(&w);
         let (want, work) = golden_checksum(&w);
         let c = compile(&w.prog, &env, &CompilerConfig::default())
             .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
-        assert_eq!(c.profile.dyn_instrs, work, "{}: profiler work count differs", w.name);
+        assert_eq!(
+            c.profile.dyn_instrs, work,
+            "{}: profiler work count differs",
+            w.name
+        );
         for model in Model::ALL {
             let stats = run_model(model, &c, &env, MachineConfig::paper())
                 .unwrap_or_else(|e| panic!("{} on {model}: {e}", w.name));
-            assert_eq!(stats.mem_checksum, want, "{} on {model}: memory diverged", w.name);
+            assert_eq!(
+                stats.mem_checksum, want,
+                "{} on {model}: memory diverged",
+                w.name
+            );
             assert!(stats.cycles > 0 && stats.ipc() > 0.0);
         }
     }
@@ -61,7 +79,11 @@ fn decoupled_models_exercise_the_queues() {
         let st = run_model(Model::CpAp, &c, &env, MachineConfig::paper()).unwrap();
         // Control-queue tokens must flow for every workload; push == pop.
         assert!(st.queues[3].pushes > 0, "{}: CQ unused", w.name);
-        assert_eq!(st.queues[3].pushes, st.queues[3].pops, "{}: CQ imbalance", w.name);
+        assert_eq!(
+            st.queues[3].pushes, st.queues[3].pops,
+            "{}: CQ imbalance",
+            w.name
+        );
         // Data queues drain (LDQ, SDQ, CDQ).
         for qi in 0..3 {
             assert_eq!(
@@ -79,11 +101,18 @@ fn cmp_models_fork_threads_on_miss_heavy_workloads() {
     // exceeds it (the profiler only marks loads that actually miss).
     let heavy = [
         hidisc_workloads::update::build(
-            &hidisc_workloads::update::Params { table: 65_536, updates: 800 },
+            &hidisc_workloads::update::Params {
+                table: 65_536,
+                updates: 800,
+            },
             5,
         ),
         hidisc_workloads::dm::build(
-            &hidisc_workloads::dm::Params { records: 8_192, buckets: 1024, queries: 500 },
+            &hidisc_workloads::dm::Params {
+                records: 8_192,
+                buckets: 1024,
+                queries: 500,
+            },
             5,
         ),
     ];

@@ -22,14 +22,25 @@ fn run_all(w: &Workload) -> Vec<hidisc::MachineStats> {
 
 /// A miss-heavy Update instance small enough for debug-mode CI.
 fn update_instance() -> Workload {
-    update::build(&update::Params { table: 16_384, updates: 2_000 }, 11)
+    update::build(
+        &update::Params {
+            table: 16_384,
+            updates: 2_000,
+        },
+        11,
+    )
 }
 
 fn neighborhood_instance() -> Workload {
     // Enough pairs that the histogram-update aliasing dominates warmup
     // effects (the CP+AP degradation only shows past a few thousand).
     neighborhood::build(
-        &neighborhood::Params { pixels: 16_384, levels: 5, distance: 331, pairs: 8_000 },
+        &neighborhood::Params {
+            pixels: 16_384,
+            levels: 5,
+            distance: 331,
+            pairs: 8_000,
+        },
         11,
     )
 }
@@ -39,7 +50,10 @@ fn hidisc_beats_baseline_on_update() {
     let w = update_instance();
     let r = run_all(&w);
     let speedup = r[3].speedup_over(&r[0]);
-    assert!(speedup > 1.10, "HiDISC speed-up on update = {speedup:.3}, expected > 1.10");
+    assert!(
+        speedup > 1.10,
+        "HiDISC speed-up on update = {speedup:.3}, expected > 1.10"
+    );
 }
 
 #[test]
@@ -51,9 +65,18 @@ fn prefetching_dominates_decoupling() {
     let cp_ap = r[1].speedup_over(&r[0]);
     let cp_cmp = r[2].speedup_over(&r[0]);
     let hidisc = r[3].speedup_over(&r[0]);
-    assert!(cp_cmp > cp_ap + 0.05, "CP+CMP {cp_cmp:.3} must clearly beat CP+AP {cp_ap:.3}");
-    assert!(hidisc > cp_ap + 0.05, "HiDISC {hidisc:.3} must clearly beat CP+AP {cp_ap:.3}");
-    assert!((0.85..1.15).contains(&cp_ap), "CP+AP alone is marginal, got {cp_ap:.3}");
+    assert!(
+        cp_cmp > cp_ap + 0.05,
+        "CP+CMP {cp_cmp:.3} must clearly beat CP+AP {cp_ap:.3}"
+    );
+    assert!(
+        hidisc > cp_ap + 0.05,
+        "HiDISC {hidisc:.3} must clearly beat CP+AP {cp_ap:.3}"
+    );
+    assert!(
+        (0.85..1.15).contains(&cp_ap),
+        "CP+AP alone is marginal, got {cp_ap:.3}"
+    );
 }
 
 #[test]
@@ -62,9 +85,15 @@ fn cmp_models_eliminate_misses() {
     let r = run_all(&w);
     // CP+AP does not change the miss rate; the CMP models reduce it.
     let ap_ratio = r[1].miss_rate_ratio(&r[0]);
-    assert!((0.95..1.05).contains(&ap_ratio), "CP+AP miss ratio {ap_ratio:.3}");
+    assert!(
+        (0.95..1.05).contains(&ap_ratio),
+        "CP+AP miss ratio {ap_ratio:.3}"
+    );
     let hd_ratio = r[3].miss_rate_ratio(&r[0]);
-    assert!(hd_ratio < 1.0, "HiDISC must eliminate some misses, ratio {hd_ratio:.3}");
+    assert!(
+        hd_ratio < 1.0,
+        "HiDISC must eliminate some misses, ratio {hd_ratio:.3}"
+    );
 }
 
 #[test]
@@ -75,7 +104,10 @@ fn field_gains_nothing_from_the_cmp() {
     let r = run_all(&w);
     assert!(r[0].l1_miss_rate() < 0.05, "field must be low-miss");
     let cp_cmp = r[2].speedup_over(&r[0]);
-    assert!((0.97..1.03).contains(&cp_cmp), "CMP must be neutral on field, got {cp_cmp:.3}");
+    assert!(
+        (0.97..1.03).contains(&cp_cmp),
+        "CMP must be neutral on field, got {cp_cmp:.3}"
+    );
 }
 
 #[test]
@@ -93,7 +125,10 @@ fn neighborhood_decoupling_degrades() {
         .find(|(n, _)| *n == "AP")
         .map(|(_, s)| *s)
         .expect("CP+AP has an AP core");
-    assert!(ap_stats.mem_dep_stalls > 0, "NB must exhibit cross-stream memory dependences");
+    assert!(
+        ap_stats.mem_dep_stalls > 0,
+        "NB must exhibit cross-stream memory dependences"
+    );
 }
 
 #[test]
@@ -126,6 +161,14 @@ fn loss_of_decoupling_accounting_is_visible() {
     let env = exec_env_of(&w);
     let c = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
     let st = run_model(Model::CpAp, &c, &env, MachineConfig::paper()).unwrap();
-    let cp = st.cores.iter().find(|(n, _)| *n == "CP").map(|(_, s)| *s).unwrap();
-    assert!(cp.dispatch_stall_q[0] > 0, "CP must stall on the LDQ sometimes");
+    let cp = st
+        .cores
+        .iter()
+        .find(|(n, _)| *n == "CP")
+        .map(|(_, s)| *s)
+        .unwrap();
+    assert!(
+        cp.dispatch_stall_q[0] > 0,
+        "CP must stall on the LDQ sometimes"
+    );
 }

@@ -15,14 +15,20 @@ use proptest::prelude::*;
 
 fn check_seed(seed: u64, gen: GenConfig, models: &[Model]) {
     let (prog, mem, regs) = random_program(seed, gen);
-    let env = ExecEnv { regs: regs.clone(), mem: mem.clone(), max_steps: 4_000_000 };
+    let env = ExecEnv {
+        regs: regs.clone(),
+        mem: mem.clone(),
+        max_steps: 4_000_000,
+    };
 
     // Sequential golden state.
     let mut interp = Interp::new(&prog, mem);
     for &(r, v) in &regs {
         interp.set_reg(r, v);
     }
-    interp.run(4_000_000).unwrap_or_else(|e| panic!("seed {seed}: sequential run: {e}"));
+    interp
+        .run(4_000_000)
+        .unwrap_or_else(|e| panic!("seed {seed}: sequential run: {e}"));
     let want = interp.mem.checksum();
 
     let w = compile(&prog, &env, &CompilerConfig::default())
@@ -70,7 +76,11 @@ proptest! {
 /// A handful of deeper programs outside proptest's budget.
 #[test]
 fn deep_random_programs_across_all_models() {
-    let gen = GenConfig { max_depth: 3, max_block: 8, ..GenConfig::default() };
+    let gen = GenConfig {
+        max_depth: 3,
+        max_block: 8,
+        ..GenConfig::default()
+    };
     for seed in [3u64, 1717, 424242, 9999999] {
         check_seed(seed, gen, &Model::ALL);
     }

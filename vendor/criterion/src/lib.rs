@@ -43,7 +43,11 @@ impl Criterion {
     }
 
     /// Runs an ungrouped benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         run_bench(&id.into(), self.sample_size, None, f);
         self
     }
@@ -71,7 +75,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark in this group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into());
         run_bench(&full, self.sample_size, self.throughput, f);
         self
@@ -108,7 +116,9 @@ impl Bencher {
         let budget = Duration::from_secs(2);
         let run_start = Instant::now();
         let mut samples: Vec<f64> = Vec::with_capacity(self.samples_wanted);
-        while samples.len() < self.samples_wanted && (samples.len() < 2 || run_start.elapsed() < budget) {
+        while samples.len() < self.samples_wanted
+            && (samples.len() < 2 || run_start.elapsed() < budget)
+        {
             let t0 = Instant::now();
             for _ in 0..batch {
                 std::hint::black_box(body());
@@ -120,8 +130,16 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, throughput: Option<Throughput>, mut f: F) {
-    let mut b = Bencher { samples_wanted: samples, median_ns: f64::NAN };
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples_wanted: samples,
+        median_ns: f64::NAN,
+    };
     f(&mut b);
     let ns = b.median_ns;
     let time = if ns >= 1e9 {
@@ -135,7 +153,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, throughput: Opt
     };
     let thrpt = match throughput {
         Some(Throughput::Elements(n)) => format!("  thrpt: {:.3} Melem/s", n as f64 / ns * 1e3),
-        Some(Throughput::Bytes(n)) => format!("  thrpt: {:.3} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0)),
+        Some(Throughput::Bytes(n)) => format!(
+            "  thrpt: {:.3} MiB/s",
+            n as f64 / ns * 1e9 / (1024.0 * 1024.0)
+        ),
         None => String::new(),
     };
     println!("{name:<40} time: {time}/iter{thrpt}");

@@ -27,7 +27,9 @@ pub mod test_runner {
     impl TestRng {
         /// Creates a generator from a seed (the hashed test name).
         pub fn new(seed: u64) -> TestRng {
-            TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
         }
 
         /// Next 64 random bits.
@@ -100,7 +102,13 @@ pub mod strategy {
         /// Upstream proptest decays recursion probabilistically; here the
         /// tree is pre-expanded `depth` levels, which bounds value size the
         /// same way provided `f`'s result keeps non-recursive arms.
-        fn prop_recursive<S2, F>(self, depth: u32, _desired_size: u32, _expected_branch_size: u32, f: F) -> BoxedStrategy<Self::Value>
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
             Self::Value: 'static,
@@ -230,7 +238,10 @@ pub mod strategy {
     impl<T> OneOf<T> {
         /// Builds from `(weight, strategy)` arms; weights must not all be 0.
         pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
-            assert!(arms.iter().any(|(w, _)| *w > 0), "prop_oneof! needs a positive weight");
+            assert!(
+                arms.iter().any(|(w, _)| *w > 0),
+                "prop_oneof! needs a positive weight"
+            );
             OneOf { arms }
         }
     }
@@ -359,7 +370,10 @@ pub mod collection {
 
     /// `Vec` of values from `element`, with length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -394,12 +408,12 @@ pub mod option {
 pub mod prelude {
     //! The glob-import surface: `use proptest::prelude::*;`.
 
+    /// Path alias so `prop::collection::vec` / `prop::option::of` resolve.
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
-    /// Path alias so `prop::collection::vec` / `prop::option::of` resolve.
-    pub use crate as prop;
 }
 
 /// Hashes a test name into a deterministic RNG seed (FNV-1a).

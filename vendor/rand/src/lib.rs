@@ -103,7 +103,9 @@ pub mod rngs {
 
     impl crate::SeedableRng for SmallRng {
         fn seed_from_u64(state: u64) -> Self {
-            SmallRng { state: state.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x6a09_e667_f3bc_c908 }
+            SmallRng {
+                state: state.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x6a09_e667_f3bc_c908,
+            }
         }
     }
 }
