@@ -99,6 +99,38 @@ fn bench_fast_forward(c: &mut Criterion) {
     g.finish();
 }
 
+/// Telemetry overhead check: the disabled path must cost nothing (it is
+/// one untaken branch per emission site) and full recording bounds the
+/// worst case. Both runs are asserted statistics-identical to each other
+/// before timing starts — telemetry may never perturb the simulation.
+fn bench_telemetry(c: &mut Criterion) {
+    use hidisc::telemetry::TraceConfig;
+    let w = by_name("update", Scale::Test, 3).unwrap();
+    let env = env_of(&w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+
+    let run = |trace: TraceConfig| {
+        let mut cfg = MachineConfig::paper();
+        cfg.trace = trace;
+        let mut m = Machine::new(Model::HiDisc, &compiled, &env, cfg);
+        m.run(compiled.profile.dyn_instrs).unwrap()
+    };
+    let full = TraceConfig::ALL_EVENTS.with_metrics_interval(1000);
+    assert!(
+        run(TraceConfig::OFF).sim_eq(&run(full)),
+        "telemetry perturbed the simulation on update"
+    );
+
+    let mut g = c.benchmark_group("simspeed");
+    g.sample_size(20);
+    for (tag, trace) in [("off", TraceConfig::OFF), ("full", full)] {
+        g.bench_function(format!("machine_HiDisc_update_telemetry_{tag}"), |b| {
+            b.iter(|| run(trace))
+        });
+    }
+    g.finish();
+}
+
 fn bench_compiler(c: &mut Criterion) {
     let w = by_name("tc", Scale::Test, 3).unwrap();
     let env = env_of(&w);
@@ -114,6 +146,7 @@ criterion_group!(
     bench_cache,
     bench_machine,
     bench_fast_forward,
+    bench_telemetry,
     bench_compiler
 );
 criterion_main!(benches);

@@ -12,6 +12,7 @@
 //! with [`MachineConfig::builder`]; an invalid sweep (`--scq-depth 0`)
 //! exits 2 with the typed [`ConfigError`] message.
 
+use hidisc::telemetry::TraceConfig;
 use hidisc::{MachineConfig, Scheduler};
 use hidisc_bench::{self as bench, Report};
 use hidisc_workloads::Scale;
@@ -27,10 +28,17 @@ struct Args {
     mem_lat: Option<u32>,
     scq_depth: Option<usize>,
     scheduler: Option<Scheduler>,
+    /// `--trace <path>`: write the Chrome-trace JSON here.
+    trace_path: Option<String>,
+    /// `--trace-filter <cats>`: comma list of categories (or `all`).
+    trace_filter: TraceConfig,
+    /// `--metrics-interval <cycles>`: interval-metrics sampling (0 off).
+    metrics_interval: u64,
 }
 
 fn parse_args() -> Args {
     let mut cmd = "all".to_string();
+    let mut explicit_cmd = false;
     let mut arg: Option<String> = None;
     let mut scale = Scale::Paper;
     let mut seed = 2003; // the paper's publication year
@@ -39,6 +47,9 @@ fn parse_args() -> Args {
     let mut mem_lat = None;
     let mut scq_depth = None;
     let mut scheduler = None;
+    let mut trace_path: Option<String> = None;
+    let mut trace_filter = TraceConfig::ALL_EVENTS;
+    let mut metrics_interval = 0;
     let mut it = std::env::args().skip(1);
     let num = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next()
@@ -84,6 +95,20 @@ fn parse_args() -> Args {
                     }
                 };
             }
+            "--trace" => {
+                trace_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--trace needs an output path");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace-filter" => {
+                let v = it.next().unwrap_or_default();
+                trace_filter = TraceConfig::parse_filter(&v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--metrics-interval" => metrics_interval = num(&mut it, "--metrics-interval"),
             "--seed" => seed = num(&mut it, "--seed"),
             "--l2-lat" => l2_lat = Some(num(&mut it, "--l2-lat") as u32),
             "--mem-lat" => mem_lat = Some(num(&mut it, "--mem-lat") as u32),
@@ -95,9 +120,10 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [{}] \
-                     [report|diag|trace <workload>] \
+                     [report|diag|trace|telemetry <workload>] \
                      [--format text|csv] [--scale test|paper|large] [--seed N] [--threads N] \
-                     [--l2-lat N] [--mem-lat N] [--scq-depth N] [--scheduler ready|scan]",
+                     [--l2-lat N] [--mem-lat N] [--scq-depth N] [--scheduler ready|scan] \
+                     [--trace <out.json>] [--trace-filter <cat,..|all>] [--metrics-interval N]",
                     COMMANDS.join("|")
                 );
                 std::process::exit(0);
@@ -107,8 +133,9 @@ fn parse_args() -> Args {
                 std::process::exit(2);
             }
             other => {
-                if cmd == "all" {
+                if !explicit_cmd {
                     cmd = other.to_string();
+                    explicit_cmd = true;
                 } else if arg.is_none() {
                     arg = Some(other.to_string());
                 } else {
@@ -118,11 +145,16 @@ fn parse_args() -> Args {
             }
         }
     }
+    // `repro --trace out.json` with no subcommand means "trace a run":
+    // default to the telemetry command rather than the full suite.
+    if trace_path.is_some() && !explicit_cmd {
+        cmd = "telemetry".to_string();
+    }
     if !COMMANDS.contains(&cmd.as_str()) {
         eprintln!("unknown command `{}` (use {})", cmd, COMMANDS.join("|"));
         std::process::exit(2);
     }
-    if arg.is_some() && !matches!(cmd.as_str(), "trace" | "report" | "diag") {
+    if arg.is_some() && !matches!(cmd.as_str(), "trace" | "report" | "diag" | "telemetry") {
         eprintln!("command `{cmd}` takes no argument (see --help)");
         std::process::exit(2);
     }
@@ -136,13 +168,29 @@ fn parse_args() -> Args {
         mem_lat,
         scq_depth,
         scheduler,
+        trace_path,
+        trace_filter,
+        metrics_interval,
     }
 }
 
 /// Every subcommand, in help order.
-const COMMANDS: [&str; 14] = [
-    "params", "fig8", "table2", "fig9", "fig10", "csv", "trace", "report", "diag", "micro",
-    "extras", "related", "ablate", "all",
+const COMMANDS: [&str; 15] = [
+    "params",
+    "fig8",
+    "table2",
+    "fig9",
+    "fig10",
+    "csv",
+    "trace",
+    "report",
+    "diag",
+    "telemetry",
+    "micro",
+    "extras",
+    "related",
+    "ablate",
+    "all",
 ];
 
 /// Assembles the machine configuration from the CLI overrides through the
@@ -182,8 +230,8 @@ fn main() {
             "running the 7-benchmark suite on 4 machine models (scale {:?}, seed {})...",
             args.scale, args.seed
         );
-        let results = bench::run_suite(args.scale, args.seed, cfg);
-        eprintln!("{}", bench::msips_line(&results));
+        let (results, sweep_wall_ns) = bench::run_suite_timed(args.scale, args.seed, cfg);
+        eprintln!("{}", bench::suite_speed_line(&results, sweep_wall_ns));
         Some(results)
     } else {
         None
@@ -247,6 +295,34 @@ fn main() {
         "diag" => {
             let name = args.arg.as_deref().unwrap_or("update");
             print!("{}", bench::diagnostics(name, args.scale, args.seed));
+        }
+        "telemetry" => {
+            let name = args.arg.as_deref().unwrap_or("pointer");
+            let trace = args
+                .trace_filter
+                .with_metrics_interval(args.metrics_interval);
+            eprintln!(
+                "tracing {name} on HiDISC (scale {:?}, seed {}, mask {:#07b}, interval {})...",
+                args.scale, args.seed, trace.mask, trace.metrics_interval
+            );
+            let run = bench::telemetry_run(name, args.scale, args.seed, cfg, trace);
+            eprint!("{}", run.summary());
+            if let Some(path) = &args.trace_path {
+                std::fs::write(path, &run.json).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                });
+                eprintln!(
+                    "wrote {path} ({} bytes) — load it at https://ui.perfetto.dev",
+                    run.json.len()
+                );
+                if let Some(m) = run.metrics {
+                    print!("{}", bench::MetricsReport(m).render(csv));
+                }
+            } else {
+                // JSON to stdout; it embeds the metrics side table already.
+                print!("{}", run.json);
+            }
         }
         "micro" => {
             eprintln!("running the micro-kernels (lll1, convolution, saxpy, sdot) on 4 models...");

@@ -17,6 +17,7 @@
 //! the [`Report`] trait — an aligned text table or CSV — so the `repro`
 //! binary's `--format {text,csv}` flag works uniformly.
 
+use hidisc::telemetry::{Category, ChromeTraceSink, IntervalMetrics, TraceConfig};
 use hidisc::{run_model, Machine, MachineConfig, MachineStats, Model};
 use hidisc_slicer::{compile, CompiledWorkload, CompilerConfig, ExecEnv};
 use hidisc_workloads::{suite, Scale, Workload};
@@ -165,6 +166,36 @@ pub fn msips_line(results: &[SuiteResult]) -> String {
         "sim speed: {committed} instrs in {:.3} s CPU = {msips:.2} MSIPS \
          (fast-forward skipped {pct:.1}% of {cycles} cycles in {jumps} jumps)",
         wall_ns as f64 / 1e9
+    )
+}
+
+/// Runs the full suite like [`run_suite`] while also timing the whole
+/// parallel sweep on the calling thread. The two clocks answer different
+/// questions: each run's `host_wall_ns` is measured inside `Machine::run`
+/// on whichever pool worker executed that cell (so summing them gives CPU
+/// cost), while the value returned here is the wall-clock time the sweep
+/// actually took across all workers.
+pub fn run_suite_timed(scale: Scale, seed: u64, cfg: MachineConfig) -> (Vec<SuiteResult>, u64) {
+    let t0 = std::time::Instant::now();
+    let results = run_suite(scale, seed, cfg);
+    (results, (t0.elapsed().as_nanos() as u64).max(1))
+}
+
+/// The [`msips_line`] per-run (CPU) summary extended with the parallel
+/// sweep's aggregate throughput: the same committed-instruction total
+/// divided by the sweep's wall-clock time.
+pub fn suite_speed_line(results: &[SuiteResult], sweep_wall_ns: u64) -> String {
+    let committed: u64 = results
+        .iter()
+        .flat_map(|r| r.per_model.iter())
+        .map(|s| s.total_committed())
+        .sum();
+    let aggregate = committed as f64 * 1e3 / sweep_wall_ns as f64;
+    format!(
+        "{}\nsweep wall: {:.3} s on {} worker(s) = {aggregate:.2} MSIPS aggregate",
+        msips_line(results),
+        sweep_wall_ns as f64 / 1e9,
+        pool::threads()
     )
 }
 
@@ -887,9 +918,17 @@ pub fn diagnostics(name: &str, scale: Scale, seed: u64) -> String {
         .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
     let mut per_model = Vec::new();
     let mut peaks = Vec::new();
+    let mut queue_peaks = Vec::new();
+    // Queue-category telemetry feeds the peak-depth column; recording is
+    // simulation-invisible (see the telemetry_equiv test in `hidisc`).
+    let mut cfg = MachineConfig::paper();
+    cfg.trace = TraceConfig {
+        mask: Category::Queue.bit(),
+        metrics_interval: 0,
+    };
     for m in Model::ALL {
         let mut obs = CmpPeakObserver::default();
-        let mut machine = Machine::new(m, &compiled, &env, MachineConfig::paper());
+        let mut machine = Machine::new(m, &compiled, &env, cfg);
         let st = machine
             .run_observed(compiled.profile.dyn_instrs, |mach: &Machine| {
                 obs.on_cycle(mach).is_continue()
@@ -897,6 +936,7 @@ pub fn diagnostics(name: &str, scale: Scale, seed: u64) -> String {
             .unwrap_or_else(|e| panic!("{} on {m}: {e}", w.name));
         per_model.push(st);
         peaks.push(obs);
+        queue_peaks.push(machine.telemetry().queue_peaks());
     }
     check_models_agree(w.name, &per_model);
     let mut out = String::new();
@@ -906,7 +946,7 @@ pub fn diagnostics(name: &str, scale: Scale, seed: u64) -> String {
         "=== {} (work = {} dynamic instructions) ===",
         w.name, base.work_instrs
     );
-    for (st, peak) in per_model.iter().zip(&peaks) {
+    for ((st, peak), qp) in per_model.iter().zip(&peaks).zip(&queue_peaks) {
         let _ = writeln!(
             out,
             "\n{}: {} cycles, IPC {:.3}, L1 miss {:.2}%, speed-up {:.3}x",
@@ -958,6 +998,27 @@ pub fn diagnostics(name: &str, scale: Scale, seed: u64) -> String {
             q[3].pops,
             q[4].pushes,
             q[4].pops
+        );
+        let _ = writeln!(
+            out,
+            "  queues peak depth   LDQ {}  SDQ {}  CDQ {}  CQ {}  SCQ {}",
+            qp[0], qp[1], qp[2], qp[3], qp[4]
+        );
+        // Cycles any core spent stalled popping (dispatch) or pushing
+        // (commit) each queue, summed across the model's cores.
+        let mut stall = [0u64; 5];
+        for (_, cs) in &st.cores {
+            for (acc, (d, c)) in stall
+                .iter_mut()
+                .zip(cs.dispatch_stall_q.iter().zip(&cs.commit_stall_q))
+            {
+                *acc += d + c;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  queues stall cycles LDQ {}  SDQ {}  CDQ {}  CQ {}  SCQ {}",
+            stall[0], stall[1], stall[2], stall[3], stall[4]
         );
     }
     out
@@ -1031,6 +1092,138 @@ pub fn pipeline_trace(name: &str, scale: Scale, seed: u64, cycles: u64) -> Strin
         })
         .unwrap();
     tracer.finish(&st)
+}
+
+// ---------------------------------------------------------------------------
+// Structured telemetry: Chrome-trace export and interval-metrics report
+// ---------------------------------------------------------------------------
+
+/// One traced HiDISC run behind `repro telemetry`: the Chrome-trace JSON
+/// document plus enough bookkeeping to summarise what was recorded.
+#[derive(Debug, Clone)]
+pub struct TelemetryRun {
+    /// Chrome-trace JSON (load into <https://ui.perfetto.dev>).
+    pub json: String,
+    /// End-of-run statistics of the traced machine.
+    pub stats: MachineStats,
+    /// Recorded events per category, in [`Category::ALL`] order.
+    pub counts: [u64; 5],
+    /// Events discarded once the recorder's buffer filled.
+    pub dropped: u64,
+    /// Interval metrics, when `trace.metrics_interval > 0`.
+    pub metrics: Option<IntervalMetrics>,
+}
+
+impl TelemetryRun {
+    /// One summary line per category plus the drop counter — the stderr
+    /// companion of the JSON document.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (c, n) in Category::ALL.into_iter().zip(self.counts) {
+            let _ = writeln!(out, "{:>9}: {n} events", c.name());
+        }
+        let _ = writeln!(
+            out,
+            "  dropped: {} (buffer cap {})",
+            self.dropped,
+            hidisc::telemetry::EVENT_CAP
+        );
+        out
+    }
+}
+
+/// Runs one workload on the HiDISC model with the given trace
+/// configuration and exports the recording as Chrome-trace JSON, with the
+/// interval metrics (when sampled) embedded as the `hidiscMetrics` side
+/// table.
+pub fn telemetry_run(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    mut cfg: MachineConfig,
+    trace: TraceConfig,
+) -> TelemetryRun {
+    let w = hidisc_workloads::by_name(name, scale, seed)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let env = env_of(&w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default())
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+    cfg.trace = trace;
+    let mut m = Machine::new(Model::HiDisc, &compiled, &env, cfg);
+    let stats = m
+        .run(compiled.profile.dyn_instrs)
+        .unwrap_or_else(|e| panic!("{} traced run failed: {e}", w.name));
+    let core_names: Vec<&str> = stats.cores.iter().map(|(n, _)| *n).collect();
+    let mut sink = ChromeTraceSink::new(&core_names);
+    let tel = m.telemetry();
+    tel.replay(&mut sink);
+    let mut counts = [0u64; 5];
+    for e in tel.events() {
+        counts[e.data.category() as usize] += 1;
+    }
+    TelemetryRun {
+        json: sink.finish(tel.metrics()),
+        stats,
+        counts,
+        dropped: tel.dropped(),
+        metrics: tel.metrics().cloned(),
+    }
+}
+
+/// [`Report`] over the interval-metrics recorder: the text form is a
+/// percentile summary per histogram, the CSV form is the raw sample
+/// series for plotting.
+#[derive(Debug, Clone)]
+pub struct MetricsReport(pub IntervalMetrics);
+
+impl Report for MetricsReport {
+    fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let m = &self.0;
+        let mut out = format!(
+            "interval metrics: {} sample(s) every {} cycles ({} dropped)\n",
+            m.len(),
+            m.interval,
+            m.dropped()
+        );
+        let mut line = |name: &str, h: &hidisc::telemetry::Histogram| {
+            let _ = writeln!(
+                out,
+                "{name:<22} count {:>8}  p50 {:>5}  p95 {:>5}  p99 {:>5}  max {:>5}",
+                h.total(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max()
+            );
+        };
+        line("miss latency (cycles)", &m.miss_latency);
+        for (i, q) in hidisc_isa::Queue::ALL.into_iter().enumerate() {
+            line(&format!("{} occupancy", q.name()), &m.queue_occupancy[i]);
+        }
+        line("MSHR occupancy", &m.mshr_occupancy);
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        let mut out = String::from("cycle,committed,ldq,sdq,cdq,cq,scq,mshr,live_threads\n");
+        for s in self.0.samples() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                s.cycle,
+                s.committed,
+                s.queue_depth[0],
+                s.queue_depth[1],
+                s.queue_depth[2],
+                s.queue_depth[3],
+                s.queue_depth[4],
+                s.mshr,
+                s.live_threads
+            ));
+        }
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1150,8 +1343,52 @@ mod related_tests {
 }
 
 #[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_run_exports_and_summarises() {
+        let trace = TraceConfig::ALL_EVENTS.with_metrics_interval(500);
+        let run = telemetry_run("dm", Scale::Test, 7, MachineConfig::paper(), trace);
+        assert!(run.json.starts_with("{\"displayTimeUnit\""));
+        assert!(run.json.contains("\"hidiscMetrics\":"));
+        assert!(run.counts[Category::Pipeline as usize] > 0);
+        assert!(run.counts[Category::Queue as usize] > 0);
+        assert!(
+            run.counts[Category::Cmp as usize] > 0,
+            "dm forks no threads?"
+        );
+        assert!(run.summary().contains("pipeline"));
+        assert!(run.stats.cycles > 0);
+        let rep = MetricsReport(run.metrics.expect("metrics sampled"));
+        assert!(rep.render_text().contains("miss latency"));
+        assert!(rep.render_csv().starts_with("cycle,committed,"));
+        assert!(rep.render_csv().lines().count() > 1);
+    }
+
+    #[test]
+    fn suite_speed_line_reports_both_clocks() {
+        let (results, wall) = run_suite_timed(Scale::Test, 3, MachineConfig::paper());
+        assert!(wall > 0);
+        let line = suite_speed_line(&results, wall);
+        assert!(line.starts_with("sim speed:"));
+        assert!(line.contains("MSIPS aggregate"));
+    }
+}
+
+#[cfg(test)]
 mod observer_tests {
     use super::*;
+
+    #[test]
+    fn diagnostics_reports_queue_peaks_and_stalls() {
+        let out = diagnostics("update", Scale::Test, 3);
+        // New telemetry-sourced columns…
+        assert!(out.contains("queues peak depth"));
+        assert!(out.contains("queues stall cycles"));
+        // …without disturbing the legacy layout.
+        assert!(out.contains("queues pushes/pops"));
+    }
 
     #[test]
     fn trace_observer_renders_and_stops() {

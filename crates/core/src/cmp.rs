@@ -20,6 +20,7 @@ use hidisc_isa::interp::RegFile;
 use hidisc_isa::{Instr, IsaError, Program, Queue, Result};
 use hidisc_mem::AccessKind;
 use hidisc_ooo::{CoreCtx, TriggerFork};
+use hidisc_telemetry::{Category, EventData, Telemetry};
 
 /// CMP configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -236,7 +237,7 @@ impl CmpEngine {
     }
 
     /// Forks a CMAS thread from a trigger commit on the AP.
-    pub fn fork(&mut self, t: TriggerFork) {
+    pub fn fork(&mut self, t: TriggerFork, trace: &mut Telemetry) {
         if (t.cmas as usize) >= self.programs.len() {
             return; // stale trigger id (defensive)
         }
@@ -268,6 +269,12 @@ impl CmpEngine {
             regs: t.regs,
             busy_until: 0,
         });
+        if trace.on(Category::Cmp) {
+            trace.emit(EventData::CmpSpawn {
+                cmas: t.cmas,
+                live: self.threads.len() as u32,
+            });
+        }
     }
 
     /// Advances the engine one cycle.
@@ -331,7 +338,10 @@ impl CmpEngine {
                             break;
                         }
                         let addr = (th.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
-                        match ctx.mem_sys.access(addr, AccessKind::Prefetch, now) {
+                        match ctx
+                            .mem_sys
+                            .access_traced(addr, AccessKind::Prefetch, now, ctx.trace)
+                        {
                             Some(r) => {
                                 mem_issued += 1;
                                 self.stats.prefetches += 1;
@@ -352,7 +362,12 @@ impl CmpEngine {
                                     let blk = ctx.mem_sys.config().l1.block_bytes as u64;
                                     if ctx
                                         .mem_sys
-                                        .access(addr + blk, AccessKind::Prefetch, now)
+                                        .access_traced(
+                                            addr + blk,
+                                            AccessKind::Prefetch,
+                                            now,
+                                            ctx.trace,
+                                        )
                                         .is_some()
                                     {
                                         self.stats.prefetches += 1;
@@ -367,7 +382,10 @@ impl CmpEngine {
                             break;
                         }
                         let addr = (th.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
-                        match ctx.mem_sys.access(addr, AccessKind::Prefetch, now) {
+                        match ctx
+                            .mem_sys
+                            .access_traced(addr, AccessKind::Prefetch, now, ctx.trace)
+                        {
                             Some(r) => {
                                 mem_issued += 1;
                                 self.stats.prefetches += 1;
@@ -383,7 +401,7 @@ impl CmpEngine {
                     }
                     Instr::PutScq => {
                         let within_dynamic_bound = ctx.queues.len(Queue::Scq) < self.slip.limit();
-                        if within_dynamic_bound && ctx.queues.try_push(Queue::Scq, 1) {
+                        if within_dynamic_bound && ctx.push_queue(Queue::Scq, 1) {
                             th.pc += 1;
                         } else {
                             // Run-ahead bound reached: block this thread.
@@ -421,8 +439,14 @@ impl CmpEngine {
         finished.sort_unstable_by(|a, b| b.cmp(a));
         finished.dedup();
         for ti in finished {
-            self.threads.swap_remove(ti);
+            let done = self.threads.swap_remove(ti);
             self.stats.completed_threads += 1;
+            if ctx.trace.on(Category::Cmp) {
+                ctx.trace.emit(EventData::CmpRetire {
+                    cmas: done.prog as u32,
+                    live: self.threads.len() as u32,
+                });
+            }
         }
         if self.threads.is_empty() {
             self.rr = 0;
@@ -459,17 +483,22 @@ mod tests {
         for &(r, v) in regs {
             rf.set_i(IntReg::new(r), v);
         }
-        engine.fork(TriggerFork { cmas: 0, regs: rf });
+        engine.fork(
+            TriggerFork { cmas: 0, regs: rf },
+            &mut Telemetry::disabled(),
+        );
     }
 
     fn run(engine: &mut CmpEngine, cycles: u64) -> (MemSystem, QueueFile) {
         let (mut ms, mut qf, mut mem, mut tr) = ctx_parts();
+        let mut tel = Telemetry::disabled();
         for now in 0..cycles {
             let mut ctx = CoreCtx {
                 mem_sys: &mut ms,
                 queues: &mut qf,
                 data: &mut mem,
                 triggers: &mut tr,
+                trace: &mut tel,
             };
             engine.step(now, &mut ctx).unwrap();
         }
@@ -533,12 +562,14 @@ mod tests {
         mem.write_i64(0x1000, 0x2000).unwrap();
         mem.write_i64(0x2000, 0x3000).unwrap();
         fork_with(&mut e, &[(1, 0x1000), (2, 2)]);
+        let mut tel = Telemetry::disabled();
         for now in 0..2000 {
             let mut ctx = CoreCtx {
                 mem_sys: &mut ms,
                 queues: &mut qf,
                 data: &mut mem,
                 triggers: &mut tr,
+                trace: &mut tel,
             };
             e.step(now, &mut ctx).unwrap();
         }
@@ -580,15 +611,21 @@ mod tests {
             },
             vec![prog.clone(), prog],
         );
-        e.fork(TriggerFork {
-            cmas: 0,
-            regs: RegFile::new(),
-        });
+        e.fork(
+            TriggerFork {
+                cmas: 0,
+                regs: RegFile::new(),
+            },
+            &mut Telemetry::disabled(),
+        );
         // A fork for a *different* slice cannot evict: dropped.
-        e.fork(TriggerFork {
-            cmas: 1,
-            regs: RegFile::new(),
-        });
+        e.fork(
+            TriggerFork {
+                cmas: 1,
+                regs: RegFile::new(),
+            },
+            &mut Telemetry::disabled(),
+        );
         assert_eq!(e.stats().forks, 1);
         assert_eq!(e.stats().dropped_forks, 1);
     }
@@ -599,11 +636,13 @@ mod tests {
         let mut e = CmpEngine::new(CmpConfig::default(), vec![prog]);
         fork_with(&mut e, &[]);
         let (mut ms, mut qf, mut mem, mut tr) = ctx_parts();
+        let mut tel = Telemetry::disabled();
         let mut ctx = CoreCtx {
             mem_sys: &mut ms,
             queues: &mut qf,
             data: &mut mem,
             triggers: &mut tr,
+            trace: &mut tel,
         };
         assert!(e.step(0, &mut ctx).is_err());
     }
@@ -611,10 +650,13 @@ mod tests {
     #[test]
     fn stale_trigger_id_ignored() {
         let mut e = CmpEngine::new(CmpConfig::default(), vec![]);
-        e.fork(TriggerFork {
-            cmas: 7,
-            regs: RegFile::new(),
-        });
+        e.fork(
+            TriggerFork {
+                cmas: 7,
+                regs: RegFile::new(),
+            },
+            &mut Telemetry::disabled(),
+        );
         assert_eq!(e.live_threads(), 0);
         assert_eq!(e.stats().forks, 0);
     }

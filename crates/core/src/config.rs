@@ -4,6 +4,7 @@
 use crate::cmp::CmpConfig;
 use hidisc_mem::{CacheConfig, MemConfig};
 use hidisc_ooo::{CoreConfig, QueueConfig, Scheduler};
+use hidisc_telemetry::TraceConfig;
 
 /// The four architecture models evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,6 +83,10 @@ pub struct MachineConfig {
     /// machine cycle by cycle and asserts that the two end up bit-identical
     /// (state, statistics, clock). Slow — for tests and debugging only.
     pub ff_check: bool,
+    /// Telemetry: which event categories to record and the interval-metrics
+    /// sampling period. [`TraceConfig::OFF`] (the default) makes every
+    /// emission site a single untaken branch.
+    pub trace: TraceConfig,
 }
 
 /// A machine configuration rejected by [`MachineConfigBuilder::build`].
@@ -202,6 +207,12 @@ impl MachineConfigBuilder {
     /// Enables the differential fast-forward check (slow; tests only).
     pub fn ff_check(mut self, on: bool) -> Self {
         self.cfg.ff_check = on;
+        self
+    }
+
+    /// Telemetry configuration (event-category mask + metrics interval).
+    pub fn trace(mut self, t: TraceConfig) -> Self {
+        self.cfg.trace = t;
         self
     }
 
@@ -339,6 +350,7 @@ impl MachineConfig {
             max_cycles: 2_000_000_000,
             fast_forward: true,
             ff_check: false,
+            trace: TraceConfig::OFF,
         }
     }
 }

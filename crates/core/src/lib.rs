@@ -40,5 +40,7 @@ pub use config::{ConfigError, MachineConfig, MachineConfigBuilder, Model};
 pub use dynamic::DynamicConfig;
 pub use error::RunError;
 pub use hidisc_ooo::Scheduler;
+pub use hidisc_telemetry as telemetry;
+pub use hidisc_telemetry::{Category, Telemetry, TraceConfig};
 pub use machine::{run_model, Machine, Observer};
 pub use stats::MachineStats;

@@ -11,6 +11,9 @@ use hidisc_mem::{MemStats, MemSystem};
 use hidisc_ooo::queues::QueueStats;
 use hidisc_ooo::{CoreCtx, CoreStats, OooCore, QueueFile, TriggerFork};
 use hidisc_slicer::{CompiledWorkload, ExecEnv};
+use hidisc_telemetry::{
+    Category, EventData, IntervalSample, Telemetry, SOURCE_CMP, SOURCE_MACHINE,
+};
 use std::ops::ControlFlow;
 use std::time::Instant;
 
@@ -66,6 +69,10 @@ pub struct Machine {
     ff_skipped: u64,
     /// Host wall-clock nanoseconds accumulated across `run`/`run_observed`.
     host_wall_ns: u64,
+    /// Telemetry recorder (events + interval metrics), configured by
+    /// [`MachineConfig::trace`]. Disabled recording never touches
+    /// simulated state, so it is excluded from every equivalence check.
+    telemetry: Telemetry,
 }
 
 /// Statistics snapshot used by fast-forward both to measure what one idle
@@ -164,11 +171,18 @@ impl Machine {
             mem_sys: MemSystem::new(cfg.mem),
             data: env.mem.clone(),
             now: 0,
+            telemetry: Telemetry::new(cfg.trace),
             cfg,
             ff_jumps: 0,
             ff_skipped: 0,
             host_wall_ns: 0,
         }
+    }
+
+    /// The telemetry recorder (events, peaks and interval metrics
+    /// accumulated so far).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The current cycle.
@@ -195,20 +209,25 @@ impl Machine {
             mem_sys,
             data,
             now,
+            telemetry,
             ..
         } = self;
-        for core in cores.iter_mut() {
+        telemetry.set_clock(*now);
+        for (i, core) in cores.iter_mut().enumerate() {
+            telemetry.set_source(i as u8);
             let mut ctx = CoreCtx {
                 mem_sys,
                 queues,
                 data,
                 triggers,
+                trace: &mut *telemetry,
             };
             core.step(*now, &mut ctx)?;
         }
         if let Some(engine) = cmp.as_mut() {
+            telemetry.set_source(SOURCE_CMP);
             for t in triggers.drain(..) {
-                engine.fork(t);
+                engine.fork(t, telemetry);
             }
             let mut unused = Vec::new();
             let mut ctx = CoreCtx {
@@ -216,12 +235,31 @@ impl Machine {
                 queues,
                 data,
                 triggers: &mut unused,
+                trace: &mut *telemetry,
             };
             engine.step(*now, &mut ctx)?;
         } else {
             triggers.clear();
         }
         Ok(())
+    }
+
+    /// Takes one interval-metrics sample at the current cycle.
+    fn sample_metrics(&mut self) {
+        let committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+        let mut queue_depth = [0u32; 5];
+        for (i, q) in Queue::ALL.into_iter().enumerate() {
+            queue_depth[i] = self.queues.len(q) as u32;
+        }
+        let mshr = self.mem_sys.outstanding(self.now) as u32;
+        let live_threads = self.cmp.as_ref().map_or(0, |c| c.live_threads()) as u32;
+        self.telemetry.record_sample(IntervalSample {
+            cycle: self.now,
+            committed,
+            queue_depth,
+            mshr,
+            live_threads,
+        });
     }
 
     /// Fingerprint of every piece of machine state that an idle cycle must
@@ -346,6 +384,15 @@ impl Machine {
         if let Some(je) = j_event {
             j = j.min(je);
         }
+        // Interval metrics sample on the cycle grid: cap the jump at the
+        // next sample boundary so no sample point is skipped. Stats are
+        // unchanged (the replayed idle deltas are per-cycle); only the
+        // host-side jump counters see more, smaller jumps.
+        let iv = self.telemetry.metrics_interval();
+        if let Some(intervals) = next_cycle.checked_div(iv) {
+            let next_sample = (intervals + 1) * iv;
+            j = j.min(next_sample - next_cycle);
+        }
         if j == 0 {
             return Ok(());
         }
@@ -384,6 +431,14 @@ impl Machine {
         *idle += j;
         self.ff_jumps += 1;
         self.ff_skipped += j;
+        if self.telemetry.on(Category::Machine) {
+            self.telemetry.set_clock(next_cycle);
+            self.telemetry.set_source(SOURCE_MACHINE);
+            self.telemetry.emit(EventData::FastForward { skipped: j });
+        }
+        if iv != 0 && self.now.is_multiple_of(iv) {
+            self.sample_metrics();
+        }
         ff.armed = Some((self.now, self.ff_snapshot()));
 
         // Differential mode: the cycle-stepped shadow must land on the
@@ -443,10 +498,14 @@ impl Machine {
         let mut idle = 0u64;
         let mut ff = FfState::default();
         let ff_on = self.cfg.fast_forward;
+        let iv = self.telemetry.metrics_interval();
 
         while self.cores.iter().any(|c| !c.is_done()) {
             self.step_cycle(&mut triggers)?;
             self.now += 1;
+            if iv != 0 && self.now.is_multiple_of(iv) {
+                self.sample_metrics();
+            }
 
             // Progress watchdog.
             let committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
@@ -681,9 +740,13 @@ impl Machine {
         let mut idle = 0u64;
         let mut ff = FfState::default();
         let ff_on = self.cfg.fast_forward;
+        let iv = self.telemetry.metrics_interval();
         while self.cores.iter().any(|c| !c.is_done()) {
             self.step_cycle(&mut triggers)?;
             self.now += 1;
+            if iv != 0 && self.now.is_multiple_of(iv) {
+                self.sample_metrics();
+            }
             if observing {
                 observing = observer.on_cycle(self).is_continue();
             }

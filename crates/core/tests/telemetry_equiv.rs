@@ -1,0 +1,136 @@
+//! Differential proof that telemetry is simulation-invisible: for every
+//! benchmark of the suite and every machine model, a run with every event
+//! category and interval-metrics sampling enabled must produce exactly
+//! the statistics, cycle count and final memory of a run with telemetry
+//! off. Recording only ever *reads* simulated state.
+//!
+//! See DESIGN.md, "Telemetry", for the invariant this test pins down.
+
+use hidisc::telemetry::{Category, TraceConfig};
+use hidisc::{Machine, MachineConfig, Model};
+use hidisc_slicer::{compile, CompilerConfig, ExecEnv};
+use hidisc_workloads::{suite, Scale, Workload};
+
+fn env_of(w: &Workload) -> ExecEnv {
+    ExecEnv {
+        regs: w.regs.clone(),
+        mem: w.mem.clone(),
+        max_steps: w.max_steps,
+    }
+}
+
+/// Every `Scale::Test` workload × every model: full telemetry (all event
+/// categories + interval metrics, with fast-forward active so the jump
+/// capping interacts with the sample grid) versus telemetry off must be
+/// simulation-identical — and the traced runs must actually have recorded
+/// events of every category somewhere in the suite, or the test is
+/// vacuous.
+#[test]
+fn full_telemetry_is_stat_identical_across_suite_and_models() {
+    let mut per_category = [0u64; 5];
+    let mut samples_total = 0usize;
+    for w in suite(Scale::Test, 42) {
+        let env = env_of(&w);
+        let compiled = compile(&w.prog, &env, &CompilerConfig::default())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+        for model in Model::ALL {
+            let mut plain_cfg = MachineConfig::paper();
+            plain_cfg.fast_forward = true;
+            let mut traced_cfg = plain_cfg;
+            traced_cfg.trace = TraceConfig::ALL_EVENTS.with_metrics_interval(64);
+
+            let plain = Machine::new(model, &compiled, &env, plain_cfg)
+                .run(compiled.profile.dyn_instrs)
+                .unwrap_or_else(|e| panic!("{}/{model}: plain run failed: {e}", w.name));
+            let mut traced_m = Machine::new(model, &compiled, &env, traced_cfg);
+            let traced = traced_m
+                .run(compiled.profile.dyn_instrs)
+                .unwrap_or_else(|e| panic!("{}/{model}: traced run failed: {e}", w.name));
+
+            assert_eq!(
+                plain.cycles, traced.cycles,
+                "{}/{model}: cycle count diverged under telemetry",
+                w.name
+            );
+            assert_eq!(
+                plain.mem_checksum, traced.mem_checksum,
+                "{}/{model}: memory diverged under telemetry",
+                w.name
+            );
+            assert!(
+                plain.sim_eq(&traced),
+                "{}/{model}: statistics diverged under telemetry:\n\
+                 plain: {plain:#?}\ntraced: {traced:#?}",
+                w.name
+            );
+
+            let tel = traced_m.telemetry();
+            for e in tel.events() {
+                per_category[e.data.category() as usize] += 1;
+            }
+            if let Some(m) = tel.metrics() {
+                samples_total += m.len();
+            }
+        }
+    }
+    for (i, c) in Category::ALL.into_iter().enumerate() {
+        assert!(
+            per_category[i] > 0,
+            "no `{}` events recorded anywhere in the suite (vacuous test)",
+            c.name()
+        );
+    }
+    assert!(
+        samples_total > 0,
+        "no interval-metrics samples recorded anywhere in the suite"
+    );
+}
+
+/// The interval recorder's derived statistics must be internally
+/// consistent on a stall-heavy workload: samples land exactly on the
+/// interval grid, the committed counter is monotone, and every histogram's
+/// percentiles are ordered.
+#[test]
+fn interval_metrics_are_consistent_on_pointer_chase() {
+    let w = suite(Scale::Test, 7)
+        .into_iter()
+        .find(|w| w.name == "pointer")
+        .expect("suite lost its pointer workload");
+    let env = env_of(&w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+    let interval = 128;
+    let mut cfg = MachineConfig::paper();
+    cfg.fast_forward = true;
+    cfg.trace = TraceConfig::ALL_EVENTS.with_metrics_interval(interval);
+    let mut m = Machine::new(Model::HiDisc, &compiled, &env, cfg);
+    let stats = m.run(compiled.profile.dyn_instrs).unwrap();
+
+    let metrics = m.telemetry().metrics().expect("metrics enabled");
+    assert!(
+        !metrics.is_empty(),
+        "no samples on a {}-cycle run",
+        stats.cycles
+    );
+    let mut last_cycle = 0;
+    let mut last_committed = 0;
+    for s in metrics.samples() {
+        assert_eq!(s.cycle % interval, 0, "sample off the interval grid");
+        assert!(s.cycle > last_cycle || last_cycle == 0);
+        assert!(s.committed >= last_committed, "committed went backwards");
+        last_cycle = s.cycle;
+        last_committed = s.committed;
+    }
+    // Expected sample count: one per full interval survived by the run
+    // (bounded by the ring capacity) — fast-forward must not have jumped
+    // over any sample point.
+    let expect = (stats.cycles / interval) as usize;
+    assert_eq!(
+        metrics.len() + metrics.dropped() as usize,
+        expect,
+        "fast-forward skipped a sample point"
+    );
+
+    let h = &metrics.miss_latency;
+    assert!(h.total() > 0, "pointer chase recorded no demand misses");
+    assert!(h.p50() <= h.p95() && h.p95() <= h.p99() && h.p99() <= h.max());
+}

@@ -15,6 +15,7 @@
 use crate::cache::Cache;
 use crate::config::MemConfig;
 use crate::stats::MemStats;
+use hidisc_telemetry::{Category, EventData, MissKind, Telemetry};
 
 /// The kind of a memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +36,21 @@ impl AccessKind {
     fn is_prefetch(self) -> bool {
         matches!(self, AccessKind::Prefetch)
     }
+    fn miss_kind(self) -> MissKind {
+        match self {
+            AccessKind::Load => MissKind::Load,
+            AccessKind::Store => MissKind::Store,
+            AccessKind::Prefetch => MissKind::Prefetch,
+        }
+    }
+}
+
+/// Trace-only side facts of one access that [`AccessResult`] does not
+/// carry (dirty-victim writebacks per level).
+#[derive(Debug, Clone, Copy, Default)]
+struct AccessSide {
+    l1_writeback: bool,
+    l2_writeback: bool,
 }
 
 /// Completion information for an accepted access.
@@ -103,6 +119,50 @@ impl MemSystem {
     /// are busy and the access would need a new one (the caller retries on
     /// a later cycle).
     pub fn access(&mut self, addr: u64, kind: AccessKind, now: u64) -> Option<AccessResult> {
+        self.access_impl(addr, kind, now).map(|(r, _)| r)
+    }
+
+    /// [`MemSystem::access`] plus telemetry: records miss, eviction and
+    /// MSHR-occupancy events ([`Category::Mem`]) and feeds demand-miss
+    /// fill latencies into the interval metrics. Behaviourally identical
+    /// to `access` — telemetry reads the outcome, it never changes it.
+    pub fn access_traced(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        now: u64,
+        trace: &mut Telemetry,
+    ) -> Option<AccessResult> {
+        let (r, side) = self.access_impl(addr, kind, now)?;
+        if trace.on(Category::Mem) && !r.l1_hit {
+            trace.emit(EventData::MemMiss {
+                addr,
+                kind: kind.miss_kind(),
+                l2_hit: r.l2_hit,
+                ready_at: r.complete_at,
+            });
+            if side.l1_writeback {
+                trace.emit(EventData::Eviction { level: 1 });
+            }
+            if side.l2_writeback {
+                trace.emit(EventData::Eviction { level: 2 });
+            }
+            trace.emit(EventData::MshrOccupancy {
+                n: self.mshrs.len() as u32,
+            });
+        }
+        if !r.l1_hit && !kind.is_prefetch() {
+            trace.record_miss_latency(r.complete_at.saturating_sub(now));
+        }
+        Some(r)
+    }
+
+    fn access_impl(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        now: u64,
+    ) -> Option<(AccessResult, AccessSide)> {
         self.retire_expired(now);
         let block = self.l1.block_of(addr);
 
@@ -140,17 +200,23 @@ impl MemSystem {
                     self.late_prefetch_hits += 1;
                     self.late_merge_misses += 1;
                 }
-                return Some(AccessResult {
-                    complete_at: ready.max(now + l1_lat),
+                return Some((
+                    AccessResult {
+                        complete_at: ready.max(now + l1_lat),
+                        l1_hit: true,
+                        l2_hit: false,
+                    },
+                    AccessSide::default(),
+                ));
+            }
+            return Some((
+                AccessResult {
+                    complete_at: now + l1_lat,
                     l1_hit: true,
                     l2_hit: false,
-                });
-            }
-            return Some(AccessResult {
-                complete_at: now + l1_lat,
-                l1_hit: true,
-                l2_hit: false,
-            });
+                },
+                AccessSide::default(),
+            ));
         }
 
         // L1 miss: consult L2. (Writebacks of dirty victims update the
@@ -168,11 +234,17 @@ impl MemSystem {
             ready_at,
             was_prefetch: kind.is_prefetch(),
         });
-        Some(AccessResult {
-            complete_at: ready_at,
-            l1_hit: false,
-            l2_hit: probe2.hit,
-        })
+        Some((
+            AccessResult {
+                complete_at: ready_at,
+                l1_hit: false,
+                l2_hit: probe2.hit,
+            },
+            AccessSide {
+                l1_writeback: probe.evicted_dirty,
+                l2_writeback: probe2.evicted_dirty,
+            },
+        ))
     }
 
     /// Number of MSHRs currently outstanding at cycle `now`.

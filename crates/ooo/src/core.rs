@@ -18,6 +18,7 @@ use hidisc_isa::mem::Memory;
 use hidisc_isa::reg::{NUM_FP_REGS, NUM_INT_REGS};
 use hidisc_isa::{Instr, IsaError, Program, Queue, Result};
 use hidisc_mem::{AccessKind, MemSystem, StridePrefetcher};
+use hidisc_telemetry::{Category, EventData, Telemetry};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
@@ -52,6 +53,37 @@ pub struct CoreCtx<'a> {
     pub data: &'a mut Memory,
     /// Sink for CMAS trigger forks fired at commit.
     pub triggers: &'a mut Vec<TriggerFork>,
+    /// Telemetry recorder; a disabled recorder reduces every emission to
+    /// one untaken branch.
+    pub trace: &'a mut Telemetry,
+}
+
+impl CoreCtx<'_> {
+    /// [`QueueFile::try_pop`] plus a [`EventData::QueuePop`] event (with
+    /// the remaining depth) when the pop succeeds.
+    pub fn pop_queue(&mut self, q: Queue) -> Option<u64> {
+        let v = self.queues.try_pop(q);
+        if v.is_some() && self.trace.on(Category::Queue) {
+            self.trace.emit(EventData::QueuePop {
+                q,
+                depth: self.queues.len(q) as u32,
+            });
+        }
+        v
+    }
+
+    /// [`QueueFile::try_push`] plus a [`EventData::QueuePush`] event
+    /// (with the resulting depth) when the push succeeds.
+    pub fn push_queue(&mut self, q: Queue, v: u64) -> bool {
+        let ok = self.queues.try_push(q, v);
+        if ok && self.trace.on(Category::Queue) {
+            self.trace.emit(EventData::QueuePush {
+                q,
+                depth: self.queues.len(q) as u32,
+            });
+        }
+        ok
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -304,13 +336,13 @@ impl OooCore {
         self.now = now;
         self.stats.cycles += 1;
         self.fu.begin_cycle();
-        self.harvest(now);
+        self.harvest(now, ctx.trace);
         self.resolve_mispredict(now);
         self.commit(ctx)?;
         self.pump_store_data(ctx);
         self.issue(ctx);
         self.dispatch(ctx)?;
-        self.fetch();
+        self.fetch(ctx.trace);
         Ok(())
     }
 
@@ -318,15 +350,32 @@ impl OooCore {
 
     /// Promotes issued instructions whose results are due to `Done` and, in
     /// ready-list mode, wakes their consumers.
-    fn harvest(&mut self, now: u64) {
+    fn harvest(&mut self, now: u64, trace: &mut Telemetry) {
         match self.cfg.scheduler {
-            Scheduler::Scan => self.ruu.harvest_completions(now),
+            Scheduler::Scan => {
+                if trace.on(Category::Pipeline) {
+                    let due: Vec<(u64, u32)> = self
+                        .ruu
+                        .iter()
+                        .filter(|e| e.state == EntryState::Issued && e.complete_at <= now)
+                        .map(|e| (e.seq, e.pc))
+                        .collect();
+                    for (seq, pc) in due {
+                        trace.emit(EventData::Complete { seq, pc });
+                    }
+                }
+                self.ruu.harvest_completions(now)
+            }
             Scheduler::ReadyList => {
                 while let Some(&Reverse((t, seq))) = self.completions.peek() {
                     if t > now {
                         break;
                     }
                     self.completions.pop();
+                    if trace.on(Category::Pipeline) {
+                        let pc = self.ruu.get(seq).map_or(0, |e| e.pc);
+                        trace.emit(EventData::Complete { seq, pc });
+                    }
                     // Consumers registered a link per unavailable operand
                     // at dispatch; the last producer to complete tips
                     // `pending_deps` to zero and the consumer becomes
@@ -346,7 +395,7 @@ impl OooCore {
 
     // --------------------------------------------------------------- fetch
 
-    fn fetch(&mut self) {
+    fn fetch(&mut self, trace: &mut Telemetry) {
         if self.fetch_halted || self.finished {
             return;
         }
@@ -383,6 +432,9 @@ impl OooCore {
                 instr,
                 predicted_taken,
             });
+            if trace.on(Category::Pipeline) {
+                trace.emit(EventData::Fetch { pc });
+            }
             if matches!(instr, Instr::Halt) {
                 break;
             }
@@ -435,6 +487,9 @@ impl OooCore {
                 }
                 DispatchOutcome::MemDep => {
                     self.stats.mem_dep_stalls += 1;
+                    if ctx.trace.on(Category::Pipeline) {
+                        ctx.trace.emit(EventData::LsqConflict { pc: f.pc });
+                    }
                     mem_dep = true;
                     break;
                 }
@@ -642,24 +697,24 @@ impl OooCore {
             }
             Instr::SendI { q: _, src } => payload = self.regs.get_i(src) as u64,
             Instr::SendF { q: _, src } => payload = self.regs.get_f(src).to_bits(),
-            Instr::RecvI { q, dst } => match ctx.queues.try_pop(q) {
+            Instr::RecvI { q, dst } => match ctx.pop_queue(q) {
                 Some(v) => self.regs.set_i(dst, v as i64),
                 None => return Ok(DispatchOutcome::QueueEmpty(q)),
             },
-            Instr::RecvF { q, dst } => match ctx.queues.try_pop(q) {
+            Instr::RecvF { q, dst } => match ctx.pop_queue(q) {
                 Some(v) => self.regs.set_f(dst, f64::from_bits(v)),
                 None => return Ok(DispatchOutcome::QueueEmpty(q)),
             },
             Instr::GetScq => {
                 // Never blocks: an empty SCQ just means the CMP is behind.
-                let _ = ctx.queues.try_pop(Queue::Scq);
+                let _ = ctx.pop_queue(Queue::Scq);
             }
             Instr::Branch { cond, a, b, target } => {
                 branch_actual = cond.eval(self.regs.get_i(a), self.regs.get_i(b));
                 correct_next = if branch_actual { target } else { pc + 1 };
                 payload = branch_actual as u64;
             }
-            Instr::CBranch { target } => match ctx.queues.try_pop(Queue::Cq) {
+            Instr::CBranch { target } => match ctx.pop_queue(Queue::Cq) {
                 Some(v) => {
                     branch_actual = v != 0;
                     correct_next = if branch_actual { target } else { pc + 1 };
@@ -697,6 +752,9 @@ impl OooCore {
             self.lsq.push(le);
         }
         self.set_producer(instr, seq);
+        if ctx.trace.on(Category::Pipeline) {
+            ctx.trace.emit(EventData::Dispatch { seq, pc });
+        }
 
         // Wakeup bookkeeping: one link per unavailable operand (a producer
         // in `deps` is unavailable by construction of `last_producer`). A
@@ -725,6 +783,9 @@ impl OooCore {
                 self.predictor.update(pc, branch_actual, predicted_taken);
                 if branch_actual != predicted_taken {
                     self.stats.mispredicts += 1;
+                    if ctx.trace.on(Category::Pipeline) {
+                        ctx.trace.emit(EventData::Mispredict { pc });
+                    }
                     self.ifq.clear();
                     self.ruu.get_mut(seq).unwrap().mispredicted = true;
                     self.mispredict_pending = Some((seq, correct_next));
@@ -734,6 +795,9 @@ impl OooCore {
                 self.predictor.update(pc, branch_actual, predicted_taken);
                 if branch_actual != predicted_taken {
                     self.stats.cbranch_redirects += 1;
+                    if ctx.trace.on(Category::Pipeline) {
+                        ctx.trace.emit(EventData::Mispredict { pc });
+                    }
                     self.ifq.clear();
                     // The pop *is* the resolution: redirect immediately,
                     // paying only the front-end refill penalty.
@@ -808,6 +872,14 @@ impl OooCore {
                 self.ready.remove(&seq);
                 self.ruu.mark_issued(seq, complete_at);
                 self.completions.push(Reverse((complete_at, seq)));
+                if ctx.trace.on(Category::Pipeline) {
+                    let pc = self.ruu.get(seq).map_or(0, |e| e.pc);
+                    ctx.trace.emit(EventData::Issue {
+                        seq,
+                        pc,
+                        complete_at,
+                    });
+                }
                 budget -= 1;
             }
         }
@@ -838,6 +910,14 @@ impl OooCore {
             }
             if let Some(complete_at) = self.try_issue(seq, ctx) {
                 self.ruu.mark_issued(seq, complete_at);
+                if ctx.trace.on(Category::Pipeline) {
+                    let pc = self.ruu.get(seq).map_or(0, |e| e.pc);
+                    ctx.trace.emit(EventData::Issue {
+                        seq,
+                        pc,
+                        complete_at,
+                    });
+                }
                 budget -= 1;
             }
         }
@@ -866,7 +946,10 @@ impl OooCore {
                 if !self.fu.try_acquire(FuClass::Mem) {
                     return None;
                 }
-                match ctx.mem_sys.access(addr, AccessKind::Prefetch, now + agen) {
+                match ctx
+                    .mem_sys
+                    .access_traced(addr, AccessKind::Prefetch, now + agen, ctx.trace)
+                {
                     Some(r) => {
                         // The prefetch instruction itself retires
                         // quickly; the fill continues in the MSHR.
@@ -892,7 +975,12 @@ impl OooCore {
                         if !self.fu.try_acquire(FuClass::Mem) {
                             return None;
                         }
-                        match ctx.mem_sys.access(addr, AccessKind::Load, now + agen) {
+                        match ctx.mem_sys.access_traced(
+                            addr,
+                            AccessKind::Load,
+                            now + agen,
+                            ctx.trace,
+                        ) {
                             Some(r) => {
                                 // Related-work comparator: a hardware
                                 // stride prefetcher observing demand
@@ -951,7 +1039,7 @@ impl OooCore {
 
     fn pump_store_data(&mut self, ctx: &mut CoreCtx<'_>) {
         let max = self.cfg.mem_ports.max(1) as usize;
-        self.lsq.pump_store_data(max, |q| ctx.queues.try_pop(q));
+        self.lsq.pump_store_data(max, |q| ctx.pop_queue(q));
     }
 
     // -------------------------------------------------------------- commit
@@ -979,7 +1067,10 @@ impl OooCore {
                     self.stats.stall_commit(data_queue.unwrap_or(Queue::Sdq));
                     break;
                 }
-                match ctx.mem_sys.access(addr, AccessKind::Store, self.now) {
+                match ctx
+                    .mem_sys
+                    .access_traced(addr, AccessKind::Store, self.now, ctx.trace)
+                {
                     Some(_) => {
                         ctx.data.store(addr, width, value)?;
                         // Routed through the LSQ so its flag counts (used
@@ -992,14 +1083,14 @@ impl OooCore {
 
             // Queue pushes (all-or-nothing per entry).
             if let Some(q) = instr.queue_push() {
-                if !ctx.queues.try_push(q, payload) {
+                if !ctx.push_queue(q, payload) {
                     self.stats.stall_commit(q);
                     break;
                 }
             }
             if annot.push_cq
                 && instr.is_control()
-                && !ctx.queues.try_push(Queue::Cq, actual_taken as u64)
+                && !ctx.push_queue(Queue::Cq, actual_taken as u64)
             {
                 self.stats.stall_commit(Queue::Cq);
                 break;
@@ -1007,7 +1098,7 @@ impl OooCore {
 
             // Slip control: the compiler's GET_SCQ (never blocks).
             if annot.scq_get {
-                let _ = ctx.queues.try_pop(Queue::Scq);
+                let _ = ctx.pop_queue(Queue::Scq);
             }
 
             // CMAS trigger fork.
@@ -1027,6 +1118,9 @@ impl OooCore {
                 self.finished = true;
             }
             self.stats.committed += 1;
+            if ctx.trace.on(Category::Pipeline) {
+                ctx.trace.emit(EventData::Commit { seq, pc });
+            }
             self.ruu.pop_front();
             if self.finished {
                 break;
@@ -1059,6 +1153,7 @@ mod tests {
         let mut mem_sys = MemSystem::new(MemConfig::paper());
         let mut queues = QueueFile::new(QueueConfig::paper());
         let mut triggers = Vec::new();
+        let mut tel = Telemetry::disabled();
         let mut now = 0;
         while !core.is_done() {
             let mut ctx = CoreCtx {
@@ -1066,6 +1161,7 @@ mod tests {
                 queues: &mut queues,
                 data: &mut mem,
                 triggers: &mut triggers,
+                trace: &mut tel,
             };
             core.step(now, &mut ctx).unwrap();
             now += 1;
@@ -1342,6 +1438,7 @@ mod snapshot_tests {
         let mut mem_sys = MemSystem::new(MemConfig::paper());
         let mut queues = QueueFile::new(QueueConfig::paper());
         let mut triggers = Vec::new();
+        let mut tel = Telemetry::disabled();
         let empty = core.snapshot();
         assert_eq!(empty.window.len(), 0);
         assert_eq!(empty.fetch_pc, 0);
@@ -1353,6 +1450,7 @@ mod snapshot_tests {
                 queues: &mut queues,
                 data: &mut mem,
                 triggers: &mut triggers,
+                trace: &mut tel,
             };
             core.step(now, &mut ctx).unwrap();
             let s = core.snapshot();

@@ -7,6 +7,7 @@ use hidisc_isa::mem::Memory;
 use hidisc_isa::testgen::{random_program, GenConfig};
 use hidisc_mem::{MemConfig, MemSystem};
 use hidisc_ooo::{CoreConfig, CoreCtx, OooCore, QueueConfig, QueueFile};
+use hidisc_telemetry::Telemetry;
 use proptest::prelude::*;
 
 fn run_core(cfg: CoreConfig, seed: u64, gen: GenConfig) -> (u64, u64, u64) {
@@ -29,6 +30,7 @@ fn run_core(cfg: CoreConfig, seed: u64, gen: GenConfig) -> (u64, u64, u64) {
     let mut mem_sys = MemSystem::new(MemConfig::paper());
     let mut queues = QueueFile::new(QueueConfig::paper());
     let mut triggers = Vec::new();
+    let mut trace = Telemetry::disabled();
     let mut now = 0u64;
     while !core.is_done() {
         let mut ctx = CoreCtx {
@@ -36,6 +38,7 @@ fn run_core(cfg: CoreConfig, seed: u64, gen: GenConfig) -> (u64, u64, u64) {
             queues: &mut queues,
             data: &mut data,
             triggers: &mut triggers,
+            trace: &mut trace,
         };
         core.step(now, &mut ctx).unwrap();
         now += 1;
@@ -140,6 +143,7 @@ fn tiny_memory_system_does_not_change_results() {
         });
         let mut queues = QueueFile::new(QueueConfig::paper());
         let mut triggers = Vec::new();
+        let mut trace = Telemetry::disabled();
         let mut now = 0u64;
         while !core.is_done() {
             let mut ctx = CoreCtx {
@@ -147,6 +151,7 @@ fn tiny_memory_system_does_not_change_results() {
                 queues: &mut queues,
                 data: &mut data,
                 triggers: &mut triggers,
+                trace: &mut trace,
             };
             core.step(now, &mut ctx).unwrap();
             now += 1;

@@ -7,12 +7,14 @@ use hidisc_isa::mem::Memory;
 use hidisc_isa::{IntReg, Queue};
 use hidisc_mem::{MemConfig, MemSystem};
 use hidisc_ooo::{CoreConfig, CoreCtx, OooCore, QueueConfig, QueueFile, TriggerFork};
+use hidisc_telemetry::Telemetry;
 
 struct Rig {
     mem_sys: MemSystem,
     queues: QueueFile,
     data: Memory,
     triggers: Vec<TriggerFork>,
+    trace: Telemetry,
     now: u64,
 }
 
@@ -23,6 +25,7 @@ impl Rig {
             queues: QueueFile::new(qcfg),
             data: Memory::new(),
             triggers: Vec::new(),
+            trace: Telemetry::disabled(),
             now: 0,
         }
     }
@@ -33,6 +36,7 @@ impl Rig {
             queues: &mut self.queues,
             data: &mut self.data,
             triggers: &mut self.triggers,
+            trace: &mut self.trace,
         };
         core.step(self.now, &mut ctx).unwrap();
         self.now += 1;
