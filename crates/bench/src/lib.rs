@@ -17,7 +17,7 @@
 //! the [`Report`] trait — an aligned text table or CSV — so the `repro`
 //! binary's `--format {text,csv}` flag works uniformly.
 
-use hidisc::telemetry::{Category, ChromeTraceSink, IntervalMetrics, TraceConfig};
+use hidisc::telemetry::{Category, ChromeTraceSink, IntervalMetrics, StreamingSink, TraceConfig};
 use hidisc::{run_model, Machine, MachineConfig, MachineStats, Model};
 use hidisc_slicer::{compile, CompiledWorkload, CompilerConfig, ExecEnv};
 use hidisc_workloads::{suite, Scale, Workload};
@@ -924,7 +924,7 @@ pub fn diagnostics(name: &str, scale: Scale, seed: u64) -> String {
     let mut cfg = MachineConfig::paper();
     cfg.trace = TraceConfig {
         mask: Category::Queue.bit(),
-        metrics_interval: 0,
+        ..TraceConfig::OFF
     };
     for m in Model::ALL {
         let mut obs = CmpPeakObserver::default();
@@ -1110,6 +1110,8 @@ pub struct TelemetryRun {
     pub counts: [u64; 5],
     /// Events discarded once the recorder's buffer filled.
     pub dropped: u64,
+    /// The buffer cap the run was recorded under.
+    pub cap: usize,
     /// Interval metrics, when `trace.metrics_interval > 0`.
     pub metrics: Option<IntervalMetrics>,
 }
@@ -1123,12 +1125,7 @@ impl TelemetryRun {
         for (c, n) in Category::ALL.into_iter().zip(self.counts) {
             let _ = writeln!(out, "{:>9}: {n} events", c.name());
         }
-        let _ = writeln!(
-            out,
-            "  dropped: {} (buffer cap {})",
-            self.dropped,
-            hidisc::telemetry::EVENT_CAP
-        );
+        let _ = writeln!(out, "  dropped: {} (buffer cap {})", self.dropped, self.cap);
         out
     }
 }
@@ -1167,8 +1164,70 @@ pub fn telemetry_run(
         stats,
         counts,
         dropped: tel.dropped(),
+        cap: tel.config().event_cap,
         metrics: tel.metrics().cloned(),
     }
+}
+
+/// One streamed traced run behind `repro telemetry --stream`: the trace
+/// went to the writer as the machine ran, so only the summary counters
+/// remain here.
+#[derive(Debug)]
+pub struct StreamedRun<W> {
+    /// The writer, returned after the document tail was flushed.
+    pub out: W,
+    /// End-of-run statistics of the traced machine.
+    pub stats: MachineStats,
+    /// Events serialised over the run (flushed batches + final drain).
+    pub streamed_events: u64,
+    /// Events discarded before a flush could happen (only possible when
+    /// one cycle emits more than the whole buffer cap).
+    pub dropped: u64,
+    /// The buffer cap the run streamed under.
+    pub cap: usize,
+    /// Interval metrics, when `trace.metrics_interval > 0`.
+    pub metrics: Option<IntervalMetrics>,
+}
+
+/// Streamed variant of [`telemetry_run`]: the Chrome-trace document is
+/// serialised into `out` *while* the machine runs — the event buffer is
+/// drained at half its cap instead of growing for the whole run, so
+/// arbitrarily long traces stream in bounded memory. The bytes produced
+/// are identical to the buffered exporter's.
+pub fn telemetry_stream<W: std::io::Write>(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    mut cfg: MachineConfig,
+    trace: TraceConfig,
+    out: W,
+) -> std::io::Result<StreamedRun<W>> {
+    let w = hidisc_workloads::by_name(name, scale, seed)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let env = env_of(&w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default())
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+    cfg.trace = trace;
+    let mut m = Machine::new(Model::HiDisc, &compiled, &env, cfg);
+    let core_names: Vec<&str> = m.snapshots().iter().map(|s| s.name).collect();
+    let mut sink = StreamingSink::new(out, &core_names);
+    let stats = m
+        .run_streamed(compiled.profile.dyn_instrs, &mut sink)
+        .unwrap_or_else(|e| panic!("{} streamed run failed: {e}", w.name));
+    let tel = m.telemetry();
+    let streamed_events = tel.total_events();
+    let dropped = tel.dropped();
+    let cap = tel.config().event_cap;
+    let metrics = tel.metrics().cloned();
+    let out = sink.finish(tel.metrics())?;
+    Ok(StreamedRun {
+        out,
+        stats,
+        streamed_events,
+        dropped,
+        cap,
+        metrics,
+    })
 }
 
 /// [`Report`] over the interval-metrics recorder: the text form is a
@@ -1364,6 +1423,55 @@ mod telemetry_tests {
         assert!(rep.render_text().contains("miss latency"));
         assert!(rep.render_csv().starts_with("cycle,committed,"));
         assert!(rep.render_csv().lines().count() > 1);
+    }
+
+    #[test]
+    fn streamed_trace_is_byte_identical_to_the_buffered_export() {
+        // Buffered: record everything, export at the end.
+        let trace = TraceConfig::ALL_EVENTS.with_metrics_interval(500);
+        let buffered = telemetry_run("dm", Scale::Test, 7, MachineConfig::paper(), trace);
+        assert_eq!(buffered.dropped, 0, "cap too small for this workload");
+
+        // Streamed: small cap so the buffer flushes many times mid-run
+        // (a busy cycle can emit a few dozen events, so the half-cap
+        // flush threshold must stay comfortably above that).
+        let trace = trace.with_event_cap(1024);
+        let streamed = telemetry_stream(
+            "dm",
+            Scale::Test,
+            7,
+            MachineConfig::paper(),
+            trace,
+            Vec::new(),
+        )
+        .expect("stream to a Vec cannot fail");
+        assert_eq!(streamed.dropped, 0, "streaming must flush, not drop");
+        assert!(
+            streamed.streamed_events > 1024,
+            "expected multiple flush batches"
+        );
+        assert!(streamed.stats.sim_eq(&buffered.stats), "runs diverged");
+        assert_eq!(
+            String::from_utf8(streamed.out).unwrap(),
+            buffered.json,
+            "streamed bytes differ from the buffered export"
+        );
+    }
+
+    #[test]
+    fn forced_event_drops_are_counted_and_surfaced() {
+        // A buffered run with a tiny cap must drop events and say so in
+        // the `repro telemetry` stderr summary.
+        let trace = TraceConfig::ALL_EVENTS.with_event_cap(16);
+        let run = telemetry_run("dm", Scale::Test, 7, MachineConfig::paper(), trace);
+        assert!(run.dropped > 0, "a 16-event cap cannot hold a dm run");
+        assert_eq!(run.cap, 16);
+        assert!(
+            run.summary()
+                .contains(&format!("dropped: {} (buffer cap 16)", run.dropped)),
+            "summary was: {}",
+            run.summary()
+        );
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! The pool size is a process-wide setting (see [`set_threads`]) so the
 //! `repro --threads N` flag caps every sweep in the invocation.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// 0 = "use all host cores" (the default until [`set_threads`] is called).
 static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
@@ -65,6 +66,143 @@ where
     v.into_iter().map(|(_, r)| r).collect()
 }
 
+/// A submitted unit of work.
+type Job = Box<dyn FnOnce() + Send>;
+
+struct WorkQueue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    q: Mutex<WorkQueue>,
+    cv: Condvar,
+    depth: usize,
+    queued: AtomicUsize,
+    running: AtomicUsize,
+}
+
+/// Error returned by [`Workers::try_submit`] when the bounded queue is
+/// full (backpressure) or the pool is shutting down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue holds `queue_depth` jobs already; retry later.
+    Full,
+    /// [`Workers::shutdown`] was called; no new work is accepted.
+    Closed,
+}
+
+/// A long-lived bounded-queue worker pool, the service-side counterpart
+/// of the fork-join [`run_indexed`] grid runner: jobs are submitted one
+/// at a time, the queue is bounded (callers see [`SubmitError::Full`]
+/// instead of unbounded buffering), and shutdown lets in-flight jobs
+/// finish.
+pub struct Workers {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Workers {
+    /// Spawns `workers` threads (at least 1) servicing a queue of at
+    /// most `queue_depth` pending jobs (at least 1).
+    pub fn new(workers: usize, queue_depth: usize) -> Workers {
+        let shared = Arc::new(Shared {
+            q: Mutex::new(WorkQueue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            depth: queue_depth.max(1),
+            queued: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut q = sh.q.lock().expect("worker queue lock");
+                        loop {
+                            if let Some(j) = q.jobs.pop_front() {
+                                break j;
+                            }
+                            if q.closed {
+                                return;
+                            }
+                            q = sh.cv.wait(q).expect("worker queue lock");
+                        }
+                    };
+                    sh.queued.fetch_sub(1, Ordering::Relaxed);
+                    sh.running.fetch_add(1, Ordering::Relaxed);
+                    job();
+                    sh.running.fetch_sub(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        Workers { shared, handles }
+    }
+
+    /// Enqueues `job` unless the queue is at capacity or the pool is
+    /// closed.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let mut q = self.shared.q.lock().expect("worker queue lock");
+        if q.closed {
+            return Err(SubmitError::Closed);
+        }
+        if q.jobs.len() >= self.shared.depth {
+            return Err(SubmitError::Full);
+        }
+        q.jobs.push_back(Box::new(job));
+        self.shared.queued.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.shared.queued.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently executing.
+    pub fn running(&self) -> usize {
+        self.shared.running.load(Ordering::Relaxed)
+    }
+
+    /// Closes the pool and joins every worker. In-flight jobs always
+    /// finish; jobs still queued run too when `drain` is true and are
+    /// discarded otherwise (the caller is responsible for failing any
+    /// state tracked against them).
+    pub fn shutdown(mut self, drain: bool) {
+        {
+            let mut q = self.shared.q.lock().expect("worker queue lock");
+            q.closed = true;
+            if !drain {
+                let dropped = q.jobs.len();
+                q.jobs.clear();
+                self.shared.queued.fetch_sub(dropped, Ordering::Relaxed);
+            }
+        }
+        self.shared.cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Workers {
+    fn drop(&mut self) {
+        let mut q = self.shared.q.lock().expect("worker queue lock");
+        q.closed = true;
+        q.jobs.clear();
+        drop(q);
+        self.shared.cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +230,76 @@ mod tests {
 
         set_threads(0);
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn workers_run_jobs_and_bound_the_queue() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::mpsc;
+
+        let pool = Workers::new(1, 2);
+        let ran = Arc::new(AtomicU64::new(0));
+
+        // Block the single worker so subsequent submissions queue up.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_submit(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+
+        for _ in 0..2 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        let ran2 = Arc::clone(&ran);
+        assert_eq!(
+            pool.try_submit(move || {
+                ran2.fetch_add(1, Ordering::Relaxed);
+            }),
+            Err(SubmitError::Full)
+        );
+        assert_eq!(pool.queued(), 2);
+
+        release_tx.send(()).unwrap();
+        pool.shutdown(true);
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn workers_shutdown_discards_queued_without_drain() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::mpsc;
+
+        let pool = Workers::new(1, 4);
+        let ran = Arc::new(AtomicU64::new(0));
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(move || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        started_rx.recv().unwrap();
+        for _ in 0..3 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        release_tx.send(()).unwrap();
+        // The in-flight job finishes; the three queued jobs are dropped.
+        pool.shutdown(false);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 }

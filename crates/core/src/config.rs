@@ -6,6 +6,21 @@ use hidisc_mem::{CacheConfig, MemConfig};
 use hidisc_ooo::{CoreConfig, QueueConfig, Scheduler};
 use hidisc_telemetry::TraceConfig;
 
+/// One FNV-1a 64-bit step over `bytes`, continuing from `state` (seed
+/// with [`FNV_OFFSET`]). Exposed so callers can extend a configuration's
+/// content-address with more key material (workload name, seed, model).
+pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The FNV-1a 64-bit offset basis (initial `state` for [`fnv1a`]).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// The four architecture models evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Model {
@@ -335,6 +350,212 @@ impl MachineConfig {
             .latency(l2, mem)
             .build()
             .expect("the paper preset is valid at any latency")
+    }
+
+    /// Canonical byte serialisation of every simulation-relevant field,
+    /// for content-addressed result caching: two configurations with the
+    /// same field values always produce the same bytes, regardless of
+    /// how or in what order they were built. The `trace` block is
+    /// excluded — telemetry is proven simulation-invisible
+    /// (`telemetry_equiv.rs`), so tracing a run must not change its
+    /// cache identity.
+    ///
+    /// Every struct is destructured exhaustively, so adding a field
+    /// anywhere in the configuration tree is a compile error here until
+    /// the encoding is extended (bump the version tag when it is).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        fn u32_(out: &mut Vec<u8>, v: u32) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn u64_(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn usize_(out: &mut Vec<u8>, v: usize) {
+            u64_(out, v as u64);
+        }
+        fn bool_(out: &mut Vec<u8>, v: bool) {
+            out.push(v as u8);
+        }
+        fn f64_(out: &mut Vec<u8>, v: f64) {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        fn lat(out: &mut Vec<u8>, l: &hidisc_ooo::Latencies) {
+            let hidisc_ooo::Latencies {
+                int_alu,
+                int_mul,
+                int_div,
+                fp_alu,
+                fp_mul,
+                fp_div,
+                branch,
+                agen,
+            } = *l;
+            for v in [
+                int_alu, int_mul, int_div, fp_alu, fp_mul, fp_div, branch, agen,
+            ] {
+                u32_(out, v);
+            }
+        }
+        fn core(out: &mut Vec<u8>, c: &CoreConfig) {
+            let CoreConfig {
+                fetch_width,
+                dispatch_width,
+                issue_width,
+                commit_width,
+                ruu_size,
+                lsq_size,
+                ifq_size,
+                int_alu,
+                int_mul,
+                fp_alu,
+                fp_mul,
+                mem_ports,
+                predictor_entries,
+                predictor_kind,
+                hw_prefetcher,
+                frontend_penalty,
+                scheduler,
+                lat: latencies,
+            } = *c;
+            for v in [
+                fetch_width,
+                dispatch_width,
+                issue_width,
+                commit_width,
+                ruu_size,
+                lsq_size,
+                ifq_size,
+                int_alu,
+                int_mul,
+                fp_alu,
+                fp_mul,
+                mem_ports,
+                predictor_entries,
+            ] {
+                u32_(out, v);
+            }
+            match predictor_kind {
+                hidisc_ooo::predictor::PredictorKind::Bimodal => out.push(0),
+                hidisc_ooo::predictor::PredictorKind::GShare { history_bits } => {
+                    out.push(1);
+                    u32_(out, history_bits);
+                }
+            }
+            match hw_prefetcher {
+                None => out.push(0),
+                Some(hidisc_mem::RptConfig { entries, distance }) => {
+                    out.push(1);
+                    usize_(out, entries);
+                    u32_(out, distance);
+                }
+            }
+            u32_(out, frontend_penalty);
+            out.push(match scheduler {
+                Scheduler::ReadyList => 0,
+                Scheduler::Scan => 1,
+            });
+            lat(out, &latencies);
+        }
+        fn cache(out: &mut Vec<u8>, c: &CacheConfig) {
+            let CacheConfig {
+                sets,
+                block_bytes,
+                ways,
+                latency,
+            } = *c;
+            for v in [sets, block_bytes, ways, latency] {
+                u32_(out, v);
+            }
+        }
+
+        let MachineConfig {
+            superscalar,
+            cp,
+            ap,
+            cmp,
+            mem,
+            queues,
+            deadlock_cycles,
+            max_cycles,
+            fast_forward,
+            ff_check,
+            trace: _,
+        } = self;
+
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(b"HDC1");
+        core(&mut out, superscalar);
+        core(&mut out, cp);
+        core(&mut out, ap);
+
+        let CmpConfig {
+            max_threads,
+            issue_width,
+            thread_width,
+            mem_ports,
+            int_latency,
+            next_line_assist,
+            dynamic,
+        } = *cmp;
+        usize_(&mut out, max_threads);
+        for v in [issue_width, thread_width, mem_ports, int_latency] {
+            u32_(&mut out, v);
+        }
+        bool_(&mut out, next_line_assist);
+        let crate::dynamic::DynamicConfig {
+            adaptive_slip,
+            min_slip,
+            max_slip,
+            sample_period,
+            late_threshold,
+            selective_trigger,
+            usefulness_floor,
+            min_observations,
+            probation_period,
+        } = dynamic;
+        bool_(&mut out, adaptive_slip);
+        usize_(&mut out, min_slip);
+        usize_(&mut out, max_slip);
+        u64_(&mut out, sample_period);
+        f64_(&mut out, late_threshold);
+        bool_(&mut out, selective_trigger);
+        f64_(&mut out, usefulness_floor);
+        u64_(&mut out, min_observations);
+        u32_(&mut out, probation_period);
+
+        let MemConfig {
+            l1,
+            l2,
+            mem_latency,
+            mshrs,
+        } = mem;
+        cache(&mut out, l1);
+        cache(&mut out, l2);
+        u32_(&mut out, *mem_latency);
+        u32_(&mut out, *mshrs);
+
+        let QueueConfig {
+            ldq,
+            sdq,
+            cdq,
+            cq,
+            scq,
+        } = *queues;
+        for v in [ldq, sdq, cdq, cq, scq] {
+            usize_(&mut out, v);
+        }
+
+        u64_(&mut out, *deadlock_cycles);
+        u64_(&mut out, *max_cycles);
+        bool_(&mut out, *fast_forward);
+        bool_(&mut out, *ff_check);
+        out
+    }
+
+    /// FNV-1a 64-bit hash of [`MachineConfig::canonical_bytes`] — the
+    /// configuration's content-address for result caching.
+    pub fn canonical_hash(&self) -> u64 {
+        fnv1a(FNV_OFFSET, &self.canonical_bytes())
     }
 
     /// The raw Table-1 literal the builder starts from.

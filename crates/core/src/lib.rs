@@ -36,7 +36,7 @@ pub mod machine;
 pub mod stats;
 
 pub use cmp::{CmpConfig, CmpEngine, CmpStats};
-pub use config::{ConfigError, MachineConfig, MachineConfigBuilder, Model};
+pub use config::{fnv1a, ConfigError, MachineConfig, MachineConfigBuilder, Model, FNV_OFFSET};
 pub use dynamic::DynamicConfig;
 pub use error::RunError;
 pub use hidisc_ooo::Scheduler;

@@ -12,7 +12,7 @@ use hidisc_ooo::queues::QueueStats;
 use hidisc_ooo::{CoreCtx, CoreStats, OooCore, QueueFile, TriggerFork};
 use hidisc_slicer::{CompiledWorkload, ExecEnv};
 use hidisc_telemetry::{
-    Category, EventData, IntervalSample, Telemetry, SOURCE_CMP, SOURCE_MACHINE,
+    Category, EventData, IntervalSample, Telemetry, TraceSink, SOURCE_CMP, SOURCE_MACHINE,
 };
 use std::ops::ControlFlow;
 use std::time::Instant;
@@ -492,6 +492,46 @@ impl Machine {
     /// `work_instrs` is the dynamic instruction count of the original
     /// sequential program — the IPC denominator shared by all models.
     pub fn run(&mut self, work_instrs: u64) -> Result<MachineStats, RunError> {
+        self.run_inner(work_instrs, None, None)
+    }
+
+    /// Like [`Machine::run`], but drains buffered telemetry events into
+    /// `sink` whenever the buffer reaches half its cap (and once more at
+    /// the end), so arbitrarily long runs can be traced without dropping
+    /// events. Simulated results are bit-identical to [`Machine::run`];
+    /// only the export path differs. Events drop only if a single cycle
+    /// emits more than half the cap — at the default cap that cannot
+    /// happen.
+    pub fn run_streamed(
+        &mut self,
+        work_instrs: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<MachineStats, RunError> {
+        self.run_inner(work_instrs, Some(sink), None)
+    }
+
+    /// Like [`Machine::run`], but aborts with
+    /// [`RunError::CycleBudget`] (carrying the cycle reached) once the
+    /// host clock passes `deadline`. The deadline is polled every few
+    /// thousand simulated cycles, so expiry is detected promptly without
+    /// a per-cycle syscall.
+    pub fn run_deadline(
+        &mut self,
+        work_instrs: u64,
+        deadline: Instant,
+    ) -> Result<MachineStats, RunError> {
+        self.run_inner(work_instrs, None, Some(deadline))
+    }
+
+    /// Simulated cycles between host-clock deadline polls.
+    const DEADLINE_CHECK_CYCLES: u64 = 4096;
+
+    fn run_inner(
+        &mut self,
+        work_instrs: u64,
+        mut stream: Option<&mut dyn TraceSink>,
+        deadline: Option<Instant>,
+    ) -> Result<MachineStats, RunError> {
         let t0 = Instant::now();
         let mut triggers: Vec<TriggerFork> = Vec::new();
         let mut last_committed = 0u64;
@@ -499,12 +539,19 @@ impl Machine {
         let mut ff = FfState::default();
         let ff_on = self.cfg.fast_forward;
         let iv = self.telemetry.metrics_interval();
+        let drain_at = (self.cfg.trace.event_cap / 2).max(1);
+        let mut next_deadline_check = 0u64;
 
         while self.cores.iter().any(|c| !c.is_done()) {
             self.step_cycle(&mut triggers)?;
             self.now += 1;
             if iv != 0 && self.now.is_multiple_of(iv) {
                 self.sample_metrics();
+            }
+            if let Some(sink) = stream.as_deref_mut() {
+                if self.telemetry.events().len() >= drain_at {
+                    self.telemetry.drain_into(sink);
+                }
             }
 
             // Progress watchdog.
@@ -528,6 +575,15 @@ impl Machine {
                     limit: self.cfg.max_cycles,
                 });
             }
+            if let Some(deadline) = deadline {
+                if self.now >= next_deadline_check {
+                    next_deadline_check = self.now + Self::DEADLINE_CHECK_CYCLES;
+                    if Instant::now() >= deadline {
+                        self.host_wall_ns += t0.elapsed().as_nanos() as u64;
+                        return Err(RunError::CycleBudget { limit: self.now });
+                    }
+                }
+            }
             if ff_on {
                 if idle == 0 {
                     ff.reset();
@@ -537,6 +593,9 @@ impl Machine {
             }
         }
 
+        if let Some(sink) = stream {
+            self.telemetry.drain_into(sink);
+        }
         self.host_wall_ns += t0.elapsed().as_nanos() as u64;
         Ok(self.stats(work_instrs))
     }

@@ -1,0 +1,108 @@
+//! The service's result cache is only sound if the canonical config
+//! hash is (a) deterministic — the same configuration always produces
+//! the same key — and (b) sensitive — any simulation-relevant field
+//! change produces a different key, so distinct experiments can never
+//! alias to one cache slot.
+
+use hidisc::telemetry::TraceConfig;
+use hidisc::{MachineConfig, Scheduler};
+use proptest::prelude::*;
+
+fn build(l2: u32, mem: u32, scq: usize, sched: Scheduler, max_cycles: u64) -> MachineConfig {
+    let mut q = MachineConfig::paper().queues;
+    q.scq = scq;
+    MachineConfig::builder()
+        .latency(l2, mem)
+        .queues(q)
+        .scheduler(sched)
+        .max_cycles(max_cycles)
+        .build()
+        .expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Determinism: two configs built from the same parameters hash to
+    /// the same key (and the same canonical byte string).
+    #[test]
+    fn identical_configs_hash_identically(
+        l2 in 1u32..64,
+        mem in 50u32..300,
+        scq in 1usize..64,
+        ready in any::<bool>(),
+        max_cycles in 1_000u64..1_000_000_000,
+    ) {
+        let sched = if ready { Scheduler::ReadyList } else { Scheduler::Scan };
+        let a = build(l2, mem, scq, sched, max_cycles);
+        let b = build(l2, mem, scq, sched, max_cycles);
+        prop_assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        prop_assert_eq!(a.canonical_hash(), b.canonical_hash());
+    }
+
+    /// Sensitivity on the swept axes: a change to the L2 latency, memory
+    /// latency, SCQ depth, or scheduler always changes the key.
+    #[test]
+    fn sweep_axis_changes_change_the_key(
+        l2 in 1u32..64,
+        mem in 50u32..300,
+        scq in 1usize..64,
+        ready in any::<bool>(),
+    ) {
+        let sched = if ready { Scheduler::ReadyList } else { Scheduler::Scan };
+        let other_sched = if ready { Scheduler::Scan } else { Scheduler::ReadyList };
+        let base = build(l2, mem, scq, sched, 1_000_000).canonical_hash();
+        prop_assert!(base != build(l2 + 1, mem, scq, sched, 1_000_000).canonical_hash());
+        prop_assert!(base != build(l2, mem + 1, scq, sched, 1_000_000).canonical_hash());
+        prop_assert!(base != build(l2, mem, scq + 1, sched, 1_000_000).canonical_hash());
+        prop_assert!(base != build(l2, mem, scq, other_sched, 1_000_000).canonical_hash());
+    }
+}
+
+/// Every simulation-relevant field class perturbs the key; telemetry
+/// settings (excluded by design — they are proven simulation-invisible)
+/// do not.
+#[test]
+fn single_field_mutations_change_the_key() {
+    let base = MachineConfig::paper();
+    let base_key = base.canonical_hash();
+
+    type Mutation = (&'static str, fn(&mut MachineConfig));
+    let mutations: [Mutation; 12] = [
+        ("mem.l2.latency", |c| c.mem.l2.latency += 1),
+        ("mem.mem_latency", |c| c.mem.mem_latency += 1),
+        ("mem.l1.ways", |c| c.mem.l1.ways *= 2),
+        ("mem.l1.sets", |c| c.mem.l1.sets *= 2),
+        ("queues.scq", |c| c.queues.scq += 1),
+        ("queues.ldq", |c| c.queues.ldq += 1),
+        ("cp.scheduler", |c| {
+            c.cp.scheduler = match c.cp.scheduler {
+                Scheduler::ReadyList => Scheduler::Scan,
+                Scheduler::Scan => Scheduler::ReadyList,
+            }
+        }),
+        ("ap.ruu_size", |c| c.ap.ruu_size += 1),
+        ("cmp.max_threads", |c| c.cmp.max_threads += 1),
+        ("deadlock_cycles", |c| c.deadlock_cycles += 1),
+        ("max_cycles", |c| c.max_cycles += 1),
+        ("fast_forward", |c| c.fast_forward = !c.fast_forward),
+    ];
+    let mut keys = vec![base_key];
+    for (what, mutate) in mutations {
+        let mut c = base;
+        mutate(&mut c);
+        let key = c.canonical_hash();
+        assert_ne!(key, base_key, "mutating {what} left the key unchanged");
+        keys.push(key);
+    }
+    // The mutants are also pairwise distinct — no accidental collisions
+    // in this neighborhood of config space.
+    let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
+    assert_eq!(distinct.len(), keys.len(), "two mutants collided");
+
+    // Telemetry is simulation-invisible and deliberately not hashed: a
+    // traced run may reuse an untraced run's cached result.
+    let mut traced = base;
+    traced.trace = TraceConfig::ALL_EVENTS.with_metrics_interval(100);
+    assert_eq!(traced.canonical_hash(), base_key);
+}

@@ -1,0 +1,137 @@
+//! Content-addressed result cache: completed run results keyed by the
+//! canonical hash of (machine config, workload, scale, seed, model).
+//! In-memory LRU with optional disk persistence, so repeated sweep
+//! points return instantly and results survive a service restart.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Entry {
+    stamp: u64,
+    json: Arc<String>,
+}
+
+/// The cache. Not internally synchronised — the service wraps it in the
+/// job-registry mutex.
+pub struct ResultCache {
+    cap: usize,
+    stamp: u64,
+    map: HashMap<u64, Entry>,
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `cap` results in memory (at least 1),
+    /// persisting to `dir` when given (`<key>.json` files; created on
+    /// first insert, read-through on miss).
+    pub fn new(cap: usize, dir: Option<PathBuf>) -> ResultCache {
+        ResultCache {
+            cap: cap.max(1),
+            stamp: 0,
+            map: HashMap::new(),
+            dir,
+        }
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    fn path_of(&self, key: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{key:016x}.json")))
+    }
+
+    /// Looks `key` up, consulting the disk tier on a memory miss.
+    /// Refreshes recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<Arc<String>> {
+        let stamp = self.touch();
+        if let Some(e) = self.map.get_mut(&key) {
+            e.stamp = stamp;
+            return Some(Arc::clone(&e.json));
+        }
+        let path = self.path_of(key)?;
+        let json = std::fs::read_to_string(path).ok()?;
+        let json = Arc::new(json);
+        self.insert_memory(key, Arc::clone(&json), stamp);
+        Some(json)
+    }
+
+    /// Inserts a result, persisting it to the disk tier (best-effort —
+    /// a read-only cache directory degrades to memory-only).
+    pub fn insert(&mut self, key: u64, json: Arc<String>) {
+        if let Some(path) = self.path_of(key) {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let tmp = path.with_extension("tmp");
+            if std::fs::write(&tmp, json.as_bytes()).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+        let stamp = self.touch();
+        self.insert_memory(key, json, stamp);
+    }
+
+    fn insert_memory(&mut self, key: u64, json: Arc<String>, stamp: u64) {
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, e)| e.stamp) {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(key, Entry { stamp, json });
+    }
+
+    /// Results currently held in memory.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2, None);
+        c.insert(1, val("one"));
+        c.insert(2, val("two"));
+        assert_eq!(c.get(1).as_deref().map(String::as_str), Some("one"));
+        c.insert(3, val("three")); // evicts 2 (1 was just touched)
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_survives_memory_eviction() {
+        let dir = std::env::temp_dir().join(format!("hidisc-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = ResultCache::new(1, Some(dir.clone()));
+            c.insert(7, val("seven"));
+            c.insert(8, val("eight")); // 7 leaves memory, stays on disk
+            assert_eq!(c.get(7).as_deref().map(String::as_str), Some("seven"));
+        }
+        // A fresh instance (fresh process in real life) reads through.
+        let mut c2 = ResultCache::new(4, Some(dir.clone()));
+        assert!(c2.is_empty());
+        assert_eq!(c2.get(8).as_deref().map(String::as_str), Some("eight"));
+        assert_eq!(c2.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

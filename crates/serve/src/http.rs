@@ -1,0 +1,186 @@
+//! A deliberately small HTTP/1.1 server-side codec over std TCP: enough
+//! to parse one request and write one response per connection
+//! (`Connection: close`), with hard size limits so a misbehaving client
+//! cannot balloon memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted request-line + header block, in bytes.
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// Maximum accepted request body, in bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Path component (query string stripped).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; maps onto a response status.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request line / headers / length framing.
+    Bad(String),
+    /// Head or body over the size limits.
+    TooLarge,
+    /// Underlying socket error (peer vanished mid-request).
+    Io(std::io::Error),
+}
+
+/// Reads one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    // Read until the end of the header block.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    let header_end;
+    loop {
+        let n = stream.read(&mut buf).map_err(ParseError::Io)?;
+        if n == 0 {
+            return Err(ParseError::Bad("connection closed mid-request".into()));
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_header_end(&head) {
+            header_end = pos;
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(ParseError::TooLarge);
+        }
+    }
+    let (head_bytes, rest) = head.split_at(header_end);
+    let rest = &rest[4..]; // skip the \r\n\r\n
+    let head_txt = std::str::from_utf8(head_bytes)
+        .map_err(|_| ParseError::Bad("non-UTF-8 request head".into()))?;
+
+    let mut lines = head_txt.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ParseError::Bad("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("request line has no target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("request line has no version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad(format!("unsupported version {version}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Bad(format!("malformed header line `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body: exactly Content-Length bytes (chunked encoding unsupported).
+    let mut body = rest.to_vec();
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ParseError::Bad(format!("bad Content-Length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(ParseError::TooLarge);
+    }
+    if headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ParseError::Bad("chunked bodies are not supported".into()));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut buf).map_err(ParseError::Io)?;
+        if n == 0 {
+            return Err(ParseError::Bad("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&buf[..n]);
+        if body.len() > MAX_BODY {
+            return Err(ParseError::TooLarge);
+        }
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one response with the given extra headers and closes the
+/// exchange (`Connection: close`). Errors are returned for the caller to
+/// log; the connection is dropped either way.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}

@@ -1,0 +1,296 @@
+//! A minimal JSON value parser/encoder for request bodies and
+//! responses. The suite is std-only by policy (see ROADMAP), so this is
+//! hand-rolled; it covers the full JSON grammar but keeps numbers as
+//! `f64` (request fields are small integers and strings).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (kept as `f64`; use [`Json::as_u64`] for counts).
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (rejects trailing garbage).
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        let v = parse_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing characters at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (None on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object keys, for unknown-field diagnostics.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *i += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = match parse_value(b, i)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key at byte {i} is not a string")),
+                };
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {i}"));
+                }
+                *i += 1;
+                let v = parse_value(b, i)?;
+                fields.push((key, v));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, i).map(Json::Str),
+        Some(b't') => lit(b, i, "true", Json::Bool(true)),
+        Some(b'f') => lit(b, i, "false", Json::Bool(false)),
+        Some(b'n') => lit(b, i, "null", Json::Null),
+        Some(_) => parse_number(b, i),
+    }
+}
+
+fn lit(b: &[u8], i: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*i..].starts_with(word.as_bytes()) {
+        *i += word.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {i}"))
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    *i += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b.get(*i) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        // Surrogates map to the replacement character; the
+                        // service never emits them.
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+                *i += 1;
+            }
+            Some(&c) => {
+                if c < 0x20 {
+                    return Err(format!("raw control character at byte {i}"));
+                }
+                // Copy the full UTF-8 sequence.
+                let start = *i;
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b
+                    .get(start..start + len)
+                    .ok_or("truncated UTF-8 sequence".to_string())?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *i += len;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *i += 1;
+    }
+    let txt = std::str::from_utf8(&b[start..*i]).map_err(|e| e.to_string())?;
+    txt.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{txt}` at byte {start}"))
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = Json::parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny"}, "d": true, "e": null}"#)
+            .unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-3.0)])
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("e").unwrap(), &Json::Null);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{'a':1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn integer_extraction_is_exact() {
+        assert_eq!(Json::parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(Json::parse("42.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let s = "quote\" slash\\ newline\n tab\t control\u{1}";
+        let doc = format!("{{\"k\":\"{}\"}}", escape(s));
+        assert_eq!(
+            Json::parse(&doc).unwrap().get("k").unwrap().as_str(),
+            Some(s)
+        );
+    }
+}

@@ -1,0 +1,957 @@
+//! `hidisc-serve` — simulation as a service.
+//!
+//! A std-only HTTP/1.1 service that turns the one-shot simulator into a
+//! long-lived endpoint (see DESIGN.md §14):
+//!
+//! - `POST /run` submits a config+workload job. Identical experiments
+//!   are **content-addressed**: the job id is the hex of a canonical
+//!   hash over (machine config, workload, scale, seed, model), so
+//!   duplicate submissions coalesce onto the in-flight run and repeated
+//!   ones return instantly from the result cache (`cached: true`).
+//! - `GET /jobs/<id>` polls status/result.
+//! - `GET /healthz` is a liveness probe.
+//! - `GET /metrics` exposes per-service counters plus the latest run's
+//!   interval metrics in Prometheus text format.
+//! - `POST /shutdown` initiates graceful shutdown: in-flight jobs
+//!   finish, queued jobs are failed, the listener closes.
+//!
+//! Backpressure: the job queue is bounded; a full queue answers `429`
+//! with a `Retry-After` hint instead of buffering without bound.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hidisc::telemetry::{metrics_prometheus, IntervalMetrics, TraceConfig};
+use hidisc::{fnv1a, ConfigError, Machine, MachineConfig, Model, RunError, Scheduler};
+use hidisc_bench::pool::{SubmitError, Workers};
+use hidisc_slicer::{compile, CompilerConfig};
+use hidisc_workloads::Scale;
+
+pub mod cache;
+pub mod http;
+pub mod json;
+
+use cache::ResultCache;
+use json::{escape, Json};
+
+// ---------------------------------------------------------------------
+// Job specification
+// ---------------------------------------------------------------------
+
+/// A validated `POST /run` request body.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Workload name (any name `hidisc_workloads::by_name` accepts).
+    pub workload: String,
+    /// Workload scale (`test`, `paper`, `large`).
+    pub scale: Scale,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Machine model to run.
+    pub model: Model,
+    /// L2 latency override (Figure-10 style), paper value when absent.
+    pub l2_lat: Option<u32>,
+    /// Memory latency override, paper value when absent.
+    pub mem_lat: Option<u32>,
+    /// SCQ depth override.
+    pub scq_depth: Option<usize>,
+    /// Issue-scheduler override.
+    pub scheduler: Option<Scheduler>,
+    /// Per-request cycle budget (maps onto [`RunError::CycleBudget`]).
+    pub max_cycles: Option<u64>,
+    /// Per-request wall-clock timeout in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Interval-metrics sampling period (0 = off).
+    pub metrics_interval: u64,
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "test" => Ok(Scale::Test),
+        "paper" => Ok(Scale::Paper),
+        "large" => Ok(Scale::Large),
+        other => Err(format!("unknown scale `{other}` (use test|paper|large)")),
+    }
+}
+
+fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Test => "test",
+        Scale::Paper => "paper",
+        Scale::Large => "large",
+    }
+}
+
+fn parse_model(s: &str) -> Result<Model, String> {
+    Model::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            let names: Vec<String> = Model::ALL.iter().map(|m| m.name().to_lowercase()).collect();
+            format!("unknown model `{s}` (use {})", names.join("|"))
+        })
+}
+
+fn parse_scheduler(s: &str) -> Result<Scheduler, String> {
+    match s {
+        "ready" => Ok(Scheduler::ReadyList),
+        "scan" => Ok(Scheduler::Scan),
+        other => Err(format!("unknown scheduler `{other}` (use ready|scan)")),
+    }
+}
+
+impl JobSpec {
+    /// Parses and validates a request body. Unknown fields, unknown
+    /// workload names and type mismatches are rejected with a message
+    /// (served as `400`, matching the CLI's exit-code-2 diagnostics).
+    pub fn from_json(body: &[u8]) -> Result<JobSpec, String> {
+        let text =
+            std::str::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+        let v = Json::parse(text).map_err(|e| format!("malformed request body: {e}"))?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err("request body must be a JSON object".to_string());
+        }
+        const KNOWN: [&str; 11] = [
+            "workload",
+            "scale",
+            "seed",
+            "model",
+            "l2_lat",
+            "mem_lat",
+            "scq_depth",
+            "scheduler",
+            "max_cycles",
+            "timeout_ms",
+            "metrics_interval",
+        ];
+        for k in v.keys() {
+            if !KNOWN.contains(&k) {
+                return Err(format!("unknown field `{k}` (use {})", KNOWN.join(", ")));
+            }
+        }
+        let str_field = |name: &str| -> Result<Option<String>, String> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(j) => j
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or_else(|| format!("field `{name}` must be a string")),
+            }
+        };
+        let num_field = |name: &str| -> Result<Option<u64>, String> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(j) => j
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("field `{name}` must be a non-negative integer")),
+            }
+        };
+
+        let workload = str_field("workload")?.ok_or("missing field `workload`")?;
+        if !hidisc_workloads::names().contains(&workload.as_str()) {
+            return Err(format!(
+                "unknown workload `{workload}` (use {})",
+                hidisc_workloads::names().join("|")
+            ));
+        }
+        let scale = match str_field("scale")? {
+            None => Scale::Test,
+            Some(s) => parse_scale(&s)?,
+        };
+        let model = match str_field("model")? {
+            None => Model::HiDisc,
+            Some(s) => parse_model(&s)?,
+        };
+        let scheduler = match str_field("scheduler")? {
+            None => None,
+            Some(s) => Some(parse_scheduler(&s)?),
+        };
+        Ok(JobSpec {
+            workload,
+            scale,
+            seed: num_field("seed")?.unwrap_or(2003),
+            model,
+            l2_lat: num_field("l2_lat")?.map(|v| v as u32),
+            mem_lat: num_field("mem_lat")?.map(|v| v as u32),
+            scq_depth: num_field("scq_depth")?.map(|v| v as usize),
+            scheduler,
+            max_cycles: num_field("max_cycles")?,
+            timeout_ms: num_field("timeout_ms")?,
+            metrics_interval: num_field("metrics_interval")?.unwrap_or(0),
+        })
+    }
+
+    /// Assembles the machine configuration through the validating
+    /// builder (the same path as `repro`'s sweep flags).
+    pub fn config(&self) -> Result<MachineConfig, ConfigError> {
+        let paper = MachineConfig::paper();
+        let mut b = MachineConfig::builder().latency(
+            self.l2_lat.unwrap_or(paper.mem.l2.latency),
+            self.mem_lat.unwrap_or(paper.mem.mem_latency),
+        );
+        if let Some(depth) = self.scq_depth {
+            let mut q = paper.queues;
+            q.scq = depth;
+            b = b.queues(q);
+        }
+        if let Some(s) = self.scheduler {
+            b = b.scheduler(s);
+        }
+        if let Some(n) = self.max_cycles {
+            b = b.max_cycles(n);
+        }
+        if self.metrics_interval > 0 {
+            b = b.trace(TraceConfig::OFF.with_metrics_interval(self.metrics_interval));
+        }
+        b.build()
+    }
+
+    /// The job's content-address: the config's canonical hash extended
+    /// with the workload identity (name, scale, seed) and the model.
+    /// Telemetry settings and the wall-clock timeout are deliberately
+    /// excluded — they do not change simulated results (the cycle
+    /// budget, part of the config, is included).
+    pub fn key(&self, cfg: &MachineConfig) -> u64 {
+        let mut h = cfg.canonical_hash();
+        h = fnv1a(h, self.workload.as_bytes());
+        h = fnv1a(h, &[0, self.scale as u8]);
+        h = fnv1a(h, &self.seed.to_le_bytes());
+        h = fnv1a(h, &[self.model as u8]);
+        h
+    }
+}
+
+// ---------------------------------------------------------------------
+// Service state
+// ---------------------------------------------------------------------
+
+/// Service construction parameters (`repro serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads (0 = one per host core, as `bench::pool`).
+    pub workers: usize,
+    /// Bounded job-queue depth; a full queue answers `429`.
+    pub queue_depth: usize,
+    /// In-memory result-cache capacity (results, not bytes).
+    pub cache_capacity: usize,
+    /// Disk tier of the result cache (e.g. `results/cache/`); `None`
+    /// keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 32,
+            cache_capacity: 256,
+            cache_dir: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    submitted: AtomicU64,
+    coalesced: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    sim_runs: AtomicU64,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    rejected: AtomicU64,
+    bad_requests: AtomicU64,
+    dropped_events: AtomicU64,
+}
+
+enum Phase {
+    Queued,
+    Running,
+    Done { stats: Arc<String>, wall_ms: u64 },
+    Failed { error: String },
+}
+
+struct JobEntry {
+    workload: String,
+    scale: Scale,
+    seed: u64,
+    model: Model,
+    phase: Phase,
+}
+
+struct Registry {
+    jobs: HashMap<String, JobEntry>,
+    cache: ResultCache,
+}
+
+struct State {
+    registry: Mutex<Registry>,
+    workers: Mutex<Option<Workers>>,
+    counters: Counters,
+    metrics: Mutex<Option<IntervalMetrics>>,
+    stop: AtomicBool,
+}
+
+/// A running service instance.
+pub struct Service {
+    state: Arc<State>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl Service {
+    /// Binds, spawns the worker pool and the acceptor, and returns.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Service> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = if cfg.workers == 0 {
+            hidisc_bench::pool::threads()
+        } else {
+            cfg.workers
+        };
+        let state = Arc::new(State {
+            registry: Mutex::new(Registry {
+                jobs: HashMap::new(),
+                cache: ResultCache::new(cfg.cache_capacity, cfg.cache_dir.clone()),
+            }),
+            workers: Mutex::new(Some(Workers::new(workers, cfg.queue_depth))),
+            counters: Counters::default(),
+            metrics: Mutex::new(None),
+            stop: AtomicBool::new(false),
+        });
+        let st = Arc::clone(&state);
+        let acceptor = std::thread::spawn(move || accept_loop(listener, st));
+        Ok(Service {
+            state,
+            acceptor: Some(acceptor),
+            addr,
+        })
+    }
+
+    /// The bound address (resolves `:0` port picks).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once `POST /shutdown` was received (or [`Service::shutdown`]
+    /// began).
+    pub fn stop_requested(&self) -> bool {
+        self.state.stop.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until a `POST /shutdown` arrives, then tears down
+    /// gracefully: the listener closes, in-flight jobs finish, still
+    /// queued jobs are failed.
+    pub fn wait(mut self) {
+        while !self.state.stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.teardown();
+    }
+
+    /// Programmatic graceful shutdown (same sequence as `wait` after a
+    /// `POST /shutdown`).
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::Relaxed);
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let workers = self.state.workers.lock().expect("workers lock").take();
+        if let Some(w) = workers {
+            // In-flight jobs finish; queued jobs are discarded here and
+            // failed below.
+            w.shutdown(false);
+        }
+        let mut reg = self.state.registry.lock().expect("registry lock");
+        for job in reg.jobs.values_mut() {
+            if matches!(job.phase, Phase::Queued) {
+                self.state
+                    .counters
+                    .jobs_failed
+                    .fetch_add(1, Ordering::Relaxed);
+                job.phase = Phase::Failed {
+                    error: "service shut down before the job ran".to_string(),
+                };
+            }
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.state.stop.store(true, Ordering::Relaxed);
+        self.teardown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+fn accept_loop(listener: TcpListener, state: Arc<State>) {
+    while !state.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let st = Arc::clone(&state);
+                std::thread::spawn(move || handle_connection(stream, st));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    extra: Vec<(&'static str, String)>,
+    body: String,
+}
+
+fn json_reply(status: u16, body: String) -> Reply {
+    Reply {
+        status,
+        content_type: "application/json",
+        extra: Vec::new(),
+        body,
+    }
+}
+
+fn error_reply(status: u16, message: &str) -> Reply {
+    json_reply(status, format!("{{\"error\":\"{}\"}}\n", escape(message)))
+}
+
+fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let reply = match http::read_request(&mut stream) {
+        Ok(req) => route(&req, &state),
+        Err(http::ParseError::TooLarge) => {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            error_reply(413, "request too large")
+        }
+        Err(http::ParseError::Bad(msg)) => {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            error_reply(400, &msg)
+        }
+        Err(http::ParseError::Io(_)) => return,
+    };
+    let _ = http::write_response(
+        &mut stream,
+        reply.status,
+        reply.content_type,
+        &reply.extra,
+        reply.body.as_bytes(),
+    );
+}
+
+fn route(req: &http::Request, state: &Arc<State>) -> Reply {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => json_reply(200, "{\"status\":\"ok\"}\n".to_string()),
+        ("GET", "/metrics") => Reply {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            extra: Vec::new(),
+            body: render_metrics(state),
+        },
+        ("POST", "/run") => post_run(state, &req.body),
+        ("POST", "/shutdown") => {
+            state.stop.store(true, Ordering::Relaxed);
+            json_reply(200, "{\"status\":\"shutting down\"}\n".to_string())
+        }
+        ("GET", path) if path.starts_with("/jobs/") => get_job(state, &path["/jobs/".len()..]),
+        (_, "/healthz" | "/metrics" | "/run" | "/shutdown") => {
+            error_reply(405, &format!("method {} not allowed here", req.method))
+        }
+        _ => error_reply(404, &format!("no such endpoint {}", req.path)),
+    }
+}
+
+/// The response body for one job, assembled field by field.
+struct JobBody<'a> {
+    id: &'a str,
+    status: &'a str,
+    entry: Option<&'a JobEntry>,
+    cached: bool,
+    stats: Option<&'a str>,
+    wall_ms: Option<u64>,
+    error: Option<&'a str>,
+    coalesced: bool,
+}
+
+impl<'a> JobBody<'a> {
+    fn new(id: &'a str, status: &'a str) -> JobBody<'a> {
+        JobBody {
+            id,
+            status,
+            entry: None,
+            cached: false,
+            stats: None,
+            wall_ms: None,
+            error: None,
+            coalesced: false,
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = format!("{{\"job\":\"{}\",\"status\":\"{}\"", self.id, self.status);
+        if let Some(e) = self.entry {
+            out.push_str(&format!(
+                ",\"workload\":\"{}\",\"scale\":\"{}\",\"seed\":{},\"model\":\"{}\"",
+                escape(&e.workload),
+                scale_name(e.scale),
+                e.seed,
+                e.model.name()
+            ));
+        }
+        if self.status == "done" {
+            out.push_str(&format!(",\"cached\":{}", self.cached));
+        }
+        if self.coalesced {
+            out.push_str(",\"coalesced\":true");
+        }
+        if let Some(ms) = self.wall_ms {
+            out.push_str(&format!(",\"wallMs\":{ms}"));
+        }
+        if let Some(err) = self.error {
+            out.push_str(&format!(",\"error\":\"{}\"", escape(err)));
+        }
+        if let Some(s) = self.stats {
+            out.push_str(",\"stats\":");
+            out.push_str(s);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
+    if state.stop.load(Ordering::Relaxed) {
+        return error_reply(503, "service is shutting down");
+    }
+    let spec = match JobSpec::from_json(body) {
+        Ok(s) => s,
+        Err(msg) => {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return error_reply(400, &msg);
+        }
+    };
+    let cfg = match spec.config() {
+        Ok(c) => c,
+        Err(e) => {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return error_reply(400, &e.to_string());
+        }
+    };
+    let key = spec.key(&cfg);
+    let id = format!("{key:016x}");
+
+    let mut reg = state.registry.lock().expect("registry lock");
+
+    // Cache hit: answer immediately, recording a job entry so later
+    // GET /jobs/<id> polls resolve too.
+    if let Some(stats) = reg.cache.get(key) {
+        state.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let entry = reg.jobs.entry(id.clone()).or_insert_with(|| JobEntry {
+            workload: spec.workload.clone(),
+            scale: spec.scale,
+            seed: spec.seed,
+            model: spec.model,
+            phase: Phase::Done {
+                stats: Arc::clone(&stats),
+                wall_ms: 0,
+            },
+        });
+        let body = JobBody {
+            entry: Some(entry),
+            cached: true,
+            stats: Some(&stats),
+            ..JobBody::new(&id, "done")
+        }
+        .render();
+        return json_reply(200, body);
+    }
+
+    // Coalesce onto an identical job already queued or running.
+    match reg.jobs.get(&id) {
+        Some(e) if matches!(e.phase, Phase::Queued) => {
+            state.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            let body = JobBody {
+                entry: Some(e),
+                coalesced: true,
+                ..JobBody::new(&id, "queued")
+            }
+            .render();
+            return json_reply(202, body);
+        }
+        Some(e) if matches!(e.phase, Phase::Running) => {
+            state.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            let body = JobBody {
+                entry: Some(e),
+                coalesced: true,
+                ..JobBody::new(&id, "running")
+            }
+            .render();
+            return json_reply(202, body);
+        }
+        Some(JobEntry {
+            phase: Phase::Done { stats, wall_ms },
+            ..
+        }) => {
+            // Completed earlier but evicted from the cache: the job
+            // entry still has the result.
+            state.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let (stats, wall_ms) = (Arc::clone(stats), *wall_ms);
+            let e = reg.jobs.get(&id).expect("entry just matched");
+            let body = JobBody {
+                entry: Some(e),
+                cached: true,
+                stats: Some(&stats),
+                wall_ms: Some(wall_ms),
+                ..JobBody::new(&id, "done")
+            }
+            .render();
+            return json_reply(200, body);
+        }
+        _ => {} // absent, or Failed: (re)submit
+    }
+
+    state.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let submit = {
+        let st = Arc::clone(state);
+        let id2 = id.clone();
+        let spec2 = spec.clone();
+        let workers = state.workers.lock().expect("workers lock");
+        match workers.as_ref() {
+            None => Err(SubmitError::Closed),
+            Some(w) => {
+                let queued = w.queued();
+                w.try_submit(move || execute_job(st, id2, key, spec2, cfg))
+                    .map_err(|e| match e {
+                        SubmitError::Full => {
+                            let _ = queued; // depth captured for the hint below
+                            SubmitError::Full
+                        }
+                        other => other,
+                    })
+            }
+        }
+    };
+    match submit {
+        Ok(()) => {
+            state.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            let entry = JobEntry {
+                workload: spec.workload.clone(),
+                scale: spec.scale,
+                seed: spec.seed,
+                model: spec.model,
+                phase: Phase::Queued,
+            };
+            let body = JobBody {
+                entry: Some(&entry),
+                ..JobBody::new(&id, "queued")
+            }
+            .render();
+            reg.jobs.insert(id, entry);
+            json_reply(202, body)
+        }
+        Err(SubmitError::Full) => {
+            state.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let mut r = error_reply(429, "job queue is full; retry later");
+            r.extra.push(("Retry-After", "1".to_string()));
+            r
+        }
+        Err(SubmitError::Closed) => error_reply(503, "service is shutting down"),
+    }
+}
+
+fn get_job(state: &Arc<State>, id: &str) -> Reply {
+    let mut reg = state.registry.lock().expect("registry lock");
+    if let Some(e) = reg.jobs.get(id) {
+        let body = match &e.phase {
+            Phase::Queued => JobBody {
+                entry: Some(e),
+                ..JobBody::new(id, "queued")
+            }
+            .render(),
+            Phase::Running => JobBody {
+                entry: Some(e),
+                ..JobBody::new(id, "running")
+            }
+            .render(),
+            Phase::Done { stats, wall_ms } => JobBody {
+                entry: Some(e),
+                stats: Some(stats),
+                wall_ms: Some(*wall_ms),
+                ..JobBody::new(id, "done")
+            }
+            .render(),
+            Phase::Failed { error } => JobBody {
+                entry: Some(e),
+                error: Some(error),
+                ..JobBody::new(id, "error")
+            }
+            .render(),
+        };
+        return json_reply(200, body);
+    }
+    // Unknown to this process — a warm disk cache (e.g. after a restart)
+    // can still resolve it.
+    if let Ok(key) = u64::from_str_radix(id, 16) {
+        if let Some(stats) = reg.cache.get(key) {
+            state.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let body = JobBody {
+                cached: true,
+                stats: Some(&stats),
+                ..JobBody::new(id, "done")
+            }
+            .render();
+            return json_reply(200, body);
+        }
+    }
+    error_reply(404, &format!("no such job {id}"))
+}
+
+// ---------------------------------------------------------------------
+// Job execution
+// ---------------------------------------------------------------------
+
+fn execute_job(state: Arc<State>, id: String, key: u64, spec: JobSpec, cfg: MachineConfig) {
+    {
+        let mut reg = state.registry.lock().expect("registry lock");
+        if let Some(e) = reg.jobs.get_mut(&id) {
+            e.phase = Phase::Running;
+        }
+    }
+    state.counters.sim_runs.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let outcome = run_simulation(&spec, cfg);
+    let wall_ms = started.elapsed().as_millis() as u64;
+
+    match outcome {
+        Ok(run) => {
+            state
+                .counters
+                .dropped_events
+                .fetch_add(run.dropped_events, Ordering::Relaxed);
+            if let Some(m) = run.metrics {
+                *state.metrics.lock().expect("metrics lock") = Some(m);
+            }
+            let stats = Arc::new(run.stats_json);
+            let mut reg = state.registry.lock().expect("registry lock");
+            reg.cache.insert(key, Arc::clone(&stats));
+            state.counters.jobs_done.fetch_add(1, Ordering::Relaxed);
+            if let Some(e) = reg.jobs.get_mut(&id) {
+                e.phase = Phase::Done { stats, wall_ms };
+            }
+        }
+        Err(error) => {
+            state.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let mut reg = state.registry.lock().expect("registry lock");
+            if let Some(e) = reg.jobs.get_mut(&id) {
+                e.phase = Phase::Failed { error };
+            }
+        }
+    }
+}
+
+struct RunOutcome {
+    stats_json: String,
+    metrics: Option<IntervalMetrics>,
+    dropped_events: u64,
+}
+
+fn run_simulation(spec: &JobSpec, cfg: MachineConfig) -> Result<RunOutcome, String> {
+    let w = hidisc_workloads::by_name(&spec.workload, spec.scale, spec.seed)
+        .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?;
+    let env = hidisc_bench::env_of(&w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default())
+        .map_err(|e| format!("compile failed: {e}"))?;
+    let mut m = Machine::new(spec.model, &compiled, &env, cfg);
+    let result = match spec.timeout_ms {
+        Some(ms) => m.run_deadline(
+            compiled.profile.dyn_instrs,
+            Instant::now() + Duration::from_millis(ms),
+        ),
+        None => m.run(compiled.profile.dyn_instrs),
+    };
+    let tel = m.telemetry();
+    let metrics = tel.metrics().cloned();
+    let dropped_events = tel.dropped();
+    match result {
+        Ok(stats) => Ok(RunOutcome {
+            stats_json: stats.to_json(),
+            metrics,
+            dropped_events,
+        }),
+        Err(e) => {
+            let msg = match (&e, spec.timeout_ms) {
+                // A budget error at a cycle other than the configured
+                // limit is the wall-clock deadline firing.
+                (RunError::CycleBudget { limit }, Some(ms)) if *limit != cfg.max_cycles => {
+                    format!("wall-clock timeout after {ms} ms ({e})")
+                }
+                _ => e.to_string(),
+            };
+            Err(msg)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+fn render_metrics(state: &Arc<State>) -> String {
+    let c = &state.counters;
+    let mut s = String::new();
+    let counters: [(&str, u64); 11] = [
+        (
+            "hidisc_serve_requests_total",
+            c.requests.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_serve_jobs_submitted_total",
+            c.submitted.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_serve_coalesced_total",
+            c.coalesced.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_serve_cache_hits_total",
+            c.cache_hits.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_serve_cache_misses_total",
+            c.cache_misses.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_serve_sim_runs_total",
+            c.sim_runs.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_serve_jobs_done_total",
+            c.jobs_done.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_serve_jobs_failed_total",
+            c.jobs_failed.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_serve_rejected_total",
+            c.rejected.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_serve_bad_requests_total",
+            c.bad_requests.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_telemetry_dropped_events_total",
+            c.dropped_events.load(Ordering::Relaxed),
+        ),
+    ];
+    for (name, v) in counters {
+        s.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    let (queued, running) = {
+        let w = state.workers.lock().expect("workers lock");
+        w.as_ref()
+            .map(|w| (w.queued(), w.running()))
+            .unwrap_or((0, 0))
+    };
+    let cache_entries = state.registry.lock().expect("registry lock").cache.len();
+    for (name, v) in [
+        ("hidisc_serve_queue_depth", queued),
+        ("hidisc_serve_jobs_running", running),
+        ("hidisc_serve_cache_entries", cache_entries),
+    ] {
+        s.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    if let Some(m) = state.metrics.lock().expect("metrics lock").as_ref() {
+        s.push_str(&metrics_prometheus(m));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_parses_and_validates() {
+        let spec = JobSpec::from_json(
+            br#"{"workload":"dm","scale":"test","seed":7,"model":"hidisc","max_cycles":1000}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.workload, "dm");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.model, Model::HiDisc);
+        assert_eq!(spec.max_cycles, Some(1000));
+
+        assert!(JobSpec::from_json(b"not json").is_err());
+        assert!(JobSpec::from_json(br#"{"scale":"test"}"#)
+            .unwrap_err()
+            .contains("workload"));
+        assert!(JobSpec::from_json(br#"{"workload":"nope"}"#)
+            .unwrap_err()
+            .contains("unknown workload"));
+        assert!(JobSpec::from_json(br#"{"workload":"dm","bogus":1}"#)
+            .unwrap_err()
+            .contains("unknown field"));
+        assert!(JobSpec::from_json(br#"{"workload":"dm","seed":-1}"#)
+            .unwrap_err()
+            .contains("non-negative"));
+    }
+
+    #[test]
+    fn config_errors_carry_the_typed_message() {
+        let mut spec = JobSpec::from_json(br#"{"workload":"dm"}"#).unwrap();
+        spec.scq_depth = Some(0);
+        let err = spec.config().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid machine config: queues.scq must be at least 1"
+        );
+    }
+
+    #[test]
+    fn job_key_separates_workload_identity() {
+        let spec = JobSpec::from_json(br#"{"workload":"dm"}"#).unwrap();
+        let cfg = spec.config().unwrap();
+        let base = spec.key(&cfg);
+        let mut other = spec.clone();
+        other.workload = "tc".to_string();
+        assert_ne!(base, other.key(&cfg));
+        let mut other = spec.clone();
+        other.seed = spec.seed + 1;
+        assert_ne!(base, other.key(&cfg));
+        let mut other = spec.clone();
+        other.model = Model::Superscalar;
+        assert_ne!(base, other.key(&cfg));
+        let mut other = spec.clone();
+        other.scale = Scale::Paper;
+        assert_ne!(base, other.key(&cfg));
+        // Telemetry/timeout do not change the key.
+        let mut other = spec.clone();
+        other.timeout_ms = Some(5_000);
+        other.metrics_interval = 100;
+        assert_eq!(base, other.key(&other.config().unwrap()));
+    }
+}

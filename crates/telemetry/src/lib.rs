@@ -101,6 +101,10 @@ pub struct TraceConfig {
     /// Sample interval metrics every this many simulated cycles
     /// (0 disables sampling).
     pub metrics_interval: u64,
+    /// Buffered-event cap; past it events are counted as dropped (or, on
+    /// a streamed run, the buffer is flushed before reaching it).
+    /// Defaults to [`EVENT_CAP`].
+    pub event_cap: usize,
 }
 
 impl TraceConfig {
@@ -109,12 +113,14 @@ impl TraceConfig {
     pub const OFF: TraceConfig = TraceConfig {
         mask: 0,
         metrics_interval: 0,
+        event_cap: EVENT_CAP,
     };
 
     /// All event categories on (metrics still off unless set).
     pub const ALL_EVENTS: TraceConfig = TraceConfig {
         mask: 0b1_1111,
         metrics_interval: 0,
+        event_cap: EVENT_CAP,
     };
 
     /// Parses a `--trace-filter` list: comma-separated category names, or
@@ -136,13 +142,20 @@ impl TraceConfig {
         }
         Ok(TraceConfig {
             mask,
-            metrics_interval: 0,
+            ..TraceConfig::OFF
         })
     }
 
     /// Returns self with the metrics interval replaced.
     pub fn with_metrics_interval(mut self, interval: u64) -> TraceConfig {
         self.metrics_interval = interval;
+        self
+    }
+
+    /// Returns self with the event-buffer cap replaced (`cap` is clamped
+    /// to at least 1).
+    pub fn with_event_cap(mut self, cap: usize) -> TraceConfig {
+        self.event_cap = cap.max(1);
         self
     }
 }
@@ -515,6 +528,7 @@ pub struct Telemetry {
     source: u8,
     events: Vec<TraceEvent>,
     dropped: u64,
+    flushed: u64,
     queue_peak: [u32; 5],
     metrics: Option<Box<IntervalMetrics>>,
 }
@@ -539,6 +553,7 @@ impl Telemetry {
             source: 0,
             events: Vec::new(),
             dropped: 0,
+            flushed: 0,
             queue_peak: [0; 5],
             metrics: (cfg.metrics_interval > 0)
                 .then(|| Box::new(IntervalMetrics::new(cfg.metrics_interval))),
@@ -599,7 +614,7 @@ impl Telemetry {
             }
             _ => {}
         }
-        if self.events.len() >= EVENT_CAP {
+        if self.events.len() >= self.cfg.event_cap {
             self.dropped += 1;
             return;
         }
@@ -655,6 +670,31 @@ impl Telemetry {
             sink.event(e);
         }
     }
+
+    /// Replays every buffered event into `sink` and clears the buffer so
+    /// recording can continue without hitting the cap. Drop and peak
+    /// counters are preserved; flushed events are counted separately.
+    /// Returns the number of events flushed.
+    pub fn drain_into(&mut self, sink: &mut dyn TraceSink) -> usize {
+        for e in &self.events {
+            sink.event(e);
+        }
+        let n = self.events.len();
+        self.events.clear();
+        self.flushed += n as u64;
+        n
+    }
+
+    /// Events flushed out of the buffer by [`Telemetry::drain_into`].
+    pub fn flushed(&self) -> u64 {
+        self.flushed
+    }
+
+    /// Total events recorded: still buffered plus already flushed
+    /// (dropped events not included).
+    pub fn total_events(&self) -> u64 {
+        self.flushed + self.events.len() as u64
+    }
 }
 
 /// Consumer of recorded trace events.
@@ -667,53 +707,55 @@ pub trait TraceSink {
 // Chrome-trace sink
 // ---------------------------------------------------------------------
 
-/// Writes the catapult/Perfetto Chrome trace event format (the JSON
-/// object form `{"traceEvents": [...]}`), mapping one simulated cycle to
-/// one microsecond of trace time. Lanes (`tid`) are: one per core, then
-/// `mem`, `cmp`, and `machine`. Load into <https://ui.perfetto.dev>.
-pub struct ChromeTraceSink {
-    buf: String,
+/// Shared Chrome-trace record formatter. Both the buffered
+/// [`ChromeTraceSink`] and the on-the-fly [`StreamingSink`] route every
+/// byte through this one emitter, so the two produce byte-identical
+/// documents for the same event sequence.
+struct ChromeFmt {
     any: bool,
     core_lanes: u32,
 }
 
-impl ChromeTraceSink {
-    /// A sink with one named lane per core (e.g. `["CP", "AP"]`) plus
-    /// the fixed `mem`/`cmp`/`machine` lanes.
-    pub fn new(core_names: &[&str]) -> ChromeTraceSink {
-        let mut s = ChromeTraceSink {
-            buf: String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+impl ChromeFmt {
+    /// Emits the document preamble (JSON shell plus process/thread-name
+    /// metadata records) into `out` and returns the formatter.
+    fn new(core_names: &[&str], out: &mut dyn FnMut(&str)) -> ChromeFmt {
+        let mut f = ChromeFmt {
             any: false,
             core_lanes: core_names.len() as u32,
         };
-        s.raw(
+        out("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        f.raw(
             "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
-             \"args\":{\"name\":\"hidisc\"}}"
-                .to_string(),
+             \"args\":{\"name\":\"hidisc\"}}",
+            out,
         );
-        let n = s.core_lanes;
+        let n = f.core_lanes;
         for (i, name) in core_names.iter().enumerate() {
-            s.thread_name(i as u32, name);
+            f.thread_name(i as u32, name, out);
         }
-        s.thread_name(n, "mem");
-        s.thread_name(n + 1, "cmp");
-        s.thread_name(n + 2, "machine");
-        s
+        f.thread_name(n, "mem", out);
+        f.thread_name(n + 1, "cmp", out);
+        f.thread_name(n + 2, "machine", out);
+        f
     }
 
-    fn thread_name(&mut self, tid: u32, name: &str) {
-        self.raw(format!(
-            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
-             \"args\":{{\"name\":\"{name}\"}}}}"
-        ));
+    fn thread_name(&mut self, tid: u32, name: &str, out: &mut dyn FnMut(&str)) {
+        self.raw(
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+            out,
+        );
     }
 
-    fn raw(&mut self, json: String) {
+    fn raw(&mut self, json: &str, out: &mut dyn FnMut(&str)) {
         if self.any {
-            self.buf.push(',');
+            out(",");
         }
-        self.buf.push('\n');
-        self.buf.push_str(&json);
+        out("\n");
+        out(json);
         self.any = true;
     }
 
@@ -728,46 +770,236 @@ impl ChromeTraceSink {
         }
     }
 
-    fn instant(&mut self, e: &TraceEvent, name: &str, args: String) {
+    fn instant(&mut self, e: &TraceEvent, name: &str, args: String, out: &mut dyn FnMut(&str)) {
         let tid = self.lane(e);
         let cat = e.data.category().name();
-        self.raw(format!(
-            "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"s\":\"t\",\
-             \"cat\":\"{cat}\",\"name\":\"{name}\",\"args\":{{{args}}}}}",
-            e.cycle
-        ));
+        self.raw(
+            &format!(
+                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"s\":\"t\",\
+                 \"cat\":\"{cat}\",\"name\":\"{name}\",\"args\":{{{args}}}}}",
+                e.cycle
+            ),
+            out,
+        );
     }
 
-    fn complete(&mut self, e: &TraceEvent, name: &str, dur: u64, args: String) {
+    fn complete(
+        &mut self,
+        e: &TraceEvent,
+        name: &str,
+        dur: u64,
+        args: String,
+        out: &mut dyn FnMut(&str),
+    ) {
         let tid = self.lane(e);
         let cat = e.data.category().name();
-        self.raw(format!(
-            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\
-             \"cat\":\"{cat}\",\"name\":\"{name}\",\"args\":{{{args}}}}}",
-            e.cycle,
-            dur.max(1)
-        ));
+        self.raw(
+            &format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                 \"cat\":\"{cat}\",\"name\":\"{name}\",\"args\":{{{args}}}}}",
+                e.cycle,
+                dur.max(1)
+            ),
+            out,
+        );
     }
 
-    fn counter(&mut self, e: &TraceEvent, name: &str, series: &str, value: u64) {
+    fn counter(
+        &mut self,
+        e: &TraceEvent,
+        name: &str,
+        series: &str,
+        value: u64,
+        out: &mut dyn FnMut(&str),
+    ) {
         let cat = e.data.category().name();
-        self.raw(format!(
-            "{{\"ph\":\"C\",\"pid\":1,\"ts\":{},\"cat\":\"{cat}\",\
-             \"name\":\"{name}\",\"args\":{{\"{series}\":{value}}}}}",
-            e.cycle
-        ));
+        self.raw(
+            &format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"ts\":{},\"cat\":\"{cat}\",\
+                 \"name\":\"{name}\",\"args\":{{\"{series}\":{value}}}}}",
+                e.cycle
+            ),
+            out,
+        );
+    }
+
+    /// Emits the record(s) for one trace event.
+    fn event(&mut self, e: &TraceEvent, out: &mut dyn FnMut(&str)) {
+        match e.data {
+            EventData::Fetch { pc } => self.instant(e, "fetch", format!("\"pc\":{pc}"), out),
+            EventData::Dispatch { seq, pc } => {
+                self.instant(e, "dispatch", format!("\"pc\":{pc},\"seq\":{seq}"), out)
+            }
+            EventData::Issue {
+                seq,
+                pc,
+                complete_at,
+            } => self.complete(
+                e,
+                "issue",
+                complete_at.saturating_sub(e.cycle),
+                format!("\"pc\":{pc},\"seq\":{seq}"),
+                out,
+            ),
+            EventData::Complete { seq, pc } => {
+                self.instant(e, "complete", format!("\"pc\":{pc},\"seq\":{seq}"), out)
+            }
+            EventData::Commit { seq, pc } => {
+                self.instant(e, "commit", format!("\"pc\":{pc},\"seq\":{seq}"), out)
+            }
+            EventData::Mispredict { pc } => {
+                self.instant(e, "mispredict", format!("\"pc\":{pc}"), out)
+            }
+            EventData::LsqConflict { pc } => {
+                self.instant(e, "lsq-conflict", format!("\"pc\":{pc}"), out)
+            }
+            EventData::MemMiss {
+                addr,
+                kind,
+                l2_hit,
+                ready_at,
+            } => self.complete(
+                e,
+                e.data.name(),
+                ready_at.saturating_sub(e.cycle),
+                format!(
+                    "\"addr\":{addr},\"kind\":\"{}\",\"l2Hit\":{l2_hit}",
+                    kind.name()
+                ),
+                out,
+            ),
+            EventData::MshrOccupancy { n } => self.counter(e, "mshr", "outstanding", n as u64, out),
+            EventData::Eviction { level } => {
+                self.instant(e, "eviction", format!("\"level\":{level}"), out)
+            }
+            EventData::QueuePush { q, depth } | EventData::QueuePop { q, depth } => {
+                self.counter(e, q.name(), "depth", depth as u64, out)
+            }
+            EventData::CmpSpawn { cmas, live } => {
+                self.instant(e, "cmp-spawn", format!("\"cmas\":{cmas}"), out);
+                self.counter(e, "cmp-live", "threads", live as u64, out);
+            }
+            EventData::CmpRetire { cmas, live } => {
+                self.instant(e, "cmp-retire", format!("\"cmas\":{cmas}"), out);
+                self.counter(e, "cmp-live", "threads", live as u64, out);
+            }
+            EventData::FastForward { skipped } => self.complete(
+                e,
+                "fast-forward",
+                skipped,
+                format!("\"skipped\":{skipped}"),
+                out,
+            ),
+        }
+    }
+
+    /// Emits the document tail: closes the event array, embeds the
+    /// interval metrics (when given) as a `hidiscMetrics` side table,
+    /// and closes the JSON object.
+    fn tail(&self, metrics: Option<&IntervalMetrics>, out: &mut dyn FnMut(&str)) {
+        out("\n]");
+        if let Some(m) = metrics {
+            out(",\n\"hidiscMetrics\":");
+            out(&metrics_json(m));
+        }
+        out("\n}\n");
+    }
+}
+
+/// Writes the catapult/Perfetto Chrome trace event format (the JSON
+/// object form `{"traceEvents": [...]}`), mapping one simulated cycle to
+/// one microsecond of trace time. Lanes (`tid`) are: one per core, then
+/// `mem`, `cmp`, and `machine`. Load into <https://ui.perfetto.dev>.
+///
+/// Buffers the whole document in memory; for runs whose event stream is
+/// larger than the buffer cap, use [`StreamingSink`] instead.
+pub struct ChromeTraceSink {
+    buf: String,
+    fmt: ChromeFmt,
+}
+
+impl ChromeTraceSink {
+    /// A sink with one named lane per core (e.g. `["CP", "AP"]`) plus
+    /// the fixed `mem`/`cmp`/`machine` lanes.
+    pub fn new(core_names: &[&str]) -> ChromeTraceSink {
+        let mut buf = String::new();
+        let fmt = ChromeFmt::new(core_names, &mut |s| buf.push_str(s));
+        ChromeTraceSink { buf, fmt }
     }
 
     /// Closes the JSON object, embedding the interval metrics (when
     /// given) as a `hidiscMetrics` side table, and returns the document.
-    pub fn finish(mut self, metrics: Option<&IntervalMetrics>) -> String {
-        self.buf.push_str("\n]");
-        if let Some(m) = metrics {
-            self.buf.push_str(",\n\"hidiscMetrics\":");
-            self.buf.push_str(&metrics_json(m));
+    pub fn finish(self, metrics: Option<&IntervalMetrics>) -> String {
+        let ChromeTraceSink { mut buf, fmt } = self;
+        fmt.tail(metrics, &mut |s| buf.push_str(s));
+        buf
+    }
+}
+
+/// Serialises Chrome-trace records on the fly to any [`std::io::Write`]
+/// target instead of buffering the whole document, so Full-scale runs
+/// can be traced without raising the event cap. Produces byte-identical
+/// output to [`ChromeTraceSink`] for the same event sequence.
+///
+/// The first I/O error is latched and subsequent events are discarded;
+/// [`StreamingSink::finish`] reports it.
+pub struct StreamingSink<W: std::io::Write> {
+    w: W,
+    fmt: ChromeFmt,
+    err: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> StreamingSink<W> {
+    /// A sink writing the document preamble to `w` immediately, with one
+    /// named lane per core plus the fixed `mem`/`cmp`/`machine` lanes.
+    /// Wrap files in a [`std::io::BufWriter`]; records are small.
+    pub fn new(mut w: W, core_names: &[&str]) -> StreamingSink<W> {
+        let mut err = None;
+        let fmt = ChromeFmt::new(core_names, &mut |s| {
+            if err.is_none() {
+                err = w.write_all(s.as_bytes()).err();
+            }
+        });
+        StreamingSink { w, fmt, err }
+    }
+
+    /// Writes the document tail (embedding interval metrics when given),
+    /// flushes, and returns the writer — or the first I/O error hit at
+    /// any point of the stream.
+    pub fn finish(self, metrics: Option<&IntervalMetrics>) -> std::io::Result<W> {
+        let StreamingSink {
+            mut w,
+            fmt,
+            mut err,
+        } = self;
+        if err.is_none() {
+            fmt.tail(metrics, &mut |s| {
+                if err.is_none() {
+                    err = w.write_all(s.as_bytes()).err();
+                }
+            });
         }
-        self.buf.push_str("\n}\n");
-        self.buf
+        match err {
+            Some(e) => Err(e),
+            None => {
+                w.flush()?;
+                Ok(w)
+            }
+        }
+    }
+}
+
+impl<W: std::io::Write> TraceSink for StreamingSink<W> {
+    fn event(&mut self, e: &TraceEvent) {
+        let StreamingSink { w, fmt, err } = self;
+        if err.is_some() {
+            return;
+        }
+        fmt.event(e, &mut |s| {
+            if err.is_none() {
+                *err = w.write_all(s.as_bytes()).err();
+            }
+        });
     }
 }
 
@@ -837,65 +1069,49 @@ pub fn metrics_json(m: &IntervalMetrics) -> String {
 
 impl TraceSink for ChromeTraceSink {
     fn event(&mut self, e: &TraceEvent) {
-        match e.data {
-            EventData::Fetch { pc } => self.instant(e, "fetch", format!("\"pc\":{pc}")),
-            EventData::Dispatch { seq, pc } => {
-                self.instant(e, "dispatch", format!("\"pc\":{pc},\"seq\":{seq}"))
-            }
-            EventData::Issue {
-                seq,
-                pc,
-                complete_at,
-            } => self.complete(
-                e,
-                "issue",
-                complete_at.saturating_sub(e.cycle),
-                format!("\"pc\":{pc},\"seq\":{seq}"),
-            ),
-            EventData::Complete { seq, pc } => {
-                self.instant(e, "complete", format!("\"pc\":{pc},\"seq\":{seq}"))
-            }
-            EventData::Commit { seq, pc } => {
-                self.instant(e, "commit", format!("\"pc\":{pc},\"seq\":{seq}"))
-            }
-            EventData::Mispredict { pc } => self.instant(e, "mispredict", format!("\"pc\":{pc}")),
-            EventData::LsqConflict { pc } => {
-                self.instant(e, "lsq-conflict", format!("\"pc\":{pc}"))
-            }
-            EventData::MemMiss {
-                addr,
-                kind,
-                l2_hit,
-                ready_at,
-            } => self.complete(
-                e,
-                e.data.name(),
-                ready_at.saturating_sub(e.cycle),
-                format!(
-                    "\"addr\":{addr},\"kind\":\"{}\",\"l2Hit\":{l2_hit}",
-                    kind.name()
-                ),
-            ),
-            EventData::MshrOccupancy { n } => self.counter(e, "mshr", "outstanding", n as u64),
-            EventData::Eviction { level } => {
-                self.instant(e, "eviction", format!("\"level\":{level}"))
-            }
-            EventData::QueuePush { q, depth } | EventData::QueuePop { q, depth } => {
-                self.counter(e, q.name(), "depth", depth as u64)
-            }
-            EventData::CmpSpawn { cmas, live } => {
-                self.instant(e, "cmp-spawn", format!("\"cmas\":{cmas}"));
-                self.counter(e, "cmp-live", "threads", live as u64);
-            }
-            EventData::CmpRetire { cmas, live } => {
-                self.instant(e, "cmp-retire", format!("\"cmas\":{cmas}"));
-                self.counter(e, "cmp-live", "threads", live as u64);
-            }
-            EventData::FastForward { skipped } => {
-                self.complete(e, "fast-forward", skipped, format!("\"skipped\":{skipped}"))
-            }
-        }
+        let ChromeTraceSink { buf, fmt } = self;
+        fmt.event(e, &mut |s| buf.push_str(s));
     }
+}
+
+fn histogram_prometheus(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    for (stat, v) in [
+        ("count", h.total()),
+        ("max", h.max()),
+        ("p50", h.p50()),
+        ("p95", h.p95()),
+        ("p99", h.p99()),
+    ] {
+        out.push_str(&format!("{name}{{{labels}{sep}stat=\"{stat}\"}} {v}\n"));
+    }
+}
+
+/// Renders the interval metrics in the Prometheus text exposition format
+/// (one gauge per histogram statistic), for `GET /metrics`-style
+/// endpoints.
+pub fn metrics_prometheus(m: &IntervalMetrics) -> String {
+    let mut s = String::new();
+    s.push_str("# TYPE hidisc_metrics_interval_cycles gauge\n");
+    s.push_str(&format!("hidisc_metrics_interval_cycles {}\n", m.interval));
+    s.push_str("# TYPE hidisc_metrics_samples gauge\n");
+    s.push_str(&format!("hidisc_metrics_samples {}\n", m.len()));
+    s.push_str("# TYPE hidisc_metrics_dropped_samples gauge\n");
+    s.push_str(&format!("hidisc_metrics_dropped_samples {}\n", m.dropped()));
+    s.push_str("# TYPE hidisc_miss_latency_cycles gauge\n");
+    histogram_prometheus(&mut s, "hidisc_miss_latency_cycles", "", &m.miss_latency);
+    s.push_str("# TYPE hidisc_queue_occupancy gauge\n");
+    for (i, q) in Queue::ALL.iter().enumerate() {
+        histogram_prometheus(
+            &mut s,
+            "hidisc_queue_occupancy",
+            &format!("queue=\"{}\"", q.name()),
+            &m.queue_occupancy[i],
+        );
+    }
+    s.push_str("# TYPE hidisc_mshr_occupancy gauge\n");
+    histogram_prometheus(&mut s, "hidisc_mshr_occupancy", "", &m.mshr_occupancy);
+    s
 }
 
 // ---------------------------------------------------------------------
@@ -1170,6 +1386,89 @@ mod tests {
         assert!(json.contains("\"hidiscMetrics\":"));
         assert!(json.trim_end().ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn streaming_sink_matches_buffered_sink_byte_for_byte() {
+        let mut t = Telemetry::new(TraceConfig::ALL_EVENTS.with_metrics_interval(10));
+        t.set_clock(5);
+        t.emit(EventData::Issue {
+            seq: 1,
+            pc: 2,
+            complete_at: 9,
+        });
+        t.set_source(SOURCE_CMP);
+        t.emit(EventData::CmpSpawn { cmas: 0, live: 1 });
+        t.set_source(SOURCE_MACHINE);
+        t.emit(EventData::FastForward { skipped: 40 });
+        t.record_sample(IntervalSample {
+            cycle: 10,
+            committed: 4,
+            queue_depth: [1, 0, 0, 3, 0],
+            mshr: 2,
+            live_threads: 1,
+        });
+
+        let mut buffered = ChromeTraceSink::new(&["CP", "AP"]);
+        t.replay(&mut buffered);
+        let expect = buffered.finish(t.metrics());
+
+        let mut streamed = StreamingSink::new(Vec::new(), &["CP", "AP"]);
+        t.replay(&mut streamed);
+        let got = streamed.finish(t.metrics()).unwrap();
+        assert_eq!(String::from_utf8(got).unwrap(), expect);
+    }
+
+    #[test]
+    fn small_event_cap_forces_counted_drops() {
+        let mut t = Telemetry::new(TraceConfig::ALL_EVENTS.with_event_cap(3));
+        for i in 0..8 {
+            t.emit(EventData::Fetch { pc: i });
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped(), 5);
+    }
+
+    #[test]
+    fn drain_into_clears_buffer_and_counts_flushed() {
+        let mut t = Telemetry::new(TraceConfig::ALL_EVENTS.with_event_cap(4));
+        for i in 0..4 {
+            t.emit(EventData::Fetch { pc: i });
+        }
+        let mut sink = MemorySink::new(64);
+        assert_eq!(t.drain_into(&mut sink), 4);
+        assert!(t.events().is_empty());
+        for i in 4..6 {
+            t.emit(EventData::Fetch { pc: i });
+        }
+        t.drain_into(&mut sink);
+        assert_eq!(sink.events().len(), 6);
+        assert_eq!(t.flushed(), 6);
+        assert_eq!(t.total_events(), 6);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_smoke() {
+        let mut m = IntervalMetrics::new(100);
+        m.miss_latency.record(40);
+        m.record_sample(IntervalSample {
+            cycle: 100,
+            committed: 10,
+            queue_depth: [2, 0, 0, 1, 0],
+            mshr: 1,
+            live_threads: 0,
+        });
+        let text = metrics_prometheus(&m);
+        assert!(text.contains("hidisc_metrics_interval_cycles 100\n"));
+        assert!(text.contains("hidisc_miss_latency_cycles{stat=\"count\"} 1\n"));
+        assert!(text.contains("hidisc_queue_occupancy{queue=\"LDQ\",stat=\"max\"} 2\n"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "bad line: {line}"
+            );
+        }
     }
 
     #[test]

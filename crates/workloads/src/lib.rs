@@ -105,6 +105,21 @@ pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<Workload> {
         .find(|w| w.name == name)
 }
 
+/// Every workload name [`by_name`] accepts, in suite/extras/micro order.
+/// Built once (from the cheap Test-scale generators) so request
+/// validation doesn't regenerate workload memory images.
+pub fn names() -> &'static [&'static str] {
+    static NAMES: std::sync::OnceLock<Vec<&'static str>> = std::sync::OnceLock::new();
+    NAMES.get_or_init(|| {
+        suite(Scale::Test, 0)
+            .into_iter()
+            .chain(extras(Scale::Test, 0))
+            .chain(micro::micro_suite(Scale::Test, 0))
+            .map(|w| w.name)
+            .collect()
+    })
+}
+
 /// Common memory-layout constants shared by the generators: workloads
 /// place their data well apart so accidental overlap is impossible.
 pub mod layout {
@@ -171,6 +186,15 @@ mod tests {
         assert!(by_name("cornerturn", Scale::Test, 1).is_some());
         assert!(by_name("matrix", Scale::Test, 1).is_some());
         assert!(by_name("nope", Scale::Test, 1).is_none());
+    }
+
+    #[test]
+    fn names_match_by_name() {
+        let ns = names();
+        assert!(ns.contains(&"dm") && ns.contains(&"matrix"));
+        for n in ns {
+            assert!(by_name(n, Scale::Test, 1).is_some(), "{n} not resolvable");
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! `repro` — regenerates every table and figure of the HiDISC paper.
+//! `repro` — regenerates every table and figure of the HiDISC paper,
+//! and serves the simulator as an HTTP service (`repro serve`).
 //!
 //! ```text
-//! repro [params|fig8|table2|fig9|fig10|ablate|all]
+//! repro [params|fig8|table2|fig9|fig10|ablate|all|serve]
 //!       [--format text|csv] [--scale test|paper|large] [--seed N]
 //!       [--threads N] [--l2-lat N] [--mem-lat N] [--scq-depth N]
 //!       [--scheduler ready|scan]
@@ -15,6 +16,7 @@
 use hidisc::telemetry::TraceConfig;
 use hidisc::{MachineConfig, Scheduler};
 use hidisc_bench::{self as bench, Report};
+use hidisc_serve::{ServeConfig, Service};
 use hidisc_workloads::Scale;
 
 struct Args {
@@ -34,6 +36,19 @@ struct Args {
     trace_filter: TraceConfig,
     /// `--metrics-interval <cycles>`: interval-metrics sampling (0 off).
     metrics_interval: u64,
+    /// `--event-cap <n>`: telemetry buffer cap (events past it drop).
+    event_cap: Option<usize>,
+    /// `--stream`: serialise the trace while the machine runs instead of
+    /// buffering the whole recording.
+    stream: bool,
+    /// `serve --addr <host:port>` (default 127.0.0.1:8080).
+    addr: Option<String>,
+    /// `serve --workers <n>` (0 = one per host core).
+    workers: usize,
+    /// `serve --queue-depth <n>`: bounded job queue (429 past it).
+    queue_depth: usize,
+    /// `serve --cache-dir <dir>`: persist results here.
+    cache_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +65,12 @@ fn parse_args() -> Args {
     let mut trace_path: Option<String> = None;
     let mut trace_filter = TraceConfig::ALL_EVENTS;
     let mut metrics_interval = 0;
+    let mut event_cap = None;
+    let mut stream = false;
+    let mut addr = None;
+    let mut workers = 0;
+    let mut queue_depth = 32;
+    let mut cache_dir = None;
     let mut it = std::env::args().skip(1);
     let num = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next()
@@ -109,6 +130,8 @@ fn parse_args() -> Args {
                 });
             }
             "--metrics-interval" => metrics_interval = num(&mut it, "--metrics-interval"),
+            "--event-cap" => event_cap = Some(num(&mut it, "--event-cap") as usize),
+            "--stream" => stream = true,
             "--seed" => seed = num(&mut it, "--seed"),
             "--l2-lat" => l2_lat = Some(num(&mut it, "--l2-lat") as u32),
             "--mem-lat" => mem_lat = Some(num(&mut it, "--mem-lat") as u32),
@@ -117,13 +140,29 @@ fn parse_args() -> Args {
                 // 0 = one worker per host core (the default).
                 bench::pool::set_threads(num(&mut it, "--threads") as usize);
             }
+            "--addr" => {
+                addr = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--addr needs a host:port");
+                    std::process::exit(2);
+                }));
+            }
+            "--workers" => workers = num(&mut it, "--workers") as usize,
+            "--queue-depth" => queue_depth = num(&mut it, "--queue-depth") as usize,
+            "--cache-dir" => {
+                cache_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--cache-dir needs a directory path");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [{}] \
                      [report|diag|trace|telemetry <workload>] \
                      [--format text|csv] [--scale test|paper|large] [--seed N] [--threads N] \
                      [--l2-lat N] [--mem-lat N] [--scq-depth N] [--scheduler ready|scan] \
-                     [--trace <out.json>] [--trace-filter <cat,..|all>] [--metrics-interval N]",
+                     [--trace <out.json>] [--trace-filter <cat,..|all>] [--metrics-interval N] \
+                     [--event-cap N] [--stream] \
+                     [serve --addr <host:port> --workers N --queue-depth N --cache-dir <dir>]",
                     COMMANDS.join("|")
                 );
                 std::process::exit(0);
@@ -158,6 +197,10 @@ fn parse_args() -> Args {
         eprintln!("command `{cmd}` takes no argument (see --help)");
         std::process::exit(2);
     }
+    if stream && cmd != "telemetry" {
+        eprintln!("--stream only applies to the telemetry command");
+        std::process::exit(2);
+    }
     Args {
         cmd,
         arg,
@@ -171,11 +214,17 @@ fn parse_args() -> Args {
         trace_path,
         trace_filter,
         metrics_interval,
+        event_cap,
+        stream,
+        addr,
+        workers,
+        queue_depth,
+        cache_dir,
     }
 }
 
 /// Every subcommand, in help order.
-const COMMANDS: [&str; 15] = [
+const COMMANDS: [&str; 16] = [
     "params",
     "fig8",
     "table2",
@@ -190,6 +239,7 @@ const COMMANDS: [&str; 15] = [
     "extras",
     "related",
     "ablate",
+    "serve",
     "all",
 ];
 
@@ -216,10 +266,96 @@ fn build_config(args: &Args) -> MachineConfig {
     })
 }
 
+/// `repro serve`: run the simulation service until `POST /shutdown`.
+fn serve(args: &Args) {
+    let cfg = ServeConfig {
+        addr: args
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        cache_dir: args.cache_dir.clone().map(std::path::PathBuf::from),
+        ..ServeConfig::default()
+    };
+    let svc = Service::start(cfg.clone()).unwrap_or_else(|e| {
+        eprintln!("cannot serve on {}: {e}", cfg.addr);
+        std::process::exit(2);
+    });
+    let workers = if cfg.workers == 0 {
+        bench::pool::threads()
+    } else {
+        cfg.workers
+    };
+    eprintln!(
+        "serving on http://{} ({} worker(s), queue depth {}, cache {}) — POST /shutdown to stop",
+        svc.addr(),
+        workers,
+        cfg.queue_depth,
+        cfg.cache_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "memory-only".to_string()),
+    );
+    svc.wait();
+    eprintln!("shut down cleanly");
+}
+
+/// `repro telemetry --stream`: serialise the trace while the machine
+/// runs (bounded memory at any trace length).
+fn telemetry_streamed(args: &Args, cfg: MachineConfig, trace: TraceConfig, name: &str) {
+    fn summary<W>(run: &bench::StreamedRun<W>) -> String {
+        format!(
+            "streamed {} event(s), dropped {} (buffer cap {})\n",
+            run.streamed_events, run.dropped, run.cap
+        )
+    }
+    match &args.trace_path {
+        Some(path) => {
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            let out = std::io::BufWriter::new(file);
+            let run = bench::telemetry_stream(name, args.scale, args.seed, cfg, trace, out)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                });
+            eprint!("{}", summary(&run));
+            eprintln!("wrote {path} — load it at https://ui.perfetto.dev");
+            if let Some(m) = run.metrics {
+                print!("{}", bench::MetricsReport(m).render(args.csv));
+            }
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let run = bench::telemetry_stream(
+                name,
+                args.scale,
+                args.seed,
+                cfg,
+                trace,
+                std::io::BufWriter::new(stdout.lock()),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write the trace to stdout: {e}");
+                std::process::exit(2);
+            });
+            eprint!("{}", summary(&run));
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let cfg = build_config(&args);
     let csv = args.csv;
+
+    if args.cmd == "serve" {
+        serve(&args);
+        return;
+    }
 
     let need_suite = matches!(
         args.cmd.as_str(),
@@ -298,13 +434,24 @@ fn main() {
         }
         "telemetry" => {
             let name = args.arg.as_deref().unwrap_or("pointer");
-            let trace = args
+            let mut trace = args
                 .trace_filter
                 .with_metrics_interval(args.metrics_interval);
+            if let Some(cap) = args.event_cap {
+                trace = trace.with_event_cap(cap);
+            }
             eprintln!(
-                "tracing {name} on HiDISC (scale {:?}, seed {}, mask {:#07b}, interval {})...",
-                args.scale, args.seed, trace.mask, trace.metrics_interval
+                "tracing {name} on HiDISC (scale {:?}, seed {}, mask {:#07b}, interval {}{})...",
+                args.scale,
+                args.seed,
+                trace.mask,
+                trace.metrics_interval,
+                if args.stream { ", streamed" } else { "" }
             );
+            if args.stream {
+                telemetry_streamed(&args, cfg, trace, name);
+                return;
+            }
             let run = bench::telemetry_run(name, args.scale, args.seed, cfg, trace);
             eprint!("{}", run.summary());
             if let Some(path) = &args.trace_path {
