@@ -29,6 +29,14 @@ pub enum RunError {
         /// The configured budget.
         limit: u64,
     },
+    /// The wall-clock deadline passed to
+    /// [`Machine::run_deadline`](crate::Machine::run_deadline) expired.
+    /// Distinct from [`RunError::CycleBudget`] so callers never have to
+    /// infer the cause from the cycle value.
+    Deadline {
+        /// Machine clock when the deadline fired.
+        cycle: u64,
+    },
     /// Functional execution failed (bad memory access, fp misuse, ...).
     Exec(IsaError),
 }
@@ -43,6 +51,9 @@ impl std::fmt::Display for RunError {
                 "machine {model} made no progress for {idle} cycles (deadlock?) at cycle {cycle}"
             ),
             RunError::CycleBudget { limit } => write!(f, "cycle budget exceeded ({limit})"),
+            RunError::Deadline { cycle } => {
+                write!(f, "wall-clock deadline expired at cycle {cycle}")
+            }
             RunError::Exec(e) => e.fmt(f),
         }
     }
@@ -83,6 +94,8 @@ mod tests {
         );
         let b = RunError::CycleBudget { limit: 2_000 };
         assert_eq!(b.to_string(), "cycle budget exceeded (2000)");
+        let d = RunError::Deadline { cycle: 4_096 };
+        assert_eq!(d.to_string(), "wall-clock deadline expired at cycle 4096");
         let e = RunError::Exec(IsaError::Exec {
             pc: 9,
             msg: "fp instruction on core CP".into(),

@@ -511,7 +511,7 @@ impl Machine {
     }
 
     /// Like [`Machine::run`], but aborts with
-    /// [`RunError::CycleBudget`] (carrying the cycle reached) once the
+    /// [`RunError::Deadline`] (carrying the cycle reached) once the
     /// host clock passes `deadline`. The deadline is polled every few
     /// thousand simulated cycles, so expiry is detected promptly without
     /// a per-cycle syscall.
@@ -580,7 +580,7 @@ impl Machine {
                     next_deadline_check = self.now + Self::DEADLINE_CHECK_CYCLES;
                     if Instant::now() >= deadline {
                         self.host_wall_ns += t0.elapsed().as_nanos() as u64;
-                        return Err(RunError::CycleBudget { limit: self.now });
+                        return Err(RunError::Deadline { cycle: self.now });
                     }
                 }
             }

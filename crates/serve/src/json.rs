@@ -20,12 +20,18 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Maximum container nesting the parser accepts. The parser recurses per
+/// level, so untrusted input must not choose the recursion depth: a
+/// request body of `MAX_BODY` open brackets would otherwise overflow the
+/// connection thread's stack and abort the whole process.
+pub const MAX_DEPTH: usize = 64;
+
 impl Json {
     /// Parses a complete JSON document (rejects trailing garbage).
     pub fn parse(s: &str) -> Result<Json, String> {
         let b = s.as_bytes();
         let mut i = 0usize;
-        let v = parse_value(b, &mut i)?;
+        let v = parse_value(b, &mut i, 0)?;
         skip_ws(b, &mut i);
         if i != b.len() {
             return Err(format!("trailing characters at byte {i}"));
@@ -82,10 +88,13 @@ fn skip_ws(b: &[u8], i: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], i: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(b, i);
     match b.get(*i) {
         None => Err("unexpected end of input".into()),
+        Some(b'{' | b'[') if depth >= MAX_DEPTH => Err(format!(
+            "nesting deeper than {MAX_DEPTH} levels at byte {i}"
+        )),
         Some(b'{') => {
             *i += 1;
             let mut fields = Vec::new();
@@ -96,7 +105,7 @@ fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
             }
             loop {
                 skip_ws(b, i);
-                let key = match parse_value(b, i)? {
+                let key = match parse_value(b, i, depth + 1)? {
                     Json::Str(s) => s,
                     _ => return Err(format!("object key at byte {i} is not a string")),
                 };
@@ -105,7 +114,7 @@ fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
                     return Err(format!("expected ':' at byte {i}"));
                 }
                 *i += 1;
-                let v = parse_value(b, i)?;
+                let v = parse_value(b, i, depth + 1)?;
                 fields.push((key, v));
                 skip_ws(b, i);
                 match b.get(*i) {
@@ -127,7 +136,7 @@ fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(b, i)?);
+                items.push(parse_value(b, i, depth + 1)?);
                 skip_ws(b, i);
                 match b.get(*i) {
                     Some(b',') => *i += 1,
@@ -275,6 +284,26 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    /// A body of nothing but open brackets must come back as a parse
+    /// error, not unbounded recursion: the service feeds this parser
+    /// attacker-controlled bodies up to `http::MAX_BODY` bytes.
+    #[test]
+    fn deep_nesting_is_rejected_not_recursed() {
+        for bomb in ["[".repeat(1024 * 1024), "{\"k\":".repeat(1024 * 1024)] {
+            let err = Json::parse(&bomb).unwrap_err();
+            assert!(err.contains("nesting deeper"), "error was: {err}");
+        }
+        // Depths inside the limit still parse.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&over).is_err());
     }
 
     #[test]

@@ -18,10 +18,10 @@
 //! Backpressure: the job queue is bounded; a full queue answers `429`
 //! with a `Retry-After` hint instead of buffering without bound.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -244,6 +244,12 @@ pub struct ServeConfig {
     /// Disk tier of the result cache (e.g. `results/cache/`); `None`
     /// keeps the cache memory-only.
     pub cache_dir: Option<PathBuf>,
+    /// Maximum concurrent connection handlers. Each connection gets an
+    /// OS thread with a 10 s read timeout, so without a cap a client
+    /// opening sockets exhausts threads long before the bounded job
+    /// queue ever applies backpressure; past the cap new connections are
+    /// answered `503` + `Retry-After` immediately.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -254,6 +260,7 @@ impl Default for ServeConfig {
             queue_depth: 32,
             cache_capacity: 256,
             cache_dir: None,
+            max_connections: 128,
         }
     }
 }
@@ -269,6 +276,7 @@ struct Counters {
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
     rejected: AtomicU64,
+    conn_rejected: AtomicU64,
     bad_requests: AtomicU64,
     dropped_events: AtomicU64,
 }
@@ -290,7 +298,33 @@ struct JobEntry {
 
 struct Registry {
     jobs: HashMap<String, JobEntry>,
+    /// Job ids in the order they reached a terminal phase. Terminal
+    /// entries past `max_terminal` are evicted oldest-first, so the jobs
+    /// map cannot grow without bound (results stay reachable through the
+    /// LRU/disk [`ResultCache`]); queued/running entries are never
+    /// evicted.
+    terminal: VecDeque<String>,
+    max_terminal: usize,
     cache: ResultCache,
+}
+
+impl Registry {
+    /// Records that `id` reached Done/Failed and trims old terminal
+    /// entries down to the cap.
+    fn mark_terminal(&mut self, id: String) {
+        self.terminal.push_back(id);
+        while self.terminal.len() > self.max_terminal {
+            let old = self.terminal.pop_front().expect("len checked");
+            // A resubmitted id is live again (Queued/Running): keep it.
+            // It gets a fresh deque slot when it terminates once more.
+            if matches!(
+                self.jobs.get(&old).map(|e| &e.phase),
+                Some(Phase::Done { .. } | Phase::Failed { .. })
+            ) {
+                self.jobs.remove(&old);
+            }
+        }
+    }
 }
 
 struct State {
@@ -299,6 +333,19 @@ struct State {
     counters: Counters,
     metrics: Mutex<Option<IntervalMetrics>>,
     stop: AtomicBool,
+    /// Live connection-handler threads, bounded by `max_connections`.
+    connections: AtomicUsize,
+    max_connections: usize,
+}
+
+/// Decrements the live-connection count when a handler thread exits,
+/// however it exits.
+struct ConnectionGuard(Arc<State>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// A running service instance.
@@ -322,12 +369,16 @@ impl Service {
         let state = Arc::new(State {
             registry: Mutex::new(Registry {
                 jobs: HashMap::new(),
+                terminal: VecDeque::new(),
+                max_terminal: cfg.cache_capacity.max(1),
                 cache: ResultCache::new(cfg.cache_capacity, cfg.cache_dir.clone()),
             }),
             workers: Mutex::new(Some(Workers::new(workers, cfg.queue_depth))),
             counters: Counters::default(),
             metrics: Mutex::new(None),
             stop: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            max_connections: cfg.max_connections.max(1),
         });
         let st = Arc::clone(&state);
         let acceptor = std::thread::spawn(move || accept_loop(listener, st));
@@ -377,16 +428,23 @@ impl Service {
             w.shutdown(false);
         }
         let mut reg = self.state.registry.lock().expect("registry lock");
-        for job in reg.jobs.values_mut() {
-            if matches!(job.phase, Phase::Queued) {
-                self.state
-                    .counters
-                    .jobs_failed
-                    .fetch_add(1, Ordering::Relaxed);
+        let queued: Vec<String> = reg
+            .jobs
+            .iter()
+            .filter(|(_, j)| matches!(j.phase, Phase::Queued))
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in queued {
+            self.state
+                .counters
+                .jobs_failed
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(job) = reg.jobs.get_mut(&id) {
                 job.phase = Phase::Failed {
                     error: "service shut down before the job ran".to_string(),
                 };
             }
+            reg.mark_terminal(id);
         }
     }
 }
@@ -405,9 +463,45 @@ impl Drop for Service {
 fn accept_loop(listener: TcpListener, state: Arc<State>) {
     while !state.stop.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                // Admission control: past the handler cap, answer 503
+                // inline (cheap, no thread) instead of spawning without
+                // bound. The counter is incremented here, on the accept
+                // thread, so the cap cannot be overshot by a burst of
+                // accepts racing not-yet-started handler threads.
+                if state.connections.load(Ordering::Relaxed) >= state.max_connections {
+                    state
+                        .counters
+                        .conn_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    // Drain request bytes that already arrived (without
+                    // blocking the acceptor) so the close sends FIN
+                    // rather than RST and the refusal reaches the
+                    // client instead of a connection reset.
+                    let _ = stream.set_nonblocking(true);
+                    let mut sink = [0u8; 4096];
+                    for _ in 0..16 {
+                        match std::io::Read::read(&mut stream, &mut sink) {
+                            Ok(n) if n > 0 => continue,
+                            _ => break,
+                        }
+                    }
+                    let _ = stream.set_nonblocking(false);
+                    let _ = http::write_response(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        &[("Retry-After", "1".to_string())],
+                        b"{\"error\":\"too many connections; retry later\"}\n",
+                    );
+                    continue;
+                }
+                state.connections.fetch_add(1, Ordering::Relaxed);
                 let st = Arc::clone(&state);
-                std::thread::spawn(move || handle_connection(stream, st));
+                std::thread::spawn(move || {
+                    let _guard = ConnectionGuard(Arc::clone(&st));
+                    handle_connection(stream, st);
+                });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -568,6 +662,7 @@ fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
     // GET /jobs/<id> polls resolve too.
     if let Some(stats) = reg.cache.get(key) {
         state.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let newly = !reg.jobs.contains_key(&id);
         let entry = reg.jobs.entry(id.clone()).or_insert_with(|| JobEntry {
             workload: spec.workload.clone(),
             scale: spec.scale,
@@ -585,6 +680,9 @@ fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
             ..JobBody::new(&id, "done")
         }
         .render();
+        if newly {
+            reg.mark_terminal(id);
+        }
         return json_reply(200, body);
     }
 
@@ -759,6 +857,7 @@ fn execute_job(state: Arc<State>, id: String, key: u64, spec: JobSpec, cfg: Mach
             state.counters.jobs_done.fetch_add(1, Ordering::Relaxed);
             if let Some(e) = reg.jobs.get_mut(&id) {
                 e.phase = Phase::Done { stats, wall_ms };
+                reg.mark_terminal(id);
             }
         }
         Err(error) => {
@@ -766,6 +865,7 @@ fn execute_job(state: Arc<State>, id: String, key: u64, spec: JobSpec, cfg: Mach
             let mut reg = state.registry.lock().expect("registry lock");
             if let Some(e) = reg.jobs.get_mut(&id) {
                 e.phase = Phase::Failed { error };
+                reg.mark_terminal(id);
             }
         }
     }
@@ -801,10 +901,9 @@ fn run_simulation(spec: &JobSpec, cfg: MachineConfig) -> Result<RunOutcome, Stri
             dropped_events,
         }),
         Err(e) => {
-            let msg = match (&e, spec.timeout_ms) {
-                // A budget error at a cycle other than the configured
-                // limit is the wall-clock deadline firing.
-                (RunError::CycleBudget { limit }, Some(ms)) if *limit != cfg.max_cycles => {
+            let msg = match &e {
+                RunError::Deadline { .. } => {
+                    let ms = spec.timeout_ms.unwrap_or(0);
                     format!("wall-clock timeout after {ms} ms ({e})")
                 }
                 _ => e.to_string(),
@@ -821,7 +920,7 @@ fn run_simulation(spec: &JobSpec, cfg: MachineConfig) -> Result<RunOutcome, Stri
 fn render_metrics(state: &Arc<State>) -> String {
     let c = &state.counters;
     let mut s = String::new();
-    let counters: [(&str, u64); 11] = [
+    let counters: [(&str, u64); 12] = [
         (
             "hidisc_serve_requests_total",
             c.requests.load(Ordering::Relaxed),
@@ -859,6 +958,10 @@ fn render_metrics(state: &Arc<State>) -> String {
             c.rejected.load(Ordering::Relaxed),
         ),
         (
+            "hidisc_serve_connections_rejected_total",
+            c.conn_rejected.load(Ordering::Relaxed),
+        ),
+        (
             "hidisc_serve_bad_requests_total",
             c.bad_requests.load(Ordering::Relaxed),
         ),
@@ -876,11 +979,19 @@ fn render_metrics(state: &Arc<State>) -> String {
             .map(|w| (w.queued(), w.running()))
             .unwrap_or((0, 0))
     };
-    let cache_entries = state.registry.lock().expect("registry lock").cache.len();
+    let (cache_entries, job_entries) = {
+        let reg = state.registry.lock().expect("registry lock");
+        (reg.cache.len(), reg.jobs.len())
+    };
     for (name, v) in [
         ("hidisc_serve_queue_depth", queued),
         ("hidisc_serve_jobs_running", running),
         ("hidisc_serve_cache_entries", cache_entries),
+        ("hidisc_serve_job_entries", job_entries),
+        (
+            "hidisc_serve_connections_active",
+            state.connections.load(Ordering::Relaxed),
+        ),
     ] {
         s.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
     }

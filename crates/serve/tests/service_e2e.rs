@@ -255,6 +255,71 @@ fn bad_requests_get_typed_400s() {
     svc.shutdown();
 }
 
+/// Past `max_connections`, accepts are answered `503` inline instead of
+/// spawning handler threads without bound; slots free once a handler
+/// finishes.
+#[test]
+fn connection_cap_answers_503_inline() {
+    let svc = Service::start(ServeConfig {
+        max_connections: 1,
+        ..ServeConfig::default()
+    })
+    .expect("service start");
+    let addr = svc.addr();
+
+    // Occupy the single handler slot with an idle connection (its
+    // handler sits in read() until we close or it times out).
+    let held = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(200)); // let the accept loop count it
+
+    let r = request(addr, "GET", "/healthz", "");
+    assert_eq!(r.status, 503, "{}", r.body);
+    assert!(r.header("retry-after").is_some(), "Retry-After missing");
+    assert!(r.body.contains("too many connections"), "{}", r.body);
+
+    // Freeing the slot lets requests through again.
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let r = request(addr, "GET", "/healthz", "");
+        if r.status == 200 {
+            assert!(metric(addr, "hidisc_serve_connections_rejected_total") >= 1);
+            break;
+        }
+        assert!(Instant::now() < deadline, "slot never freed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    svc.shutdown();
+}
+
+/// Terminal (done/failed) job entries are evicted oldest-first past the
+/// cache capacity, so a long-lived service does not leak one entry per
+/// distinct submission.
+#[test]
+fn terminal_job_entries_are_bounded() {
+    let svc = Service::start(ServeConfig {
+        cache_capacity: 2,
+        ..ServeConfig::default()
+    })
+    .expect("service start");
+    let addr = svc.addr();
+
+    for seed in 0..5 {
+        let body = format!(r#"{{"workload":"dm","scale":"test","seed":{seed}}}"#);
+        let r = request(addr, "POST", "/run", &body);
+        assert!(r.status == 200 || r.status == 202, "{}", r.body);
+        let id = json_str(&r.body, "job").expect("job id");
+        let done = poll_job(addr, &id);
+        assert_eq!(json_str(&done.body, "status").as_deref(), Some("done"));
+    }
+
+    // Five distinct jobs ran, but only cache_capacity terminal entries
+    // remain registered.
+    assert_eq!(metric(addr, "hidisc_serve_sim_runs_total"), 5);
+    assert!(metric(addr, "hidisc_serve_job_entries") <= 2);
+    svc.shutdown();
+}
+
 #[test]
 fn disk_cache_survives_a_service_restart() {
     let dir = std::env::temp_dir().join(format!("hidisc-serve-e2e-{}", std::process::id()));

@@ -49,6 +49,8 @@ struct Args {
     queue_depth: usize,
     /// `serve --cache-dir <dir>`: persist results here.
     cache_dir: Option<String>,
+    /// `serve --max-conns <n>`: concurrent-connection cap (503 past it).
+    max_conns: usize,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +73,7 @@ fn parse_args() -> Args {
     let mut workers = 0;
     let mut queue_depth = 32;
     let mut cache_dir = None;
+    let mut max_conns = hidisc_serve::ServeConfig::default().max_connections;
     let mut it = std::env::args().skip(1);
     let num = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next()
@@ -148,6 +151,7 @@ fn parse_args() -> Args {
             }
             "--workers" => workers = num(&mut it, "--workers") as usize,
             "--queue-depth" => queue_depth = num(&mut it, "--queue-depth") as usize,
+            "--max-conns" => max_conns = num(&mut it, "--max-conns") as usize,
             "--cache-dir" => {
                 cache_dir = Some(it.next().unwrap_or_else(|| {
                     eprintln!("--cache-dir needs a directory path");
@@ -162,7 +166,8 @@ fn parse_args() -> Args {
                      [--l2-lat N] [--mem-lat N] [--scq-depth N] [--scheduler ready|scan] \
                      [--trace <out.json>] [--trace-filter <cat,..|all>] [--metrics-interval N] \
                      [--event-cap N] [--stream] \
-                     [serve --addr <host:port> --workers N --queue-depth N --cache-dir <dir>]",
+                     [serve --addr <host:port> --workers N --queue-depth N --cache-dir <dir> \
+                     --max-conns N]",
                     COMMANDS.join("|")
                 );
                 std::process::exit(0);
@@ -220,6 +225,7 @@ fn parse_args() -> Args {
         workers,
         queue_depth,
         cache_dir,
+        max_conns,
     }
 }
 
@@ -276,6 +282,7 @@ fn serve(args: &Args) {
         workers: args.workers,
         queue_depth: args.queue_depth,
         cache_dir: args.cache_dir.clone().map(std::path::PathBuf::from),
+        max_connections: args.max_conns,
         ..ServeConfig::default()
     };
     let svc = Service::start(cfg.clone()).unwrap_or_else(|e| {
