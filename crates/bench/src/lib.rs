@@ -17,6 +17,8 @@
 //! the [`Report`] trait — an aligned text table or CSV — so the `repro`
 //! binary's `--format {text,csv}` flag works uniformly.
 
+#![forbid(unsafe_code)]
+
 use hidisc::telemetry::{Category, ChromeTraceSink, IntervalMetrics, StreamingSink, TraceConfig};
 use hidisc::{run_model, Machine, MachineConfig, MachineStats, Model};
 use hidisc_slicer::{compile, CompiledWorkload, CompilerConfig, ExecEnv};
@@ -71,11 +73,24 @@ pub struct Prepared {
     pub compiled: Arc<CompiledWorkload>,
 }
 
-/// Compiles one workload for grid running.
+/// Compiles one workload for grid running. Debug builds run the static
+/// stream-slice verifier as a compiler post-pass: a slicer bug should be a
+/// located diagnostic here, not a hung or diverging simulation later.
 pub fn prepare(w: &Workload) -> Prepared {
     let env = env_of(w);
     let compiled = compile(&w.prog, &env, &CompilerConfig::default())
         .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+    #[cfg(debug_assertions)]
+    {
+        let report = hidisc_verify::verify(&hidisc_verify::VerifyInput::of(
+            &compiled,
+            hidisc_verify::DepthConfig::paper(),
+        ));
+        let first_error = report.errors().next().map(|d| d.to_string());
+        if let Some(d) = first_error {
+            panic!("{}: slicer output failed verification: {d}", w.name);
+        }
+    }
     Prepared {
         name: w.name,
         env,
@@ -618,6 +633,157 @@ impl Report for SpeedupReport {
             ));
         }
         out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static verification behind `repro check`
+// ---------------------------------------------------------------------------
+
+/// One `repro check` run: the verifier's findings for a workload compiled
+/// at the given scale, rendered through [`Report`] like every other
+/// artifact. The CSV form also carries one `DB000` info row per queue with
+/// the computed static occupancy bound, so `--scq-depth` sweeps can cite
+/// the bound that makes a configuration safe.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Workload name.
+    pub name: String,
+    /// The verifier's findings and bounds.
+    pub report: hidisc_verify::VerifyReport,
+}
+
+/// Compiles `name` and statically verifies the resulting triple against
+/// the given queue depths.
+pub fn check_workload(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    depths: hidisc_verify::DepthConfig,
+) -> CheckReport {
+    let w = hidisc_workloads::by_name(name, scale, seed)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let env = env_of(&w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default())
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+    CheckReport {
+        name: name.to_string(),
+        report: hidisc_verify::verify(&hidisc_verify::VerifyInput::of(&compiled, depths)),
+    }
+}
+
+/// The queue depths of a machine configuration, as the verifier's mirror
+/// type (so `repro check --scq-depth N` bounds against the same depths the
+/// simulation would run with).
+pub fn depths_of(cfg: &MachineConfig) -> hidisc_verify::DepthConfig {
+    hidisc_verify::DepthConfig {
+        ldq: cfg.queues.ldq,
+        sdq: cfg.queues.sdq,
+        cdq: cfg.queues.cdq,
+        cq: cfg.queues.cq,
+        scq: cfg.queues.scq,
+    }
+}
+
+impl CheckReport {
+    /// True when the workload verified without errors (warnings allowed).
+    pub fn passed(&self) -> bool {
+        self.report.no_errors()
+    }
+}
+
+fn csv_quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl Report for CheckReport {
+    fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let r = &self.report;
+        let mut out = format!(
+            "verification of {}: {} error(s), {} warning(s) over {} segment pair(s), {} queue(s) analysed\n",
+            self.name,
+            r.errors().count(),
+            r.warnings().count(),
+            r.segments,
+            r.queues_analysed
+        );
+        for d in &r.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+        let _ = write!(out, "static occupancy bounds:");
+        for b in &r.bounds {
+            let _ = write!(out, "  {} {}/{}", b.queue.name(), b.bound, b.cap);
+        }
+        out.push('\n');
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        let mut out = String::from("workload,code,severity,stream,pc,queue,message\n");
+        let r = &self.report;
+        for d in &r.diagnostics {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                csv_quote(&self.name),
+                d.code,
+                d.severity(),
+                d.loc.stream_name(),
+                d.loc.pc(),
+                d.queue.map(|q| q.name()).unwrap_or(""),
+                csv_quote(&d.msg)
+            ));
+        }
+        for b in &r.bounds {
+            out.push_str(&format!(
+                "{},DB000,info,,,{},{}\n",
+                csv_quote(&self.name),
+                b.queue.name(),
+                csv_quote(&format!(
+                    "static occupancy bound {} of configured depth {}",
+                    b.bound, b.cap
+                ))
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod check_tests {
+    use super::*;
+
+    #[test]
+    fn shipped_workloads_check_clean() {
+        let depths = depths_of(&MachineConfig::paper());
+        for name in ["dm", "pointer"] {
+            let c = check_workload(name, Scale::Test, 3, depths);
+            assert!(c.passed(), "{name}: {}", c.render_text());
+            assert!(c.report.queues_analysed >= 1);
+        }
+    }
+
+    #[test]
+    fn check_report_renders_both_formats() {
+        let c = check_workload("update", Scale::Test, 3, depths_of(&MachineConfig::paper()));
+        let text = c.render_text();
+        assert!(text.starts_with("verification of update:"));
+        assert!(text.contains("static occupancy bounds:"));
+        let csv = c.render_csv();
+        assert!(csv.starts_with("workload,code,severity,stream,pc,queue,message\n"));
+        // Five DB000 bound rows, one per queue, whatever the findings.
+        assert_eq!(csv.matches(",DB000,info,").count(), 5);
+    }
+
+    #[test]
+    fn csv_quoting_escapes_commas_and_quotes() {
+        assert_eq!(csv_quote("plain"), "plain");
+        assert_eq!(csv_quote("a,b"), "\"a,b\"");
+        assert_eq!(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
     }
 }
 

@@ -297,9 +297,17 @@ mod tests {
             })
             .unwrap();
         }
+        // Shut down while the in-flight job still blocks the only worker:
+        // the queue is cleared before the worker can ever take another
+        // job. Release the worker only once the clear is observable, so
+        // the three queued jobs are deterministically dropped.
+        let shared = Arc::clone(&pool.shared);
+        let shut = std::thread::spawn(move || pool.shutdown(false));
+        while shared.queued.load(Ordering::Relaxed) != 0 {
+            std::thread::yield_now();
+        }
         release_tx.send(()).unwrap();
-        // The in-flight job finishes; the three queued jobs are dropped.
-        pool.shutdown(false);
+        shut.join().unwrap();
         assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 }

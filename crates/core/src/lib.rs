@@ -27,6 +27,8 @@
 //! count, IPC (work instructions / cycles), cache statistics and the
 //! decoupling diagnostics used throughout the paper's evaluation section.
 
+#![forbid(unsafe_code)]
+
 pub mod cmp;
 pub mod config;
 pub mod dynamic;

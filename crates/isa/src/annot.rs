@@ -53,6 +53,29 @@ impl Annot {
             ..Annot::default()
         }
     }
+
+    /// The queues pushed when instruction `i` carrying this annotation
+    /// commits: the instruction's own push plus the `push_cq` outcome
+    /// token on Access-Stream control (which is an annotation, not an
+    /// opcode). At most two entries; `None` slots are unused.
+    pub fn queue_pushes(&self, i: &crate::instr::Instr) -> [Option<crate::reg::Queue>; 2] {
+        [
+            i.queue_push(),
+            (self.push_cq && i.is_control()).then_some(crate::reg::Queue::Cq),
+        ]
+    }
+
+    /// The queues popped when instruction `i` carrying this annotation
+    /// commits: the instruction's own pop plus the `scq_get` slip-control
+    /// decrement (an annotation on loop-latch branches, never an opcode in
+    /// stream binaries).
+    pub fn queue_pops(&self, i: &crate::instr::Instr) -> [Option<crate::reg::Queue>; 2] {
+        let own = i.queue_pop();
+        [
+            own,
+            (self.scq_get && own != Some(crate::reg::Queue::Scq)).then_some(crate::reg::Queue::Scq),
+        ]
+    }
 }
 
 #[cfg(test)]

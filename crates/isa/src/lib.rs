@@ -24,6 +24,8 @@
 //! (not byte address); branch targets are instruction indices. This mirrors
 //! how SimpleScalar treats its fixed-width 8-byte instructions.
 
+#![forbid(unsafe_code)]
+
 pub mod annot;
 pub mod asm;
 pub mod builder;
@@ -37,7 +39,7 @@ pub mod reg;
 pub mod testgen;
 
 pub use annot::{Annot, Stream};
-pub use instr::{BranchCond, Instr, Width};
+pub use instr::{BranchCond, Instr, RegRef, Width};
 pub use op::{FpBinOp, FpCmpOp, FpUnOp, IntOp};
 pub use program::{Label, Program};
 pub use reg::{FpReg, IntReg, Queue};

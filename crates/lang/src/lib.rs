@@ -49,6 +49,8 @@
 //!           | "int" "(" expr ")" | "float" "(" expr ")"
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod codegen;
 pub mod eval;

@@ -18,6 +18,8 @@
 //! | L2 unified| 1024 sets, 64 B blocks, 4-way, LRU, 12 cycles |
 //! | memory    | 120 cycles |
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod config;
 pub mod hierarchy;

@@ -30,6 +30,8 @@
 //!   branches, `putscq`) happen at in-order commit — a full queue stalls
 //!   commit.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod core;
 pub mod fu;

@@ -18,6 +18,8 @@
 //! Backpressure: the job queue is bounded; a full queue answers `429`
 //! with a `Retry-After` hint instead of buffering without bound.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -67,7 +69,17 @@ pub struct JobSpec {
     pub timeout_ms: Option<u64>,
     /// Interval-metrics sampling period (0 = off).
     pub metrics_interval: u64,
+    /// Custom DISA assembly source. When present the job assembles,
+    /// slices and runs this program instead of a named workload (then
+    /// `workload` merely labels the job, defaulting to `custom`). The
+    /// sliced triple must pass static verification (`hidisc-verify`)
+    /// before the job is admitted; a rejected program answers `400` with
+    /// the verifier's diagnostic.
+    pub program: Option<String>,
 }
+
+/// Upper bound on custom program source (bytes) accepted by `POST /run`.
+pub const MAX_PROGRAM_BYTES: usize = 64 * 1024;
 
 fn parse_scale(s: &str) -> Result<Scale, String> {
     match s {
@@ -115,7 +127,7 @@ impl JobSpec {
         if !matches!(v, Json::Obj(_)) {
             return Err("request body must be a JSON object".to_string());
         }
-        const KNOWN: [&str; 11] = [
+        const KNOWN: [&str; 12] = [
             "workload",
             "scale",
             "seed",
@@ -127,6 +139,7 @@ impl JobSpec {
             "max_cycles",
             "timeout_ms",
             "metrics_interval",
+            "program",
         ];
         for k in v.keys() {
             if !KNOWN.contains(&k) {
@@ -152,8 +165,21 @@ impl JobSpec {
             }
         };
 
-        let workload = str_field("workload")?.ok_or("missing field `workload`")?;
-        if !hidisc_workloads::names().contains(&workload.as_str()) {
+        let program = str_field("program")?;
+        if let Some(p) = &program {
+            if p.len() > MAX_PROGRAM_BYTES {
+                return Err(format!(
+                    "field `program` is {} bytes; the cap is {MAX_PROGRAM_BYTES}",
+                    p.len()
+                ));
+            }
+        }
+        let workload = match (str_field("workload")?, &program) {
+            (Some(w), _) => w,
+            (None, Some(_)) => "custom".to_string(),
+            (None, None) => return Err("missing field `workload`".to_string()),
+        };
+        if program.is_none() && !hidisc_workloads::names().contains(&workload.as_str()) {
             return Err(format!(
                 "unknown workload `{workload}` (use {})",
                 hidisc_workloads::names().join("|")
@@ -183,6 +209,7 @@ impl JobSpec {
             max_cycles: num_field("max_cycles")?,
             timeout_ms: num_field("timeout_ms")?,
             metrics_interval: num_field("metrics_interval")?.unwrap_or(0),
+            program,
         })
     }
 
@@ -222,6 +249,12 @@ impl JobSpec {
         h = fnv1a(h, &[0, self.scale as u8]);
         h = fnv1a(h, &self.seed.to_le_bytes());
         h = fnv1a(h, &[self.model as u8]);
+        if let Some(p) = &self.program {
+            // Domain-separate custom programs from named workloads that
+            // happen to share a label.
+            h = fnv1a(h, &[1]);
+            h = fnv1a(h, p.as_bytes());
+        }
         h
     }
 }
@@ -470,10 +503,7 @@ fn accept_loop(listener: TcpListener, state: Arc<State>) {
                 // thread, so the cap cannot be overshot by a burst of
                 // accepts racing not-yet-started handler threads.
                 if state.connections.load(Ordering::Relaxed) >= state.max_connections {
-                    state
-                        .counters
-                        .conn_rejected
-                        .fetch_add(1, Ordering::Relaxed);
+                    state.counters.conn_rejected.fetch_add(1, Ordering::Relaxed);
                     // Drain request bytes that already arrived (without
                     // blocking the acceptor) so the close sends FIN
                     // rather than RST and the refusal reaches the
@@ -635,6 +665,34 @@ impl<'a> JobBody<'a> {
     }
 }
 
+/// Environment a custom program runs under: zeroed memory, no parameter
+/// registers, and a bounded step budget so profiling always terminates.
+fn custom_env() -> hidisc_slicer::ExecEnv {
+    hidisc_slicer::ExecEnv {
+        regs: Vec::new(),
+        mem: hidisc_isa::mem::Memory::new(),
+        max_steps: 10_000_000,
+    }
+}
+
+/// Pre-flight for custom programs: assemble, slice and statically verify
+/// (queue balance, depth bounds, CMAS purity, slice liveness) before the
+/// job is admitted anywhere near the worker pool. The error message —
+/// served as `400` — is the verifier's first error diagnostic, e.g.
+/// `error[QB004] orig@1 (LDQ): ...`. Named workloads skip this: their
+/// slices are covered by the verifier's own suite-wide property tests.
+fn preflight(spec: &JobSpec, cfg: &MachineConfig) -> Result<(), String> {
+    let Some(src) = &spec.program else {
+        return Ok(());
+    };
+    let prog = hidisc_isa::asm::assemble(&spec.workload, src)
+        .map_err(|e| format!("program does not assemble: {e}"))?;
+    let depths = hidisc_bench::depths_of(cfg);
+    hidisc_verify::compile_verified(&prog, &custom_env(), &CompilerConfig::default(), depths)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
 fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
     if state.stop.load(Ordering::Relaxed) {
         return error_reply(503, "service is shutting down");
@@ -653,6 +711,10 @@ fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
             return error_reply(400, &e.to_string());
         }
     };
+    if let Err(msg) = preflight(&spec, &cfg) {
+        state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return error_reply(400, &msg);
+    }
     let key = spec.key(&cfg);
     let id = format!("{key:016x}");
 
@@ -878,11 +940,24 @@ struct RunOutcome {
 }
 
 fn run_simulation(spec: &JobSpec, cfg: MachineConfig) -> Result<RunOutcome, String> {
-    let w = hidisc_workloads::by_name(&spec.workload, spec.scale, spec.seed)
-        .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?;
-    let env = hidisc_bench::env_of(&w);
-    let compiled = compile(&w.prog, &env, &CompilerConfig::default())
-        .map_err(|e| format!("compile failed: {e}"))?;
+    let (compiled, env) = match &spec.program {
+        Some(src) => {
+            let prog = hidisc_isa::asm::assemble(&spec.workload, src)
+                .map_err(|e| format!("program does not assemble: {e}"))?;
+            let env = custom_env();
+            let compiled = compile(&prog, &env, &CompilerConfig::default())
+                .map_err(|e| format!("compile failed: {e}"))?;
+            (compiled, env)
+        }
+        None => {
+            let w = hidisc_workloads::by_name(&spec.workload, spec.scale, spec.seed)
+                .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?;
+            let env = hidisc_bench::env_of(&w);
+            let compiled = compile(&w.prog, &env, &CompilerConfig::default())
+                .map_err(|e| format!("compile failed: {e}"))?;
+            (compiled, env)
+        }
+    };
     let mut m = Machine::new(spec.model, &compiled, &env, cfg);
     let result = match spec.timeout_ms {
         Some(ms) => m.run_deadline(
@@ -1040,6 +1115,52 @@ mod tests {
             err.to_string(),
             "invalid machine config: queues.scq must be at least 1"
         );
+    }
+
+    #[test]
+    fn custom_program_spec_parses_and_preflights() {
+        let spec = JobSpec::from_json(br#"{"program":"li r1, 64\nsd r1, 0(r1)\nhalt"}"#).unwrap();
+        assert_eq!(spec.workload, "custom");
+        let cfg = spec.config().unwrap();
+        assert!(preflight(&spec, &cfg).is_ok());
+
+        // A program operating on an architectural queue is rejected with
+        // the verifier's located diagnostic.
+        let bad = JobSpec::from_json(br#"{"program":"li r1, 1\nsend LDQ, r1\nhalt"}"#).unwrap();
+        let msg = preflight(&bad, &bad.config().unwrap()).unwrap_err();
+        assert!(msg.contains("QB004"), "{msg}");
+        assert!(msg.contains("orig@1"), "{msg}");
+
+        // Assembly errors surface as 400s too.
+        let nosyntax = JobSpec::from_json(br#"{"program":"frobnicate r1"}"#).unwrap();
+        assert!(preflight(&nosyntax, &nosyntax.config().unwrap()).is_err());
+
+        // Named workloads skip the pre-flight.
+        let named = JobSpec::from_json(br#"{"workload":"dm"}"#).unwrap();
+        assert!(preflight(&named, &named.config().unwrap()).is_ok());
+
+        // The source cap is enforced at parse time.
+        let huge = format!(
+            "{{\"program\":\"{}\"}}",
+            "nop\\n".repeat(MAX_PROGRAM_BYTES / 4 + 1)
+        );
+        assert!(JobSpec::from_json(huge.as_bytes())
+            .unwrap_err()
+            .contains("cap"));
+    }
+
+    #[test]
+    fn custom_program_changes_the_job_key() {
+        let spec = JobSpec::from_json(br#"{"program":"li r1, 64\nsd r1, 0(r1)\nhalt"}"#).unwrap();
+        let cfg = spec.config().unwrap();
+        let base = spec.key(&cfg);
+        let mut other = spec.clone();
+        other.program = Some("li r1, 8\nsd r1, 0(r1)\nhalt".to_string());
+        assert_ne!(base, other.key(&cfg));
+        // ... and differs from a named workload sharing the label.
+        let mut named = spec.clone();
+        named.program = None;
+        assert_ne!(base, named.key(&cfg));
     }
 
     #[test]

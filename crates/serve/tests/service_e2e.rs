@@ -354,3 +354,41 @@ fn disk_cache_survives_a_service_restart() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A custom program that fails static verification answers 400 with the
+/// verifier's located diagnostic; a clean one slices, runs and caches
+/// like any named workload.
+#[test]
+fn verifier_rejected_program_answers_400_with_the_diagnostic() {
+    let svc = start(1, 4, None);
+    let addr = svc.addr();
+
+    // `send LDQ, r1` operates on an architectural queue from the
+    // sequential source program: QB004 at orig@1.
+    let bad = r#"{"program":"li r1, 1\nsend LDQ, r1\nhalt"}"#;
+    let r = request(addr, "POST", "/run", bad);
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("QB004"), "{}", r.body);
+    assert!(r.body.contains("orig@1"), "{}", r.body);
+    assert!(metric(addr, "hidisc_serve_bad_requests_total") >= 1);
+
+    // The clean variant is admitted, simulated and content-addressed.
+    let good = r#"{"program":"li r1, 64\nsd r1, 0(r1)\nld r2, 0(r1)\nhalt"}"#;
+    let r = request(addr, "POST", "/run", good);
+    assert!(r.status == 200 || r.status == 202, "{}", r.body);
+    let id = json_str(&r.body, "job").expect("job id");
+    let done = poll_job(addr, &id);
+    assert_eq!(
+        json_str(&done.body, "status").as_deref(),
+        Some("done"),
+        "{}",
+        done.body
+    );
+    assert_eq!(json_str(&done.body, "workload").as_deref(), Some("custom"));
+
+    // Resubmission is a cache hit (the program text is in the job key).
+    let r = request(addr, "POST", "/run", good);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"cached\":true"), "{}", r.body);
+    svc.shutdown();
+}

@@ -20,6 +20,8 @@
 //! by the superscalar and CP+CMP models), the two stream binaries (run by
 //! the CP and AP), and the CMAS thread binaries (run by the CMP).
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod cfg;
 pub mod cmas;

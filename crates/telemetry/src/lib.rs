@@ -23,6 +23,8 @@
 //! appends `Copy` structs to a `Vec` (bounded by [`EVENT_CAP`]); all
 //! formatting happens after the run via [`Telemetry::replay`].
 
+#![forbid(unsafe_code)]
+
 use hidisc_isa::Queue;
 use std::collections::VecDeque;
 

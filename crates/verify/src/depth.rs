@@ -1,0 +1,304 @@
+//! Depth bounding and capacity-deadlock detection (`DB001`, `DB002`).
+//!
+//! The first half computes, per FIFO, the worst-case *static occupancy*: the
+//! most values any single producer segment can enqueue before its consumer
+//! drains anything (queues start empty at segment entry for balanced pairs,
+//! so this bounds steady-state occupancy). A bound above the configured
+//! depth is the paper's Figure-10 deadlock precondition and is reported as
+//! the `DB001` warning, with the bound surfaced in [`crate::VerifyReport`]
+//! so `repro --scq-depth` sweeps can cite it.
+//!
+//! The second half decides deadlock *exactly* for each balanced segment
+//! pair: the two streams are run as a greedy two-thread simulation over
+//! bounded FIFOs. Blocking push/pop FIFOs are confluent — if any
+//! interleaving completes, maximal-progress does too — so a stuck greedy
+//! run is a real deadlock under the configured depths (`DB002`).
+
+use crate::skeleton::{QOp, Segment};
+use crate::{queue_index, Code, DepthConfig, Diagnostic, Loc, QueueBound, VerifyReport};
+use hidisc_isa::Queue;
+use hidisc_slicer::CmasThread;
+
+/// Runs the pass, filling `report.bounds` and appending diagnostics.
+/// `balanced[k]` gates the deadlock simulation of pair `k`: an imbalanced
+/// pair would block trivially and bury its `QB001` under a spurious
+/// `DB002`.
+pub fn check(
+    seg_cs: &[Segment],
+    seg_as: &[Segment],
+    balanced: &[bool],
+    cmas: &[CmasThread],
+    depths: DepthConfig,
+    report: &mut VerifyReport,
+) {
+    bounds(seg_cs, seg_as, cmas, depths, report);
+    for (k, ok) in balanced.iter().enumerate() {
+        if *ok {
+            simulate_pair(k, &seg_cs[k], &seg_as[k], depths, &mut report.diagnostics);
+        }
+    }
+}
+
+/// Computes the static occupancy bound for every queue and emits `DB001`
+/// where a bound exceeds the configured depth.
+fn bounds(
+    seg_cs: &[Segment],
+    seg_as: &[Segment],
+    cmas: &[CmasThread],
+    depths: DepthConfig,
+    report: &mut VerifyReport,
+) {
+    for q in Queue::ALL {
+        // Producer segments for this queue: AS for LDQ/CQ, CS for SDQ/CDQ,
+        // the CMAS thread programs for the SCQ.
+        let cmas_segs: Vec<(u32, Segment)> = if q == Queue::Scq {
+            cmas.iter()
+                .flat_map(|t| {
+                    crate::skeleton::segments(&t.prog)
+                        .into_iter()
+                        .map(move |s| (t.id, s))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let producer_segs: Vec<(Option<u32>, &Segment)> = match q {
+            Queue::Ldq | Queue::Cq => seg_as.iter().map(|s| (None, s)).collect(),
+            Queue::Sdq | Queue::Cdq => seg_cs.iter().map(|s| (None, s)).collect(),
+            Queue::Scq => cmas_segs.iter().map(|(id, s)| (Some(*id), s)).collect(),
+        };
+
+        let cap = depths.cap(q);
+        let mut bound = 0usize;
+        let mut overflow: Option<Loc> = None;
+        for (thread, seg) in producer_segs {
+            let pushes: Vec<u32> = seg
+                .ops
+                .iter()
+                .filter(|(_, op)| *op == QOp::Push(q))
+                .map(|&(pc, _)| pc)
+                .collect();
+            if pushes.len() > bound {
+                bound = pushes.len();
+                overflow = (pushes.len() > cap).then(|| {
+                    let pc = pushes[cap.min(pushes.len() - 1)];
+                    match (q, thread) {
+                        (Queue::Scq, Some(id)) => Loc::Cmas(id, pc),
+                        (Queue::Sdq | Queue::Cdq, _) => Loc::Cs(pc),
+                        _ => Loc::Access(pc),
+                    }
+                });
+            }
+        }
+        report.bounds.push(QueueBound {
+            queue: q,
+            bound,
+            cap,
+        });
+        if let Some(loc) = overflow {
+            report.diagnostics.push(Diagnostic {
+                code: Code::Db001,
+                loc,
+                queue: Some(q),
+                msg: format!(
+                    "static occupancy bound {bound} exceeds the configured {} depth {cap} \
+                     (deadlock precondition; this push cannot commit while the consumer \
+                     is still upstream)",
+                    q.name()
+                ),
+            });
+        }
+    }
+}
+
+/// Greedy two-thread simulation of one balanced segment pair under the
+/// configured depths. SCQ operations are excluded: its producer is the
+/// asynchronous CMP and the AS-side `scq_get` never blocks.
+fn simulate_pair(
+    k: usize,
+    sc: &Segment,
+    sa: &Segment,
+    depths: DepthConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let cs_ops: Vec<(u32, QOp)> = sc
+        .ops
+        .iter()
+        .filter(|(_, op)| op.queue() != Queue::Scq)
+        .copied()
+        .collect();
+    let as_ops: Vec<(u32, QOp)> = sa
+        .ops
+        .iter()
+        .filter(|(_, op)| op.queue() != Queue::Scq)
+        .copied()
+        .collect();
+
+    let mut occ = [0usize; Queue::ALL.len()];
+    let mut ic = 0usize;
+    let mut ia = 0usize;
+    let step = |i: &mut usize, ops: &[(u32, QOp)], occ: &mut [usize; 5]| -> bool {
+        let mut progressed = false;
+        while *i < ops.len() {
+            let (_, op) = ops[*i];
+            let qi = queue_index(op.queue());
+            match op {
+                QOp::Push(q) => {
+                    if occ[qi] >= depths.cap(q) {
+                        break;
+                    }
+                    occ[qi] += 1;
+                }
+                QOp::Pop(_) => {
+                    if occ[qi] == 0 {
+                        break;
+                    }
+                    occ[qi] -= 1;
+                }
+            }
+            *i += 1;
+            progressed = true;
+        }
+        progressed
+    };
+
+    loop {
+        let a = step(&mut ia, &as_ops, &mut occ);
+        let c = step(&mut ic, &cs_ops, &mut occ);
+        if ia == as_ops.len() && ic == cs_ops.len() {
+            return;
+        }
+        if !a && !c {
+            break;
+        }
+    }
+
+    // Deadlock: describe both stuck sides, anchor at the blocked AS op when
+    // the AS is among them.
+    let describe = |ops: &[(u32, QOp)], i: usize| -> Option<String> {
+        ops.get(i).map(|(_, op)| {
+            let q = op.queue();
+            if op.is_push() {
+                format!(
+                    "blocked pushing {} (full, depth {})",
+                    q.name(),
+                    depths.cap(q)
+                )
+            } else {
+                format!("blocked popping {} (empty)", q.name())
+            }
+        })
+    };
+    let a_desc = describe(&as_ops, ia);
+    let c_desc = describe(&cs_ops, ic);
+    let (loc, queue) = match a_desc.as_ref() {
+        Some(_) => (Loc::Access(as_ops[ia].0), Some(as_ops[ia].1.queue())),
+        None => (Loc::Cs(cs_ops[ic].0), Some(cs_ops[ic].1.queue())),
+    };
+    let mut parts = Vec::new();
+    if let Some(d) = a_desc {
+        parts.push(format!("access stream {d}"));
+    }
+    if let Some(d) = c_desc {
+        parts.push(format!("computation stream {d}"));
+    }
+    out.push(Diagnostic {
+        code: Code::Db002,
+        loc,
+        queue,
+        msg: format!(
+            "segment {k} deadlocks under the configured depths: {}",
+            parts.join("; ")
+        ),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeleton::segments;
+    use hidisc_isa::asm::assemble;
+
+    fn shallow(ldq: usize, sdq: usize) -> DepthConfig {
+        DepthConfig {
+            ldq,
+            sdq,
+            ..DepthConfig::paper()
+        }
+    }
+
+    fn run(cs_src: &str, as_src: &str, depths: DepthConfig) -> VerifyReport {
+        let cs = assemble("cs", cs_src).unwrap();
+        let access = assemble("as", as_src).unwrap();
+        let sc = segments(&cs);
+        let sa = segments(&access);
+        let balanced = vec![true; sc.len().min(sa.len())];
+        let mut report = VerifyReport::default();
+        check(&sc, &sa, &balanced, &[], depths, &mut report);
+        report
+    }
+
+    #[test]
+    fn bounds_track_max_pushes_per_segment() {
+        let r = run(
+            "recv r4, LDQ\nrecv r5, LDQ\nhalt",
+            "ld.q LDQ, 0(r2)\nld.q LDQ, 8(r2)\nhalt",
+            DepthConfig::paper(),
+        );
+        let ldq = r.bounds.iter().find(|b| b.queue == Queue::Ldq).unwrap();
+        assert_eq!(ldq.bound, 2);
+        assert_eq!(ldq.cap, 32);
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn over_depth_warns_db001() {
+        let r = run(
+            "recv r4, LDQ\nrecv r5, LDQ\nrecv r6, LDQ\nhalt",
+            "ld.q LDQ, 0(r2)\nld.q LDQ, 8(r2)\nld.q LDQ, 16(r2)\nhalt",
+            shallow(2, 32),
+        );
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::Db001)
+            .expect("DB001");
+        // The third push (pc 2) is the first that cannot commit.
+        assert_eq!(d.loc, Loc::Access(2));
+        assert_eq!(d.queue, Some(Queue::Ldq));
+        // Bound still completes without deadlock: the consumer pops
+        // interleave, so DB002 must NOT fire.
+        assert!(!r.diagnostics.iter().any(|d| d.code == Code::Db002));
+    }
+
+    #[test]
+    fn crossed_bursts_deadlock_db002() {
+        // AS pushes 3 LDQ values then pops 3 SDQ; CS pushes 3 SDQ then
+        // pops 3 LDQ. Balanced, but with depth 2 both sides block.
+        let r = run(
+            "send SDQ, r1\nsend SDQ, r1\nsend SDQ, r1\nrecv r4, LDQ\nrecv r5, LDQ\nrecv r6, LDQ\nhalt",
+            "ld.q LDQ, 0(r2)\nld.q LDQ, 8(r2)\nld.q LDQ, 16(r2)\nrecv r3, SDQ\nrecv r3, SDQ\nrecv r3, SDQ\nhalt",
+            shallow(2, 2),
+        );
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::Db002)
+            .expect("DB002");
+        // AS blocks at its third LDQ push.
+        assert_eq!(d.loc, Loc::Access(2));
+        assert_eq!(d.queue, Some(Queue::Ldq));
+        assert!(d.msg.contains("access stream blocked pushing LDQ"));
+        assert!(d.msg.contains("computation stream blocked pushing SDQ"));
+    }
+
+    #[test]
+    fn same_shape_completes_at_paper_depths() {
+        let r = run(
+            "send SDQ, r1\nsend SDQ, r1\nsend SDQ, r1\nrecv r4, LDQ\nrecv r5, LDQ\nrecv r6, LDQ\nhalt",
+            "ld.q LDQ, 0(r2)\nld.q LDQ, 8(r2)\nld.q LDQ, 16(r2)\nrecv r3, SDQ\nrecv r3, SDQ\nrecv r3, SDQ\nhalt",
+            DepthConfig::paper(),
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+}

@@ -1,0 +1,223 @@
+//! Slice-liveness checking (`LV001`).
+//!
+//! A register that is live across the CP/AP cut must either be
+//! communicated through a queue (LDQ/CDQ receive) or rematerialised by
+//! duplicated computation in the consuming stream. When the slicer gets
+//! this wrong, the consuming stream reads a register it never wrote — the
+//! value silently defaults to whatever the register file was initialised
+//! with, and the run diverges from the original program.
+//!
+//! The pass runs a *must-initialised* forward dataflow over each program's
+//! CFG: the lattice is the powerset of the 64 architectural registers
+//! (a `u64` bitmask, integer registers in bits 0–31, FP in 32–63) ordered
+//! by ⊇, the meet at joins is set intersection, and an instruction's
+//! transfer adds its defined register. Reads outside the must-init set are
+//! *maybe-uninitialised*. Because workloads legitimately read
+//! environment-provided registers (base addresses, parameters, cleared
+//! accumulators), a stream read is only an error when the **original**
+//! program could never make the same uninitialised read: the baseline is
+//! the original's own maybe-uninit set, and `LV001` fires on the
+//! difference.
+
+use crate::{Code, Diagnostic, Loc};
+use hidisc_isa::{Program, RegRef};
+use hidisc_slicer::cfg::Cfg;
+
+fn bit(r: RegRef) -> u64 {
+    match r {
+        RegRef::Int(r) => 1u64 << r.index(),
+        RegRef::Fp(r) => 1u64 << (32 + r.index()),
+    }
+}
+
+/// All maybe-uninitialised reads of a program: for every register with at
+/// least one read outside the must-init set, the smallest instruction
+/// index of such a read. Sorted by instruction index.
+pub fn maybe_uninit_reads(prog: &Program) -> Vec<(RegRef, u32)> {
+    if prog.is_empty() {
+        return Vec::new();
+    }
+    let cfg = Cfg::build(prog);
+    let reachable = cfg.reachable();
+    let nb = cfg.len();
+
+    let transfer = |blk: usize, mut mask: u64| -> u64 {
+        for pc in cfg.blocks[blk].range() {
+            if let Some(d) = prog.instr(pc).def() {
+                mask |= bit(d);
+            }
+        }
+        mask
+    };
+
+    // Entry starts with nothing initialised; everything else starts at top
+    // (all-initialised) and is lowered by the intersection meet.
+    let top = !0u64;
+    let mut inset = vec![top; nb];
+    inset[0] = 0;
+    let mut outset: Vec<u64> = (0..nb).map(|b| transfer(b, inset[b])).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            if !reachable[b] {
+                continue;
+            }
+            let mut meet = if b == 0 { 0 } else { top };
+            for &p in &cfg.blocks[b].preds {
+                if reachable[p] {
+                    meet &= outset[p];
+                }
+            }
+            if b == 0 {
+                meet = 0;
+            }
+            if meet != inset[b] {
+                inset[b] = meet;
+                changed = true;
+            }
+            let new_out = transfer(b, inset[b]);
+            if new_out != outset[b] {
+                outset[b] = new_out;
+                changed = true;
+            }
+        }
+    }
+
+    let mut first: Vec<(RegRef, u32)> = Vec::new();
+    for b in 0..nb {
+        if !reachable[b] {
+            continue;
+        }
+        let mut mask = inset[b];
+        for pc in cfg.blocks[b].range() {
+            let i = prog.instr(pc);
+            for u in i.uses().into_iter().flatten() {
+                if mask & bit(u) == 0 {
+                    match first.iter_mut().find(|(r, _)| *r == u) {
+                        Some((_, at)) => *at = (*at).min(pc),
+                        None => first.push((u, pc)),
+                    }
+                }
+            }
+            if let Some(d) = i.def() {
+                mask |= bit(d);
+            }
+        }
+    }
+    first.sort_by_key(|&(_, pc)| pc);
+    first
+}
+
+/// Emits `LV001` for every register a stream may read uninitialised even
+/// though the original program never could.
+pub fn check(orig: &Program, cs: &Program, access: &Program, out: &mut Vec<Diagnostic>) {
+    let base: u64 = maybe_uninit_reads(orig)
+        .iter()
+        .fold(0, |m, &(r, _)| m | bit(r));
+    for (prog, stream, mk) in [
+        (cs, "computation", Loc::Cs as fn(u32) -> Loc),
+        (access, "access", Loc::Access as fn(u32) -> Loc),
+    ] {
+        for (r, pc) in maybe_uninit_reads(prog) {
+            if base & bit(r) == 0 {
+                out.push(Diagnostic {
+                    code: Code::Lv001,
+                    loc: mk(pc),
+                    queue: None,
+                    msg: format!(
+                        "{r} may be read uninitialised in the {stream} stream but is always \
+                         initialised in the original program — the value was lost across the \
+                         CP/AP cut and must be communicated through a queue or recomputed"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+    use hidisc_isa::IntReg;
+
+    #[test]
+    fn straight_line_reads_before_defs() {
+        let p = assemble("t", "add r2, r1, r1\nli r1, 5\nadd r3, r1, r1\nhalt").unwrap();
+        let reads = maybe_uninit_reads(&p);
+        assert_eq!(reads, vec![(RegRef::Int(IntReg::new(1)), 0)]);
+    }
+
+    #[test]
+    fn join_requires_init_on_all_paths() {
+        // r2 is set on only one arm of a diamond, then read at the join.
+        let p = assemble(
+            "t",
+            r"
+            beq r1, r0, skip
+            li r2, 1
+        skip:
+            add r3, r2, r2
+            halt
+        ",
+        )
+        .unwrap();
+        let reads = maybe_uninit_reads(&p);
+        assert!(reads.contains(&(RegRef::Int(IntReg::new(1)), 0)));
+        assert!(reads
+            .iter()
+            .any(|&(r, pc)| r == RegRef::Int(IntReg::new(2)) && pc == 2));
+    }
+
+    #[test]
+    fn loop_defs_reach_back_edge_reads() {
+        // r2 is defined before the loop and updated inside: never uninit.
+        let p = assemble(
+            "t",
+            r"
+            li r2, 0
+        l:
+            add r2, r2, 1
+            bne r2, r1, l
+            halt
+        ",
+        )
+        .unwrap();
+        let reads = maybe_uninit_reads(&p);
+        assert!(!reads.iter().any(|&(r, _)| r == RegRef::Int(IntReg::new(2))));
+        assert!(reads.iter().any(|&(r, _)| r == RegRef::Int(IntReg::new(1))));
+    }
+
+    #[test]
+    fn recv_initialises_its_destination() {
+        let p = assemble("t", "recv r4, LDQ\nadd r5, r4, r4\nhalt").unwrap();
+        assert!(maybe_uninit_reads(&p).is_empty());
+    }
+
+    #[test]
+    fn stream_only_uninit_read_is_lv001() {
+        // Original: r2 defined, then used as a store address.
+        let orig = assemble("t", "li r2, 64\nsd r2, 0(r2)\nhalt").unwrap();
+        // Broken AS: uses r2 without the li (and without a queue receive).
+        let access = assemble("as", "sd r2, 0(r2)\nhalt").unwrap();
+        let cs = assemble("cs", "halt").unwrap();
+        let mut out = Vec::new();
+        check(&orig, &cs, &access, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::Lv001);
+        assert_eq!(out[0].loc, Loc::Access(0));
+    }
+
+    #[test]
+    fn env_provided_registers_are_exempt() {
+        // The original itself reads r1 uninitialised (an env parameter), so
+        // the streams doing the same is fine.
+        let orig = assemble("t", "add r2, r1, r1\nhalt").unwrap();
+        let access = assemble("as", "add r2, r1, r1\nhalt").unwrap();
+        let cs = assemble("cs", "halt").unwrap();
+        let mut out = Vec::new();
+        check(&orig, &cs, &access, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Stream segmentation and queue-direction checking.
+//!
+//! The builder emits the Computation and Access streams with *isomorphic
+//! control skeletons*: every control instruction of the original program
+//! appears in both streams (branch as `push_cq`-annotated branch in the AS
+//! and consume-branch in the CS; jumps and halts replicated verbatim), so
+//! splitting each stream at its control instructions yields an equal number
+//! of *segments* whose k-th entries correspond. All balance and depth
+//! checking works over this decomposition.
+
+use crate::{Code, Diagnostic, Loc};
+use hidisc_isa::{Program, Queue};
+
+/// One abstract queue operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QOp {
+    Push(Queue),
+    Pop(Queue),
+}
+
+impl QOp {
+    /// The queue operated on.
+    pub fn queue(self) -> Queue {
+        match self {
+            QOp::Push(q) | QOp::Pop(q) => q,
+        }
+    }
+
+    /// True for pushes.
+    pub fn is_push(self) -> bool {
+        matches!(self, QOp::Push(_))
+    }
+}
+
+/// A maximal run of instructions ending at (and including) a control
+/// instruction, with its queue operations in program order.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// First instruction index of the segment.
+    pub start: u32,
+    /// Instruction index of the terminating control instruction; `None`
+    /// only for programs that do not end in control (invalid programs —
+    /// kept so the verifier never panics on malformed input).
+    pub ctrl: Option<u32>,
+    /// Queue operations `(pc, op)` in commit order. An instruction's pops
+    /// precede its pushes.
+    pub ops: Vec<(u32, QOp)>,
+}
+
+/// Splits a stream into control segments and collects each segment's queue
+/// operations (instruction pops/pushes plus the `push_cq`/`scq_get`
+/// annotation-borne operations).
+pub fn segments(prog: &Program) -> Vec<Segment> {
+    let mut segs = Vec::new();
+    let mut cur = Segment {
+        start: 0,
+        ctrl: None,
+        ops: Vec::new(),
+    };
+    for pc in 0..prog.len() {
+        let i = prog.instr(pc);
+        let a = prog.annot(pc);
+        for q in a.queue_pops(i).into_iter().flatten() {
+            cur.ops.push((pc, QOp::Pop(q)));
+        }
+        for q in a.queue_pushes(i).into_iter().flatten() {
+            cur.ops.push((pc, QOp::Push(q)));
+        }
+        if i.is_control() {
+            cur.ctrl = Some(pc);
+            segs.push(std::mem::replace(
+                &mut cur,
+                Segment {
+                    start: pc + 1,
+                    ctrl: None,
+                    ops: Vec::new(),
+                },
+            ));
+        }
+    }
+    if cur.start < prog.len() {
+        segs.push(cur);
+    }
+    segs
+}
+
+/// Maps every instruction index to the segment containing it.
+pub fn seg_of(segs: &[Segment], len: u32) -> Vec<usize> {
+    let mut map = vec![usize::MAX; len as usize];
+    for (k, seg) in segs.iter().enumerate() {
+        let end = seg.ctrl.map(|c| c + 1).unwrap_or(len);
+        for pc in seg.start..end {
+            map[pc as usize] = k;
+        }
+    }
+    map
+}
+
+/// Which side of the CP/AP cut a stream binary runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    Cs,
+    Access,
+}
+
+/// True when `op` transfers data in the architected direction for `side`.
+/// LDQ and CQ flow AP→CP; SDQ and CDQ flow CP→AP; the SCQ is produced by
+/// the CMP and consumed by the AP, so streams may only pop it on the AP.
+pub fn direction_ok(side: Side, op: QOp) -> bool {
+    matches!(
+        (side, op),
+        (Side::Cs, QOp::Push(Queue::Sdq | Queue::Cdq))
+            | (Side::Cs, QOp::Pop(Queue::Ldq | Queue::Cq))
+            | (Side::Access, QOp::Push(Queue::Ldq | Queue::Cq))
+            | (Side::Access, QOp::Pop(Queue::Sdq | Queue::Cdq | Queue::Scq))
+    )
+}
+
+/// Emits `QB004` for every queue operation appearing in the wrong stream
+/// for its transfer direction.
+pub fn check_directions(seg_cs: &[Segment], seg_as: &[Segment], out: &mut Vec<Diagnostic>) {
+    for (side, segs) in [(Side::Cs, seg_cs), (Side::Access, seg_as)] {
+        for seg in segs {
+            for &(pc, op) in &seg.ops {
+                if !direction_ok(side, op) {
+                    let loc = match side {
+                        Side::Cs => Loc::Cs(pc),
+                        Side::Access => Loc::Access(pc),
+                    };
+                    let (verb, role, owner) = match op {
+                        QOp::Push(_) => ("pushes", "producer", producer_name(op.queue())),
+                        QOp::Pop(_) => ("pops", "consumer", consumer_name(op.queue())),
+                    };
+                    out.push(Diagnostic {
+                        code: Code::Qb004,
+                        loc,
+                        queue: Some(op.queue()),
+                        msg: format!(
+                            "{} stream {verb} {}, but its architected {role} is the {owner}",
+                            side_name(side),
+                            op.queue().name(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Emits `QB004` for every queue operation in the sequential original
+/// program. The architectural FIFOs exist only *between* the sliced
+/// streams; a source program that already operates on them cannot be
+/// profiled (the functional interpreter has no queues) or sliced
+/// meaningfully, so the verifier rejects it up front.
+pub fn check_original(prog: &Program, out: &mut Vec<Diagnostic>) {
+    // Only instruction-borne operations count: the slicer stamps
+    // annotation metadata (`scq_get`, `push_cq`) onto its copy of the
+    // original, and those annotations describe the *streams*, not the
+    // sequential program itself.
+    for pc in 0..prog.len() {
+        let i = prog.instr(pc);
+        for (q, verb) in [(i.queue_push(), "pushes"), (i.queue_pop(), "pops")] {
+            if let Some(q) = q {
+                out.push(Diagnostic {
+                    code: Code::Qb004,
+                    loc: Loc::Original(pc),
+                    queue: Some(q),
+                    msg: format!(
+                        "sequential program {verb} {} — architectural queues exist only \
+                         between the sliced streams",
+                        q.name(),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn side_name(side: Side) -> &'static str {
+    match side {
+        Side::Cs => "computation",
+        Side::Access => "access",
+    }
+}
+
+fn producer_name(q: Queue) -> &'static str {
+    match q {
+        Queue::Ldq | Queue::Cq => "access processor",
+        Queue::Sdq | Queue::Cdq => "computation processor",
+        Queue::Scq => "cache management processor",
+    }
+}
+
+fn consumer_name(q: Queue) -> &'static str {
+    match q {
+        Queue::Ldq | Queue::Cq => "computation processor",
+        Queue::Sdq | Queue::Cdq | Queue::Scq => "access processor",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+
+    #[test]
+    fn segments_split_at_control() {
+        let p = assemble(
+            "t",
+            r"
+            li r1, 3
+        l:
+            sub r1, r1, 1
+            bne r1, r0, l
+            halt
+        ",
+        )
+        .unwrap();
+        let segs = segments(&p);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs[0].ctrl, Some(2));
+        assert_eq!(segs[1].ctrl, Some(3));
+        let map = seg_of(&segs, p.len());
+        assert_eq!(map, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn ops_collected_in_commit_order() {
+        let p = assemble("t", "recv r4, LDQ\nsend SDQ, r4\nhalt").unwrap();
+        let segs = segments(&p);
+        assert_eq!(
+            segs[0].ops,
+            vec![(0, QOp::Pop(Queue::Ldq)), (1, QOp::Push(Queue::Sdq))]
+        );
+    }
+
+    #[test]
+    fn annotation_ops_are_collected() {
+        // An AS latch branch with push_cq and scq_get carries two
+        // annotation-borne queue ops.
+        let mut p = assemble("t", "beq r0, r0, 1\nhalt").unwrap();
+        p.annot_mut(0).push_cq = true;
+        p.annot_mut(0).scq_get = true;
+        let segs = segments(&p);
+        assert_eq!(
+            segs[0].ops,
+            vec![(0, QOp::Pop(Queue::Scq)), (0, QOp::Push(Queue::Cq))]
+        );
+    }
+
+    #[test]
+    fn direction_table() {
+        assert!(direction_ok(Side::Access, QOp::Push(Queue::Ldq)));
+        assert!(direction_ok(Side::Cs, QOp::Pop(Queue::Ldq)));
+        assert!(direction_ok(Side::Cs, QOp::Push(Queue::Sdq)));
+        assert!(direction_ok(Side::Access, QOp::Pop(Queue::Sdq)));
+        assert!(direction_ok(Side::Access, QOp::Pop(Queue::Scq)));
+        assert!(!direction_ok(Side::Cs, QOp::Push(Queue::Ldq)));
+        assert!(!direction_ok(Side::Access, QOp::Pop(Queue::Ldq)));
+        assert!(!direction_ok(Side::Cs, QOp::Pop(Queue::Scq)));
+        assert!(!direction_ok(Side::Access, QOp::Push(Queue::Scq)));
+    }
+
+    #[test]
+    fn queue_op_in_the_original_reported() {
+        let orig = assemble("t", "li r1, 1\nsend LDQ, r1\nhalt").unwrap();
+        let mut out = Vec::new();
+        check_original(&orig, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::Qb004);
+        assert_eq!(out[0].loc, Loc::Original(1));
+        assert_eq!(out[0].queue, Some(Queue::Ldq));
+
+        let clean = assemble("t", "li r1, 1\nsd r1, 0(r2)\nhalt").unwrap();
+        let mut out = Vec::new();
+        check_original(&clean, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wrong_direction_reported() {
+        // CS pushing the LDQ is backwards.
+        let cs = assemble("cs", "send LDQ, r1\nhalt").unwrap();
+        let a = assemble("as", "halt").unwrap();
+        let mut out = Vec::new();
+        check_directions(&segments(&cs), &segments(&a), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::Qb004);
+        assert_eq!(out[0].loc, Loc::Cs(0));
+        assert_eq!(out[0].queue, Some(Queue::Ldq));
+    }
+}

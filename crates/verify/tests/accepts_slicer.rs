@@ -1,0 +1,92 @@
+//! Property test: the verifier accepts the slicer's output for every
+//! shipped workload, with zero errors — and non-vacuously so (at least one
+//! queue analysed per program, and the workloads collectively exercise
+//! every pass input: CMAS threads, control queues, both data directions).
+
+#![forbid(unsafe_code)]
+
+use hidisc_slicer::{CompilerConfig, ExecEnv};
+use hidisc_verify::{compile_verified, verify, DepthConfig, VerifyInput};
+use hidisc_workloads::{by_name, names, Scale};
+
+fn env_of(w: &hidisc_workloads::Workload) -> ExecEnv {
+    ExecEnv {
+        regs: w.regs.clone(),
+        mem: w.mem.clone(),
+        max_steps: w.max_steps,
+    }
+}
+
+#[test]
+fn every_workload_verifies_clean_at_test_scale() {
+    let mut analysed_total = 0usize;
+    let mut with_cmas = 0usize;
+    for &name in names() {
+        for seed in [0u64, 1] {
+            let w = by_name(name, Scale::Test, seed).unwrap();
+            let env = env_of(&w);
+            let cfg = CompilerConfig::default();
+            let compiled = hidisc_slicer::compile(&w.prog, &env, &cfg)
+                .unwrap_or_else(|e| panic!("{name} (seed {seed}) failed to compile: {e}"));
+            let report = verify(&VerifyInput::of(&compiled, DepthConfig::paper()));
+            let errors: Vec<String> = report.errors().map(|d| d.to_string()).collect();
+            assert!(
+                errors.is_empty(),
+                "{name} (seed {seed}) rejected by the verifier:\n{}",
+                errors.join("\n")
+            );
+            // Non-vacuous: something was actually analysed.
+            assert!(
+                report.queues_analysed >= 1,
+                "{name} (seed {seed}): no queue operations analysed"
+            );
+            assert!(report.segments >= 1);
+            analysed_total += report.queues_analysed;
+            with_cmas += usize::from(!compiled.cmas.is_empty());
+        }
+    }
+    // Across the suite the analysis must have seen a healthy mix of
+    // queues and at least one CMAS-bearing workload (so the purity pass
+    // ran on real slices).
+    assert!(analysed_total >= names().len(), "{analysed_total}");
+    assert!(with_cmas >= 1, "no workload produced CMAS threads");
+}
+
+#[test]
+fn compile_verified_matches_plain_compile_and_reports_bounds() {
+    let w = by_name("dm", Scale::Test, 0).unwrap();
+    let env = env_of(&w);
+    let cfg = CompilerConfig::default();
+    let (compiled, report) =
+        compile_verified(&w.prog, &env, &cfg, DepthConfig::paper()).expect("dm must verify clean");
+    assert!(compiled.cs.len() + compiled.access.len() > 0);
+    // All five queues get a bound row, each within the paper depths.
+    assert_eq!(report.bounds.len(), 5);
+    for b in &report.bounds {
+        assert!(
+            b.bound <= b.cap,
+            "{} bound {} exceeds cap {}",
+            b.queue.name(),
+            b.bound,
+            b.cap
+        );
+    }
+}
+
+#[test]
+fn paper_scale_suite_heads_verify_clean() {
+    // A slice of the Paper-scale suite as a deeper spot check (full
+    // Paper-scale compiles re-profile every workload and would dominate
+    // test time).
+    for name in ["dm", "pointer"] {
+        let w = by_name(name, Scale::Paper, 0).unwrap();
+        let env = env_of(&w);
+        let compiled = hidisc_slicer::compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+        let report = verify(&VerifyInput::of(&compiled, DepthConfig::paper()));
+        assert!(
+            report.no_errors(),
+            "{name} at Paper scale: {:?}",
+            report.errors().collect::<Vec<_>>()
+        );
+    }
+}

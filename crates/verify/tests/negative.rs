@@ -1,0 +1,169 @@
+//! Negative golden corpus: four hand-built broken program triples, each
+//! asserting the exact diagnostic code and location the verifier must
+//! report. These are the documented failure modes of DESIGN.md §15 and the
+//! programs the README's `repro check` walkthrough references.
+
+#![forbid(unsafe_code)]
+
+use hidisc_isa::asm::assemble;
+use hidisc_isa::{Instr, Queue};
+use hidisc_slicer::CmasThread;
+use hidisc_verify::{verify, Code, DepthConfig, Loc, VerifyInput};
+
+fn input<'a>(
+    cs: &'a hidisc_isa::Program,
+    access: &'a hidisc_isa::Program,
+    cmas: &'a [CmasThread],
+    depths: DepthConfig,
+) -> VerifyInput<'a> {
+    VerifyInput {
+        original: None,
+        cs,
+        access,
+        cmas,
+        depths,
+    }
+}
+
+/// 1. Unbalanced push/pop: the AS pushes two LDQ values per pass, the CS
+///    pops only one. The second push (as@1) has no counterpart.
+#[test]
+fn unbalanced_push_pop_is_qb001_at_the_surplus_push() {
+    let access = assemble("as", "ld.q LDQ, 0(r2)\nld.q LDQ, 8(r2)\nhalt").unwrap();
+    let cs = assemble("cs", "recv r4, LDQ\nhalt").unwrap();
+    let r = verify(&input(&cs, &access, &[], DepthConfig::paper()));
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::Qb001)
+        .expect("QB001 must fire");
+    assert_eq!(d.loc, Loc::Access(1));
+    assert_eq!(d.queue, Some(Queue::Ldq));
+    assert!(!r.no_errors());
+}
+
+/// 2. Storing CMAS: a prefetch thread with an architectural store. The
+///    store is at cmas0@1, after a legitimate pointer-chase load.
+#[test]
+fn storing_cmas_is_cm001_at_the_store() {
+    let mut prog = assemble("cmas", "ld r1, 0(r1)\nsd r1, 8(r1)\npref 0(r1)\nhalt").unwrap();
+    for pc in 0..prog.len() {
+        if !matches!(prog.instr(pc), Instr::Halt) {
+            prog.annot_mut(pc).cmas = true;
+        }
+    }
+    let thread = CmasThread {
+        id: 0,
+        prog,
+        loop_header: 0,
+    };
+    let cs = assemble("cs", "halt").unwrap();
+    let access = assemble("as", "halt").unwrap();
+    let threads = [thread];
+    let r = verify(&input(&cs, &access, &threads, DepthConfig::paper()));
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::Cm001)
+        .expect("CM001 must fire");
+    assert_eq!(d.loc, Loc::Cmas(0, 1));
+    assert!(!r.no_errors());
+}
+
+/// 3. Over-depth loop: each iteration bursts three LDQ pushes before the
+///    three SDQ pops while the CS does the mirror image. Balanced — but
+///    with both depths configured at 2 neither burst can complete: the AS
+///    blocks on its third LDQ push (as@2) while the CS blocks on its third
+///    SDQ push. `DB001` warns about the precondition (bound 3 > depth 2)
+///    and `DB002` reports the deadlock itself.
+#[test]
+fn over_depth_loop_is_db002_at_the_blocked_push() {
+    let mut access = assemble(
+        "as",
+        r"
+        loop:
+            ld.q LDQ, 0(r2)
+            ld.q LDQ, 8(r2)
+            ld.q LDQ, 16(r2)
+            recv r3, SDQ
+            recv r3, SDQ
+            recv r3, SDQ
+            bne r1, r0, loop
+            halt
+        ",
+    )
+    .unwrap();
+    access.annot_mut(6).push_cq = true;
+    let cs = assemble(
+        "cs",
+        r"
+        loop:
+            send SDQ, r5
+            send SDQ, r5
+            send SDQ, r5
+            recv r4, LDQ
+            recv r4, LDQ
+            recv r4, LDQ
+            cbr loop
+            halt
+        ",
+    )
+    .unwrap();
+    let depths = DepthConfig {
+        ldq: 2,
+        sdq: 2,
+        ..DepthConfig::paper()
+    };
+    let r = verify(&input(&cs, &access, &[], depths));
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::Db002)
+        .expect("DB002 must fire");
+    assert_eq!(d.loc, Loc::Access(2));
+    assert_eq!(d.queue, Some(Queue::Ldq));
+    let warn = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::Db001)
+        .expect("DB001 precondition warning must fire too");
+    assert_eq!(warn.queue, Some(Queue::Ldq));
+    // The same pair is clean at the paper depths.
+    let clean = verify(&input(&cs, &access, &[], DepthConfig::paper()));
+    assert!(clean.is_clean(), "{:?}", clean.diagnostics);
+}
+
+/// 4. Cross-slice uninit read: the original initialises the store address
+///    in a computation-side `li` before storing through it; the broken AS
+///    reads the address register without ever receiving it (as@0).
+#[test]
+fn cross_slice_uninit_read_is_lv001_at_the_read() {
+    let orig = assemble("t", "li r2, 64\nsd r2, 0(r2)\nhalt").unwrap();
+    let access = assemble("as", "sd r2, 0(r2)\nhalt").unwrap();
+    let cs = assemble("cs", "halt").unwrap();
+    let r = verify(&VerifyInput {
+        original: Some(&orig),
+        cs: &cs,
+        access: &access,
+        cmas: &[],
+        depths: DepthConfig::paper(),
+    });
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::Lv001)
+        .expect("LV001 must fire");
+    assert_eq!(d.loc, Loc::Access(0));
+    assert!(d.msg.contains("r2"));
+    assert!(!r.no_errors());
+}
+
+/// The diagnostic rendering the CLI and the service surface is stable.
+#[test]
+fn rendered_diagnostics_carry_code_stream_and_queue() {
+    let access = assemble("as", "ld.q LDQ, 0(r2)\nld.q LDQ, 8(r2)\nhalt").unwrap();
+    let cs = assemble("cs", "recv r4, LDQ\nhalt").unwrap();
+    let r = verify(&input(&cs, &access, &[], DepthConfig::paper()));
+    let text = r.diagnostics[0].to_string();
+    assert!(text.starts_with("error[QB001] as@1 (LDQ):"), "{text}");
+}

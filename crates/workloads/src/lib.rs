@@ -25,6 +25,8 @@
 //! register/memory state, and a Rust *reference result* recomputed
 //! natively so tests can verify the kernel end-to-end.
 
+#![forbid(unsafe_code)]
+
 pub mod cornerturn;
 pub mod dm;
 pub mod field;

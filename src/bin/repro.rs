@@ -2,7 +2,7 @@
 //! and serves the simulator as an HTTP service (`repro serve`).
 //!
 //! ```text
-//! repro [params|fig8|table2|fig9|fig10|ablate|all|serve]
+//! repro [params|fig8|table2|fig9|fig10|check|ablate|all|serve]
 //!       [--format text|csv] [--scale test|paper|large] [--seed N]
 //!       [--threads N] [--l2-lat N] [--mem-lat N] [--scq-depth N]
 //!       [--scheduler ready|scan]
@@ -161,7 +161,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [{}] \
-                     [report|diag|trace|telemetry <workload>] \
+                     [report|diag|trace|check|telemetry <workload>] \
                      [--format text|csv] [--scale test|paper|large] [--seed N] [--threads N] \
                      [--l2-lat N] [--mem-lat N] [--scq-depth N] [--scheduler ready|scan] \
                      [--trace <out.json>] [--trace-filter <cat,..|all>] [--metrics-interval N] \
@@ -198,7 +198,12 @@ fn parse_args() -> Args {
         eprintln!("unknown command `{}` (use {})", cmd, COMMANDS.join("|"));
         std::process::exit(2);
     }
-    if arg.is_some() && !matches!(cmd.as_str(), "trace" | "report" | "diag" | "telemetry") {
+    if arg.is_some()
+        && !matches!(
+            cmd.as_str(),
+            "trace" | "report" | "diag" | "check" | "telemetry"
+        )
+    {
         eprintln!("command `{cmd}` takes no argument (see --help)");
         std::process::exit(2);
     }
@@ -230,7 +235,7 @@ fn parse_args() -> Args {
 }
 
 /// Every subcommand, in help order.
-const COMMANDS: [&str; 16] = [
+const COMMANDS: [&str; 17] = [
     "params",
     "fig8",
     "table2",
@@ -240,6 +245,7 @@ const COMMANDS: [&str; 16] = [
     "trace",
     "report",
     "diag",
+    "check",
     "telemetry",
     "micro",
     "extras",
@@ -438,6 +444,14 @@ fn main() {
         "diag" => {
             let name = args.arg.as_deref().unwrap_or("update");
             print!("{}", bench::diagnostics(name, args.scale, args.seed));
+        }
+        "check" => {
+            let name = args.arg.as_deref().unwrap_or("update");
+            let check = bench::check_workload(name, args.scale, args.seed, bench::depths_of(&cfg));
+            print!("{}", check.render(csv));
+            if !check.passed() {
+                std::process::exit(1);
+            }
         }
         "telemetry" => {
             let name = args.arg.as_deref().unwrap_or("pointer");

@@ -5,6 +5,8 @@
 //! normally depend on the individual crates (`hidisc`, `hidisc-isa`, ...)
 //! directly.
 
+#![forbid(unsafe_code)]
+
 pub use hidisc;
 pub use hidisc_isa as isa;
 pub use hidisc_lang as lang;

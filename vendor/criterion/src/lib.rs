@@ -9,6 +9,8 @@
 //! median ns/iter plus derived throughput. Good enough for before/after
 //! comparisons on one machine; not a substitute for real criterion.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Work per `Bencher::iter` call, used to derive throughput lines.

@@ -15,6 +15,8 @@
 //!   ignored);
 //! - `prop_assert!` panics rather than returning a `TestCaseError`.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Deterministic case generation and per-test configuration.
 

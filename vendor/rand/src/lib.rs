@@ -10,6 +10,8 @@
 //! is fine: every expected result in this repo is recomputed natively
 //! from the same generated data).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core entropy source: a stream of `u64`s.
