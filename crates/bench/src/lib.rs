@@ -27,6 +27,7 @@ use std::ops::ControlFlow;
 use std::sync::Arc;
 
 pub mod pool;
+pub mod sampling;
 
 /// All four models of one benchmark under one machine configuration.
 #[derive(Debug, Clone)]

@@ -17,10 +17,17 @@
 use crate::dynamic::{DynamicConfig, SliceFilter, SlipController};
 use hidisc_isa::instr::Src;
 use hidisc_isa::interp::RegFile;
+use hidisc_isa::wire::{Dec, Enc, WireError, WireResult};
 use hidisc_isa::{Instr, IsaError, Program, Queue, Result};
 use hidisc_mem::AccessKind;
 use hidisc_ooo::{CoreCtx, TriggerFork};
 use hidisc_telemetry::{Category, EventData, Telemetry};
+
+/// Instructions one thread may execute in a single warm-phase iteration.
+/// Warm mode drains each thread until it blocks or completes (see
+/// `CmpEngine::warm_step`); this cap only bounds a hypothetical
+/// non-terminating slice, it is never reached by compiler-produced CMAS.
+const WARM_BURST: u32 = 4096;
 
 /// CMP configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -279,6 +286,21 @@ impl CmpEngine {
 
     /// Advances the engine one cycle.
     pub fn step(&mut self, now: u64, ctx: &mut CoreCtx<'_>) -> Result<()> {
+        self.step_impl(now, ctx, false)
+    }
+
+    /// Functional variant for sampled simulation's warm phases: the same
+    /// interpreter with timing idealised away — threads never wait on
+    /// `busy_until`, and memory traffic goes through the latency-free
+    /// [`MemSystem::warm_access`] path (no MSHR occupancy, no rejects) so
+    /// the engine keeps pace with warm-mode cores committing many
+    /// instructions per machine iteration. The SCQ run-ahead discipline
+    /// still applies — it bounds architectural queue state, not timing.
+    pub fn warm_step(&mut self, now: u64, ctx: &mut CoreCtx<'_>) -> Result<()> {
+        self.step_impl(now, ctx, true)
+    }
+
+    fn step_impl(&mut self, now: u64, ctx: &mut CoreCtx<'_>, warm: bool) -> Result<()> {
         if self.threads.is_empty() {
             return Ok(());
         }
@@ -289,19 +311,36 @@ impl CmpEngine {
         // Round-robin starting point rotates for fairness.
         self.rr = if n == 0 { 0 } else { (self.rr + 1) % n };
 
+        // Warm iterations lift the per-cycle structural limits: warm cores
+        // commit up to a full dispatch width of work per iteration (many
+        // times the steady-state IPC), so an engine still paced at
+        // `issue_width` per iteration starves — contexts fill, trigger
+        // forks drop, and the detailed windows that follow measure a
+        // machine whose assist threads are missing. Each thread instead
+        // drains until it completes or hits the SCQ run-ahead bound, which
+        // is the architectural throttle and applies in both modes. The
+        // burst cap only guards against a non-terminating slice.
+        let issue_cap = if warm { u32::MAX } else { self.cfg.issue_width };
+        let mem_cap = if warm { u32::MAX } else { self.cfg.mem_ports };
+        let burst = if warm {
+            WARM_BURST
+        } else {
+            self.cfg.thread_width
+        };
+
         'threads: for k in 0..n {
-            if issued >= self.cfg.issue_width {
+            if issued >= issue_cap {
                 break;
             }
             let ti = (self.rr + k) % n;
             // Burst: chain up to `thread_width` ready instructions of this
             // thread within the cycle.
-            for _ in 0..self.cfg.thread_width {
-                if issued >= self.cfg.issue_width {
+            for _ in 0..burst {
+                if issued >= issue_cap {
                     break 'threads;
                 }
                 let th = &mut self.threads[ti];
-                if th.busy_until > now {
+                if !warm && th.busy_until > now {
                     break;
                 }
                 let prog = &self.programs[th.prog];
@@ -334,10 +373,28 @@ impl CmpEngine {
                         width,
                         signed,
                     } => {
-                        if mem_issued >= self.cfg.mem_ports {
+                        if mem_issued >= mem_cap {
                             break;
                         }
                         let addr = (th.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                        if warm {
+                            let l1_hit = ctx.mem_sys.warm_access(addr, AccessKind::Prefetch);
+                            mem_issued += 1;
+                            self.stats.prefetches += 1;
+                            self.filter.record(th.prog, !l1_hit);
+                            self.slip.on_prefetch(&ctx.mem_sys.stats());
+                            let v = ctx.data.load(addr, width, signed)?;
+                            th.regs.set_i(dst, v);
+                            th.pc += 1;
+                            if self.cfg.next_line_assist && !l1_hit {
+                                let blk = ctx.mem_sys.config().l1.block_bytes as u64;
+                                ctx.mem_sys.warm_access(addr + blk, AccessKind::Prefetch);
+                                self.stats.prefetches += 1;
+                            }
+                            self.stats.instrs += 1;
+                            issued += 1;
+                            continue;
+                        }
                         match ctx
                             .mem_sys
                             .access_traced(addr, AccessKind::Prefetch, now, ctx.trace)
@@ -378,10 +435,21 @@ impl CmpEngine {
                         }
                     }
                     Instr::Prefetch { base, off } => {
-                        if mem_issued >= self.cfg.mem_ports {
+                        if mem_issued >= mem_cap {
                             break;
                         }
                         let addr = (th.regs.get_i(base) as u64).wrapping_add_signed(off as i64);
+                        if warm {
+                            let l1_hit = ctx.mem_sys.warm_access(addr, AccessKind::Prefetch);
+                            mem_issued += 1;
+                            self.stats.prefetches += 1;
+                            self.filter.record(th.prog, !l1_hit);
+                            self.slip.on_prefetch(&ctx.mem_sys.stats());
+                            th.pc += 1;
+                            self.stats.instrs += 1;
+                            issued += 1;
+                            continue;
+                        }
                         match ctx
                             .mem_sys
                             .access_traced(addr, AccessKind::Prefetch, now, ctx.trace)
@@ -453,6 +521,86 @@ impl CmpEngine {
         } else {
             self.rr %= self.threads.len();
         }
+        Ok(())
+    }
+
+    /// Serialises the engine's dynamic state (thread contexts, round-robin
+    /// pointer, statistics and the dynamic controllers). The CMAS programs
+    /// are static and come from the workload, which the checkpoint header
+    /// pins.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.usize(self.threads.len());
+        for th in &self.threads {
+            e.usize(th.prog);
+            e.u32(th.pc);
+            th.regs.save_state(e);
+            e.u64(th.busy_until);
+        }
+        e.usize(self.rr);
+        let CmpStats {
+            forks,
+            dropped_forks,
+            instrs,
+            prefetches,
+            dropped_prefetches,
+            scq_block_cycles,
+            completed_threads,
+            suppressed_forks,
+            slip_adaptations,
+        } = self.stats;
+        for v in [
+            forks,
+            dropped_forks,
+            instrs,
+            prefetches,
+            dropped_prefetches,
+            scq_block_cycles,
+            completed_threads,
+            suppressed_forks,
+            slip_adaptations,
+        ] {
+            e.u64(v);
+        }
+        self.slip.save_state(e);
+        self.filter.save_state(e);
+    }
+
+    /// Restores the state saved by [`CmpEngine::save_state`]; the receiver
+    /// must be built over the same CMAS programs.
+    pub fn load_state(&mut self, d: &mut Dec) -> WireResult<()> {
+        let n = d.usize()?;
+        self.threads.clear();
+        for _ in 0..n {
+            let prog = d.usize()?;
+            if prog >= self.programs.len() {
+                return Err(WireError {
+                    pos: 0,
+                    what: "cmp thread program out of range",
+                });
+            }
+            let pc = d.u32()?;
+            let mut regs = RegFile::new();
+            regs.load_state(d)?;
+            let busy_until = d.u64()?;
+            self.threads.push(CmpThread {
+                prog,
+                pc,
+                regs,
+                busy_until,
+            });
+        }
+        self.rr = d.usize()?;
+        self.stats.forks = d.u64()?;
+        self.stats.dropped_forks = d.u64()?;
+        self.stats.instrs = d.u64()?;
+        self.stats.prefetches = d.u64()?;
+        self.stats.dropped_prefetches = d.u64()?;
+        self.stats.scq_block_cycles = d.u64()?;
+        self.stats.completed_threads = d.u64()?;
+        self.stats.suppressed_forks = d.u64()?;
+        self.stats.slip_adaptations = d.u64()?;
+        self.slip.load_state(d)?;
+        self.filter.load_state(d)?;
         Ok(())
     }
 }

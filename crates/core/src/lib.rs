@@ -44,5 +44,5 @@ pub use error::RunError;
 pub use hidisc_ooo::Scheduler;
 pub use hidisc_telemetry as telemetry;
 pub use hidisc_telemetry::{Category, Telemetry, TraceConfig};
-pub use machine::{run_model, Machine, Observer};
+pub use machine::{run_model, Machine, MachineSnapshot, Observer, SampledStats};
 pub use stats::MachineStats;

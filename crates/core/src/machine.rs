@@ -2,10 +2,11 @@
 //! workload and steps every processor cycle by cycle.
 
 use crate::cmp::{CmpEngine, CmpStats};
-use crate::config::{MachineConfig, Model};
+use crate::config::{fnv1a, MachineConfig, Model, FNV_OFFSET};
 use crate::error::RunError;
 use crate::stats::MachineStats;
 use hidisc_isa::mem::Memory;
+use hidisc_isa::wire::{Dec, Enc, WireError, WireResult};
 use hidisc_isa::{IntReg, Program, Queue};
 use hidisc_mem::{MemStats, MemSystem};
 use hidisc_ooo::queues::QueueStats;
@@ -37,6 +38,19 @@ impl<F: FnMut(&Machine) -> bool> Observer for F {
             ControlFlow::Break(())
         }
     }
+}
+
+/// Knobs threaded through the unified run loop ([`Machine::run_loop`]):
+/// every public `run*` entry point is a thin wrapper selecting a subset.
+struct RunCtl<'s, 'o> {
+    /// Drain telemetry events into this sink as the buffer fills.
+    stream: Option<&'s mut dyn TraceSink>,
+    /// Abort with [`RunError::Deadline`] past this host time.
+    deadline: Option<Instant>,
+    /// Stop (without error) once the machine clock reaches this cycle.
+    stop_at: Option<u64>,
+    /// Per-cycle observer; fast-forward stays off while it observes.
+    observer: Option<&'o mut dyn Observer>,
 }
 
 /// Removes CMP integration annotations — used for the baseline
@@ -213,6 +227,7 @@ impl Machine {
             ..
         } = self;
         telemetry.set_clock(*now);
+        let mut any_warm = false;
         for (i, core) in cores.iter_mut().enumerate() {
             telemetry.set_source(i as u8);
             let mut ctx = CoreCtx {
@@ -222,7 +237,12 @@ impl Machine {
                 triggers,
                 trace: &mut *telemetry,
             };
-            core.step(*now, &mut ctx)?;
+            if core.is_warm() {
+                any_warm = true;
+                core.warm_step(*now, &mut ctx)?;
+            } else {
+                core.step(*now, &mut ctx)?;
+            }
         }
         if let Some(engine) = cmp.as_mut() {
             telemetry.set_source(SOURCE_CMP);
@@ -237,7 +257,15 @@ impl Machine {
                 triggers: &mut unused,
                 trace: &mut *telemetry,
             };
-            engine.step(*now, &mut ctx)?;
+            // Once any core is in a functional warm phase, the CMP runs
+            // functionally too: at warm-mode commit rates the timed engine
+            // would fall behind the instruction stream by the full miss
+            // latency per access and its prefetches would arrive useless.
+            if any_warm {
+                engine.warm_step(*now, &mut ctx)?;
+            } else {
+                engine.step(*now, &mut ctx)?;
+            }
         } else {
             triggers.clear();
         }
@@ -336,7 +364,12 @@ impl Machine {
     /// advances the clock, and keeps the watchdog/budget error cycles (and
     /// messages) identical to the per-cycle loop — capping the jump so
     /// those errors still fire exactly on time.
-    fn ff_after_cycle(&mut self, ff: &mut FfState, idle: &mut u64) -> Result<(), RunError> {
+    fn ff_after_cycle(
+        &mut self,
+        ff: &mut FfState,
+        idle: &mut u64,
+        stop_at: Option<u64>,
+    ) -> Result<(), RunError> {
         if ff.cooldown > 0 {
             ff.cooldown -= 1;
             return Ok(());
@@ -383,6 +416,11 @@ impl Machine {
         let mut j = j_dead.min(j_budget);
         if let Some(je) = j_event {
             j = j.min(je);
+        }
+        // A bounded run (`run_to_cycle`) must stop exactly on its target
+        // so restored-and-resumed runs stay bit-identical.
+        if let Some(stop) = stop_at {
+            j = j.min(stop.saturating_sub(next_cycle));
         }
         // Interval metrics sample on the cycle grid: cap the jump at the
         // next sample boundary so no sample point is skipped. Stats are
@@ -529,53 +567,86 @@ impl Machine {
     fn run_inner(
         &mut self,
         work_instrs: u64,
-        mut stream: Option<&mut dyn TraceSink>,
+        stream: Option<&mut dyn TraceSink>,
         deadline: Option<Instant>,
     ) -> Result<MachineStats, RunError> {
+        self.run_loop(RunCtl {
+            stream,
+            deadline,
+            stop_at: None,
+            observer: None,
+        })?;
+        Ok(self.stats(work_instrs))
+    }
+
+    /// Progress watchdog + cycle-budget check shared by every run loop;
+    /// called once per stepped cycle with the loop's idle/commit trackers.
+    fn tick_watchdog(&self, idle: &mut u64, last_committed: &mut u64) -> Result<(), RunError> {
+        let committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+        if committed == *last_committed {
+            *idle += 1;
+            if *idle > self.cfg.deadlock_cycles {
+                return Err(RunError::Watchdog {
+                    model: self.model,
+                    idle: *idle,
+                    cycle: self.now,
+                    pc: self.stuck_pc(),
+                });
+            }
+        } else {
+            *idle = 0;
+            *last_committed = committed;
+        }
+        if self.now > self.cfg.max_cycles {
+            return Err(RunError::CycleBudget {
+                limit: self.cfg.max_cycles,
+            });
+        }
+        Ok(())
+    }
+
+    /// The one cycle loop behind [`Machine::run`], [`Machine::run_streamed`],
+    /// [`Machine::run_deadline`], [`Machine::run_observed`] and
+    /// [`Machine::run_to_cycle`]: steps until every core commits its halt
+    /// (or `stop_at` is reached), with telemetry sampling, optional event
+    /// streaming, the per-cycle observer, the progress watchdog, the cycle
+    /// budget, the host deadline and idle-cycle fast-forward all handled in
+    /// one place.
+    fn run_loop(&mut self, mut ctl: RunCtl<'_, '_>) -> Result<(), RunError> {
         let t0 = Instant::now();
         let mut triggers: Vec<TriggerFork> = Vec::new();
-        let mut last_committed = 0u64;
+        let mut last_committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
         let mut idle = 0u64;
         let mut ff = FfState::default();
         let ff_on = self.cfg.fast_forward;
         let iv = self.telemetry.metrics_interval();
         let drain_at = (self.cfg.trace.event_cap / 2).max(1);
-        let mut next_deadline_check = 0u64;
+        let mut next_deadline_check = self.now;
+        let mut observing = ctl.observer.is_some();
 
         while self.cores.iter().any(|c| !c.is_done()) {
+            if ctl.stop_at.is_some_and(|s| self.now >= s) {
+                break;
+            }
             self.step_cycle(&mut triggers)?;
             self.now += 1;
             if iv != 0 && self.now.is_multiple_of(iv) {
                 self.sample_metrics();
             }
-            if let Some(sink) = stream.as_deref_mut() {
+            if let Some(sink) = ctl.stream.as_deref_mut() {
                 if self.telemetry.events().len() >= drain_at {
                     self.telemetry.drain_into(sink);
                 }
             }
-
-            // Progress watchdog.
-            let committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
-            if committed == last_committed {
-                idle += 1;
-                if idle > self.cfg.deadlock_cycles {
-                    return Err(RunError::Watchdog {
-                        model: self.model,
-                        idle,
-                        cycle: self.now,
-                        pc: self.stuck_pc(),
-                    });
-                }
-            } else {
-                idle = 0;
-                last_committed = committed;
+            if observing {
+                let obs = ctl
+                    .observer
+                    .as_deref_mut()
+                    .expect("observing implies observer");
+                observing = obs.on_cycle(self).is_continue();
             }
-            if self.now > self.cfg.max_cycles {
-                return Err(RunError::CycleBudget {
-                    limit: self.cfg.max_cycles,
-                });
-            }
-            if let Some(deadline) = deadline {
+            self.tick_watchdog(&mut idle, &mut last_committed)?;
+            if let Some(deadline) = ctl.deadline {
                 if self.now >= next_deadline_check {
                     next_deadline_check = self.now + Self::DEADLINE_CHECK_CYCLES;
                     if Instant::now() >= deadline {
@@ -584,24 +655,48 @@ impl Machine {
                     }
                 }
             }
-            if ff_on {
+            // Fast-forwarding would hide cycles from an active observer, so
+            // it only engages once observation has stopped.
+            if ff_on && !observing {
                 if idle == 0 {
                     ff.reset();
                 } else {
-                    self.ff_after_cycle(&mut ff, &mut idle)?;
+                    self.ff_after_cycle(&mut ff, &mut idle, ctl.stop_at)?;
                 }
             }
         }
 
-        if let Some(sink) = stream {
+        if let Some(sink) = ctl.stream {
             self.telemetry.drain_into(sink);
         }
         self.host_wall_ns += t0.elapsed().as_nanos() as u64;
-        Ok(self.stats(work_instrs))
+        Ok(())
     }
 
-    /// Builds the statistics snapshot.
-    fn stats(&self, work_instrs: u64) -> MachineStats {
+    /// Runs until the machine clock reaches `stop_at` (or every core
+    /// halts, whichever comes first). Returns `true` when the workload
+    /// completed before the target cycle.
+    ///
+    /// A run split into `run_to_cycle` segments commits the same
+    /// instructions and accumulates the same statistics as an uninterrupted
+    /// [`Machine::run`] — fast-forward jumps are capped at the segment
+    /// boundary so the stop lands exactly on `stop_at`.
+    pub fn run_to_cycle(&mut self, stop_at: u64) -> Result<bool, RunError> {
+        self.run_loop(RunCtl {
+            stream: None,
+            deadline: None,
+            stop_at: Some(stop_at),
+            observer: None,
+        })?;
+        Ok(self.cores.iter().all(|c| c.is_done()))
+    }
+
+    /// Builds the statistics snapshot at the current cycle. `work_instrs`
+    /// is the dynamic instruction count of the original sequential program
+    /// (the IPC denominator); the `run*` entry points return this for you,
+    /// but a segmented run ([`Machine::run_to_cycle`]) can ask for interim
+    /// statistics directly.
+    pub fn stats(&self, work_instrs: u64) -> MachineStats {
         let queues = {
             let mut out: [hidisc_ooo::queues::QueueStats; 5] = Default::default();
             for (i, q) in Queue::ALL.into_iter().enumerate() {
@@ -628,6 +723,382 @@ impl Machine {
     /// tests).
     pub fn core_reg(&self, idx: usize, r: IntReg) -> i64 {
         self.cores[idx].regs.get_i(r)
+    }
+}
+
+// ------------------------------------------------- snapshots & checkpoints
+
+/// A point-in-time capture of a whole [`Machine`]: cores (RUU, LSQ, fetch
+/// queue, rename state, predictor), queues, memory system (caches, MSHRs),
+/// CMP threads, architectural memory and statistics.
+///
+/// Taking one is cheap: the architectural memory is copy-on-write (pages
+/// are shared until written), so [`Machine::snapshot`] costs O(dirty
+/// pages) pointer copies plus the microarchitectural structures, not a
+/// full memory image.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    state: Machine,
+}
+
+/// Magic bytes opening the on-disk checkpoint format.
+pub const CHECKPOINT_MAGIC: &[u8; 4] = b"HDCK";
+/// Version of the on-disk checkpoint format.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+impl Machine {
+    /// Captures the complete machine state. Restoring it with
+    /// [`Machine::restore`] and continuing is bit-identical to never having
+    /// stopped.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            state: self.clone(),
+        }
+    }
+
+    /// Rewinds this machine to a snapshot taken from it (or from an
+    /// identically built machine).
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        *self = snap.state.clone();
+    }
+
+    /// Serialises the machine's dynamic state (everything a cycle can
+    /// change). Static state — programs, configuration, telemetry settings
+    /// — is not stored: [`Machine::load_state`] rebuilds those through the
+    /// normal construction path and overwrites the dynamic state in place.
+    /// Host-side observability (wall-clock time, telemetry buffers) is
+    /// excluded, exactly like the `sim_eq` equivalence check.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.usize(self.cores.len());
+        for c in &self.cores {
+            c.save_state(e);
+        }
+        match &self.cmp {
+            None => e.bool(false),
+            Some(engine) => {
+                e.bool(true);
+                engine.save_state(e);
+            }
+        }
+        self.queues.save_state(e);
+        self.mem_sys.save_state(e);
+        self.data.save_state(e);
+        e.u64(self.now);
+        e.u64(self.ff_jumps);
+        e.u64(self.ff_skipped);
+    }
+
+    /// Restores dynamic state saved by [`Machine::save_state`] into a
+    /// machine built from the same workload and configuration.
+    pub fn load_state(&mut self, d: &mut Dec) -> WireResult<()> {
+        let n = d.usize()?;
+        if n != self.cores.len() {
+            return Err(WireError {
+                pos: 0,
+                what: "core count mismatch",
+            });
+        }
+        for c in &mut self.cores {
+            c.load_state(d)?;
+        }
+        let has_cmp = d.bool()?;
+        match (&mut self.cmp, has_cmp) {
+            (Some(engine), true) => engine.load_state(d)?,
+            (None, false) => {}
+            _ => {
+                return Err(WireError {
+                    pos: 0,
+                    what: "cmp presence mismatch",
+                })
+            }
+        }
+        self.queues.load_state(d)?;
+        self.mem_sys.load_state(d)?;
+        self.data.load_state(d)?;
+        self.now = d.u64()?;
+        self.ff_jumps = d.u64()?;
+        self.ff_skipped = d.u64()?;
+        Ok(())
+    }
+
+    /// Serialises a self-describing disk checkpoint: a header binding the
+    /// bytes to this configuration (canonical hash), model and workload
+    /// (`workload_id`, caller-chosen — e.g. a hash of the workload name,
+    /// scale and seed), followed by [`Machine::save_state`].
+    pub fn save_checkpoint(&self, workload_id: u64) -> Vec<u8> {
+        self.checkpoint_bound_to(self.cfg.canonical_hash(), workload_id)
+    }
+
+    /// Warm-start variant of [`Machine::save_checkpoint`]: the header
+    /// binds to [`MachineConfig::warm_hash`] instead of the full canonical
+    /// hash, so machines that differ only in their run budgets
+    /// (`max_cycles`, `deadlock_cycles`) can restore it.
+    pub fn save_warm_checkpoint(&self, workload_id: u64) -> Vec<u8> {
+        self.checkpoint_bound_to(self.cfg.warm_hash(), workload_id)
+    }
+
+    fn checkpoint_bound_to(&self, cfg_hash: u64, workload_id: u64) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.bytes(CHECKPOINT_MAGIC);
+        e.u32(CHECKPOINT_VERSION);
+        e.u64(cfg_hash);
+        e.u8(Model::ALL
+            .iter()
+            .position(|&m| m == self.model)
+            .unwrap_or(0) as u8);
+        e.u64(workload_id);
+        self.save_state(&mut e);
+        e.finish()
+    }
+
+    /// Restores a checkpoint produced by [`Machine::save_checkpoint`] into
+    /// a machine rebuilt from the same workload and configuration. Every
+    /// header mismatch (magic, version, config, model, workload) and every
+    /// truncated or corrupted payload is a typed error, never a panic.
+    pub fn load_checkpoint(&mut self, bytes: &[u8], workload_id: u64) -> WireResult<()> {
+        self.load_checkpoint_bound_to(bytes, self.cfg.canonical_hash(), workload_id)
+    }
+
+    /// Restores a warm-start checkpoint ([`Machine::save_warm_checkpoint`]):
+    /// validation compares [`MachineConfig::warm_hash`], accepting donors
+    /// that differ from this machine only in their run budgets.
+    pub fn load_warm_checkpoint(&mut self, bytes: &[u8], workload_id: u64) -> WireResult<()> {
+        self.load_checkpoint_bound_to(bytes, self.cfg.warm_hash(), workload_id)
+    }
+
+    fn load_checkpoint_bound_to(
+        &mut self,
+        bytes: &[u8],
+        cfg_hash: u64,
+        workload_id: u64,
+    ) -> WireResult<()> {
+        let mut d = Dec::new(bytes);
+        d.tag(CHECKPOINT_MAGIC, "checkpoint magic mismatch")?;
+        if d.u32()? != CHECKPOINT_VERSION {
+            return Err(WireError {
+                pos: 4,
+                what: "checkpoint version mismatch",
+            });
+        }
+        if d.u64()? != cfg_hash {
+            return Err(WireError {
+                pos: 8,
+                what: "checkpoint config mismatch",
+            });
+        }
+        let model_code = Model::ALL
+            .iter()
+            .position(|&m| m == self.model)
+            .unwrap_or(0) as u8;
+        if d.u8()? != model_code {
+            return Err(WireError {
+                pos: 16,
+                what: "checkpoint model mismatch",
+            });
+        }
+        if d.u64()? != workload_id {
+            return Err(WireError {
+                pos: 17,
+                what: "checkpoint workload mismatch",
+            });
+        }
+        self.load_state(&mut d)?;
+        d.done()
+    }
+
+    /// Fingerprint of the machine's *architectural* state: committed
+    /// counts, register files and resume pcs of every core, in-flight
+    /// queue contents and the data-memory checksum. Timing counters
+    /// (stall cycles, cache statistics) are deliberately excluded, so two
+    /// configurations diverge in this digest only when their visible
+    /// execution state differs — the property `repro bisect` searches on.
+    pub fn state_digest(&self) -> u64 {
+        let mut e = Enc::new();
+        for c in &self.cores {
+            e.u64(c.stats().committed);
+            e.u32(c.fetch_pc());
+            c.regs.save_state(&mut e);
+        }
+        let mut h = fnv1a(FNV_OFFSET, &e.finish());
+        h = self.queues.content_token(h);
+        h ^= self.data.checksum();
+        h
+    }
+}
+
+// ---------------------------------------------------- sampled simulation
+
+/// Result of a SMARTS-style sampled run ([`Machine::run_sampled`]):
+/// detailed windows measure cycles-per-instruction, functional warm
+/// phases execute the instructions in between, and the total cycle count
+/// is extrapolated from the measured CPI.
+#[derive(Debug, Clone)]
+pub struct SampledStats {
+    /// Estimated cycle count of a full detailed run: measured CPI times
+    /// the (exact) committed instruction count of the pacing core.
+    pub est_cycles: u64,
+    /// Relative half-width of the 95% confidence interval on `est_cycles`
+    /// (`1.96 · sd(CPI) / (mean(CPI) · √n)` over the `n` detailed
+    /// windows). Infinite when fewer than two windows completed; zero when
+    /// the run finished before the first warm phase (the estimate is then
+    /// exact).
+    pub rel_error_band: f64,
+    /// Detailed measurement windows that contributed to the estimate.
+    pub windows: usize,
+    /// Measured cycles per pacing-core instruction.
+    pub cpi: f64,
+    /// Raw statistics of the sampled run itself. `cycles` here counts
+    /// machine iterations including functional warm phases — use
+    /// `est_cycles` for anything cycle-accurate. Committed instruction
+    /// counts and the memory checksum are exact (every instruction
+    /// executes).
+    pub stats: MachineStats,
+}
+
+impl Machine {
+    /// Runs the workload in sampling mode: alternate *detailed* windows
+    /// (full out-of-order timing, `detail` instructions of the pacing
+    /// core) with *functional warm* phases (`skip` instructions executed
+    /// in order at dispatch width, with caches, MSHRs, queues, branch
+    /// predictor and CMP kept live). Every instruction executes, so
+    /// architectural results are exact; cycle counts are estimated from
+    /// the detailed windows with a reported confidence band.
+    ///
+    /// The pacing core is core 0 (the CP in decoupled models). Within each
+    /// detailed window the first quarter is treated as pipeline warm-up
+    /// and excluded from measurement.
+    pub fn run_sampled(
+        &mut self,
+        work_instrs: u64,
+        detail: u64,
+        skip: u64,
+    ) -> Result<SampledStats, RunError> {
+        let detail = detail.max(4);
+        let skip = skip.max(1);
+        let t0 = Instant::now();
+        let mut triggers: Vec<TriggerFork> = Vec::new();
+        let mut idle = 0u64;
+        let mut last_committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+        let mut window_cpis: Vec<f64> = Vec::new();
+        let mut meas_cycles = 0u64;
+        let mut meas_commits = 0u64;
+        let mut warm_phases = 0usize;
+
+        fn pacing(m: &Machine) -> u64 {
+            m.cores[0].stats().committed
+        }
+        fn running(m: &Machine) -> bool {
+            m.cores.iter().any(|c| !c.is_done())
+        }
+
+        while running(self) {
+            // Detailed window: full timing until the pacing core commits
+            // `detail` instructions. Skip the first quarter (pipeline
+            // refill after the warm phase) before measuring.
+            let w_start = pacing(self);
+            let mut meas: Option<(u64, u64)> = None;
+            let mut completed = false;
+            while running(self) {
+                self.step_cycle(&mut triggers)?;
+                self.now += 1;
+                self.tick_watchdog(&mut idle, &mut last_committed)?;
+                let c = pacing(self);
+                if meas.is_none() && c >= w_start + detail / 4 {
+                    meas = Some((self.now, c));
+                }
+                if c >= w_start + detail {
+                    completed = true;
+                    break;
+                }
+            }
+            // A window cut short by program termination measures the
+            // end-of-run drain (cycles advance, the pacing core does not)
+            // rather than steady-state CPI — discard it.
+            if !completed {
+                meas = None;
+            }
+            if let Some((n0, c0)) = meas {
+                let (dc, di) = (self.now - n0, pacing(self) - c0);
+                if dc > 0 && di > 0 {
+                    window_cpis.push(dc as f64 / di as f64);
+                    meas_cycles += dc;
+                    meas_commits += di;
+                }
+            }
+            if !running(self) {
+                break;
+            }
+
+            // Drain: pause fetch and keep stepping until each core's
+            // pipeline empties; drained cores enter the warm phase at once
+            // (and keep feeding the queues) so a core whose drain depends
+            // on another stream cannot deadlock.
+            for c in &mut self.cores {
+                c.set_fetch_paused(true);
+            }
+            loop {
+                let mut all_warm = true;
+                for c in &mut self.cores {
+                    if !c.try_enter_warm() {
+                        all_warm = false;
+                    }
+                }
+                if all_warm || !running(self) {
+                    break;
+                }
+                self.step_cycle(&mut triggers)?;
+                self.now += 1;
+                self.tick_watchdog(&mut idle, &mut last_committed)?;
+            }
+
+            // Warm phase: functional in-order execution for `skip` pacing
+            // instructions. The CMP still steps normally.
+            warm_phases += 1;
+            let w_end = pacing(self) + skip;
+            while running(self) && pacing(self) < w_end {
+                self.step_cycle(&mut triggers)?;
+                self.now += 1;
+                self.tick_watchdog(&mut idle, &mut last_committed)?;
+            }
+            for c in &mut self.cores {
+                c.exit_warm();
+                c.set_fetch_paused(false);
+            }
+        }
+        self.host_wall_ns += t0.elapsed().as_nanos() as u64;
+
+        let stats = self.stats(work_instrs);
+        if warm_phases == 0 || meas_commits == 0 {
+            // The whole run was detailed: the cycle count is exact.
+            return Ok(SampledStats {
+                est_cycles: stats.cycles,
+                rel_error_band: 0.0,
+                windows: window_cpis.len(),
+                cpi: if pacing(self) > 0 {
+                    stats.cycles as f64 / pacing(self) as f64
+                } else {
+                    0.0
+                },
+                stats,
+            });
+        }
+        let cpi = meas_cycles as f64 / meas_commits as f64;
+        let est_cycles = (cpi * pacing(self) as f64).round() as u64;
+        let n = window_cpis.len();
+        let rel_error_band = if n >= 2 {
+            let mean = window_cpis.iter().sum::<f64>() / n as f64;
+            let var = window_cpis.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            1.96 * var.sqrt() / (mean * (n as f64).sqrt())
+        } else {
+            f64::INFINITY
+        };
+        Ok(SampledStats {
+            est_cycles,
+            rel_error_band,
+            windows: n,
+            cpi,
+            stats,
+        })
     }
 }
 
@@ -792,54 +1263,12 @@ impl Machine {
         work_instrs: u64,
         mut observer: impl Observer,
     ) -> Result<MachineStats, RunError> {
-        let t0 = Instant::now();
-        let mut observing = true;
-        let mut triggers: Vec<TriggerFork> = Vec::new();
-        let mut last_committed = 0u64;
-        let mut idle = 0u64;
-        let mut ff = FfState::default();
-        let ff_on = self.cfg.fast_forward;
-        let iv = self.telemetry.metrics_interval();
-        while self.cores.iter().any(|c| !c.is_done()) {
-            self.step_cycle(&mut triggers)?;
-            self.now += 1;
-            if iv != 0 && self.now.is_multiple_of(iv) {
-                self.sample_metrics();
-            }
-            if observing {
-                observing = observer.on_cycle(self).is_continue();
-            }
-            let committed: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
-            if committed == last_committed {
-                idle += 1;
-                if idle > self.cfg.deadlock_cycles {
-                    return Err(RunError::Watchdog {
-                        model: self.model,
-                        idle,
-                        cycle: self.now,
-                        pc: self.stuck_pc(),
-                    });
-                }
-            } else {
-                idle = 0;
-                last_committed = committed;
-            }
-            if self.now > self.cfg.max_cycles {
-                return Err(RunError::CycleBudget {
-                    limit: self.cfg.max_cycles,
-                });
-            }
-            // Fast-forwarding would hide cycles from an active observer, so
-            // it only engages once observation has stopped.
-            if ff_on && !observing {
-                if idle == 0 {
-                    ff.reset();
-                } else {
-                    self.ff_after_cycle(&mut ff, &mut idle)?;
-                }
-            }
-        }
-        self.host_wall_ns += t0.elapsed().as_nanos() as u64;
+        self.run_loop(RunCtl {
+            stream: None,
+            deadline: None,
+            stop_at: None,
+            observer: Some(&mut observer),
+        })?;
         Ok(self.stats(work_instrs))
     }
 }

@@ -1,0 +1,187 @@
+//! Differential proof that snapshot/restore is invisible: for every
+//! benchmark of the suite and every machine model, a run interrupted at
+//! mid-flight — whether resumed in place, restored from an in-memory
+//! [`hidisc::MachineSnapshot`], or rebuilt from the on-disk checkpoint
+//! byte format — must produce exactly the statistics, cycle count and
+//! final memory of the uninterrupted run.
+//!
+//! See DESIGN.md, "State snapshots & sampled simulation", for the
+//! invariant this test pins down.
+
+use hidisc::{Machine, MachineConfig, Model};
+use hidisc_slicer::{compile, CompiledWorkload, CompilerConfig, ExecEnv};
+use hidisc_workloads::{suite, Scale, Workload};
+use proptest::prelude::*;
+
+fn env_of(w: &Workload) -> ExecEnv {
+    ExecEnv {
+        regs: w.regs.clone(),
+        mem: w.mem.clone(),
+        max_steps: w.max_steps,
+    }
+}
+
+/// Arbitrary id standing in for the workload hash a real caller derives
+/// from name/scale/seed.
+const WORKLOAD_ID: u64 = 0x1517_c0de;
+
+/// Runs the interrupted-and-resumed variants against the uninterrupted
+/// baseline for one (workload, model, config) point.
+fn check_point(
+    name: &str,
+    model: Model,
+    compiled: &CompiledWorkload,
+    env: &ExecEnv,
+    cfg: MachineConfig,
+) {
+    let work = compiled.profile.dyn_instrs;
+    let baseline = Machine::new(model, compiled, env, cfg)
+        .run(work)
+        .unwrap_or_else(|e| panic!("{name}/{model}: baseline run failed: {e}"));
+    let stop_at = baseline.cycles / 2;
+
+    // Split run: stop at the midpoint, snapshot, keep going in place.
+    let mut split = Machine::new(model, compiled, env, cfg);
+    let finished = split
+        .run_to_cycle(stop_at)
+        .unwrap_or_else(|e| panic!("{name}/{model}: run_to_cycle failed: {e}"));
+    assert!(!finished, "{name}/{model}: finished before the midpoint");
+    assert_eq!(split.now(), stop_at, "{name}/{model}: stop overshot");
+    let snap = split.snapshot();
+    let bytes = split.save_checkpoint(WORKLOAD_ID);
+    let split_stats = split
+        .run(work)
+        .unwrap_or_else(|e| panic!("{name}/{model}: resumed run failed: {e}"));
+    assert!(
+        baseline.sim_eq(&split_stats),
+        "{name}/{model}: split run diverged:\nbase: {baseline:#?}\nsplit: {split_stats:#?}"
+    );
+
+    // Restore the in-memory snapshot into the (now finished) machine and
+    // run to the end again.
+    let mut restored = Machine::new(model, compiled, env, cfg);
+    restored.restore(&snap);
+    assert_eq!(restored.now(), stop_at);
+    let restored_stats = restored
+        .run(work)
+        .unwrap_or_else(|e| panic!("{name}/{model}: restored run failed: {e}"));
+    assert!(
+        baseline.sim_eq(&restored_stats),
+        "{name}/{model}: snapshot/restore diverged"
+    );
+
+    // Rebuild a fresh machine from the serialized checkpoint bytes.
+    let mut from_disk = Machine::new(model, compiled, env, cfg);
+    from_disk
+        .load_checkpoint(&bytes, WORKLOAD_ID)
+        .unwrap_or_else(|e| panic!("{name}/{model}: load_checkpoint failed: {e}"));
+    assert_eq!(from_disk.now(), stop_at);
+    let disk_stats = from_disk
+        .run(work)
+        .unwrap_or_else(|e| panic!("{name}/{model}: checkpointed run failed: {e}"));
+    assert!(
+        baseline.sim_eq(&disk_stats),
+        "{name}/{model}: disk checkpoint diverged:\nbase: {baseline:#?}\ndisk: {disk_stats:#?}"
+    );
+}
+
+/// Every `Scale::Test` workload × every model, fast-forward off and on:
+/// interrupting at the midpoint (resume / restore / disk round-trip) is
+/// simulation-identical to never stopping.
+#[test]
+fn snapshot_restore_is_stat_identical_across_suite_and_models() {
+    for w in suite(Scale::Test, 42) {
+        let env = env_of(&w);
+        let compiled = compile(&w.prog, &env, &CompilerConfig::default())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+        for model in Model::ALL {
+            for ff in [false, true] {
+                let mut cfg = MachineConfig::paper();
+                cfg.fast_forward = ff;
+                check_point(w.name, model, &compiled, &env, cfg);
+            }
+        }
+    }
+}
+
+/// The paper's Figure-10 high-latency point stalls far more (long
+/// in-flight MSHR state crosses the snapshot boundary); equivalence must
+/// hold there too.
+#[test]
+fn snapshot_restore_is_stat_identical_at_high_latency() {
+    let w = &suite(Scale::Test, 7)[2]; // pointer: serial chase, stall-heavy
+    let env = env_of(w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+    for model in Model::ALL {
+        let mut cfg = MachineConfig::paper_with_latency(16, 160);
+        cfg.fast_forward = true;
+        check_point(w.name, model, &compiled, &env, cfg);
+    }
+}
+
+/// Header validation: a checkpoint only loads into the machine it
+/// describes, and every mismatch is a typed error, never a panic.
+#[test]
+fn checkpoint_header_is_validated() {
+    let w = &suite(Scale::Test, 42)[0];
+    let env = env_of(w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+    let mut m = Machine::new(Model::HiDisc, &compiled, &env, MachineConfig::paper());
+    m.run_to_cycle(100).unwrap();
+    let bytes = m.save_checkpoint(WORKLOAD_ID);
+
+    // Wrong workload id.
+    let mut fresh = Machine::new(Model::HiDisc, &compiled, &env, MachineConfig::paper());
+    assert!(fresh.load_checkpoint(&bytes, WORKLOAD_ID + 1).is_err());
+    // Wrong model.
+    let mut fresh = Machine::new(Model::CpAp, &compiled, &env, MachineConfig::paper());
+    assert!(fresh.load_checkpoint(&bytes, WORKLOAD_ID).is_err());
+    // Wrong configuration.
+    let mut fresh = Machine::new(
+        Model::HiDisc,
+        &compiled,
+        &env,
+        MachineConfig::paper_with_latency(16, 160),
+    );
+    assert!(fresh.load_checkpoint(&bytes, WORKLOAD_ID).is_err());
+    // Garbage magic.
+    let mut garbled = bytes.clone();
+    garbled[0] ^= 0xff;
+    let mut fresh = Machine::new(Model::HiDisc, &compiled, &env, MachineConfig::paper());
+    assert!(fresh.load_checkpoint(&garbled, WORKLOAD_ID).is_err());
+    // The pristine bytes still load.
+    assert!(fresh.load_checkpoint(&bytes, WORKLOAD_ID).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Disk-format property: for a machine stopped at an arbitrary cycle,
+    /// save → load → save reproduces the exact same bytes (the format has
+    /// one canonical encoding), and every truncation of the byte stream
+    /// is a graceful error, never a panic.
+    #[test]
+    fn checkpoint_bytes_round_trip_exactly(stop in 1u64..1500, model_ix in 0usize..4) {
+        let w = &suite(Scale::Test, 42)[2]; // pointer
+        let env = env_of(w);
+        let compiled = compile(&w.prog, &env, &CompilerConfig::default()).unwrap();
+        let model = Model::ALL[model_ix];
+
+        let mut m = Machine::new(model, &compiled, &env, MachineConfig::paper());
+        m.run_to_cycle(stop).unwrap();
+        let bytes = m.save_checkpoint(WORKLOAD_ID);
+
+        let mut restored = Machine::new(model, &compiled, &env, MachineConfig::paper());
+        restored.load_checkpoint(&bytes, WORKLOAD_ID).unwrap();
+        prop_assert_eq!(restored.now(), m.now());
+        prop_assert_eq!(restored.state_digest(), m.state_digest());
+        let again = restored.save_checkpoint(WORKLOAD_ID);
+        prop_assert_eq!(&again, &bytes, "re-encoding changed the byte stream");
+
+        // Truncations degrade to errors.
+        for cut in [bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+            let mut fresh = Machine::new(model, &compiled, &env, MachineConfig::paper());
+            prop_assert!(fresh.load_checkpoint(&bytes[..cut], WORKLOAD_ID).is_err());
+        }
+    }
+}

@@ -65,6 +65,28 @@ impl RegFile {
     pub fn set_f(&mut self, r: FpReg, v: f64) {
         self.fp[r.index()] = v;
     }
+
+    /// Serialises both register files for the checkpoint format.
+    pub fn save_state(&self, e: &mut crate::wire::Enc) {
+        for &v in &self.int {
+            e.i64(v);
+        }
+        for &v in &self.fp {
+            e.f64(v);
+        }
+    }
+
+    /// Restores both register files from a
+    /// [`save_state`](Self::save_state) stream.
+    pub fn load_state(&mut self, d: &mut crate::wire::Dec) -> crate::wire::WireResult<()> {
+        for v in self.int.iter_mut() {
+            *v = d.i64()?;
+        }
+        for v in self.fp.iter_mut() {
+            *v = d.f64()?;
+        }
+        Ok(())
+    }
 }
 
 /// Kind of memory event reported to tracing hooks.

@@ -37,6 +37,7 @@ pub mod op;
 pub mod program;
 pub mod reg;
 pub mod testgen;
+pub mod wire;
 
 pub use annot::{Annot, Stream};
 pub use instr::{BranchCond, Instr, RegRef, Width};

@@ -9,17 +9,23 @@
 //! must be naturally aligned (as on MIPS/PISA); unaligned accesses return
 //! [`IsaError::Mem`].
 
+use crate::wire::{Dec, Enc, WireResult};
 use crate::{IsaError, Result};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Page size in bytes (power of two).
 pub const PAGE_SIZE: u64 = 4096;
 const PAGE_MASK: u64 = PAGE_SIZE - 1;
 
 /// Sparse byte-addressed memory.
+///
+/// Pages are reference-counted so that `clone()` is an O(pages) pointer
+/// copy and subsequent writes copy only the touched page (copy-on-write).
+/// This is what makes whole-machine snapshots an O(dirty) operation.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: HashMap<u64, Arc<[u8; PAGE_SIZE as usize]>>,
 }
 
 impl Memory {
@@ -35,9 +41,11 @@ impl Memory {
 
     #[inline]
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
-        self.pages
-            .entry(addr & !PAGE_MASK)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+        Arc::make_mut(
+            self.pages
+                .entry(addr & !PAGE_MASK)
+                .or_insert_with(|| Arc::new([0u8; PAGE_SIZE as usize])),
+        )
     }
 
     #[inline]
@@ -228,6 +236,34 @@ impl Memory {
         }
         h
     }
+
+    /// Serialises all touched pages (sorted by base address) for the
+    /// checkpoint format.
+    pub fn save_state(&self, e: &mut Enc) {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        e.usize(keys.len());
+        for k in keys {
+            e.u64(k);
+            e.bytes(&self.pages[&k][..]);
+        }
+    }
+
+    /// Replaces the entire contents from a [`save_state`](Self::save_state)
+    /// stream.
+    pub fn load_state(&mut self, d: &mut Dec) -> WireResult<()> {
+        let n = d.usize()?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = d.u64()?;
+            let bytes = d.bytes(PAGE_SIZE as usize)?;
+            let mut page = [0u8; PAGE_SIZE as usize];
+            page.copy_from_slice(bytes);
+            pages.insert(k, Arc::new(page));
+        }
+        self.pages = pages;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +341,38 @@ mod tests {
         assert_eq!(a.checksum(), b.checksum());
         b.write_u64(0x9000, 1).unwrap();
         assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut a = Memory::new();
+        a.write_u64(0x1000, 11).unwrap();
+        a.write_u64(0x9000, 22).unwrap();
+        let snap = a.clone();
+        // Mutating the original must not leak into the snapshot...
+        a.write_u64(0x1000, 99).unwrap();
+        assert_eq!(snap.read_u64(0x1000).unwrap(), 11);
+        assert_eq!(a.read_u64(0x1000).unwrap(), 99);
+        // ...and untouched pages stay physically shared.
+        assert_eq!(snap.read_u64(0x9000).unwrap(), 22);
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let mut a = Memory::new();
+        a.write_u64(0x1000, 0xdead_beef).unwrap();
+        a.write_u8(0x5001, 7);
+        let mut e = crate::wire::Enc::new();
+        a.save_state(&mut e);
+        let buf = e.finish();
+        let mut b = Memory::new();
+        b.write_u64(0x7777_7000, 1).unwrap(); // stale state must vanish
+        let mut d = crate::wire::Dec::new(&buf);
+        b.load_state(&mut d).unwrap();
+        d.done().unwrap();
+        assert_eq!(b.checksum(), a.checksum());
+        assert_eq!(b.read_u8(0x5001), 7);
+        assert_eq!(b.read_u64(0x7777_7000).unwrap(), 0);
     }
 
     #[test]

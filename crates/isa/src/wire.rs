@@ -1,0 +1,276 @@
+//! Minimal binary wire format for machine checkpoints.
+//!
+//! Every crate in the suite serialises its dynamic state through [`Enc`] /
+//! [`Dec`]: fixed-width little-endian scalars, length-prefixed byte runs,
+//! no self-description. The format is deliberately dumb — the checkpoint
+//! header (magic, version, config hash) is what guards against decoding a
+//! stream with the wrong layout, and [`Dec`] returns [`WireError`] instead
+//! of panicking so a truncated or corrupted checkpoint file degrades to a
+//! recoverable error.
+
+/// Decoding failure: the stream was shorter than the reader expected or a
+/// field held an impossible value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset at which decoding failed.
+    pub pos: usize,
+    /// What the reader was trying to decode.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error at byte {}: {}", self.pos, self.what)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias for decode results.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an i64 (two's-complement little-endian).
+    pub fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an f64 by bit pattern (NaN payloads round-trip exactly).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a usize as u64.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes raw bytes (no length prefix — pair with a prior `usize`).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Consumes the encoder, returning the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Creates a decoder at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError {
+                pos: self.pos,
+                what,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> WireResult<u32> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> WireResult<u64> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads an i64.
+    pub fn i64(&mut self) -> WireResult<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads an f64 by bit pattern.
+    pub fn f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a usize (errors if the value exceeds the host's usize).
+    pub fn usize(&mut self) -> WireResult<usize> {
+        let pos = self.pos;
+        usize::try_from(self.u64()?).map_err(|_| WireError {
+            pos,
+            what: "usize overflow",
+        })
+    }
+
+    /// Reads a bool, rejecting anything but 0/1 (corruption check).
+    pub fn bool(&mut self) -> WireResult<bool> {
+        let pos = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError {
+                pos,
+                what: "bool out of range",
+            }),
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        self.take(n, "bytes")
+    }
+
+    /// Reads and checks a fixed tag (e.g. a section magic).
+    pub fn tag(&mut self, expect: &[u8], what: &'static str) -> WireResult<()> {
+        let pos = self.pos;
+        let got = self.take(expect.len(), what)?;
+        if got != expect {
+            return Err(WireError { pos, what });
+        }
+        Ok(())
+    }
+
+    /// Errors unless the whole buffer was consumed (trailing-garbage check).
+    pub fn done(&self) -> WireResult<()> {
+        if self.remaining() != 0 {
+            return Err(WireError {
+                pos: self.pos,
+                what: "trailing bytes",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xdead_beef);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.usize(12345);
+        e.bool(true);
+        e.bool(false);
+        e.bytes(b"xyz");
+        let buf = e.finish();
+
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64().unwrap().is_nan());
+        assert_eq!(d.usize().unwrap(), 12345);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.bytes(3).unwrap(), b"xyz");
+        d.done().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut e = Enc::new();
+        e.u64(1);
+        let buf = e.finish();
+        let mut d = Dec::new(&buf[..5]);
+        let err = d.u64().unwrap_err();
+        assert_eq!(err.pos, 0);
+        assert_eq!(err.what, "u64");
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let buf = [2u8];
+        let mut d = Dec::new(&buf);
+        assert!(d.bool().is_err());
+    }
+
+    #[test]
+    fn tag_mismatch_rejected() {
+        let mut d = Dec::new(b"HDXX");
+        assert!(d.tag(b"HDCP", "magic").is_err());
+        let mut d2 = Dec::new(b"HDCP");
+        d2.tag(b"HDCP", "magic").unwrap();
+        d2.done().unwrap();
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Enc::new();
+        e.u8(1);
+        e.u8(2);
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        let _ = d.u8().unwrap();
+        assert!(d.done().is_err());
+    }
+}

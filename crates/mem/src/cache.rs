@@ -2,6 +2,7 @@
 
 use crate::config::CacheConfig;
 use crate::stats::CacheStats;
+use hidisc_isa::wire::{Dec, Enc, WireError, WireResult};
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
@@ -164,6 +165,69 @@ impl Cache {
         self.lines.fill(Line::default());
         self.tick = 0;
         self.stats = CacheStats::default();
+    }
+
+    /// Serialises the dynamic state (lines, LRU clock, statistics). The
+    /// geometry is not stored: the checkpoint header pins the config and
+    /// the receiving cache must be built with the same one.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.usize(self.lines.len());
+        for l in &self.lines {
+            e.bool(l.valid);
+            e.bool(l.dirty);
+            e.bool(l.prefetched);
+            e.u64(l.tag);
+            e.u64(l.lru);
+        }
+        e.u64(self.tick);
+        let CacheStats {
+            demand_accesses,
+            demand_misses,
+            prefetch_accesses,
+            prefetch_misses,
+            useful_prefetch_hits,
+            late_prefetch_hits,
+            writebacks,
+        } = self.stats;
+        for v in [
+            demand_accesses,
+            demand_misses,
+            prefetch_accesses,
+            prefetch_misses,
+            useful_prefetch_hits,
+            late_prefetch_hits,
+            writebacks,
+        ] {
+            e.u64(v);
+        }
+    }
+
+    /// Restores the dynamic state saved by [`Cache::save_state`]; the
+    /// receiver must have the same geometry.
+    pub fn load_state(&mut self, d: &mut Dec) -> WireResult<()> {
+        let n = d.usize()?;
+        if n != self.lines.len() {
+            return Err(WireError {
+                pos: 0,
+                what: "cache line count mismatch",
+            });
+        }
+        for l in &mut self.lines {
+            l.valid = d.bool()?;
+            l.dirty = d.bool()?;
+            l.prefetched = d.bool()?;
+            l.tag = d.u64()?;
+            l.lru = d.u64()?;
+        }
+        self.tick = d.u64()?;
+        self.stats.demand_accesses = d.u64()?;
+        self.stats.demand_misses = d.u64()?;
+        self.stats.prefetch_accesses = d.u64()?;
+        self.stats.prefetch_misses = d.u64()?;
+        self.stats.useful_prefetch_hits = d.u64()?;
+        self.stats.late_prefetch_hits = d.u64()?;
+        self.stats.writebacks = d.u64()?;
+        Ok(())
     }
 }
 

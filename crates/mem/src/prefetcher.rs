@@ -17,6 +17,8 @@
 //! Prefetches are emitted only in the *steady* state, `distance` strides
 //! ahead of the current access.
 
+use hidisc_isa::wire::{Dec, Enc, WireError, WireResult};
+
 /// RPT configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RptConfig {
@@ -143,6 +145,66 @@ impl StridePrefetcher {
         } else {
             None
         }
+    }
+
+    /// Serialises the table and statistics (geometry comes from the
+    /// config, which the checkpoint header pins).
+    pub fn save_state(&self, e: &mut Enc) {
+        e.usize(self.table.len());
+        for entry in &self.table {
+            e.u32(entry.pc);
+            e.bool(entry.valid);
+            e.u64(entry.last_addr);
+            e.i64(entry.stride);
+            e.u8(match entry.state {
+                State::Initial => 0,
+                State::Transient => 1,
+                State::Steady => 2,
+                State::NoPred => 3,
+            });
+        }
+        let RptStats {
+            observed,
+            emitted,
+            replacements,
+        } = self.stats;
+        e.u64(observed);
+        e.u64(emitted);
+        e.u64(replacements);
+    }
+
+    /// Restores the state saved by [`StridePrefetcher::save_state`]; the
+    /// receiver must have the same table size.
+    pub fn load_state(&mut self, d: &mut Dec) -> WireResult<()> {
+        let n = d.usize()?;
+        if n != self.table.len() {
+            return Err(WireError {
+                pos: 0,
+                what: "prefetch table size mismatch",
+            });
+        }
+        for entry in &mut self.table {
+            entry.pc = d.u32()?;
+            entry.valid = d.bool()?;
+            entry.last_addr = d.u64()?;
+            entry.stride = d.i64()?;
+            entry.state = match d.u8()? {
+                0 => State::Initial,
+                1 => State::Transient,
+                2 => State::Steady,
+                3 => State::NoPred,
+                _ => {
+                    return Err(WireError {
+                        pos: 0,
+                        what: "prefetch entry state out of range",
+                    })
+                }
+            };
+        }
+        self.stats.observed = d.u64()?;
+        self.stats.emitted = d.u64()?;
+        self.stats.replacements = d.u64()?;
+        Ok(())
     }
 }
 

@@ -7,15 +7,18 @@
 
 use crate::config::{CoreConfig, Scheduler};
 use crate::fu::{latency_of, FuPool};
-use crate::lsq::{LoadCheck, Lsq, LsqEntry};
+use crate::lsq::{queue_opt_code, queue_opt_from, LoadCheck, Lsq, LsqEntry};
 use crate::predictor::Predictor;
 use crate::queues::QueueFile;
 use crate::ruu::{EntryState, Ruu};
 use crate::stats::CoreStats;
 use hidisc_isa::instr::{FuClass, RegRef, Src, Width};
-use hidisc_isa::interp::{f64_to_i64, RegFile};
+use hidisc_isa::interp::{
+    f64_to_i64, step_at, MemEvent, MemKind, PopResult, PushResult, QueueEnv, RegFile, Step,
+};
 use hidisc_isa::mem::Memory;
 use hidisc_isa::reg::{NUM_FP_REGS, NUM_INT_REGS};
+use hidisc_isa::wire::{Dec, Enc, WireError, WireResult};
 use hidisc_isa::{Instr, IsaError, Program, Queue, Result};
 use hidisc_mem::{AccessKind, MemSystem, StridePrefetcher};
 use hidisc_telemetry::{Category, EventData, Telemetry};
@@ -155,6 +158,14 @@ pub struct OooCore {
     /// `(complete_at, seq)` min-heap. Harvest pops while the top is due;
     /// `next_event` reads the top instead of re-walking the RUU.
     completions: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Sampled simulation: fetch is paused while the pipeline drains
+    /// ahead of a warm phase.
+    fetch_paused: bool,
+    /// Sampled simulation: the core is in the functional warm phase
+    /// (pipeline idealised, architectural state and caches kept live).
+    warm: bool,
+    /// Resume pc for the warm phase / the detailed phase after it.
+    warm_pc: u32,
 }
 
 impl OooCore {
@@ -180,6 +191,9 @@ impl OooCore {
             rename: [None; RENAME_SLOTS],
             ready: BTreeSet::new(),
             completions: BinaryHeap::new(),
+            fetch_paused: false,
+            warm: false,
+            warm_pc: 0,
             regs: RegFile::new(),
             cfg,
             prog,
@@ -396,7 +410,7 @@ impl OooCore {
     // --------------------------------------------------------------- fetch
 
     fn fetch(&mut self, trace: &mut Telemetry) {
-        if self.fetch_halted || self.finished {
+        if self.fetch_halted || self.finished || self.fetch_paused {
             return;
         }
         if self.mispredict_pending.is_some() || self.now < self.frontend_ready_at {
@@ -1126,6 +1140,318 @@ impl OooCore {
                 break;
             }
         }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------ warm phase
+//
+// Sampled (SMARTS-style) simulation alternates detailed windows with
+// functional warm phases. Entering a warm phase is a three-step protocol
+// driven by the machine: pause fetch, keep stepping detailed cycles until
+// the pipeline drains, then switch to `warm_step` — in-order functional
+// execution that keeps the architectural state, queues, predictor and
+// cache/prefetcher models live while idealising the pipeline.
+
+/// Queue adapter for the warm phase: the real bounded [`QueueFile`],
+/// with the architectural exception that an SCQ pop never blocks (an
+/// empty SCQ just means the CMP is behind — same as detailed dispatch).
+struct WarmQueues<'a> {
+    queues: &'a mut QueueFile,
+}
+
+impl QueueEnv for WarmQueues<'_> {
+    fn pop(&mut self, q: Queue) -> Result<PopResult> {
+        match self.queues.try_pop(q) {
+            Some(v) => Ok(PopResult::Value(v)),
+            None if q == Queue::Scq => Ok(PopResult::Value(0)),
+            None => Ok(PopResult::Blocked),
+        }
+    }
+    fn push(&mut self, q: Queue, v: u64) -> Result<PushResult> {
+        if self.queues.try_push(q, v) {
+            Ok(PushResult::Done)
+        } else {
+            Ok(PushResult::Blocked)
+        }
+    }
+}
+
+impl OooCore {
+    /// Pauses or resumes instruction fetch (sampled-mode drain control).
+    pub fn set_fetch_paused(&mut self, paused: bool) {
+        self.fetch_paused = paused;
+    }
+
+    /// True while the core is in the functional warm phase.
+    pub fn is_warm(&self) -> bool {
+        self.warm
+    }
+
+    /// True when nothing is in flight: every dispatched instruction has
+    /// committed and no mispredict redirect is pending. (The fetch queue
+    /// may still hold undispatched instructions — they are the resume
+    /// point.)
+    pub fn pipeline_drained(&self) -> bool {
+        self.ruu.is_empty() && self.lsq.is_empty() && self.mispredict_pending.is_none()
+    }
+
+    /// Switches a drained core into the warm phase. Returns true once the
+    /// core is warm (idempotent); false while the pipeline still holds
+    /// in-flight instructions. Call with fetch paused.
+    pub fn try_enter_warm(&mut self) -> bool {
+        if self.warm || self.finished {
+            return true;
+        }
+        if !self.pipeline_drained() {
+            return false;
+        }
+        // The architectural frontier: the oldest undispatched instruction,
+        // or the fetch pc when the fetch queue is empty.
+        self.warm_pc = self.ifq.front().map_or(self.fetch_pc, |f| f.pc);
+        self.ifq.clear();
+        self.warm = true;
+        true
+    }
+
+    /// Leaves the warm phase: fetch resumes at the warm frontier.
+    pub fn exit_warm(&mut self) {
+        if !self.warm {
+            return;
+        }
+        self.warm = false;
+        self.fetch_pc = self.warm_pc;
+        self.fetch_halted = false;
+        self.fetch_paused = false;
+    }
+
+    /// One warm cycle: executes up to `dispatch_width` instructions
+    /// functionally, in order. Queue pushes and pops go through the real
+    /// bounded queues (a block ends the cycle's burst), loads and stores
+    /// update both the architectural memory and the cache/MSHR timing
+    /// model, the branch predictor trains, the stride prefetcher observes,
+    /// and trigger annotations fork CMP threads — so a detailed window
+    /// resumed after the warm phase sees warmed microarchitectural state.
+    pub fn warm_step(&mut self, now: u64, ctx: &mut CoreCtx<'_>) -> Result<()> {
+        debug_assert!(self.warm, "warm_step on a core not in warm mode");
+        if self.finished {
+            return Ok(());
+        }
+        self.now = now;
+        self.stats.cycles += 1;
+        let mut events: Vec<MemEvent> = Vec::new();
+        // Commit several dispatch-widths of work per iteration: warm-phase
+        // cycles carry no timing meaning, so a wider burst only amortises
+        // the per-iteration machine overhead (queue scans, CMP dispatch,
+        // watchdog). Inter-core interleaving stays bounded by the
+        // architectural queues — a blocked push/pop ends the burst and
+        // hands the iteration to the other core.
+        let burst = 4 * self.cfg.dispatch_width;
+        for _ in 0..burst {
+            if self.finished {
+                break;
+            }
+            let pc = self.warm_pc;
+            let mut env = WarmQueues { queues: ctx.queues };
+            let step = step_at(
+                &self.prog,
+                pc,
+                &mut self.regs,
+                ctx.data,
+                &mut env,
+                &mut |e| events.push(e),
+            )?;
+            let next = match step {
+                Step::Blocked => break,
+                Step::Next(n) => Some(n),
+                Step::Halt => None,
+            };
+            // Post-step bookkeeping mirroring detailed dispatch/commit.
+            let instr = *self.prog.get(pc).expect("step_at validated pc");
+            let annot = *self.prog.annot(pc);
+            if let (Some(n), Instr::Branch { .. } | Instr::CBranch { .. }) = (next, instr) {
+                let taken = n != pc + 1;
+                let predicted = self.predictor.predict(pc);
+                self.predictor.update(pc, taken, predicted);
+            }
+            if annot.scq_get {
+                let _ = ctx.queues.try_pop(Queue::Scq);
+            }
+            if let Some(cmas) = annot.trigger {
+                ctx.triggers.push(TriggerFork {
+                    cmas,
+                    regs: self.regs.clone(),
+                });
+                self.stats.triggers_fired += 1;
+            }
+            self.stats.committed += 1;
+            self.stats.dispatched += 1;
+            if instr.is_mem() {
+                self.stats.committed_mem += 1;
+            }
+            match next {
+                Some(n) => self.warm_pc = n,
+                None => self.finished = true,
+            }
+        }
+        // Replay the burst's memory traffic into the cache model
+        // functionally (latency-free, no MSHR occupancy) so tags, LRU and
+        // the prefetcher stay warm. The timed path would reject most of
+        // this traffic — warm mode commits many instructions per cycle, so
+        // the MSHR file fills instantly and the caches would silently stop
+        // warming, biasing the detailed windows that follow.
+        for ev in events {
+            let kind = match ev.kind {
+                MemKind::Load => AccessKind::Load,
+                MemKind::Store => AccessKind::Store,
+                MemKind::Prefetch => AccessKind::Prefetch,
+            };
+            ctx.mem_sys.warm_access(ev.addr, kind);
+            if ev.kind == MemKind::Load {
+                if let Some(rpt) = self.rpt.as_mut() {
+                    if let Some(pf) = rpt.observe(ev.pc, ev.addr) {
+                        ctx.mem_sys.warm_access(pf, AccessKind::Prefetch);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------- checkpointing
+
+impl OooCore {
+    /// Serialises the core's dynamic state. Static state (program,
+    /// configuration, name) is *not* stored: the checkpoint loader rebuilds
+    /// the machine through the normal construction path and overwrites the
+    /// dynamic state in place, with the checkpoint header pinning the
+    /// config hash. Functional units hold no cross-cycle state
+    /// (`begin_cycle` resets them), so they are skipped.
+    pub fn save_state(&self, e: &mut Enc) {
+        self.regs.save_state(e);
+        self.predictor.save_state(e);
+        self.ruu.save_state(e);
+        self.lsq.save_state(e);
+        e.usize(self.ifq.len());
+        for f in &self.ifq {
+            e.u32(f.pc);
+            e.bool(f.predicted_taken);
+        }
+        e.u32(self.fetch_pc);
+        e.bool(self.fetch_halted);
+        e.u64(self.frontend_ready_at);
+        match self.mispredict_pending {
+            None => e.bool(false),
+            Some((seq, next)) => {
+                e.bool(true);
+                e.u64(seq);
+                e.u32(next);
+            }
+        }
+        e.bool(self.finished);
+        e.u64(self.now);
+        self.stats.save_state(e);
+        e.u8(queue_opt_code(self.stalled_on));
+        match &self.rpt {
+            None => e.bool(false),
+            Some(rpt) => {
+                e.bool(true);
+                rpt.save_state(e);
+            }
+        }
+        for slot in &self.rename {
+            match slot {
+                None => e.bool(false),
+                Some(seq) => {
+                    e.bool(true);
+                    e.u64(*seq);
+                }
+            }
+        }
+        e.usize(self.ready.len());
+        for &seq in &self.ready {
+            e.u64(seq);
+        }
+        // The completion heap serialises as a sorted vector so the bytes
+        // are deterministic regardless of heap layout.
+        let mut comps: Vec<(u64, u64)> = self.completions.iter().map(|&Reverse(p)| p).collect();
+        comps.sort_unstable();
+        e.usize(comps.len());
+        for (t, seq) in comps {
+            e.u64(t);
+            e.u64(seq);
+        }
+        e.bool(self.fetch_paused);
+        e.bool(self.warm);
+        e.u32(self.warm_pc);
+    }
+
+    /// Restores the dynamic state written by
+    /// [`save_state`](Self::save_state) into an identically configured
+    /// core.
+    pub fn load_state(&mut self, d: &mut Dec) -> WireResult<()> {
+        self.regs.load_state(d)?;
+        self.predictor.load_state(d)?;
+        let prog = &self.prog;
+        self.ruu.load_state(d, |pc| prog.get(pc).copied())?;
+        self.lsq.load_state(d)?;
+        let n = d.usize()?;
+        self.ifq.clear();
+        for _ in 0..n {
+            let pc = d.u32()?;
+            let predicted_taken = d.bool()?;
+            let instr = *self.prog.get(pc).ok_or(WireError {
+                pos: 0,
+                what: "ifq pc out of program range",
+            })?;
+            self.ifq.push_back(Fetched {
+                pc,
+                instr,
+                predicted_taken,
+            });
+        }
+        self.fetch_pc = d.u32()?;
+        self.fetch_halted = d.bool()?;
+        self.frontend_ready_at = d.u64()?;
+        self.mispredict_pending = if d.bool()? {
+            Some((d.u64()?, d.u32()?))
+        } else {
+            None
+        };
+        self.finished = d.bool()?;
+        self.now = d.u64()?;
+        self.stats.load_state(d)?;
+        self.stalled_on = queue_opt_from(d.u8()?)?;
+        let has_rpt = d.bool()?;
+        match (&mut self.rpt, has_rpt) {
+            (Some(rpt), true) => rpt.load_state(d)?,
+            (None, false) => {}
+            _ => {
+                return Err(WireError {
+                    pos: 0,
+                    what: "prefetcher presence mismatch",
+                })
+            }
+        }
+        for slot in self.rename.iter_mut() {
+            *slot = if d.bool()? { Some(d.u64()?) } else { None };
+        }
+        let n = d.usize()?;
+        self.ready.clear();
+        for _ in 0..n {
+            self.ready.insert(d.u64()?);
+        }
+        let n = d.usize()?;
+        self.completions.clear();
+        for _ in 0..n {
+            let t = d.u64()?;
+            let seq = d.u64()?;
+            self.completions.push(Reverse((t, seq)));
+        }
+        self.fetch_paused = d.bool()?;
+        self.warm = d.bool()?;
+        self.warm_pc = d.u32()?;
         Ok(())
     }
 }

@@ -8,8 +8,54 @@
 //! Processor's store data.
 
 use hidisc_isa::instr::Width;
+use hidisc_isa::wire::{Dec, Enc, WireError, WireResult};
 use hidisc_isa::Queue;
 use std::collections::VecDeque;
+
+fn width_code(w: Width) -> u8 {
+    match w {
+        Width::B => 0,
+        Width::H => 1,
+        Width::W => 2,
+        Width::D => 3,
+    }
+}
+
+fn width_from(code: u8) -> WireResult<Width> {
+    Ok(match code {
+        0 => Width::B,
+        1 => Width::H,
+        2 => Width::W,
+        3 => Width::D,
+        _ => {
+            return Err(WireError {
+                pos: 0,
+                what: "width out of range",
+            })
+        }
+    })
+}
+
+/// Encodes an optional queue as one byte (0 = none, else index+1 in
+/// [`Queue::ALL`] order). Shared by the LSQ and core serialisers.
+pub(crate) fn queue_opt_code(q: Option<Queue>) -> u8 {
+    match q {
+        None => 0,
+        Some(q) => Queue::ALL.iter().position(|&x| x == q).unwrap() as u8 + 1,
+    }
+}
+
+/// Inverse of [`queue_opt_code`].
+pub(crate) fn queue_opt_from(code: u8) -> WireResult<Option<Queue>> {
+    match code {
+        0 => Ok(None),
+        n if (n as usize) <= Queue::ALL.len() => Ok(Some(Queue::ALL[n as usize - 1])),
+        _ => Err(WireError {
+            pos: 0,
+            what: "queue out of range",
+        }),
+    }
+}
 
 /// One in-flight memory operation.
 #[derive(Debug, Clone)]
@@ -202,6 +248,47 @@ impl Lsq {
     /// Iterates entries oldest → youngest.
     pub fn iter(&self) -> impl Iterator<Item = &LsqEntry> {
         self.entries.iter()
+    }
+
+    /// Serialises all in-flight entries (capacity comes from the config,
+    /// which the checkpoint header pins).
+    pub fn save_state(&self, e: &mut Enc) {
+        e.usize(self.entries.len());
+        for en in &self.entries {
+            e.u64(en.seq);
+            e.bool(en.is_store);
+            e.u64(en.addr);
+            e.u8(width_code(en.width));
+            e.i64(en.value);
+            e.bool(en.data_known);
+            e.u8(queue_opt_code(en.data_queue));
+            e.bool(en.performed);
+        }
+    }
+
+    /// Restores from a [`save_state`](Self::save_state) stream; the flag
+    /// counts are recomputed.
+    pub fn load_state(&mut self, d: &mut Dec) -> WireResult<()> {
+        let n = d.usize()?;
+        self.entries.clear();
+        self.n_data_known = 0;
+        self.n_performed = 0;
+        for _ in 0..n {
+            let en = LsqEntry {
+                seq: d.u64()?,
+                is_store: d.bool()?,
+                addr: d.u64()?,
+                width: width_from(d.u8()?)?,
+                value: d.i64()?,
+                data_known: d.bool()?,
+                data_queue: queue_opt_from(d.u8()?)?,
+                performed: d.bool()?,
+            };
+            self.n_data_known += en.data_known as usize;
+            self.n_performed += en.performed as usize;
+            self.entries.push_back(en);
+        }
+        Ok(())
     }
 }
 

@@ -1,6 +1,8 @@
 //! Bimodal branch predictor (Table 1: "Branch predict mode: Bimodal,
 //! branch table size 2048").
 
+use hidisc_isa::wire::{Dec, Enc, WireError, WireResult};
+
 /// A table of 2-bit saturating counters indexed by instruction index.
 #[derive(Debug, Clone)]
 pub struct Bimodal {
@@ -230,6 +232,56 @@ impl Predictor {
             Predictor::Bimodal(p) => p.stats(),
             Predictor::GShare(p) => p.stats(),
         }
+    }
+
+    /// Serialises the predictor's dynamic state (table sizes come from
+    /// the config, which the checkpoint header pins).
+    pub fn save_state(&self, e: &mut Enc) {
+        match self {
+            Predictor::Bimodal(p) => {
+                e.usize(p.table.len());
+                e.bytes(&p.table);
+                e.u64(p.predictions);
+                e.u64(p.mispredictions);
+            }
+            Predictor::GShare(p) => {
+                e.usize(p.table.len());
+                e.bytes(&p.table);
+                e.u32(p.history);
+                e.u64(p.predictions);
+                e.u64(p.mispredictions);
+            }
+        }
+    }
+
+    /// Restores the dynamic state; the receiver must already be
+    /// configured identically (same kind and table size).
+    pub fn load_state(&mut self, d: &mut Dec) -> WireResult<()> {
+        let mismatch = |pos| WireError {
+            pos,
+            what: "predictor table size mismatch",
+        };
+        let n = d.usize()?;
+        match self {
+            Predictor::Bimodal(p) => {
+                if n != p.table.len() {
+                    return Err(mismatch(0));
+                }
+                p.table.copy_from_slice(d.bytes(n)?);
+                p.predictions = d.u64()?;
+                p.mispredictions = d.u64()?;
+            }
+            Predictor::GShare(p) => {
+                if n != p.table.len() {
+                    return Err(mismatch(0));
+                }
+                p.table.copy_from_slice(d.bytes(n)?);
+                p.history = d.u32()?;
+                p.predictions = d.u64()?;
+                p.mispredictions = d.u64()?;
+            }
+        }
+        Ok(())
     }
 }
 

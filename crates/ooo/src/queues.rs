@@ -10,6 +10,7 @@
 //! queue, which plays exactly the SAQ role (address buffered, store
 //! performs when the SDQ provides data).
 
+use hidisc_isa::wire::{Dec, Enc, WireResult};
 use hidisc_isa::Queue;
 use std::collections::VecDeque;
 
@@ -186,6 +187,20 @@ impl QueueFile {
         h
     }
 
+    /// Fingerprint of the queue *contents* only (no statistics): two
+    /// machines whose in-flight queue data differs get different tokens.
+    /// Used by the bisect state digest, which compares architectural state
+    /// and deliberately ignores timing counters.
+    pub fn content_token(&self, mut h: u64) -> u64 {
+        for q in &self.queues {
+            h = token_mix(h, q.len() as u64);
+            for &v in q {
+                h = token_mix(h, v);
+            }
+        }
+        h
+    }
+
     /// Replays the reject statistics of `k` identical idle cycles, where
     /// `delta` is the per-cycle reject delta (current stats minus a
     /// snapshot taken one idle cycle earlier). Contents-affecting counters
@@ -208,6 +223,36 @@ impl QueueFile {
             s.empty_rejects += empty_rejects * k;
         }
     }
+
+    /// Serialises contents and statistics (capacities come from the
+    /// config, which the checkpoint header pins).
+    pub fn save_state(&self, e: &mut Enc) {
+        for q in &self.queues {
+            e.usize(q.len());
+            for &v in q {
+                e.u64(v);
+            }
+        }
+        for s in &self.stats {
+            s.save_state(e);
+        }
+    }
+
+    /// Restores contents and statistics from a
+    /// [`save_state`](Self::save_state) stream.
+    pub fn load_state(&mut self, d: &mut Dec) -> WireResult<()> {
+        for q in self.queues.iter_mut() {
+            let n = d.usize()?;
+            q.clear();
+            for _ in 0..n {
+                q.push_back(d.u64()?);
+            }
+        }
+        for s in self.stats.iter_mut() {
+            s.load_state(d)?;
+        }
+        Ok(())
+    }
 }
 
 impl QueueStats {
@@ -228,6 +273,32 @@ impl QueueStats {
             empty_rejects: self.empty_rejects - empty_rejects,
             max_occupancy: self.max_occupancy - max_occupancy,
         }
+    }
+
+    /// Serialises the counters.
+    pub fn save_state(&self, e: &mut Enc) {
+        let QueueStats {
+            pushes,
+            pops,
+            full_rejects,
+            empty_rejects,
+            max_occupancy,
+        } = *self;
+        e.u64(pushes);
+        e.u64(pops);
+        e.u64(full_rejects);
+        e.u64(empty_rejects);
+        e.usize(max_occupancy);
+    }
+
+    /// Restores the counters.
+    pub fn load_state(&mut self, d: &mut Dec) -> WireResult<()> {
+        self.pushes = d.u64()?;
+        self.pops = d.u64()?;
+        self.full_rejects = d.u64()?;
+        self.empty_rejects = d.u64()?;
+        self.max_occupancy = d.usize()?;
+        Ok(())
     }
 }
 

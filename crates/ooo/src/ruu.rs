@@ -5,6 +5,7 @@
 //! an entry can be located by `seq - front_seq` in O(1).
 
 use hidisc_isa::instr::{FuClass, Instr};
+use hidisc_isa::wire::{Dec, Enc, WireError, WireResult};
 use std::collections::VecDeque;
 
 /// Timing state of an RUU entry.
@@ -218,6 +219,98 @@ impl Ruu {
                 self.n_done += 1;
             }
         }
+    }
+
+    /// Serialises the window. Instructions are *not* stored — only
+    /// correct-path instructions dispatch (functional execution is
+    /// in-order), so the loader re-derives them from the static program
+    /// by pc.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.u64(self.next_seq);
+        e.usize(self.entries.len());
+        for en in &self.entries {
+            e.u64(en.seq);
+            e.u32(en.pc);
+            e.u8(match en.state {
+                EntryState::Waiting => 0,
+                EntryState::Issued => 1,
+                EntryState::Done => 2,
+            });
+            e.u64(en.complete_at);
+            for dep in en.deps {
+                match dep {
+                    None => e.bool(false),
+                    Some(s) => {
+                        e.bool(true);
+                        e.u64(s);
+                    }
+                }
+            }
+            e.u64(en.payload);
+            e.bool(en.predicted_taken);
+            e.bool(en.actual_taken);
+            e.u32(en.correct_next);
+            e.bool(en.mispredicted);
+            e.usize(en.consumers.len());
+            for &c in &en.consumers {
+                e.u64(c);
+            }
+            e.u8(en.pending_deps);
+        }
+    }
+
+    /// Restores from a [`save_state`](Self::save_state) stream.
+    /// `instr_at` resolves a pc to the static instruction (the owning
+    /// core's program); state counts are recomputed.
+    pub fn load_state(
+        &mut self,
+        d: &mut Dec,
+        mut instr_at: impl FnMut(u32) -> Option<Instr>,
+    ) -> WireResult<()> {
+        self.next_seq = d.u64()?;
+        let n = d.usize()?;
+        self.entries.clear();
+        self.n_waiting = 0;
+        self.n_done = 0;
+        for _ in 0..n {
+            let seq = d.u64()?;
+            let pc = d.u32()?;
+            let instr = instr_at(pc).ok_or(WireError {
+                pos: 0,
+                what: "ruu pc out of program range",
+            })?;
+            let mut en = RuuEntry::new(seq, pc, instr);
+            en.state = match d.u8()? {
+                0 => EntryState::Waiting,
+                1 => EntryState::Issued,
+                2 => EntryState::Done,
+                _ => {
+                    return Err(WireError {
+                        pos: 0,
+                        what: "ruu state out of range",
+                    })
+                }
+            };
+            en.complete_at = d.u64()?;
+            for dep in en.deps.iter_mut() {
+                *dep = if d.bool()? { Some(d.u64()?) } else { None };
+            }
+            en.payload = d.u64()?;
+            en.predicted_taken = d.bool()?;
+            en.actual_taken = d.bool()?;
+            en.correct_next = d.u32()?;
+            en.mispredicted = d.bool()?;
+            let nc = d.usize()?;
+            en.consumers = (0..nc).map(|_| d.u64()).collect::<WireResult<_>>()?;
+            en.pending_deps = d.u8()?;
+            match en.state {
+                EntryState::Waiting => self.n_waiting += 1,
+                EntryState::Done => self.n_done += 1,
+                EntryState::Issued => {}
+            }
+            self.entries.push_back(en);
+        }
+        Ok(())
     }
 }
 

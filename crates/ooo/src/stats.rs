@@ -183,6 +183,79 @@ impl CoreStats {
         self.mem_dep_stalls += mem_dep_stalls * k;
         self.mshr_retries += mshr_retries * k;
     }
+
+    /// Serialises all counters for the checkpoint format. Exhaustive
+    /// destructuring: adding a field without serialising it must not
+    /// compile.
+    pub fn save_state(&self, e: &mut hidisc_isa::wire::Enc) {
+        let CoreStats {
+            cycles,
+            committed,
+            committed_mem,
+            dispatched,
+            dispatch_stall_q,
+            commit_stall_q,
+            lod_events,
+            ruu_full_cycles,
+            lsq_full_cycles,
+            mispredicts,
+            cbranch_redirects,
+            mem_dep_stalls,
+            forwarded_loads,
+            mshr_retries,
+            dropped_prefetches,
+            triggers_fired,
+        } = *self;
+        for v in [cycles, committed, committed_mem, dispatched] {
+            e.u64(v);
+        }
+        for v in dispatch_stall_q.into_iter().chain(commit_stall_q) {
+            e.u64(v);
+        }
+        for v in [
+            lod_events,
+            ruu_full_cycles,
+            lsq_full_cycles,
+            mispredicts,
+            cbranch_redirects,
+            mem_dep_stalls,
+            forwarded_loads,
+            mshr_retries,
+            dropped_prefetches,
+            triggers_fired,
+        ] {
+            e.u64(v);
+        }
+    }
+
+    /// Restores all counters.
+    pub fn load_state(
+        &mut self,
+        d: &mut hidisc_isa::wire::Dec,
+    ) -> hidisc_isa::wire::WireResult<()> {
+        self.cycles = d.u64()?;
+        self.committed = d.u64()?;
+        self.committed_mem = d.u64()?;
+        self.dispatched = d.u64()?;
+        for v in self
+            .dispatch_stall_q
+            .iter_mut()
+            .chain(self.commit_stall_q.iter_mut())
+        {
+            *v = d.u64()?;
+        }
+        self.lod_events = d.u64()?;
+        self.ruu_full_cycles = d.u64()?;
+        self.lsq_full_cycles = d.u64()?;
+        self.mispredicts = d.u64()?;
+        self.cbranch_redirects = d.u64()?;
+        self.mem_dep_stalls = d.u64()?;
+        self.forwarded_loads = d.u64()?;
+        self.mshr_retries = d.u64()?;
+        self.dropped_prefetches = d.u64()?;
+        self.triggers_fired = d.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

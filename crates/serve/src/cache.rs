@@ -96,12 +96,117 @@ impl ResultCache {
     }
 }
 
+struct CkEntry {
+    stamp: u64,
+    bytes: Arc<Vec<u8>>,
+}
+
+/// Warm-start checkpoint store: post-fast-forward machine snapshots
+/// keyed by [`hidisc::MachineConfig::warm_hash`] extended with the
+/// workload identity. Same shape as [`ResultCache`] — in-memory LRU with
+/// an optional read-through disk tier — but the payload is the binary
+/// checkpoint (`<key>.ck` files), and a restored entry skips the shared
+/// run prefix instead of the whole run.
+pub struct CheckpointStore {
+    cap: usize,
+    stamp: u64,
+    map: HashMap<u64, CkEntry>,
+    dir: Option<PathBuf>,
+}
+
+impl CheckpointStore {
+    /// A store holding at most `cap` checkpoints in memory (at least 1),
+    /// persisting to `dir` when given.
+    pub fn new(cap: usize, dir: Option<PathBuf>) -> CheckpointStore {
+        CheckpointStore {
+            cap: cap.max(1),
+            stamp: 0,
+            map: HashMap::new(),
+            dir,
+        }
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    fn path_of(&self, key: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key:016x}.ck")))
+    }
+
+    /// Looks `key` up, consulting the disk tier on a memory miss.
+    pub fn get(&mut self, key: u64) -> Option<Arc<Vec<u8>>> {
+        let stamp = self.touch();
+        if let Some(e) = self.map.get_mut(&key) {
+            e.stamp = stamp;
+            return Some(Arc::clone(&e.bytes));
+        }
+        let path = self.path_of(key)?;
+        let bytes = Arc::new(std::fs::read(path).ok()?);
+        self.insert_memory(key, Arc::clone(&bytes), stamp);
+        Some(bytes)
+    }
+
+    /// Inserts a checkpoint, persisting it to the disk tier (best-effort;
+    /// a read-only directory degrades to memory-only).
+    pub fn insert(&mut self, key: u64, bytes: Arc<Vec<u8>>) {
+        if let Some(path) = self.path_of(key) {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let tmp = path.with_extension("tmp");
+            if std::fs::write(&tmp, bytes.as_slice()).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+        let stamp = self.touch();
+        self.insert_memory(key, bytes, stamp);
+    }
+
+    fn insert_memory(&mut self, key: u64, bytes: Arc<Vec<u8>>, stamp: u64) {
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, e)| e.stamp) {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(key, CkEntry { stamp, bytes });
+    }
+
+    /// Checkpoints currently held in memory.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn val(s: &str) -> Arc<String> {
         Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn checkpoint_store_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("hidisc-ck-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut s = CheckpointStore::new(1, Some(dir.clone()));
+            s.insert(3, Arc::new(vec![1, 2, 3]));
+            s.insert(4, Arc::new(vec![4])); // 3 leaves memory, stays on disk
+            assert_eq!(s.get(3).as_deref(), Some(&vec![1, 2, 3]));
+        }
+        let mut s2 = CheckpointStore::new(4, Some(dir.clone()));
+        assert!(s2.is_empty());
+        assert_eq!(s2.get(4).as_deref(), Some(&vec![4]));
+        assert_eq!(s2.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -37,8 +37,11 @@ pub mod cache;
 pub mod http;
 pub mod json;
 
-use cache::ResultCache;
+use cache::{CheckpointStore, ResultCache};
 use json::{escape, Json};
+
+/// Default [`ServeConfig::warm_checkpoint_cycle`].
+pub const WARM_CHECKPOINT_CYCLE: u64 = 20_000;
 
 // ---------------------------------------------------------------------
 // Job specification
@@ -257,6 +260,24 @@ impl JobSpec {
         }
         h
     }
+
+    /// The warm-start address: like [`JobSpec::key`] but seeded from
+    /// [`MachineConfig::warm_hash`], which normalises the cycle and
+    /// deadlock budgets away. Budgets only decide where a run *stops*,
+    /// not how state *evolves*, so two jobs differing only in budgets
+    /// share the same simulated prefix — and the same checkpoint.
+    pub fn warm_key(&self, cfg: &MachineConfig) -> u64 {
+        let mut h = cfg.warm_hash();
+        h = fnv1a(h, self.workload.as_bytes());
+        h = fnv1a(h, &[0, self.scale as u8]);
+        h = fnv1a(h, &self.seed.to_le_bytes());
+        h = fnv1a(h, &[self.model as u8]);
+        if let Some(p) = &self.program {
+            h = fnv1a(h, &[1]);
+            h = fnv1a(h, p.as_bytes());
+        }
+        h
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -283,6 +304,14 @@ pub struct ServeConfig {
     /// queue ever applies backpressure; past the cap new connections are
     /// answered `503` + `Retry-After` immediately.
     pub max_connections: usize,
+    /// Cycle at which a job's machine state is checkpointed for warm
+    /// starts (see [`JobSpec::warm_key`]); `0` disables warm starts.
+    /// The default ([`WARM_CHECKPOINT_CYCLE`]) sits past the cold-cache
+    /// knee of the named workloads at `paper` scale while costing a
+    /// negligible slice of a real run. Jobs whose run (or cycle budget)
+    /// ends before this point run cold — their run is shorter than the
+    /// shared prefix.
+    pub warm_checkpoint_cycle: u64,
 }
 
 impl Default for ServeConfig {
@@ -294,6 +323,7 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             cache_dir: None,
             max_connections: 128,
+            warm_checkpoint_cycle: WARM_CHECKPOINT_CYCLE,
         }
     }
 }
@@ -312,6 +342,7 @@ struct Counters {
     conn_rejected: AtomicU64,
     bad_requests: AtomicU64,
     dropped_events: AtomicU64,
+    warm_restores: AtomicU64,
 }
 
 enum Phase {
@@ -362,6 +393,11 @@ impl Registry {
 
 struct State {
     registry: Mutex<Registry>,
+    /// Warm-start checkpoints, keyed by [`JobSpec::warm_key`]. Separate
+    /// from the registry mutex: checkpoint save/restore happens inside
+    /// `run_simulation`, which must not hold the registry lock.
+    warm: Mutex<CheckpointStore>,
+    warm_checkpoint_cycle: u64,
     workers: Mutex<Option<Workers>>,
     counters: Counters,
     metrics: Mutex<Option<IntervalMetrics>>,
@@ -406,6 +442,11 @@ impl Service {
                 max_terminal: cfg.cache_capacity.max(1),
                 cache: ResultCache::new(cfg.cache_capacity, cfg.cache_dir.clone()),
             }),
+            warm: Mutex::new(CheckpointStore::new(
+                64,
+                cfg.cache_dir.as_ref().map(|d| d.join("warm")),
+            )),
+            warm_checkpoint_cycle: cfg.warm_checkpoint_cycle,
             workers: Mutex::new(Some(Workers::new(workers, cfg.queue_depth))),
             counters: Counters::default(),
             metrics: Mutex::new(None),
@@ -901,11 +942,16 @@ fn execute_job(state: Arc<State>, id: String, key: u64, spec: JobSpec, cfg: Mach
     }
     state.counters.sim_runs.fetch_add(1, Ordering::Relaxed);
     let started = Instant::now();
-    let outcome = run_simulation(&spec, cfg);
+    let warm =
+        (state.warm_checkpoint_cycle > 0).then_some((&state.warm, state.warm_checkpoint_cycle));
+    let outcome = run_simulation(&spec, cfg, warm);
     let wall_ms = started.elapsed().as_millis() as u64;
 
     match outcome {
         Ok(run) => {
+            if run.warm_restored {
+                state.counters.warm_restores.fetch_add(1, Ordering::Relaxed);
+            }
             state
                 .counters
                 .dropped_events
@@ -937,9 +983,16 @@ struct RunOutcome {
     stats_json: String,
     metrics: Option<IntervalMetrics>,
     dropped_events: u64,
+    /// True when the run skipped its shared prefix by restoring a warm
+    /// checkpoint instead of re-simulating it.
+    warm_restored: bool,
 }
 
-fn run_simulation(spec: &JobSpec, cfg: MachineConfig) -> Result<RunOutcome, String> {
+fn run_simulation(
+    spec: &JobSpec,
+    cfg: MachineConfig,
+    warm: Option<(&Mutex<CheckpointStore>, u64)>,
+) -> Result<RunOutcome, String> {
     let (compiled, env) = match &spec.program {
         Some(src) => {
             let prog = hidisc_isa::asm::assemble(&spec.workload, src)
@@ -959,6 +1012,36 @@ fn run_simulation(spec: &JobSpec, cfg: MachineConfig) -> Result<RunOutcome, Stri
         }
     };
     let mut m = Machine::new(spec.model, &compiled, &env, cfg);
+    let mut warm_restored = false;
+    if let Some((store, warm_at)) = warm {
+        let wkey = spec.warm_key(&cfg);
+        if let Some(bytes) = store.lock().expect("warm store lock").get(wkey) {
+            if m.load_warm_checkpoint(&bytes, wkey).is_ok() {
+                warm_restored = true;
+            } else {
+                // Stale or truncated checkpoint (e.g. a wire-format
+                // bump): a failed load may leave partial state, so
+                // rebuild the machine and run cold. The prefix run below
+                // overwrites the bad entry.
+                m = Machine::new(spec.model, &compiled, &env, cfg);
+            }
+        }
+        // Jobs whose cycle budget ends inside the prefix run cold — their
+        // entire run is shorter than the shared portion.
+        if !warm_restored && cfg.max_cycles > warm_at {
+            match m.run_to_cycle(warm_at) {
+                // Stopped at the boundary mid-run: this prefix is common
+                // to every budget variant of the experiment — save it.
+                Ok(false) => {
+                    let bytes = Arc::new(m.save_warm_checkpoint(wkey));
+                    store.lock().expect("warm store lock").insert(wkey, bytes);
+                }
+                // Finished inside the prefix: nothing left to share.
+                Ok(true) => {}
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
     let result = match spec.timeout_ms {
         Some(ms) => m.run_deadline(
             compiled.profile.dyn_instrs,
@@ -974,6 +1057,7 @@ fn run_simulation(spec: &JobSpec, cfg: MachineConfig) -> Result<RunOutcome, Stri
             stats_json: stats.to_json(),
             metrics,
             dropped_events,
+            warm_restored,
         }),
         Err(e) => {
             let msg = match &e {
@@ -995,7 +1079,7 @@ fn run_simulation(spec: &JobSpec, cfg: MachineConfig) -> Result<RunOutcome, Stri
 fn render_metrics(state: &Arc<State>) -> String {
     let c = &state.counters;
     let mut s = String::new();
-    let counters: [(&str, u64); 12] = [
+    let counters: [(&str, u64); 13] = [
         (
             "hidisc_serve_requests_total",
             c.requests.load(Ordering::Relaxed),
@@ -1039,6 +1123,10 @@ fn render_metrics(state: &Arc<State>) -> String {
         (
             "hidisc_serve_bad_requests_total",
             c.bad_requests.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_serve_warm_restores_total",
+            c.warm_restores.load(Ordering::Relaxed),
         ),
         (
             "hidisc_telemetry_dropped_events_total",

@@ -355,6 +355,55 @@ fn disk_cache_survives_a_service_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A second job that differs from the first only in its cycle budget
+/// shares the simulated prefix: the service restores the warm checkpoint
+/// instead of re-simulating from cycle zero, and still produces
+/// byte-identical simulated results.
+#[test]
+fn warm_start_restores_shared_prefix_for_budget_variants() {
+    let dir = std::env::temp_dir().join(format!("hidisc-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let svc = Service::start(ServeConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        warm_checkpoint_cycle: 2_000,
+        ..ServeConfig::default()
+    })
+    .expect("service start");
+    let addr = svc.addr();
+
+    // dm/test runs ~20k cycles: both budgets are ample, so both jobs
+    // complete identically — but the budget is part of the job key, so
+    // the second submission is neither a coalesce nor a result-cache hit.
+    let a = r#"{"workload":"dm","scale":"test","seed":7,"model":"hidisc","max_cycles":500000}"#;
+    let b = r#"{"workload":"dm","scale":"test","seed":7,"model":"hidisc","max_cycles":600000}"#;
+
+    let r = request(addr, "POST", "/run", a);
+    assert_eq!(r.status, 202, "{}", r.body);
+    let id_a = json_str(&r.body, "job").unwrap();
+    let done_a = poll_job(addr, &id_a);
+    assert_eq!(json_str(&done_a.body, "status").as_deref(), Some("done"));
+    // The first run was cold: it simulated (and checkpointed) the prefix.
+    assert_eq!(metric(addr, "hidisc_serve_warm_restores_total"), 0);
+
+    let r = request(addr, "POST", "/run", b);
+    assert_eq!(r.status, 202, "{}", r.body);
+    let id_b = json_str(&r.body, "job").unwrap();
+    assert_ne!(id_a, id_b, "budget variants must be distinct jobs");
+    let done_b = poll_job(addr, &id_b);
+    assert_eq!(json_str(&done_b.body, "status").as_deref(), Some("done"));
+
+    // The second run simulated, but started from the restored checkpoint
+    // — with simulated results identical to a cold direct run.
+    assert_eq!(metric(addr, "hidisc_serve_sim_runs_total"), 2);
+    assert_eq!(metric(addr, "hidisc_serve_warm_restores_total"), 1);
+    assert_eq!(stats_of(&done_a.body), stats_of(&done_b.body));
+    assert_eq!(stats_of(&done_b.body), direct_stats(b));
+
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A custom program that fails static verification answers 400 with the
 /// verifier's located diagnostic; a clean one slices, runs and caches
 /// like any named workload.

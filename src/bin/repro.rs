@@ -14,7 +14,7 @@
 //! exits 2 with the typed [`ConfigError`] message.
 
 use hidisc::telemetry::TraceConfig;
-use hidisc::{MachineConfig, Scheduler};
+use hidisc::{MachineConfig, Model, Scheduler};
 use hidisc_bench::{self as bench, Report};
 use hidisc_serve::{ServeConfig, Service};
 use hidisc_workloads::Scale;
@@ -51,6 +51,14 @@ struct Args {
     cache_dir: Option<String>,
     /// `serve --max-conns <n>`: concurrent-connection cap (503 past it).
     max_conns: usize,
+    /// `--sample <detail>:<skip>`: run in SMARTS-style sampling mode.
+    sample: Option<(u64, u64)>,
+    /// `bisect --a <l2>:<mem>`: configuration A latencies.
+    cfg_a: Option<(u32, u32)>,
+    /// `bisect --b <l2>:<mem>`: configuration B latencies.
+    cfg_b: Option<(u32, u32)>,
+    /// `simspeed --format json`: emit the `BENCH_simspeed.json` document.
+    json: bool,
 }
 
 fn parse_args() -> Args {
@@ -74,12 +82,26 @@ fn parse_args() -> Args {
     let mut queue_depth = 32;
     let mut cache_dir = None;
     let mut max_conns = hidisc_serve::ServeConfig::default().max_connections;
+    let mut sample = None;
+    let mut cfg_a = None;
+    let mut cfg_b = None;
+    let mut json = false;
     let mut it = std::env::args().skip(1);
     let num = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next()
             .and_then(|s| s.parse::<u64>().ok())
             .unwrap_or_else(|| {
                 eprintln!("{flag} needs a number");
+                std::process::exit(2);
+            })
+    };
+    // A colon-separated pair of numbers, e.g. `--sample 2000:20000`.
+    let pair = |it: &mut dyn Iterator<Item = String>, flag: &str, what: &str| -> (u64, u64) {
+        let v = it.next().unwrap_or_default();
+        v.split_once(':')
+            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs <{what}> (two numbers separated by `:`)");
                 std::process::exit(2);
             })
     };
@@ -99,11 +121,12 @@ fn parse_args() -> Args {
             }
             "--format" => {
                 let v = it.next().unwrap_or_default();
-                csv = match v.as_str() {
-                    "text" => false,
-                    "csv" => true,
+                match v.as_str() {
+                    "text" => (csv, json) = (false, false),
+                    "csv" => (csv, json) = (true, false),
+                    "json" => (csv, json) = (false, true),
                     other => {
-                        eprintln!("unknown format `{other}` (use text|csv)");
+                        eprintln!("unknown format `{other}` (use text|csv|json)");
                         std::process::exit(2);
                     }
                 };
@@ -149,6 +172,15 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }));
             }
+            "--sample" => sample = Some(pair(&mut it, "--sample", "detail:skip")),
+            "--a" => {
+                let (l2, mem) = pair(&mut it, "--a", "l2-lat:mem-lat");
+                cfg_a = Some((l2 as u32, mem as u32));
+            }
+            "--b" => {
+                let (l2, mem) = pair(&mut it, "--b", "l2-lat:mem-lat");
+                cfg_b = Some((l2 as u32, mem as u32));
+            }
             "--workers" => workers = num(&mut it, "--workers") as usize,
             "--queue-depth" => queue_depth = num(&mut it, "--queue-depth") as usize,
             "--max-conns" => max_conns = num(&mut it, "--max-conns") as usize,
@@ -161,9 +193,10 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [{}] \
-                     [report|diag|trace|check|telemetry <workload>] \
-                     [--format text|csv] [--scale test|paper|large] [--seed N] [--threads N] \
+                     [report|diag|trace|check|telemetry|sample|bisect <workload>] \
+                     [--format text|csv|json] [--scale test|paper|large] [--seed N] [--threads N] \
                      [--l2-lat N] [--mem-lat N] [--scq-depth N] [--scheduler ready|scan] \
+                     [--sample <detail>:<skip>] [--a <l2>:<mem>] [--b <l2>:<mem>] \
                      [--trace <out.json>] [--trace-filter <cat,..|all>] [--metrics-interval N] \
                      [--event-cap N] [--stream] \
                      [serve --addr <host:port> --workers N --queue-depth N --cache-dir <dir> \
@@ -201,7 +234,7 @@ fn parse_args() -> Args {
     if arg.is_some()
         && !matches!(
             cmd.as_str(),
-            "trace" | "report" | "diag" | "check" | "telemetry"
+            "trace" | "report" | "diag" | "check" | "telemetry" | "sample" | "bisect"
         )
     {
         eprintln!("command `{cmd}` takes no argument (see --help)");
@@ -209,6 +242,14 @@ fn parse_args() -> Args {
     }
     if stream && cmd != "telemetry" {
         eprintln!("--stream only applies to the telemetry command");
+        std::process::exit(2);
+    }
+    if json && cmd != "simspeed" {
+        eprintln!("--format json only applies to the simspeed command");
+        std::process::exit(2);
+    }
+    if (cfg_a.is_some() || cfg_b.is_some()) && cmd != "bisect" {
+        eprintln!("--a/--b only apply to the bisect command");
         std::process::exit(2);
     }
     Args {
@@ -231,11 +272,15 @@ fn parse_args() -> Args {
         queue_depth,
         cache_dir,
         max_conns,
+        sample,
+        cfg_a,
+        cfg_b,
+        json,
     }
 }
 
 /// Every subcommand, in help order.
-const COMMANDS: [&str; 17] = [
+const COMMANDS: [&str; 20] = [
     "params",
     "fig8",
     "table2",
@@ -251,6 +296,9 @@ const COMMANDS: [&str; 17] = [
     "extras",
     "related",
     "ablate",
+    "sample",
+    "bisect",
+    "simspeed",
     "serve",
     "all",
 ];
@@ -375,13 +423,24 @@ fn main() {
         "fig8" | "table2" | "fig9" | "all" | "csv"
     );
     let results = if need_suite {
-        eprintln!(
-            "running the 7-benchmark suite on 4 machine models (scale {:?}, seed {})...",
-            args.scale, args.seed
-        );
-        let (results, sweep_wall_ns) = bench::run_suite_timed(args.scale, args.seed, cfg);
-        eprintln!("{}", bench::suite_speed_line(&results, sweep_wall_ns));
-        Some(results)
+        if let Some((detail, skip)) = args.sample {
+            eprintln!(
+                "running the 7-benchmark suite on 4 machine models \
+                 (scale {:?}, seed {}, sampled {detail}:{skip} — cycle counts are estimates)...",
+                args.scale, args.seed
+            );
+            Some(bench::sampling::run_suite_sampled(
+                args.scale, args.seed, cfg, detail, skip,
+            ))
+        } else {
+            eprintln!(
+                "running the 7-benchmark suite on 4 machine models (scale {:?}, seed {})...",
+                args.scale, args.seed
+            );
+            let (results, sweep_wall_ns) = bench::run_suite_timed(args.scale, args.seed, cfg);
+            eprintln!("{}", bench::suite_speed_line(&results, sweep_wall_ns));
+            Some(results)
+        }
     } else {
         None
     };
@@ -528,6 +587,72 @@ fn main() {
                 args.seed,
             );
             print!("{}", bench::RelatedReport(rows).render(csv));
+        }
+        "sample" => {
+            let name = args.arg.as_deref().unwrap_or("update");
+            let (detail, skip) = args.sample.unwrap_or(bench::sampling::DEFAULT_SAMPLE);
+            eprintln!(
+                "comparing exact vs sampled ({detail}:{skip}) for {name} on 4 models \
+                 (scale {:?}, seed {})...",
+                args.scale, args.seed
+            );
+            let rows = Model::ALL
+                .iter()
+                .map(|&m| {
+                    bench::sampling::compare_sampled(
+                        name, args.scale, args.seed, m, cfg, detail, skip,
+                    )
+                })
+                .collect();
+            let rep = bench::sampling::SampleReport(rows);
+            print!("{}", rep.render(csv));
+            if !rep.passed() {
+                std::process::exit(1);
+            }
+        }
+        "bisect" => {
+            let name = args.arg.as_deref().unwrap_or("pointer");
+            let (l2_a, mem_a) = args.cfg_a.unwrap_or((4, 40));
+            let (l2_b, mem_b) = args.cfg_b.unwrap_or((16, 160));
+            eprintln!(
+                "bisecting the first architectural divergence of {name} on HiDISC \
+                 between latencies {l2_a}:{mem_a} and {l2_b}:{mem_b}..."
+            );
+            let r = bench::sampling::bisect(
+                name,
+                args.scale,
+                args.seed,
+                Model::HiDisc,
+                MachineConfig::paper_with_latency(l2_a, mem_a),
+                MachineConfig::paper_with_latency(l2_b, mem_b),
+            );
+            print!("{}", bench::sampling::BisectReport(r).render(csv));
+        }
+        "simspeed" => {
+            let (detail, skip) = args.sample.unwrap_or(bench::sampling::SIMSPEED_SAMPLE);
+            eprintln!(
+                "timing the exact suite and the sampled acceptance row \
+                 ({}, {detail}:{skip}, scale {:?}, seed {})...",
+                bench::sampling::SIMSPEED_WORKLOAD,
+                args.scale,
+                args.seed
+            );
+            let rep = bench::sampling::simspeed(
+                args.scale,
+                args.seed,
+                cfg,
+                detail,
+                skip,
+                &[bench::sampling::SIMSPEED_WORKLOAD],
+            );
+            if args.json {
+                print!("{}", rep.render_json());
+            } else {
+                print!("{}", rep.render(csv));
+            }
+            if !rep.passed() {
+                std::process::exit(1);
+            }
         }
         "ablate" => {
             eprintln!("running the ablation study (update, tc, neighborhood, dm)...");
