@@ -123,6 +123,18 @@ pub enum ConfigError {
     },
 }
 
+impl ConfigError {
+    /// Stable diagnostic code, in the same style as the verifier's
+    /// `QB001`-family codes; carried as the `code` of hidisc-serve's
+    /// structured error envelope.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ConfigError::Zero { .. } => "CFG001",
+            ConfigError::NotPowerOfTwo { .. } => "CFG002",
+        }
+    }
+}
+
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

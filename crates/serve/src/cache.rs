@@ -14,20 +14,28 @@ struct Entry {
 
 /// The cache. Not internally synchronised — the service wraps it in the
 /// job-registry mutex.
+///
+/// The memory tier is bounded by **bytes**, not entry count: result
+/// payloads range from a few hundred bytes to the better part of a
+/// megabyte (interval metrics), so an entry-count cap bounds nothing
+/// useful. Past the budget, entries are evicted least-recently-used
+/// first until the total fits again.
 pub struct ResultCache {
-    cap: usize,
+    budget: usize,
+    total_bytes: usize,
     stamp: u64,
     map: HashMap<u64, Entry>,
     dir: Option<PathBuf>,
 }
 
 impl ResultCache {
-    /// A cache holding at most `cap` results in memory (at least 1),
-    /// persisting to `dir` when given (`<key>.json` files; created on
-    /// first insert, read-through on miss).
-    pub fn new(cap: usize, dir: Option<PathBuf>) -> ResultCache {
+    /// A cache holding at most `budget` bytes of results in memory
+    /// (at least 1), persisting to `dir` when given (`<key>.json` files;
+    /// created on first insert, read-through on miss).
+    pub fn new(budget: usize, dir: Option<PathBuf>) -> ResultCache {
         ResultCache {
-            cap: cap.max(1),
+            budget: budget.max(1),
+            total_bytes: 0,
             stamp: 0,
             map: HashMap::new(),
             dir,
@@ -77,17 +85,40 @@ impl ResultCache {
     }
 
     fn insert_memory(&mut self, key: u64, json: Arc<String>, stamp: u64) {
-        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
-            if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, e)| e.stamp) {
-                self.map.remove(&lru);
-            }
+        // A payload bigger than the whole budget never enters the memory
+        // tier (it would immediately evict everything *and* still bust
+        // the budget); it stays reachable through the disk tier.
+        if json.len() > self.budget {
+            self.remove(key);
+            return;
         }
+        self.remove(key);
+        self.total_bytes += json.len();
         self.map.insert(key, Entry { stamp, json });
+        // Evict oldest-first until the total fits the budget again.
+        while self.total_bytes > self.budget {
+            let Some((&lru, _)) = self.map.iter().min_by_key(|(_, e)| e.stamp) else {
+                break;
+            };
+            self.remove(lru);
+        }
+    }
+
+    fn remove(&mut self, key: u64) {
+        if let Some(e) = self.map.remove(&key) {
+            self.total_bytes -= e.json.len();
+        }
     }
 
     /// Results currently held in memory.
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Bytes of result payload currently held in memory. Always at most
+    /// the construction budget.
+    pub fn bytes(&self) -> usize {
+        self.total_bytes
     }
 
     /// True when the memory tier is empty.
@@ -210,16 +241,47 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_least_recently_used() {
-        let mut c = ResultCache::new(2, None);
-        c.insert(1, val("one"));
-        c.insert(2, val("two"));
+    fn byte_lru_evicts_least_recently_used() {
+        // Budget fits two 3-byte entries but not three.
+        let mut c = ResultCache::new(6, None);
+        c.insert(1, val("one")); // 3 bytes
+        c.insert(2, val("two")); // 3 bytes
+        assert_eq!(c.bytes(), 6);
         assert_eq!(c.get(1).as_deref().map(String::as_str), Some("one"));
-        c.insert(3, val("three")); // evicts 2 (1 was just touched)
+        c.insert(3, val("3b!")); // evicts 2 (1 was just touched)
         assert_eq!(c.len(), 2);
+        assert_eq!(c.bytes(), 6);
         assert!(c.get(2).is_none());
         assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn oversized_entries_skip_the_memory_tier() {
+        let dir = std::env::temp_dir().join(format!("hidisc-cache-big-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = ResultCache::new(4, Some(dir.clone()));
+        c.insert(1, val("tiny"));
+        assert_eq!(c.bytes(), 4);
+        c.insert(2, val("way too large for the budget"));
+        // The giant entry displaced nothing and used no memory...
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 4);
+        // ...but still resolves, read through the disk tier every time.
+        assert!(c.get(2).is_some());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let mut c = ResultCache::new(100, None);
+        c.insert(1, val("aaaa"));
+        c.insert(1, val("bb"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 2);
+        assert_eq!(c.get(1).as_deref().map(String::as_str), Some("bb"));
     }
 
     #[test]
@@ -227,13 +289,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("hidisc-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         {
-            let mut c = ResultCache::new(1, Some(dir.clone()));
+            let mut c = ResultCache::new(5, Some(dir.clone()));
             c.insert(7, val("seven"));
             c.insert(8, val("eight")); // 7 leaves memory, stays on disk
             assert_eq!(c.get(7).as_deref().map(String::as_str), Some("seven"));
         }
         // A fresh instance (fresh process in real life) reads through.
-        let mut c2 = ResultCache::new(4, Some(dir.clone()));
+        let mut c2 = ResultCache::new(64, Some(dir.clone()));
         assert!(c2.is_empty());
         assert_eq!(c2.get(8).as_deref().map(String::as_str), Some("eight"));
         assert_eq!(c2.len(), 1);

@@ -1,10 +1,12 @@
-//! A deliberately small HTTP/1.1 server-side codec over std TCP: enough
-//! to parse one request and write one response per connection
-//! (`Connection: close`), with hard size limits so a misbehaving client
-//! cannot balloon memory.
-
-use std::io::{Read, Write};
-use std::net::TcpStream;
+//! A deliberately small HTTP/1.1 server-side codec: an *incremental*
+//! request parser over a byte buffer (no I/O — the reactor owns the
+//! sockets) and a response renderer, with hard size limits so a
+//! misbehaving client cannot balloon memory.
+//!
+//! The parser supports keep-alive and pipelining by construction: it
+//! consumes exactly one request from the front of the buffer and reports
+//! how many bytes it used, so the caller can call it in a loop over
+//! whatever bytes have arrived.
 
 /// Maximum accepted request-line + header block, in bytes.
 pub const MAX_HEAD: usize = 16 * 1024;
@@ -23,6 +25,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` was given).
     pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -43,33 +49,22 @@ pub enum ParseError {
     Bad(String),
     /// Head or body over the size limits.
     TooLarge,
-    /// Underlying socket error (peer vanished mid-request).
-    Io(std::io::Error),
 }
 
-/// Reads one request from `stream`.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
-    // Read until the end of the header block.
-    let mut head = Vec::with_capacity(512);
-    let mut buf = [0u8; 1024];
-    let header_end;
-    loop {
-        let n = stream.read(&mut buf).map_err(ParseError::Io)?;
-        if n == 0 {
-            return Err(ParseError::Bad("connection closed mid-request".into()));
-        }
-        head.extend_from_slice(&buf[..n]);
-        if let Some(pos) = find_header_end(&head) {
-            header_end = pos;
-            break;
-        }
-        if head.len() > MAX_HEAD {
+/// Tries to parse one complete request from the front of `buf`.
+///
+/// - `Ok(Some((request, consumed)))` — a full request was present; the
+///   caller should drain `consumed` bytes and may call again (pipelining).
+/// - `Ok(None)` — the bytes so far are a valid prefix; read more.
+/// - `Err(_)` — the stream is unrecoverable; respond and close.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+    let Some(header_end) = find_header_end(&buf[..buf.len().min(MAX_HEAD + 4)]) else {
+        if buf.len() > MAX_HEAD {
             return Err(ParseError::TooLarge);
         }
-    }
-    let (head_bytes, rest) = head.split_at(header_end);
-    let rest = &rest[4..]; // skip the \r\n\r\n
-    let head_txt = std::str::from_utf8(head_bytes)
+        return Ok(None);
+    };
+    let head_txt = std::str::from_utf8(&buf[..header_end])
         .map_err(|_| ParseError::Bad("non-UTF-8 request head".into()))?;
 
     let mut lines = head_txt.split("\r\n");
@@ -89,6 +84,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     if !version.starts_with("HTTP/1.") {
         return Err(ParseError::Bad(format!("unsupported version {version}")));
     }
+    let http11 = version != "HTTP/1.0";
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut headers = Vec::new();
@@ -103,7 +99,6 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     }
 
     // Body: exactly Content-Length bytes (chunked encoding unsupported).
-    let mut body = rest.to_vec();
     let content_length = headers
         .iter()
         .find(|(n, _)| n == "content-length")
@@ -122,24 +117,33 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     {
         return Err(ParseError::Bad("chunked bodies are not supported".into()));
     }
-    while body.len() < content_length {
-        let n = stream.read(&mut buf).map_err(ParseError::Io)?;
-        if n == 0 {
-            return Err(ParseError::Bad("connection closed mid-body".into()));
-        }
-        body.extend_from_slice(&buf[..n]);
-        if body.len() > MAX_BODY {
-            return Err(ParseError::TooLarge);
-        }
+    let body_start = header_end + 4; // past the \r\n\r\n
+    let consumed = body_start + content_length;
+    if buf.len() < consumed {
+        return Ok(None); // body still in flight
     }
-    body.truncate(content_length);
+    let body = buf[body_start..consumed].to_vec();
 
-    Ok(Request {
-        method,
-        path,
-        headers,
-        body,
-    })
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => http11,
+    };
+
+    Ok(Some((
+        Request {
+            method,
+            path,
+            headers,
+            body,
+            keep_alive,
+        },
+        consumed,
+    )))
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -150,37 +154,125 @@ fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         202 => "Accepted",
+        308 => "Permanent Redirect",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
-/// Writes one response with the given extra headers and closes the
-/// exchange (`Connection: close`). Errors are returned for the caller to
-/// log; the connection is dropped either way.
-pub fn write_response(
-    stream: &mut TcpStream,
+/// Renders one response into bytes for the connection's write buffer.
+/// `keep_alive` decides the `Connection` header — the reactor closes the
+/// connection after flushing iff it advertised `close`.
+pub fn render_response(
     status: u16,
     content_type: &str,
-    extra_headers: &[(&str, String)],
+    extra_headers: &[(&'static str, String)],
+    keep_alive: bool,
     body: &[u8],
-) -> std::io::Result<()> {
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n",
+         Content-Length: {}\r\nConnection: {}\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     for (name, value) in extra_headers {
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_incrementally_and_reports_consumed_bytes() {
+        let req = b"POST /v1/run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        // Every strict prefix is "need more bytes".
+        for cut in 0..req.len() {
+            assert!(
+                parse_request(&req[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (r, consumed) = parse_request(req).unwrap().unwrap();
+        assert_eq!(consumed, req.len());
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/run");
+        assert_eq!(r.body, b"body");
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let two =
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (first, used) = parse_request(two).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        let (second, used2) = parse_request(&two[used..]).unwrap().unwrap();
+        assert_eq!(second.path, "/metrics");
+        assert!(!second.keep_alive);
+        assert_eq!(used + used2, two.len());
+    }
+
+    #[test]
+    fn connection_header_and_version_drive_keep_alive() {
+        let (r, _) = parse_request(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+        let (r, _) = parse_request(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(r.keep_alive);
+        let (r, _) = parse_request(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        let huge_head = format!("GET / HTTP/1.1\r\nX: {}\r\n\r\n", "a".repeat(MAX_HEAD));
+        assert!(matches!(
+            parse_request(huge_head.as_bytes()),
+            Err(ParseError::TooLarge)
+        ));
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            parse_request(huge_body.as_bytes()),
+            Err(ParseError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn responses_advertise_the_connection_mode() {
+        let keep = render_response(200, "application/json", &[], true, b"{}");
+        let keep = String::from_utf8(keep).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"), "{keep}");
+        assert!(keep.contains("Content-Length: 2\r\n"), "{keep}");
+        let close = render_response(
+            503,
+            "application/json",
+            &[("Retry-After", "1".into())],
+            false,
+            b"x",
+        );
+        let close = String::from_utf8(close).unwrap();
+        assert!(close.contains("Connection: close\r\n"), "{close}");
+        assert!(close.contains("Retry-After: 1\r\n"), "{close}");
+        assert!(close.contains("503 Service Unavailable"), "{close}");
+    }
 }

@@ -1,28 +1,42 @@
 //! `hidisc-serve` — simulation as a service.
 //!
-//! A std-only HTTP/1.1 service that turns the one-shot simulator into a
-//! long-lived endpoint (see DESIGN.md §14):
+//! An HTTP/1.1 service (std + the vendored `epoll-shim`) that turns the
+//! one-shot simulator into a long-lived endpoint (see DESIGN.md §14/§17).
+//! The front end is a single-threaded, readiness-based **reactor**: every
+//! connection is a non-blocking socket parked in epoll, with keep-alive
+//! and pipelined requests handled per connection, so one box holds 10k+
+//! concurrent connections while the bounded worker pool simulates.
 //!
-//! - `POST /run` submits a config+workload job. Identical experiments
+//! The API surface is versioned under `/v1/` (probes stay unversioned):
+//!
+//! - `POST /v1/run` submits a config+workload job. Identical experiments
 //!   are **content-addressed**: the job id is the hex of a canonical
 //!   hash over (machine config, workload, scale, seed, model), so
 //!   duplicate submissions coalesce onto the in-flight run and repeated
 //!   ones return instantly from the result cache (`cached: true`).
-//! - `GET /jobs/<id>` polls status/result.
+//! - `GET /v1/jobs/<id>` polls status/result.
+//! - `POST /v1/sweep` is reserved for the batch sweep API (`501`).
 //! - `GET /healthz` is a liveness probe.
 //! - `GET /metrics` exposes per-service counters plus the latest run's
 //!   interval metrics in Prometheus text format.
-//! - `POST /shutdown` initiates graceful shutdown: in-flight jobs
+//! - `POST /v1/shutdown` initiates graceful shutdown: in-flight jobs
 //!   finish, queued jobs are failed, the listener closes.
+//! - Legacy unversioned paths (`/run`, `/jobs/<id>`, `/shutdown`) answer
+//!   `308 Permanent Redirect` to their `/v1/` twin.
+//!
+//! Every error body is one structured envelope
+//! `{"code","message","retry_after_ms"?}`; `code` carries the typed
+//! [`ConfigError`]/verifier diagnostic code where one exists.
 //!
 //! Backpressure: the job queue is bounded; a full queue answers `429`
-//! with a `Retry-After` hint instead of buffering without bound.
+//! with a `Retry-After` hint instead of buffering without bound, and
+//! connections past the cap answer `503`.
 
 #![forbid(unsafe_code)]
 
 use std::collections::{HashMap, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -36,9 +50,13 @@ use hidisc_workloads::Scale;
 pub mod cache;
 pub mod http;
 pub mod json;
+mod net;
+mod reactor;
+pub mod scale;
 
 use cache::{CheckpointStore, ResultCache};
 use json::{escape, Json};
+use net::Reply;
 
 /// Default [`ServeConfig::warm_checkpoint_cycle`].
 pub const WARM_CHECKPOINT_CYCLE: u64 = 20_000;
@@ -285,51 +303,281 @@ impl JobSpec {
 // ---------------------------------------------------------------------
 
 /// Service construction parameters (`repro serve` flags).
+///
+/// Obtained exclusively through the validating [`ServeConfig::builder`]
+/// — the same shape as `MachineConfig::builder` — so an invalid service
+/// configuration is a typed [`ServeConfigError`] at construction, not a
+/// panic or a silently-absurd server deep in the accept path.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Bind address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
-    pub addr: String,
-    /// Worker threads (0 = one per host core, as `bench::pool`).
-    pub workers: usize,
-    /// Bounded job-queue depth; a full queue answers `429`.
-    pub queue_depth: usize,
-    /// In-memory result-cache capacity (results, not bytes).
-    pub cache_capacity: usize,
-    /// Disk tier of the result cache (e.g. `results/cache/`); `None`
-    /// keeps the cache memory-only.
-    pub cache_dir: Option<PathBuf>,
-    /// Maximum concurrent connection handlers. Each connection gets an
-    /// OS thread with a 10 s read timeout, so without a cap a client
-    /// opening sockets exhausts threads long before the bounded job
-    /// queue ever applies backpressure; past the cap new connections are
-    /// answered `503` + `Retry-After` immediately.
-    pub max_connections: usize,
-    /// Cycle at which a job's machine state is checkpointed for warm
-    /// starts (see [`JobSpec::warm_key`]); `0` disables warm starts.
-    /// The default ([`WARM_CHECKPOINT_CYCLE`]) sits past the cold-cache
-    /// knee of the named workloads at `paper` scale while costing a
-    /// negligible slice of a real run. Jobs whose run (or cycle budget)
-    /// ends before this point run cold — their run is shorter than the
-    /// shared prefix.
-    pub warm_checkpoint_cycle: u64,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    cache_bytes: usize,
+    max_jobs: usize,
+    cache_dir: Option<PathBuf>,
+    max_connections: usize,
+    idle_timeout_ms: u64,
+    warm_checkpoint_cycle: u64,
 }
 
-impl Default for ServeConfig {
-    fn default() -> Self {
-        ServeConfig {
+impl ServeConfig {
+    /// Starts a builder with the defaults: an ephemeral loopback port,
+    /// one worker per host core, queue depth 32, a 16 MiB result cache,
+    /// 10 240 connections and a 10 s idle timeout.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
             addr: "127.0.0.1:0".to_string(),
-            workers: 0,
+            workers: None,
             queue_depth: 32,
-            cache_capacity: 256,
+            cache_bytes: 16 * 1024 * 1024,
+            max_jobs: 256,
             cache_dir: None,
-            max_connections: 128,
+            max_connections: 10_240,
+            idle_timeout_ms: 10_000,
             warm_checkpoint_cycle: WARM_CHECKPOINT_CYCLE,
+        }
+    }
+
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Worker threads (resolved — never 0).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Bounded job-queue depth; a full queue answers `429`.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// In-memory result-cache budget in **bytes** (evicted oldest-first
+    /// past it).
+    pub fn cache_bytes(&self) -> usize {
+        self.cache_bytes
+    }
+
+    /// Bound on terminal job-registry entries (evicted oldest-first).
+    pub fn max_jobs(&self) -> usize {
+        self.max_jobs
+    }
+
+    /// Disk tier of the result cache; `None` keeps the cache memory-only.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Maximum concurrent connections held by the reactor; past the cap
+    /// new connections are answered `503` + `Retry-After`.
+    pub fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    /// How long a connection may sit idle (keep-alive or mid-request)
+    /// before the reactor closes it.
+    pub fn idle_timeout(&self) -> Duration {
+        Duration::from_millis(self.idle_timeout_ms)
+    }
+
+    /// Cycle at which a job's machine state is checkpointed for warm
+    /// starts (see [`JobSpec::warm_key`]); `0` disables warm starts.
+    pub fn warm_checkpoint_cycle(&self) -> u64 {
+        self.warm_checkpoint_cycle
+    }
+}
+
+/// Why a [`ServeConfigBuilder::build`] was rejected. The `Display` form
+/// is the message `repro serve` prints before exiting with code 2;
+/// [`ServeConfigError::code`] is the stable envelope/diagnostic code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// The bind address is not `host:port`.
+    Addr {
+        /// The rejected address string.
+        given: String,
+    },
+    /// A parameter that must be at least 1 is zero (workers, queue
+    /// depth, cache bytes, connection cap, job-registry bound).
+    Zero {
+        /// Name of the offending field, e.g. `"queue_depth"`.
+        what: &'static str,
+    },
+    /// A timeout is outside its accepted range.
+    TimeoutRange {
+        /// Name of the offending field, e.g. `"idle_timeout_ms"`.
+        what: &'static str,
+        /// The rejected value, in milliseconds.
+        given_ms: u64,
+        /// Smallest accepted value.
+        min_ms: u64,
+        /// Largest accepted value.
+        max_ms: u64,
+    },
+}
+
+impl ServeConfigError {
+    /// Stable diagnostic code, in the same style as the verifier's
+    /// `QB001`-family codes and [`ConfigError::code`].
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeConfigError::Addr { .. } => "SRV001",
+            ServeConfigError::Zero { .. } => "SRV002",
+            ServeConfigError::TimeoutRange { .. } => "SRV003",
         }
     }
 }
 
+impl std::fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeConfigError::Addr { given } => {
+                write!(f, "invalid serve config: addr `{given}` is not host:port")
+            }
+            ServeConfigError::Zero { what } => {
+                write!(f, "invalid serve config: {what} must be at least 1")
+            }
+            ServeConfigError::TimeoutRange {
+                what,
+                given_ms,
+                min_ms,
+                max_ms,
+            } => write!(
+                f,
+                "invalid serve config: {what} must be between {min_ms} and {max_ms} ms \
+                 (got {given_ms})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+/// Validating builder for [`ServeConfig`], obtained from
+/// [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    addr: String,
+    /// `None` = one worker per host core, resolved at build time.
+    workers: Option<usize>,
+    queue_depth: usize,
+    cache_bytes: usize,
+    max_jobs: usize,
+    cache_dir: Option<PathBuf>,
+    max_connections: usize,
+    idle_timeout_ms: u64,
+    warm_checkpoint_cycle: u64,
+}
+
+impl ServeConfigBuilder {
+    /// Bind address, `host:port` (`:0` picks a free port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Worker-thread count; rejected at build if 0 (leave unset for one
+    /// per host core).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Bounded job-queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// In-memory result-cache budget in bytes.
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Bound on terminal job-registry entries.
+    pub fn max_jobs(mut self, jobs: usize) -> Self {
+        self.max_jobs = jobs;
+        self
+    }
+
+    /// Disk tier of the result cache.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Concurrent-connection cap.
+    pub fn max_connections(mut self, conns: usize) -> Self {
+        self.max_connections = conns;
+        self
+    }
+
+    /// Idle-connection timeout in milliseconds (accepted range
+    /// 10..=600 000).
+    pub fn idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.idle_timeout_ms = ms;
+        self
+    }
+
+    /// Warm-start checkpoint cycle (0 disables warm starts).
+    pub fn warm_checkpoint_cycle(mut self, cycle: u64) -> Self {
+        self.warm_checkpoint_cycle = cycle;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
+        let bad_addr = || ServeConfigError::Addr {
+            given: self.addr.clone(),
+        };
+        let (host, port) = self.addr.rsplit_once(':').ok_or_else(bad_addr)?;
+        if host.is_empty() || port.parse::<u16>().is_err() {
+            return Err(bad_addr());
+        }
+        let workers = match self.workers {
+            Some(0) => return Err(ServeConfigError::Zero { what: "workers" }),
+            Some(n) => n,
+            None => hidisc_bench::pool::threads(),
+        };
+        for (what, v) in [
+            ("queue_depth", self.queue_depth),
+            ("cache_bytes", self.cache_bytes),
+            ("max_jobs", self.max_jobs),
+            ("max_connections", self.max_connections),
+        ] {
+            if v == 0 {
+                return Err(ServeConfigError::Zero { what });
+            }
+        }
+        const IDLE_MIN_MS: u64 = 10;
+        const IDLE_MAX_MS: u64 = 600_000;
+        if !(IDLE_MIN_MS..=IDLE_MAX_MS).contains(&self.idle_timeout_ms) {
+            return Err(ServeConfigError::TimeoutRange {
+                what: "idle_timeout_ms",
+                given_ms: self.idle_timeout_ms,
+                min_ms: IDLE_MIN_MS,
+                max_ms: IDLE_MAX_MS,
+            });
+        }
+        Ok(ServeConfig {
+            addr: self.addr,
+            workers,
+            queue_depth: self.queue_depth,
+            cache_bytes: self.cache_bytes,
+            max_jobs: self.max_jobs,
+            cache_dir: self.cache_dir,
+            max_connections: self.max_connections,
+            idle_timeout_ms: self.idle_timeout_ms,
+            warm_checkpoint_cycle: self.warm_checkpoint_cycle,
+        })
+    }
+}
+
 #[derive(Default)]
-struct Counters {
+pub(crate) struct Counters {
     requests: AtomicU64,
     submitted: AtomicU64,
     coalesced: AtomicU64,
@@ -339,10 +587,14 @@ struct Counters {
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
     rejected: AtomicU64,
-    conn_rejected: AtomicU64,
-    bad_requests: AtomicU64,
+    pub(crate) conn_rejected: AtomicU64,
+    pub(crate) bad_requests: AtomicU64,
     dropped_events: AtomicU64,
     warm_restores: AtomicU64,
+    /// Reactor `epoll_wait` returns (readiness batches handled).
+    pub(crate) reactor_wakeups: AtomicU64,
+    /// Reads/writes/accepts that hit `EAGAIN` and parked the fd.
+    pub(crate) reactor_eagain: AtomicU64,
 }
 
 enum Phase {
@@ -391,7 +643,7 @@ impl Registry {
     }
 }
 
-struct State {
+pub(crate) struct State {
     registry: Mutex<Registry>,
     /// Warm-start checkpoints, keyed by [`JobSpec::warm_key`]. Separate
     /// from the registry mutex: checkpoint save/restore happens inside
@@ -399,66 +651,54 @@ struct State {
     warm: Mutex<CheckpointStore>,
     warm_checkpoint_cycle: u64,
     workers: Mutex<Option<Workers>>,
-    counters: Counters,
+    pub(crate) counters: Counters,
     metrics: Mutex<Option<IntervalMetrics>>,
-    stop: AtomicBool,
-    /// Live connection-handler threads, bounded by `max_connections`.
-    connections: AtomicUsize,
-    max_connections: usize,
-}
-
-/// Decrements the live-connection count when a handler thread exits,
-/// however it exits.
-struct ConnectionGuard(Arc<State>);
-
-impl Drop for ConnectionGuard {
-    fn drop(&mut self) {
-        self.0.connections.fetch_sub(1, Ordering::Relaxed);
-    }
+    pub(crate) stop: AtomicBool,
+    /// Connections currently registered with the reactor (gauge mirror).
+    pub(crate) connections: AtomicUsize,
+    pub(crate) max_connections: usize,
+    pub(crate) idle_timeout: Duration,
 }
 
 /// A running service instance.
 pub struct Service {
     state: Arc<State>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    reactor: Option<std::thread::JoinHandle<()>>,
     addr: SocketAddr,
 }
 
 impl Service {
-    /// Binds, spawns the worker pool and the acceptor, and returns.
+    /// Binds, spawns the worker pool and the reactor, and returns.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Service> {
-        let listener = TcpListener::bind(&cfg.addr)?;
+        let listener = TcpListener::bind(cfg.addr())?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let workers = if cfg.workers == 0 {
-            hidisc_bench::pool::threads()
-        } else {
-            cfg.workers
-        };
+        let poller = epoll_shim::Poller::new()?;
         let state = Arc::new(State {
             registry: Mutex::new(Registry {
                 jobs: HashMap::new(),
                 terminal: VecDeque::new(),
-                max_terminal: cfg.cache_capacity.max(1),
-                cache: ResultCache::new(cfg.cache_capacity, cfg.cache_dir.clone()),
+                max_terminal: cfg.max_jobs(),
+                cache: ResultCache::new(cfg.cache_bytes(), cfg.cache_dir.clone()),
             }),
             warm: Mutex::new(CheckpointStore::new(
                 64,
                 cfg.cache_dir.as_ref().map(|d| d.join("warm")),
             )),
             warm_checkpoint_cycle: cfg.warm_checkpoint_cycle,
-            workers: Mutex::new(Some(Workers::new(workers, cfg.queue_depth))),
+            workers: Mutex::new(Some(Workers::new(cfg.workers(), cfg.queue_depth()))),
             counters: Counters::default(),
             metrics: Mutex::new(None),
             stop: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
-            max_connections: cfg.max_connections.max(1),
+            max_connections: cfg.max_connections(),
+            idle_timeout: cfg.idle_timeout(),
         });
         let st = Arc::clone(&state);
-        let acceptor = std::thread::spawn(move || accept_loop(listener, st));
+        let reactor = std::thread::spawn(move || reactor::run(poller, listener, st));
         Ok(Service {
             state,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             addr,
         })
     }
@@ -492,7 +732,7 @@ impl Service {
     }
 
     fn teardown(&mut self) {
-        if let Some(h) = self.acceptor.take() {
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
         let workers = self.state.workers.lock().expect("workers lock").take();
@@ -531,62 +771,25 @@ impl Drop for Service {
 }
 
 // ---------------------------------------------------------------------
-// Connection handling
+// Routing and the error envelope
 // ---------------------------------------------------------------------
 
-fn accept_loop(listener: TcpListener, state: Arc<State>) {
-    while !state.stop.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((mut stream, _)) => {
-                // Admission control: past the handler cap, answer 503
-                // inline (cheap, no thread) instead of spawning without
-                // bound. The counter is incremented here, on the accept
-                // thread, so the cap cannot be overshot by a burst of
-                // accepts racing not-yet-started handler threads.
-                if state.connections.load(Ordering::Relaxed) >= state.max_connections {
-                    state.counters.conn_rejected.fetch_add(1, Ordering::Relaxed);
-                    // Drain request bytes that already arrived (without
-                    // blocking the acceptor) so the close sends FIN
-                    // rather than RST and the refusal reaches the
-                    // client instead of a connection reset.
-                    let _ = stream.set_nonblocking(true);
-                    let mut sink = [0u8; 4096];
-                    for _ in 0..16 {
-                        match std::io::Read::read(&mut stream, &mut sink) {
-                            Ok(n) if n > 0 => continue,
-                            _ => break,
-                        }
-                    }
-                    let _ = stream.set_nonblocking(false);
-                    let _ = http::write_response(
-                        &mut stream,
-                        503,
-                        "application/json",
-                        &[("Retry-After", "1".to_string())],
-                        b"{\"error\":\"too many connections; retry later\"}\n",
-                    );
-                    continue;
-                }
-                state.connections.fetch_add(1, Ordering::Relaxed);
-                let st = Arc::clone(&state);
-                std::thread::spawn(move || {
-                    let _guard = ConnectionGuard(Arc::clone(&st));
-                    handle_connection(stream, st);
-                });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
+/// Renders the one structured error body every non-2xx answer uses:
+/// `{"code","message","retry_after_ms"?}`. `code` is a stable,
+/// machine-matchable string — the typed [`ConfigError::code`] /
+/// verifier diagnostic code where one exists, a snake_case service code
+/// otherwise.
+pub(crate) fn envelope(code: &str, message: &str, retry_after_ms: Option<u64>) -> String {
+    let mut body = format!(
+        "{{\"code\":\"{}\",\"message\":\"{}\"",
+        escape(code),
+        escape(message)
+    );
+    if let Some(ms) = retry_after_ms {
+        body.push_str(&format!(",\"retry_after_ms\":{ms}"));
     }
-}
-
-struct Reply {
-    status: u16,
-    content_type: &'static str,
-    extra: Vec<(&'static str, String)>,
-    body: String,
+    body.push_str("}\n");
+    body
 }
 
 fn json_reply(status: u16, body: String) -> Reply {
@@ -595,38 +798,69 @@ fn json_reply(status: u16, body: String) -> Reply {
         content_type: "application/json",
         extra: Vec::new(),
         body,
+        close: false,
     }
 }
 
-fn error_reply(status: u16, message: &str) -> Reply {
-    json_reply(status, format!("{{\"error\":\"{}\"}}\n", escape(message)))
+fn error_reply(status: u16, code: &str, message: &str) -> Reply {
+    json_reply(status, envelope(code, message, None))
 }
 
-fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
-    state.counters.requests.fetch_add(1, Ordering::Relaxed);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let reply = match http::read_request(&mut stream) {
-        Ok(req) => route(&req, &state),
-        Err(http::ParseError::TooLarge) => {
-            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            error_reply(413, "request too large")
-        }
-        Err(http::ParseError::Bad(msg)) => {
-            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            error_reply(400, &msg)
-        }
-        Err(http::ParseError::Io(_)) => return,
-    };
-    let _ = http::write_response(
-        &mut stream,
-        reply.status,
-        reply.content_type,
-        &reply.extra,
-        reply.body.as_bytes(),
+/// An error reply that also closes the connection (parse errors — the
+/// stream position is unrecoverable).
+pub(crate) fn error_reply_closing(status: u16, code: &str, message: &str) -> Reply {
+    let mut r = error_reply(status, code, message);
+    r.close = true;
+    r
+}
+
+/// A backpressure reply: `Retry-After` header plus `retry_after_ms` in
+/// the envelope.
+fn retry_reply(status: u16, code: &str, message: &str, retry_after_ms: u64) -> Reply {
+    let mut r = json_reply(status, envelope(code, message, Some(retry_after_ms)));
+    r.extra.push((
+        "Retry-After",
+        retry_after_ms.div_ceil(1000).max(1).to_string(),
+    ));
+    r
+}
+
+/// The `503` a connection past `max_connections` gets for any request it
+/// sends before the reactor closes it.
+pub(crate) fn overcap_reply() -> Reply {
+    let mut r = retry_reply(
+        503,
+        "too_many_connections",
+        "too many connections; retry later",
+        1_000,
     );
+    r.close = true;
+    r
 }
 
-fn route(req: &http::Request, state: &Arc<State>) -> Reply {
+/// The `/v1/` twin of a legacy unversioned path, when there is one.
+fn legacy_twin(path: &str) -> Option<String> {
+    match path {
+        "/run" => Some("/v1/run".to_string()),
+        "/shutdown" => Some("/v1/shutdown".to_string()),
+        "/sweep" => Some("/v1/sweep".to_string()),
+        p if p.starts_with("/jobs/") => Some(format!("/v1{p}")),
+        _ => None,
+    }
+}
+
+pub(crate) fn route(req: &http::Request, state: &Arc<State>) -> Reply {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    // Legacy unversioned paths answer 308 to their /v1/ twin (308 keeps
+    // the method and body across the redirect, unlike 301).
+    if let Some(twin) = legacy_twin(req.path.as_str()) {
+        let mut r = json_reply(
+            308,
+            envelope("moved_permanently", &format!("moved to {twin}"), None),
+        );
+        r.extra.push(("Location", twin));
+        return r;
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => json_reply(200, "{\"status\":\"ok\"}\n".to_string()),
         ("GET", "/metrics") => Reply {
@@ -634,17 +868,32 @@ fn route(req: &http::Request, state: &Arc<State>) -> Reply {
             content_type: "text/plain; version=0.0.4",
             extra: Vec::new(),
             body: render_metrics(state),
+            close: false,
         },
-        ("POST", "/run") => post_run(state, &req.body),
-        ("POST", "/shutdown") => {
+        ("POST", "/v1/run") => post_run(state, &req.body),
+        ("POST", "/v1/shutdown") => {
             state.stop.store(true, Ordering::Relaxed);
             json_reply(200, "{\"status\":\"shutting down\"}\n".to_string())
         }
-        ("GET", path) if path.starts_with("/jobs/") => get_job(state, &path["/jobs/".len()..]),
-        (_, "/healthz" | "/metrics" | "/run" | "/shutdown") => {
-            error_reply(405, &format!("method {} not allowed here", req.method))
+        ("POST", "/v1/sweep") => error_reply(
+            501,
+            "reserved",
+            "/v1/sweep is reserved for the batch sweep API",
+        ),
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            get_job(state, &path["/v1/jobs/".len()..])
         }
-        _ => error_reply(404, &format!("no such endpoint {}", req.path)),
+        (_, "/healthz" | "/metrics" | "/v1/run" | "/v1/shutdown" | "/v1/sweep") => error_reply(
+            405,
+            "method_not_allowed",
+            &format!("method {} not allowed here", req.method),
+        ),
+        (_, path) if path.starts_with("/v1/jobs/") => error_reply(
+            405,
+            "method_not_allowed",
+            &format!("method {} not allowed here", req.method),
+        ),
+        _ => error_reply(404, "not_found", &format!("no such endpoint {}", req.path)),
     }
 }
 
@@ -718,43 +967,54 @@ fn custom_env() -> hidisc_slicer::ExecEnv {
 
 /// Pre-flight for custom programs: assemble, slice and statically verify
 /// (queue balance, depth bounds, CMAS purity, slice liveness) before the
-/// job is admitted anywhere near the worker pool. The error message —
-/// served as `400` — is the verifier's first error diagnostic, e.g.
-/// `error[QB004] orig@1 (LDQ): ...`. Named workloads skip this: their
-/// slices are covered by the verifier's own suite-wide property tests.
-fn preflight(spec: &JobSpec, cfg: &MachineConfig) -> Result<(), String> {
+/// job is admitted anywhere near the worker pool. The rejection — served
+/// as `400` — carries the verifier's diagnostic code (e.g. `QB004`) as
+/// the envelope code and its first error diagnostic as the message.
+/// Named workloads skip this: their slices are covered by the verifier's
+/// own suite-wide property tests.
+fn preflight(spec: &JobSpec, cfg: &MachineConfig) -> Result<(), (&'static str, String)> {
     let Some(src) = &spec.program else {
         return Ok(());
     };
     let prog = hidisc_isa::asm::assemble(&spec.workload, src)
-        .map_err(|e| format!("program does not assemble: {e}"))?;
+        .map_err(|e| ("bad_request", format!("program does not assemble: {e}")))?;
     let depths = hidisc_bench::depths_of(cfg);
     hidisc_verify::compile_verified(&prog, &custom_env(), &CompilerConfig::default(), depths)
         .map(|_| ())
-        .map_err(|e| e.to_string())
+        .map_err(|e| {
+            let code = match &e {
+                hidisc_verify::VerifyError::Rejected(r) => r
+                    .errors()
+                    .next()
+                    .map(|d| d.code.as_str())
+                    .unwrap_or("bad_request"),
+                hidisc_verify::VerifyError::Compile(_) => "bad_request",
+            };
+            (code, e.to_string())
+        })
 }
 
 fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
     if state.stop.load(Ordering::Relaxed) {
-        return error_reply(503, "service is shutting down");
+        return error_reply(503, "shutting_down", "service is shutting down");
     }
     let spec = match JobSpec::from_json(body) {
         Ok(s) => s,
         Err(msg) => {
             state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return error_reply(400, &msg);
+            return error_reply(400, "bad_request", &msg);
         }
     };
     let cfg = match spec.config() {
         Ok(c) => c,
         Err(e) => {
             state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return error_reply(400, &e.to_string());
+            return error_reply(400, e.code(), &e.to_string());
         }
     };
-    if let Err(msg) = preflight(&spec, &cfg) {
+    if let Err((code, msg)) = preflight(&spec, &cfg) {
         state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-        return error_reply(400, &msg);
+        return error_reply(400, code, &msg);
     }
     let key = spec.key(&cfg);
     let id = format!("{key:016x}");
@@ -841,17 +1101,7 @@ fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
         let workers = state.workers.lock().expect("workers lock");
         match workers.as_ref() {
             None => Err(SubmitError::Closed),
-            Some(w) => {
-                let queued = w.queued();
-                w.try_submit(move || execute_job(st, id2, key, spec2, cfg))
-                    .map_err(|e| match e {
-                        SubmitError::Full => {
-                            let _ = queued; // depth captured for the hint below
-                            SubmitError::Full
-                        }
-                        other => other,
-                    })
-            }
+            Some(w) => w.try_submit(move || execute_job(st, id2, key, spec2, cfg)),
         }
     };
     match submit {
@@ -874,11 +1124,9 @@ fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
         }
         Err(SubmitError::Full) => {
             state.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            let mut r = error_reply(429, "job queue is full; retry later");
-            r.extra.push(("Retry-After", "1".to_string()));
-            r
+            retry_reply(429, "queue_full", "job queue is full; retry later", 1_000)
         }
-        Err(SubmitError::Closed) => error_reply(503, "service is shutting down"),
+        Err(SubmitError::Closed) => error_reply(503, "shutting_down", "service is shutting down"),
     }
 }
 
@@ -926,7 +1174,7 @@ fn get_job(state: &Arc<State>, id: &str) -> Reply {
             return json_reply(200, body);
         }
     }
-    error_reply(404, &format!("no such job {id}"))
+    error_reply(404, "not_found", &format!("no such job {id}"))
 }
 
 // ---------------------------------------------------------------------
@@ -1079,7 +1327,7 @@ fn run_simulation(
 fn render_metrics(state: &Arc<State>) -> String {
     let c = &state.counters;
     let mut s = String::new();
-    let counters: [(&str, u64); 13] = [
+    let counters: [(&str, u64); 15] = [
         (
             "hidisc_serve_requests_total",
             c.requests.load(Ordering::Relaxed),
@@ -1129,6 +1377,14 @@ fn render_metrics(state: &Arc<State>) -> String {
             c.warm_restores.load(Ordering::Relaxed),
         ),
         (
+            "hidisc_serve_reactor_wakeups_total",
+            c.reactor_wakeups.load(Ordering::Relaxed),
+        ),
+        (
+            "hidisc_serve_reactor_eagain_total",
+            c.reactor_eagain.load(Ordering::Relaxed),
+        ),
+        (
             "hidisc_telemetry_dropped_events_total",
             c.dropped_events.load(Ordering::Relaxed),
         ),
@@ -1142,19 +1398,21 @@ fn render_metrics(state: &Arc<State>) -> String {
             .map(|w| (w.queued(), w.running()))
             .unwrap_or((0, 0))
     };
-    let (cache_entries, job_entries) = {
+    let (cache_entries, cache_bytes, job_entries) = {
         let reg = state.registry.lock().expect("registry lock");
-        (reg.cache.len(), reg.jobs.len())
+        (reg.cache.len(), reg.cache.bytes(), reg.jobs.len())
     };
+    let open = state.connections.load(Ordering::Relaxed);
     for (name, v) in [
         ("hidisc_serve_queue_depth", queued),
         ("hidisc_serve_jobs_running", running),
         ("hidisc_serve_cache_entries", cache_entries),
+        ("hidisc_serve_cache_bytes", cache_bytes),
         ("hidisc_serve_job_entries", job_entries),
-        (
-            "hidisc_serve_connections_active",
-            state.connections.load(Ordering::Relaxed),
-        ),
+        // `open_connections` is the documented gauge name; the original
+        // `connections_active` stays as an alias for existing dashboards.
+        ("hidisc_serve_open_connections", open),
+        ("hidisc_serve_connections_active", open),
     ] {
         s.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
     }
@@ -1213,9 +1471,10 @@ mod tests {
         assert!(preflight(&spec, &cfg).is_ok());
 
         // A program operating on an architectural queue is rejected with
-        // the verifier's located diagnostic.
+        // the verifier's located diagnostic, code and all.
         let bad = JobSpec::from_json(br#"{"program":"li r1, 1\nsend LDQ, r1\nhalt"}"#).unwrap();
-        let msg = preflight(&bad, &bad.config().unwrap()).unwrap_err();
+        let (code, msg) = preflight(&bad, &bad.config().unwrap()).unwrap_err();
+        assert_eq!(code, "QB004");
         assert!(msg.contains("QB004"), "{msg}");
         assert!(msg.contains("orig@1"), "{msg}");
 

@@ -1,0 +1,202 @@
+//! Per-connection read/write state machine for the reactor: a
+//! non-blocking socket plus an unparsed-input buffer and a pending-output
+//! buffer, with HTTP/1.1 keep-alive and pipelining handled by parsing as
+//! many complete requests as have arrived and queueing their responses
+//! in order.
+//!
+//! The machine is deliberately free of epoll knowledge: the reactor calls
+//! [`Conn::fill`] on read readiness, [`Conn::process`] to turn buffered
+//! bytes into buffered responses, and [`Conn::flush`] on write
+//! readiness, then reads [`Conn::wants_write`]/[`Conn::done`] to decide
+//! interest and lifetime.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use crate::http::{self, ParseError, Request};
+use crate::Counters;
+
+/// One routed response, before rendering.
+pub(crate) struct Reply {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub extra: Vec<(&'static str, String)>,
+    pub body: String,
+    /// Force the connection closed after this response regardless of what
+    /// the request asked for (errors, over-cap refusals).
+    pub close: bool,
+}
+
+/// Stop reading from the socket once this much input is buffered but not
+/// yet parseable into complete requests; TCP backpressure does the rest.
+/// Must exceed one maximal request (head + body) so a single legal
+/// request can always complete.
+const IN_SOFT_CAP: usize = http::MAX_HEAD + http::MAX_BODY + 64 * 1024;
+
+/// Stop parsing further pipelined requests once this many response bytes
+/// are queued; parsing resumes as the peer drains its side.
+const OUT_SOFT_CAP: usize = 4 * 1024 * 1024;
+
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    /// Bytes read but not yet consumed by the parser.
+    buf: Vec<u8>,
+    /// Rendered responses not yet (fully) written.
+    out: Vec<u8>,
+    /// Prefix of `out` already written to the socket.
+    sent: usize,
+    /// Refreshed on every successful read or write; drives idle teardown.
+    pub last_activity: Instant,
+    /// Close once `out` drains (`Connection: close`, errors, EOF).
+    closing: bool,
+    /// Close immediately; the socket is gone or poisoned.
+    dead: bool,
+    /// Peer half-closed its write side; answer what's buffered, then close.
+    peer_closed: bool,
+    /// Accepted over the connection cap: every request answers 503.
+    pub reject: bool,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, reject: bool) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            sent: 0,
+            last_activity: Instant::now(),
+            closing: false,
+            dead: false,
+            peer_closed: false,
+            reject,
+        }
+    }
+
+    /// Reads everything currently available (until `EAGAIN`), respecting
+    /// the input soft cap.
+    pub fn fill(&mut self, counters: &Counters) {
+        if self.peer_closed || self.dead {
+            return;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if self.buf.len() >= IN_SOFT_CAP {
+                return; // parse first; the kernel buffers the rest
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    counters.reactor_eagain.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parses as many complete requests as are buffered (pipelining) and
+    /// appends their responses, in order, to the output buffer. `handler`
+    /// maps a parsed request — or a parse error — to a [`Reply`].
+    pub fn process(&mut self, handler: &mut dyn FnMut(Result<&Request, &ParseError>) -> Reply) {
+        while !self.closing && !self.dead && self.out.len() - self.sent < OUT_SOFT_CAP {
+            match http::parse_request(&self.buf) {
+                Ok(Some((req, consumed))) => {
+                    self.buf.drain(..consumed);
+                    let reply = handler(Ok(&req));
+                    let keep = req.keep_alive && !reply.close && !self.reject;
+                    self.push_reply(&reply, keep);
+                    if !keep {
+                        self.closing = true;
+                    }
+                }
+                Ok(None) => {
+                    if self.peer_closed {
+                        // EOF with at most a partial request buffered:
+                        // nothing more will arrive.
+                        self.closing = true;
+                    }
+                    return;
+                }
+                Err(e) => {
+                    let reply = handler(Err(&e));
+                    self.push_reply(&reply, false);
+                    self.closing = true;
+                    self.buf.clear();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn push_reply(&mut self, reply: &Reply, keep_alive: bool) {
+        self.out.extend_from_slice(&http::render_response(
+            reply.status,
+            reply.content_type,
+            &reply.extra,
+            keep_alive,
+            reply.body.as_bytes(),
+        ));
+    }
+
+    /// Writes as much pending output as the socket accepts.
+    pub fn flush(&mut self, counters: &Counters) {
+        while self.sent < self.out.len() {
+            match self.stream.write(&self.out[self.sent..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.sent += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    counters.reactor_eagain.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.out.clear();
+        self.sent = 0;
+    }
+
+    /// Response bytes are pending: the reactor should watch for write
+    /// readiness.
+    pub fn wants_write(&self) -> bool {
+        self.sent < self.out.len()
+    }
+
+    /// Too much output is queued (a pipelining flood): stop reading until
+    /// the peer drains responses.
+    pub fn backlogged(&self) -> bool {
+        self.out.len() - self.sent >= OUT_SOFT_CAP || self.buf.len() >= IN_SOFT_CAP
+    }
+
+    /// The connection is finished and should be deregistered and dropped.
+    pub fn done(&self) -> bool {
+        self.dead || (self.closing && !self.wants_write())
+    }
+
+    /// True once the connection has been idle longer than `timeout`.
+    pub fn idle_expired(&self, now: Instant, timeout: Duration) -> bool {
+        now.duration_since(self.last_activity) > timeout
+    }
+}

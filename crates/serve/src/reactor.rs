@@ -1,0 +1,227 @@
+//! The readiness-based event loop replacing the thread-per-connection
+//! accept loop: one thread, one epoll instance, every connection a
+//! non-blocking socket parked in the poller until bytes arrive or a
+//! response can be flushed (DESIGN.md §17).
+//!
+//! Simulation work never runs here — `POST /v1/run` only validates,
+//! consults the cache/registry and enqueues onto `bench::pool::Workers`;
+//! the reactor's own work per wakeup is parsing, routing and buffer
+//! shuffling, which is what lets one thread hold 10k+ keep-alive
+//! connections.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpListener;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use epoll_shim::{Event, Interest, Poller};
+
+use crate::net::Conn;
+use crate::{http, State};
+
+const LISTENER_TOKEN: u64 = 0;
+
+/// How long after a stop request the reactor keeps flushing pending
+/// responses before tearing connections down regardless.
+const DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+/// Over-cap connections still get a slot long enough to read their
+/// request and answer `503` cleanly (FIN, not RST) — but only this many;
+/// past it, accepts are refused with a best-effort inline write.
+fn reject_slack(max_connections: usize) -> usize {
+    (max_connections / 8).clamp(64, 1024)
+}
+
+pub(crate) fn run(poller: Poller, listener: TcpListener, state: Arc<State>) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = LISTENER_TOKEN + 1;
+    let mut events: Vec<Event> = Vec::new();
+    let mut listener = Some(listener);
+    let mut stop_deadline: Option<Instant> = None;
+    let mut last_sweep = Instant::now();
+    let idle_timeout = state.idle_timeout;
+
+    if let Some(l) = listener.as_ref() {
+        if poller
+            .add(l.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+            .is_err()
+        {
+            return; // cannot poll the listener: the service is unusable
+        }
+    }
+
+    loop {
+        if state.stop.load(Ordering::Relaxed) {
+            if let Some(l) = listener.take() {
+                let _ = poller.delete(l.as_raw_fd());
+            }
+            let deadline = *stop_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+            let draining = conns.values().any(|c| c.wants_write() && !c.done());
+            if !draining || Instant::now() >= deadline {
+                break;
+            }
+        }
+        let timeout_ms = if stop_deadline.is_some() { 10 } else { 50 };
+        match poller.wait(&mut events, timeout_ms) {
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        }
+        state
+            .counters
+            .reactor_wakeups
+            .fetch_add(1, Ordering::Relaxed);
+
+        let batch: Vec<Event> = std::mem::take(&mut events);
+        for ev in batch {
+            if ev.token == LISTENER_TOKEN {
+                if let Some(l) = listener.as_ref() {
+                    accept_all(l, &poller, &mut conns, &mut next_token, &state);
+                }
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else {
+                continue;
+            };
+            if ev.error {
+                // Drain what the kernel has, then the close below.
+                conn.fill(&state.counters);
+            }
+            if ev.readable || ev.hangup {
+                conn.fill(&state.counters);
+            }
+            drive(conn, &state);
+            settle(&poller, &mut conns, ev.token);
+        }
+
+        // Idle sweep (~1 Hz): close connections quiet past the timeout.
+        let now = Instant::now();
+        if now.duration_since(last_sweep) >= Duration::from_secs(1) {
+            last_sweep = now;
+            let expired: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| c.idle_expired(now, idle_timeout))
+                .map(|(t, _)| *t)
+                .collect();
+            for token in expired {
+                if let Some(c) = conns.remove(&token) {
+                    let _ = poller.delete(c.stream.as_raw_fd());
+                }
+            }
+        }
+        state.connections.store(conns.len(), Ordering::Relaxed);
+    }
+
+    for (_, c) in conns.drain() {
+        let _ = poller.delete(c.stream.as_raw_fd());
+    }
+    state.connections.store(0, Ordering::Relaxed);
+}
+
+/// Parses and routes whatever is buffered, then flushes.
+fn drive(conn: &mut Conn, state: &Arc<State>) {
+    let reject = conn.reject;
+    let st = Arc::clone(state);
+    conn.process(&mut |parsed| match parsed {
+        Err(http::ParseError::TooLarge) => {
+            st.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            crate::error_reply_closing(413, "too_large", "request too large")
+        }
+        Err(http::ParseError::Bad(msg)) => {
+            st.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            crate::error_reply_closing(400, "bad_request", msg)
+        }
+        Ok(_) if reject => crate::overcap_reply(),
+        Ok(req) => crate::route(req, &st),
+    });
+    conn.flush(&state.counters);
+}
+
+/// Applies the connection's post-event state to the poller: deregisters
+/// finished connections, otherwise re-arms interest (write readiness only
+/// while output is pending, read paused while backlogged).
+fn settle(poller: &Poller, conns: &mut HashMap<u64, Conn>, token: u64) {
+    let Some(conn) = conns.get(&token) else {
+        return;
+    };
+    if conn.done() {
+        let conn = conns.remove(&token).expect("connection just looked up");
+        let _ = poller.delete(conn.stream.as_raw_fd());
+        return;
+    }
+    let interest = Interest {
+        readable: !conn.backlogged(),
+        writable: conn.wants_write(),
+    };
+    if poller
+        .modify(conn.stream.as_raw_fd(), token, interest)
+        .is_err()
+    {
+        let conn = conns.remove(&token).expect("connection just looked up");
+        let _ = poller.delete(conn.stream.as_raw_fd());
+    }
+}
+
+fn accept_all(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    state: &Arc<State>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let over = conns.len() >= state.max_connections;
+                if over {
+                    state.counters.conn_rejected.fetch_add(1, Ordering::Relaxed);
+                    if conns.len() >= state.max_connections + reject_slack(state.max_connections) {
+                        // Hard overload: refuse inline without a slot. The
+                        // write is best-effort — under this much pressure a
+                        // reset is acceptable.
+                        let reply = crate::overcap_reply();
+                        let bytes = http::render_response(
+                            reply.status,
+                            reply.content_type,
+                            &reply.extra,
+                            false,
+                            reply.body.as_bytes(),
+                        );
+                        let mut s = stream;
+                        let _ = s.write(&bytes);
+                        continue;
+                    }
+                }
+                let token = *next_token;
+                *next_token += 1;
+                let conn = Conn::new(stream, over);
+                if poller
+                    .add(conn.stream.as_raw_fd(), token, Interest::READ)
+                    .is_ok()
+                {
+                    conns.insert(token, conn);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                state
+                    .counters
+                    .reactor_eagain
+                    .fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    state.connections.store(conns.len(), Ordering::Relaxed);
+}

@@ -33,8 +33,11 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
+    // `Connection: close` because this helper reads to EOF; the
+    // keep-alive path is covered by tests/keepalive.rs.
     let req = format!(
-        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(req.as_bytes()).expect("write request");
@@ -77,7 +80,7 @@ fn stats_of(body: &str) -> &str {
 fn poll_job(addr: SocketAddr, id: &str) -> Response {
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {
-        let r = request(addr, "GET", &format!("/jobs/{id}"), "");
+        let r = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
         assert_eq!(r.status, 200, "poll failed: {}", r.body);
         let status = json_str(&r.body, "status").expect("status field");
         if status == "done" || status == "error" {
@@ -99,13 +102,13 @@ fn metric(addr: SocketAddr, name: &str) -> u64 {
 }
 
 fn start(workers: usize, queue_depth: usize, cache_dir: Option<std::path::PathBuf>) -> Service {
-    Service::start(ServeConfig {
-        workers,
-        queue_depth,
-        cache_dir,
-        ..ServeConfig::default()
-    })
-    .expect("service start")
+    let mut b = ServeConfig::builder()
+        .workers(workers)
+        .queue_depth(queue_depth);
+    if let Some(dir) = cache_dir {
+        b = b.cache_dir(dir);
+    }
+    Service::start(b.build().expect("valid serve config")).expect("service start")
 }
 
 /// Runs the same job the service would, directly, and returns the stats
@@ -128,7 +131,7 @@ fn concurrent_duplicates_run_once_and_match_a_direct_run() {
 
     let posts: Vec<Response> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..6)
-            .map(|_| s.spawn(move || request(addr, "POST", "/run", body)))
+            .map(|_| s.spawn(move || request(addr, "POST", "/v1/run", body)))
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
@@ -157,7 +160,7 @@ fn concurrent_duplicates_run_once_and_match_a_direct_run() {
     assert_eq!(stats_of(&done.body), direct_stats(body));
 
     // A repeat submission is a cache hit and carries the same bytes.
-    let again = request(addr, "POST", "/run", body);
+    let again = request(addr, "POST", "/v1/run", body);
     assert_eq!(again.status, 200, "{}", again.body);
     assert!(again.body.contains("\"cached\":true"), "{}", again.body);
     assert_eq!(stats_of(&again.body), direct_stats(body));
@@ -175,14 +178,14 @@ fn full_queue_answers_429_and_deadlines_map_to_timeouts() {
     let addr = svc.addr();
 
     let long = r#"{"workload":"dm","scale":"large","seed":1,"timeout_ms":400}"#;
-    let r1 = request(addr, "POST", "/run", long);
+    let r1 = request(addr, "POST", "/v1/run", long);
     assert_eq!(r1.status, 202, "{}", r1.body);
     let id1 = json_str(&r1.body, "job").unwrap();
 
     let r2 = request(
         addr,
         "POST",
-        "/run",
+        "/v1/run",
         r#"{"workload":"dm","scale":"test","seed":11}"#,
     );
     assert_eq!(r2.status, 202, "{}", r2.body);
@@ -191,7 +194,7 @@ fn full_queue_answers_429_and_deadlines_map_to_timeouts() {
     let r3 = request(
         addr,
         "POST",
-        "/run",
+        "/v1/run",
         r#"{"workload":"dm","scale":"test","seed":12}"#,
     );
     assert_eq!(r3.status, 429, "{}", r3.body);
@@ -216,22 +219,34 @@ fn bad_requests_get_typed_400s() {
     let svc = start(1, 4, None);
     let addr = svc.addr();
 
-    let r = request(addr, "POST", "/run", "this is not json");
+    let r = request(addr, "POST", "/v1/run", "this is not json");
     assert_eq!(r.status, 400, "{}", r.body);
     assert!(r.body.contains("malformed request body"), "{}", r.body);
 
-    let r = request(addr, "POST", "/run", r#"{"workload":"no-such-kernel"}"#);
+    let r = request(addr, "POST", "/v1/run", r#"{"workload":"no-such-kernel"}"#);
     assert_eq!(r.status, 400);
     assert!(r.body.contains("unknown workload"), "{}", r.body);
 
-    let r = request(addr, "POST", "/run", r#"{"workload":"dm","typo_field":1}"#);
+    let r = request(
+        addr,
+        "POST",
+        "/v1/run",
+        r#"{"workload":"dm","typo_field":1}"#,
+    );
     assert_eq!(r.status, 400);
     assert!(r.body.contains("unknown field"), "{}", r.body);
 
     // Config validation surfaces the same typed ConfigError message the
-    // CLI prints before exiting with code 2.
-    let r = request(addr, "POST", "/run", r#"{"workload":"dm","scq_depth":0}"#);
+    // CLI prints before exiting with code 2, with its stable code as the
+    // envelope code.
+    let r = request(
+        addr,
+        "POST",
+        "/v1/run",
+        r#"{"workload":"dm","scq_depth":0}"#,
+    );
     assert_eq!(r.status, 400);
+    assert!(r.body.contains("\"code\":\"CFG001\""), "{}", r.body);
     assert!(
         r.body
             .contains("invalid machine config: queues.scq must be at least 1"),
@@ -241,9 +256,9 @@ fn bad_requests_get_typed_400s() {
 
     let r = request(addr, "GET", "/no-such-endpoint", "");
     assert_eq!(r.status, 404);
-    let r = request(addr, "DELETE", "/run", "");
+    let r = request(addr, "DELETE", "/v1/run", "");
     assert_eq!(r.status, 405);
-    let r = request(addr, "GET", "/jobs/ffffffffffffffff", "");
+    let r = request(addr, "GET", "/v1/jobs/ffffffffffffffff", "");
     assert_eq!(r.status, 404);
 
     assert!(metric(addr, "hidisc_serve_bad_requests_total") >= 4);
@@ -260,17 +275,18 @@ fn bad_requests_get_typed_400s() {
 /// finishes.
 #[test]
 fn connection_cap_answers_503_inline() {
-    let svc = Service::start(ServeConfig {
-        max_connections: 1,
-        ..ServeConfig::default()
-    })
+    let svc = Service::start(
+        ServeConfig::builder()
+            .max_connections(1)
+            .build()
+            .expect("valid serve config"),
+    )
     .expect("service start");
     let addr = svc.addr();
 
-    // Occupy the single handler slot with an idle connection (its
-    // handler sits in read() until we close or it times out).
+    // Occupy the single reactor slot with an idle keep-alive connection.
     let held = TcpStream::connect(addr).expect("connect");
-    std::thread::sleep(Duration::from_millis(200)); // let the accept loop count it
+    std::thread::sleep(Duration::from_millis(200)); // let the reactor register it
 
     let r = request(addr, "GET", "/healthz", "");
     assert_eq!(r.status, 503, "{}", r.body);
@@ -297,23 +313,25 @@ fn connection_cap_answers_503_inline() {
 /// distinct submission.
 #[test]
 fn terminal_job_entries_are_bounded() {
-    let svc = Service::start(ServeConfig {
-        cache_capacity: 2,
-        ..ServeConfig::default()
-    })
+    let svc = Service::start(
+        ServeConfig::builder()
+            .max_jobs(2)
+            .build()
+            .expect("valid serve config"),
+    )
     .expect("service start");
     let addr = svc.addr();
 
     for seed in 0..5 {
         let body = format!(r#"{{"workload":"dm","scale":"test","seed":{seed}}}"#);
-        let r = request(addr, "POST", "/run", &body);
+        let r = request(addr, "POST", "/v1/run", &body);
         assert!(r.status == 200 || r.status == 202, "{}", r.body);
         let id = json_str(&r.body, "job").expect("job id");
         let done = poll_job(addr, &id);
         assert_eq!(json_str(&done.body, "status").as_deref(), Some("done"));
     }
 
-    // Five distinct jobs ran, but only cache_capacity terminal entries
+    // Five distinct jobs ran, but only max_jobs terminal entries
     // remain registered.
     assert_eq!(metric(addr, "hidisc_serve_sim_runs_total"), 5);
     assert!(metric(addr, "hidisc_serve_job_entries") <= 2);
@@ -330,14 +348,14 @@ fn disk_cache_survives_a_service_restart() {
     {
         let svc = start(1, 4, Some(dir.clone()));
         let addr = svc.addr();
-        let r = request(addr, "POST", "/run", body);
+        let r = request(addr, "POST", "/v1/run", body);
         assert_eq!(r.status, 202, "{}", r.body);
         let id = json_str(&r.body, "job").unwrap();
         let done = poll_job(addr, &id);
         first_stats = stats_of(&done.body).to_string();
 
         // Graceful shutdown over HTTP; wait() returns once torn down.
-        let r = request(addr, "POST", "/shutdown", "");
+        let r = request(addr, "POST", "/v1/shutdown", "");
         assert_eq!(r.status, 200);
         svc.wait();
     }
@@ -345,7 +363,7 @@ fn disk_cache_survives_a_service_restart() {
     // A fresh instance sees the persisted result: cache hit, no run.
     let svc = start(1, 4, Some(dir.clone()));
     let addr = svc.addr();
-    let r = request(addr, "POST", "/run", body);
+    let r = request(addr, "POST", "/v1/run", body);
     assert_eq!(r.status, 200, "{}", r.body);
     assert!(r.body.contains("\"cached\":true"), "{}", r.body);
     assert_eq!(stats_of(&r.body), first_stats);
@@ -363,12 +381,14 @@ fn disk_cache_survives_a_service_restart() {
 fn warm_start_restores_shared_prefix_for_budget_variants() {
     let dir = std::env::temp_dir().join(format!("hidisc-serve-warm-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let svc = Service::start(ServeConfig {
-        workers: 1,
-        cache_dir: Some(dir.clone()),
-        warm_checkpoint_cycle: 2_000,
-        ..ServeConfig::default()
-    })
+    let svc = Service::start(
+        ServeConfig::builder()
+            .workers(1)
+            .cache_dir(dir.clone())
+            .warm_checkpoint_cycle(2_000)
+            .build()
+            .expect("valid serve config"),
+    )
     .expect("service start");
     let addr = svc.addr();
 
@@ -378,7 +398,7 @@ fn warm_start_restores_shared_prefix_for_budget_variants() {
     let a = r#"{"workload":"dm","scale":"test","seed":7,"model":"hidisc","max_cycles":500000}"#;
     let b = r#"{"workload":"dm","scale":"test","seed":7,"model":"hidisc","max_cycles":600000}"#;
 
-    let r = request(addr, "POST", "/run", a);
+    let r = request(addr, "POST", "/v1/run", a);
     assert_eq!(r.status, 202, "{}", r.body);
     let id_a = json_str(&r.body, "job").unwrap();
     let done_a = poll_job(addr, &id_a);
@@ -386,7 +406,7 @@ fn warm_start_restores_shared_prefix_for_budget_variants() {
     // The first run was cold: it simulated (and checkpointed) the prefix.
     assert_eq!(metric(addr, "hidisc_serve_warm_restores_total"), 0);
 
-    let r = request(addr, "POST", "/run", b);
+    let r = request(addr, "POST", "/v1/run", b);
     assert_eq!(r.status, 202, "{}", r.body);
     let id_b = json_str(&r.body, "job").unwrap();
     assert_ne!(id_a, id_b, "budget variants must be distinct jobs");
@@ -415,15 +435,15 @@ fn verifier_rejected_program_answers_400_with_the_diagnostic() {
     // `send LDQ, r1` operates on an architectural queue from the
     // sequential source program: QB004 at orig@1.
     let bad = r#"{"program":"li r1, 1\nsend LDQ, r1\nhalt"}"#;
-    let r = request(addr, "POST", "/run", bad);
+    let r = request(addr, "POST", "/v1/run", bad);
     assert_eq!(r.status, 400, "{}", r.body);
-    assert!(r.body.contains("QB004"), "{}", r.body);
+    assert!(r.body.contains("\"code\":\"QB004\""), "{}", r.body);
     assert!(r.body.contains("orig@1"), "{}", r.body);
     assert!(metric(addr, "hidisc_serve_bad_requests_total") >= 1);
 
     // The clean variant is admitted, simulated and content-addressed.
     let good = r#"{"program":"li r1, 64\nsd r1, 0(r1)\nld r2, 0(r1)\nhalt"}"#;
-    let r = request(addr, "POST", "/run", good);
+    let r = request(addr, "POST", "/v1/run", good);
     assert!(r.status == 200 || r.status == 202, "{}", r.body);
     let id = json_str(&r.body, "job").expect("job id");
     let done = poll_job(addr, &id);
@@ -436,7 +456,7 @@ fn verifier_rejected_program_answers_400_with_the_diagnostic() {
     assert_eq!(json_str(&done.body, "workload").as_deref(), Some("custom"));
 
     // Resubmission is a cache hit (the program text is in the job key).
-    let r = request(addr, "POST", "/run", good);
+    let r = request(addr, "POST", "/v1/run", good);
     assert_eq!(r.status, 200, "{}", r.body);
     assert!(r.body.contains("\"cached\":true"), "{}", r.body);
     svc.shutdown();

@@ -51,6 +51,14 @@ struct Args {
     cache_dir: Option<String>,
     /// `serve --max-conns <n>`: concurrent-connection cap (503 past it).
     max_conns: usize,
+    /// `serve --cache-bytes <n>`: in-memory result-cache budget.
+    cache_bytes: Option<usize>,
+    /// `serve --idle-timeout-ms <n>`: idle keep-alive connection timeout.
+    idle_timeout_ms: Option<u64>,
+    /// `connscale --conns <n>`: connections to ramp and hold.
+    conns: usize,
+    /// `connscale --rounds <n>`: keep-alive request rounds.
+    rounds: usize,
     /// `--sample <detail>:<skip>`: run in SMARTS-style sampling mode.
     sample: Option<(u64, u64)>,
     /// `bisect --a <l2>:<mem>`: configuration A latencies.
@@ -81,7 +89,11 @@ fn parse_args() -> Args {
     let mut workers = 0;
     let mut queue_depth = 32;
     let mut cache_dir = None;
-    let mut max_conns = hidisc_serve::ServeConfig::default().max_connections;
+    let mut max_conns = 10_240; // ServeConfig::builder's default cap
+    let mut cache_bytes = None;
+    let mut idle_timeout_ms = None;
+    let mut conns = 512;
+    let mut rounds = 3;
     let mut sample = None;
     let mut cfg_a = None;
     let mut cfg_b = None;
@@ -184,6 +196,10 @@ fn parse_args() -> Args {
             "--workers" => workers = num(&mut it, "--workers") as usize,
             "--queue-depth" => queue_depth = num(&mut it, "--queue-depth") as usize,
             "--max-conns" => max_conns = num(&mut it, "--max-conns") as usize,
+            "--cache-bytes" => cache_bytes = Some(num(&mut it, "--cache-bytes") as usize),
+            "--idle-timeout-ms" => idle_timeout_ms = Some(num(&mut it, "--idle-timeout-ms")),
+            "--conns" => conns = num(&mut it, "--conns") as usize,
+            "--rounds" => rounds = num(&mut it, "--rounds") as usize,
             "--cache-dir" => {
                 cache_dir = Some(it.next().unwrap_or_else(|| {
                     eprintln!("--cache-dir needs a directory path");
@@ -200,7 +216,8 @@ fn parse_args() -> Args {
                      [--trace <out.json>] [--trace-filter <cat,..|all>] [--metrics-interval N] \
                      [--event-cap N] [--stream] \
                      [serve --addr <host:port> --workers N --queue-depth N --cache-dir <dir> \
-                     --max-conns N]",
+                     --max-conns N --cache-bytes N --idle-timeout-ms N] \
+                     [connscale --conns N --rounds N [--addr <host:port>]]",
                     COMMANDS.join("|")
                 );
                 std::process::exit(0);
@@ -272,6 +289,10 @@ fn parse_args() -> Args {
         queue_depth,
         cache_dir,
         max_conns,
+        cache_bytes,
+        idle_timeout_ms,
+        conns,
+        rounds,
         sample,
         cfg_a,
         cfg_b,
@@ -280,7 +301,7 @@ fn parse_args() -> Args {
 }
 
 /// Every subcommand, in help order.
-const COMMANDS: [&str; 20] = [
+const COMMANDS: [&str; 21] = [
     "params",
     "fig8",
     "table2",
@@ -300,6 +321,7 @@ const COMMANDS: [&str; 20] = [
     "bisect",
     "simspeed",
     "serve",
+    "connscale",
     "all",
 ];
 
@@ -326,40 +348,127 @@ fn build_config(args: &Args) -> MachineConfig {
     })
 }
 
-/// `repro serve`: run the simulation service until `POST /shutdown`.
+/// Assembles the service configuration from the CLI flags through the
+/// validating builder; a rejected configuration (`--workers 0`,
+/// `--idle-timeout-ms 0`, a malformed `--addr`) exits 2 with the typed
+/// [`hidisc_serve::ServeConfigError`] message — the same contract as
+/// [`build_config`] for machine sweeps.
+fn build_serve_config(args: &Args) -> ServeConfig {
+    let mut b = ServeConfig::builder()
+        .addr(
+            args.addr
+                .clone()
+                .unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        )
+        .queue_depth(args.queue_depth)
+        .max_connections(args.max_conns);
+    if args.workers > 0 {
+        b = b.workers(args.workers);
+    }
+    if let Some(dir) = &args.cache_dir {
+        b = b.cache_dir(dir);
+    }
+    if let Some(bytes) = args.cache_bytes {
+        b = b.cache_bytes(bytes);
+    }
+    if let Some(ms) = args.idle_timeout_ms {
+        b = b.idle_timeout_ms(ms);
+    }
+    b.build().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
+/// `repro serve`: run the simulation service until `POST /v1/shutdown`.
 fn serve(args: &Args) {
-    let cfg = ServeConfig {
-        addr: args
-            .addr
-            .clone()
-            .unwrap_or_else(|| "127.0.0.1:8080".to_string()),
-        workers: args.workers,
-        queue_depth: args.queue_depth,
-        cache_dir: args.cache_dir.clone().map(std::path::PathBuf::from),
-        max_connections: args.max_conns,
-        ..ServeConfig::default()
-    };
-    let svc = Service::start(cfg.clone()).unwrap_or_else(|e| {
-        eprintln!("cannot serve on {}: {e}", cfg.addr);
+    let cfg = build_serve_config(args);
+    let addr = cfg.addr().to_string();
+    let (workers, queue_depth) = (cfg.workers(), cfg.queue_depth());
+    let cache = cfg
+        .cache_dir()
+        .map(|p| format!("{} + disk {}", cfg.cache_bytes(), p.display()))
+        .unwrap_or_else(|| format!("{} bytes, memory-only", cfg.cache_bytes()));
+    let svc = Service::start(cfg).unwrap_or_else(|e| {
+        eprintln!("cannot serve on {addr}: {e}");
         std::process::exit(2);
     });
-    let workers = if cfg.workers == 0 {
-        bench::pool::threads()
-    } else {
-        cfg.workers
-    };
     eprintln!(
-        "serving on http://{} ({} worker(s), queue depth {}, cache {}) — POST /shutdown to stop",
+        "serving on http://{} ({workers} worker(s), queue depth {queue_depth}, cache {cache}) \
+         — POST /v1/shutdown to stop",
         svc.addr(),
-        workers,
-        cfg.queue_depth,
-        cfg.cache_dir
-            .as_deref()
-            .map(|p| p.display().to_string())
-            .unwrap_or_else(|| "memory-only".to_string()),
     );
     svc.wait();
     eprintln!("shut down cleanly");
+}
+
+/// `repro connscale`: ramp `--conns` keep-alive connections (against an
+/// in-process service, or `--addr` for an external one), drive
+/// `--rounds` request rounds over all of them, and emit the
+/// `BENCH_serve.json` document on stdout. Exits 1 if any connection was
+/// dropped — CI treats a lossy ramp as a regression.
+fn connscale(args: &Args) {
+    use std::net::ToSocketAddrs;
+    let svc = match &args.addr {
+        Some(_) => None,
+        None => {
+            // Self-contained: an in-process service on an ephemeral port.
+            // One simulation worker suffices — the ramp only probes
+            // /healthz, which never touches the pool. The idle timeout is
+            // stretched so connections established early in a large ramp
+            // are not swept while the tail is still connecting (against an
+            // external --addr target, the operator sets --idle-timeout-ms).
+            let cfg = ServeConfig::builder()
+                .workers(1)
+                .max_connections(args.conns + 64)
+                .idle_timeout_ms(600_000)
+                .build()
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            Some(Service::start(cfg).unwrap_or_else(|e| {
+                eprintln!("cannot start the ramp target service: {e}");
+                std::process::exit(2);
+            }))
+        }
+    };
+    let addr = match (&svc, &args.addr) {
+        (Some(s), _) => s.addr(),
+        (None, Some(a)) => a
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut it| it.next())
+            .unwrap_or_else(|| {
+                eprintln!("--addr `{a}` does not resolve to host:port");
+                std::process::exit(2);
+            }),
+        (None, None) => unreachable!("svc exists exactly when --addr is absent"),
+    };
+    let mut rc = hidisc_serve::scale::RampConfig::new(addr);
+    rc.conns = args.conns;
+    rc.rounds = args.rounds;
+    let report = hidisc_serve::scale::ramp(&rc).unwrap_or_else(|e| {
+        eprintln!("connection ramp failed: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", report.to_json());
+    eprintln!(
+        "connscale: {}/{} connections established, {} dropped, \
+         {} request(s) over {} round(s), {:.0} resp/s",
+        report.established,
+        report.conns,
+        report.dropped,
+        report.requests_sent,
+        report.rounds,
+        report.rps(),
+    );
+    if let Some(svc) = svc {
+        svc.shutdown();
+    }
+    if report.dropped > 0 || report.established < report.conns {
+        std::process::exit(1);
+    }
 }
 
 /// `repro telemetry --stream`: serialise the trace while the machine
@@ -415,6 +524,10 @@ fn main() {
 
     if args.cmd == "serve" {
         serve(&args);
+        return;
+    }
+    if args.cmd == "connscale" {
+        connscale(&args);
         return;
     }
 
