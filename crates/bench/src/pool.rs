@@ -117,26 +117,31 @@ impl Workers {
             running: AtomicUsize::new(0),
         });
         let handles = (0..workers.max(1))
-            .map(|_| {
+            .map(|i| {
                 let sh = Arc::clone(&shared);
-                std::thread::spawn(move || loop {
-                    let job = {
-                        let mut q = sh.q.lock().expect("worker queue lock");
-                        loop {
-                            if let Some(j) = q.jobs.pop_front() {
-                                break j;
+                // Named threads so worker activity is attributable in
+                // thread dumps, `top -H` and panic messages.
+                std::thread::Builder::new()
+                    .name(format!("hidisc-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut q = sh.q.lock().expect("worker queue lock");
+                            loop {
+                                if let Some(j) = q.jobs.pop_front() {
+                                    break j;
+                                }
+                                if q.closed {
+                                    return;
+                                }
+                                q = sh.cv.wait(q).expect("worker queue lock");
                             }
-                            if q.closed {
-                                return;
-                            }
-                            q = sh.cv.wait(q).expect("worker queue lock");
-                        }
-                    };
-                    sh.queued.fetch_sub(1, Ordering::Relaxed);
-                    sh.running.fetch_add(1, Ordering::Relaxed);
-                    job();
-                    sh.running.fetch_sub(1, Ordering::Relaxed);
-                })
+                        };
+                        sh.queued.fetch_sub(1, Ordering::Relaxed);
+                        sh.running.fetch_add(1, Ordering::Relaxed);
+                        job();
+                        sh.running.fetch_sub(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn worker thread")
             })
             .collect();
         Workers { shared, handles }

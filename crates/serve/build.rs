@@ -1,0 +1,20 @@
+//! Bakes the git revision into the binary (`hidisc_build_info`,
+//! `/healthz`) so multi-node sweeps can tell deployed builds apart.
+//! Falls back to `unknown` outside a git checkout or without git.
+
+use std::process::Command;
+
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=HIDISC_GIT_SHA={sha}");
+    // Rebuild when the checked-out commit moves.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

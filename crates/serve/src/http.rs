@@ -40,6 +40,14 @@ impl Request {
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// The inbound `X-Request-Id`, when present and safe to echo
+    /// (token characters only, bounded length). Unacceptable values are
+    /// ignored and the server mints its own id instead.
+    pub(crate) fn request_id(&self) -> Option<&str> {
+        self.header("x-request-id")
+            .filter(|v| crate::obs::acceptable_request_id(v))
+    }
 }
 
 /// Why a request could not be parsed; maps onto a response status.

@@ -25,12 +25,22 @@
 //!   `308 Permanent Redirect` to their `/v1/` twin.
 //!
 //! Every error body is one structured envelope
-//! `{"code","message","retry_after_ms"?}`; `code` carries the typed
-//! [`ConfigError`]/verifier diagnostic code where one exists.
+//! `{"code","message","retry_after_ms"?,"request_id"}`; `code` carries
+//! the typed [`ConfigError`]/verifier diagnostic code where one exists.
 //!
 //! Backpressure: the job queue is bounded; a full queue answers `429`
 //! with a `Retry-After` hint instead of buffering without bound, and
 //! connections past the cap answer `503`.
+//!
+//! Observability (DESIGN.md §18): every response carries an
+//! `X-Request-Id` (minted per request, or echoing an acceptable inbound
+//! one), the same id is stamped on the job a `POST /v1/run` creates and
+//! on every log line the request produces; `/metrics` adds per-route ×
+//! status-class counters and real Prometheus histograms (request
+//! duration, job phases, TTFB, connection lifetime); structured logfmt /
+//! JSON-lines logging is configured via [`ServeConfigBuilder::log_level`]
+//! and friends (`repro serve --log-level/--log-format/--log-file/
+//! --slow-request-ms`).
 
 #![forbid(unsafe_code)]
 
@@ -41,6 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use hidisc::telemetry::log::{Level, LogFormat, Logger};
 use hidisc::telemetry::{metrics_prometheus, IntervalMetrics, TraceConfig};
 use hidisc::{fnv1a, ConfigError, Machine, MachineConfig, Model, RunError, Scheduler};
 use hidisc_bench::pool::{SubmitError, Workers};
@@ -51,12 +62,21 @@ pub mod cache;
 pub mod http;
 pub mod json;
 mod net;
+pub(crate) mod obs;
 mod reactor;
 pub mod scale;
 
 use cache::{CheckpointStore, ResultCache};
 use json::{escape, Json};
 use net::Reply;
+use obs::{HttpMetrics, JobPhase};
+
+/// Crate version baked into `/healthz` and `hidisc_build_info`.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Git revision the binary was built from (`unknown` outside a
+/// checkout), baked in by `build.rs`.
+pub const GIT_SHA: &str = env!("HIDISC_GIT_SHA");
 
 /// Default [`ServeConfig::warm_checkpoint_cycle`].
 pub const WARM_CHECKPOINT_CYCLE: u64 = 20_000;
@@ -319,12 +339,17 @@ pub struct ServeConfig {
     max_connections: usize,
     idle_timeout_ms: u64,
     warm_checkpoint_cycle: u64,
+    log_level: Option<Level>,
+    log_format: LogFormat,
+    log_file: Option<PathBuf>,
+    slow_request_ms: u64,
 }
 
 impl ServeConfig {
     /// Starts a builder with the defaults: an ephemeral loopback port,
     /// one worker per host core, queue depth 32, a 16 MiB result cache,
-    /// 10 240 connections and a 10 s idle timeout.
+    /// 10 240 connections, a 10 s idle timeout, logging off and a 1 s
+    /// slow-request threshold.
     pub fn builder() -> ServeConfigBuilder {
         ServeConfigBuilder {
             addr: "127.0.0.1:0".to_string(),
@@ -336,6 +361,10 @@ impl ServeConfig {
             max_connections: 10_240,
             idle_timeout_ms: 10_000,
             warm_checkpoint_cycle: WARM_CHECKPOINT_CYCLE,
+            log_level: None,
+            log_format: LogFormat::Text,
+            log_file: None,
+            slow_request_ms: 1_000,
         }
     }
 
@@ -386,6 +415,27 @@ impl ServeConfig {
     /// starts (see [`JobSpec::warm_key`]); `0` disables warm starts.
     pub fn warm_checkpoint_cycle(&self) -> u64 {
         self.warm_checkpoint_cycle
+    }
+
+    /// Minimum structured-log level; `None` disables logging entirely.
+    pub fn log_level(&self) -> Option<Level> {
+        self.log_level
+    }
+
+    /// Log line format (logfmt text or JSON lines).
+    pub fn log_format(&self) -> LogFormat {
+        self.log_format
+    }
+
+    /// Log destination; `None` writes to stderr.
+    pub fn log_file(&self) -> Option<&Path> {
+        self.log_file.as_deref()
+    }
+
+    /// Requests slower than this are promoted to WARN in the access log
+    /// with their job-phase breakdown; `0` disables the promotion.
+    pub fn slow_request_ms(&self) -> u64 {
+        self.slow_request_ms
     }
 }
 
@@ -469,6 +519,10 @@ pub struct ServeConfigBuilder {
     max_connections: usize,
     idle_timeout_ms: u64,
     warm_checkpoint_cycle: u64,
+    log_level: Option<Level>,
+    log_format: LogFormat,
+    log_file: Option<PathBuf>,
+    slow_request_ms: u64,
 }
 
 impl ServeConfigBuilder {
@@ -528,6 +582,31 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Minimum structured-log level (`None` = logging off, the default).
+    pub fn log_level(mut self, level: Option<Level>) -> Self {
+        self.log_level = level;
+        self
+    }
+
+    /// Log line format.
+    pub fn log_format(mut self, format: LogFormat) -> Self {
+        self.log_format = format;
+        self
+    }
+
+    /// Log destination file (stderr when unset). Created/truncated at
+    /// service start.
+    pub fn log_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.log_file = Some(path.into());
+        self
+    }
+
+    /// Slow-request WARN threshold in milliseconds (0 disables).
+    pub fn slow_request_ms(mut self, ms: u64) -> Self {
+        self.slow_request_ms = ms;
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
         let bad_addr = || ServeConfigError::Addr {
@@ -572,6 +651,10 @@ impl ServeConfigBuilder {
             max_connections: self.max_connections,
             idle_timeout_ms: self.idle_timeout_ms,
             warm_checkpoint_cycle: self.warm_checkpoint_cycle,
+            log_level: self.log_level,
+            log_format: self.log_format,
+            log_file: self.log_file,
+            slow_request_ms: self.slow_request_ms,
         })
     }
 }
@@ -610,6 +693,9 @@ struct JobEntry {
     seed: u64,
     model: Model,
     phase: Phase,
+    /// Id of the request that created this entry, for log correlation:
+    /// `GET /v1/jobs/<id>` reports it as `requestId`.
+    request_id: String,
 }
 
 struct Registry {
@@ -658,6 +744,14 @@ pub(crate) struct State {
     pub(crate) connections: AtomicUsize,
     pub(crate) max_connections: usize,
     pub(crate) idle_timeout: Duration,
+    /// RED metrics: per-route counters and latency histograms.
+    pub(crate) http: HttpMetrics,
+    /// Structured event log (off by default).
+    pub(crate) logger: Logger,
+    /// Requests at or above this duration log at WARN; zero disables.
+    pub(crate) slow_request: Duration,
+    /// When the service started; `/healthz` uptime and the uptime gauge.
+    pub(crate) started: Instant,
 }
 
 /// A running service instance.
@@ -674,6 +768,14 @@ impl Service {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let poller = epoll_shim::Poller::new()?;
+        let logger = match (cfg.log_level, &cfg.log_file) {
+            (None, _) => Logger::off(),
+            (Some(level), None) => Logger::to_stderr(level, cfg.log_format),
+            (Some(level), Some(path)) => {
+                let file = std::fs::File::create(path)?;
+                Logger::to_sink(level, cfg.log_format, Box::new(file))
+            }
+        };
         let state = Arc::new(State {
             registry: Mutex::new(Registry {
                 jobs: HashMap::new(),
@@ -693,7 +795,23 @@ impl Service {
             connections: AtomicUsize::new(0),
             max_connections: cfg.max_connections(),
             idle_timeout: cfg.idle_timeout(),
+            http: HttpMetrics::new(),
+            logger,
+            slow_request: Duration::from_millis(cfg.slow_request_ms),
+            started: Instant::now(),
         });
+        state.logger.log(
+            Level::Info,
+            "serve_start",
+            &[
+                ("addr", addr.to_string().into()),
+                ("version", VERSION.into()),
+                ("git_sha", GIT_SHA.into()),
+                ("workers", cfg.workers().into()),
+                ("queue_depth", cfg.queue_depth().into()),
+                ("max_connections", cfg.max_connections().into()),
+            ],
+        );
         let st = Arc::clone(&state);
         let reactor = std::thread::spawn(move || reactor::run(poller, listener, st));
         Ok(Service {
@@ -732,6 +850,14 @@ impl Service {
     }
 
     fn teardown(&mut self) {
+        self.state.logger.log(
+            Level::Info,
+            "serve_stop",
+            &[(
+                "uptime_ms",
+                (self.state.started.elapsed().as_millis() as u64).into(),
+            )],
+        );
         if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
@@ -775,11 +901,17 @@ impl Drop for Service {
 // ---------------------------------------------------------------------
 
 /// Renders the one structured error body every non-2xx answer uses:
-/// `{"code","message","retry_after_ms"?}`. `code` is a stable,
-/// machine-matchable string — the typed [`ConfigError::code`] /
+/// `{"code","message","retry_after_ms"?,"request_id"}`. `code` is a
+/// stable, machine-matchable string — the typed [`ConfigError::code`] /
 /// verifier diagnostic code where one exists, a snake_case service code
-/// otherwise.
-pub(crate) fn envelope(code: &str, message: &str, retry_after_ms: Option<u64>) -> String {
+/// otherwise; `request_id` repeats the response's `X-Request-Id` so an
+/// error body pasted into a report still correlates with the logs.
+pub(crate) fn envelope(
+    code: &str,
+    message: &str,
+    retry_after_ms: Option<u64>,
+    request_id: &str,
+) -> String {
     let mut body = format!(
         "{{\"code\":\"{}\",\"message\":\"{}\"",
         escape(code),
@@ -788,7 +920,7 @@ pub(crate) fn envelope(code: &str, message: &str, retry_after_ms: Option<u64>) -
     if let Some(ms) = retry_after_ms {
         body.push_str(&format!(",\"retry_after_ms\":{ms}"));
     }
-    body.push_str("}\n");
+    body.push_str(&format!(",\"request_id\":\"{}\"}}\n", escape(request_id)));
     body
 }
 
@@ -799,25 +931,26 @@ fn json_reply(status: u16, body: String) -> Reply {
         extra: Vec::new(),
         body,
         close: false,
+        disposition: "",
     }
 }
 
-fn error_reply(status: u16, code: &str, message: &str) -> Reply {
-    json_reply(status, envelope(code, message, None))
+fn error_reply(status: u16, code: &str, message: &str, rid: &str) -> Reply {
+    json_reply(status, envelope(code, message, None, rid))
 }
 
 /// An error reply that also closes the connection (parse errors — the
 /// stream position is unrecoverable).
-pub(crate) fn error_reply_closing(status: u16, code: &str, message: &str) -> Reply {
-    let mut r = error_reply(status, code, message);
+pub(crate) fn error_reply_closing(status: u16, code: &str, message: &str, rid: &str) -> Reply {
+    let mut r = error_reply(status, code, message, rid);
     r.close = true;
     r
 }
 
 /// A backpressure reply: `Retry-After` header plus `retry_after_ms` in
 /// the envelope.
-fn retry_reply(status: u16, code: &str, message: &str, retry_after_ms: u64) -> Reply {
-    let mut r = json_reply(status, envelope(code, message, Some(retry_after_ms)));
+fn retry_reply(status: u16, code: &str, message: &str, retry_after_ms: u64, rid: &str) -> Reply {
+    let mut r = json_reply(status, envelope(code, message, Some(retry_after_ms), rid));
     r.extra.push((
         "Retry-After",
         retry_after_ms.div_ceil(1000).max(1).to_string(),
@@ -827,19 +960,20 @@ fn retry_reply(status: u16, code: &str, message: &str, retry_after_ms: u64) -> R
 
 /// The `503` a connection past `max_connections` gets for any request it
 /// sends before the reactor closes it.
-pub(crate) fn overcap_reply() -> Reply {
+pub(crate) fn overcap_reply(rid: &str) -> Reply {
     let mut r = retry_reply(
         503,
         "too_many_connections",
         "too many connections; retry later",
         1_000,
+        rid,
     );
     r.close = true;
     r
 }
 
 /// The `/v1/` twin of a legacy unversioned path, when there is one.
-fn legacy_twin(path: &str) -> Option<String> {
+pub(crate) fn legacy_twin(path: &str) -> Option<String> {
     match path {
         "/run" => Some("/v1/run".to_string()),
         "/shutdown" => Some("/v1/shutdown".to_string()),
@@ -849,28 +983,37 @@ fn legacy_twin(path: &str) -> Option<String> {
     }
 }
 
-pub(crate) fn route(req: &http::Request, state: &Arc<State>) -> Reply {
+pub(crate) fn route(req: &http::Request, rid: &str, state: &Arc<State>) -> Reply {
     state.counters.requests.fetch_add(1, Ordering::Relaxed);
     // Legacy unversioned paths answer 308 to their /v1/ twin (308 keeps
     // the method and body across the redirect, unlike 301).
     if let Some(twin) = legacy_twin(req.path.as_str()) {
         let mut r = json_reply(
             308,
-            envelope("moved_permanently", &format!("moved to {twin}"), None),
+            envelope("moved_permanently", &format!("moved to {twin}"), None, rid),
         );
         r.extra.push(("Location", twin));
         return r;
     }
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => json_reply(200, "{\"status\":\"ok\"}\n".to_string()),
+        ("GET", "/healthz") => json_reply(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"version\":\"{}\",\"gitSha\":\"{}\",\"uptimeMs\":{}}}\n",
+                escape(VERSION),
+                escape(GIT_SHA),
+                state.started.elapsed().as_millis() as u64
+            ),
+        ),
         ("GET", "/metrics") => Reply {
             status: 200,
             content_type: "text/plain; version=0.0.4",
             extra: Vec::new(),
             body: render_metrics(state),
             close: false,
+            disposition: "",
         },
-        ("POST", "/v1/run") => post_run(state, &req.body),
+        ("POST", "/v1/run") => post_run(state, &req.body, rid),
         ("POST", "/v1/shutdown") => {
             state.stop.store(true, Ordering::Relaxed);
             json_reply(200, "{\"status\":\"shutting down\"}\n".to_string())
@@ -879,21 +1022,29 @@ pub(crate) fn route(req: &http::Request, state: &Arc<State>) -> Reply {
             501,
             "reserved",
             "/v1/sweep is reserved for the batch sweep API",
+            rid,
         ),
         ("GET", path) if path.starts_with("/v1/jobs/") => {
-            get_job(state, &path["/v1/jobs/".len()..])
+            get_job(state, &path["/v1/jobs/".len()..], rid)
         }
         (_, "/healthz" | "/metrics" | "/v1/run" | "/v1/shutdown" | "/v1/sweep") => error_reply(
             405,
             "method_not_allowed",
             &format!("method {} not allowed here", req.method),
+            rid,
         ),
         (_, path) if path.starts_with("/v1/jobs/") => error_reply(
             405,
             "method_not_allowed",
             &format!("method {} not allowed here", req.method),
+            rid,
         ),
-        _ => error_reply(404, "not_found", &format!("no such endpoint {}", req.path)),
+        _ => error_reply(
+            404,
+            "not_found",
+            &format!("no such endpoint {}", req.path),
+            rid,
+        ),
     }
 }
 
@@ -907,6 +1058,9 @@ struct JobBody<'a> {
     wall_ms: Option<u64>,
     error: Option<&'a str>,
     coalesced: bool,
+    /// Id of the request that created the job (absent only when a job is
+    /// resolved purely from the disk cache after a restart).
+    request_id: Option<&'a str>,
 }
 
 impl<'a> JobBody<'a> {
@@ -920,6 +1074,7 @@ impl<'a> JobBody<'a> {
             wall_ms: None,
             error: None,
             coalesced: false,
+            request_id: None,
         }
     }
 
@@ -945,6 +1100,9 @@ impl<'a> JobBody<'a> {
         }
         if let Some(err) = self.error {
             out.push_str(&format!(",\"error\":\"{}\"", escape(err)));
+        }
+        if let Some(rid) = self.request_id {
+            out.push_str(&format!(",\"requestId\":\"{}\"", escape(rid)));
         }
         if let Some(s) = self.stats {
             out.push_str(",\"stats\":");
@@ -994,27 +1152,27 @@ fn preflight(spec: &JobSpec, cfg: &MachineConfig) -> Result<(), (&'static str, S
         })
 }
 
-fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
+fn post_run(state: &Arc<State>, body: &[u8], rid: &str) -> Reply {
     if state.stop.load(Ordering::Relaxed) {
-        return error_reply(503, "shutting_down", "service is shutting down");
+        return error_reply(503, "shutting_down", "service is shutting down", rid);
     }
     let spec = match JobSpec::from_json(body) {
         Ok(s) => s,
         Err(msg) => {
             state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return error_reply(400, "bad_request", &msg);
+            return error_reply(400, "bad_request", &msg, rid);
         }
     };
     let cfg = match spec.config() {
         Ok(c) => c,
         Err(e) => {
             state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return error_reply(400, e.code(), &e.to_string());
+            return error_reply(400, e.code(), &e.to_string(), rid);
         }
     };
     if let Err((code, msg)) = preflight(&spec, &cfg) {
         state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-        return error_reply(400, code, &msg);
+        return error_reply(400, code, &msg, rid);
     }
     let key = spec.key(&cfg);
     let id = format!("{key:016x}");
@@ -1035,18 +1193,22 @@ fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
                 stats: Arc::clone(&stats),
                 wall_ms: 0,
             },
+            request_id: rid.to_string(),
         });
         let body = JobBody {
             entry: Some(entry),
             cached: true,
             stats: Some(&stats),
+            request_id: Some(&entry.request_id),
             ..JobBody::new(&id, "done")
         }
         .render();
         if newly {
             reg.mark_terminal(id);
         }
-        return json_reply(200, body);
+        let mut r = json_reply(200, body);
+        r.disposition = "cache_hit";
+        return r;
     }
 
     // Coalesce onto an identical job already queued or running.
@@ -1056,20 +1218,26 @@ fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
             let body = JobBody {
                 entry: Some(e),
                 coalesced: true,
+                request_id: Some(&e.request_id),
                 ..JobBody::new(&id, "queued")
             }
             .render();
-            return json_reply(202, body);
+            let mut r = json_reply(202, body);
+            r.disposition = "coalesced";
+            return r;
         }
         Some(e) if matches!(e.phase, Phase::Running) => {
             state.counters.coalesced.fetch_add(1, Ordering::Relaxed);
             let body = JobBody {
                 entry: Some(e),
                 coalesced: true,
+                request_id: Some(&e.request_id),
                 ..JobBody::new(&id, "running")
             }
             .render();
-            return json_reply(202, body);
+            let mut r = json_reply(202, body);
+            r.disposition = "coalesced";
+            return r;
         }
         Some(JobEntry {
             phase: Phase::Done { stats, wall_ms },
@@ -1085,10 +1253,13 @@ fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
                 cached: true,
                 stats: Some(&stats),
                 wall_ms: Some(wall_ms),
+                request_id: Some(&e.request_id),
                 ..JobBody::new(&id, "done")
             }
             .render();
-            return json_reply(200, body);
+            let mut r = json_reply(200, body);
+            r.disposition = "cache_hit";
+            return r;
         }
         _ => {} // absent, or Failed: (re)submit
     }
@@ -1098,49 +1269,76 @@ fn post_run(state: &Arc<State>, body: &[u8]) -> Reply {
         let st = Arc::clone(state);
         let id2 = id.clone();
         let spec2 = spec.clone();
+        let rid2 = rid.to_string();
+        let queued_at = Instant::now();
         let workers = state.workers.lock().expect("workers lock");
         match workers.as_ref() {
             None => Err(SubmitError::Closed),
-            Some(w) => w.try_submit(move || execute_job(st, id2, key, spec2, cfg)),
+            Some(w) => w.try_submit(move || execute_job(st, id2, key, spec2, cfg, rid2, queued_at)),
         }
     };
     match submit {
         Ok(()) => {
             state.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            state.logger.log(
+                Level::Info,
+                "job_queued",
+                &[
+                    ("request_id", rid.into()),
+                    ("job", id.as_str().into()),
+                    ("workload", spec.workload.as_str().into()),
+                    ("scale", scale_name(spec.scale).into()),
+                    ("model", spec.model.name().into()),
+                ],
+            );
             let entry = JobEntry {
                 workload: spec.workload.clone(),
                 scale: spec.scale,
                 seed: spec.seed,
                 model: spec.model,
                 phase: Phase::Queued,
+                request_id: rid.to_string(),
             };
             let body = JobBody {
                 entry: Some(&entry),
+                request_id: Some(&entry.request_id),
                 ..JobBody::new(&id, "queued")
             }
             .render();
             reg.jobs.insert(id, entry);
-            json_reply(202, body)
+            let mut r = json_reply(202, body);
+            r.disposition = "submitted";
+            r
         }
         Err(SubmitError::Full) => {
             state.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            retry_reply(429, "queue_full", "job queue is full; retry later", 1_000)
+            retry_reply(
+                429,
+                "queue_full",
+                "job queue is full; retry later",
+                1_000,
+                rid,
+            )
         }
-        Err(SubmitError::Closed) => error_reply(503, "shutting_down", "service is shutting down"),
+        Err(SubmitError::Closed) => {
+            error_reply(503, "shutting_down", "service is shutting down", rid)
+        }
     }
 }
 
-fn get_job(state: &Arc<State>, id: &str) -> Reply {
+fn get_job(state: &Arc<State>, id: &str, rid: &str) -> Reply {
     let mut reg = state.registry.lock().expect("registry lock");
     if let Some(e) = reg.jobs.get(id) {
         let body = match &e.phase {
             Phase::Queued => JobBody {
                 entry: Some(e),
+                request_id: Some(&e.request_id),
                 ..JobBody::new(id, "queued")
             }
             .render(),
             Phase::Running => JobBody {
                 entry: Some(e),
+                request_id: Some(&e.request_id),
                 ..JobBody::new(id, "running")
             }
             .render(),
@@ -1148,12 +1346,14 @@ fn get_job(state: &Arc<State>, id: &str) -> Reply {
                 entry: Some(e),
                 stats: Some(stats),
                 wall_ms: Some(*wall_ms),
+                request_id: Some(&e.request_id),
                 ..JobBody::new(id, "done")
             }
             .render(),
             Phase::Failed { error } => JobBody {
                 entry: Some(e),
                 error: Some(error),
+                request_id: Some(&e.request_id),
                 ..JobBody::new(id, "error")
             }
             .render(),
@@ -1161,7 +1361,7 @@ fn get_job(state: &Arc<State>, id: &str) -> Reply {
         return json_reply(200, body);
     }
     // Unknown to this process — a warm disk cache (e.g. after a restart)
-    // can still resolve it.
+    // can still resolve it. No creator request id survives the restart.
     if let Ok(key) = u64::from_str_radix(id, 16) {
         if let Some(stats) = reg.cache.get(key) {
             state.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -1171,17 +1371,29 @@ fn get_job(state: &Arc<State>, id: &str) -> Reply {
                 ..JobBody::new(id, "done")
             }
             .render();
-            return json_reply(200, body);
+            let mut r = json_reply(200, body);
+            r.disposition = "cache_hit";
+            return r;
         }
     }
-    error_reply(404, "not_found", &format!("no such job {id}"))
+    error_reply(404, "not_found", &format!("no such job {id}"), rid)
 }
 
 // ---------------------------------------------------------------------
 // Job execution
 // ---------------------------------------------------------------------
 
-fn execute_job(state: Arc<State>, id: String, key: u64, spec: JobSpec, cfg: MachineConfig) {
+fn execute_job(
+    state: Arc<State>,
+    id: String,
+    key: u64,
+    spec: JobSpec,
+    cfg: MachineConfig,
+    rid: String,
+    queued_at: Instant,
+) {
+    let queue_wait = queued_at.elapsed();
+    state.http.record_phase(JobPhase::QueueWait, queue_wait);
     {
         let mut reg = state.registry.lock().expect("registry lock");
         if let Some(e) = reg.jobs.get_mut(&id) {
@@ -1189,11 +1401,22 @@ fn execute_job(state: Arc<State>, id: String, key: u64, spec: JobSpec, cfg: Mach
         }
     }
     state.counters.sim_runs.fetch_add(1, Ordering::Relaxed);
+    state.logger.log(
+        Level::Debug,
+        "job_start",
+        &[
+            ("request_id", rid.as_str().into()),
+            ("job", id.as_str().into()),
+            ("queue_wait_ms", (queue_wait.as_millis() as u64).into()),
+        ],
+    );
     let started = Instant::now();
     let warm =
         (state.warm_checkpoint_cycle > 0).then_some((&state.warm, state.warm_checkpoint_cycle));
     let outcome = run_simulation(&spec, cfg, warm);
-    let wall_ms = started.elapsed().as_millis() as u64;
+    let sim = started.elapsed();
+    state.http.record_phase(JobPhase::SimRun, sim);
+    let wall_ms = sim.as_millis() as u64;
 
     match outcome {
         Ok(run) => {
@@ -1207,17 +1430,49 @@ fn execute_job(state: Arc<State>, id: String, key: u64, spec: JobSpec, cfg: Mach
             if let Some(m) = run.metrics {
                 *state.metrics.lock().expect("metrics lock") = Some(m);
             }
+            let serialize_started = Instant::now();
+            let warm_restored = run.warm_restored;
             let stats = Arc::new(run.stats_json);
-            let mut reg = state.registry.lock().expect("registry lock");
-            reg.cache.insert(key, Arc::clone(&stats));
-            state.counters.jobs_done.fetch_add(1, Ordering::Relaxed);
-            if let Some(e) = reg.jobs.get_mut(&id) {
-                e.phase = Phase::Done { stats, wall_ms };
-                reg.mark_terminal(id);
+            {
+                let mut reg = state.registry.lock().expect("registry lock");
+                reg.cache.insert(key, Arc::clone(&stats));
+                state.counters.jobs_done.fetch_add(1, Ordering::Relaxed);
+                if let Some(e) = reg.jobs.get_mut(&id) {
+                    e.phase = Phase::Done { stats, wall_ms };
+                    reg.mark_terminal(id.clone());
+                }
             }
+            let serialize = serialize_started.elapsed();
+            state.http.record_phase(JobPhase::Serialize, serialize);
+            // A slow job is worth a WARN with its phase breakdown even
+            // when every individual HTTP exchange around it was fast.
+            let slow = !state.slow_request.is_zero() && sim >= state.slow_request;
+            state.logger.log(
+                if slow { Level::Warn } else { Level::Info },
+                "job_done",
+                &[
+                    ("request_id", rid.as_str().into()),
+                    ("job", id.as_str().into()),
+                    ("queue_wait_ms", (queue_wait.as_millis() as u64).into()),
+                    ("sim_ms", wall_ms.into()),
+                    ("serialize_ms", (serialize.as_millis() as u64).into()),
+                    ("warm_restored", warm_restored.into()),
+                    ("slow", slow.into()),
+                ],
+            );
         }
         Err(error) => {
             state.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            state.logger.log(
+                Level::Warn,
+                "job_failed",
+                &[
+                    ("request_id", rid.as_str().into()),
+                    ("job", id.as_str().into()),
+                    ("sim_ms", wall_ms.into()),
+                    ("error", error.as_str().into()),
+                ],
+            );
             let mut reg = state.registry.lock().expect("registry lock");
             if let Some(e) = reg.jobs.get_mut(&id) {
                 e.phase = Phase::Failed { error };
@@ -1327,70 +1582,87 @@ fn run_simulation(
 fn render_metrics(state: &Arc<State>) -> String {
     let c = &state.counters;
     let mut s = String::new();
-    let counters: [(&str, u64); 15] = [
+    let counters: [(&str, &str, u64); 15] = [
         (
             "hidisc_serve_requests_total",
+            "HTTP requests routed.",
             c.requests.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_jobs_submitted_total",
+            "Jobs accepted onto the worker queue.",
             c.submitted.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_coalesced_total",
+            "Submissions coalesced onto an identical in-flight job.",
             c.coalesced.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_cache_hits_total",
+            "Submissions answered from the result cache.",
             c.cache_hits.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_cache_misses_total",
+            "Submissions that required a simulation run.",
             c.cache_misses.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_sim_runs_total",
+            "Simulation runs started by workers.",
             c.sim_runs.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_jobs_done_total",
+            "Jobs that completed successfully.",
             c.jobs_done.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_jobs_failed_total",
+            "Jobs that failed or were shed at shutdown.",
             c.jobs_failed.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_rejected_total",
+            "Submissions refused with 429 (queue full).",
             c.rejected.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_connections_rejected_total",
+            "Connections refused past the connection cap.",
             c.conn_rejected.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_bad_requests_total",
+            "Requests rejected as malformed (parse or validation).",
             c.bad_requests.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_warm_restores_total",
+            "Runs that restored a warm-start checkpoint.",
             c.warm_restores.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_reactor_wakeups_total",
+            "Reactor epoll_wait returns (readiness batches).",
             c.reactor_wakeups.load(Ordering::Relaxed),
         ),
         (
             "hidisc_serve_reactor_eagain_total",
+            "Reads/writes/accepts that hit EAGAIN and parked the fd.",
             c.reactor_eagain.load(Ordering::Relaxed),
         ),
         (
             "hidisc_telemetry_dropped_events_total",
+            "Telemetry events dropped by bounded trace buffers.",
             c.dropped_events.load(Ordering::Relaxed),
         ),
     ];
-    for (name, v) in counters {
-        s.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    for (name, help, v) in counters {
+        s.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+        ));
     }
     let (queued, running) = {
         let w = state.workers.lock().expect("workers lock");
@@ -1402,20 +1674,60 @@ fn render_metrics(state: &Arc<State>) -> String {
         let reg = state.registry.lock().expect("registry lock");
         (reg.cache.len(), reg.cache.bytes(), reg.jobs.len())
     };
+    // `open_connections` is the one canonical connection gauge; the old
+    // `connections_active` twin (same value, second name) was dropped in
+    // the observability pass — DESIGN.md §18 records the rename.
     let open = state.connections.load(Ordering::Relaxed);
-    for (name, v) in [
-        ("hidisc_serve_queue_depth", queued),
-        ("hidisc_serve_jobs_running", running),
-        ("hidisc_serve_cache_entries", cache_entries),
-        ("hidisc_serve_cache_bytes", cache_bytes),
-        ("hidisc_serve_job_entries", job_entries),
-        // `open_connections` is the documented gauge name; the original
-        // `connections_active` stays as an alias for existing dashboards.
-        ("hidisc_serve_open_connections", open),
-        ("hidisc_serve_connections_active", open),
+    let uptime = state.started.elapsed().as_secs() as usize;
+    for (name, help, v) in [
+        (
+            "hidisc_serve_queue_depth",
+            "Jobs waiting on the worker queue.",
+            queued,
+        ),
+        (
+            "hidisc_serve_jobs_running",
+            "Jobs currently simulating.",
+            running,
+        ),
+        (
+            "hidisc_serve_cache_entries",
+            "Result-cache entries resident in memory.",
+            cache_entries,
+        ),
+        (
+            "hidisc_serve_cache_bytes",
+            "Result-cache bytes resident in memory.",
+            cache_bytes,
+        ),
+        (
+            "hidisc_serve_job_entries",
+            "Job-registry entries (live and terminal).",
+            job_entries,
+        ),
+        (
+            "hidisc_serve_open_connections",
+            "Connections currently registered with the reactor.",
+            open,
+        ),
+        (
+            "hidisc_serve_uptime_seconds",
+            "Seconds since the service started.",
+            uptime,
+        ),
     ] {
-        s.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        s.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+        ));
     }
+    s.push_str(&format!(
+        "# HELP hidisc_build_info Build identity of this binary; the value is always 1.\n\
+         # TYPE hidisc_build_info gauge\n\
+         hidisc_build_info{{version=\"{}\",git_sha=\"{}\"}} 1\n",
+        escape(VERSION),
+        escape(GIT_SHA)
+    ));
+    state.http.render(&mut s);
     if let Some(m) = state.metrics.lock().expect("metrics lock").as_ref() {
         s.push_str(&metrics_prometheus(m));
     }

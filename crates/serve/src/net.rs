@@ -27,6 +27,10 @@ pub(crate) struct Reply {
     /// Force the connection closed after this response regardless of what
     /// the request asked for (errors, over-cap refusals).
     pub close: bool,
+    /// How the request was satisfied, for the access log: `cache_hit`,
+    /// `coalesced`, `submitted`, … — empty when the route has no
+    /// disposition to report.
+    pub disposition: &'static str,
 }
 
 /// Stop reading from the socket once this much input is buffered but not
@@ -49,6 +53,11 @@ pub(crate) struct Conn {
     sent: usize,
     /// Refreshed on every successful read or write; drives idle teardown.
     pub last_activity: Instant,
+    /// When the connection was accepted; feeds the lifetime histogram.
+    opened: Instant,
+    /// Set once, at the first successful socket write (time to first
+    /// byte); [`Conn::take_ttfb`] hands it to the reactor exactly once.
+    ttfb: Option<Duration>,
     /// Close once `out` drains (`Connection: close`, errors, EOF).
     closing: bool,
     /// Close immediately; the socket is gone or poisoned.
@@ -67,6 +76,8 @@ impl Conn {
             out: Vec::new(),
             sent: 0,
             last_activity: Instant::now(),
+            opened: Instant::now(),
+            ttfb: None,
             closing: false,
             dead: false,
             peer_closed: false,
@@ -160,6 +171,9 @@ impl Conn {
                     return;
                 }
                 Ok(n) => {
+                    if self.ttfb.is_none() && n > 0 {
+                        self.ttfb = Some(self.opened.elapsed());
+                    }
                     self.sent += n;
                     self.last_activity = Instant::now();
                 }
@@ -198,5 +212,16 @@ impl Conn {
     /// True once the connection has been idle longer than `timeout`.
     pub fn idle_expired(&self, now: Instant, timeout: Duration) -> bool {
         now.duration_since(self.last_activity) > timeout
+    }
+
+    /// Time since the connection was accepted.
+    pub fn age(&self) -> Duration {
+        self.opened.elapsed()
+    }
+
+    /// The accept-to-first-response-byte latency, yielded at most once
+    /// (the reactor records it into the TTFB histogram after a flush).
+    pub fn take_ttfb(&mut self) -> Option<Duration> {
+        self.ttfb.take()
     }
 }

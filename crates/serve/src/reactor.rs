@@ -19,8 +19,10 @@ use std::time::{Duration, Instant};
 
 use epoll_shim::{Event, Interest, Poller};
 
+use hidisc::telemetry::log::Level;
+
 use crate::net::Conn;
-use crate::{http, State};
+use crate::{http, obs, State};
 
 const LISTENER_TOKEN: u64 = 0;
 
@@ -97,7 +99,7 @@ pub(crate) fn run(poller: Poller, listener: TcpListener, state: Arc<State>) {
                 conn.fill(&state.counters);
             }
             drive(conn, &state);
-            settle(&poller, &mut conns, ev.token);
+            settle(&poller, &mut conns, ev.token, &state);
         }
 
         // Idle sweep (~1 Hz): close connections quiet past the timeout.
@@ -111,7 +113,7 @@ pub(crate) fn run(poller: Poller, listener: TcpListener, state: Arc<State>) {
                 .collect();
             for token in expired {
                 if let Some(c) = conns.remove(&token) {
-                    let _ = poller.delete(c.stream.as_raw_fd());
+                    close_conn(&poller, &state, c, "idle");
                 }
             }
         }
@@ -119,40 +121,110 @@ pub(crate) fn run(poller: Poller, listener: TcpListener, state: Arc<State>) {
     }
 
     for (_, c) in conns.drain() {
-        let _ = poller.delete(c.stream.as_raw_fd());
+        close_conn(&poller, &state, c, "shutdown");
     }
     state.connections.store(0, Ordering::Relaxed);
 }
 
-/// Parses and routes whatever is buffered, then flushes.
+/// Parses and routes whatever is buffered, then flushes. Every request
+/// — including parse errors and over-cap refusals — gets an
+/// `X-Request-Id` (inbound one echoed when acceptable), RED-metric
+/// recording and an access-log line; requests slower than the
+/// configured threshold log at WARN.
 fn drive(conn: &mut Conn, state: &Arc<State>) {
     let reject = conn.reject;
     let st = Arc::clone(state);
-    conn.process(&mut |parsed| match parsed {
-        Err(http::ParseError::TooLarge) => {
-            st.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            crate::error_reply_closing(413, "too_large", "request too large")
+    conn.process(&mut |parsed| {
+        let t0 = Instant::now();
+        let (rid, route, method, path, mut reply) = match parsed {
+            Err(e) => {
+                st.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let rid = obs::fresh_request_id();
+                let reply = match e {
+                    http::ParseError::TooLarge => {
+                        crate::error_reply_closing(413, "too_large", "request too large", &rid)
+                    }
+                    http::ParseError::Bad(msg) => {
+                        crate::error_reply_closing(400, "bad_request", msg, &rid)
+                    }
+                };
+                (
+                    rid,
+                    obs::Route::Other,
+                    "-".to_string(),
+                    "-".to_string(),
+                    reply,
+                )
+            }
+            Ok(req) => {
+                let rid = req
+                    .request_id()
+                    .map(str::to_string)
+                    .unwrap_or_else(obs::fresh_request_id);
+                let route = obs::Route::of(&req.path);
+                let reply = if reject {
+                    crate::overcap_reply(&rid)
+                } else {
+                    crate::route(req, &rid, &st)
+                };
+                (rid, route, req.method.clone(), req.path.clone(), reply)
+            }
+        };
+        let dur = t0.elapsed();
+        st.http.record_request(route, reply.status, dur);
+        let slow = !st.slow_request.is_zero() && dur >= st.slow_request;
+        let level = if slow { Level::Warn } else { Level::Info };
+        if st.logger.enabled(level) {
+            st.logger.log(
+                level,
+                "request",
+                &[
+                    ("request_id", rid.as_str().into()),
+                    ("method", method.as_str().into()),
+                    ("path", path.as_str().into()),
+                    ("route", route.label().into()),
+                    ("status", reply.status.into()),
+                    ("bytes", reply.body.len().into()),
+                    ("dur_us", (dur.as_micros() as u64).into()),
+                    ("disposition", reply.disposition.into()),
+                    ("slow", slow.into()),
+                ],
+            );
         }
-        Err(http::ParseError::Bad(msg)) => {
-            st.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            crate::error_reply_closing(400, "bad_request", msg)
-        }
-        Ok(_) if reject => crate::overcap_reply(),
-        Ok(req) => crate::route(req, &st),
+        reply.extra.push(("X-Request-Id", rid));
+        reply
     });
     conn.flush(&state.counters);
+    if let Some(ttfb) = conn.take_ttfb() {
+        state.http.record_ttfb(ttfb);
+    }
+}
+
+/// Deregisters and drops one connection, recording its lifetime and the
+/// close reason.
+fn close_conn(poller: &Poller, state: &Arc<State>, conn: Conn, reason: &'static str) {
+    let _ = poller.delete(conn.stream.as_raw_fd());
+    state.http.record_conn_lifetime(conn.age());
+    state.logger.log(
+        Level::Debug,
+        "conn_close",
+        &[
+            ("reason", reason.into()),
+            ("age_ms", (conn.age().as_millis() as u64).into()),
+        ],
+    );
 }
 
 /// Applies the connection's post-event state to the poller: deregisters
 /// finished connections, otherwise re-arms interest (write readiness only
 /// while output is pending, read paused while backlogged).
-fn settle(poller: &Poller, conns: &mut HashMap<u64, Conn>, token: u64) {
+fn settle(poller: &Poller, conns: &mut HashMap<u64, Conn>, token: u64, state: &Arc<State>) {
     let Some(conn) = conns.get(&token) else {
         return;
     };
     if conn.done() {
         let conn = conns.remove(&token).expect("connection just looked up");
-        let _ = poller.delete(conn.stream.as_raw_fd());
+        close_conn(poller, state, conn, "done");
         return;
     }
     let interest = Interest {
@@ -164,7 +236,7 @@ fn settle(poller: &Poller, conns: &mut HashMap<u64, Conn>, token: u64) {
         .is_err()
     {
         let conn = conns.remove(&token).expect("connection just looked up");
-        let _ = poller.delete(conn.stream.as_raw_fd());
+        close_conn(poller, state, conn, "poll_error");
     }
 }
 
@@ -189,7 +261,9 @@ fn accept_all(
                         // Hard overload: refuse inline without a slot. The
                         // write is best-effort — under this much pressure a
                         // reset is acceptable.
-                        let reply = crate::overcap_reply();
+                        let rid = obs::fresh_request_id();
+                        let mut reply = crate::overcap_reply(&rid);
+                        reply.extra.push(("X-Request-Id", rid));
                         let bytes = http::render_response(
                             reply.status,
                             reply.content_type,
@@ -209,6 +283,11 @@ fn accept_all(
                     .add(conn.stream.as_raw_fd(), token, Interest::READ)
                     .is_ok()
                 {
+                    state.logger.log(
+                        Level::Debug,
+                        "conn_open",
+                        &[("token", token.into()), ("over_cap", over.into())],
+                    );
                     conns.insert(token, conn);
                 }
             }

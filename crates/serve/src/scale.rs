@@ -62,6 +62,9 @@ pub struct RampReport {
     pub responses_ok: u64,
     /// Responses with any other status.
     pub responses_err: u64,
+    /// Responses whose head carried no `X-Request-Id` header — always 0
+    /// against a healthy service; `repro connscale` fails when it is not.
+    pub missing_request_id: u64,
     /// Wall-clock of the whole ramp (connect + all rounds).
     pub wall_ms: u64,
     /// Wall-clock of each request round.
@@ -88,7 +91,8 @@ impl RampReport {
         format!(
             "{{\"bench\":\"serve_conn_ramp\",\"conns\":{},\"established\":{},\
              \"dropped\":{},\"rounds\":{},\"requestsSent\":{},\"responsesOk\":{},\
-             \"responsesErr\":{},\"wallMs\":{},\"roundMs\":[{}],\"rps\":{:.1}}}\n",
+             \"responsesErr\":{},\"missingRequestId\":{},\"wallMs\":{},\
+             \"roundMs\":[{}],\"rps\":{:.1}}}\n",
             self.conns,
             self.established,
             self.dropped,
@@ -96,6 +100,7 @@ impl RampReport {
             self.requests_sent,
             self.responses_ok,
             self.responses_err,
+            self.missing_request_id,
             self.wall_ms,
             rounds.join(","),
             self.rps(),
@@ -136,8 +141,9 @@ impl Probe {
     }
 
     /// Reads available bytes and scans for one complete response.
-    /// Returns `Some(status)` when a full response arrived.
-    fn pump(&mut self) -> Option<u16> {
+    /// Returns `Some((status, has_request_id))` when a full response
+    /// arrived.
+    fn pump(&mut self) -> Option<(u16, bool)> {
         let mut chunk = [0u8; 4096];
         loop {
             match self.stream.read(&mut chunk) {
@@ -155,10 +161,10 @@ impl Probe {
             }
         }
         match scan_response(&self.buf) {
-            Some((status, consumed)) => {
+            Some((status, consumed, has_rid)) => {
                 self.buf.drain(..consumed);
                 self.got = true;
-                Some(status)
+                Some((status, has_rid))
             }
             None => None,
         }
@@ -166,24 +172,27 @@ impl Probe {
 }
 
 /// Scans one complete HTTP response (status line + headers +
-/// `Content-Length` body) from the front of `buf`, returning its status
-/// and total length.
-fn scan_response(buf: &[u8]) -> Option<(u16, usize)> {
+/// `Content-Length` body) from the front of `buf`, returning its status,
+/// total length, and whether the head carried an `X-Request-Id` header.
+fn scan_response(buf: &[u8]) -> Option<(u16, usize, bool)> {
     let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
     let head = std::str::from_utf8(&buf[..head_end]).ok()?;
     let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
-    let content_length: usize = head
-        .lines()
-        .find_map(|l| {
-            let (name, value) = l.split_once(':')?;
-            if !name.trim().eq_ignore_ascii_case("content-length") {
-                return None;
-            }
-            value.trim().parse().ok()
-        })
-        .unwrap_or(0);
+    let mut content_length = 0usize;
+    let mut has_rid = false;
+    for l in head.lines() {
+        let Some((name, value)) = l.split_once(':') else {
+            continue;
+        };
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().ok()?;
+        } else if name.eq_ignore_ascii_case("x-request-id") && !value.trim().is_empty() {
+            has_rid = true;
+        }
+    }
     let total = head_end + 4 + content_length;
-    (buf.len() >= total).then_some((status, total))
+    (buf.len() >= total).then_some((status, total, has_rid))
 }
 
 /// Runs the ramp: batched connects, then `rounds` lock-step keep-alive
@@ -237,6 +246,7 @@ pub fn ramp(cfg: &RampConfig) -> std::io::Result<RampReport> {
     let mut requests_sent = 0u64;
     let mut responses_ok = 0u64;
     let mut responses_err = 0u64;
+    let mut missing_request_id = 0u64;
     let mut round_ms = Vec::with_capacity(cfg.rounds);
     let mut events: Vec<Event> = Vec::new();
 
@@ -271,11 +281,14 @@ pub fn ramp(cfg: &RampConfig) -> std::io::Result<RampReport> {
                     }
                 }
                 if ev.readable || ev.hangup || ev.error {
-                    if let Some(status) = p.pump() {
+                    if let Some((status, has_rid)) = p.pump() {
                         if status == 200 {
                             responses_ok += 1;
                         } else {
                             responses_err += 1;
+                        }
+                        if !has_rid {
+                            missing_request_id += 1;
                         }
                     }
                 }
@@ -303,6 +316,7 @@ pub fn ramp(cfg: &RampConfig) -> std::io::Result<RampReport> {
         requests_sent,
         responses_ok,
         responses_err,
+        missing_request_id,
         wall_ms: started.elapsed().as_millis() as u64,
         round_ms,
     })
@@ -318,9 +332,19 @@ mod tests {
         for cut in 0..full.len() {
             assert!(scan_response(&full[..cut]).is_none(), "cut {cut}");
         }
-        assert_eq!(scan_response(full), Some((200, full.len())));
+        assert_eq!(scan_response(full), Some((200, full.len(), false)));
         let no_body = b"HTTP/1.1 503 Service Unavailable\r\n\r\nrest";
-        assert_eq!(scan_response(no_body), Some((503, no_body.len() - 4)));
+        assert_eq!(
+            scan_response(no_body),
+            Some((503, no_body.len() - 4, false))
+        );
+        let with_rid = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nX-Request-Id: ab12\r\n\r\n{}";
+        assert_eq!(scan_response(with_rid), Some((200, with_rid.len(), true)));
+        let empty_rid = b"HTTP/1.1 200 OK\r\nX-Request-Id:\r\nContent-Length: 0\r\n\r\n";
+        assert_eq!(
+            scan_response(empty_rid),
+            Some((200, empty_rid.len(), false))
+        );
     }
 
     #[test]
@@ -333,12 +357,14 @@ mod tests {
             requests_sent: 1024,
             responses_ok: 1024,
             responses_err: 0,
+            missing_request_id: 0,
             wall_ms: 100,
             round_ms: vec![40, 35],
         };
         let j = r.to_json();
         assert!(j.contains("\"bench\":\"serve_conn_ramp\""), "{j}");
         assert!(j.contains("\"dropped\":0"), "{j}");
+        assert!(j.contains("\"missingRequestId\":0"), "{j}");
         assert!(j.contains("\"roundMs\":[40,35]"), "{j}");
         // Over the 75 ms of request rounds, not the 100 ms wall clock.
         assert!((r.rps() - 1024.0 * 1000.0 / 75.0).abs() < 1e-6);

@@ -64,11 +64,39 @@ fn get(path: &str) -> String {
     format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n")
 }
 
-/// Strips headers whose values legitimately differ across connections
-/// (none today — responses carry no date or request id — so this is the
-/// identity; kept as the single point to extend if that changes).
+/// Strips the parts that legitimately differ across requests: the
+/// per-request `X-Request-Id` header, the `Content-Length` (the healthz
+/// body's `uptimeMs` digit count can change mid-test) and the `uptimeMs`
+/// value itself. Everything else must match byte for byte.
 fn normalize(resp: &str) -> String {
-    resp.to_string()
+    let (head, body) = resp.split_once("\r\n\r\n").expect("head/body split");
+    let head: String = head
+        .lines()
+        .filter(|l| {
+            let name = l.split(':').next().unwrap_or("");
+            !name.eq_ignore_ascii_case("x-request-id")
+                && !name.eq_ignore_ascii_case("content-length")
+        })
+        .map(|l| format!("{l}\r\n"))
+        .collect();
+    let mut body = body.to_string();
+    if let Some(at) = body.find("\"uptimeMs\":") {
+        let digits_from = at + "\"uptimeMs\":".len();
+        let digits = body[digits_from..]
+            .bytes()
+            .take_while(|b| b.is_ascii_digit())
+            .count();
+        body.replace_range(digits_from..digits_from + digits, "N");
+    }
+    format!("{head}\r\n{body}")
+}
+
+/// Extracts the value of a response header (case-insensitive name).
+fn header<'a>(resp: &'a str, name: &str) -> Option<&'a str> {
+    resp.split("\r\n\r\n").next()?.lines().find_map(|l| {
+        let (n, v) = l.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim())
+    })
 }
 
 #[test]
@@ -202,6 +230,13 @@ fn parse_errors_answer_the_envelope_and_close() {
     assert!(r.starts_with("HTTP/1.1 400 "), "{r}");
     assert!(r.contains("\"code\":\"bad_request\""), "{r}");
     assert!(r.contains("Connection: close\r\n"), "{r}");
+    // The envelope and the response header agree on the request id.
+    let rid = header(r, "x-request-id").expect("X-Request-Id header");
+    assert!(!rid.is_empty(), "{r}");
+    assert!(
+        r.contains(&format!("\"request_id\":\"{rid}\"")),
+        "envelope request_id should match the X-Request-Id header: {r}"
+    );
     // The server closes after the error: the next read sees EOF.
     let mut sink = [0u8; 64];
     let deadline = Instant::now() + Duration::from_secs(10);
@@ -280,7 +315,9 @@ fn connection_ramp_holds_keep_alive_connections_without_drops() {
     assert_eq!(report.dropped, 0, "{report:?}");
     assert_eq!(report.responses_ok, 256, "{report:?}");
     assert_eq!(report.responses_err, 0, "{report:?}");
+    assert_eq!(report.missing_request_id, 0, "{report:?}");
     let json = report.to_json();
     assert!(json.contains("\"bench\":\"serve_conn_ramp\""), "{json}");
+    assert!(json.contains("\"missingRequestId\":0"), "{json}");
     svc.shutdown();
 }

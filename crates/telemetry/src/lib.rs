@@ -25,6 +25,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod log;
+
 use hidisc_isa::Queue;
 use std::collections::VecDeque;
 
@@ -376,6 +378,7 @@ pub struct Histogram {
     width: u64,
     counts: Vec<u64>,
     total: u64,
+    sum: u64,
     max: u64,
 }
 
@@ -388,6 +391,7 @@ impl Histogram {
             width,
             counts: vec![0; buckets + 1],
             total: 0,
+            sum: 0,
             max: 0,
         }
     }
@@ -399,6 +403,7 @@ impl Histogram {
         let b = ((v / self.width) as usize).min(overflow);
         self.counts[b] += 1;
         self.total += 1;
+        self.sum = self.sum.saturating_add(v);
         if v > self.max {
             self.max = v;
         }
@@ -407,6 +412,21 @@ impl Histogram {
     /// Number of recorded values.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Sum of every recorded value (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Bucket width.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Raw per-bucket counts; the last entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
     }
 
     /// Largest recorded value.
@@ -1089,20 +1109,102 @@ fn histogram_prometheus(out: &mut String, name: &str, labels: &str, h: &Histogra
     }
 }
 
+/// Formats `v * 10^-shift` as an exact decimal (no float round-trip), so
+/// bucket edges like `0.0005` render deterministically.
+fn scaled_decimal(v: u64, shift: u32) -> String {
+    let pow = 10u64.pow(shift);
+    let whole = v / pow;
+    let frac = v % pow;
+    if frac == 0 {
+        return format!("{whole}");
+    }
+    let frac = format!("{frac:0width$}", width = shift as usize);
+    format!("{whole}.{}", frac.trim_end_matches('0'))
+}
+
+/// Renders `h` as one member of a **real** Prometheus histogram family:
+/// cumulative `{name}_bucket{{le="…"}}` lines (the overflow bucket as
+/// `le="+Inf"`, whose count equals `_count`), then `{name}_sum` and
+/// `{name}_count`. The caller owns the `# HELP`/`# TYPE … histogram`
+/// header, emitted once per family.
+///
+/// Recorded values are integers in `10^-decimal_shift` of the exposed
+/// unit — e.g. a histogram recording microseconds exposed as seconds
+/// passes `decimal_shift = 6` — so edges and sums are exact decimals.
+pub fn prometheus_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    h: &Histogram,
+    decimal_shift: u32,
+) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let counts = h.bucket_counts();
+    let regular = counts.len() - 1;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().take(regular).enumerate() {
+        cum += c;
+        let le = scaled_decimal((i as u64 + 1) * h.width(), decimal_shift);
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cum}\n"
+        ));
+    }
+    cum += counts[regular];
+    out.push_str(&format!(
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cum}\n"
+    ));
+    let braces = |s: &str| {
+        if s.is_empty() {
+            String::new()
+        } else {
+            format!("{{{s}}}")
+        }
+    };
+    out.push_str(&format!(
+        "{name}_sum{} {}\n",
+        braces(labels),
+        scaled_decimal(h.sum(), decimal_shift)
+    ));
+    out.push_str(&format!("{name}_count{} {}\n", braces(labels), h.total()));
+}
+
 /// Renders the interval metrics in the Prometheus text exposition format
 /// (one gauge per histogram statistic), for `GET /metrics`-style
 /// endpoints.
 pub fn metrics_prometheus(m: &IntervalMetrics) -> String {
     let mut s = String::new();
-    s.push_str("# TYPE hidisc_metrics_interval_cycles gauge\n");
+    let header = |s: &mut String, name: &str, help: &str| {
+        s.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+    };
+    header(
+        &mut s,
+        "hidisc_metrics_interval_cycles",
+        "Interval-metrics sampling period of the latest run, in cycles.",
+    );
     s.push_str(&format!("hidisc_metrics_interval_cycles {}\n", m.interval));
-    s.push_str("# TYPE hidisc_metrics_samples gauge\n");
+    header(
+        &mut s,
+        "hidisc_metrics_samples",
+        "Interval samples buffered by the latest run.",
+    );
     s.push_str(&format!("hidisc_metrics_samples {}\n", m.len()));
-    s.push_str("# TYPE hidisc_metrics_dropped_samples gauge\n");
+    header(
+        &mut s,
+        "hidisc_metrics_dropped_samples",
+        "Interval samples dropped past the ring-buffer cap.",
+    );
     s.push_str(&format!("hidisc_metrics_dropped_samples {}\n", m.dropped()));
-    s.push_str("# TYPE hidisc_miss_latency_cycles gauge\n");
+    header(
+        &mut s,
+        "hidisc_miss_latency_cycles",
+        "Demand-miss fill latency of the latest run (per-statistic gauges).",
+    );
     histogram_prometheus(&mut s, "hidisc_miss_latency_cycles", "", &m.miss_latency);
-    s.push_str("# TYPE hidisc_queue_occupancy gauge\n");
+    header(
+        &mut s,
+        "hidisc_queue_occupancy",
+        "Architectural-queue occupancy at sample points (per-statistic gauges).",
+    );
     for (i, q) in Queue::ALL.iter().enumerate() {
         histogram_prometheus(
             &mut s,
@@ -1111,7 +1213,11 @@ pub fn metrics_prometheus(m: &IntervalMetrics) -> String {
             &m.queue_occupancy[i],
         );
     }
-    s.push_str("# TYPE hidisc_mshr_occupancy gauge\n");
+    header(
+        &mut s,
+        "hidisc_mshr_occupancy",
+        "MSHR occupancy at sample points (per-statistic gauges).",
+    );
     histogram_prometheus(&mut s, "hidisc_mshr_occupancy", "", &m.mshr_occupancy);
     s
 }
@@ -1326,6 +1432,36 @@ mod tests {
         h.record(2000);
         assert_eq!(h.p99(), 2000);
         assert_eq!(h.max(), 2000);
+        assert_eq!(h.sum(), 3000);
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_with_exact_edges() {
+        // Microsecond buckets of 500 µs exposed as seconds.
+        let mut h = Histogram::new(500, 3);
+        for v in [100, 600, 700, 10_000_000] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        prometheus_histogram(&mut out, "d_seconds", "route=\"run\"", &h, 6);
+        assert_eq!(
+            out,
+            "d_seconds_bucket{route=\"run\",le=\"0.0005\"} 1\n\
+             d_seconds_bucket{route=\"run\",le=\"0.001\"} 3\n\
+             d_seconds_bucket{route=\"run\",le=\"0.0015\"} 3\n\
+             d_seconds_bucket{route=\"run\",le=\"+Inf\"} 4\n\
+             d_seconds_sum{route=\"run\"} 10.0014\n\
+             d_seconds_count{route=\"run\"} 4\n"
+        );
+        // Unlabeled members drop the braces entirely.
+        let mut bare = String::new();
+        prometheus_histogram(&mut bare, "d_seconds", "", &h, 6);
+        assert!(
+            bare.contains("d_seconds_bucket{le=\"0.0005\"} 1\n"),
+            "{bare}"
+        );
+        assert!(bare.contains("d_seconds_sum 10.0014\n"), "{bare}");
+        assert!(bare.contains("d_seconds_count 4\n"), "{bare}");
     }
 
     #[test]

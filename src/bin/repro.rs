@@ -13,6 +13,7 @@
 //! with [`MachineConfig::builder`]; an invalid sweep (`--scq-depth 0`)
 //! exits 2 with the typed [`ConfigError`] message.
 
+use hidisc::telemetry::log::{Level, LogFormat};
 use hidisc::telemetry::TraceConfig;
 use hidisc::{MachineConfig, Model, Scheduler};
 use hidisc_bench::{self as bench, Report};
@@ -55,6 +56,16 @@ struct Args {
     cache_bytes: Option<usize>,
     /// `serve --idle-timeout-ms <n>`: idle keep-alive connection timeout.
     idle_timeout_ms: Option<u64>,
+    /// `--log-level off|error|warn|info|debug`: outer `None` = flag
+    /// absent (`repro serve` then defaults to `info`, `repro connscale`'s
+    /// in-process target to off).
+    log_level: Option<Option<Level>>,
+    /// `--log-format text|json` (default text/logfmt).
+    log_format: Option<LogFormat>,
+    /// `--log-file <path>`: log destination (stderr when absent).
+    log_file: Option<String>,
+    /// `--slow-request-ms <n>`: WARN threshold (0 disables).
+    slow_request_ms: Option<u64>,
     /// `connscale --conns <n>`: connections to ramp and hold.
     conns: usize,
     /// `connscale --rounds <n>`: keep-alive request rounds.
@@ -92,6 +103,10 @@ fn parse_args() -> Args {
     let mut max_conns = 10_240; // ServeConfig::builder's default cap
     let mut cache_bytes = None;
     let mut idle_timeout_ms = None;
+    let mut log_level = None;
+    let mut log_format = None;
+    let mut log_file = None;
+    let mut slow_request_ms = None;
     let mut conns = 512;
     let mut rounds = 3;
     let mut sample = None;
@@ -198,6 +213,27 @@ fn parse_args() -> Args {
             "--max-conns" => max_conns = num(&mut it, "--max-conns") as usize,
             "--cache-bytes" => cache_bytes = Some(num(&mut it, "--cache-bytes") as usize),
             "--idle-timeout-ms" => idle_timeout_ms = Some(num(&mut it, "--idle-timeout-ms")),
+            "--log-level" => {
+                let v = it.next().unwrap_or_default();
+                log_level = Some(Level::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--log-format" => {
+                let v = it.next().unwrap_or_default();
+                log_format = Some(LogFormat::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--log-file" => {
+                log_file = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--log-file needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--slow-request-ms" => slow_request_ms = Some(num(&mut it, "--slow-request-ms")),
             "--conns" => conns = num(&mut it, "--conns") as usize,
             "--rounds" => rounds = num(&mut it, "--rounds") as usize,
             "--cache-dir" => {
@@ -216,8 +252,11 @@ fn parse_args() -> Args {
                      [--trace <out.json>] [--trace-filter <cat,..|all>] [--metrics-interval N] \
                      [--event-cap N] [--stream] \
                      [serve --addr <host:port> --workers N --queue-depth N --cache-dir <dir> \
-                     --max-conns N --cache-bytes N --idle-timeout-ms N] \
-                     [connscale --conns N --rounds N [--addr <host:port>]]",
+                     --max-conns N --cache-bytes N --idle-timeout-ms N \
+                     --log-level off|error|warn|info|debug --log-format text|json \
+                     --log-file <path> --slow-request-ms N] \
+                     [connscale --conns N --rounds N [--addr <host:port>] \
+                     [--log-level .. --log-format .. --log-file <path>]]",
                     COMMANDS.join("|")
                 );
                 std::process::exit(0);
@@ -291,6 +330,10 @@ fn parse_args() -> Args {
         max_conns,
         cache_bytes,
         idle_timeout_ms,
+        log_level,
+        log_format,
+        log_file,
+        slow_request_ms,
         conns,
         rounds,
         sample,
@@ -374,6 +417,18 @@ fn build_serve_config(args: &Args) -> ServeConfig {
     if let Some(ms) = args.idle_timeout_ms {
         b = b.idle_timeout_ms(ms);
     }
+    // `repro serve` logs at info unless told otherwise; `--log-level off`
+    // silences it.
+    b = b.log_level(args.log_level.unwrap_or(Some(Level::Info)));
+    if let Some(f) = args.log_format {
+        b = b.log_format(f);
+    }
+    if let Some(path) = &args.log_file {
+        b = b.log_file(path);
+    }
+    if let Some(ms) = args.slow_request_ms {
+        b = b.slow_request_ms(ms);
+    }
     b.build().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -406,7 +461,8 @@ fn serve(args: &Args) {
 /// in-process service, or `--addr` for an external one), drive
 /// `--rounds` request rounds over all of them, and emit the
 /// `BENCH_serve.json` document on stdout. Exits 1 if any connection was
-/// dropped — CI treats a lossy ramp as a regression.
+/// dropped or any response arrived without an `X-Request-Id` — CI treats
+/// a lossy or id-less ramp as a regression.
 fn connscale(args: &Args) {
     use std::net::ToSocketAddrs;
     let svc = match &args.addr {
@@ -418,15 +474,24 @@ fn connscale(args: &Args) {
             // stretched so connections established early in a large ramp
             // are not swept while the tail is still connecting (against an
             // external --addr target, the operator sets --idle-timeout-ms).
-            let cfg = ServeConfig::builder()
+            let mut b = ServeConfig::builder()
                 .workers(1)
                 .max_connections(args.conns + 64)
                 .idle_timeout_ms(600_000)
-                .build()
-                .unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2);
-                });
+                // Off unless asked: the ramp target is a measurement
+                // device, and CI uses the logged/unlogged pair to gate
+                // logging overhead.
+                .log_level(args.log_level.unwrap_or(None));
+            if let Some(f) = args.log_format {
+                b = b.log_format(f);
+            }
+            if let Some(path) = &args.log_file {
+                b = b.log_file(path);
+            }
+            let cfg = b.build().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
             Some(Service::start(cfg).unwrap_or_else(|e| {
                 eprintln!("cannot start the ramp target service: {e}");
                 std::process::exit(2);
@@ -455,18 +520,19 @@ fn connscale(args: &Args) {
     print!("{}", report.to_json());
     eprintln!(
         "connscale: {}/{} connections established, {} dropped, \
-         {} request(s) over {} round(s), {:.0} resp/s",
+         {} request(s) over {} round(s), {} missing request id(s), {:.0} resp/s",
         report.established,
         report.conns,
         report.dropped,
         report.requests_sent,
         report.rounds,
+        report.missing_request_id,
         report.rps(),
     );
     if let Some(svc) = svc {
         svc.shutdown();
     }
-    if report.dropped > 0 || report.established < report.conns {
+    if report.dropped > 0 || report.established < report.conns || report.missing_request_id > 0 {
         std::process::exit(1);
     }
 }
