@@ -826,6 +826,42 @@ mod tests {
     }
 
     #[test]
+    fn reports_rebuild_byte_identically_from_minimal_stats() {
+        // The sweep endpoint reassembles figures from cached points; the
+        // contract is that a report built from `MachineStats::minimal`
+        // (carrying only cycles, work and L1 demand behaviour) renders
+        // byte-for-byte like one built from the full run.
+        let results = run_suite(Scale::Test, 3, MachineConfig::paper());
+        let rebuilt: Vec<SuiteResult> = results
+            .iter()
+            .map(|r| SuiteResult {
+                name: r.name,
+                per_model: r
+                    .per_model
+                    .iter()
+                    .map(|s| {
+                        MachineStats::minimal(
+                            s.model,
+                            s.cycles,
+                            s.work_instrs,
+                            s.mem.l1.demand_accesses,
+                            s.mem.l1.demand_misses,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        assert_eq!(
+            Fig8Report(fig8(&results)).render_csv(),
+            Fig8Report(fig8(&rebuilt)).render_csv()
+        );
+        assert_eq!(
+            Fig9Report(fig9(&results)).render_csv(),
+            Fig9Report(fig9(&rebuilt)).render_csv()
+        );
+    }
+
+    #[test]
     fn fig10_shapes() {
         let series = fig10(&["pointer"], Scale::Test, 3);
         assert_eq!(series.len(), 1);

@@ -39,6 +39,37 @@ pub struct MachineStats {
 }
 
 impl MachineStats {
+    /// A stats record carrying only the measures the figure reports read
+    /// (cycles, useful work, L1 demand behaviour), with every other field
+    /// empty. Rebuilds report inputs from serialised points — a cached
+    /// `/v1/run` result or a sweep point — without a live simulation, so
+    /// a figure assembled from minimal stats renders byte-identically to
+    /// one assembled from full runs.
+    pub fn minimal(
+        model: Model,
+        cycles: u64,
+        work_instrs: u64,
+        l1_demand_accesses: u64,
+        l1_demand_misses: u64,
+    ) -> MachineStats {
+        let mut mem = MemStats::default();
+        mem.l1.demand_accesses = l1_demand_accesses;
+        mem.l1.demand_misses = l1_demand_misses;
+        MachineStats {
+            model,
+            cycles,
+            work_instrs,
+            cores: Vec::new(),
+            mem,
+            cmp: None,
+            queues: [QueueStats::default(); 5],
+            mem_checksum: 0,
+            host_wall_ns: 0,
+            ff_jumps: 0,
+            ff_skipped_cycles: 0,
+        }
+    }
+
     /// Instructions per cycle, in *useful work* terms: decoupled models
     /// are not credited for duplicated control or communication
     /// instructions.

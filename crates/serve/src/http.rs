@@ -166,6 +166,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         501 => "Not Implemented",
@@ -200,9 +201,66 @@ pub fn render_response(
     out
 }
 
+/// Renders the head of a streamed (`Transfer-Encoding: chunked`)
+/// response. The body follows as [`render_chunk`] frames terminated by
+/// [`render_last_chunk`]; there is no `Content-Length`.
+pub fn render_stream_head(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&'static str, String)],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Transfer-Encoding: chunked\r\nConnection: {}\r\n",
+        reason(status),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    head.into_bytes()
+}
+
+/// Frames one non-empty chunk of a streamed response body.
+pub fn render_chunk(data: &[u8]) -> Vec<u8> {
+    debug_assert!(
+        !data.is_empty(),
+        "an empty chunk would terminate the stream"
+    );
+    let mut out = format!("{:x}\r\n", data.len()).into_bytes();
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminating zero-length chunk of a streamed response.
+pub fn render_last_chunk() -> &'static [u8] {
+    b"0\r\n\r\n"
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chunked_responses_frame_and_terminate() {
+        let head = String::from_utf8(render_stream_head(
+            200,
+            "application/x-ndjson",
+            &[("X-Request-Id", "abc".into())],
+            true,
+        ))
+        .unwrap();
+        assert!(head.contains("Transfer-Encoding: chunked\r\n"), "{head}");
+        assert!(!head.contains("Content-Length"), "{head}");
+        assert!(head.contains("X-Request-Id: abc\r\n"), "{head}");
+        assert!(head.ends_with("\r\n\r\n"), "{head}");
+        let chunk = render_chunk(b"{\"a\":1}\n");
+        assert_eq!(chunk, b"8\r\n{\"a\":1}\n\r\n");
+        assert_eq!(render_last_chunk(), b"0\r\n\r\n");
+    }
 
     #[test]
     fn parses_incrementally_and_reports_consumed_bytes() {

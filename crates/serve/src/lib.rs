@@ -15,7 +15,16 @@
 //!   duplicate submissions coalesce onto the in-flight run and repeated
 //!   ones return instantly from the result cache (`cached: true`).
 //! - `GET /v1/jobs/<id>` polls status/result.
-//! - `POST /v1/sweep` is reserved for the batch sweep API (`501`).
+//! - `POST /v1/sweep` submits a parameter *grid* (`hidisc-sweep`): the
+//!   planner expands it server-side into deduplicated content-addressed
+//!   jobs (cached points answer without simulation), submits them
+//!   through the same bounded pool, and — by default — streams one
+//!   NDJSON line per point as results land (chunked transfer encoding).
+//!   The sweep id hashes the *sorted* point set, so equivalent grids
+//!   coalesce. A `render` option assembles fig8/fig9/fig10/table1 CSV
+//!   from the completed points.
+//! - `GET /v1/sweeps/<id>` polls sweep progress;
+//!   `GET /v1/sweeps/<id>/render` returns the rendered CSV once done.
 //! - `GET /healthz` is a liveness probe.
 //! - `GET /metrics` exposes per-service counters plus the latest run's
 //!   interval metrics in Prometheus text format.
@@ -30,7 +39,14 @@
 //!
 //! Backpressure: the job queue is bounded; a full queue answers `429`
 //! with a `Retry-After` hint instead of buffering without bound, and
-//! connections past the cap answer `503`.
+//! connections past the cap answer `503`. Sweep points ride the same
+//! bounded pool — unsubmitted points simply wait for a free slot.
+//!
+//! Shard mode (`repro serve --shard-of k/N --peers <addrs>`): sweep
+//! points are routed by `content_address % N`; points owned by a peer
+//! are forwarded to it (`POST /v1/run` + poll) from a worker thread,
+//! with per-shard health tracking and local fallback evaluation when
+//! the owner is down (degraded mode, never a failed sweep).
 //!
 //! Observability (DESIGN.md §18): every response carries an
 //! `X-Request-Id` (minted per request, or echoing an acceptable inbound
@@ -52,19 +68,21 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hidisc::telemetry::log::{Level, LogFormat, Logger};
-use hidisc::telemetry::{metrics_prometheus, IntervalMetrics, TraceConfig};
-use hidisc::{fnv1a, ConfigError, Machine, MachineConfig, Model, RunError, Scheduler};
+use hidisc::telemetry::{metrics_prometheus, IntervalMetrics};
+use hidisc::{ConfigError, Machine, MachineConfig, Model, RunError, Scheduler};
 use hidisc_bench::pool::{SubmitError, Workers};
 use hidisc_slicer::{compile, CompilerConfig};
 use hidisc_workloads::Scale;
 
 pub mod cache;
+pub mod client;
 pub mod http;
 pub mod json;
 mod net;
 pub(crate) mod obs;
 mod reactor;
 pub mod scale;
+pub(crate) mod sweeps;
 
 use cache::{CheckpointStore, ResultCache};
 use json::{escape, Json};
@@ -255,48 +273,36 @@ impl JobSpec {
     }
 
     /// Assembles the machine configuration through the validating
-    /// builder (the same path as `repro`'s sweep flags).
+    /// builder (the same path as `repro`'s sweep flags). Delegates to
+    /// `hidisc-sweep`'s [`hidisc_sweep::build_config`], the shared
+    /// single source of truth, so a sweep point and an equivalent
+    /// `/v1/run` request build (and hash) identically.
     pub fn config(&self) -> Result<MachineConfig, ConfigError> {
-        let paper = MachineConfig::paper();
-        let mut b = MachineConfig::builder().latency(
-            self.l2_lat.unwrap_or(paper.mem.l2.latency),
-            self.mem_lat.unwrap_or(paper.mem.mem_latency),
-        );
-        if let Some(depth) = self.scq_depth {
-            let mut q = paper.queues;
-            q.scq = depth;
-            b = b.queues(q);
-        }
-        if let Some(s) = self.scheduler {
-            b = b.scheduler(s);
-        }
-        if let Some(n) = self.max_cycles {
-            b = b.max_cycles(n);
-        }
-        if self.metrics_interval > 0 {
-            b = b.trace(TraceConfig::OFF.with_metrics_interval(self.metrics_interval));
-        }
-        b.build()
+        hidisc_sweep::build_config(
+            self.l2_lat,
+            self.mem_lat,
+            self.scq_depth,
+            self.scheduler,
+            self.max_cycles,
+            self.metrics_interval,
+        )
     }
 
     /// The job's content-address: the config's canonical hash extended
     /// with the workload identity (name, scale, seed) and the model.
     /// Telemetry settings and the wall-clock timeout are deliberately
     /// excluded — they do not change simulated results (the cycle
-    /// budget, part of the config, is included).
+    /// budget, part of the config, is included). Delegates to
+    /// [`hidisc_sweep::job_key`] so sweep points share cache entries.
     pub fn key(&self, cfg: &MachineConfig) -> u64 {
-        let mut h = cfg.canonical_hash();
-        h = fnv1a(h, self.workload.as_bytes());
-        h = fnv1a(h, &[0, self.scale as u8]);
-        h = fnv1a(h, &self.seed.to_le_bytes());
-        h = fnv1a(h, &[self.model as u8]);
-        if let Some(p) = &self.program {
-            // Domain-separate custom programs from named workloads that
-            // happen to share a label.
-            h = fnv1a(h, &[1]);
-            h = fnv1a(h, p.as_bytes());
-        }
-        h
+        hidisc_sweep::job_key(
+            cfg,
+            &self.workload,
+            self.scale,
+            self.seed,
+            self.model,
+            self.program.as_deref(),
+        )
     }
 
     /// The warm-start address: like [`JobSpec::key`] but seeded from
@@ -305,16 +311,59 @@ impl JobSpec {
     /// not how state *evolves*, so two jobs differing only in budgets
     /// share the same simulated prefix — and the same checkpoint.
     pub fn warm_key(&self, cfg: &MachineConfig) -> u64 {
-        let mut h = cfg.warm_hash();
-        h = fnv1a(h, self.workload.as_bytes());
-        h = fnv1a(h, &[0, self.scale as u8]);
-        h = fnv1a(h, &self.seed.to_le_bytes());
-        h = fnv1a(h, &[self.model as u8]);
-        if let Some(p) = &self.program {
-            h = fnv1a(h, &[1]);
-            h = fnv1a(h, p.as_bytes());
+        hidisc_sweep::warm_job_key(
+            cfg,
+            &self.workload,
+            self.scale,
+            self.seed,
+            self.model,
+            self.program.as_deref(),
+        )
+    }
+
+    /// Serialises the spec back into a `POST /v1/run` body (the inverse
+    /// of [`JobSpec::from_json`]) — used to forward a job to the peer
+    /// shard that owns its content address.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"workload\":\"{}\",\"scale\":\"{}\",\"seed\":{},\"model\":\"{}\"",
+            escape(&self.workload),
+            scale_name(self.scale),
+            self.seed,
+            self.model.name().to_lowercase(),
+        );
+        if let Some(v) = self.l2_lat {
+            s.push_str(&format!(",\"l2_lat\":{v}"));
         }
-        h
+        if let Some(v) = self.mem_lat {
+            s.push_str(&format!(",\"mem_lat\":{v}"));
+        }
+        if let Some(v) = self.scq_depth {
+            s.push_str(&format!(",\"scq_depth\":{v}"));
+        }
+        if let Some(v) = self.scheduler {
+            s.push_str(&format!(
+                ",\"scheduler\":\"{}\"",
+                match v {
+                    Scheduler::ReadyList => "ready",
+                    Scheduler::Scan => "scan",
+                }
+            ));
+        }
+        if let Some(v) = self.max_cycles {
+            s.push_str(&format!(",\"max_cycles\":{v}"));
+        }
+        if let Some(v) = self.timeout_ms {
+            s.push_str(&format!(",\"timeout_ms\":{v}"));
+        }
+        if self.metrics_interval > 0 {
+            s.push_str(&format!(",\"metrics_interval\":{}", self.metrics_interval));
+        }
+        if let Some(p) = &self.program {
+            s.push_str(&format!(",\"program\":\"{}\"", escape(p)));
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -343,6 +392,27 @@ pub struct ServeConfig {
     log_format: LogFormat,
     log_file: Option<PathBuf>,
     slow_request_ms: u64,
+    shard: Option<ShardSpec>,
+}
+
+/// Shard-mode parameters: this service owns slice `index` of the
+/// `count`-way content-address space; `peers` lists every shard's
+/// address in shard order (the own entry is never dialed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index, `0..count`.
+    pub index: u32,
+    /// Total shard count.
+    pub count: u32,
+    /// `host:port` of each shard, indexed by shard number.
+    pub peers: Vec<String>,
+}
+
+impl ShardSpec {
+    /// Which shard owns a content address.
+    pub fn owner_of(&self, key: u64) -> u32 {
+        (key % self.count as u64) as u32
+    }
 }
 
 impl ServeConfig {
@@ -365,6 +435,8 @@ impl ServeConfig {
             log_format: LogFormat::Text,
             log_file: None,
             slow_request_ms: 1_000,
+            shard_of: None,
+            peers: Vec::new(),
         }
     }
 
@@ -437,6 +509,12 @@ impl ServeConfig {
     pub fn slow_request_ms(&self) -> u64 {
         self.slow_request_ms
     }
+
+    /// Shard-mode parameters; `None` runs stand-alone (every sweep point
+    /// evaluates locally).
+    pub fn shard(&self) -> Option<&ShardSpec> {
+        self.shard.as_ref()
+    }
 }
 
 /// Why a [`ServeConfigBuilder::build`] was rejected. The `Display` form
@@ -466,6 +544,11 @@ pub enum ServeConfigError {
         /// Largest accepted value.
         max_ms: u64,
     },
+    /// Inconsistent shard-mode parameters (`--shard-of`/`--peers`).
+    Shard {
+        /// What is wrong, e.g. `"peers lists 1 address for 2 shards"`.
+        reason: String,
+    },
 }
 
 impl ServeConfigError {
@@ -476,6 +559,7 @@ impl ServeConfigError {
             ServeConfigError::Addr { .. } => "SRV001",
             ServeConfigError::Zero { .. } => "SRV002",
             ServeConfigError::TimeoutRange { .. } => "SRV003",
+            ServeConfigError::Shard { .. } => "SRV004",
         }
     }
 }
@@ -499,6 +583,9 @@ impl std::fmt::Display for ServeConfigError {
                 "invalid serve config: {what} must be between {min_ms} and {max_ms} ms \
                  (got {given_ms})"
             ),
+            ServeConfigError::Shard { reason } => {
+                write!(f, "invalid serve config: {reason}")
+            }
         }
     }
 }
@@ -523,6 +610,8 @@ pub struct ServeConfigBuilder {
     log_format: LogFormat,
     log_file: Option<PathBuf>,
     slow_request_ms: u64,
+    shard_of: Option<(u32, u32)>,
+    peers: Vec<String>,
 }
 
 impl ServeConfigBuilder {
@@ -607,6 +696,20 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Shard mode: this service is shard `index` of `count`
+    /// (`repro serve --shard-of k/N`); requires [`Self::peers`].
+    pub fn shard_of(mut self, index: u32, count: u32) -> Self {
+        self.shard_of = Some((index, count));
+        self
+    }
+
+    /// Every shard's `host:port`, indexed by shard number; the own entry
+    /// is required for positional consistency but never dialed.
+    pub fn peers(mut self, peers: Vec<String>) -> Self {
+        self.peers = peers;
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
         let bad_addr = || ServeConfigError::Addr {
@@ -641,6 +744,46 @@ impl ServeConfigBuilder {
                 max_ms: IDLE_MAX_MS,
             });
         }
+        let shard = match self.shard_of {
+            None => {
+                if !self.peers.is_empty() {
+                    return Err(ServeConfigError::Shard {
+                        reason: "peers given without --shard-of k/N".to_string(),
+                    });
+                }
+                None
+            }
+            Some((index, count)) => {
+                if count == 0 || index >= count {
+                    return Err(ServeConfigError::Shard {
+                        reason: format!("shard index {index} is not in 0..{count}"),
+                    });
+                }
+                if self.peers.len() != count as usize {
+                    return Err(ServeConfigError::Shard {
+                        reason: format!(
+                            "peers lists {} address(es) for {count} shard(s)",
+                            self.peers.len()
+                        ),
+                    });
+                }
+                for p in &self.peers {
+                    let ok = p
+                        .rsplit_once(':')
+                        .is_some_and(|(h, port)| !h.is_empty() && port.parse::<u16>().is_ok());
+                    if !ok {
+                        return Err(ServeConfigError::Shard {
+                            reason: format!("peer `{p}` is not host:port"),
+                        });
+                    }
+                }
+                Some(ShardSpec {
+                    index,
+                    count,
+                    peers: self.peers,
+                })
+            }
+        };
         Ok(ServeConfig {
             addr: self.addr,
             workers,
@@ -655,6 +798,7 @@ impl ServeConfigBuilder {
             log_format: self.log_format,
             log_file: self.log_file,
             slow_request_ms: self.slow_request_ms,
+            shard,
         })
     }
 }
@@ -678,6 +822,18 @@ pub(crate) struct Counters {
     pub(crate) reactor_wakeups: AtomicU64,
     /// Reads/writes/accepts that hit `EAGAIN` and parked the fd.
     pub(crate) reactor_eagain: AtomicU64,
+    /// Sweep points answered straight from the result cache or an
+    /// already-terminal job (no new simulation caused by the sweep).
+    pub(crate) sweep_points_cached: AtomicU64,
+    /// Sweep points simulated locally for this sweep.
+    pub(crate) sweep_points_simulated: AtomicU64,
+    /// Sweep points evaluated by the owning peer shard.
+    pub(crate) sweep_points_forwarded: AtomicU64,
+    /// Sweep points that reached a failed terminal state.
+    pub(crate) sweep_points_failed: AtomicU64,
+    /// Forward attempts that fell back to local evaluation because the
+    /// owning shard was unreachable (degraded mode).
+    pub(crate) shard_fallbacks: AtomicU64,
 }
 
 enum Phase {
@@ -752,6 +908,10 @@ pub(crate) struct State {
     pub(crate) slow_request: Duration,
     /// When the service started; `/healthz` uptime and the uptime gauge.
     pub(crate) started: Instant,
+    /// The bounded sweep registry (`POST /v1/sweep` orchestration).
+    pub(crate) sweeps: Mutex<sweeps::Sweeps>,
+    /// Shard-mode routing state; `None` when stand-alone.
+    pub(crate) shards: Option<sweeps::ShardSet>,
 }
 
 /// A running service instance.
@@ -799,6 +959,8 @@ impl Service {
             logger,
             slow_request: Duration::from_millis(cfg.slow_request_ms),
             started: Instant::now(),
+            sweeps: Mutex::new(sweeps::Sweeps::new(sweeps::MAX_SWEEPS)),
+            shards: cfg.shard.clone().map(sweeps::ShardSet::new),
         });
         state.logger.log(
             Level::Info,
@@ -886,6 +1048,10 @@ impl Service {
             }
             reg.mark_terminal(id);
         }
+        drop(reg);
+        // Unfinished sweeps can no longer make progress: fail their
+        // outstanding points so pollers and attached streams terminate.
+        sweeps::fail_unfinished(&self.state, "service shut down before the sweep finished");
     }
 }
 
@@ -932,6 +1098,7 @@ fn json_reply(status: u16, body: String) -> Reply {
         body,
         close: false,
         disposition: "",
+        stream: None,
     }
 }
 
@@ -1012,20 +1179,19 @@ pub(crate) fn route(req: &http::Request, rid: &str, state: &Arc<State>) -> Reply
             body: render_metrics(state),
             close: false,
             disposition: "",
+            stream: None,
         },
         ("POST", "/v1/run") => post_run(state, &req.body, rid),
         ("POST", "/v1/shutdown") => {
             state.stop.store(true, Ordering::Relaxed);
             json_reply(200, "{\"status\":\"shutting down\"}\n".to_string())
         }
-        ("POST", "/v1/sweep") => error_reply(
-            501,
-            "reserved",
-            "/v1/sweep is reserved for the batch sweep API",
-            rid,
-        ),
+        ("POST", "/v1/sweep") => sweeps::post_sweep(state, &req.body, rid),
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             get_job(state, &path["/v1/jobs/".len()..], rid)
+        }
+        ("GET", path) if path.starts_with("/v1/sweeps/") => {
+            sweeps::get_sweep(state, &path["/v1/sweeps/".len()..], rid)
         }
         (_, "/healthz" | "/metrics" | "/v1/run" | "/v1/shutdown" | "/v1/sweep") => error_reply(
             405,
@@ -1033,12 +1199,14 @@ pub(crate) fn route(req: &http::Request, rid: &str, state: &Arc<State>) -> Reply
             &format!("method {} not allowed here", req.method),
             rid,
         ),
-        (_, path) if path.starts_with("/v1/jobs/") => error_reply(
-            405,
-            "method_not_allowed",
-            &format!("method {} not allowed here", req.method),
-            rid,
-        ),
+        (_, path) if path.starts_with("/v1/jobs/") || path.starts_with("/v1/sweeps/") => {
+            error_reply(
+                405,
+                "method_not_allowed",
+                &format!("method {} not allowed here", req.method),
+                rid,
+            )
+        }
         _ => error_reply(
             404,
             "not_found",
@@ -1582,7 +1750,7 @@ fn run_simulation(
 fn render_metrics(state: &Arc<State>) -> String {
     let c = &state.counters;
     let mut s = String::new();
-    let counters: [(&str, &str, u64); 15] = [
+    let counters: [(&str, &str, u64); 16] = [
         (
             "hidisc_serve_requests_total",
             "HTTP requests routed.",
@@ -1654,6 +1822,11 @@ fn render_metrics(state: &Arc<State>) -> String {
             c.reactor_eagain.load(Ordering::Relaxed),
         ),
         (
+            "hidisc_serve_shard_fallbacks_total",
+            "Forwards that fell back to local evaluation (peer down).",
+            c.shard_fallbacks.load(Ordering::Relaxed),
+        ),
+        (
             "hidisc_telemetry_dropped_events_total",
             "Telemetry events dropped by bounded trace buffers.",
             c.dropped_events.load(Ordering::Relaxed),
@@ -1662,6 +1835,28 @@ fn render_metrics(state: &Arc<State>) -> String {
     for (name, help, v) in counters {
         s.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+        ));
+    }
+    // Sweep-point outcomes share one metric name under an `outcome`
+    // label, so dashboards can stack them.
+    s.push_str(
+        "# HELP hidisc_serve_sweep_points_total Sweep points reaching a terminal state, \
+         by outcome.\n# TYPE hidisc_serve_sweep_points_total counter\n",
+    );
+    for (outcome, v) in [
+        ("cached", c.sweep_points_cached.load(Ordering::Relaxed)),
+        (
+            "simulated",
+            c.sweep_points_simulated.load(Ordering::Relaxed),
+        ),
+        (
+            "forwarded",
+            c.sweep_points_forwarded.load(Ordering::Relaxed),
+        ),
+        ("failed", c.sweep_points_failed.load(Ordering::Relaxed)),
+    ] {
+        s.push_str(&format!(
+            "hidisc_serve_sweep_points_total{{outcome=\"{outcome}\"}} {v}\n"
         ));
     }
     let (queued, running) = {
@@ -1674,6 +1869,7 @@ fn render_metrics(state: &Arc<State>) -> String {
         let reg = state.registry.lock().expect("registry lock");
         (reg.cache.len(), reg.cache.bytes(), reg.jobs.len())
     };
+    let sweeps_active = state.sweeps.lock().expect("sweeps lock").active();
     // `open_connections` is the one canonical connection gauge; the old
     // `connections_active` twin (same value, second name) was dropped in
     // the observability pass — DESIGN.md §18 records the rename.
@@ -1711,6 +1907,11 @@ fn render_metrics(state: &Arc<State>) -> String {
             open,
         ),
         (
+            "hidisc_serve_sweeps_active",
+            "Sweeps currently running (registered and not finished).",
+            sweeps_active,
+        ),
+        (
             "hidisc_serve_uptime_seconds",
             "Seconds since the service started.",
             uptime,
@@ -1719,6 +1920,19 @@ fn render_metrics(state: &Arc<State>) -> String {
         s.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
         ));
+    }
+    if let Some(sh) = &state.shards {
+        s.push_str(
+            "# HELP hidisc_serve_shard_healthy Shard health as seen from this node \
+             (1 = forwarding, 0 = degraded to local fallback).\n\
+             # TYPE hidisc_serve_shard_healthy gauge\n",
+        );
+        for (i, ok) in sh.health().into_iter().enumerate() {
+            s.push_str(&format!(
+                "hidisc_serve_shard_healthy{{shard=\"{i}\"}} {}\n",
+                ok as u8
+            ));
+        }
     }
     s.push_str(&format!(
         "# HELP hidisc_build_info Build identity of this binary; the value is always 1.\n\

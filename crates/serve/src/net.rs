@@ -31,6 +31,19 @@ pub(crate) struct Reply {
     /// `coalesced`, `submitted`, … — empty when the route has no
     /// disposition to report.
     pub disposition: &'static str,
+    /// When set, the response streams: `body` is sent as the first
+    /// chunk of a `Transfer-Encoding: chunked` response and the reactor
+    /// keeps appending chunks from the named sweep until it finishes.
+    pub stream: Option<StreamBody>,
+}
+
+/// An attached NDJSON stream: which sweep feeds the connection and how
+/// many of its result lines have already been queued.
+pub(crate) struct StreamBody {
+    /// The sweep id (16 hex digits) whose lines feed this stream.
+    pub sweep: String,
+    /// Index of the next sweep line to send.
+    pub next: usize,
 }
 
 /// Stop reading from the socket once this much input is buffered but not
@@ -66,6 +79,11 @@ pub(crate) struct Conn {
     peer_closed: bool,
     /// Accepted over the connection cap: every request answers 503.
     pub reject: bool,
+    /// An attached streamed response; while present, no further
+    /// pipelined requests are parsed (the stream owns the connection).
+    attached: Option<StreamBody>,
+    /// Whether to keep the connection open once the stream finishes.
+    stream_keep: bool,
 }
 
 impl Conn {
@@ -82,6 +100,8 @@ impl Conn {
             dead: false,
             peer_closed: false,
             reject,
+            attached: None,
+            stream_keep: false,
         }
     }
 
@@ -122,12 +142,34 @@ impl Conn {
     /// appends their responses, in order, to the output buffer. `handler`
     /// maps a parsed request — or a parse error — to a [`Reply`].
     pub fn process(&mut self, handler: &mut dyn FnMut(Result<&Request, &ParseError>) -> Reply) {
-        while !self.closing && !self.dead && self.out.len() - self.sent < OUT_SOFT_CAP {
+        while !self.closing
+            && !self.dead
+            && self.attached.is_none()
+            && self.out.len() - self.sent < OUT_SOFT_CAP
+        {
             match http::parse_request(&self.buf) {
                 Ok(Some((req, consumed))) => {
                     self.buf.drain(..consumed);
-                    let reply = handler(Ok(&req));
+                    let mut reply = handler(Ok(&req));
                     let keep = req.keep_alive && !reply.close && !self.reject;
+                    if let Some(sb) = reply.stream.take() {
+                        // A streamed response: head + whatever lines are
+                        // already available; the reactor appends the rest
+                        // as the sweep progresses.
+                        self.out.extend_from_slice(&http::render_stream_head(
+                            reply.status,
+                            reply.content_type,
+                            &reply.extra,
+                            keep,
+                        ));
+                        if !reply.body.is_empty() {
+                            self.out
+                                .extend_from_slice(&http::render_chunk(reply.body.as_bytes()));
+                        }
+                        self.attached = Some(sb);
+                        self.stream_keep = keep;
+                        continue; // loop condition ends parsing
+                    }
                     self.push_reply(&reply, keep);
                     if !keep {
                         self.closing = true;
@@ -223,5 +265,34 @@ impl Conn {
     /// (the reactor records it into the TTFB histogram after a flush).
     pub fn take_ttfb(&mut self) -> Option<Duration> {
         self.ttfb.take()
+    }
+
+    /// True while a streamed response owns the connection (exempts it
+    /// from idle teardown and from further request parsing).
+    pub fn streaming(&self) -> bool {
+        self.attached.is_some()
+    }
+
+    /// The attached stream's cursor, for the reactor's pump.
+    pub fn stream_mut(&mut self) -> Option<&mut StreamBody> {
+        self.attached.as_mut()
+    }
+
+    /// Appends one chunk of the streamed body.
+    pub fn push_stream_chunk(&mut self, data: &[u8]) {
+        self.out.extend_from_slice(&http::render_chunk(data));
+    }
+
+    /// Terminates the streamed body and restores normal request
+    /// handling (or closes, if the request asked for `Connection:
+    /// close`).
+    pub fn finish_stream(&mut self) {
+        if self.attached.take().is_none() {
+            return;
+        }
+        self.out.extend_from_slice(http::render_last_chunk());
+        if !self.stream_keep {
+            self.closing = true;
+        }
     }
 }

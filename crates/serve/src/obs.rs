@@ -91,6 +91,7 @@ impl Route {
             "/v1/sweep" => Route::Sweep,
             "/v1/shutdown" => Route::Shutdown,
             p if p.starts_with("/v1/jobs/") => Route::Jobs,
+            p if p.starts_with("/v1/sweeps/") => Route::Sweep,
             p if crate::legacy_twin(p).is_some() => Route::Legacy,
             _ => Route::Other,
         }
@@ -336,6 +337,9 @@ mod tests {
         assert_eq!(Route::of("/healthz"), Route::Healthz);
         assert_eq!(Route::of("/v1/run"), Route::Run);
         assert_eq!(Route::of("/v1/jobs/0123abc"), Route::Jobs);
+        assert_eq!(Route::of("/v1/sweep"), Route::Sweep);
+        assert_eq!(Route::of("/v1/sweeps/0123abc"), Route::Sweep);
+        assert_eq!(Route::of("/v1/sweeps/0123abc/render"), Route::Sweep);
         assert_eq!(Route::of("/run"), Route::Legacy);
         assert_eq!(Route::of("/jobs/0123abc"), Route::Legacy);
         assert_eq!(Route::of("/nope"), Route::Other);
@@ -346,6 +350,7 @@ mod tests {
         let m = HttpMetrics::new();
         m.record_request(Route::Run, 202, Duration::from_micros(300));
         m.record_request(Route::Run, 400, Duration::from_micros(100));
+        m.record_request(Route::Sweep, 200, Duration::from_micros(250));
         m.record_phase(JobPhase::SimRun, Duration::from_millis(12));
         m.record_ttfb(Duration::from_micros(90));
         m.record_conn_lifetime(Duration::from_millis(700));
@@ -378,8 +383,13 @@ mod tests {
             out.contains("hidisc_serve_connection_lifetime_seconds_sum 0.7\n"),
             "{out}"
         );
+        // The live sweep route records RED metrics like any other.
+        assert!(
+            out.contains("hidisc_serve_requests_by_route_total{route=\"sweep\",class=\"2xx\"} 1\n"),
+            "{out}"
+        );
         // Untouched routes stay silent; the family headers render once.
-        assert!(!out.contains("route=\"sweep\""), "{out}");
+        assert!(!out.contains("route=\"shutdown\""), "{out}");
         assert_eq!(
             out.matches("# TYPE hidisc_serve_request_duration_seconds histogram")
                 .count(),

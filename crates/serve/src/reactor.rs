@@ -102,13 +102,35 @@ pub(crate) fn run(poller: Poller, listener: TcpListener, state: Arc<State>) {
             settle(&poller, &mut conns, ev.token, &state);
         }
 
+        // Sweep orchestration: route fresh points, harvest finished
+        // jobs into NDJSON lines (no-op without active sweeps), then
+        // feed every connection with an attached stream.
+        crate::sweeps::advance(&state);
+        let streaming: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| c.streaming())
+            .map(|(t, _)| *t)
+            .collect();
+        for token in streaming {
+            if let Some(c) = conns.get_mut(&token) {
+                crate::sweeps::pump_conn(c, &state);
+                c.flush(&state.counters);
+                if let Some(ttfb) = c.take_ttfb() {
+                    state.http.record_ttfb(ttfb);
+                }
+            }
+            settle(&poller, &mut conns, token, &state);
+        }
+
         // Idle sweep (~1 Hz): close connections quiet past the timeout.
+        // A connection with an attached stream is exempt — it is
+        // waiting on simulations, not on the peer.
         let now = Instant::now();
         if now.duration_since(last_sweep) >= Duration::from_secs(1) {
             last_sweep = now;
             let expired: Vec<u64> = conns
                 .iter()
-                .filter(|(_, c)| c.idle_expired(now, idle_timeout))
+                .filter(|(_, c)| c.idle_expired(now, idle_timeout) && !c.streaming())
                 .map(|(t, _)| *t)
                 .collect();
             for token in expired {

@@ -30,10 +30,16 @@ pub struct RampConfig {
     /// Per-round (and per connect-burst) deadline before the remaining
     /// connections count as dropped.
     pub timeout: Duration,
+    /// Drive a small batch sweep (`POST /v1/sweep`, 8 points) while the
+    /// connection wall is still held, measuring sweep throughput under
+    /// keep-alive pressure. Best-effort: a failed sweep reports 0 points
+    /// and never fails the ramp.
+    pub sweep: bool,
 }
 
 impl RampConfig {
-    /// Defaults: 512 connections, 3 rounds, bursts of 128, 30 s deadline.
+    /// Defaults: 512 connections, 3 rounds, bursts of 128, 30 s deadline,
+    /// held-wall sweep on.
     pub fn new(addr: SocketAddr) -> RampConfig {
         RampConfig {
             addr,
@@ -41,6 +47,7 @@ impl RampConfig {
             rounds: 3,
             connect_batch: 128,
             timeout: Duration::from_secs(30),
+            sweep: true,
         }
     }
 }
@@ -69,6 +76,11 @@ pub struct RampReport {
     pub wall_ms: u64,
     /// Wall-clock of each request round.
     pub round_ms: Vec<u64>,
+    /// Points completed by the held-wall sweep (0 when disabled or the
+    /// sweep failed).
+    pub sweep_points: usize,
+    /// Wall-clock of the held-wall sweep, submit to done.
+    pub sweep_wall_ms: u64,
 }
 
 impl RampReport {
@@ -85,6 +97,15 @@ impl RampReport {
         total as f64 * 1000.0 / round_ms as f64
     }
 
+    /// Sweep points completed per second while the wall was held (0.0
+    /// when the sweep was disabled or failed).
+    pub fn sweep_points_per_sec(&self) -> f64 {
+        if self.sweep_wall_ms == 0 {
+            return 0.0;
+        }
+        self.sweep_points as f64 * 1000.0 / self.sweep_wall_ms as f64
+    }
+
     /// The `BENCH_serve.json` payload.
     pub fn to_json(&self) -> String {
         let rounds: Vec<String> = self.round_ms.iter().map(u64::to_string).collect();
@@ -92,7 +113,8 @@ impl RampReport {
             "{{\"bench\":\"serve_conn_ramp\",\"conns\":{},\"established\":{},\
              \"dropped\":{},\"rounds\":{},\"requestsSent\":{},\"responsesOk\":{},\
              \"responsesErr\":{},\"missingRequestId\":{},\"wallMs\":{},\
-             \"roundMs\":[{}],\"rps\":{:.1}}}\n",
+             \"roundMs\":[{}],\"sweepPoints\":{},\"sweepWallMs\":{},\
+             \"sweepPointsPerSec\":{:.1},\"rps\":{:.1}}}\n",
             self.conns,
             self.established,
             self.dropped,
@@ -103,12 +125,64 @@ impl RampReport {
             self.missing_request_id,
             self.wall_ms,
             rounds.join(","),
+            self.sweep_points,
+            self.sweep_wall_ms,
+            self.sweep_points_per_sec(),
             self.rps(),
         )
     }
 }
 
 const REQUEST: &[u8] = b"GET /healthz HTTP/1.1\r\nHost: ramp\r\n\r\n";
+
+/// The held-wall sweep grid: two workloads x four models = 8 points at
+/// the default test scale.
+const SWEEP_BODY: &str = "{\"workloads\":[\"dm\",\"pointer\"],\"stream\":false}";
+
+/// POSTs [`SWEEP_BODY`] and polls the sweep to completion, returning
+/// `(points, wall_ms)`; `None` on any refusal, failure or timeout.
+fn drive_sweep(addr: SocketAddr, timeout: Duration) -> Option<(usize, u64)> {
+    let addr = addr.to_string();
+    let started = Instant::now();
+    let resp = crate::client::http_request(&addr, "POST", "/v1/sweep", SWEEP_BODY, timeout).ok()?;
+    if resp.status != 200 && resp.status != 202 {
+        return None;
+    }
+    let id = flat_json_str(&resp.body, "sweep")?;
+    let deadline = started + timeout;
+    loop {
+        let r = crate::client::http_request(&addr, "GET", &format!("/v1/sweeps/{id}"), "", timeout)
+            .ok()?;
+        if flat_json_str(&r.body, "status").as_deref() == Some("done") {
+            if flat_json_num(&r.body, "failed")? != 0 {
+                return None;
+            }
+            let points = flat_json_num(&r.body, "total")? as usize;
+            return Some((points, started.elapsed().as_millis() as u64));
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn flat_json_str(body: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = body.find(&pat)? + pat.len();
+    let end = body[start..].find('"')? + start;
+    Some(body[start..end].to_string())
+}
+
+fn flat_json_num(body: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = body.find(&pat)? + pat.len();
+    let digits: String = body[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
 
 struct Probe {
     stream: TcpStream,
@@ -300,6 +374,15 @@ pub fn ramp(cfg: &RampConfig) -> std::io::Result<RampReport> {
         round_ms.push(round_start.elapsed().as_millis() as u64);
     }
 
+    // The sweep runs while every probe connection is still open and
+    // held: it measures orchestration throughput under keep-alive
+    // pressure, not on an idle reactor.
+    let (sweep_points, sweep_wall_ms) = if cfg.sweep {
+        drive_sweep(cfg.addr, cfg.timeout).unwrap_or((0, 0))
+    } else {
+        (0, 0)
+    };
+
     let dropped = cfg.conns - established
         + probes
             .iter()
@@ -319,6 +402,8 @@ pub fn ramp(cfg: &RampConfig) -> std::io::Result<RampReport> {
         missing_request_id,
         wall_ms: started.elapsed().as_millis() as u64,
         round_ms,
+        sweep_points,
+        sweep_wall_ms,
     })
 }
 
@@ -360,12 +445,17 @@ mod tests {
             missing_request_id: 0,
             wall_ms: 100,
             round_ms: vec![40, 35],
+            sweep_points: 8,
+            sweep_wall_ms: 400,
         };
         let j = r.to_json();
         assert!(j.contains("\"bench\":\"serve_conn_ramp\""), "{j}");
         assert!(j.contains("\"dropped\":0"), "{j}");
         assert!(j.contains("\"missingRequestId\":0"), "{j}");
         assert!(j.contains("\"roundMs\":[40,35]"), "{j}");
+        assert!(j.contains("\"sweepPoints\":8"), "{j}");
+        assert!(j.contains("\"sweepWallMs\":400"), "{j}");
+        assert!(j.contains("\"sweepPointsPerSec\":20.0"), "{j}");
         // Over the 75 ms of request rounds, not the 100 ms wall clock.
         assert!((r.rps() - 1024.0 * 1000.0 / 75.0).abs() < 1e-6);
     }

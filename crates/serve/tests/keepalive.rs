@@ -202,9 +202,11 @@ fn legacy_paths_redirect_to_their_v1_twin() {
 }
 
 #[test]
-fn reserved_sweep_endpoint_answers_501() {
+fn sweep_endpoint_is_live_and_validates_its_body() {
     let svc = start();
     let addr = svc.addr();
+    // An empty body is a 400 with the parse diagnostic — not the old
+    // 501 "reserved" answer: the route is live.
     let mut s = TcpStream::connect(addr).expect("connect");
     s.write_all(
         b"POST /v1/sweep HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
@@ -212,8 +214,21 @@ fn reserved_sweep_endpoint_answers_501() {
     .expect("write");
     let raw = read_responses(&mut s, 1);
     let r = &split_responses(&raw)[0];
-    assert!(r.starts_with("HTTP/1.1 501 "), "{r}");
-    assert!(r.contains("\"code\":\"reserved\""), "{r}");
+    assert!(r.starts_with("HTTP/1.1 400 "), "{r}");
+    assert!(r.contains("\"code\":\"bad_request\""), "{r}");
+    // A bad grid gets the planner's diagnostic.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let body = r#"{"workloads":["no-such-workload"]}"#;
+    let req = format!(
+        "POST /v1/sweep HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).expect("write");
+    let raw = read_responses(&mut s, 1);
+    let r = &split_responses(&raw)[0];
+    assert!(r.starts_with("HTTP/1.1 400 "), "{r}");
+    assert!(r.contains("unknown workload"), "{r}");
     svc.shutdown();
 }
 
@@ -316,8 +331,11 @@ fn connection_ramp_holds_keep_alive_connections_without_drops() {
     assert_eq!(report.responses_ok, 256, "{report:?}");
     assert_eq!(report.responses_err, 0, "{report:?}");
     assert_eq!(report.missing_request_id, 0, "{report:?}");
+    assert_eq!(report.sweep_points, 8, "{report:?}");
+    assert!(report.sweep_points_per_sec() > 0.0, "{report:?}");
     let json = report.to_json();
     assert!(json.contains("\"bench\":\"serve_conn_ramp\""), "{json}");
     assert!(json.contains("\"missingRequestId\":0"), "{json}");
+    assert!(json.contains("\"sweepPoints\":8"), "{json}");
     svc.shutdown();
 }

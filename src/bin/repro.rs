@@ -1,5 +1,7 @@
 //! `repro` — regenerates every table and figure of the HiDISC paper,
-//! and serves the simulator as an HTTP service (`repro serve`).
+//! serves the simulator as an HTTP service (`repro serve`, optionally as
+//! one shard of a farm via `--shard-of k/N --peers ...`), and drives
+//! batch sweeps against a running service (`repro sweep fig8`).
 //!
 //! ```text
 //! repro [params|fig8|table2|fig9|fig10|check|ablate|all|serve]
@@ -66,6 +68,10 @@ struct Args {
     log_file: Option<String>,
     /// `--slow-request-ms <n>`: WARN threshold (0 disables).
     slow_request_ms: Option<u64>,
+    /// `serve --shard-of <k/N>`: run as shard k of an N-shard farm.
+    shard_of: Option<(u32, u32)>,
+    /// `serve --peers <a,b,c>`: the farm's shard addresses, in order.
+    peers: Vec<String>,
     /// `connscale --conns <n>`: connections to ramp and hold.
     conns: usize,
     /// `connscale --rounds <n>`: keep-alive request rounds.
@@ -107,6 +113,8 @@ fn parse_args() -> Args {
     let mut log_format = None;
     let mut log_file = None;
     let mut slow_request_ms = None;
+    let mut shard_of = None;
+    let mut peers: Vec<String> = Vec::new();
     let mut conns = 512;
     let mut rounds = 3;
     let mut sample = None;
@@ -234,6 +242,28 @@ fn parse_args() -> Args {
                 }));
             }
             "--slow-request-ms" => slow_request_ms = Some(num(&mut it, "--slow-request-ms")),
+            "--shard-of" => {
+                let v = it.next().unwrap_or_default();
+                shard_of = v
+                    .split_once('/')
+                    .and_then(|(k, n)| Some((k.parse().ok()?, n.parse().ok()?)))
+                    .or_else(|| {
+                        eprintln!("--shard-of needs <k/N> (e.g. `0/2`)");
+                        std::process::exit(2);
+                    });
+            }
+            "--peers" => {
+                let v = it.next().unwrap_or_default();
+                peers = v
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if peers.is_empty() {
+                    eprintln!("--peers needs a comma-separated list of host:port addresses");
+                    std::process::exit(2);
+                }
+            }
             "--conns" => conns = num(&mut it, "--conns") as usize,
             "--rounds" => rounds = num(&mut it, "--rounds") as usize,
             "--cache-dir" => {
@@ -254,9 +284,11 @@ fn parse_args() -> Args {
                      [serve --addr <host:port> --workers N --queue-depth N --cache-dir <dir> \
                      --max-conns N --cache-bytes N --idle-timeout-ms N \
                      --log-level off|error|warn|info|debug --log-format text|json \
-                     --log-file <path> --slow-request-ms N] \
+                     --log-file <path> --slow-request-ms N \
+                     --shard-of <k/N> --peers <a,b,c>] \
                      [connscale --conns N --rounds N [--addr <host:port>] \
-                     [--log-level .. --log-format .. --log-file <path>]]",
+                     [--log-level .. --log-format .. --log-file <path>]] \
+                     [sweep [fig8|fig9|fig10|table1] [--addr <host:port>]]",
                     COMMANDS.join("|")
                 );
                 std::process::exit(0);
@@ -290,7 +322,7 @@ fn parse_args() -> Args {
     if arg.is_some()
         && !matches!(
             cmd.as_str(),
-            "trace" | "report" | "diag" | "check" | "telemetry" | "sample" | "bisect"
+            "trace" | "report" | "diag" | "check" | "telemetry" | "sample" | "bisect" | "sweep"
         )
     {
         eprintln!("command `{cmd}` takes no argument (see --help)");
@@ -306,6 +338,10 @@ fn parse_args() -> Args {
     }
     if (cfg_a.is_some() || cfg_b.is_some()) && cmd != "bisect" {
         eprintln!("--a/--b only apply to the bisect command");
+        std::process::exit(2);
+    }
+    if (shard_of.is_some() || !peers.is_empty()) && cmd != "serve" {
+        eprintln!("--shard-of/--peers only apply to the serve command");
         std::process::exit(2);
     }
     Args {
@@ -334,6 +370,8 @@ fn parse_args() -> Args {
         log_format,
         log_file,
         slow_request_ms,
+        shard_of,
+        peers,
         conns,
         rounds,
         sample,
@@ -344,7 +382,7 @@ fn parse_args() -> Args {
 }
 
 /// Every subcommand, in help order.
-const COMMANDS: [&str; 21] = [
+const COMMANDS: [&str; 22] = [
     "params",
     "fig8",
     "table2",
@@ -365,6 +403,7 @@ const COMMANDS: [&str; 21] = [
     "simspeed",
     "serve",
     "connscale",
+    "sweep",
     "all",
 ];
 
@@ -429,6 +468,12 @@ fn build_serve_config(args: &Args) -> ServeConfig {
     if let Some(ms) = args.slow_request_ms {
         b = b.slow_request_ms(ms);
     }
+    if let Some((index, count)) = args.shard_of {
+        b = b.shard_of(index, count);
+    }
+    if !args.peers.is_empty() {
+        b = b.peers(args.peers.clone());
+    }
     b.build().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -444,13 +489,17 @@ fn serve(args: &Args) {
         .cache_dir()
         .map(|p| format!("{} + disk {}", cfg.cache_bytes(), p.display()))
         .unwrap_or_else(|| format!("{} bytes, memory-only", cfg.cache_bytes()));
+    let shard = cfg
+        .shard()
+        .map(|s| format!(", shard {}/{}", s.index, s.count))
+        .unwrap_or_default();
     let svc = Service::start(cfg).unwrap_or_else(|e| {
         eprintln!("cannot serve on {addr}: {e}");
         std::process::exit(2);
     });
     eprintln!(
-        "serving on http://{} ({workers} worker(s), queue depth {queue_depth}, cache {cache}) \
-         — POST /v1/shutdown to stop",
+        "serving on http://{} ({workers} worker(s), queue depth {queue_depth}, \
+         cache {cache}{shard}) — POST /v1/shutdown to stop",
         svc.addr(),
     );
     svc.wait();
@@ -469,8 +518,9 @@ fn connscale(args: &Args) {
         Some(_) => None,
         None => {
             // Self-contained: an in-process service on an ephemeral port.
-            // One simulation worker suffices — the ramp only probes
-            // /healthz, which never touches the pool. The idle timeout is
+            // One simulation worker suffices — the ramp probes /healthz,
+            // and its held-wall sweep is 8 test-scale points. The idle
+            // timeout is
             // stretched so connections established early in a large ramp
             // are not swept while the tail is still connecting (against an
             // external --addr target, the operator sets --idle-timeout-ms).
@@ -520,7 +570,8 @@ fn connscale(args: &Args) {
     print!("{}", report.to_json());
     eprintln!(
         "connscale: {}/{} connections established, {} dropped, \
-         {} request(s) over {} round(s), {} missing request id(s), {:.0} resp/s",
+         {} request(s) over {} round(s), {} missing request id(s), {:.0} resp/s, \
+         held-wall sweep {} point(s) at {:.1} points/s",
         report.established,
         report.conns,
         report.dropped,
@@ -528,6 +579,8 @@ fn connscale(args: &Args) {
         report.rounds,
         report.missing_request_id,
         report.rps(),
+        report.sweep_points,
+        report.sweep_points_per_sec(),
     );
     if let Some(svc) = svc {
         svc.shutdown();
@@ -535,6 +588,144 @@ fn connscale(args: &Args) {
     if report.dropped > 0 || report.established < report.conns || report.missing_request_id > 0 {
         std::process::exit(1);
     }
+}
+
+/// The sweep-request JSON for one render target, assembled from the CLI
+/// flags: the paper suite (or fig10's latency pair) at the chosen scale
+/// and seed, with any `--l2-lat`/`--mem-lat`/`--scq-depth`/`--scheduler`
+/// overrides as single-element axes.
+fn sweep_body(args: &Args, render: &str) -> String {
+    let scale = match args.scale {
+        Scale::Test => "test",
+        Scale::Paper => "paper",
+        Scale::Large => "large",
+    };
+    let mut body = String::from("{\"workloads\":[");
+    let workloads: Vec<&str> = if render == "fig10" {
+        vec!["pointer", "neighborhood"]
+    } else {
+        hidisc_workloads::suite(Scale::Test, 0)
+            .iter()
+            .map(|w| w.name)
+            .collect()
+    };
+    body.push_str(
+        &workloads
+            .iter()
+            .map(|w| format!("\"{w}\""))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    body.push_str(&format!(
+        "],\"scales\":[\"{scale}\"],\"seeds\":[{}]",
+        args.seed
+    ));
+    if render == "fig10" {
+        let lats: Vec<String> = bench::FIG10_LATENCIES
+            .iter()
+            .map(|(l2, mem)| format!("[{l2},{mem}]"))
+            .collect();
+        body.push_str(&format!(",\"latencies\":[{}]", lats.join(",")));
+    } else if args.l2_lat.is_some() || args.mem_lat.is_some() {
+        let paper = MachineConfig::paper();
+        body.push_str(&format!(
+            ",\"latencies\":[[{},{}]]",
+            args.l2_lat.unwrap_or(paper.mem.l2.latency),
+            args.mem_lat.unwrap_or(paper.mem.mem_latency)
+        ));
+    }
+    if let Some(depth) = args.scq_depth {
+        body.push_str(&format!(",\"scq_depths\":[{depth}]"));
+    }
+    if let Some(s) = args.scheduler {
+        let name = match s {
+            Scheduler::ReadyList => "ready",
+            Scheduler::Scan => "scan",
+        };
+        body.push_str(&format!(",\"schedulers\":[\"{name}\"]"));
+    }
+    body.push_str(&format!(",\"render\":\"{render}\",\"stream\":true}}"));
+    body
+}
+
+/// Extracts `"key":"value"` / `"key":N` from a flat JSON line.
+fn sweep_json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn sweep_json_num(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// `repro sweep [fig8|fig9|fig10|table1]`: drive a batch sweep on a
+/// running service (`--addr`, default 127.0.0.1:8080). Per-point NDJSON
+/// progress streams to stderr as the service emits it; the rendered CSV
+/// goes to stdout. Exits 1 if any point failed or the service refused
+/// the sweep — cached points cost no simulation, so re-rendering a
+/// finished sweep is instant.
+fn sweep(args: &Args) {
+    use std::time::Duration;
+    let render = args.arg.as_deref().unwrap_or("fig8");
+    if let Err(e) = hidisc_sweep::Render::parse(render) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let addr = args
+        .addr
+        .clone()
+        .unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let deadline = Duration::from_secs(600);
+    let body = sweep_body(args, render);
+    eprintln!(
+        "sweeping {render} (scale {:?}, seed {}) on http://{addr} ...",
+        args.scale, args.seed
+    );
+    let resp = hidisc_serve::client::http_request(&addr, "POST", "/v1/sweep", &body, deadline)
+        .unwrap_or_else(|e| {
+            eprintln!("sweep request failed: {e}");
+            std::process::exit(1);
+        });
+    if resp.status != 200 {
+        eprintln!("service refused the sweep ({}): {}", resp.status, resp.body);
+        std::process::exit(1);
+    }
+    for line in resp.body.lines() {
+        eprintln!("{line}");
+    }
+    let first = resp.body.lines().next().unwrap_or_default();
+    let id = sweep_json_str(first, "sweep").unwrap_or_else(|| {
+        eprintln!("the stream carried no sweep id");
+        std::process::exit(1);
+    });
+    let summary = resp.body.lines().last().unwrap_or_default();
+    let failed = sweep_json_num(summary, "failed").unwrap_or(0);
+    if failed > 0 {
+        eprintln!("sweep {id}: {failed} point(s) failed — not rendering");
+        std::process::exit(1);
+    }
+    let path = format!("/v1/sweeps/{id}/render");
+    let rendered = hidisc_serve::client::http_request(&addr, "GET", &path, "", deadline)
+        .unwrap_or_else(|e| {
+            eprintln!("render request failed: {e}");
+            std::process::exit(1);
+        });
+    if rendered.status != 200 {
+        eprintln!(
+            "service could not render the sweep ({}): {}",
+            rendered.status, rendered.body
+        );
+        std::process::exit(1);
+    }
+    print!("{}", rendered.body);
 }
 
 /// `repro telemetry --stream`: serialise the trace while the machine
@@ -594,6 +785,10 @@ fn main() {
     }
     if args.cmd == "connscale" {
         connscale(&args);
+        return;
+    }
+    if args.cmd == "sweep" {
+        sweep(&args);
         return;
     }
 
