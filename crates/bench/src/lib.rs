@@ -91,6 +91,19 @@ pub fn prepare(w: &Workload) -> Prepared {
         if let Some(d) = first_error {
             panic!("{}: slicer output failed verification: {d}", w.name);
         }
+        // The symbolic occupancy bounds must dominate the greedy oracle's
+        // observed peaks — a peak above its bound means the interval
+        // analysis is unsound for this triple.
+        for b in &report.bounds {
+            let peak = report.greedy_peaks[hidisc_verify::queue_index(b.queue)];
+            assert!(
+                b.bound >= peak,
+                "{}: symbolic {} bound {} below greedy peak {peak}",
+                w.name,
+                b.queue.name(),
+                b.bound,
+            );
+        }
     }
     Prepared {
         name: w.name,
@@ -691,6 +704,12 @@ impl CheckReport {
     pub fn passed(&self) -> bool {
         self.report.no_errors()
     }
+
+    /// [`Self::passed`], optionally promoting warnings to failures
+    /// (`repro check --deny-warnings`).
+    pub fn passed_with(&self, deny_warnings: bool) -> bool {
+        self.passed() && (!deny_warnings || self.report.warnings().count() == 0)
+    }
 }
 
 fn csv_quote(s: &str) -> String {
@@ -721,12 +740,51 @@ impl Report for CheckReport {
             let _ = write!(out, "  {} {}/{}", b.queue.name(), b.bound, b.cap);
         }
         out.push('\n');
+        let disambiguated = r.loads.iter().filter(|l| l.stores > 0);
+        let _ = writeln!(
+            out,
+            "alias analysis: {} AS load(s), {} compared against upstream stores",
+            r.loads.len(),
+            disambiguated.clone().count()
+        );
+        for l in disambiguated {
+            let _ = write!(
+                out,
+                "  as@{}: {} ({} store(s)",
+                l.pc,
+                l.verdict.name(),
+                l.stores
+            );
+            match l.against {
+                Some(s) => {
+                    let _ = writeln!(out, ", worst as@{s})");
+                }
+                None => {
+                    let _ = writeln!(out, ")");
+                }
+            }
+        }
         out
     }
 
     fn render_csv(&self) -> String {
         let mut out = String::from("workload,code,severity,stream,pc,queue,message\n");
         let r = &self.report;
+        for l in r.loads.iter().filter(|l| l.stores > 0) {
+            out.push_str(&format!(
+                "{},AL000,info,as,{},,{}\n",
+                csv_quote(&self.name),
+                l.pc,
+                csv_quote(&format!(
+                    "load classified {} against {} upstream store(s){}",
+                    l.verdict.name(),
+                    l.stores,
+                    l.against
+                        .map(|s| format!(", worst at as@{s}"))
+                        .unwrap_or_default()
+                )),
+            ));
+        }
         for d in &r.diagnostics {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{}\n",
@@ -750,6 +808,214 @@ impl Report for CheckReport {
                 ))
             ));
         }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Speculation analysis behind `repro check --speculation`
+// ---------------------------------------------------------------------------
+
+/// One `repro check <workload> --speculation` run: the advisory run-ahead
+/// analysis ([`hidisc_verify::speculation`]) for a compiled workload —
+/// squash safety and hoistable-load counts for both edges of every AS
+/// conditional branch, plus the per-load alias classification backing
+/// them. Renders as text, CSV (one row per region and per disambiguated
+/// load) and, via [`SpecCheckReport::to_json`], as a JSON document.
+#[derive(Debug, Clone)]
+pub struct SpecCheckReport {
+    /// Workload name.
+    pub name: String,
+    /// The speculation analysis.
+    pub spec: hidisc_verify::SpeculationReport,
+}
+
+/// Compiles `name` and runs the speculation analysis on the resulting
+/// triple.
+pub fn speculation_workload(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    depths: hidisc_verify::DepthConfig,
+) -> SpecCheckReport {
+    let w = hidisc_workloads::by_name(name, scale, seed)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let env = env_of(&w);
+    let compiled = compile(&w.prog, &env, &CompilerConfig::default())
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name));
+    SpecCheckReport {
+        name: name.to_string(),
+        spec: hidisc_verify::speculation(&hidisc_verify::VerifyInput::of(&compiled, depths)),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl SpecCheckReport {
+    /// The whole analysis as a JSON document (`--format json`).
+    pub fn to_json(&self) -> String {
+        let regions: Vec<String> = self
+            .spec
+            .regions
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"branch_pc\":{},\"edge\":\"{}\",\"start\":{},\"end\":{},\
+                     \"marked\":{},\"safe\":{},\"hazard\":{},\"loads\":{},\"hoistable\":{}}}",
+                    r.branch_pc,
+                    r.dir.name(),
+                    r.start,
+                    r.end,
+                    r.marked,
+                    r.safe,
+                    r.hazard
+                        .as_deref()
+                        .map(|h| format!("\"{}\"", json_escape(h)))
+                        .unwrap_or_else(|| "null".into()),
+                    r.loads,
+                    r.hoistable,
+                )
+            })
+            .collect();
+        let loads: Vec<String> = self
+            .spec
+            .loads
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"pc\":{},\"verdict\":\"{}\",\"stores\":{},\"against\":{}}}",
+                    l.pc,
+                    l.verdict.name(),
+                    l.stores,
+                    l.against
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|| "null".into()),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"workload\":\"{}\",\"regions\":[{}],\"loads\":[{}],\
+             \"region_loads\":{},\"hoistable\":{},\"recovery_score\":{:.6}}}\n",
+            json_escape(&self.name),
+            regions.join(","),
+            loads.join(","),
+            self.spec.region_loads,
+            self.spec.hoistable,
+            self.spec.recovery_score(),
+        )
+    }
+}
+
+impl Report for SpecCheckReport {
+    fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let s = &self.spec;
+        let mut out = format!(
+            "speculation analysis of {}: {} region(s), {} squash-safe, {} profitable; \
+             {}/{} region load(s) hoistable (decoupling-recovery score {:.3})\n",
+            self.name,
+            s.regions.len(),
+            s.regions.iter().filter(|r| r.safe).count(),
+            s.profitable_regions().count(),
+            s.hoistable,
+            s.region_loads,
+            s.recovery_score(),
+        );
+        for r in &s.regions {
+            let _ = write!(
+                out,
+                "  as@{} {} [{}, {}):",
+                r.branch_pc,
+                r.dir.name(),
+                r.start,
+                r.end
+            );
+            match &r.hazard {
+                None => {
+                    let _ = write!(out, " safe, {} load(s), {} hoistable", r.loads, r.hoistable);
+                }
+                Some(h) => {
+                    let _ = write!(out, " unsafe ({h}), {} load(s)", r.loads);
+                }
+            }
+            if r.marked {
+                out.push_str(" [declared]");
+            }
+            out.push('\n');
+        }
+        let compared = s.loads.iter().filter(|l| l.stores > 0);
+        let _ = writeln!(
+            out,
+            "alias classification: {} AS load(s), {} compared against upstream stores",
+            s.loads.len(),
+            compared.clone().count()
+        );
+        for l in compared {
+            let _ = writeln!(
+                out,
+                "  as@{}: {} ({} store(s){})",
+                l.pc,
+                l.verdict.name(),
+                l.stores,
+                l.against
+                    .map(|a| format!(", worst as@{a}"))
+                    .unwrap_or_default()
+            );
+        }
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        let mut out =
+            String::from("workload,kind,pc,edge,start,end,safe,loads,hoistable,verdict,detail\n");
+        for r in &self.spec.regions {
+            out.push_str(&format!(
+                "{},region,{},{},{},{},{},{},{},,{}\n",
+                csv_quote(&self.name),
+                r.branch_pc,
+                r.dir.name(),
+                r.start,
+                r.end,
+                r.safe,
+                r.loads,
+                r.hoistable,
+                csv_quote(r.hazard.as_deref().unwrap_or("")),
+            ));
+        }
+        for l in &self.spec.loads {
+            out.push_str(&format!(
+                "{},load,{},,,,,,,{},{}\n",
+                csv_quote(&self.name),
+                l.pc,
+                l.verdict.name(),
+                csv_quote(&format!(
+                    "{} upstream store(s){}",
+                    l.stores,
+                    l.against
+                        .map(|a| format!(", worst as@{a}"))
+                        .unwrap_or_default()
+                )),
+            ));
+        }
+        out.push_str(&format!(
+            "{},score,,,,,,{},{},,{}\n",
+            csv_quote(&self.name),
+            self.spec.region_loads,
+            self.spec.hoistable,
+            csv_quote(&format!("recovery_score={:.6}", self.spec.recovery_score())),
+        ));
         out
     }
 }
@@ -785,6 +1051,106 @@ mod check_tests {
         assert_eq!(csv_quote("plain"), "plain");
         assert_eq!(csv_quote("a,b"), "\"a,b\"");
         assert_eq!(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn deny_warnings_promotes_warnings_to_failure() {
+        let c = check_workload(
+            "pointer",
+            Scale::Test,
+            3,
+            depths_of(&MachineConfig::paper()),
+        );
+        assert!(c.passed_with(false));
+        // Shipped workloads carry no warnings either, so strict mode also
+        // passes; a synthetic warning must flip it.
+        assert!(c.passed_with(true));
+        let mut strict = c.clone();
+        strict.report.diagnostics.push(hidisc_verify::Diagnostic {
+            code: hidisc_verify::Code::Al001,
+            loc: hidisc_verify::Loc::Access(0),
+            queue: None,
+            msg: "synthetic".into(),
+        });
+        assert!(strict.passed_with(false));
+        assert!(!strict.passed_with(true));
+    }
+
+    #[test]
+    fn pointer_speculation_finds_hoistable_runahead_regions() {
+        for name in ["pointer", "tc"] {
+            let s = speculation_workload(name, Scale::Test, 3, depths_of(&MachineConfig::paper()));
+            let profitable: Vec<_> = s.spec.profitable_regions().collect();
+            assert!(
+                !profitable.is_empty(),
+                "{name}: no squash-safe region with hoistable loads\n{}",
+                s.render_text()
+            );
+            assert!(s.spec.recovery_score() > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn speculation_report_renders_all_formats() {
+        let s = speculation_workload(
+            "pointer",
+            Scale::Test,
+            3,
+            depths_of(&MachineConfig::paper()),
+        );
+        let text = s.render_text();
+        assert!(text.starts_with("speculation analysis of pointer:"));
+        assert!(text.contains("decoupling-recovery score"));
+        let csv = s.render_csv();
+        assert!(csv
+            .starts_with("workload,kind,pc,edge,start,end,safe,loads,hoistable,verdict,detail\n"));
+        // At least one squash-safe region row with a hoistable load: the
+        // pointer chase's loop latch (the row CI greps for).
+        assert!(
+            csv.lines().any(|l| {
+                let f: Vec<&str> = l.split(',').collect();
+                f.get(1) == Some(&"region")
+                    && f.get(6) == Some(&"true")
+                    && f.get(8)
+                        .is_some_and(|h| h.parse::<usize>().is_ok_and(|n| n > 0))
+            }),
+            "{csv}"
+        );
+        assert_eq!(csv.lines().filter(|l| l.contains(",score,")).count(), 1);
+        let json = s.to_json();
+        assert!(json.starts_with("{\"workload\":\"pointer\""));
+        assert!(json.contains("\"recovery_score\":"));
+        assert!(json.contains("\"regions\":[{"));
+    }
+
+    /// The differential satellite: across every workload, seed, and depth
+    /// configuration, the symbolic occupancy bounds must dominate the peaks
+    /// the greedy two-thread oracle actually observes.
+    #[test]
+    fn symbolic_bounds_dominate_greedy_peaks_everywhere() {
+        let deep = hidisc_verify::DepthConfig {
+            ldq: 256,
+            sdq: 256,
+            cdq: 256,
+            cq: 256,
+            scq: 64,
+        };
+        for name in hidisc_workloads::names() {
+            for seed in [3, 2003] {
+                for depths in [depths_of(&MachineConfig::paper()), deep] {
+                    let c = check_workload(name, Scale::Test, seed, depths);
+                    for b in &c.report.bounds {
+                        let peak = c.report.greedy_peaks[hidisc_verify::queue_index(b.queue)];
+                        assert!(
+                            b.bound >= peak,
+                            "{name} seed {seed}: symbolic {} bound {} below greedy peak {peak}",
+                            b.queue.name(),
+                            b.bound,
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -8,6 +8,48 @@
 //! the Access Processor uses the trigger annotation to fork CMAS threads
 //! onto the Cache Management Processor.
 
+/// Predicted direction of a speculatively-executed conditional branch.
+///
+/// A branch annotated `speculate = Some(dir)` declares that the Access
+/// Processor may *run ahead* down the `dir` successor while the branch
+/// condition is still unresolved, squashing and replaying from the other
+/// successor on a misprediction. The verifier (`hidisc-verify`) proves the
+/// declared run-ahead window squash-safe; the annotation is the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecDir {
+    /// Run ahead down the taken edge (the branch target) — the common case
+    /// for loop-latch branches, speculating into the next iteration.
+    Taken,
+    /// Run ahead down the fall-through edge.
+    NotTaken,
+}
+
+impl SpecDir {
+    /// Short lowercase name used in diagnostics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecDir::Taken => "taken",
+            SpecDir::NotTaken => "not-taken",
+        }
+    }
+}
+
+/// A commit-time side effect that cannot be undone when a speculative
+/// run-ahead window is squashed. Classified by [`Annot::squash_hazard`];
+/// each variant maps to one `SP00x` diagnostic in `hidisc-verify`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquashHazard {
+    /// A push to a queue whose speculative tail entries cannot be flushed
+    /// (anything but LDQ/CQ — see [`crate::reg::Queue::flushable`]).
+    NonFlushablePush(crate::reg::Queue),
+    /// A destructive pop: the producer will not re-send the popped value on
+    /// replay (SDQ/CDQ data from the CP, or an SCQ semaphore decrement).
+    DestructivePop(crate::reg::Queue),
+    /// A CMAS thread fork: the CMP thread's prefetches and `putscq`
+    /// increments cannot be recalled once forked.
+    TriggerFork(u32),
+}
+
 /// Which stream an instruction belongs to after separation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Stream {
@@ -42,6 +84,13 @@ pub struct Annot {
     /// branches of loops that have a CMAS thread, playing the role of the
     /// paper's `GET_SCQ` without perturbing the instruction layout.
     pub scq_get: bool,
+    /// For conditional branches in the Access Stream: the compiler declares
+    /// that the AP may run ahead down the given successor before the branch
+    /// resolves (speculative slicing, Szafarczyk et al.). `None` — the
+    /// default, and all the current separator ever emits — means the branch
+    /// is a hard run-ahead barrier. `hidisc-verify` rejects programs whose
+    /// declared windows are not squash-safe.
+    pub speculate: Option<SpecDir>,
 }
 
 impl Annot {
@@ -75,6 +124,28 @@ impl Annot {
             own,
             (self.scq_get && own != Some(crate::reg::Queue::Scq)).then_some(crate::reg::Queue::Scq),
         ]
+    }
+
+    /// The first squash-unsafe commit-time side effect of instruction `i`
+    /// under this annotation, if any — `None` means committing `i` inside a
+    /// speculative run-ahead window can be fully undone by a queue-tail
+    /// flush. This is the single source of truth the verifier's `SP00x`
+    /// pass and the future speculative front-end share.
+    pub fn squash_hazard(&self, i: &crate::instr::Instr) -> Option<SquashHazard> {
+        if let Some(t) = self.trigger {
+            return Some(SquashHazard::TriggerFork(t));
+        }
+        for q in self.queue_pushes(i).into_iter().flatten() {
+            if !q.flushable() {
+                return Some(SquashHazard::NonFlushablePush(q));
+            }
+        }
+        // All pops are destructive: queue values are consumed exactly once,
+        // so a squashed pop cannot be replayed (the producer moved on).
+        if let Some(q) = self.queue_pops(i).into_iter().flatten().next() {
+            return Some(SquashHazard::DestructivePop(q));
+        }
+        None
     }
 }
 

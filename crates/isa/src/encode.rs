@@ -8,7 +8,7 @@
 //!   field into a 32-bit word — the analogue of the annotation field the
 //!   paper adds to SimpleScalar binaries.
 
-use crate::annot::{Annot, Stream};
+use crate::annot::{Annot, SpecDir, Stream};
 use crate::instr::{BranchCond, Instr, Src, Width};
 use crate::op::{FpBinOp, FpCmpOp, FpUnOp, IntOp};
 use crate::program::Program;
@@ -557,8 +557,9 @@ pub fn decode_instr(w: u64) -> Result<Instr> {
 
 /// Encodes the annotation field into 32 bits:
 /// bit 0 stream (1 = Access), bit 1 cmas, bit 2 push_cq, bit 3
-/// probable_miss, bit 4 trigger-valid, bit 5 scq_get, bits 8..32 trigger
-/// id.
+/// probable_miss, bit 4 trigger-valid, bit 5 scq_get, bit 6
+/// speculate-valid, bit 7 speculate direction (1 = not-taken), bits 8..32
+/// trigger id.
 pub fn encode_annot(a: &Annot) -> Result<u32> {
     let mut w = 0u32;
     if a.stream == Stream::Access {
@@ -584,6 +585,11 @@ pub fn encode_annot(a: &Annot) -> Result<u32> {
     if a.scq_get {
         w |= 32;
     }
+    match a.speculate {
+        Some(SpecDir::Taken) => w |= 64,
+        Some(SpecDir::NotTaken) => w |= 64 | 128,
+        None => {}
+    }
     Ok(w)
 }
 
@@ -600,6 +606,11 @@ pub fn decode_annot(w: u32) -> Annot {
         probable_miss: w & 8 != 0,
         trigger: (w & 16 != 0).then_some(w >> 8),
         scq_get: w & 32 != 0,
+        speculate: (w & 64 != 0).then_some(if w & 128 != 0 {
+            SpecDir::NotTaken
+        } else {
+            SpecDir::Taken
+        }),
     }
 }
 
@@ -755,9 +766,18 @@ mod tests {
                 push_cq: true,
                 probable_miss: true,
                 scq_get: true,
+                speculate: Some(SpecDir::Taken),
             },
             Annot {
                 trigger: Some(0),
+                ..Annot::default()
+            },
+            Annot {
+                speculate: Some(SpecDir::NotTaken),
+                ..Annot::default()
+            },
+            Annot {
+                speculate: Some(SpecDir::Taken),
                 ..Annot::default()
             },
         ] {

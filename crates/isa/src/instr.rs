@@ -174,6 +174,27 @@ pub enum FuClass {
     Branch,
 }
 
+/// How an instruction forms the integer value it defines, from the point
+/// of view of address-disambiguation analysis. This is the syntactic layer
+/// of the base+offset abstract domain in `hidisc-verify`'s alias pass: the
+/// domain interprets these forms over abstract register values, so the
+/// classification lives here, next to the instruction set it must track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrForm {
+    /// `dst = imm` — a known constant.
+    Const { imm: i64 },
+    /// `dst = src + imm` — a displacement off another register
+    /// (`add`/`sub` with an immediate operand; `sub` negates).
+    Offset { src: IntReg, imm: i64 },
+    /// `dst = a + b` — the sum of two registers (resolvable when either
+    /// side is abstractly constant).
+    Sum { a: IntReg, b: IntReg },
+    /// Any other function of the operands — including every load, receive
+    /// and non-additive ALU op. The abstract domain may still fold it when
+    /// all operands are constants; otherwise the result is unknown.
+    Opaque,
+}
+
 /// A DISA instruction.
 ///
 /// Branch and jump targets are *instruction indices* within the owning
@@ -449,6 +470,42 @@ impl Instr {
             Instr::PutScq => Some(Queue::Scq),
             _ => None,
         }
+    }
+
+    /// How this instruction forms the integer register it defines, for
+    /// address-disambiguation analysis. `None` when no integer register is
+    /// defined. Wrapping arithmetic mirrors the interpreter.
+    pub fn addr_form(&self) -> Option<(IntReg, AddrForm)> {
+        let dst = match self.def() {
+            Some(RegRef::Int(r)) => r,
+            _ => return None,
+        };
+        let form = match *self {
+            Instr::Li { imm, .. } => AddrForm::Const { imm },
+            Instr::IntOp {
+                op: IntOp::Add,
+                a,
+                b: Src::Imm(k),
+                ..
+            } => AddrForm::Offset { src: a, imm: k },
+            Instr::IntOp {
+                op: IntOp::Sub,
+                a,
+                b: Src::Imm(k),
+                ..
+            } => AddrForm::Offset {
+                src: a,
+                imm: k.wrapping_neg(),
+            },
+            Instr::IntOp {
+                op: IntOp::Add,
+                a,
+                b: Src::Reg(b),
+                ..
+            } => AddrForm::Sum { a, b },
+            _ => AddrForm::Opaque,
+        };
+        Some((dst, form))
     }
 
     /// True for floating-point instructions (execute on FP units, which the

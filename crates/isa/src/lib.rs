@@ -39,8 +39,8 @@ pub mod reg;
 pub mod testgen;
 pub mod wire;
 
-pub use annot::{Annot, Stream};
-pub use instr::{BranchCond, Instr, RegRef, Width};
+pub use annot::{Annot, SpecDir, SquashHazard, Stream};
+pub use instr::{AddrForm, BranchCond, Instr, RegRef, Src, Width};
 pub use op::{FpBinOp, FpCmpOp, FpUnOp, IntOp};
 pub use program::{Label, Program};
 pub use reg::{FpReg, IntReg, Queue};

@@ -116,6 +116,17 @@ impl Queue {
     /// All queue kinds, for iteration in statistics code.
     pub const ALL: [Queue; 5] = [Queue::Ldq, Queue::Sdq, Queue::Cdq, Queue::Cq, Queue::Scq];
 
+    /// True if speculative tail entries of this queue can be flushed on a
+    /// run-ahead squash. The AP-produced queues (LDQ, CQ) buffer entries
+    /// that only the CP consumes, so the producer can tag speculative
+    /// pushes and retract them before the consumer sees them. SDQ/CDQ
+    /// entries come from the non-speculating CP, and the SCQ is a
+    /// cross-processor semaphore whose increments the CMP observes
+    /// immediately — none of those can be recalled.
+    pub fn flushable(self) -> bool {
+        matches!(self, Queue::Ldq | Queue::Cq)
+    }
+
     /// Short uppercase name as used in the paper ("LDQ", "SDQ", ...).
     pub fn name(self) -> &'static str {
         match self {

@@ -5,7 +5,9 @@ use hidisc_isa::asm::assemble;
 use hidisc_isa::encode::{decode_annot, decode_instr, encode_annot, encode_instr};
 use hidisc_isa::instr::{BranchCond, Src, Width};
 use hidisc_isa::mem::Memory;
-use hidisc_isa::{Annot, FpBinOp, FpCmpOp, FpReg, FpUnOp, Instr, IntOp, IntReg, Queue, Stream};
+use hidisc_isa::{
+    Annot, FpBinOp, FpCmpOp, FpReg, FpUnOp, Instr, IntOp, IntReg, Queue, SpecDir, Stream,
+};
 use proptest::prelude::*;
 
 fn int_reg() -> impl Strategy<Value = IntReg> {
@@ -211,6 +213,7 @@ proptest! {
         miss in any::<bool>(),
         scq in any::<bool>(),
         trig in prop::option::of(0u32..(1 << 24)),
+        spec in prop::option::of(any::<bool>()),
     ) {
         let a = Annot {
             stream: if access { Stream::Access } else { Stream::Computation },
@@ -219,6 +222,7 @@ proptest! {
             probable_miss: miss,
             scq_get: scq,
             trigger: trig,
+            speculate: spec.map(|t| if t { SpecDir::Taken } else { SpecDir::NotTaken }),
         };
         prop_assert_eq!(decode_annot(encode_annot(&a).unwrap()), a);
     }

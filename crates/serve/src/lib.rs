@@ -1292,8 +1292,10 @@ fn custom_env() -> hidisc_slicer::ExecEnv {
 }
 
 /// Pre-flight for custom programs: assemble, slice and statically verify
-/// (queue balance, depth bounds, CMAS purity, slice liveness) before the
-/// job is admitted anywhere near the worker pool. The rejection — served
+/// (queue balance, symbolic depth bounds, CMAS purity, slice liveness,
+/// address disambiguation, run-ahead squash safety and poison liveness —
+/// the full `hidisc-verify` pass list) before the job is admitted
+/// anywhere near the worker pool. The rejection — served
 /// as `400` — carries the verifier's diagnostic code (e.g. `QB004`) as
 /// the envelope code and its first error diagnostic as the message.
 /// Named workloads skip this: their slices are covered by the verifier's

@@ -1,0 +1,485 @@
+//! May-alias / address disambiguation (`AL001`, `AL002`).
+//!
+//! The pass interprets the Access Stream over a flow-sensitive *base +
+//! offset* abstract domain: every integer register holds either a known
+//! constant, a constant displacement off the **entry value** of some
+//! register (the symbolic base), or ⊤. Transfer functions follow
+//! [`hidisc_isa::AddrForm`] — the syntactic address-formation classifier on
+//! the instruction set — plus constant folding of arbitrary ALU ops. Joins
+//! meet at CFG merge points; the domain has chain height 2 per register
+//! (⊥ → value → ⊤), so the fixpoint needs no widening.
+//!
+//! Two memory operations with abstract addresses over the *same* base (or
+//! both constant) compare by offset-interval disjointness; anything else is
+//! ambiguous — two distinct entry-value bases may alias (the caller could
+//! pass overlapping buffers), so they are never "provably disjoint".
+//!
+//! The public surface:
+//! * [`classify_loads`] — every AS load versus every CFG-upstream store
+//!   (the report's per-load table);
+//! * [`check`] — `AL001`/`AL002` warnings for loads inside *declared*
+//!   run-ahead windows that cross a pending store they cannot bypass;
+//! * [`AliasCtx`] — the shared analysis context [`crate::specregion`]
+//!   reuses to count hoistable loads per region.
+
+use crate::specregion::{self, Window};
+use crate::{AliasVerdict, Code, Diagnostic, LoadClass, Loc};
+use hidisc_isa::{AddrForm, Instr, IntReg, Program, Src};
+use hidisc_slicer::cfg::Cfg;
+
+/// Abstract value of an integer register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Unreached (the lattice bottom).
+    Bot,
+    /// Exactly this constant.
+    Const(i64),
+    /// The value register `r<base>` held at program entry, plus a constant
+    /// displacement.
+    Base(u8, i64),
+    /// Unknown (the lattice top).
+    Top,
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Bot, x) | (x, AbsVal::Bot) => x,
+            (x, y) if x == y => x,
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// Adds a known constant to the value.
+    fn add(self, k: i64) -> AbsVal {
+        match self {
+            AbsVal::Const(c) => AbsVal::Const(c.wrapping_add(k)),
+            AbsVal::Base(o, d) => AbsVal::Base(o, d.wrapping_add(k)),
+            x => x,
+        }
+    }
+}
+
+/// One register file's worth of abstract values.
+type State = [AbsVal; 32];
+
+fn eval(regs: &State, r: IntReg) -> AbsVal {
+    if r.is_zero() {
+        AbsVal::Const(0)
+    } else {
+        regs[r.index()]
+    }
+}
+
+/// Applies one instruction's effect on the abstract register file.
+fn transfer(i: &Instr, regs: &mut State) {
+    let Some((dst, form)) = i.addr_form() else {
+        return;
+    };
+    let val = match form {
+        AddrForm::Const { imm } => AbsVal::Const(imm),
+        AddrForm::Offset { src, imm } => eval(regs, src).add(imm),
+        AddrForm::Sum { a, b } => match (eval(regs, a), eval(regs, b)) {
+            (AbsVal::Const(x), v) | (v, AbsVal::Const(x)) => v.add(x),
+            _ => AbsVal::Top,
+        },
+        AddrForm::Opaque => fold_opaque(i, regs),
+    };
+    regs[dst.index()] = val;
+}
+
+/// Constant-folds an opaque ALU op when every operand is abstractly
+/// constant; everything else (loads, receives, converts) is ⊤.
+fn fold_opaque(i: &Instr, regs: &State) -> AbsVal {
+    if let Instr::IntOp { op, a, b, .. } = *i {
+        let av = eval(regs, a);
+        let bv = match b {
+            Src::Reg(r) => eval(regs, r),
+            Src::Imm(k) => AbsVal::Const(k),
+        };
+        if let (AbsVal::Const(x), AbsVal::Const(y)) = (av, bv) {
+            return AbsVal::Const(op.eval(x, y));
+        }
+    }
+    AbsVal::Top
+}
+
+/// True when the byte ranges `[a, a+wa)` and `[b, b+wb)` are disjoint.
+fn ranges_disjoint(a: i64, wa: u64, b: i64, wb: u64) -> bool {
+    let (a, b) = (a as i128, b as i128);
+    a + wa as i128 <= b || b + wb as i128 <= a
+}
+
+/// Classifies two abstract addresses with access widths in bytes.
+pub fn classify(a: AbsVal, wa: u64, b: AbsVal, wb: u64) -> AliasVerdict {
+    let (x, y) = match (a, b) {
+        (AbsVal::Const(x), AbsVal::Const(y)) => (x, y),
+        (AbsVal::Base(o1, x), AbsVal::Base(o2, y)) if o1 == o2 => (x, y),
+        _ => return AliasVerdict::Ambiguous,
+    };
+    if ranges_disjoint(x, wa, y, wb) {
+        AliasVerdict::Disjoint
+    } else {
+        AliasVerdict::MustAlias
+    }
+}
+
+/// The shared alias-analysis context over one Access Stream: abstract
+/// addresses of every memory operation plus CFG path reachability.
+pub struct AliasCtx {
+    cfg: Cfg,
+    /// Abstract `(address, width-in-bytes)` per instruction index; `None`
+    /// for non-memory instructions (prefetches included — they have no
+    /// architectural effect and never conflict).
+    addrs: Vec<Option<(AbsVal, u64)>>,
+    /// `reach[a][b]`: a path of ≥ 1 CFG edge leads from block `a` to `b`.
+    reach: Vec<Vec<bool>>,
+}
+
+impl AliasCtx {
+    /// Runs the abstract interpretation. `None` for empty programs.
+    pub fn new(prog: &Program) -> Option<AliasCtx> {
+        if prog.is_empty() {
+            return None;
+        }
+        let cfg = Cfg::build(prog);
+        let nb = cfg.len();
+
+        // Entry state: every register holds its own symbolic entry value —
+        // that is what makes the domain relational enough to separate
+        // `8(r3)` from `16(r3)` while refusing to compare `0(r6)` with
+        // `0(r10)`.
+        let mut entry: State = [AbsVal::Top; 32];
+        for (n, slot) in entry.iter_mut().enumerate() {
+            *slot = AbsVal::Base(n as u8, 0);
+        }
+        let mut inset: Vec<State> = vec![[AbsVal::Bot; 32]; nb];
+        inset[0] = entry;
+
+        let apply_block = |blk: usize, mut s: State| -> State {
+            for pc in cfg.blocks[blk].range() {
+                transfer(prog.instr(pc), &mut s);
+            }
+            s
+        };
+        let mut outset: Vec<State> = (0..nb).map(|b| apply_block(b, inset[b])).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..nb {
+                let mut meet = if b == 0 { entry } else { [AbsVal::Bot; 32] };
+                for &p in &cfg.blocks[b].preds {
+                    for (m, &o) in meet.iter_mut().zip(outset[p].iter()) {
+                        *m = m.join(o);
+                    }
+                }
+                if meet != inset[b] {
+                    inset[b] = meet;
+                    changed = true;
+                }
+                let new_out = apply_block(b, inset[b]);
+                if new_out != outset[b] {
+                    outset[b] = new_out;
+                    changed = true;
+                }
+            }
+        }
+
+        // Abstract address of each memory op, evaluated at its own point.
+        let mut addrs: Vec<Option<(AbsVal, u64)>> = vec![None; prog.len() as usize];
+        for (b, entry) in inset.iter().enumerate().take(nb) {
+            let mut s = *entry;
+            for pc in cfg.blocks[b].range() {
+                let i = prog.instr(pc);
+                if (i.is_load() || i.is_store()) && !matches!(i, Instr::Prefetch { .. }) {
+                    if let (Some((base, off)), Some(w)) = (i.mem_addr_operands(), i.mem_width()) {
+                        addrs[pc as usize] = Some((eval(&s, base).add(off as i64), w.bytes()));
+                    }
+                }
+                transfer(i, &mut s);
+            }
+        }
+
+        // Block-level transitive closure (≥ 1 edge). Streams are tens of
+        // instructions; the cubic closure is nothing.
+        let mut reach = vec![vec![false; nb]; nb];
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                reach[b][s] = true;
+            }
+        }
+        for k in 0..nb {
+            let row_k = reach[k].clone();
+            for row in reach.iter_mut() {
+                if row[k] {
+                    for (j, &r) in row_k.iter().enumerate() {
+                        if r {
+                            row[j] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        Some(AliasCtx { cfg, addrs, reach })
+    }
+
+    /// True when instruction `from` may execute before control reaches
+    /// `to` on some path (same-block program order, or a ≥ 1-edge path
+    /// between their blocks).
+    pub fn upstream(&self, from: u32, to: u32) -> bool {
+        let (a, b) = (
+            self.cfg.block_containing(from),
+            self.cfg.block_containing(to),
+        );
+        (a == b && from < to) || self.reach[a][b]
+    }
+
+    /// Classifies the memory ops at two instruction indices. `None` when
+    /// either is not an analysed memory op.
+    pub fn classify_pair(&self, store_pc: u32, load_pc: u32) -> Option<AliasVerdict> {
+        let (sa, sw) = self.addrs[store_pc as usize]?;
+        let (la, lw) = self.addrs[load_pc as usize]?;
+        Some(classify(sa, sw, la, lw))
+    }
+
+    /// The stores still *pending* when a load at `load_pc` inside window
+    /// `w` issues speculatively: stores earlier in the window (their data
+    /// may not be ready while running ahead), plus every queue-data store
+    /// (`s.q`) that can reach the window's entry — those defer on the CS
+    /// and may sit unperformed in the store queue arbitrarily long.
+    /// Plain stores before the branch carry AP-local data and are retired
+    /// by the time the branch issues, so they are not pending.
+    pub fn pending_stores(&self, prog: &Program, w: &Window, load_pc: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        for pc in w.start..load_pc {
+            if prog.instr(pc).is_store() {
+                out.push(pc);
+            }
+        }
+        for pc in 0..prog.len() {
+            let i = prog.instr(pc);
+            if matches!(i, Instr::StoreQ { .. })
+                && !(w.start..load_pc).contains(&pc)
+                && self.upstream(pc, w.start)
+            {
+                out.push(pc);
+            }
+        }
+        out
+    }
+}
+
+/// Classifies every AS load against every store that may execute before it
+/// on some CFG path. The worst verdict wins; loads with no upstream stores
+/// are provably disjoint by vacuity.
+pub fn classify_loads(prog: &Program) -> Vec<LoadClass> {
+    let Some(ctx) = AliasCtx::new(prog) else {
+        return Vec::new();
+    };
+    let stores: Vec<u32> = (0..prog.len())
+        .filter(|&pc| prog.instr(pc).is_store())
+        .collect();
+    let mut out = Vec::new();
+    for pc in 0..prog.len() {
+        if !prog.instr(pc).is_load() {
+            continue;
+        }
+        let mut worst = AliasVerdict::Disjoint;
+        let mut against = None;
+        let mut count = 0usize;
+        for &s in &stores {
+            if !ctx.upstream(s, pc) {
+                continue;
+            }
+            count += 1;
+            if let Some(v) = ctx.classify_pair(s, pc) {
+                if v > worst {
+                    worst = v;
+                    against = Some(s);
+                }
+            }
+        }
+        out.push(LoadClass {
+            pc,
+            verdict: worst,
+            stores: count,
+            against,
+        });
+    }
+    out
+}
+
+/// Emits `AL001`/`AL002` for loads inside *declared* run-ahead windows
+/// that cross a pending store they cannot provably bypass. At most one
+/// diagnostic per load, against the worst-classified store.
+pub fn check(prog: &Program, out: &mut Vec<Diagnostic>) {
+    let windows = specregion::marked(prog);
+    if windows.is_empty() {
+        return;
+    }
+    let Some(ctx) = AliasCtx::new(prog) else {
+        return;
+    };
+    for w in &windows {
+        for pc in w.start..w.end {
+            if !prog.instr(pc).is_load() {
+                continue;
+            }
+            let mut worst: Option<(AliasVerdict, u32)> = None;
+            for s in ctx.pending_stores(prog, w, pc) {
+                match ctx.classify_pair(s, pc) {
+                    Some(v) if v > AliasVerdict::Disjoint && worst.is_none_or(|(wv, _)| v > wv) => {
+                        worst = Some((v, s));
+                    }
+                    _ => {}
+                }
+            }
+            let Some((v, s)) = worst else { continue };
+            let (code, why) = match v {
+                AliasVerdict::Ambiguous => (
+                    Code::Al001,
+                    "cannot be disambiguated from the pending store",
+                ),
+                _ => (
+                    Code::Al002,
+                    "must-aliases the pending store and needs its forwarded value",
+                ),
+            };
+            out.push(Diagnostic {
+                code,
+                loc: Loc::Access(pc),
+                queue: None,
+                msg: format!(
+                    "load in the {} run-ahead window of the branch at as@{} {why} at as@{s} — \
+                     the access processor must hold this load until the store resolves",
+                    w.dir.name(),
+                    w.branch_pc,
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+
+    fn ctx(src: &str) -> (Program, AliasCtx) {
+        let p = assemble("as", src).unwrap();
+        let c = AliasCtx::new(&p).unwrap();
+        (p, c)
+    }
+
+    #[test]
+    fn same_base_distinct_offsets_disjoint() {
+        // Two loads off the same incoming pointer never conflict with a
+        // store at a third offset of that pointer.
+        let (_, c) = ctx("sd r5, 0(r3)\nld r1, 8(r3)\nld r2, 16(r3)\nhalt");
+        assert_eq!(c.classify_pair(0, 1), Some(AliasVerdict::Disjoint));
+        assert_eq!(c.classify_pair(0, 2), Some(AliasVerdict::Disjoint));
+    }
+
+    #[test]
+    fn same_address_must_alias() {
+        let (_, c) = ctx("sd r5, 8(r3)\nld r1, 8(r3)\nhalt");
+        assert_eq!(c.classify_pair(0, 1), Some(AliasVerdict::MustAlias));
+    }
+
+    #[test]
+    fn partial_overlap_is_must_alias() {
+        // A doubleword store at 8 overlaps a word load at 12.
+        let (_, c) = ctx("sd r5, 8(r3)\nlw r1, 12(r3)\nhalt");
+        assert_eq!(c.classify_pair(0, 1), Some(AliasVerdict::MustAlias));
+        // ... but not a word load at 16.
+        let (_, c) = ctx("sd r5, 8(r3)\nlw r1, 16(r3)\nhalt");
+        assert_eq!(c.classify_pair(0, 1), Some(AliasVerdict::Disjoint));
+    }
+
+    #[test]
+    fn distinct_bases_are_ambiguous() {
+        let (_, c) = ctx("sd r5, 0(r6)\nld r1, 0(r3)\nhalt");
+        assert_eq!(c.classify_pair(0, 1), Some(AliasVerdict::Ambiguous));
+    }
+
+    #[test]
+    fn displacement_chains_fold() {
+        // r4 = r3 + 8, so 0(r4) is 8(r3): must-alias the store, disjoint
+        // from the 16(r3) load.
+        let (_, c) = ctx("add r4, r3, 8\nsd r5, 0(r4)\nld r1, 8(r3)\nld r2, 16(r3)\nhalt");
+        assert_eq!(c.classify_pair(1, 2), Some(AliasVerdict::MustAlias));
+        assert_eq!(c.classify_pair(1, 3), Some(AliasVerdict::Disjoint));
+    }
+
+    #[test]
+    fn loads_kill_the_base() {
+        // After a pointer chase the register is ⊤: everything ambiguous.
+        let (_, c) = ctx("ld r3, 0(r3)\nsd r5, 0(r6)\nld r1, 8(r3)\nhalt");
+        assert_eq!(c.classify_pair(1, 2), Some(AliasVerdict::Ambiguous));
+    }
+
+    #[test]
+    fn loop_join_degrades_soundly() {
+        // r3 advances by 8 each iteration: offsets differ at the join, so
+        // the domain must give ⊤, never a wrong "disjoint".
+        let (_, c) = ctx(r"
+        l:
+            ld r1, 0(r3)
+            add r3, r3, 8
+            sd r5, 0(r3)
+            bne r3, r9, l
+            halt
+        ");
+        assert_eq!(c.classify_pair(2, 0), Some(AliasVerdict::Ambiguous));
+    }
+
+    #[test]
+    fn constant_addresses_compare_exactly() {
+        let (_, c) = ctx("li r2, 64\nli r4, 72\nsd r5, 0(r2)\nld r1, 0(r4)\nld r6, 0(r2)\nhalt");
+        assert_eq!(c.classify_pair(2, 3), Some(AliasVerdict::Disjoint));
+        assert_eq!(c.classify_pair(2, 4), Some(AliasVerdict::MustAlias));
+    }
+
+    #[test]
+    fn upstream_respects_paths_and_cycles() {
+        let (_, c) = ctx(r"
+            ld r1, 0(r3)
+        l:
+            add r3, r3, 8
+            bne r3, r9, l
+            sd r5, 0(r3)
+            halt
+        ");
+        assert!(c.upstream(0, 3), "entry store-free path reaches the store");
+        assert!(!c.upstream(3, 0), "the final store never precedes pc 0");
+        assert!(c.upstream(1, 1), "loop body precedes itself via the cycle");
+    }
+
+    #[test]
+    fn classify_loads_reports_worst_per_load() {
+        let p = assemble(
+            "as",
+            "sd r5, 0(r6)\nld r1, 8(r3)\nsd r7, 8(r3)\nld r2, 8(r3)\nhalt",
+        )
+        .unwrap();
+        let loads = classify_loads(&p);
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].pc, 1);
+        assert_eq!(loads[0].verdict, AliasVerdict::Ambiguous);
+        assert_eq!(loads[0].stores, 1);
+        assert_eq!(loads[0].against, Some(0));
+        // Second load sees both stores; the r6 store is ambiguous (worst).
+        assert_eq!(loads[1].pc, 3);
+        assert_eq!(loads[1].verdict, AliasVerdict::Ambiguous);
+        assert_eq!(loads[1].stores, 2);
+    }
+
+    #[test]
+    fn no_upstream_stores_is_vacuously_disjoint() {
+        let p = assemble("as", "ld r1, 8(r3)\nsd r5, 0(r6)\nhalt").unwrap();
+        let loads = classify_loads(&p);
+        assert_eq!(loads[0].verdict, AliasVerdict::Disjoint);
+        assert_eq!(loads[0].stores, 0);
+    }
+}

@@ -29,19 +29,46 @@
 //!    cut must arrive through a queue or duplicated computation, never be
 //!    read uninitialised (`LV001`).
 //!
+//! The speculation-safety suite (see DESIGN.md §20) extends these with
+//! three more passes built for the speculative-slicing refactor:
+//!
+//! 5. **may-alias / address disambiguation** ([`alias`]) — a flow-sensitive
+//!    base+offset abstract domain over the address registers classifies
+//!    every AS load against its upstream stores as provably-disjoint,
+//!    must-alias, or ambiguous; declared run-ahead windows whose loads
+//!    cross a pending may-alias store are flagged (`AL001`, `AL002`).
+//! 6. **run-ahead regions** ([`specregion`]) — every conditional branch the
+//!    compiler marks [`hidisc_isa::Annot::speculate`] opens a run-ahead
+//!    window down the predicted edge; the window's queue traffic must be
+//!    squash-safe (`SP001`–`SP003`).
+//! 7. **poison liveness** ([`liveness::poison_check`]) — a register defined
+//!    inside a speculative window must not be live into the squash path,
+//!    or a poison value leaks into committed state (`LV002`).
+//!
+//! The depth pass computes symbolic loop-aware occupancy intervals
+//! (abstract interpretation with widening over the control skeleton); the
+//! greedy two-thread simulation is kept as a differential oracle whose
+//! observed peaks the symbolic bounds must dominate.
+//!
 //! The verifier is exposed three ways: `repro check <workload>` in the CLI,
 //! a compile-time post-pass ([`compile_verified`]) used by the benchmark
-//! harness, and the `POST /run` pre-flight of `hidisc-serve`.
+//! harness, and the `POST /v1/run` pre-flight of `hidisc-serve`. The
+//! advisory [`speculation`] analysis behind `repro check --speculation`
+//! additionally classifies *every* AS branch region — annotated or not —
+//! to quantify how much loss-of-decoupling a speculative slicer could
+//! recover.
 
 #![forbid(unsafe_code)]
 
+pub mod alias;
 pub mod balance;
 pub mod depth;
 pub mod liveness;
 pub mod purity;
 pub mod skeleton;
+pub mod specregion;
 
-use hidisc_isa::{Program, Queue};
+use hidisc_isa::{Program, Queue, SpecDir};
 use hidisc_slicer::{CmasThread, CompiledWorkload, CompilerConfig, ExecEnv};
 use std::fmt;
 
@@ -92,6 +119,24 @@ pub enum Code {
     /// Register read maybe-uninitialised in a stream but never in the
     /// original program (a value lost across the CP/AP cut).
     Lv001,
+    /// A load in a declared run-ahead window crosses a pending store the
+    /// alias pass cannot disambiguate.
+    Al001,
+    /// A load in a declared run-ahead window must-aliases a pending store:
+    /// hoisting it recovers nothing (the value must be forwarded).
+    Al002,
+    /// A declared run-ahead window pushes a queue whose speculative tail
+    /// cannot be flushed on a squash.
+    Sp001,
+    /// A declared run-ahead window pops a queue: pops are destructive and
+    /// cannot be replayed after a squash.
+    Sp002,
+    /// A declared run-ahead window forks a CMAS thread, which cannot be
+    /// recalled once triggered.
+    Sp003,
+    /// A register defined in a declared run-ahead window is live into the
+    /// squash path: a maybe-poisoned value would leak into committed state.
+    Lv002,
 }
 
 impl Code {
@@ -109,13 +154,22 @@ impl Code {
             Code::Cm003 => "CM003",
             Code::Cm004 => "CM004",
             Code::Lv001 => "LV001",
+            Code::Al001 => "AL001",
+            Code::Al002 => "AL002",
+            Code::Sp001 => "SP001",
+            Code::Sp002 => "SP002",
+            Code::Sp003 => "SP003",
+            Code::Lv002 => "LV002",
         }
     }
 
     /// The severity every diagnostic with this code carries.
     pub fn severity(self) -> Severity {
         match self {
-            Code::Db001 => Severity::Warning,
+            // AL00x are advisory: an ambiguous or must-alias load makes the
+            // declared window unprofitable (the load cannot issue early),
+            // not incorrect — the hardware simply holds it back.
+            Code::Db001 | Code::Al001 | Code::Al002 => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -237,15 +291,127 @@ impl Default for DepthConfig {
     }
 }
 
+/// Sentinel occupancy bound: the widening operator proved nothing — the
+/// queue's occupancy can grow without limit along some loop.
+pub const UNBOUNDED: usize = usize::MAX;
+
 /// The static occupancy bound computed for one queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueBound {
     pub queue: Queue,
-    /// Worst-case occupancy any single producer segment can create before
-    /// the consumer drains anything.
+    /// Worst-case occupancy across every reachable point of the control
+    /// skeleton (symbolic interval analysis, [`UNBOUNDED`] when a loop's
+    /// net delta widens to infinity).
     pub bound: usize,
     /// The configured capacity the bound was checked against.
     pub cap: usize,
+}
+
+impl QueueBound {
+    /// True when widening gave up: occupancy grows without limit.
+    pub fn is_unbounded(&self) -> bool {
+        self.bound == UNBOUNDED
+    }
+}
+
+/// How an AS load relates to the stores that may execute before it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AliasVerdict {
+    /// Provably disjoint from every upstream store (or no upstream stores).
+    Disjoint,
+    /// Provably overlaps at least one upstream store; the overlapping
+    /// store's value must be forwarded, so hoisting recovers nothing.
+    MustAlias,
+    /// At least one upstream store cannot be disambiguated.
+    Ambiguous,
+}
+
+impl AliasVerdict {
+    /// Stable lowercase name used in reports ("disjoint", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            AliasVerdict::Disjoint => "disjoint",
+            AliasVerdict::MustAlias => "must-alias",
+            AliasVerdict::Ambiguous => "ambiguous",
+        }
+    }
+}
+
+/// Per-load alias classification, one entry per AS load in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadClass {
+    /// AS instruction index of the load.
+    pub pc: u32,
+    /// Worst classification against any upstream store.
+    pub verdict: AliasVerdict,
+    /// Number of upstream stores the load was compared against.
+    pub stores: usize,
+    /// AS instruction index of the worst-classified store, when any.
+    pub against: Option<u32>,
+}
+
+/// One run-ahead region analysed by the speculation report: the window the
+/// AS would execute down one edge of a conditional branch before that
+/// branch resolves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionInfo {
+    /// AS instruction index of the guarding conditional branch.
+    pub branch_pc: u32,
+    /// The successor edge the window follows.
+    pub dir: SpecDir,
+    /// First instruction of the window.
+    pub start: u32,
+    /// One past the last instruction of the window (exclusive; the window
+    /// ends *before* the next control instruction, which is the next
+    /// resolution point and never commits speculatively).
+    pub end: u32,
+    /// True when the compiler declared this window via
+    /// [`hidisc_isa::Annot::speculate`].
+    pub marked: bool,
+    /// True when every commit in the window is squash-safe.
+    pub safe: bool,
+    /// Description of the first squash hazard when `!safe`.
+    pub hazard: Option<String>,
+    /// Architectural loads inside the window.
+    pub loads: usize,
+    /// Loads the AP could issue before the branch resolves: the window is
+    /// squash-safe and every pending store is provably disjoint.
+    pub hoistable: usize,
+}
+
+/// The advisory speculation analysis produced by [`speculation`]: what a
+/// speculative slicer could recover on this triple.
+#[derive(Debug, Clone, Default)]
+pub struct SpeculationReport {
+    /// Both edges of every AS conditional branch, in program order.
+    pub regions: Vec<RegionInfo>,
+    /// Per-load alias classifications for the whole Access Stream.
+    pub loads: Vec<LoadClass>,
+    /// Total hoistable loads across squash-safe regions.
+    pub hoistable: usize,
+    /// Total loads inside analysed regions.
+    pub region_loads: usize,
+}
+
+impl SpeculationReport {
+    /// Estimated decoupling-recovery score: the fraction of region loads a
+    /// speculative slicer could issue ahead of the guarding branch. Loads
+    /// are the decoupling currency — every hoisted load is a load the AP
+    /// keeps streaming while a conventional slice would stall at the
+    /// unresolved branch (the paper's loss-of-decoupling events).
+    pub fn recovery_score(&self) -> f64 {
+        if self.region_loads == 0 {
+            0.0
+        } else {
+            self.hoistable as f64 / self.region_loads as f64
+        }
+    }
+
+    /// Regions that are squash-safe and contain at least one hoistable
+    /// load — the regions a speculative slicer would actually annotate.
+    pub fn profitable_regions(&self) -> impl Iterator<Item = &RegionInfo> {
+        self.regions.iter().filter(|r| r.safe && r.hoistable > 0)
+    }
 }
 
 /// Everything one [`verify`] run produced.
@@ -260,6 +426,14 @@ pub struct VerifyReport {
     pub queues_analysed: usize,
     /// Number of control segments paired between the two streams.
     pub segments: usize,
+    /// Per-load alias classifications for the Access Stream, in program
+    /// order (always computed; surfaced by `repro check`).
+    pub loads: Vec<LoadClass>,
+    /// Peak per-queue occupancy observed by the greedy two-thread oracle
+    /// (indexed like [`Queue::ALL`]). The symbolic [`Self::bounds`] must
+    /// dominate these — `bench::prepare` debug-asserts it and the
+    /// differential tests prove it across every workload.
+    pub greedy_peaks: [usize; 5],
 }
 
 impl VerifyReport {
@@ -338,6 +512,8 @@ pub fn verify(input: &VerifyInput) -> VerifyReport {
         &mut report.diagnostics,
     );
     depth::check(
+        input.cs,
+        input.access,
         &seg_cs,
         &seg_as,
         &balanced,
@@ -349,6 +525,10 @@ pub fn verify(input: &VerifyInput) -> VerifyReport {
     if let Some(orig) = input.original {
         liveness::check(orig, input.cs, input.access, &mut report.diagnostics);
     }
+    report.loads = alias::classify_loads(input.access);
+    specregion::check(input.access, &mut report.diagnostics);
+    alias::check(input.access, &mut report.diagnostics);
+    liveness::poison_check(input.access, &mut report.diagnostics);
 
     report.segments = seg_cs.len().min(seg_as.len());
     let mut used = [false; Queue::ALL.len()];
@@ -368,7 +548,29 @@ pub fn verify(input: &VerifyInput) -> VerifyReport {
     report
 }
 
-pub(crate) fn queue_index(q: Queue) -> usize {
+/// Runs the advisory speculation analysis over a triple: classifies both
+/// edges of every AS conditional branch as a prospective run-ahead region
+/// (squash-safe or not, hoistable-load counts) and every AS load against
+/// its upstream stores. This is the planning data for the speculative
+/// slicer: `repro check <workload> --speculation` renders it.
+pub fn speculation(input: &VerifyInput) -> SpeculationReport {
+    let mut report = SpeculationReport {
+        regions: specregion::analyse(input.access),
+        loads: alias::classify_loads(input.access),
+        ..SpeculationReport::default()
+    };
+    for r in &report.regions {
+        report.region_loads += r.loads;
+        if r.safe {
+            report.hoistable += r.hoistable;
+        }
+    }
+    report
+}
+
+/// Index of `q` in [`Queue::ALL`] order — how
+/// [`VerifyReport::greedy_peaks`] is indexed.
+pub fn queue_index(q: Queue) -> usize {
     match q {
         Queue::Ldq => 0,
         Queue::Sdq => 1,

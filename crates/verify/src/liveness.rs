@@ -1,4 +1,4 @@
-//! Slice-liveness checking (`LV001`).
+//! Slice-liveness checking (`LV001`) and poison liveness (`LV002`).
 //!
 //! A register that is live across the CP/AP cut must either be
 //! communicated through a queue (LDQ/CDQ receive) or rematerialised by
@@ -18,9 +18,20 @@
 //! program could never make the same uninitialised read: the baseline is
 //! the original's own maybe-uninit set, and `LV001` fires on the
 //! difference.
+//!
+//! [`poison_check`] extends the same bitmask machinery to speculation: the
+//! per-register lattice grows from must-init's two points to three —
+//! {maybe-uninit, clean, **maybe-poisoned**}. A register defined inside a
+//! declared run-ahead window may hold a poison value (a speculative load's
+//! result) when the window is squashed; the squash path must therefore
+//! *kill* the register (redefine it) before any read. Reads-before-writes
+//! from a program point are exactly backward may-liveness, so the check
+//! is: `defs(window) ∩ live-in(squash entry) = ∅`, and `LV002` pins the
+//! first offending read.
 
+use crate::specregion;
 use crate::{Code, Diagnostic, Loc};
-use hidisc_isa::{Program, RegRef};
+use hidisc_isa::{Program, RegRef, SpecDir};
 use hidisc_slicer::cfg::Cfg;
 
 fn bit(r: RegRef) -> u64 {
@@ -136,6 +147,149 @@ pub fn check(orig: &Program, cs: &Program, access: &Program, out: &mut Vec<Diagn
     }
 }
 
+/// Backward may-liveness over the CFG: `live_in[b]` is the set of
+/// registers read before written on some path from the top of block `b`.
+fn block_live_in(prog: &Program, cfg: &Cfg) -> Vec<u64> {
+    let nb = cfg.len();
+    // Per-block use (read-before-write) and def masks.
+    let mut use_mask = vec![0u64; nb];
+    let mut def_mask = vec![0u64; nb];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        for pc in blk.range() {
+            let i = prog.instr(pc);
+            for u in i.uses().into_iter().flatten() {
+                if def_mask[b] & bit(u) == 0 {
+                    use_mask[b] |= bit(u);
+                }
+            }
+            if let Some(d) = i.def() {
+                def_mask[b] |= bit(d);
+            }
+        }
+    }
+    let mut live_in = vec![0u64; nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            let live_out = cfg.blocks[b]
+                .succs
+                .iter()
+                .fold(0u64, |m, &s| m | live_in[s]);
+            let new_in = use_mask[b] | (live_out & !def_mask[b]);
+            if new_in != live_in[b] {
+                live_in[b] = new_in;
+                changed = true;
+            }
+        }
+    }
+    live_in
+}
+
+/// Registers live immediately before executing `pc`: walk the tail of its
+/// block backwards from the block's live-out.
+fn live_at(prog: &Program, cfg: &Cfg, live_in: &[u64], pc: u32) -> u64 {
+    let b = cfg.block_containing(pc);
+    let blk = &cfg.blocks[b];
+    let mut live = blk.succs.iter().fold(0u64, |m, &s| m | live_in[s]);
+    for p in (pc..blk.end).rev() {
+        let i = prog.instr(p);
+        if let Some(d) = i.def() {
+            live &= !bit(d);
+        }
+        for u in i.uses().into_iter().flatten() {
+            live |= bit(u);
+        }
+    }
+    live
+}
+
+/// The first read of register `r` reachable from `from` with no
+/// intervening redefinition — the instruction a poison value would leak
+/// through. Exists whenever `r` is live at `from`.
+fn first_exposed_read(prog: &Program, cfg: &Cfg, from: u32, r: RegRef) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    let mut seen = vec![false; cfg.len()];
+    let mut work = vec![from];
+    while let Some(start) = work.pop() {
+        let b = cfg.block_containing(start);
+        let blk = &cfg.blocks[b];
+        let mut killed = false;
+        for pc in start..blk.end {
+            let i = prog.instr(pc);
+            if i.uses().into_iter().flatten().any(|u| u == r) {
+                best = Some(best.map_or(pc, |x| x.min(pc)));
+                killed = true; // any deeper read is not the *first*
+                break;
+            }
+            if i.def() == Some(r) {
+                killed = true;
+                break;
+            }
+        }
+        if !killed {
+            for &s in &blk.succs {
+                if !std::mem::replace(&mut seen[s], true) {
+                    work.push(cfg.blocks[s].start);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Emits `LV002` for every register a *declared* run-ahead window defines
+/// that is live into the squash path.
+pub fn poison_check(access: &Program, out: &mut Vec<Diagnostic>) {
+    let windows = specregion::marked(access);
+    if windows.is_empty() || access.is_empty() {
+        return;
+    }
+    let cfg = Cfg::build(access);
+    let live_in = block_live_in(access, &cfg);
+    for w in &windows {
+        // The squash path resumes down the edge the prediction did NOT
+        // take.
+        let squash_entry = match w.dir {
+            SpecDir::Taken => w.branch_pc + 1,
+            SpecDir::NotTaken => access
+                .instr(w.branch_pc)
+                .target()
+                .unwrap_or(w.branch_pc + 1),
+        };
+        if squash_entry >= access.len() {
+            continue;
+        }
+        let mut defs: Vec<RegRef> = (w.start..w.end)
+            .filter_map(|pc| access.instr(pc).def())
+            .collect();
+        defs.sort_unstable();
+        defs.dedup();
+        if defs.is_empty() {
+            continue;
+        }
+        let live = live_at(access, &cfg, &live_in, squash_entry);
+        for &r in &defs {
+            if live & bit(r) == 0 {
+                continue;
+            }
+            let read_pc = first_exposed_read(access, &cfg, squash_entry, r).unwrap_or(squash_entry);
+            out.push(Diagnostic {
+                code: Code::Lv002,
+                loc: Loc::Access(read_pc),
+                queue: None,
+                msg: format!(
+                    "{r} is defined in the {} run-ahead window of the branch at as@{} and \
+                     read on the squash path before being redefined — a maybe-poisoned \
+                     value would leak into committed state",
+                    w.dir.name(),
+                    w.branch_pc,
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +361,66 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].code, Code::Lv001);
         assert_eq!(out[0].loc, Loc::Access(0));
+    }
+
+    #[test]
+    fn poison_leak_into_squash_path_is_lv002() {
+        use hidisc_isa::SpecDir;
+        // Predicting not-taken runs ahead over `ld r5`; on a squash the
+        // taken path at `out:` reads r5 before redefining it.
+        let mut p = assemble(
+            "as",
+            r"
+            bne r1, r0, out
+            ld r5, 0(r3)
+            halt
+        out:
+            add r6, r5, 1
+            halt
+        ",
+        )
+        .unwrap();
+        p.annot_mut(0).speculate = Some(SpecDir::NotTaken);
+        let mut out = Vec::new();
+        poison_check(&p, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::Lv002);
+        assert_eq!(out[0].loc, Loc::Access(3), "pinned at the exposed read");
+        assert!(out[0].msg.contains("r5"), "{}", out[0].msg);
+    }
+
+    #[test]
+    fn squash_path_that_kills_the_register_is_clean() {
+        use hidisc_isa::SpecDir;
+        let mut p = assemble(
+            "as",
+            r"
+            bne r1, r0, out
+            ld r5, 0(r3)
+            halt
+        out:
+            li r5, 0
+            add r6, r5, 1
+            halt
+        ",
+        )
+        .unwrap();
+        p.annot_mut(0).speculate = Some(SpecDir::NotTaken);
+        let mut out = Vec::new();
+        poison_check(&p, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unmarked_branches_skip_poison_analysis() {
+        let p = assemble(
+            "as",
+            "bne r1, r0, 3\nld r5, 0(r3)\nhalt\nadd r6, r5, 1\nhalt",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        poison_check(&p, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Run-ahead region analysis (`SP001`–`SP003`) and the advisory region
+//! classification behind `repro check --speculation`.
+//!
+//! A *run-ahead window* is what the Access Processor would execute down one
+//! edge of a conditional branch while the branch condition is still
+//! unresolved: the instructions from that edge's entry point up to — but
+//! not including — the next control instruction (the next resolution
+//! point; it never commits inside the window). On a misprediction the
+//! whole window is squashed, so every commit inside it must be undoable:
+//!
+//! * pushes may only target flushable queues (LDQ/CQ — the AP-produced
+//!   FIFOs whose speculative tail the producer can retract), else `SP001`;
+//! * no pops at all — queue values are consumed exactly once, a squashed
+//!   pop cannot be replayed (`SP002`; this covers the `scq_get`
+//!   slip-control decrement);
+//! * no CMAS trigger forks — a prefetch thread cannot be recalled
+//!   (`SP003`).
+//!
+//! The `SP00x` errors fire only for branches the compiler explicitly
+//! annotates with [`hidisc_isa::Annot::speculate`]: the annotation is the
+//! *declaration*, the verifier checks the declared window. The current
+//! slicer never emits the annotation, so today's triples are trivially
+//! clean — the pass is the safety net the speculative-slicer refactor
+//! lands on. [`analyse`] additionally classifies *both* edges of *every*
+//! AS conditional branch in what-if mode, feeding the speculation report.
+
+use crate::alias::AliasCtx;
+use crate::{AliasVerdict, Code, Diagnostic, Loc, RegionInfo};
+use hidisc_isa::{Program, Queue, SpecDir, SquashHazard};
+
+/// One prospective run-ahead window: `[start, end)` down the `dir` edge of
+/// the conditional branch at `branch_pc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    pub branch_pc: u32,
+    pub dir: SpecDir,
+    pub start: u32,
+    pub end: u32,
+}
+
+/// The run-ahead window down one edge of the conditional branch at
+/// `branch_pc`. Empty (`start == end`) when the edge lands directly on
+/// another control instruction.
+pub fn window_for(prog: &Program, branch_pc: u32, dir: SpecDir) -> Window {
+    let start = match dir {
+        SpecDir::Taken => prog
+            .instr(branch_pc)
+            .target()
+            .unwrap_or(branch_pc + 1)
+            .min(prog.len()),
+        SpecDir::NotTaken => branch_pc + 1,
+    };
+    let mut end = start;
+    while end < prog.len() && !prog.instr(end).is_control() {
+        end += 1;
+    }
+    Window {
+        branch_pc,
+        dir,
+        start,
+        end,
+    }
+}
+
+/// Both edges of every conditional branch, in program order.
+pub fn windows(prog: &Program) -> Vec<Window> {
+    let mut out = Vec::new();
+    for pc in 0..prog.len() {
+        if prog.instr(pc).is_cond_branch() {
+            out.push(window_for(prog, pc, SpecDir::Taken));
+            out.push(window_for(prog, pc, SpecDir::NotTaken));
+        }
+    }
+    out
+}
+
+/// The windows the compiler *declared* speculative, one per annotated
+/// branch, down its predicted edge.
+pub fn marked(prog: &Program) -> Vec<Window> {
+    let mut out = Vec::new();
+    for pc in 0..prog.len() {
+        if let Some(dir) = prog.annot(pc).speculate {
+            if prog.instr(pc).is_cond_branch() {
+                out.push(window_for(prog, pc, dir));
+            }
+        }
+    }
+    out
+}
+
+/// The first squash hazard in a window, as `(pc, hazard)`.
+fn first_hazard(prog: &Program, w: &Window) -> Option<(u32, SquashHazard)> {
+    (w.start..w.end).find_map(|pc| {
+        prog.annot(pc)
+            .squash_hazard(prog.instr(pc))
+            .map(|h| (pc, h))
+    })
+}
+
+fn hazard_text(h: SquashHazard) -> (Code, Option<Queue>, String) {
+    match h {
+        SquashHazard::NonFlushablePush(q) => (
+            Code::Sp001,
+            Some(q),
+            format!(
+                "pushes {}, whose speculative tail cannot be flushed on a squash",
+                q.name()
+            ),
+        ),
+        SquashHazard::DestructivePop(q) => (
+            Code::Sp002,
+            Some(q),
+            format!(
+                "pops {} — a destructive pop cannot be replayed after a squash",
+                q.name()
+            ),
+        ),
+        SquashHazard::TriggerFork(t) => (
+            Code::Sp003,
+            None,
+            format!("forks CMAS thread {t}, which cannot be recalled once triggered"),
+        ),
+    }
+}
+
+/// Emits `SP001`–`SP003` for every squash hazard inside a *declared*
+/// run-ahead window.
+pub fn check(prog: &Program, out: &mut Vec<Diagnostic>) {
+    for w in marked(prog) {
+        for pc in w.start..w.end {
+            if let Some(h) = prog.annot(pc).squash_hazard(prog.instr(pc)) {
+                let (code, queue, what) = hazard_text(h);
+                out.push(Diagnostic {
+                    code,
+                    loc: Loc::Access(pc),
+                    queue,
+                    msg: format!(
+                        "declared {} run-ahead window of the branch at as@{} {what}",
+                        w.dir.name(),
+                        w.branch_pc,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Classifies both edges of every AS conditional branch as a prospective
+/// run-ahead region: squash safety plus hoistable-load counts (a load is
+/// hoistable when the window is safe and every pending store is provably
+/// disjoint — see [`AliasCtx::pending_stores`]).
+pub fn analyse(prog: &Program) -> Vec<RegionInfo> {
+    let ctx = AliasCtx::new(prog);
+    windows(prog)
+        .into_iter()
+        .map(|w| {
+            let hazard = first_hazard(prog, &w);
+            let safe = hazard.is_none();
+            let mut loads = 0usize;
+            let mut hoistable = 0usize;
+            for pc in w.start..w.end {
+                if !prog.instr(pc).is_load() {
+                    continue;
+                }
+                loads += 1;
+                if let (true, Some(ctx)) = (safe, ctx.as_ref()) {
+                    let clear = ctx
+                        .pending_stores(prog, &w, pc)
+                        .iter()
+                        .all(|&s| ctx.classify_pair(s, pc) == Some(AliasVerdict::Disjoint));
+                    if clear {
+                        hoistable += 1;
+                    }
+                }
+            }
+            RegionInfo {
+                branch_pc: w.branch_pc,
+                dir: w.dir,
+                start: w.start,
+                end: w.end,
+                marked: prog.annot(w.branch_pc).speculate == Some(w.dir),
+                safe,
+                hazard: hazard.map(|(pc, h)| {
+                    let (_, _, what) = hazard_text(h);
+                    format!("as@{pc} {what}")
+                }),
+                loads,
+                hoistable,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidisc_isa::asm::assemble;
+
+    /// The pointer-chase shape the slicer emits: a loop of LDQ loads with
+    /// a CQ-pushing latch, then a deferred store and halt.
+    fn pointer_like() -> Program {
+        let mut p = assemble(
+            "as",
+            r"
+        hop:
+            ld.q LDQ, 8(r3)
+            ld r3, 0(r3)
+            sub r9, r9, 1
+            bne r9, r0, hop
+            sd.q SDQ, 0(r10)
+            halt
+        ",
+        )
+        .unwrap();
+        p.annot_mut(3).push_cq = true;
+        p
+    }
+
+    #[test]
+    fn windows_stop_at_the_next_control() {
+        let p = pointer_like();
+        let w = window_for(&p, 3, SpecDir::Taken);
+        assert_eq!((w.start, w.end), (0, 3), "taken edge re-enters the loop");
+        let w = window_for(&p, 3, SpecDir::NotTaken);
+        assert_eq!((w.start, w.end), (4, 5), "fall-through covers the store");
+    }
+
+    #[test]
+    fn unmarked_branches_emit_nothing() {
+        let p = pointer_like();
+        let mut out = Vec::new();
+        check(&p, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn marked_loop_latch_is_squash_safe() {
+        let mut p = pointer_like();
+        p.annot_mut(3).speculate = Some(SpecDir::Taken);
+        let mut out = Vec::new();
+        check(&p, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn declared_window_over_a_destructive_pop_is_sp002() {
+        let mut p = pointer_like();
+        // Predicting the exit edge would speculate the SDQ-popping store.
+        p.annot_mut(3).speculate = Some(SpecDir::NotTaken);
+        let mut out = Vec::new();
+        check(&p, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Code::Sp002);
+        assert_eq!(out[0].loc, Loc::Access(4));
+        assert_eq!(out[0].queue, Some(Queue::Sdq));
+    }
+
+    #[test]
+    fn analyse_counts_hoistable_loads() {
+        let p = pointer_like();
+        let regions = analyse(&p);
+        assert_eq!(regions.len(), 2);
+        let taken = &regions[0];
+        assert!(taken.safe && !taken.marked);
+        assert_eq!(taken.loads, 2);
+        // The sd.q cannot reach the loop entry on the CFG, and the window
+        // has no stores of its own: both loads hoist.
+        assert_eq!(taken.hoistable, 2);
+        let exit = &regions[1];
+        assert!(!exit.safe, "the sd.q window pops the SDQ");
+        assert!(exit.hazard.as_deref().unwrap().contains("pops SDQ"));
+    }
+}

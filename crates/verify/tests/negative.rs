@@ -1,12 +1,14 @@
-//! Negative golden corpus: four hand-built broken program triples, each
+//! Negative golden corpus: hand-built broken program triples, each
 //! asserting the exact diagnostic code and location the verifier must
-//! report. These are the documented failure modes of DESIGN.md §15 and the
-//! programs the README's `repro check` walkthrough references.
+//! report. These are the documented failure modes of DESIGN.md §15/§20 and
+//! the programs the README's `repro check` walkthrough references. Goldens
+//! 5–10 cover the speculation-safety suite: every `AL`/`SP`/`LV002`
+//! diagnostic has exactly one golden pinning its location and message.
 
 #![forbid(unsafe_code)]
 
 use hidisc_isa::asm::assemble;
-use hidisc_isa::{Instr, Queue};
+use hidisc_isa::{Instr, Queue, SpecDir};
 use hidisc_slicer::CmasThread;
 use hidisc_verify::{verify, Code, DepthConfig, Loc, VerifyInput};
 
@@ -155,6 +157,188 @@ fn cross_slice_uninit_read_is_lv001_at_the_read() {
         .expect("LV001 must fire");
     assert_eq!(d.loc, Loc::Access(0));
     assert!(d.msg.contains("r2"));
+    assert!(!r.no_errors());
+}
+
+/// 5. Ambiguous store-to-load pair in a declared run-ahead window: the
+///    store goes through `r6`, the load through `r7`, and nothing relates
+///    the two bases. The AP cannot issue the load early.
+#[test]
+fn ambiguous_store_in_runahead_window_is_al001_at_the_load() {
+    let mut access = assemble(
+        "as",
+        "loop:\nsd r5, 0(r6)\nld r4, 0(r7)\nsub r9, r9, 1\nbne r9, r0, loop\nhalt",
+    )
+    .unwrap();
+    access.annot_mut(3).push_cq = true;
+    access.annot_mut(3).speculate = Some(SpecDir::Taken);
+    let cs = assemble("cs", "loop:\ncbr loop\nhalt").unwrap();
+    let r = verify(&input(&cs, &access, &[], DepthConfig::paper()));
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::Al001)
+        .expect("AL001 must fire");
+    assert_eq!(d.loc, Loc::Access(1));
+    assert_eq!(
+        d.msg,
+        "load in the taken run-ahead window of the branch at as@3 cannot be disambiguated \
+         from the pending store at as@0 — the access processor must hold this load until \
+         the store resolves"
+    );
+    // Advisory: a warning, not an error — the window is merely unprofitable.
+    assert!(r.no_errors(), "{:?}", r.diagnostics);
+}
+
+/// 6. Must-alias store-to-load pair in a declared run-ahead window: same
+///    base register, same offset — hoisting the load recovers nothing, the
+///    store's value must be forwarded.
+#[test]
+fn must_alias_store_in_runahead_window_is_al002_at_the_load() {
+    let mut access = assemble(
+        "as",
+        "loop:\nsd r5, 0(r6)\nld r4, 0(r6)\nsub r9, r9, 1\nbne r9, r0, loop\nhalt",
+    )
+    .unwrap();
+    access.annot_mut(3).push_cq = true;
+    access.annot_mut(3).speculate = Some(SpecDir::Taken);
+    let cs = assemble("cs", "loop:\ncbr loop\nhalt").unwrap();
+    let r = verify(&input(&cs, &access, &[], DepthConfig::paper()));
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::Al002)
+        .expect("AL002 must fire");
+    assert_eq!(d.loc, Loc::Access(1));
+    assert!(
+        d.msg
+            .contains("must-aliases the pending store and needs its forwarded value at as@0"),
+        "{}",
+        d.msg
+    );
+}
+
+/// 7. Non-flushable push in a declared run-ahead window: an SDQ push
+///    cannot be retracted on a squash — only the AP-produced LDQ/CQ tails
+///    are flushable.
+#[test]
+fn non_flushable_push_in_runahead_window_is_sp001() {
+    let mut access = assemble(
+        "as",
+        "loop:\nsend SDQ, r5\nsub r9, r9, 1\nbne r9, r0, loop\nhalt",
+    )
+    .unwrap();
+    access.annot_mut(2).push_cq = true;
+    access.annot_mut(2).speculate = Some(SpecDir::Taken);
+    let cs = assemble("cs", "loop:\nrecv r8, SDQ\ncbr loop\nhalt").unwrap();
+    let r = verify(&input(&cs, &access, &[], DepthConfig::paper()));
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::Sp001)
+        .expect("SP001 must fire");
+    assert_eq!(d.loc, Loc::Access(0));
+    assert_eq!(d.queue, Some(Queue::Sdq));
+    assert_eq!(
+        d.msg,
+        "declared taken run-ahead window of the branch at as@2 pushes SDQ, \
+         whose speculative tail cannot be flushed on a squash"
+    );
+    assert!(!r.no_errors());
+}
+
+/// 8. Destructive pop in a declared run-ahead window: predicting the loop
+///    exit would speculate the SDQ-popping deferred store — queue values
+///    are consumed exactly once, a squashed pop cannot be replayed.
+#[test]
+fn destructive_pop_in_runahead_window_is_sp002() {
+    let mut access = assemble(
+        "as",
+        "hop:\nld.q LDQ, 8(r3)\nld r3, 0(r3)\nsub r9, r9, 1\nbne r9, r0, hop\nsd.q SDQ, 0(r10)\nhalt",
+    )
+    .unwrap();
+    access.annot_mut(3).push_cq = true;
+    access.annot_mut(3).speculate = Some(SpecDir::NotTaken);
+    let cs = assemble("cs", "hop:\nrecv r4, LDQ\ncbr hop\nsend SDQ, r7\nhalt").unwrap();
+    let r = verify(&input(&cs, &access, &[], DepthConfig::paper()));
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::Sp002)
+        .expect("SP002 must fire");
+    assert_eq!(d.loc, Loc::Access(4));
+    assert_eq!(d.queue, Some(Queue::Sdq));
+    assert_eq!(
+        d.msg,
+        "declared not-taken run-ahead window of the branch at as@3 pops SDQ — \
+         a destructive pop cannot be replayed after a squash"
+    );
+    assert!(!r.no_errors());
+}
+
+/// 9. CMAS trigger fork in a declared run-ahead window: a prefetch thread
+///    cannot be recalled once forked, so triggering one speculatively
+///    pollutes the cache (and the SCQ) on every misprediction.
+#[test]
+fn trigger_fork_in_runahead_window_is_sp003() {
+    let mut access = assemble("as", "loop:\nsub r9, r9, 1\nbne r9, r0, loop\nhalt").unwrap();
+    access.annot_mut(0).trigger = Some(7);
+    access.annot_mut(1).push_cq = true;
+    access.annot_mut(1).speculate = Some(SpecDir::Taken);
+    let cs = assemble("cs", "loop:\ncbr loop\nhalt").unwrap();
+    let mut prog = assemble("cmas", "ld r1, 0(r1)\npref 0(r1)\nhalt").unwrap();
+    for pc in 0..prog.len() {
+        if !matches!(prog.instr(pc), Instr::Halt) {
+            prog.annot_mut(pc).cmas = true;
+        }
+    }
+    let threads = [CmasThread {
+        id: 7,
+        prog,
+        loop_header: 0,
+    }];
+    let r = verify(&input(&cs, &access, &threads, DepthConfig::paper()));
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::Sp003)
+        .expect("SP003 must fire");
+    assert_eq!(d.loc, Loc::Access(0));
+    assert_eq!(
+        d.msg,
+        "declared taken run-ahead window of the branch at as@1 forks CMAS thread 7, \
+         which cannot be recalled once triggered"
+    );
+    assert!(!r.no_errors());
+}
+
+/// 10. Poison leak: `r5` is loaded inside the declared window and read on
+///     the squash path before being redefined — a misprediction would leak
+///     a maybe-poisoned value into committed state. Pinned at the first
+///     exposed read.
+#[test]
+fn poison_leak_on_squash_path_is_lv002_at_the_exposed_read() {
+    let mut access = assemble(
+        "as",
+        "bne r1, r0, out\nld r5, 0(r3)\nhalt\nout:\nadd r6, r5, 1\nhalt",
+    )
+    .unwrap();
+    access.annot_mut(0).push_cq = true;
+    access.annot_mut(0).speculate = Some(SpecDir::NotTaken);
+    let cs = assemble("cs", "cbr out\nhalt\nout:\nhalt").unwrap();
+    let r = verify(&input(&cs, &access, &[], DepthConfig::paper()));
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::Lv002)
+        .expect("LV002 must fire");
+    assert_eq!(d.loc, Loc::Access(3));
+    assert_eq!(
+        d.msg,
+        "r5 is defined in the not-taken run-ahead window of the branch at as@0 and read \
+         on the squash path before being redefined — a maybe-poisoned value would leak \
+         into committed state"
+    );
     assert!(!r.no_errors());
 }
 

@@ -84,6 +84,11 @@ struct Args {
     cfg_b: Option<(u32, u32)>,
     /// `simspeed --format json`: emit the `BENCH_simspeed.json` document.
     json: bool,
+    /// `check --speculation`: run the advisory run-ahead/alias analysis
+    /// instead of the safety verifier.
+    speculation: bool,
+    /// `check --deny-warnings`: exit 1 on warnings, not just errors.
+    deny_warnings: bool,
 }
 
 fn parse_args() -> Args {
@@ -121,6 +126,8 @@ fn parse_args() -> Args {
     let mut cfg_a = None;
     let mut cfg_b = None;
     let mut json = false;
+    let mut speculation = false;
+    let mut deny_warnings = false;
     let mut it = std::env::args().skip(1);
     let num = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next()
@@ -242,6 +249,8 @@ fn parse_args() -> Args {
                 }));
             }
             "--slow-request-ms" => slow_request_ms = Some(num(&mut it, "--slow-request-ms")),
+            "--speculation" => speculation = true,
+            "--deny-warnings" => deny_warnings = true,
             "--shard-of" => {
                 let v = it.next().unwrap_or_default();
                 shard_of = v
@@ -277,6 +286,7 @@ fn parse_args() -> Args {
                     "usage: repro [{}] \
                      [report|diag|trace|check|telemetry|sample|bisect <workload>] \
                      [--format text|csv|json] [--scale test|paper|large] [--seed N] [--threads N] \
+                     [check <workload> [--speculation] [--deny-warnings]] \
                      [--l2-lat N] [--mem-lat N] [--scq-depth N] [--scheduler ready|scan] \
                      [--sample <detail>:<skip>] [--a <l2>:<mem>] [--b <l2>:<mem>] \
                      [--trace <out.json>] [--trace-filter <cat,..|all>] [--metrics-interval N] \
@@ -332,8 +342,12 @@ fn parse_args() -> Args {
         eprintln!("--stream only applies to the telemetry command");
         std::process::exit(2);
     }
-    if json && cmd != "simspeed" {
-        eprintln!("--format json only applies to the simspeed command");
+    if json && cmd != "simspeed" && !(cmd == "check" && speculation) {
+        eprintln!("--format json only applies to simspeed and check --speculation");
+        std::process::exit(2);
+    }
+    if (speculation || deny_warnings) && cmd != "check" {
+        eprintln!("--speculation/--deny-warnings only apply to the check command");
         std::process::exit(2);
     }
     if (cfg_a.is_some() || cfg_b.is_some()) && cmd != "bisect" {
@@ -378,6 +392,8 @@ fn parse_args() -> Args {
         cfg_a,
         cfg_b,
         json,
+        speculation,
+        deny_warnings,
     }
 }
 
@@ -880,9 +896,23 @@ fn main() {
         }
         "check" => {
             let name = args.arg.as_deref().unwrap_or("update");
+            if args.speculation {
+                let spec = bench::speculation_workload(
+                    name,
+                    args.scale,
+                    args.seed,
+                    bench::depths_of(&cfg),
+                );
+                if args.json {
+                    print!("{}", spec.to_json());
+                } else {
+                    print!("{}", spec.render(csv));
+                }
+                return;
+            }
             let check = bench::check_workload(name, args.scale, args.seed, bench::depths_of(&cfg));
             print!("{}", check.render(csv));
-            if !check.passed() {
+            if !check.passed_with(args.deny_warnings) {
                 std::process::exit(1);
             }
         }
